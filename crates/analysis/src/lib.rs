@@ -1,0 +1,24 @@
+//! Compressibility analysis — the "awareness" in cuSZ+'s
+//! compressibility-aware framework (§III of the paper).
+//!
+//! Two instruments:
+//!
+//! * [`variogram`] — the madogram/binary-variance sampling scheme of
+//!   §III-B.2: an empirical variance-vs-distance curve over random pairs
+//!   `(a, a+d)`, `d ≤ 200`. The *binary* variant (`0` if equal, `1` if
+//!   not) measures exactly the probability that an RLE run breaks at
+//!   distance `d`; its value at `d = 1` is the RLE roughness, and
+//!   `1 − roughness` the smoothness.
+//! * [`selector`] — the workflow decision: estimate the Huffman average
+//!   bit-length `⟨b⟩` from the quant-code histogram alone (via the
+//!   Gallager/Johnsen redundancy bounds re-exported from
+//!   `cuszp_huffman::stats`) and pick Workflow-RLE when `⟨b⟩ ≤ 1.09`,
+//!   the paper's practical threshold.
+
+pub mod selector;
+pub mod spatial;
+pub mod variogram;
+
+pub use selector::{analyze, select_workflow, CompressibilityReport, WorkflowChoice, RLE_BIT_LENGTH_THRESHOLD};
+pub use spatial::{anisotropy, axis_binary_variogram, axis_madogram, AnisotropyReport, Axis};
+pub use variogram::{binary_variogram, madogram, smoothness, VariogramCurve, DEFAULT_MAX_DISTANCE};

@@ -1,0 +1,210 @@
+//! Adaptive workflow selection (the decision logic behind Fig. 1's two
+//! paths).
+//!
+//! From the quant-code histogram alone — one cheap parallel pass — we
+//! bracket the Huffman average bit-length `⟨b⟩` via the redundancy bounds
+//! and estimate the RLE bit cost from the adjacency roughness. The paper's
+//! practical rule: **when `⟨b⟩` is likely ≤ 1.09 bits, take Workflow-RLE**
+//! (optionally with a trailing VLE pass); otherwise take the default
+//! Workflow-Huffman.
+
+use cuszp_huffman::stats;
+
+use crate::variogram::binary_variogram;
+
+/// The paper's bit-length threshold for switching to RLE.
+pub const RLE_BIT_LENGTH_THRESHOLD: f64 = 1.09;
+
+/// Bits an RLE run costs in the uncompressed (default) layout:
+/// a `u16` value plus a `u32` count.
+const RLE_BITS_PER_RUN: f64 = 48.0;
+
+/// The coding stage a field should take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkflowChoice {
+    /// Default path: multi-byte Huffman over quant-codes (cuSZ behaviour).
+    Huffman,
+    /// Smooth data: run-length encoding only.
+    Rle,
+    /// Smooth data where an extra VLE pass pays for its codebooks.
+    RleVle,
+}
+
+impl WorkflowChoice {
+    /// Display name used in reports and benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkflowChoice::Huffman => "Workflow-Huffman",
+            WorkflowChoice::Rle => "Workflow-RLE",
+            WorkflowChoice::RleVle => "Workflow-RLE+VLE",
+        }
+    }
+}
+
+/// Everything the selector derived from one analysis pass.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressibilityReport {
+    /// Probability of the most likely quant-code.
+    pub p1: f64,
+    /// Shannon entropy of the quant-codes (bits/symbol).
+    pub entropy: f64,
+    /// Lower estimate of the Huffman average bit-length.
+    pub b_lower: f64,
+    /// Upper estimate of the Huffman average bit-length.
+    pub b_upper: f64,
+    /// Probability that adjacent quant-codes differ (RLE roughness at
+    /// distance 1).
+    pub roughness: f64,
+    /// Estimated compression ratio of Workflow-Huffman for `f32` input.
+    pub est_cr_huffman: f64,
+    /// Estimated compression ratio of Workflow-RLE (uncompressed runs).
+    pub est_cr_rle: f64,
+    /// The selected workflow.
+    pub choice: WorkflowChoice,
+}
+
+/// Analyzes a quant-code stream and selects the coding workflow.
+///
+/// `cap` is the symbol alphabet size. Sampling is deterministic (fixed
+/// seed) so compression is reproducible.
+pub fn analyze(codes: &[u16], cap: u16) -> CompressibilityReport {
+    let hist = cuszp_huffman::histogram(codes, cap as usize);
+    let p1 = stats::p1(&hist);
+    let entropy = stats::entropy(&hist);
+    let (b_lower, b_upper) = stats::avg_bit_length_bounds(&hist);
+
+    // Adjacency roughness from a capped sample (the madogram's offline
+    // sampling scheme, distance restricted to 1 which is what run breaks
+    // care about).
+    let n_samples = codes.len().min(64 * 1024);
+    let roughness = if codes.len() < 2 {
+        0.0
+    } else {
+        binary_variogram(codes, n_samples, 1, 0xC052).at_unit_distance()
+    };
+
+    // f32 input: 32 bits per element.
+    let est_cr_huffman = 32.0 / b_lower.max(1.0);
+    // Expected runs per element ≈ roughness (+ the run the stream opens
+    // with, negligible); each run costs RLE_BITS_PER_RUN.
+    let est_bits_rle = (roughness * RLE_BITS_PER_RUN).max(32.0 / 1e6);
+    let est_cr_rle = 32.0 / est_bits_rle;
+
+    let choice = if b_lower <= RLE_BIT_LENGTH_THRESHOLD {
+        // Smooth enough for RLE; the VLE pass is worthwhile unless the
+        // stream is so tiny the codebooks dominate.
+        if codes.len() >= 64 * 1024 {
+            WorkflowChoice::RleVle
+        } else {
+            WorkflowChoice::Rle
+        }
+    } else {
+        WorkflowChoice::Huffman
+    };
+
+    CompressibilityReport {
+        p1,
+        entropy,
+        b_lower,
+        b_upper,
+        roughness,
+        est_cr_huffman,
+        est_cr_rle,
+        choice,
+    }
+}
+
+/// Convenience wrapper returning only the choice.
+pub fn select_workflow(codes: &[u16], cap: u16) -> WorkflowChoice {
+    analyze(codes, cap).choice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a stream with the requested most-likely-symbol probability.
+    fn stream_with_p1(n: usize, p1: f64) -> Vec<u16> {
+        (0..n)
+            .map(|i| {
+                let phase = (i as f64 * 0.61803398875) % 1.0; // low-discrepancy
+                if phase < p1 {
+                    512u16
+                } else if phase < p1 + (1.0 - p1) / 2.0 {
+                    511
+                } else {
+                    513
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rough_stream_selects_huffman() {
+        let codes = stream_with_p1(100_000, 0.5);
+        let report = analyze(&codes, 1024);
+        assert_eq!(report.choice, WorkflowChoice::Huffman);
+        assert!(report.b_lower > RLE_BIT_LENGTH_THRESHOLD);
+    }
+
+    #[test]
+    fn very_smooth_stream_selects_rle() {
+        let codes = stream_with_p1(200_000, 0.99);
+        let report = analyze(&codes, 1024);
+        assert!(matches!(report.choice, WorkflowChoice::Rle | WorkflowChoice::RleVle));
+        assert!(report.b_lower <= RLE_BIT_LENGTH_THRESHOLD);
+        assert!(report.p1 > 0.98);
+    }
+
+    #[test]
+    fn small_smooth_stream_skips_the_vle_pass() {
+        let codes = vec![512u16; 1000];
+        let report = analyze(&codes, 1024);
+        assert_eq!(report.choice, WorkflowChoice::Rle);
+    }
+
+    #[test]
+    fn estimates_track_reality_for_smooth_data() {
+        // p1 = 0.995 arranged in runs: the RLE estimate should beat the
+        // Huffman estimate (which is pinned at ≤ 32×).
+        let mut codes = Vec::new();
+        for i in 0..2000u32 {
+            codes.extend(std::iter::repeat_n(512u16, 199));
+            codes.push(511 + (i % 3) as u16);
+        }
+        let report = analyze(&codes, 1024);
+        assert!(report.est_cr_huffman <= 32.0 + 1e-9);
+        assert!(
+            report.est_cr_rle > report.est_cr_huffman,
+            "RLE {} must beat Huffman {} here",
+            report.est_cr_rle,
+            report.est_cr_huffman
+        );
+    }
+
+    #[test]
+    fn threshold_is_monotone_in_p1() {
+        // Sweep p1 and confirm the decision flips exactly once.
+        let mut last_was_rle = false;
+        let mut flips = 0;
+        for p in [0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.97, 0.99] {
+            let codes = stream_with_p1(100_000, p);
+            let rle = select_workflow(&codes, 1024) != WorkflowChoice::Huffman;
+            if rle != last_was_rle {
+                flips += 1;
+                last_was_rle = rle;
+            }
+        }
+        assert!(flips <= 1, "decision must be monotone in p1 (flips={flips})");
+        assert!(last_was_rle, "p1=0.99 must choose RLE");
+    }
+
+    #[test]
+    fn empty_stream_defaults_to_huffman_safely() {
+        let report = analyze(&[], 1024);
+        // No data: entropy 0, b pinned at 1, selector picks the RLE branch
+        // degenerately but must not panic; storage is zero either way.
+        assert_eq!(report.roughness, 0.0);
+        assert!(report.b_lower >= 1.0);
+    }
+}

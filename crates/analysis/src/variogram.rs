@@ -1,0 +1,174 @@
+//! Empirical madogram / binary variogram with offline sampling.
+//!
+//! Given the `O(n²)` cost of enumerating pairwise variances, the paper
+//! samples: pick a random anchor `a` and a random distance
+//! `d ∈ [1, D_max]`, accumulate the (absolute or binary) difference
+//! between `v[a]` and `v[a+d]`, and average per distance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's maximum measurement distance (`D_max = 200`).
+pub const DEFAULT_MAX_DISTANCE: usize = 200;
+
+/// A sampled variance-vs-distance curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariogramCurve {
+    /// `value[d-1]` is the mean variance at distance `d`.
+    pub values: Vec<f64>,
+    /// Number of samples that landed on each distance.
+    pub counts: Vec<u64>,
+}
+
+impl VariogramCurve {
+    /// Mean of the curve over all distances that received samples.
+    pub fn mean(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for (v, &c) in self.values.iter().zip(&self.counts) {
+            if c > 0 {
+                sum += v * c as f64;
+                n += c;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Value at distance 1 (RLE-relevant adjacency), 0 if unsampled.
+    pub fn at_unit_distance(&self) -> f64 {
+        if self.counts.first().copied().unwrap_or(0) > 0 {
+            self.values[0]
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Generic sampled variogram with a caller-supplied difference functional.
+fn sample_curve<T, F>(
+    data: &[T],
+    n_samples: usize,
+    d_max: usize,
+    seed: u64,
+    diff: F,
+) -> VariogramCurve
+where
+    F: Fn(&T, &T) -> f64,
+{
+    let d_max = d_max.max(1);
+    let mut sums = vec![0.0f64; d_max];
+    let mut counts = vec![0u64; d_max];
+    if data.len() >= 2 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n_samples {
+            let d = rng.gen_range(1..=d_max.min(data.len() - 1));
+            let a = rng.gen_range(0..data.len() - d);
+            sums[d - 1] += diff(&data[a], &data[a + d]);
+            counts[d - 1] += 1;
+        }
+    }
+    let values = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    VariogramCurve { values, counts }
+}
+
+/// Madogram: mean **absolute** difference per distance,
+/// `E[|Z(a) − Z(a+d)|]` — the robust variogram variant of
+/// Cressie & Hawkins the paper adopts for its Fig. 2a.
+pub fn madogram(data: &[i64], n_samples: usize, d_max: usize, seed: u64) -> VariogramCurve {
+    sample_curve(data, n_samples, d_max, seed, |&a, &b| (a - b).abs() as f64)
+}
+
+/// Binary variogram: `E[v(a) ≠ v(a+d)]` per distance — the paper's
+/// "binary variance", tuned to RLE (a run breaks exactly when the value
+/// changes, regardless of by how much).
+pub fn binary_variogram(
+    data: &[u16],
+    n_samples: usize,
+    d_max: usize,
+    seed: u64,
+) -> VariogramCurve {
+    sample_curve(data, n_samples, d_max, seed, |&a, &b| f64::from(a != b))
+}
+
+/// RLE smoothness of a quant-code stream: `1 − roughness`, with roughness
+/// the mean binary variance over the sampled curve.
+pub fn smoothness(codes: &[u16], n_samples: usize, seed: u64) -> f64 {
+    1.0 - binary_variogram(codes, n_samples, DEFAULT_MAX_DISTANCE, seed).mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stream_is_perfectly_smooth() {
+        let codes = vec![512u16; 10_000];
+        assert_eq!(smoothness(&codes, 5000, 42), 1.0);
+        let curve = binary_variogram(&codes, 5000, 50, 42);
+        assert!(curve.values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn alternating_stream_is_maximally_rough_at_odd_distances() {
+        let codes: Vec<u16> = (0..10_000).map(|i| (i % 2) as u16).collect();
+        let curve = binary_variogram(&codes, 20_000, 10, 7);
+        // Odd distances always differ, even distances never do.
+        for d in 1..=10usize {
+            if curve.counts[d - 1] == 0 {
+                continue;
+            }
+            let expect = if d % 2 == 1 { 1.0 } else { 0.0 };
+            assert_eq!(curve.values[d - 1], expect, "distance {d}");
+        }
+        let s = smoothness(&codes, 20_000, 7);
+        assert!(s > 0.4 && s < 0.6, "mixed parity gives ≈0.5: {s}");
+    }
+
+    #[test]
+    fn madogram_scales_with_amplitude() {
+        let small: Vec<i64> = (0..5000).map(|i| (i % 3) as i64).collect();
+        let large: Vec<i64> = (0..5000).map(|i| ((i % 3) * 100) as i64).collect();
+        let ms = madogram(&small, 10_000, 50, 1).mean();
+        let ml = madogram(&large, 10_000, 50, 1).mean();
+        assert!(ml > 50.0 * ms, "madogram must reflect magnitude: {ms} vs {ml}");
+    }
+
+    #[test]
+    fn quantcode_smoother_than_prequant_on_trend() {
+        // A strong linear trend: prequant values wander far apart with
+        // distance, quant-codes (differences) stay constant — the paper's
+        // Fig. 2a observation.
+        let prequant: Vec<i64> = (0..20_000).map(|i| i as i64 * 10).collect();
+        let codes: Vec<i64> = vec![10; 20_000]; // δ of the ramp
+        let mp = madogram(&prequant, 10_000, 200, 3);
+        let mq = madogram(&codes, 10_000, 200, 3);
+        assert!(mq.mean() < mp.mean() / 100.0);
+        // Prequant madogram grows with distance; quant-code stays flat.
+        let p = &mp.values;
+        assert!(p[199] > p[0], "trend must grow with distance");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(smoothness(&[], 100, 0), 1.0);
+        assert_eq!(smoothness(&[1u16], 100, 0), 1.0);
+        let c = madogram(&[], 100, 10, 0);
+        assert_eq!(c.mean(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let codes: Vec<u16> = (0..5000).map(|i| ((i * 7) % 5) as u16).collect();
+        let a = binary_variogram(&codes, 3000, 100, 99);
+        let b = binary_variogram(&codes, 3000, 100, 99);
+        assert_eq!(a, b);
+    }
+}

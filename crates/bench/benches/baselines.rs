@@ -1,0 +1,62 @@
+//! Criterion benches for the baseline substrates: the DEFLATE-style
+//! lossless codec (the `g` of `qg`/`qhg`) and the fixed-rate transform
+//! coder (cuZFP stand-in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuszp_lossless::{compress as lz_compress, decompress as lz_decompress, CompressionLevel};
+
+fn bench_lossless(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lossless");
+    g.sample_size(10);
+    // Quant-code-like bytes: long 2-periodic stretches + bursts.
+    let data: Vec<u8> = (0..1 << 19)
+        .flat_map(|i: u32| {
+            let code: u16 = if i.is_multiple_of(97) { 505 + (i % 13) as u16 } else { 512 };
+            code.to_le_bytes()
+        })
+        .collect();
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for (label, level) in [
+        ("fast", CompressionLevel::Fast),
+        ("default", CompressionLevel::Default),
+        ("best", CompressionLevel::Best),
+    ] {
+        g.bench_with_input(BenchmarkId::new("compress", label), &data, |b, data| {
+            b.iter(|| cuszp_lossless::compress_with_level(data, level));
+        });
+    }
+    let compressed = lz_compress(&data);
+    g.bench_function("decompress", |b| {
+        b.iter(|| lz_decompress(&compressed).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_zfp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zfp_baseline");
+    g.sample_size(10);
+    let (nz, ny, nx) = (32usize, 64, 64);
+    let data: Vec<f32> = (0..nz * ny * nx)
+        .map(|t| {
+            let i = (t % nx) as f32;
+            let j = ((t / nx) % ny) as f32;
+            let k = (t / nx / ny) as f32;
+            (k * 0.1).sin() + (j * 0.07).cos() * (i * 0.06).sin()
+        })
+        .collect();
+    g.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    for rate in [4u32, 8, 16] {
+        let cfg = cuszp_zfp::ZfpConfig { rate_bits_per_value: rate };
+        g.bench_with_input(BenchmarkId::new("compress", rate), &data, |b, data| {
+            b.iter(|| cuszp_zfp::compress(data, [nz, ny, nx], cfg));
+        });
+        let compressed = cuszp_zfp::compress(&data, [nz, ny, nx], cfg);
+        g.bench_with_input(BenchmarkId::new("decompress", rate), &compressed, |b, comp| {
+            b.iter(|| cuszp_zfp::decompress(comp).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lossless, bench_zfp);
+criterion_main!(benches);

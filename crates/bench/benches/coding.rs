@@ -1,0 +1,82 @@
+//! Criterion benches for the coding stages: histogram, multi-byte
+//! Huffman encode/decode, RLE encode/decode, and the composed RLE+VLE —
+//! the per-kernel timing axis of Tables V/VI/VII.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuszp_huffman::{build_codebook, decode, encode, histogram, DEFAULT_ENCODE_CHUNK};
+use cuszp_rle::{rle_decode, rle_encode, rle_vle_decode, rle_vle_encode};
+
+/// Smooth-regime codes (RLE-friendly) and rough-regime codes
+/// (Huffman-friendly), 2^19 symbols each.
+fn streams() -> Vec<(&'static str, Vec<u16>)> {
+    let n = 1 << 19;
+    let smooth: Vec<u16> = (0..n)
+        .map(|i| if i % 101 == 0 { 511u16 } else { 512 })
+        .collect();
+    let rough: Vec<u16> = (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+            500 + (h % 25) as u16
+        })
+        .collect();
+    vec![("smooth", smooth), ("rough", rough)]
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.sample_size(10);
+    for (label, syms) in streams() {
+        g.throughput(Throughput::Bytes((syms.len() * 4) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &syms, |b, syms| {
+            b.iter(|| histogram(syms, 1024));
+        });
+    }
+    g.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let mut g = c.benchmark_group("huffman");
+    g.sample_size(10);
+    for (label, syms) in streams() {
+        let hist = histogram(&syms, 1024);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, DEFAULT_ENCODE_CHUNK);
+        g.throughput(Throughput::Bytes((syms.len() * 4) as u64));
+        g.bench_with_input(BenchmarkId::new("encode", label), &syms, |b, syms| {
+            b.iter(|| encode(syms, &book, DEFAULT_ENCODE_CHUNK));
+        });
+        g.bench_with_input(BenchmarkId::new("decode", label), &enc, |b, enc| {
+            b.iter(|| decode(enc, &book));
+        });
+        g.bench_with_input(BenchmarkId::new("decode_fast", label), &enc, |b, enc| {
+            b.iter(|| cuszp_huffman::decode_fast(enc));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rle");
+    g.sample_size(10);
+    for (label, syms) in streams() {
+        let enc = rle_encode(&syms);
+        g.throughput(Throughput::Bytes((syms.len() * 4) as u64));
+        g.bench_with_input(BenchmarkId::new("encode", label), &syms, |b, syms| {
+            b.iter(|| rle_encode(syms));
+        });
+        g.bench_with_input(BenchmarkId::new("decode", label), &enc, |b, enc| {
+            b.iter(|| rle_decode(enc));
+        });
+        g.bench_with_input(BenchmarkId::new("rle_vle_encode", label), &syms, |b, syms| {
+            b.iter(|| rle_vle_encode(syms, 1024));
+        });
+        let rv = rle_vle_encode(&syms, 1024);
+        g.bench_with_input(BenchmarkId::new("rle_vle_decode", label), &rv, |b, rv| {
+            b.iter(|| rle_vle_decode(rv));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_histogram, bench_huffman, bench_rle);
+criterion_main!(benches);

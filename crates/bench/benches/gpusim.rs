@@ -1,0 +1,63 @@
+//! Criterion benches for the SIMT simulator's kernel ports — these time
+//! the *simulation*, not a GPU, and exist to keep the lane-level models
+//! fast enough for the ablation sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cuszp_gpusim::kernels::{simt_reconstruct_1d, simt_reconstruct_2d, simt_reconstruct_3d};
+use cuszp_gpusim::simt::block_scan_inclusive;
+use cuszp_gpusim::SimtCounters;
+
+fn pseudo(n: usize) -> Vec<i64> {
+    (0..n).map(|i| ((i as i64).wrapping_mul(2654435761) % 17) - 8).collect()
+}
+
+fn bench_block_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simt_block_scan");
+    g.sample_size(10);
+    let data = pseudo(256);
+    for seq in [1usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(seq), &data, |b, data| {
+            b.iter(|| {
+                let mut counters = SimtCounters::default();
+                block_scan_inclusive(data, seq, &mut counters)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_simt_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simt_reconstruct");
+    g.sample_size(10);
+    let q1 = pseudo(1 << 16);
+    g.bench_function("1d_seq8", |b| {
+        b.iter(|| {
+            let mut q = q1.clone();
+            let mut counters = SimtCounters::default();
+            simt_reconstruct_1d(&mut q, 8, &mut counters);
+            q
+        });
+    });
+    let q2 = pseudo(128 * 128);
+    g.bench_function("2d_seq8", |b| {
+        b.iter(|| {
+            let mut q = q2.clone();
+            let mut counters = SimtCounters::default();
+            simt_reconstruct_2d(&mut q, 128, 128, 8, &mut counters);
+            q
+        });
+    });
+    let q3 = pseudo(32 * 32 * 32);
+    g.bench_function("3d_seq8", |b| {
+        b.iter(|| {
+            let mut q = q3.clone();
+            let mut counters = SimtCounters::default();
+            simt_reconstruct_3d(&mut q, 32, 32, 32, 8, &mut counters);
+            q
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_scan, bench_simt_kernels);
+criterion_main!(benches);

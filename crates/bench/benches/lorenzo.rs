@@ -1,0 +1,63 @@
+//! Criterion benches for the prediction/reconstruction kernels: Lorenzo
+//! construction and the three reconstruction engines, per rank.
+//! Covers the timing claims of Tables II and VI at CPU scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuszp_predictor::{
+    construct, construct_codes, fuse_codes_and_outliers, prequantize, reconstruct_in_place,
+    Dims, ReconstructEngine, DEFAULT_CAP,
+};
+
+fn field(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i as f32 * 0.003).sin() * 20.0 + (i as f32 * 0.0007).cos() * 5.0).collect()
+}
+
+fn dims_cases() -> Vec<(&'static str, Dims)> {
+    vec![
+        ("1d", Dims::D1(1 << 18)),
+        ("2d", Dims::D2 { ny: 512, nx: 512 }),
+        ("3d", Dims::D3 { nz: 64, ny: 64, nx: 64 }),
+    ]
+}
+
+fn bench_construct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lorenzo_construct");
+    g.sample_size(10);
+    for (label, dims) in dims_cases() {
+        let data = field(dims.len());
+        let dq = prequantize(&data, 1e-3);
+        g.throughput(Throughput::Bytes((dims.len() * 4) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &dq, |b, dq| {
+            b.iter(|| construct_codes(dq, dims, DEFAULT_CAP / 2));
+        });
+    }
+    g.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lorenzo_reconstruct");
+    g.sample_size(10);
+    for (label, dims) in dims_cases() {
+        let data = field(dims.len());
+        let qf = construct(&data, dims, 1e-3, DEFAULT_CAP);
+        let fused = fuse_codes_and_outliers(&qf);
+        for engine in ReconstructEngine::ALL {
+            g.throughput(Throughput::Bytes((dims.len() * 4) as u64));
+            g.bench_with_input(
+                BenchmarkId::new(engine.name(), label),
+                &fused,
+                |b, fused| {
+                    b.iter(|| {
+                        let mut q = fused.clone();
+                        reconstruct_in_place(&mut q, dims, engine);
+                        q
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construct, bench_reconstruct);
+criterion_main!(benches);

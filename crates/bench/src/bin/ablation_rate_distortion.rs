@@ -1,0 +1,58 @@
+//! Ablation — rate-distortion behaviour: CR and PSNR as the relative
+//! error bound sweeps 1e-5..1e-1, per dataset class, for the adaptive
+//! workflow. Shows where the selector switches paths and how quality
+//! trades against ratio (the axis Tables I/IV sample at 3 points).
+//!
+//! ```sh
+//! cargo run --release -p cuszp-bench --bin ablation_rate_distortion
+//! ```
+
+use cuszp_bench::bench_scale;
+use cuszp_core::{decompress_archive, Compressor, Config, ErrorBound, ReconstructEngine};
+use cuszp_datagen::{dataset_fields, generate, DatasetKind};
+use cuszp_metrics::ErrorStats;
+
+fn main() {
+    let scale = bench_scale();
+    let cases = [
+        (DatasetKind::CesmAtm, "FSDSC"),
+        (DatasetKind::Nyx, "velocity_x"),
+        (DatasetKind::Rtm, "snapshot2800"),
+        (DatasetKind::Hacc, "vx"),
+    ];
+    println!("ABLATION: rate-distortion sweep (adaptive workflow)\n");
+    println!(
+        "{:<24} {:>8} {:>9} {:>10} {:>10} {:>8}  workflow",
+        "field", "rel eb", "CR", "bits/elem", "PSNR(dB)", "outl%"
+    );
+    for (kind, name) in cases {
+        let spec = dataset_fields(kind).into_iter().find(|s| s.name == name).unwrap();
+        let field = generate(&spec, scale);
+        for &eb in &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1] {
+            let c = Compressor::new(Config {
+                error_bound: ErrorBound::Relative(eb),
+                ..Config::default()
+            });
+            let (archive, stats) = c.compress_with_stats(&field.data, field.dims).unwrap();
+            let (recon, _) =
+                decompress_archive(&archive, ReconstructEngine::FinePartialSum).unwrap();
+            let q = ErrorStats::compute(&field.data, &recon);
+            println!(
+                "{:<24} {:>8.0e} {:>9.2} {:>10.3} {:>10.1} {:>7.2}%  {}",
+                format!("{}/{}", kind.name(), name),
+                eb,
+                stats.compression_ratio(),
+                stats.bit_rate(),
+                q.psnr,
+                stats.outlier_fraction() * 100.0,
+                stats.workflow.name()
+            );
+        }
+        println!();
+    }
+    println!(
+        "shape to verify: CR grows monotonically with eb; PSNR falls ~20 dB\n\
+         per decade of eb; the workflow flips to RLE only at loose bounds\n\
+         (where quant-codes become run-heavy), never at tight ones."
+    );
+}

@@ -1,0 +1,78 @@
+//! Table II — proof-of-concept Lorenzo-reconstruction throughput for
+//! 1/2/3-D: cuSZ's coarse kernel vs the naive partial-sum vs the
+//! optimized partial-sum, on modeled V100/A100 plus measured CPU.
+//!
+//! ```sh
+//! cargo run --release -p cuszp-bench --bin table2
+//! ```
+
+use cuszp_bench::{
+    bench_scale, estimate_for, fmt_gbps, measured_reconstruct_gbps, quantize_field,
+};
+use cuszp_datagen::{dataset_fields, DatasetKind};
+use cuszp_gpusim::cost::{modeled_throughput, KernelClass};
+use cuszp_gpusim::{A100, V100};
+use cuszp_predictor::ReconstructEngine;
+
+fn main() {
+    let scale = bench_scale();
+    // The paper's demonstration fields: HACC vx (1-D), CESM CLDHGH-class
+    // (2-D; we use the FSDSC analog), Nyx baryon-density (3-D).
+    let cases = [
+        ("1D (HACC vx)", DatasetKind::Hacc, "vx"),
+        ("2D (CESM)", DatasetKind::CesmAtm, "FSDSC"),
+        ("3D (Nyx)", DatasetKind::Nyx, "baryon_density"),
+    ];
+
+    println!("TABLE II: Lorenzo reconstruction PoC throughput (GB/s)\n");
+    println!(
+        "{:<15} {:<6} | {:>10} {:>10} {:>10} | {:>12}",
+        "case", "device", "cuSZ", "naive", "optimized", "A100 adv."
+    );
+    for (label, kind, field_name) in cases {
+        let spec = dataset_fields(kind)
+            .into_iter()
+            .find(|s| s.name == field_name)
+            .expect("field exists");
+        let (_, qf, _) = quantize_field(&spec, scale, 1e-4);
+        let est = estimate_for(kind, &qf);
+
+        let model = |dev, class| modeled_throughput(class, dev, &est);
+        let v_coarse = model(&V100, KernelClass::LorenzoReconstructCoarse);
+        let v_naive = model(&V100, KernelClass::LorenzoReconstructNaive);
+        let v_opt = model(&V100, KernelClass::LorenzoReconstruct);
+        let a_naive = model(&A100, KernelClass::LorenzoReconstructNaive);
+        let a_opt = model(&A100, KernelClass::LorenzoReconstruct);
+
+        println!(
+            "{:<15} {:<6} | {:>10} {:>10} {:>10} | {:>11.2}x",
+            label,
+            "A100*",
+            "-",
+            fmt_gbps(a_naive),
+            fmt_gbps(a_opt),
+            a_opt / v_opt
+        );
+        println!(
+            "{:<15} {:<6} | {:>10} {:>10} {:>10} | naive +{:.0}%, opt +{:.0}%",
+            "",
+            "V100*",
+            fmt_gbps(v_coarse),
+            fmt_gbps(v_naive),
+            fmt_gbps(v_opt),
+            (v_naive / v_coarse - 1.0) * 100.0,
+            (v_opt / v_naive - 1.0) * 100.0
+        );
+
+        // Measured CPU wall-clock for the three engines (same algorithms,
+        // CPU substrate; shape — coarse < naive <= optimized — carries).
+        let m_coarse = measured_reconstruct_gbps(&qf, ReconstructEngine::CoarseSerial);
+        let m_naive = measured_reconstruct_gbps(&qf, ReconstructEngine::FinePartialSumNaive);
+        let m_opt = measured_reconstruct_gbps(&qf, ReconstructEngine::FinePartialSum);
+        println!(
+            "{:<15} {:<6} | {:>10} {:>10} {:>10} |",
+            "", "CPU", fmt_gbps(m_coarse), fmt_gbps(m_naive), fmt_gbps(m_opt)
+        );
+    }
+    println!("\n* = device-model estimate (see cuszp-gpusim); CPU = measured wall-clock.");
+}

@@ -1,0 +1,38 @@
+//! Table III — the dataset inventory: every dataset analog this repo
+//! generates, its paper-scale dimensions, the benchmark-scale dimensions
+//! actually used, and the field census.
+//!
+//! ```sh
+//! cargo run --release -p cuszp-bench --bin table3
+//! ```
+
+use cuszp_bench::{bench_scale, paper_elements};
+use cuszp_datagen::{dataset_fields, DatasetKind};
+
+fn main() {
+    let scale = bench_scale();
+    println!("TABLE III: dataset inventory (synthetic analogs of SDRBench)\n");
+    println!(
+        "{:<12} {:<22} {:>14} {:>16} {:>8}  example fields",
+        "dataset", "bench dims", "bench MB", "paper elems", "#fields"
+    );
+    for kind in DatasetKind::ALL {
+        let specs = dataset_fields(kind);
+        let dims = kind.dims(scale);
+        let mb = dims.len() as f64 * 4.0 / 1e6;
+        let examples: Vec<&str> = specs.iter().take(2).map(|s| s.name).collect();
+        println!(
+            "{:<12} {:<22} {:>14.2} {:>16} {:>8}  {}",
+            kind.name(),
+            format!("{:?}", dims),
+            mb,
+            paper_elements(kind),
+            specs.len(),
+            examples.join(", ")
+        );
+    }
+    println!(
+        "\nnote: generators are calibrated per field class (see DESIGN.md §2);\n\
+         paper-scale element counts drive the V100/A100 device model."
+    );
+}

@@ -1,0 +1,102 @@
+//! Table V — throughput and CR of cuSZ+ Workflow-RLE vs cuSZ
+//! Workflow-Huffman on example RTM / CESM / Nyx fields.
+//!
+//! Reports the coding-kernel throughput (Huffman for cuSZ, RLE for ours)
+//! and the overall compression throughput, on modeled V100/A100 plus
+//! measured CPU, alongside the achieved compression ratio.
+//!
+//! ```sh
+//! cargo run --release -p cuszp-bench --bin table5
+//! ```
+
+use cuszp_bench::{
+    bench_scale, estimate_for, fmt_gbps, measured_huffman_encode_gbps, measured_rle_gbps,
+    quantize_field, workflow_ratios,
+};
+use cuszp_datagen::{dataset_fields, DatasetKind};
+use cuszp_gpusim::cost::{modeled_time, modeled_throughput, KernelClass};
+use cuszp_gpusim::{DeviceSpec, A100, V100};
+
+/// Overall compression throughput with a given coding kernel replacing
+/// Huffman in the pipeline composition.
+fn overall_with(dev: &DeviceSpec, est: &cuszp_gpusim::cost::KernelEstimate, coding: KernelClass) -> f64 {
+    let t: f64 = [
+        KernelClass::LorenzoConstruct,
+        KernelClass::GatherOutlier,
+        KernelClass::Histogram,
+        coding,
+    ]
+    .iter()
+    .map(|&k| modeled_time(k, dev, est))
+    .sum();
+    est.n_elems as f64 * 4.0 / t / 1e9
+}
+
+fn main() {
+    let scale = bench_scale();
+    let cases = [
+        (DatasetKind::Rtm, "snapshot2800"),
+        (DatasetKind::CesmAtm, "FSDSC"),
+        (DatasetKind::Nyx, "baryon_density"),
+    ];
+    let eb = 1e-2;
+
+    println!("TABLE V: Workflow-RLE (ours) vs Workflow-Huffman (cuSZ), rel eb 1e-2\n");
+    println!(
+        "{:<22} {:<6} | {:>10} {:>9} | {:>10} {:>9} | {:>8}",
+        "field", "", "V100 code", "overall", "A100 code", "overall", "CR"
+    );
+    for (kind, name) in cases {
+        let spec = dataset_fields(kind).into_iter().find(|s| s.name == name).unwrap();
+        let (field, qf, _) = quantize_field(&spec, scale, eb);
+        let est = estimate_for(kind, &qf);
+        let wf = workflow_ratios(&field, eb);
+
+        // ours: RLE coding kernel.
+        let v_rle = modeled_throughput(KernelClass::RleEncode, &V100, &est);
+        let a_rle = modeled_throughput(KernelClass::RleEncode, &A100, &est);
+        let v_all = overall_with(&V100, &est, KernelClass::RleEncode);
+        let a_all = overall_with(&A100, &est, KernelClass::RleEncode);
+        println!(
+            "{:<22} {:<6} | {:>10} {:>9} | {:>10} {:>9} | {:>7.1}x",
+            format!("{}/{}", kind.name(), name),
+            "ours",
+            fmt_gbps(v_rle),
+            fmt_gbps(v_all),
+            fmt_gbps(a_rle),
+            fmt_gbps(a_all),
+            wf.rle_vle.max(wf.rle)
+        );
+
+        // cuSZ: Huffman coding kernel.
+        let v_h = modeled_throughput(KernelClass::HuffmanEncode, &V100, &est);
+        let a_h = modeled_throughput(KernelClass::HuffmanEncode, &A100, &est);
+        let v_allh = overall_with(&V100, &est, KernelClass::HuffmanEncode);
+        let a_allh = overall_with(&A100, &est, KernelClass::HuffmanEncode);
+        println!(
+            "{:<22} {:<6} | {:>10} {:>9} | {:>10} {:>9} | {:>7.1}x",
+            "",
+            "cuSZ",
+            fmt_gbps(v_h),
+            fmt_gbps(v_allh),
+            fmt_gbps(a_h),
+            fmt_gbps(a_allh),
+            wf.vle
+        );
+
+        // Measured CPU coding-kernel throughputs for transparency.
+        let m_rle = measured_rle_gbps(&qf);
+        let m_h = measured_huffman_encode_gbps(&qf);
+        println!(
+            "{:<22} {:<6} | CPU measured: RLE {} GB/s, Huffman {} GB/s",
+            "",
+            "CPU",
+            fmt_gbps(m_rle),
+            fmt_gbps(m_h)
+        );
+    }
+    println!(
+        "\npaper's shape: the RLE path keeps a comparable overall throughput\n\
+         while lifting the smooth-field CRs well beyond the Huffman 32x cap."
+    );
+}

@@ -1,0 +1,287 @@
+//! Shared harness for the paper-reproduction benchmark binaries.
+//!
+//! Every table and figure of the cuSZ+ paper has a `table*`/`fig*` binary
+//! in `src/bin/` that regenerates it (see DESIGN.md §4 for the index).
+//! This library holds the common plumbing: scale selection, per-field
+//! compression measurements, the model-vs-measured throughput wrappers,
+//! and the paper's full-size field dimensions for the device model.
+
+use cuszp_analysis::WorkflowChoice;
+use cuszp_core::{Compressor, Config, ErrorBound, WorkflowMode};
+use cuszp_datagen::{generate, DatasetKind, Field, FieldSpec, Scale};
+use cuszp_gpusim::cost::KernelEstimate;
+use cuszp_huffman::{build_codebook, encode, histogram};
+use cuszp_metrics::{gbps, KernelTimer};
+use cuszp_predictor::{
+    construct, prequantize, reconstruct_in_place, QuantField, ReconstructEngine, DEFAULT_CAP,
+};
+use std::time::Duration;
+
+/// Benchmark scale, from `CUSZP_BENCH_SCALE` (`tiny` | `small`).
+///
+/// `small` (~10⁶-element fields) is the default for `cargo run` table
+/// binaries; set `tiny` for smoke runs.
+pub fn bench_scale() -> Scale {
+    match std::env::var("CUSZP_BENCH_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        _ => Scale::Small,
+    }
+}
+
+/// Timed repetitions, from `CUSZP_BENCH_REPS` (default 2).
+pub fn bench_reps() -> u32 {
+    std::env::var("CUSZP_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+/// The paper's full-size element counts per dataset (Table III), used to
+/// drive the device model at realistic sizes.
+pub fn paper_elements(kind: DatasetKind) -> usize {
+    match kind {
+        DatasetKind::Hacc => 280_953_867,
+        DatasetKind::CesmAtm => 1_800 * 3_600,
+        DatasetKind::Hurricane => 100 * 500 * 500,
+        DatasetKind::Nyx => 512 * 512 * 512,
+        DatasetKind::Rtm => 449 * 449 * 235,
+        DatasetKind::Miranda => 256 * 384 * 384,
+        DatasetKind::Qmcpack => 288 * 115 * 69 * 69, // 4-D reinterpreted as 3-D
+    }
+}
+
+/// Rank of a dataset's fields.
+pub fn dataset_rank(kind: DatasetKind) -> usize {
+    match kind {
+        DatasetKind::Hacc => 1,
+        DatasetKind::CesmAtm => 2,
+        _ => 3,
+    }
+}
+
+/// A representative moderate-compressibility field per dataset, used to
+/// seed the device model's per-dataset parameters (HACC's position
+/// fields are deliberately near-incompressible and would skew the
+/// outlier statistics the way no aggregate ever would).
+pub fn representative_field(kind: DatasetKind) -> FieldSpec {
+    let name = match kind {
+        DatasetKind::Hacc => "vx",
+        DatasetKind::CesmAtm => "PSL",
+        DatasetKind::Hurricane => "Uf48",
+        DatasetKind::Nyx => "velocity_x",
+        DatasetKind::Rtm => "snapshot2800",
+        DatasetKind::Miranda => "pressure",
+        DatasetKind::Qmcpack => "einspline_288",
+    };
+    cuszp_datagen::dataset_fields(kind)
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("representative field exists")
+}
+
+/// Generates a field and its quantized form at the given relative bound.
+pub fn quantize_field(spec: &FieldSpec, scale: Scale, rel_eb: f64) -> (Field, QuantField, f64) {
+    let field = generate(spec, scale);
+    let eb = ErrorBound::Relative(rel_eb).absolute(&field.data);
+    let qf = construct(&field.data, field.dims, eb, DEFAULT_CAP);
+    (field, qf, eb)
+}
+
+/// A device-model estimate seeded with a field's measured outlier rate.
+pub fn estimate_for(kind: DatasetKind, qf: &QuantField) -> KernelEstimate {
+    KernelEstimate {
+        n_elems: paper_elements(kind),
+        rank: dataset_rank(kind),
+        outlier_fraction: qf.outlier_fraction(),
+    }
+}
+
+/// Compression ratios of the paper's ablation schemes over one field:
+/// `qg` (codes through the gzip stand-in), `qh` (multi-byte Huffman,
+/// cuSZ), `qhg` (Huffman then gzip — the CPU-SZ reference).
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeRatios {
+    /// quant-codes → generic lossless (single-byte interpretation).
+    pub qg: f64,
+    /// quant-codes → multi-byte Huffman (cuSZ).
+    pub qh: f64,
+    /// quant-codes → Huffman → generic lossless (CPU-SZ reference).
+    pub qhg: f64,
+}
+
+/// Computes the `qg`/`qh`/`qhg` compression ratios for one field.
+///
+/// Outlier storage is charged to every scheme identically, as in the
+/// paper (the schemes differ only in the code-stream coding).
+pub fn scheme_ratios(field: &Field, qf: &QuantField) -> SchemeRatios {
+    let original = field.bytes() as f64;
+    let outliers = qf.outliers.storage_bytes() as f64;
+
+    // qg: the code stream as little-endian bytes through the LZ codec.
+    let code_bytes: Vec<u8> = qf.codes.iter().flat_map(|c| c.to_le_bytes()).collect();
+    let qg_bytes = cuszp_lossless::compress(&code_bytes).len() as f64;
+
+    // qh: multi-byte Huffman.
+    let hist = histogram(&qf.codes, qf.cap() as usize);
+    let book = build_codebook(&hist);
+    let enc = encode(&qf.codes, &book, cuszp_huffman::DEFAULT_ENCODE_CHUNK);
+    let qh_bytes = enc.storage_bytes() as f64;
+
+    // qhg: gzip the deflated Huffman payload.
+    let qhg_bytes = cuszp_lossless::compress(&enc.payload).len() as f64
+        + (enc.storage_bytes() - enc.payload.len()) as f64;
+
+    SchemeRatios {
+        qg: original / (qg_bytes + outliers),
+        qh: original / (qh_bytes + outliers),
+        qhg: original / (qhg_bytes + outliers),
+    }
+}
+
+/// Workflow compression ratios for Table IV/V: cuSZ-VLE, ours-RLE,
+/// ours-RLE+VLE (all including outlier storage).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkflowRatios {
+    /// cuSZ's Workflow-Huffman.
+    pub vle: f64,
+    /// cuSZ+ Workflow-RLE (uncompressed run arrays).
+    pub rle: f64,
+    /// cuSZ+ Workflow-RLE with the trailing VLE pass.
+    pub rle_vle: f64,
+}
+
+/// Measures the three workflows' ratios on one field.
+pub fn workflow_ratios(field: &Field, rel_eb: f64) -> WorkflowRatios {
+    let measure = |choice| {
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Relative(rel_eb),
+            workflow: WorkflowMode::Force(choice),
+            ..Config::default()
+        });
+        let (_, stats) = c.compress_with_stats(&field.data, field.dims).unwrap();
+        stats.compression_ratio()
+    };
+    WorkflowRatios {
+        vle: measure(WorkflowChoice::Huffman),
+        rle: measure(WorkflowChoice::Rle),
+        rle_vle: measure(WorkflowChoice::RleVle),
+    }
+}
+
+/// Wall-clock CPU throughput (field GB/s) of one reconstruction engine.
+pub fn measured_reconstruct_gbps(qf: &QuantField, engine: ReconstructEngine) -> f64 {
+    let fused = cuszp_predictor::fuse_codes_and_outliers(qf);
+    let bytes = qf.dims.len() * 4;
+    let timer = KernelTimer::new(bench_reps());
+    let d = timer.time(|| {
+        let mut q = fused.clone();
+        reconstruct_in_place(&mut q, qf.dims, engine);
+        std::hint::black_box(&q);
+    });
+    // Subtract nothing for the clone: report conservatively.
+    gbps(bytes, d)
+}
+
+/// Wall-clock CPU throughput of the Lorenzo construction kernel.
+pub fn measured_construct_gbps(field: &Field, eb: f64) -> f64 {
+    let dq = prequantize(&field.data, eb);
+    let timer = KernelTimer::new(bench_reps());
+    let d = timer.time(|| {
+        let codes = cuszp_predictor::construct_codes(&dq, field.dims, DEFAULT_CAP / 2);
+        std::hint::black_box(&codes);
+    });
+    gbps(field.bytes(), d)
+}
+
+/// Wall-clock CPU throughput of Huffman encoding over a code stream.
+pub fn measured_huffman_encode_gbps(qf: &QuantField) -> f64 {
+    let hist = histogram(&qf.codes, qf.cap() as usize);
+    let book = build_codebook(&hist);
+    let timer = KernelTimer::new(bench_reps());
+    let d = timer.time(|| {
+        let enc = encode(&qf.codes, &book, cuszp_huffman::DEFAULT_ENCODE_CHUNK);
+        std::hint::black_box(&enc);
+    });
+    gbps(qf.dims.len() * 4, d)
+}
+
+/// Wall-clock CPU throughput of RLE over a code stream.
+pub fn measured_rle_gbps(qf: &QuantField) -> f64 {
+    let timer = KernelTimer::new(bench_reps());
+    let d = timer.time(|| {
+        let enc = cuszp_rle::rle_encode(&qf.codes);
+        std::hint::black_box(&enc);
+    });
+    gbps(qf.dims.len() * 4, d)
+}
+
+/// Pretty throughput formatting with sub-GB/s resolution.
+pub fn fmt_gbps(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// `Duration` → milliseconds with 2 decimals (for log lines).
+pub fn ms(d: Duration) -> String {
+    format!("{:.2} ms", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszp_datagen::dataset_fields;
+
+    #[test]
+    fn scheme_ratios_are_ordered_sanely() {
+        // qhg adds pattern-finding on top of qh, so qhg ≥ qh (up to tiny
+        // container overheads) on smooth fields.
+        let spec = dataset_fields(DatasetKind::CesmAtm)
+            .into_iter()
+            .find(|s| s.name == "FSDSC")
+            .unwrap();
+        let (field, qf, _) = quantize_field(&spec, Scale::Tiny, 1e-2);
+        let r = scheme_ratios(&field, &qf);
+        assert!(r.qh > 1.0 && r.qg > 1.0 && r.qhg > 1.0);
+        assert!(r.qhg >= r.qh * 0.95, "qhg {} vs qh {}", r.qhg, r.qh);
+    }
+
+    #[test]
+    fn workflow_ratios_cover_all_three() {
+        let spec = dataset_fields(DatasetKind::CesmAtm)
+            .into_iter()
+            .find(|s| s.name == "SOLIN")
+            .unwrap();
+        let field = generate(&spec, Scale::Tiny);
+        let r = workflow_ratios(&field, 1e-2);
+        assert!(r.vle > 1.0 && r.rle > 1.0 && r.rle_vle > 1.0);
+        // SOLIN is zonal-banded: RLE must crush VLE here.
+        assert!(r.rle > r.vle, "rle {} vle {}", r.rle, r.vle);
+    }
+
+    #[test]
+    fn measured_kernels_return_finite_throughput() {
+        let spec = dataset_fields(DatasetKind::Nyx)[3]; // velocity_x
+        let (field, qf, eb) = quantize_field(&spec, Scale::Tiny, 1e-3);
+        assert!(measured_construct_gbps(&field, eb).is_finite());
+        for e in ReconstructEngine::ALL {
+            let tp = measured_reconstruct_gbps(&qf, e);
+            assert!(tp.is_finite() && tp > 0.0);
+        }
+        assert!(measured_huffman_encode_gbps(&qf) > 0.0);
+        assert!(measured_rle_gbps(&qf) > 0.0);
+    }
+
+    #[test]
+    fn paper_dims_match_table_iii() {
+        assert_eq!(paper_elements(DatasetKind::Hacc), 280_953_867);
+        assert_eq!(paper_elements(DatasetKind::Nyx), 134_217_728);
+        // QMCPACK: 601.52 MB of f32 = 157.7M elements (288×115×69×69).
+        assert_eq!(paper_elements(DatasetKind::Qmcpack), 157_684_320);
+        assert_eq!(dataset_rank(DatasetKind::CesmAtm), 2);
+    }
+}

@@ -1,0 +1,404 @@
+//! Archive container: a self-describing byte layout for one compressed
+//! field.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! [magic u32][version u16][workflow u8][rank u8]
+//! [extent_z u64][extent_y u64][extent_x u64]
+//! [eb f64][cap u16][pad 6][n_outliers u64][payload_len u64][checksum u64]
+//! payload:
+//!   outlier indices (n·u64), outlier values (n·i64), codes section
+//! ```
+//!
+//! The checksum is FNV-1a over the payload so storage corruption is
+//! detected before reconstruction runs.
+
+use crate::error::CuszpError;
+use crate::workflow::{decode_codes, CodesPayload};
+use crate::Predictor;
+use cuszp_huffman::HuffmanEncoded;
+use cuszp_predictor::{Dims, OutlierList, QuantField};
+use cuszp_rle::{RleEncoded, RleVleEncoded};
+
+const MAGIC: u32 = 0x2B5A_5343; // "CSZ+"
+const VERSION: u16 = 1;
+const HEADER_BYTES: usize = 4 + 2 + 1 + 1 + 24 + 8 + 2 + 6 + 8 + 8 + 8;
+
+/// Element type of the compressed field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dtype {
+    /// 32-bit IEEE-754.
+    F32,
+    /// 64-bit IEEE-754.
+    F64,
+}
+
+impl Dtype {
+    /// Display name ("f32"/"f64").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+        }
+    }
+
+    /// Bytes per element.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Dtype::F32 => 4,
+            Dtype::F64 => 8,
+        }
+    }
+}
+
+/// A compressed field: header parameters plus the coded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Archive {
+    /// Element type the field was compressed from.
+    pub dtype: Dtype,
+    /// Prediction scheme used at compression time.
+    pub predictor: Predictor,
+    /// Field dimensions.
+    pub dims: Dims,
+    /// Absolute error bound used at compression time.
+    pub eb: f64,
+    /// Quantization cap.
+    pub cap: u16,
+    /// Sparse outliers.
+    pub outliers: OutlierList,
+    /// Entropy-coded quant-codes.
+    pub payload: CodesPayload,
+}
+
+impl Archive {
+    /// Assembles an archive from the prediction stage's output and the
+    /// chosen coding payload.
+    pub(crate) fn assemble(
+        qf: QuantField,
+        payload: CodesPayload,
+        dtype: Dtype,
+        predictor: Predictor,
+    ) -> Self {
+        Self {
+            dtype,
+            predictor,
+            dims: qf.dims,
+            eb: qf.eb,
+            cap: qf.radius * 2,
+            outliers: qf.outliers,
+            payload,
+        }
+    }
+
+    /// Rebuilds the [`QuantField`] (decoding the code payload).
+    pub fn to_quant_field(&self) -> Result<QuantField, CuszpError> {
+        let codes = decode_codes(&self.payload);
+        if codes.len() != self.dims.len() {
+            return Err(CuszpError::MalformedArchive("decoded code count mismatches dims"));
+        }
+        Ok(QuantField {
+            codes,
+            outliers: self.outliers.clone(),
+            radius: self.cap / 2,
+            dims: self.dims,
+            eb: self.eb,
+        })
+    }
+
+    /// Total serialized size in bytes.
+    pub fn serialized_bytes(&self) -> usize {
+        HEADER_BYTES + self.outliers.storage_bytes() + codes_section_len(&self.payload)
+    }
+
+    /// Serializes the archive.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.serialized_bytes() - HEADER_BYTES);
+        for &i in &self.outliers.indices {
+            payload.extend_from_slice(&i.to_le_bytes());
+        }
+        for &v in &self.outliers.values {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        write_codes_section(&self.payload, &mut payload);
+
+        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(workflow_tag(&self.payload));
+        out.push(self.dims.rank() as u8);
+        for e in self.dims.extents() {
+            out.extend_from_slice(&(e as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&self.eb.to_le_bytes());
+        out.extend_from_slice(&self.cap.to_le_bytes());
+        out.push(match self.dtype {
+            Dtype::F32 => 0,
+            Dtype::F64 => 1,
+        });
+        out.push(match self.predictor {
+            Predictor::Lorenzo => 0,
+            Predictor::Interpolation => 1,
+        });
+        out.extend_from_slice(&[0u8; 4]);
+        out.extend_from_slice(&(self.outliers.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses an archive from bytes, verifying structure and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(CuszpError::MalformedArchive("shorter than header"));
+        }
+        let mut pos = 0usize;
+        let rd = |pos: &mut usize, n: usize| -> &[u8] {
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            s
+        };
+        let magic = u32::from_le_bytes(rd(&mut pos, 4).try_into().unwrap());
+        if magic != MAGIC {
+            return Err(CuszpError::MalformedArchive("bad magic"));
+        }
+        let version = u16::from_le_bytes(rd(&mut pos, 2).try_into().unwrap());
+        if version != VERSION {
+            return Err(CuszpError::UnsupportedVersion(version));
+        }
+        let workflow = rd(&mut pos, 1)[0];
+        let rank = rd(&mut pos, 1)[0];
+        let ez = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap()) as usize;
+        let ey = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap()) as usize;
+        let ex = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap()) as usize;
+        let eb = f64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap());
+        let cap = u16::from_le_bytes(rd(&mut pos, 2).try_into().unwrap());
+        let dtype = match rd(&mut pos, 1)[0] {
+            0 => Dtype::F32,
+            1 => Dtype::F64,
+            _ => return Err(CuszpError::MalformedArchive("bad dtype")),
+        };
+        let predictor = match rd(&mut pos, 1)[0] {
+            0 => Predictor::Lorenzo,
+            1 => Predictor::Interpolation,
+            _ => return Err(CuszpError::MalformedArchive("bad predictor")),
+        };
+        let _pad = rd(&mut pos, 4);
+        let n_outliers = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap());
+
+        let dims = match rank {
+            1 => Dims::D1(ex),
+            2 => Dims::D2 { ny: ey, nx: ex },
+            3 => Dims::D3 { nz: ez, ny: ey, nx: ex },
+            _ => return Err(CuszpError::MalformedArchive("bad rank")),
+        };
+        if cap < 4 || cap % 2 != 0 {
+            return Err(CuszpError::MalformedArchive("bad cap"));
+        }
+        let payload = bytes
+            .get(pos..pos + payload_len)
+            .ok_or(CuszpError::MalformedArchive("truncated payload"))?;
+        let actual = fnv1a(payload);
+        if actual != checksum {
+            return Err(CuszpError::ChecksumMismatch { expected: checksum, actual });
+        }
+
+        let mut p = 0usize;
+        let need = n_outliers
+            .checked_mul(16)
+            .ok_or(CuszpError::MalformedArchive("outlier count overflow"))?;
+        if payload.len() < need {
+            return Err(CuszpError::MalformedArchive("truncated outliers"));
+        }
+        let mut indices = Vec::with_capacity(n_outliers);
+        for _ in 0..n_outliers {
+            indices.push(u64::from_le_bytes(payload[p..p + 8].try_into().unwrap()));
+            p += 8;
+        }
+        let mut values = Vec::with_capacity(n_outliers);
+        for _ in 0..n_outliers {
+            values.push(i64::from_le_bytes(payload[p..p + 8].try_into().unwrap()));
+            p += 8;
+        }
+        let codes = read_codes_section(workflow, &payload[p..])?;
+        Ok(Self {
+            dtype,
+            predictor,
+            dims,
+            eb,
+            cap,
+            outliers: OutlierList { indices, values },
+            payload: codes,
+        })
+    }
+}
+
+fn workflow_tag(payload: &CodesPayload) -> u8 {
+    match payload {
+        CodesPayload::Huffman(_) => 0,
+        CodesPayload::Rle(_) => 1,
+        CodesPayload::RleVle(_) => 2,
+    }
+}
+
+fn codes_section_len(payload: &CodesPayload) -> usize {
+    match payload {
+        CodesPayload::Huffman(h) => h.to_bytes().len(),
+        CodesPayload::Rle(r) => 16 + r.values.len() * 2 + r.counts.len() * 4,
+        CodesPayload::RleVle(rv) => 16 + rv.values.to_bytes().len() + rv.counts.to_bytes().len(),
+    }
+}
+
+fn write_codes_section(payload: &CodesPayload, out: &mut Vec<u8>) {
+    match payload {
+        CodesPayload::Huffman(h) => out.extend_from_slice(&h.to_bytes()),
+        CodesPayload::Rle(r) => {
+            out.extend_from_slice(&r.n.to_le_bytes());
+            out.extend_from_slice(&(r.values.len() as u64).to_le_bytes());
+            for &v in &r.values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for &c in &r.counts {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        CodesPayload::RleVle(rv) => {
+            out.extend_from_slice(&rv.n.to_le_bytes());
+            out.extend_from_slice(&rv.n_runs.to_le_bytes());
+            out.extend_from_slice(&rv.values.to_bytes());
+            out.extend_from_slice(&rv.counts.to_bytes());
+        }
+    }
+}
+
+fn read_codes_section(tag: u8, bytes: &[u8]) -> Result<CodesPayload, CuszpError> {
+    match tag {
+        0 => {
+            let (enc, _) = HuffmanEncoded::from_bytes(bytes)
+                .ok_or(CuszpError::MalformedArchive("truncated Huffman section"))?;
+            Ok(CodesPayload::Huffman(enc))
+        }
+        1 => {
+            if bytes.len() < 16 {
+                return Err(CuszpError::MalformedArchive("truncated RLE section"));
+            }
+            let n = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+            let n_runs = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+            let need = 16 + n_runs * 2 + n_runs * 4;
+            if bytes.len() < need {
+                return Err(CuszpError::MalformedArchive("truncated RLE arrays"));
+            }
+            let mut p = 16usize;
+            let mut values = Vec::with_capacity(n_runs);
+            for _ in 0..n_runs {
+                values.push(u16::from_le_bytes(bytes[p..p + 2].try_into().unwrap()));
+                p += 2;
+            }
+            let mut counts = Vec::with_capacity(n_runs);
+            for _ in 0..n_runs {
+                counts.push(u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()));
+                p += 4;
+            }
+            Ok(CodesPayload::Rle(RleEncoded { values, counts, n }))
+        }
+        2 => {
+            if bytes.len() < 16 {
+                return Err(CuszpError::MalformedArchive("truncated RLE+VLE section"));
+            }
+            let n = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+            let n_runs = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+            let (values, used) = HuffmanEncoded::from_bytes(&bytes[16..])
+                .ok_or(CuszpError::MalformedArchive("truncated RLE+VLE values"))?;
+            let (counts, _) = HuffmanEncoded::from_bytes(&bytes[16 + used..])
+                .ok_or(CuszpError::MalformedArchive("truncated RLE+VLE counts"))?;
+            Ok(CodesPayload::RleVle(RleVleEncoded { values, counts, n, n_runs }))
+        }
+        _ => Err(CuszpError::MalformedArchive("unknown workflow tag")),
+    }
+}
+
+/// FNV-1a 64-bit hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compressor, Config, WorkflowMode};
+    use cuszp_analysis::WorkflowChoice;
+
+    fn archive_for(workflow: WorkflowMode) -> Archive {
+        let data: Vec<f32> = (0..5000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let c = Compressor::new(Config { workflow, ..Config::default() });
+        c.compress(&data, Dims::D1(5000)).unwrap()
+    }
+
+    #[test]
+    fn serialization_round_trips_every_workflow() {
+        for wf in [WorkflowChoice::Huffman, WorkflowChoice::Rle, WorkflowChoice::RleVle] {
+            let a = archive_for(WorkflowMode::Force(wf));
+            let bytes = a.to_bytes();
+            let b = Archive::from_bytes(&bytes).unwrap();
+            assert_eq!(a, b, "{}", wf.name());
+            assert_eq!(bytes.len(), a.serialized_bytes(), "{}", wf.name());
+        }
+    }
+
+    #[test]
+    fn dims_survive_all_ranks() {
+        let data: Vec<f32> = (0..5040).map(|i| (i as f32 * 0.02).cos()).collect();
+        let c = Compressor::default();
+        for dims in [
+            Dims::D1(5040),
+            Dims::D2 { ny: 60, nx: 84 },
+            Dims::D3 { nz: 7, ny: 24, nx: 30 },
+        ] {
+            let a = c.compress(&data, dims).unwrap();
+            let b = Archive::from_bytes(&a.to_bytes()).unwrap();
+            assert_eq!(b.dims, dims);
+        }
+    }
+
+    #[test]
+    fn checksum_detects_every_byte_position() {
+        let a = archive_for(WorkflowMode::Auto);
+        let bytes = a.to_bytes();
+        // Flip a byte somewhere in the payload region (sample a few).
+        for off in [0usize, 7, 13] {
+            let mut corrupt = bytes.clone();
+            let idx = bytes.len() - 1 - off;
+            corrupt[idx] ^= 0x01;
+            assert!(
+                Archive::from_bytes(&corrupt).is_err(),
+                "flip at payload offset -{off} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn header_size_constant_matches_layout() {
+        let a = archive_for(WorkflowMode::Force(WorkflowChoice::Huffman));
+        let bytes = a.to_bytes();
+        // payload_len field sits at offset HEADER_BYTES-16; verify it.
+        let off = HEADER_BYTES - 16;
+        let payload_len =
+            u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+        assert_eq!(HEADER_BYTES + payload_len, bytes.len());
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the compression pipeline.
+
+/// Everything that can go wrong in compression or decompression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CuszpError {
+    /// Data length does not match the declared dimensions.
+    DimsMismatch {
+        /// Elements supplied.
+        data: usize,
+        /// Elements implied by the dimensions.
+        dims: usize,
+    },
+    /// Input contains NaN or infinity (prequantization is undefined).
+    NonFiniteInput,
+    /// The resolved absolute error bound is not positive and finite.
+    InvalidErrorBound(f64),
+    /// Archive bytes are truncated or structurally invalid.
+    MalformedArchive(&'static str),
+    /// Archive checksum mismatch (corruption in transit/storage).
+    ChecksumMismatch {
+        /// Stored checksum.
+        expected: u64,
+        /// Recomputed checksum.
+        actual: u64,
+    },
+    /// Archive was produced by an unsupported format version.
+    UnsupportedVersion(u16),
+    /// Archive holds a different element type than the decompression
+    /// entry point requested (`f32` vs `f64`).
+    DtypeMismatch {
+        /// Dtype stored in the archive ("f32"/"f64").
+        stored: &'static str,
+        /// Dtype the caller asked for.
+        requested: &'static str,
+    },
+}
+
+impl std::fmt::Display for CuszpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CuszpError::DimsMismatch { data, dims } => {
+                write!(f, "data has {data} elements but dims declare {dims}")
+            }
+            CuszpError::NonFiniteInput => write!(f, "input contains NaN or infinity"),
+            CuszpError::InvalidErrorBound(eb) => {
+                write!(f, "error bound must be positive and finite, got {eb}")
+            }
+            CuszpError::MalformedArchive(what) => write!(f, "malformed archive: {what}"),
+            CuszpError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#x}, computed {actual:#x}")
+            }
+            CuszpError::UnsupportedVersion(v) => write!(f, "unsupported archive version {v}"),
+            CuszpError::DtypeMismatch { stored, requested } => {
+                write!(f, "archive holds {stored} data but {requested} was requested")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CuszpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CuszpError::DimsMismatch { data: 5, dims: 6 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('6'));
+        assert!(CuszpError::NonFiniteInput.to_string().contains("NaN"));
+        assert!(CuszpError::InvalidErrorBound(-1.0).to_string().contains("-1"));
+        assert!(CuszpError::MalformedArchive("truncated header")
+            .to_string()
+            .contains("truncated"));
+        let e = CuszpError::ChecksumMismatch { expected: 0xAB, actual: 0xCD };
+        assert!(e.to_string().contains("ab") || e.to_string().contains("0xab"));
+        assert!(CuszpError::UnsupportedVersion(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,419 @@
+//! cuSZ+ compression pipeline: the public API of the reproduction.
+//!
+//! ```text
+//!            ┌────────────── compression ──────────────┐
+//!  f32 field → prequant → Lorenzo+postquant → [analyze] → Workflow-Huffman
+//!                                   │                     or Workflow-RLE(+VLE)
+//!                                   └→ gather outliers  → archive
+//!
+//!            ┌───────────── decompression ─────────────┐
+//!  archive → decode codes → fuse outliers → N-D partial-sum → dequant → f32
+//! ```
+//!
+//! The two workflow paths and the histogram-driven selection between them
+//! are the paper's §III contribution; the partial-sum reconstruction is
+//! §IV. See [`Config`] for the adaptive/forced workflow switch and
+//! [`Compressor::compress`] / [`decompress`] for the entry points.
+//!
+//! # Example
+//!
+//! ```
+//! use cuszp_core::{Compressor, Config, ErrorBound};
+//! use cuszp_predictor::Dims;
+//!
+//! let field: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+//! let config = Config { error_bound: ErrorBound::Relative(1e-3), ..Config::default() };
+//! let compressor = Compressor::new(config);
+//! let archive = compressor.compress(&field, Dims::D1(4096)).unwrap();
+//! let bytes = archive.to_bytes();
+//!
+//! let (recon, dims) = cuszp_core::decompress(&bytes).unwrap();
+//! assert_eq!(dims, Dims::D1(4096));
+//! for (o, r) in field.iter().zip(&recon) {
+//!     assert!((o - r).abs() <= 2e-3 * 2.0); // range = 2 → abs eb = 2e-3
+//! }
+//! ```
+
+mod archive;
+mod error;
+mod snapshot;
+mod stats;
+mod stream;
+mod workflow;
+
+pub use archive::{Archive, Dtype};
+pub use error::CuszpError;
+pub use snapshot::{Snapshot, SnapshotEntry};
+pub use stats::CompressionStats;
+pub use stream::StreamArchive;
+pub use workflow::{CodesPayload, WorkflowMode};
+
+pub use cuszp_analysis::{CompressibilityReport, WorkflowChoice};
+pub use cuszp_predictor::{Dims, ReconstructEngine};
+
+/// Which prediction scheme drives quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Predictor {
+    /// First-order Lorenzo (the paper's default; partial-sum
+    /// reconstruction).
+    #[default]
+    Lorenzo,
+    /// Multi-level cubic interpolation (SZ3-style; the paper's cited
+    /// follow-up direction). Often stronger on long-range-smooth 3-D
+    /// fields; reconstruction is level-parallel.
+    Interpolation,
+}
+
+impl Predictor {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Predictor::Lorenzo => "lorenzo",
+            Predictor::Interpolation => "interpolation",
+        }
+    }
+}
+
+/// How the error bound is specified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute bound: `max |orig − recon| ≤ eb`.
+    Absolute(f64),
+    /// Bound relative to the field's value range: `eb_abs = eb · range`.
+    /// This is the mode of all the paper's experiments.
+    Relative(f64),
+}
+
+impl ErrorBound {
+    /// Resolves to an absolute bound given the data.
+    ///
+    /// A constant field has zero range; the relative mode falls back to a
+    /// tiny absolute bound so the pipeline stays well-defined.
+    pub fn absolute(&self, data: &[f32]) -> f64 {
+        self.absolute_scalar(data)
+    }
+
+    /// Generic resolution over `f32`/`f64` fields.
+    pub fn absolute_scalar<T: cuszp_predictor::Scalar>(&self, data: &[T]) -> f64 {
+        match *self {
+            ErrorBound::Absolute(eb) => eb,
+            ErrorBound::Relative(rel) => {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for x in data {
+                    let v = x.to_f64();
+                    if v < lo {
+                        lo = v;
+                    }
+                    if v > hi {
+                        hi = v;
+                    }
+                }
+                let range = if data.is_empty() { 0.0 } else { hi - lo };
+                if range > 0.0 {
+                    rel * range
+                } else {
+                    rel.max(f64::MIN_POSITIVE) * 1.0
+                }
+            }
+        }
+    }
+}
+
+/// Compression configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Error bound (default: relative 1e-4, the paper's default).
+    pub error_bound: ErrorBound,
+    /// Quantization bins (default 1024, must be even, ≥ 4).
+    pub cap: u16,
+    /// Coding workflow: adaptive (paper's framework) or forced.
+    pub workflow: WorkflowMode,
+    /// Prediction scheme (default: first-order Lorenzo).
+    pub predictor: Predictor,
+    /// Reconstruction engine used by [`decompress_archive`]'s convenience
+    /// path (decompression can also pick per call).
+    pub engine: ReconstructEngine,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            error_bound: ErrorBound::Relative(1e-4),
+            cap: cuszp_predictor::DEFAULT_CAP,
+            workflow: WorkflowMode::Auto,
+            predictor: Predictor::default(),
+            engine: ReconstructEngine::FinePartialSum,
+        }
+    }
+}
+
+/// The compressor: a configured pipeline front-end.
+#[derive(Debug, Clone, Default)]
+pub struct Compressor {
+    config: Config,
+}
+
+impl Compressor {
+    /// Creates a compressor with the given configuration.
+    pub fn new(config: Config) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Compresses an `f32` field, returning the archive.
+    pub fn compress(&self, data: &[f32], dims: Dims) -> Result<Archive, CuszpError> {
+        self.compress_with_stats(data, dims).map(|(a, _)| a)
+    }
+
+    /// Compresses an `f32` field and reports per-stage statistics.
+    pub fn compress_with_stats(
+        &self,
+        data: &[f32],
+        dims: Dims,
+    ) -> Result<(Archive, CompressionStats), CuszpError> {
+        self.compress_impl(data, dims, Dtype::F32)
+    }
+
+    /// Compresses an `f64` (double-precision) field. Doubles raise the
+    /// Huffman-cap ratio to 64× (the paper's double-precision note).
+    pub fn compress_f64(&self, data: &[f64], dims: Dims) -> Result<Archive, CuszpError> {
+        self.compress_f64_with_stats(data, dims).map(|(a, _)| a)
+    }
+
+    /// Compresses an `f64` field and reports per-stage statistics.
+    pub fn compress_f64_with_stats(
+        &self,
+        data: &[f64],
+        dims: Dims,
+    ) -> Result<(Archive, CompressionStats), CuszpError> {
+        self.compress_impl(data, dims, Dtype::F64)
+    }
+
+    fn compress_impl<T: cuszp_predictor::Scalar>(
+        &self,
+        data: &[T],
+        dims: Dims,
+        dtype: Dtype,
+    ) -> Result<(Archive, CompressionStats), CuszpError> {
+        if data.len() != dims.len() {
+            return Err(CuszpError::DimsMismatch { data: data.len(), dims: dims.len() });
+        }
+        if !data.iter().all(|x| x.is_finite_scalar()) {
+            return Err(CuszpError::NonFiniteInput);
+        }
+        let eb = self.config.error_bound.absolute_scalar(data);
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CuszpError::InvalidErrorBound(eb));
+        }
+        let qf = match self.config.predictor {
+            Predictor::Lorenzo => cuszp_predictor::construct(data, dims, eb, self.config.cap),
+            Predictor::Interpolation => {
+                cuszp_predictor::construct_interpolation(data, dims, eb, self.config.cap)
+            }
+        };
+        let (payload, report) = workflow::encode_codes(&qf, self.config.workflow);
+        let stats = CompressionStats::new(data.len(), dtype.bytes(), &qf, &payload, report);
+        let archive = Archive::assemble(qf, payload, dtype, self.config.predictor);
+        Ok((archive, stats))
+    }
+}
+
+/// Decompresses archive bytes back into a field.
+pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Dims), CuszpError> {
+    decompress_with_engine(bytes, ReconstructEngine::FinePartialSum)
+}
+
+/// Decompression with an explicit reconstruction engine (for the
+/// engine-comparison experiments).
+pub fn decompress_with_engine(
+    bytes: &[u8],
+    engine: ReconstructEngine,
+) -> Result<(Vec<f32>, Dims), CuszpError> {
+    let archive = Archive::from_bytes(bytes)?;
+    decompress_archive(&archive, engine)
+}
+
+/// Decompresses an already-parsed archive into `f32`.
+pub fn decompress_archive(
+    archive: &Archive,
+    engine: ReconstructEngine,
+) -> Result<(Vec<f32>, Dims), CuszpError> {
+    if archive.dtype != Dtype::F32 {
+        return Err(CuszpError::DtypeMismatch {
+            stored: archive.dtype.name(),
+            requested: "f32",
+        });
+    }
+    let qf = archive.to_quant_field()?;
+    let out = match archive.predictor {
+        Predictor::Lorenzo => cuszp_predictor::reconstruct(&qf, engine),
+        Predictor::Interpolation => cuszp_predictor::reconstruct_interpolation(&qf),
+    };
+    Ok((out, qf.dims))
+}
+
+/// Decompresses archive bytes into an `f64` field.
+pub fn decompress_f64(bytes: &[u8]) -> Result<(Vec<f64>, Dims), CuszpError> {
+    decompress_f64_with_engine(bytes, ReconstructEngine::FinePartialSum)
+}
+
+/// `f64` decompression with an explicit engine.
+pub fn decompress_f64_with_engine(
+    bytes: &[u8],
+    engine: ReconstructEngine,
+) -> Result<(Vec<f64>, Dims), CuszpError> {
+    let archive = Archive::from_bytes(bytes)?;
+    if archive.dtype != Dtype::F64 {
+        return Err(CuszpError::DtypeMismatch {
+            stored: archive.dtype.name(),
+            requested: "f64",
+        });
+    }
+    let qf = archive.to_quant_field()?;
+    let out = match archive.predictor {
+        Predictor::Lorenzo => cuszp_predictor::reconstruct(&qf, engine),
+        Predictor::Interpolation => cuszp_predictor::reconstruct_interpolation(&qf),
+    };
+    Ok((out, qf.dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_field(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.003).sin() * 7.0 + (i as f32 * 0.0011).cos()).collect()
+    }
+
+    fn check(config: Config, data: &[f32], dims: Dims) {
+        let eb = config.error_bound.absolute(data);
+        let c = Compressor::new(config);
+        let (archive, stats) = c.compress_with_stats(data, dims).unwrap();
+        let bytes = archive.to_bytes();
+        assert!(stats.compressed_bytes > 0);
+        for engine in ReconstructEngine::ALL {
+            let (recon, got_dims) = decompress_with_engine(&bytes, engine).unwrap();
+            assert_eq!(got_dims, dims);
+            cuszp_metrics::verify_error_bound(data, &recon, eb)
+                .unwrap_or_else(|(i, e)| panic!("bound violated at {i}: {e} > {eb}"));
+        }
+    }
+
+    #[test]
+    fn default_roundtrip_all_ranks() {
+        let data = sample_field(6000);
+        check(Config::default(), &data[..4096], Dims::D1(4096));
+        check(Config::default(), &data[..4000], Dims::D2 { ny: 50, nx: 80 });
+        check(Config::default(), &data[..5760], Dims::D3 { nz: 9, ny: 20, nx: 32 });
+    }
+
+    #[test]
+    fn forced_workflows_roundtrip() {
+        let data = sample_field(8192);
+        for wf in [
+            WorkflowMode::Auto,
+            WorkflowMode::Force(WorkflowChoice::Huffman),
+            WorkflowMode::Force(WorkflowChoice::Rle),
+            WorkflowMode::Force(WorkflowChoice::RleVle),
+        ] {
+            let config = Config { workflow: wf, ..Config::default() };
+            check(config, &data, Dims::D1(8192));
+        }
+    }
+
+    #[test]
+    fn absolute_and_relative_bounds() {
+        let data = sample_field(4096);
+        for eb in [ErrorBound::Absolute(0.01), ErrorBound::Relative(1e-3)] {
+            let config = Config { error_bound: eb, ..Config::default() };
+            check(config, &data, Dims::D1(4096));
+        }
+    }
+
+    #[test]
+    fn constant_field_compresses_enormously() {
+        let data = vec![3.25f32; 100_000];
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Absolute(1e-3),
+            ..Config::default()
+        });
+        let (archive, stats) = c.compress_with_stats(&data, Dims::D1(100_000)).unwrap();
+        // Every 256-element tile start is an outlier (d° = 1625 > radius),
+        // so the outlier section bounds the CR near 256·4/16 ≈ 64.
+        assert!(stats.compression_ratio() > 30.0, "CR = {}", stats.compression_ratio());
+        let (recon, _) = decompress(&archive.to_bytes()).unwrap();
+        for (o, r) in data.iter().zip(&recon) {
+            assert!((o - r).abs() <= 1e-3 * 1.001);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let c = Compressor::default();
+        assert!(matches!(
+            c.compress(&[1.0, 2.0], Dims::D1(3)),
+            Err(CuszpError::DimsMismatch { .. })
+        ));
+        assert!(matches!(
+            c.compress(&[1.0, f32::NAN], Dims::D1(2)),
+            Err(CuszpError::NonFiniteInput)
+        ));
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Absolute(-1.0),
+            ..Config::default()
+        });
+        assert!(matches!(
+            c.compress(&[1.0], Dims::D1(1)),
+            Err(CuszpError::InvalidErrorBound(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_archives_are_rejected() {
+        let data = sample_field(1024);
+        let archive = Compressor::default().compress(&data, Dims::D1(1024)).unwrap();
+        let mut bytes = archive.to_bytes();
+        assert!(decompress(&bytes[..bytes.len() - 4]).is_err(), "truncated");
+        bytes[0] ^= 0xFF;
+        assert!(decompress(&bytes).is_err(), "bad magic");
+        let mut bytes2 = archive.to_bytes();
+        let n = bytes2.len();
+        bytes2[n - 3] ^= 0x40;
+        assert!(decompress(&bytes2).is_err(), "checksum must catch payload flips");
+    }
+
+    #[test]
+    fn empty_field_roundtrips() {
+        let archive = Compressor::default().compress(&[], Dims::D1(0)).unwrap();
+        let (recon, dims) = decompress(&archive.to_bytes()).unwrap();
+        assert!(recon.is_empty());
+        assert_eq!(dims, Dims::D1(0));
+    }
+
+    #[test]
+    fn auto_mode_picks_rle_for_smooth_and_huffman_for_rough() {
+        // Smooth: constant slices; Rough: white noise spanning tens of
+        // quanta (kept inside the quantization range so the roughness
+        // lands in the codes, not in the outlier list).
+        let smooth = vec![1.0f32; 200_000];
+        let rough: Vec<f32> = (0..200_000)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+                (h & 0x3FF) as f32 / 1024.0 * 10.0
+            })
+            .collect();
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Absolute(0.05),
+            ..Config::default()
+        });
+        let (_, s1) = c.compress_with_stats(&smooth, Dims::D1(200_000)).unwrap();
+        let (_, s2) = c.compress_with_stats(&rough, Dims::D1(200_000)).unwrap();
+        assert_ne!(s1.workflow, WorkflowChoice::Huffman, "smooth must take RLE");
+        assert_eq!(s2.workflow, WorkflowChoice::Huffman, "rough must take Huffman");
+    }
+}

@@ -1,0 +1,224 @@
+//! Multi-field snapshot container.
+//!
+//! Scientific applications dump *snapshots* — dozens of named fields per
+//! timestep (CESM-ATM has 77+; HACC emits six particle components). This
+//! container compresses each field independently under one configuration
+//! (the adaptive selector picks a workflow per field, exactly the
+//! framework's intent) and serializes them with a name directory, so a
+//! post-hoc analysis can extract a single variable without touching the
+//! rest.
+
+use crate::{Archive, Compressor, CuszpError, Dims, ReconstructEngine};
+
+const SNAPSHOT_MAGIC: u32 = 0x4E53_5343; // "CSSN"
+
+/// A named, independently compressed field inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Field name (UTF-8, ≤ 65535 bytes).
+    pub name: String,
+    /// The field's archive.
+    pub archive: Archive,
+}
+
+/// A compressed multi-field snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Entries in insertion order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compresses and appends a field. Duplicate names are rejected.
+    pub fn add_field(
+        &mut self,
+        compressor: &Compressor,
+        name: &str,
+        data: &[f32],
+        dims: Dims,
+    ) -> Result<(), CuszpError> {
+        if name.len() > u16::MAX as usize {
+            return Err(CuszpError::MalformedArchive("field name too long"));
+        }
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(CuszpError::MalformedArchive("duplicate field name"));
+        }
+        let archive = compressor.compress(data, dims)?;
+        self.entries.push(SnapshotEntry { name: name.to_string(), archive });
+        Ok(())
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the snapshot holds no fields.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Field names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&SnapshotEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Decompresses one field by name.
+    pub fn decompress_field(
+        &self,
+        name: &str,
+        engine: ReconstructEngine,
+    ) -> Result<(Vec<f32>, Dims), CuszpError> {
+        let entry = self
+            .get(name)
+            .ok_or(CuszpError::MalformedArchive("no such field"))?;
+        crate::decompress_archive(&entry.archive, engine)
+    }
+
+    /// Serializes the snapshot:
+    /// `[magic u32][n u32] { [name_len u16][name][arch_len u64][archive] }*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            let name = e.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            let arch = e.archive.to_bytes();
+            out.extend_from_slice(&(arch.len() as u64).to_le_bytes());
+            out.extend_from_slice(&arch);
+        }
+        out
+    }
+
+    /// Parses a snapshot container.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CuszpError> {
+            let s = bytes
+                .get(*pos..*pos + n)
+                .ok_or(CuszpError::MalformedArchive("snapshot truncated"))?;
+            *pos += n;
+            Ok(s)
+        };
+        let mut pos = 0usize;
+        let magic = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        if magic != SNAPSHOT_MAGIC {
+            return Err(CuszpError::MalformedArchive("bad snapshot magic"));
+        }
+        let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut entries = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(take(&mut pos, name_len)?)
+                .map_err(|_| CuszpError::MalformedArchive("field name not UTF-8"))?
+                .to_string();
+            let arch_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+            let archive = Archive::from_bytes(take(&mut pos, arch_len)?)?;
+            entries.push(SnapshotEntry { name, archive });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Total serialized footprint and total uncompressed size, in bytes.
+    pub fn size_summary(&self) -> (usize, usize) {
+        let compressed = self.to_bytes().len();
+        let original: usize = self
+            .entries
+            .iter()
+            .map(|e| e.archive.dims.len() * e.archive.dtype.bytes())
+            .sum();
+        (compressed, original)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, ErrorBound};
+
+    fn field(n: usize, phase: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.01 + phase).sin() * 4.0).collect()
+    }
+
+    #[test]
+    fn snapshot_round_trip_with_lookup() {
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Absolute(1e-3),
+            ..Config::default()
+        });
+        let mut snap = Snapshot::new();
+        let dims = Dims::D2 { ny: 40, nx: 50 };
+        let u = field(2000, 0.0);
+        let v = field(2000, 1.0);
+        snap.add_field(&c, "U", &u, dims).unwrap();
+        snap.add_field(&c, "V", &v, dims).unwrap();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.names().collect::<Vec<_>>(), vec!["U", "V"]);
+
+        let bytes = snap.to_bytes();
+        let parsed = Snapshot::from_bytes(&bytes).unwrap();
+        let (v_recon, got) = parsed
+            .decompress_field("V", ReconstructEngine::FinePartialSum)
+            .unwrap();
+        assert_eq!(got, dims);
+        for (o, r) in v.iter().zip(&v_recon) {
+            assert!((o - r).abs() <= 1e-3 * 1.001);
+        }
+        assert!(parsed.decompress_field("W", ReconstructEngine::FinePartialSum).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let c = Compressor::default();
+        let mut snap = Snapshot::new();
+        let data = field(100, 0.0);
+        snap.add_field(&c, "T", &data, Dims::D1(100)).unwrap();
+        assert!(snap.add_field(&c, "T", &data, Dims::D1(100)).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::new();
+        assert!(snap.is_empty());
+        let parsed = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn corrupt_containers_error() {
+        let c = Compressor::default();
+        let mut snap = Snapshot::new();
+        snap.add_field(&c, "X", &field(500, 0.0), Dims::D1(500)).unwrap();
+        let bytes = snap.to_bytes();
+        assert!(Snapshot::from_bytes(&bytes[..6]).is_err());
+        let mut bad = bytes.clone();
+        bad[1] ^= 0xFF;
+        assert!(Snapshot::from_bytes(&bad).is_err());
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 2] ^= 0x08; // inside the field's archive payload
+        assert!(Snapshot::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn size_summary_accounts_all_fields() {
+        let c = Compressor::default();
+        let mut snap = Snapshot::new();
+        snap.add_field(&c, "A", &field(1000, 0.0), Dims::D1(1000)).unwrap();
+        snap.add_field(&c, "B", &field(2000, 0.5), Dims::D1(2000)).unwrap();
+        let (compressed, original) = snap.size_summary();
+        assert_eq!(original, 3000 * 4);
+        assert!(compressed > 0 && compressed < original);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-compression statistics: stage sizes, ratios, and the selector
+//! report — the numbers every benchmark table is built from.
+
+use crate::workflow::CodesPayload;
+use cuszp_analysis::{CompressibilityReport, WorkflowChoice};
+use cuszp_predictor::QuantField;
+
+/// Everything measured during one compression.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionStats {
+    /// Input elements.
+    pub n_elements: usize,
+    /// Input bytes (f32).
+    pub original_bytes: usize,
+    /// Total archive bytes.
+    pub compressed_bytes: usize,
+    /// Bytes of the entropy-coded quant-code payload.
+    pub codes_bytes: usize,
+    /// Bytes of the sparse outlier section.
+    pub outlier_bytes: usize,
+    /// Number of outliers.
+    pub n_outliers: usize,
+    /// Workflow that was used.
+    pub workflow: WorkflowChoice,
+    /// The selector's analysis of the quant-code stream.
+    pub report: CompressibilityReport,
+}
+
+impl CompressionStats {
+    pub(crate) fn new(
+        n_elements: usize,
+        elem_bytes: usize,
+        qf: &QuantField,
+        payload: &CodesPayload,
+        report: CompressibilityReport,
+    ) -> Self {
+        let original_bytes = n_elements * elem_bytes;
+        let codes_bytes = payload.storage_bytes();
+        let outlier_bytes = qf.outliers.storage_bytes();
+        Self {
+            n_elements,
+            original_bytes,
+            compressed_bytes: codes_bytes + outlier_bytes + 64,
+            codes_bytes,
+            outlier_bytes,
+            n_outliers: qf.outliers.len(),
+            workflow: payload.choice(),
+            report,
+        }
+    }
+
+    /// Overall compression ratio.
+    pub fn compression_ratio(&self) -> f64 {
+        cuszp_metrics::compression_ratio(self.original_bytes, self.compressed_bytes)
+    }
+
+    /// Bits of archive per input element.
+    pub fn bit_rate(&self) -> f64 {
+        cuszp_metrics::bit_rate(self.n_elements, self.compressed_bytes)
+    }
+
+    /// Fraction of elements stored as outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.n_elements == 0 {
+            0.0
+        } else {
+            self.n_outliers as f64 / self.n_elements as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: CR {:.2}x ({} -> {} bytes, {:.3} bits/elem, {:.2}% outliers)",
+            self.workflow.name(),
+            self.compression_ratio(),
+            self.original_bytes,
+            self.compressed_bytes,
+            self.bit_rate(),
+            self.outlier_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::{Compressor, Config, Dims};
+
+    #[test]
+    fn stats_are_self_consistent() {
+        let data: Vec<f32> = (0..50_000).map(|i| (i as f32 * 0.001).sin()).collect();
+        let (archive, stats) = Compressor::new(Config::default())
+            .compress_with_stats(&data, Dims::D1(50_000))
+            .unwrap();
+        assert_eq!(stats.n_elements, 50_000);
+        assert_eq!(stats.original_bytes, 200_000);
+        assert!(stats.compression_ratio() > 1.0);
+        // The stats' compressed size approximates the real archive within
+        // a small constant (headers are estimated, not serialized here).
+        let real = archive.to_bytes().len();
+        let approx = stats.compressed_bytes;
+        assert!(
+            (real as i64 - approx as i64).unsigned_abs() < 256,
+            "estimate {approx} too far from real {real}"
+        );
+        let display = stats.to_string();
+        assert!(display.contains("CR"));
+    }
+}

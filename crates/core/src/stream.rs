@@ -1,0 +1,282 @@
+//! Block-streaming compression for fields larger than working memory.
+//!
+//! §V-A.3 of the paper: *"when the field is too large to fit in a single
+//! GPU's memory, cuSZ+ divides it into blocks and then compresses by
+//! block."* This module is that path: the field is split along its
+//! slowest axis into slabs of whole hyperplanes, each slab becomes an
+//! independent [`Archive`], and a thin container concatenates them. Any
+//! slab can be decompressed alone ([`StreamArchive::decompress_block`]) —
+//! the coarse-grained random access the paper's Step-1 block split is
+//! for.
+
+use crate::{Archive, Compressor, CuszpError, Dims, Dtype, ReconstructEngine};
+
+const STREAM_MAGIC: u32 = 0x535A_5343; // "CSZS"
+
+/// A container of independently compressed slabs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamArchive {
+    /// Original field dimensions.
+    pub dims: Dims,
+    /// Per-slab archives, in order along the slowest axis.
+    pub blocks: Vec<Archive>,
+}
+
+/// Splits `dims` into slabs of at most `max_elems` elements along the
+/// slowest axis (whole hyperplanes only). Returns per-slab dims.
+fn plan_slabs(dims: Dims, max_elems: usize) -> Vec<Dims> {
+    assert!(max_elems > 0, "max_elems must be positive");
+    let [nz, ny, nx] = dims.extents();
+    match dims {
+        Dims::D1(n) => {
+            let step = max_elems.max(1);
+            (0..n).step_by(step).map(|lo| Dims::D1((n - lo).min(step))).collect()
+        }
+        Dims::D2 { .. } => {
+            let rows = (max_elems / nx).max(1);
+            (0..ny)
+                .step_by(rows)
+                .map(|lo| Dims::D2 { ny: (ny - lo).min(rows), nx })
+                .collect()
+        }
+        Dims::D3 { .. } => {
+            let planes = (max_elems / (ny * nx)).max(1);
+            (0..nz)
+                .step_by(planes)
+                .map(|lo| Dims::D3 { nz: (nz - lo).min(planes), ny, nx })
+                .collect()
+        }
+    }
+}
+
+impl Compressor {
+    /// Compresses a field slab-by-slab, holding at most `max_block_elems`
+    /// elements of working state per slab.
+    ///
+    /// Each slab gets its own error-bound resolution when the bound is
+    /// relative — matching per-block compression semantics.
+    pub fn compress_stream(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        max_block_elems: usize,
+    ) -> Result<StreamArchive, CuszpError> {
+        if data.len() != dims.len() {
+            return Err(CuszpError::DimsMismatch { data: data.len(), dims: dims.len() });
+        }
+        let mut blocks = Vec::new();
+        let mut offset = 0usize;
+        for slab_dims in plan_slabs(dims, max_block_elems) {
+            let n = slab_dims.len();
+            let archive = self.compress(&data[offset..offset + n], slab_dims)?;
+            blocks.push(archive);
+            offset += n;
+        }
+        debug_assert_eq!(offset, data.len());
+        Ok(StreamArchive { dims, blocks })
+    }
+}
+
+impl StreamArchive {
+    /// Number of slabs.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Decompresses one slab (coarse-grained random access). Returns the
+    /// slab's data and its dims.
+    pub fn decompress_block(
+        &self,
+        index: usize,
+        engine: ReconstructEngine,
+    ) -> Result<(Vec<f32>, Dims), CuszpError> {
+        let archive = self
+            .blocks
+            .get(index)
+            .ok_or(CuszpError::MalformedArchive("block index out of range"))?;
+        crate::decompress_archive(archive, engine)
+    }
+
+    /// Decompresses the whole field.
+    pub fn decompress(&self, engine: ReconstructEngine) -> Result<(Vec<f32>, Dims), CuszpError> {
+        let mut out = Vec::with_capacity(self.dims.len());
+        for i in 0..self.blocks.len() {
+            let (slab, _) = self.decompress_block(i, engine)?;
+            out.extend_from_slice(&slab);
+        }
+        if out.len() != self.dims.len() {
+            return Err(CuszpError::MalformedArchive("slab sizes disagree with dims"));
+        }
+        Ok((out, self.dims))
+    }
+
+    /// Serializes the container:
+    /// `[magic][rank u8][dtype u8][pad 2][extents 3×u64][n_blocks u32]
+    ///  [block_len u64]* [block bytes]*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let block_bytes: Vec<Vec<u8>> = self.blocks.iter().map(Archive::to_bytes).collect();
+        let mut out = Vec::with_capacity(
+            48 + block_bytes.iter().map(|b| b.len() + 8).sum::<usize>(),
+        );
+        out.extend_from_slice(&STREAM_MAGIC.to_le_bytes());
+        out.push(self.dims.rank() as u8);
+        out.push(match self.blocks.first().map(|b| b.dtype) {
+            Some(Dtype::F64) => 1,
+            _ => 0,
+        });
+        out.extend_from_slice(&[0u8; 2]);
+        for e in self.dims.extents() {
+            out.extend_from_slice(&(e as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for b in &block_bytes {
+            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        }
+        for b in &block_bytes {
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Parses a container written by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
+        if bytes.len() < 36 {
+            return Err(CuszpError::MalformedArchive("stream header truncated"));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        if magic != STREAM_MAGIC {
+            return Err(CuszpError::MalformedArchive("bad stream magic"));
+        }
+        let rank = bytes[4];
+        let mut pos = 8usize;
+        let mut ext = [0usize; 3];
+        for e in ext.iter_mut() {
+            *e = u64::from_le_bytes(
+                bytes
+                    .get(pos..pos + 8)
+                    .ok_or(CuszpError::MalformedArchive("stream header truncated"))?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            pos += 8;
+        }
+        let dims = match rank {
+            1 => Dims::D1(ext[2]),
+            2 => Dims::D2 { ny: ext[1], nx: ext[2] },
+            3 => Dims::D3 { nz: ext[0], ny: ext[1], nx: ext[2] },
+            _ => return Err(CuszpError::MalformedArchive("bad stream rank")),
+        };
+        let n_blocks = u32::from_le_bytes(
+            bytes
+                .get(pos..pos + 4)
+                .ok_or(CuszpError::MalformedArchive("stream header truncated"))?
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        pos += 4;
+        let mut lens = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            lens.push(u64::from_le_bytes(
+                bytes
+                    .get(pos..pos + 8)
+                    .ok_or(CuszpError::MalformedArchive("stream lens truncated"))?
+                    .try_into()
+                    .unwrap(),
+            ) as usize);
+            pos += 8;
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for len in lens {
+            let slice = bytes
+                .get(pos..pos + len)
+                .ok_or(CuszpError::MalformedArchive("stream block truncated"))?;
+            blocks.push(Archive::from_bytes(slice)?);
+            pos += len;
+        }
+        Ok(Self { dims, blocks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, ErrorBound};
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.004).sin() * 6.0).collect()
+    }
+
+    #[test]
+    fn slab_planning_covers_exactly() {
+        for (dims, max) in [
+            (Dims::D1(10_000), 2048usize),
+            (Dims::D2 { ny: 100, nx: 77 }, 1000),
+            (Dims::D3 { nz: 33, ny: 10, nx: 10 }, 450),
+        ] {
+            let slabs = plan_slabs(dims, max);
+            let total: usize = slabs.iter().map(Dims::len).sum();
+            assert_eq!(total, dims.len(), "{dims:?}");
+            for s in &slabs[..slabs.len() - 1] {
+                assert!(s.len() <= max.max(dims.extents()[1] * dims.extents()[2]));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_all_ranks() {
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Absolute(1e-3),
+            ..Config::default()
+        });
+        for dims in [
+            Dims::D1(10_000),
+            Dims::D2 { ny: 90, nx: 111 },
+            Dims::D3 { nz: 21, ny: 16, nx: 30 },
+        ] {
+            let data = field(dims.len());
+            let stream = c.compress_stream(&data, dims, 2000).unwrap();
+            assert!(stream.n_blocks() > 1, "{dims:?} must split");
+            let bytes = stream.to_bytes();
+            let parsed = StreamArchive::from_bytes(&bytes).unwrap();
+            let (recon, got) = parsed.decompress(ReconstructEngine::FinePartialSum).unwrap();
+            assert_eq!(got, dims);
+            for (o, r) in data.iter().zip(&recon) {
+                assert!((o - r).abs() <= 1e-3 * 1.001, "{o} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_access_to_a_single_block() {
+        let c = Compressor::default();
+        let dims = Dims::D2 { ny: 64, nx: 50 };
+        let data = field(dims.len());
+        let stream = c.compress_stream(&data, dims, 800).unwrap();
+        // Slab 2 covers rows 32..48 (16 rows of 50 at 800 elems/slab).
+        let (slab, slab_dims) = stream
+            .decompress_block(2, ReconstructEngine::FinePartialSum)
+            .unwrap();
+        assert_eq!(slab_dims, Dims::D2 { ny: 16, nx: 50 });
+        let eb = c.config().error_bound.absolute(&data);
+        for (o, r) in data[2 * 800..3 * 800].iter().zip(&slab) {
+            assert!(((o - r).abs() as f64) <= eb * 2.0 + 1e-9);
+        }
+        assert!(stream.decompress_block(999, ReconstructEngine::FinePartialSum).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_containers_error() {
+        let c = Compressor::default();
+        let data = field(5000);
+        let stream = c.compress_stream(&data, Dims::D1(5000), 1000).unwrap();
+        let bytes = stream.to_bytes();
+        assert!(StreamArchive::from_bytes(&bytes[..20]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(StreamArchive::from_bytes(&bad).is_err());
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 5] ^= 0x01; // payload flip inside the last block
+        assert!(StreamArchive::from_bytes(&bad).is_err());
+    }
+}

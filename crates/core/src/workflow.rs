@@ -1,0 +1,159 @@
+//! The two coding workflows of Fig. 1 and the adaptive dispatch between
+//! them.
+//!
+//! * **Workflow-Huffman** (path "a", cuSZ's default): multi-byte canonical
+//!   Huffman over the quant-codes.
+//! * **Workflow-RLE** (path "b", new in cuSZ+): run-length encoding, with
+//!   an optional trailing VLE pass over the run values and lengths.
+//!
+//! In [`WorkflowMode::Auto`] the histogram-based selector of
+//! `cuszp-analysis` picks the path per field (the `⟨b⟩ ≤ 1.09` rule).
+
+use cuszp_analysis::{analyze, CompressibilityReport, WorkflowChoice};
+use cuszp_huffman::{build_codebook_limited, decode_fast, encode, histogram, HuffmanEncoded};
+use cuszp_predictor::QuantField;
+use cuszp_rle::{rle_decode, rle_encode, rle_vle_decode, rle_vle_from_rle, RleEncoded, RleVleEncoded};
+
+/// Workflow selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkflowMode {
+    /// Decide per field from the quant-code histogram (the paper's
+    /// compressibility-aware framework).
+    Auto,
+    /// Always use the given workflow.
+    Force(WorkflowChoice),
+}
+
+/// The entropy-coded quant-code payload, one variant per workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodesPayload {
+    /// Workflow-Huffman.
+    Huffman(HuffmanEncoded),
+    /// Workflow-RLE without the VLE pass.
+    Rle(RleEncoded),
+    /// Workflow-RLE with the VLE pass.
+    RleVle(RleVleEncoded),
+}
+
+impl CodesPayload {
+    /// Which workflow produced this payload.
+    pub fn choice(&self) -> WorkflowChoice {
+        match self {
+            CodesPayload::Huffman(_) => WorkflowChoice::Huffman,
+            CodesPayload::Rle(_) => WorkflowChoice::Rle,
+            CodesPayload::RleVle(_) => WorkflowChoice::RleVle,
+        }
+    }
+
+    /// Archive footprint of the payload in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            CodesPayload::Huffman(h) => h.storage_bytes(),
+            CodesPayload::Rle(r) => r.storage_bytes(),
+            CodesPayload::RleVle(rv) => rv.storage_bytes(),
+        }
+    }
+}
+
+/// Encodes quant-codes under the selected (or forced) workflow.
+///
+/// Returns the payload and the compressibility report that drove (or
+/// would have driven) the selection — the report is always computed so
+/// stats stay comparable across modes.
+pub fn encode_codes(qf: &QuantField, mode: WorkflowMode) -> (CodesPayload, CompressibilityReport) {
+    let report = analyze(&qf.codes, qf.cap());
+    let choice = match mode {
+        WorkflowMode::Auto => report.choice,
+        WorkflowMode::Force(c) => c,
+    };
+    let payload = match choice {
+        WorkflowChoice::Huffman => {
+            let hist = histogram(&qf.codes, qf.cap() as usize);
+            // Length-limited (package-merge, ≤16 bits): within a fraction
+            // of a percent of optimal on quant-code histograms, and keeps
+            // the table-accelerated decoder on its fast path.
+            let book = build_codebook_limited(&hist, 16);
+            CodesPayload::Huffman(encode(&qf.codes, &book, cuszp_huffman::DEFAULT_ENCODE_CHUNK))
+        }
+        WorkflowChoice::Rle => CodesPayload::Rle(rle_encode(&qf.codes)),
+        WorkflowChoice::RleVle => {
+            let rle = rle_encode(&qf.codes);
+            CodesPayload::RleVle(rle_vle_from_rle(&rle, qf.cap()))
+        }
+    };
+    (payload, report)
+}
+
+/// Decodes a payload back to the quant-code stream. Huffman payloads go
+/// through the table-accelerated decoder (bitwise-identical to the
+/// canonical one; see `cuszp_huffman::decode_fast`).
+pub fn decode_codes(payload: &CodesPayload) -> Vec<u16> {
+    match payload {
+        CodesPayload::Huffman(h) => decode_fast(h),
+        CodesPayload::Rle(r) => rle_decode(r),
+        CodesPayload::RleVle(rv) => rle_vle_decode(rv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszp_predictor::{construct, Dims, DEFAULT_CAP};
+
+    fn quant_field(data: &[f32]) -> QuantField {
+        construct(data, Dims::D1(data.len()), 1e-3, DEFAULT_CAP)
+    }
+
+    #[test]
+    fn every_workflow_round_trips_codes() {
+        let data: Vec<f32> = (0..9000).map(|i| (i as f32 * 0.004).sin() * 3.0).collect();
+        let qf = quant_field(&data);
+        for choice in [WorkflowChoice::Huffman, WorkflowChoice::Rle, WorkflowChoice::RleVle] {
+            let (payload, _) = encode_codes(&qf, WorkflowMode::Force(choice));
+            assert_eq!(payload.choice(), choice);
+            assert_eq!(decode_codes(&payload), qf.codes, "{}", choice.name());
+        }
+    }
+
+    #[test]
+    fn auto_matches_report_choice() {
+        let data: Vec<f32> = (0..150_000).map(|i| (i as f32 * 1e-5).sin()).collect();
+        let qf = quant_field(&data);
+        let (payload, report) = encode_codes(&qf, WorkflowMode::Auto);
+        assert_eq!(payload.choice(), report.choice);
+    }
+
+    #[test]
+    fn rle_beats_huffman_on_smooth_codes() {
+        // A nearly constant field: quant-codes are a sea of `radius`.
+        let data: Vec<f32> = (0..500_000).map(|i| 1.0 + 1e-7 * (i % 3) as f32).collect();
+        let qf = quant_field(&data);
+        let (h, _) = encode_codes(&qf, WorkflowMode::Force(WorkflowChoice::Huffman));
+        let (r, _) = encode_codes(&qf, WorkflowMode::Force(WorkflowChoice::Rle));
+        // Huffman is pinned at ≥1 bit/symbol; RLE collapses the runs but
+        // pays 6 bytes at each of the ~2·n/256 tile-boundary code changes.
+        assert!(
+            r.storage_bytes() < h.storage_bytes() / 2,
+            "RLE {} vs Huffman {}",
+            r.storage_bytes(),
+            h.storage_bytes()
+        );
+    }
+
+    #[test]
+    fn huffman_beats_rle_on_rough_codes() {
+        // Noise spanning a few hundred quanta: codes stay in range (no
+        // outliers) but nearly every adjacent pair differs, so RLE drowns
+        // in run metadata while Huffman tracks the ~8-bit entropy.
+        let data: Vec<f32> = (0..200_000)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+                (h & 0xFF) as f32 / 255.0 * 0.5
+            })
+            .collect();
+        let qf = quant_field(&data);
+        let (h, _) = encode_codes(&qf, WorkflowMode::Force(WorkflowChoice::Huffman));
+        let (r, _) = encode_codes(&qf, WorkflowMode::Force(WorkflowChoice::Rle));
+        assert!(h.storage_bytes() < r.storage_bytes());
+    }
+}

@@ -1,0 +1,60 @@
+//! Raw field I/O in SDRBench's convention: flat little-endian `f32`
+//! binaries with dimensions carried out-of-band.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Writes a field as raw little-endian `f32`.
+pub fn write_f32_raw(path: &Path, data: &[f32]) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(file);
+    for &x in data {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a raw little-endian `f32` file in full.
+pub fn read_f32_raw(path: &Path) -> io::Result<Vec<f32>> {
+    let file = std::fs::File::open(path)?;
+    let mut r = io::BufReader::new(file);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() % 4 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file size {} is not a multiple of 4", bytes.len()),
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        let dir = std::env::temp_dir().join("cuszp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.f32");
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        write_f32_raw(&path, &data).unwrap();
+        let back = read_f32_raw(&path).unwrap();
+        assert_eq!(back, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn odd_sized_file_is_rejected() {
+        let dir = std::env::temp_dir().join("cuszp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.f32");
+        std::fs::write(&path, [1u8, 2, 3]).unwrap();
+        assert!(read_f32_raw(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

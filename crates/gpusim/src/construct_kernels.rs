@@ -1,0 +1,219 @@
+//! Lane-level SIMT ports of the optimized Lorenzo *construction* kernel
+//! (§IV-A.2):
+//!
+//! > "I) We coarsen the granularity by assigning more data items to one
+//! >  thread. For example, a 16×16 2D data chunk is equally split into
+//! >  two groups, each traversed in consecutive 8 items along
+//! >  y-direction. II) According to the extrapolative prediction form,
+//! >  neighboring data items are reused, with the index difference being
+//! >  1. We perform in-warp shuffle to exchange data. This strategy can
+//! >  decrease the shared memory use to launch more warps in the same SM."
+//!
+//! Two variants run here over real prequantized data and are validated
+//! against the scalar `construct_codes`:
+//!
+//! * [`simt_construct_2d_shared`] — the cuSZ-style baseline: the tile is
+//!   staged through shared memory and every neighbor read is a shared
+//!   load;
+//! * [`simt_construct_2d_shuffle`] — the cuSZ+ kernel: x-neighbors come
+//!   from `shfl_up`, y-neighbors from the thread's own registers
+//!   (consecutive-y traversal), shared memory untouched.
+//!
+//! Their [`SimtCounters`] quantify exactly the §IV-A.2 trade:
+//! shared-memory waves drop to zero in exchange for one shuffle per row
+//! pair, which is what raises per-SM warp occupancy on the real GPU.
+
+use crate::simt::{coalesced_transactions, SimtCounters};
+
+const T: usize = 16;
+
+/// Encodes δ as a quant-code (same rule as the scalar kernel).
+#[inline(always)]
+fn encode_delta(delta: i64, r: i64) -> u16 {
+    if delta > -r && delta < r {
+        (delta + r) as u16
+    } else {
+        0
+    }
+}
+
+/// Baseline 2-D construction: tile staged in shared memory, neighbors
+/// read back from shared memory (three shared loads per element).
+pub fn simt_construct_2d_shared(
+    dq: &[i64],
+    ny: usize,
+    nx: usize,
+    radius: u16,
+    counters: &mut SimtCounters,
+) -> Vec<u16> {
+    let r = radius as i64;
+    let mut codes = vec![0u16; ny * nx];
+    for j0 in (0..ny).step_by(T) {
+        for i0 in (0..nx).step_by(T) {
+            let th = T.min(ny - j0);
+            let tw = T.min(nx - i0);
+            // Stage tile into shared memory: one global load + one shared
+            // store wave per row.
+            for j in 0..th {
+                let base = ((j0 + j) * nx + i0) as u64 * 8;
+                counters.load_transactions += coalesced_transactions(
+                    &(0..tw).map(|i| base + i as u64 * 8).collect::<Vec<_>>(),
+                );
+                counters.shared_accesses += 1;
+            }
+            counters.barriers += 1;
+            // Predict: each element reads up/left/upleft from shared
+            // memory — three shared waves per row of lanes.
+            for j in 0..th {
+                counters.shared_accesses += 3;
+                for i in 0..tw {
+                    let gj = j0 + j;
+                    let gi = i0 + i;
+                    let idx = gj * nx + gi;
+                    let up = j > 0;
+                    let left = i > 0;
+                    let mut p = 0i64;
+                    if up {
+                        p += dq[idx - nx];
+                    }
+                    if left {
+                        p += dq[idx - 1];
+                    }
+                    if up && left {
+                        p -= dq[idx - nx - 1];
+                    }
+                    codes[idx] = encode_delta(dq[idx] - p, r);
+                }
+                counters.alu_ops += 4;
+            }
+            // Store codes (u16, coalesced).
+            for j in 0..th {
+                let base = ((j0 + j) * nx + i0) as u64 * 2;
+                counters.store_transactions += coalesced_transactions(
+                    &(0..tw).map(|i| base + i as u64 * 2).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+    codes
+}
+
+/// Optimized 2-D construction: block `(16, 2, 1)` (one warp), each thread
+/// walks 8 consecutive y items; left/upleft neighbors arrive by
+/// `shfl_up`, up neighbors live in the thread's own registers. No shared
+/// memory.
+pub fn simt_construct_2d_shuffle(
+    dq: &[i64],
+    ny: usize,
+    nx: usize,
+    radius: u16,
+    counters: &mut SimtCounters,
+) -> Vec<u16> {
+    let r = radius as i64;
+    let mut codes = vec![0u16; ny * nx];
+    for j0 in (0..ny).step_by(T) {
+        for i0 in (0..nx).step_by(T) {
+            let th = T.min(ny - j0);
+            let tw = T.min(nx - i0);
+            // The warp's two half-lanes cover y-groups [0..8) and [8..16);
+            // each half walks its rows in order, so "up" is the previous
+            // iteration's register. The y-group boundary (j = 8) needs the
+            // row 7 values, which the first group's last iteration leaves
+            // in registers and one shuffle round publishes.
+            let mut prev_row = vec![0i64; tw]; // register per lane
+            for j in 0..th {
+                // Coalesced global load of the current row.
+                let base = ((j0 + j) * nx + i0) as u64 * 8;
+                counters.load_transactions += coalesced_transactions(
+                    &(0..tw).map(|i| base + i as u64 * 8).collect::<Vec<_>>(),
+                );
+                // One shfl_up publishes each lane's current value to its
+                // right neighbor (left neighbor acquisition), and one more
+                // publishes prev_row (upleft). Two shuffles per row for
+                // the whole warp.
+                counters.shuffles += 2;
+                let gj = j0 + j;
+                for i in 0..tw {
+                    let gi = i0 + i;
+                    let idx = gj * nx + gi;
+                    let cur = dq[idx];
+                    let up = if j > 0 { prev_row[i] } else { 0 };
+                    let left = if i > 0 { dq[idx - 1] } else { 0 };
+                    let upleft = if j > 0 && i > 0 { prev_row[i - 1] } else { 0 };
+                    let p = up + left - upleft;
+                    codes[idx] = encode_delta(cur - p, r);
+                }
+                counters.alu_ops += 4;
+                // Roll registers: current row becomes prev.
+                for (slot, i) in prev_row.iter_mut().zip(0..tw) {
+                    *slot = dq[gj * nx + i0 + i];
+                }
+            }
+            for j in 0..th {
+                let base = ((j0 + j) * nx + i0) as u64 * 2;
+                counters.store_transactions += coalesced_transactions(
+                    &(0..tw).map(|i| base + i as u64 * 2).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszp_predictor::{construct_codes, Dims};
+
+    fn pseudo_2d(ny: usize, nx: usize) -> Vec<i64> {
+        (0..ny * nx).map(|i| ((i as i64).wrapping_mul(2654435761) % 301) - 150).collect()
+    }
+
+    #[test]
+    fn both_variants_match_the_scalar_kernel() {
+        for (ny, nx) in [(16usize, 16usize), (64, 96), (33, 47)] {
+            let dq = pseudo_2d(ny, nx);
+            let expect = construct_codes(&dq, Dims::D2 { ny, nx }, 512);
+            let mut c1 = SimtCounters::default();
+            let shared = simt_construct_2d_shared(&dq, ny, nx, 512, &mut c1);
+            let mut c2 = SimtCounters::default();
+            let shuffle = simt_construct_2d_shuffle(&dq, ny, nx, 512, &mut c2);
+            assert_eq!(shared, expect, "shared variant ({ny},{nx})");
+            assert_eq!(shuffle, expect, "shuffle variant ({ny},{nx})");
+        }
+    }
+
+    #[test]
+    fn shuffle_variant_eliminates_shared_memory() {
+        let dq = pseudo_2d(256, 256);
+        let mut shared = SimtCounters::default();
+        simt_construct_2d_shared(&dq, 256, 256, 512, &mut shared);
+        let mut shuffle = SimtCounters::default();
+        simt_construct_2d_shuffle(&dq, 256, 256, 512, &mut shuffle);
+        assert_eq!(shuffle.shared_accesses, 0, "the §IV-A.2 claim");
+        assert_eq!(shuffle.barriers, 0);
+        assert!(shared.shared_accesses > 0 && shared.barriers > 0);
+        assert!(shuffle.shuffles > 0, "paid for with warp shuffles");
+        // Global traffic is identical: the optimization is on-chip only.
+        assert_eq!(shared.load_transactions, shuffle.load_transactions);
+        assert_eq!(shared.store_transactions, shuffle.store_transactions);
+        // And the weighted cost drops.
+        assert!(
+            shuffle.weighted_cycles() < shared.weighted_cycles(),
+            "shuffle {} vs shared {}",
+            shuffle.weighted_cycles(),
+            shared.weighted_cycles()
+        );
+    }
+
+    #[test]
+    fn outliers_survive_the_simt_path() {
+        let mut dq = pseudo_2d(32, 32);
+        dq[100] = 1_000_000; // guaranteed out-of-range δ
+        let expect = construct_codes(&dq, Dims::D2 { ny: 32, nx: 32 }, 512);
+        let mut c = SimtCounters::default();
+        let got = simt_construct_2d_shuffle(&dq, 32, 32, 512, &mut c);
+        assert_eq!(got, expect);
+        assert_eq!(got[100], 0, "placeholder at the outlier");
+    }
+}

@@ -1,0 +1,330 @@
+//! Analytic kernel throughput model (roofline + calibrated efficiency).
+//!
+//! Each kernel is modeled as the slower of a memory phase and a compute
+//! phase plus a fixed launch overhead:
+//!
+//! ```text
+//! t(n) = max( n·bytes_per_elem / (BW·eff_mem),  n·ops_per_elem / INT_OPS ) + t_launch
+//! throughput = n·4 bytes / t(n)        (field GB/s, the paper's unit)
+//! ```
+//!
+//! `bytes_per_elem` comes from the kernel's actual traffic (quant-codes
+//! are 2 B, the fused `q'` buffer 8 B, outliers 24 B each, …);
+//! `eff_mem` is a per-kernel/per-rank efficiency calibrated once against
+//! the **V100 column of Table VII** (calibration constants below, with
+//! the paper's numbers cited). The A100 predictions then follow purely
+//! from the published spec ratios, which is how the model reproduces the
+//! paper's scaling analysis: memory-bound kernels ride the 1.73× HBM
+//! uplift, compute/latency-bound Huffman stages ride only the 1.24× INT32
+//! uplift ("multi-byte Huffman decoding exhibits a stagnation in scaling").
+//!
+//! Sanity check worked into the tests: composing the modeled kernel times
+//! reproduces the paper's *overall* compress/decompress figures within a
+//! few GB/s (e.g. HACC decompress: 1/(1/42.1 + 1/225 + 1/308.7) ≈ 31.7
+//! GB/s vs the paper's 31.8).
+
+use crate::device::DeviceSpec;
+
+/// Fixed kernel launch + tail latency, seconds.
+const T_LAUNCH: f64 = 4.0e-6;
+
+/// Which pipeline kernel to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Fused prequant + Lorenzo prediction + postquant (compression).
+    LorenzoConstruct,
+    /// Dense→sparse outlier collection (cuSPARSE-style).
+    GatherOutlier,
+    /// Quant-code histogram (privatized shared-memory algorithm).
+    Histogram,
+    /// Multi-byte Huffman encoding + deflate.
+    HuffmanEncode,
+    /// Multi-byte Huffman decoding.
+    HuffmanDecode,
+    /// Sparse→dense outlier injection (decompression).
+    ScatterOutlier,
+    /// Fine-grained partial-sum Lorenzo reconstruction (cuSZ+).
+    LorenzoReconstruct,
+    /// Proof-of-concept shared-memory partial-sum kernel ("naïve").
+    LorenzoReconstructNaive,
+    /// Coarse-grained per-block serial reconstruction (cuSZ baseline).
+    LorenzoReconstructCoarse,
+    /// Run-length encoding via `reduce_by_key`.
+    RleEncode,
+    /// cuSZ's (unoptimized) Lorenzo construction kernel — the Table VI
+    /// baseline: 207.7 / 252.1 / ~190 GB/s on V100.
+    LorenzoConstructBaseline,
+    /// cuSZ's (unoptimized) Huffman encoding kernel — Table VI baseline:
+    /// 54.1 / 57.2 / ~58 GB/s on V100.
+    HuffmanEncodeBaseline,
+}
+
+/// Per-field metadata the traffic model depends on.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelEstimate {
+    /// Field elements.
+    pub n_elems: usize,
+    /// Dimensionality (1, 2, or 3).
+    pub rank: usize,
+    /// Fraction of elements that are outliers (0..1).
+    pub outlier_fraction: f64,
+}
+
+impl KernelEstimate {
+    /// Convenience constructor with no outliers.
+    pub fn new(n_elems: usize, rank: usize) -> Self {
+        Self { n_elems, rank, outlier_fraction: 0.01 }
+    }
+}
+
+/// Rank-indexed helper: `pick(r, [v1, v2, v3])`.
+fn by_rank(rank: usize, v: [f64; 3]) -> f64 {
+    v[(rank - 1).min(2)]
+}
+
+/// DRAM bytes each element costs the kernel.
+fn bytes_per_elem(class: KernelClass, m: &KernelEstimate) -> f64 {
+    let out_b = m.outlier_fraction * 24.0;
+    match class {
+        // read f32 (4) + write u16 code (2)
+        KernelClass::LorenzoConstruct => 6.0,
+        // read codes (2) + read prequant for δ recovery (8) + sparse write
+        KernelClass::GatherOutlier => 10.0 + out_b,
+        // read codes (2); bin traffic stays in shared memory
+        KernelClass::Histogram => 2.0,
+        // read codes (2) + write compressed bits (≈ entropy, minor)
+        KernelClass::HuffmanEncode => 2.5,
+        // read bits + write codes (2)
+        KernelClass::HuffmanDecode => 2.5,
+        // read codes (2) + sparse read/write of outliers
+        KernelClass::ScatterOutlier => 2.0 + out_b,
+        // read codes (2) + write f32 (4) + inter-pass traffic for 2/3-D
+        KernelClass::LorenzoReconstruct => 6.0,
+        KernelClass::LorenzoReconstructNaive => 6.0,
+        KernelClass::LorenzoReconstructCoarse => 6.0,
+        // multi-pass reduce_by_key: flags + scan + compact over codes
+        KernelClass::RleEncode => 10.0,
+        // cuSZ's construct also round-trips the prequant buffer (4 more B)
+        KernelClass::LorenzoConstructBaseline => 10.0,
+        KernelClass::HuffmanEncodeBaseline => 2.5,
+    }
+}
+
+/// Calibrated memory-path efficiency (fraction of peak DRAM bandwidth).
+/// Comments cite the V100 Table VII value each constant was fit to.
+fn mem_efficiency(class: KernelClass, rank: usize) -> f64 {
+    match class {
+        // 328 / 274 / ~250 GB/s across ranks
+        KernelClass::LorenzoConstruct => by_rank(rank, [0.55, 0.46, 0.42]),
+        // 221 (HACC) / 161 (CESM) / ~240 (3-D)
+        KernelClass::GatherOutlier => by_rank(rank, [0.76, 0.45, 0.70]),
+        // 566 / 357 / ~500
+        KernelClass::Histogram => by_rank(rank, [0.31, 0.20, 0.28]),
+        // latency-dominated; memory path mostly irrelevant
+        KernelClass::HuffmanEncode | KernelClass::HuffmanDecode => 0.5,
+        // 225 (HACC, 10% outliers) … 679 (Miranda, ~0.1%)
+        KernelClass::ScatterOutlier => by_rank(rank, [0.30, 0.42, 0.52]),
+        // 309 / 267 / ~230
+        KernelClass::LorenzoReconstruct => by_rank(rank, [0.52, 0.45, 0.39]),
+        // Table II "naive": 253 / 198 / 176 on V100
+        KernelClass::LorenzoReconstructNaive => by_rank(rank, [0.42, 0.33, 0.29]),
+        // cuSZ coarse kernel: 16.8 / 58.5 / 29.7 on V100 — one lane per
+        // tile leaves the memory system almost idle
+        KernelClass::LorenzoReconstructCoarse => by_rank(rank, [0.028, 0.097, 0.05]),
+        // ~100 GB/s on V100 (§V-B)
+        KernelClass::RleEncode => 0.28,
+        // 207.7 (HACC) / 252.1 (CESM) / ~190 (3-D) on V100
+        KernelClass::LorenzoConstructBaseline => by_rank(rank, [0.58, 0.70, 0.55]),
+        KernelClass::HuffmanEncodeBaseline => 0.5,
+    }
+}
+
+/// Integer/latency ops per element (drives the compute roofline term).
+fn ops_per_elem(class: KernelClass, rank: usize) -> f64 {
+    match class {
+        KernelClass::LorenzoConstruct => by_rank(rank, [6.0, 10.0, 16.0]),
+        KernelClass::GatherOutlier => 6.0,
+        KernelClass::Histogram => 4.0,
+        // Bit-serial inner loop with divergent stores: fitted to
+        // 58 (HACC) / 108 (CESM) / ~115 (3-D) GB/s on V100
+        KernelClass::HuffmanEncode => by_rank(rank, [540.0, 280.0, 265.0]),
+        // 42 / 38 / ~48 GB/s on V100
+        KernelClass::HuffmanDecode => by_rank(rank, [745.0, 826.0, 680.0]),
+        KernelClass::ScatterOutlier => 3.0,
+        KernelClass::LorenzoReconstruct => by_rank(rank, [8.0, 12.0, 20.0]),
+        KernelClass::LorenzoReconstructNaive => by_rank(rank, [10.0, 16.0, 26.0]),
+        // Serial chain per tile: 256 dependent adds spread over one lane
+        KernelClass::LorenzoReconstructCoarse => by_rank(rank, [120.0, 40.0, 70.0]),
+        KernelClass::RleEncode => 10.0,
+        KernelClass::LorenzoConstructBaseline => by_rank(rank, [8.0, 12.0, 18.0]),
+        // No store-transaction reduction: fitted to 54-61 GB/s on V100
+        KernelClass::HuffmanEncodeBaseline => by_rank(rank, [570.0, 540.0, 520.0]),
+    }
+}
+
+/// Modeled kernel execution time in seconds.
+pub fn modeled_time(class: KernelClass, device: &DeviceSpec, m: &KernelEstimate) -> f64 {
+    let n = m.n_elems as f64;
+    let mem = n * bytes_per_elem(class, m) / (device.dram_gbps * 1e9 * mem_efficiency(class, m.rank));
+    let cmp = n * ops_per_elem(class, m.rank) / (device.int_gops() * 1e9);
+    mem.max(cmp) + T_LAUNCH
+}
+
+/// Modeled throughput in field GB/s (the paper's reporting unit:
+/// uncompressed f32 bytes per second of kernel time).
+pub fn modeled_throughput(class: KernelClass, device: &DeviceSpec, m: &KernelEstimate) -> f64 {
+    let bytes = m.n_elems as f64 * 4.0;
+    bytes / modeled_time(class, device, m) / 1e9
+}
+
+/// Composite: modeled overall compression throughput (Workflow-Huffman),
+/// i.e. the harmonic composition of the four compression kernels.
+pub fn modeled_compress_overall(device: &DeviceSpec, m: &KernelEstimate) -> f64 {
+    let t: f64 = [
+        KernelClass::LorenzoConstruct,
+        KernelClass::GatherOutlier,
+        KernelClass::Histogram,
+        KernelClass::HuffmanEncode,
+    ]
+    .iter()
+    .map(|&k| modeled_time(k, device, m))
+    .sum();
+    m.n_elems as f64 * 4.0 / t / 1e9
+}
+
+/// Composite: modeled overall decompression throughput.
+pub fn modeled_decompress_overall(device: &DeviceSpec, m: &KernelEstimate) -> f64 {
+    let t: f64 = [
+        KernelClass::HuffmanDecode,
+        KernelClass::ScatterOutlier,
+        KernelClass::LorenzoReconstruct,
+    ]
+    .iter()
+    .map(|&k| modeled_time(k, device, m))
+    .sum();
+    m.n_elems as f64 * 4.0 / t / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{A100, V100};
+
+    /// |model − paper| must be within `tol`× of the paper value.
+    fn close(model: f64, paper: f64, tol: f64) -> bool {
+        (model - paper).abs() <= tol * paper
+    }
+
+    /// HACC-like field: 268M elements, ~10% outliers at 1e-4.
+    fn hacc() -> KernelEstimate {
+        KernelEstimate { n_elems: 268_000_000, rank: 1, outlier_fraction: 0.10 }
+    }
+
+    /// Nyx-like field: 128M elements, few outliers.
+    fn nyx() -> KernelEstimate {
+        KernelEstimate { n_elems: 134_000_000, rank: 3, outlier_fraction: 0.01 }
+    }
+
+    #[test]
+    fn v100_calibration_matches_table_vii_anchors() {
+        let m = hacc();
+        assert!(close(modeled_throughput(KernelClass::LorenzoConstruct, &V100, &m), 328.3, 0.15));
+        assert!(close(modeled_throughput(KernelClass::Histogram, &V100, &m), 565.9, 0.15));
+        assert!(close(modeled_throughput(KernelClass::HuffmanEncode, &V100, &m), 58.3, 0.20));
+        assert!(close(modeled_throughput(KernelClass::HuffmanDecode, &V100, &m), 42.1, 0.20));
+        assert!(close(modeled_throughput(KernelClass::LorenzoReconstruct, &V100, &m), 308.7, 0.15));
+        assert!(close(
+            modeled_throughput(KernelClass::LorenzoReconstructCoarse, &V100, &m),
+            16.8,
+            0.25
+        ));
+    }
+
+    #[test]
+    fn overall_composition_matches_paper() {
+        // Paper overall (V100, HACC): compress 42.1, decompress 31.8.
+        let m = hacc();
+        assert!(close(modeled_compress_overall(&V100, &m), 42.1, 0.25));
+        assert!(close(modeled_decompress_overall(&V100, &m), 31.8, 0.25));
+    }
+
+    #[test]
+    fn a100_scaling_shapes_hold() {
+        // Memory-bound kernels scale ≈ BW ratio; Huffman stages stagnate.
+        let m = nyx();
+        let scale = |k| {
+            modeled_throughput(k, &A100, &m) / modeled_throughput(k, &V100, &m)
+        };
+        let construct = scale(KernelClass::LorenzoConstruct);
+        let reconstruct = scale(KernelClass::LorenzoReconstruct);
+        let decode = scale(KernelClass::HuffmanDecode);
+        assert!(construct > 1.55 && construct < 1.8, "construct scale {construct}");
+        assert!(reconstruct > 1.5 && reconstruct < 1.8, "reconstruct scale {reconstruct}");
+        assert!(decode < 1.4, "Huffman decode must stagnate: {decode}");
+        assert!(construct > decode, "paper's §V-C.2 scaling dichotomy");
+    }
+
+    #[test]
+    fn fine_beats_naive_beats_coarse_on_every_rank() {
+        for rank in 1..=3usize {
+            let m = KernelEstimate::new(50_000_000, rank);
+            let fine = modeled_throughput(KernelClass::LorenzoReconstruct, &V100, &m);
+            let naive = modeled_throughput(KernelClass::LorenzoReconstructNaive, &V100, &m);
+            let coarse = modeled_throughput(KernelClass::LorenzoReconstructCoarse, &V100, &m);
+            assert!(fine > naive && naive > coarse, "rank {rank}: {fine} {naive} {coarse}");
+        }
+    }
+
+    #[test]
+    fn headline_speedup_is_reproduced() {
+        // §I/Table VI: 1-D reconstruction 16.8 → 313.1 GB/s = 18.64×.
+        let m = hacc();
+        let fine = modeled_throughput(KernelClass::LorenzoReconstruct, &V100, &m);
+        let coarse = modeled_throughput(KernelClass::LorenzoReconstructCoarse, &V100, &m);
+        let speedup = fine / coarse;
+        assert!(speedup > 14.0 && speedup < 25.0, "1-D speedup {speedup}");
+    }
+
+    #[test]
+    fn small_fields_suffer_launch_overhead() {
+        // The paper notes CESM's 24.7 MB fields scale poorly to A100.
+        let small = KernelEstimate::new(6_480_000, 2);
+        let big = KernelEstimate::new(134_000_000, 3);
+        let s_small = modeled_throughput(KernelClass::Histogram, &A100, &small)
+            / modeled_throughput(KernelClass::Histogram, &V100, &small);
+        let s_big = modeled_throughput(KernelClass::Histogram, &A100, &big)
+            / modeled_throughput(KernelClass::Histogram, &V100, &big);
+        assert!(s_small < s_big, "small fields must scale worse: {s_small} vs {s_big}");
+    }
+
+    #[test]
+    fn table_vi_baseline_gaps_are_reproduced() {
+        // Table VI (V100): construct 207.7 → 307.4+ (1.48×) on HACC;
+        // Huffman encode 54.1 → 58.3 (1.08×) on HACC, ~2× on 2/3-D.
+        let m = hacc();
+        let c_base = modeled_throughput(KernelClass::LorenzoConstructBaseline, &V100, &m);
+        let c_ours = modeled_throughput(KernelClass::LorenzoConstruct, &V100, &m);
+        assert!(close(c_base, 207.7, 0.15), "baseline construct {c_base}");
+        let gain = c_ours / c_base;
+        assert!(gain > 1.3 && gain < 1.7, "construct gain {gain}");
+
+        let h_base = modeled_throughput(KernelClass::HuffmanEncodeBaseline, &V100, &m);
+        let h_ours = modeled_throughput(KernelClass::HuffmanEncode, &V100, &m);
+        assert!(close(h_base, 54.1, 0.15), "baseline encode {h_base}");
+        assert!(h_ours > h_base, "ours must beat baseline encode");
+
+        let m3 = nyx();
+        let h_base3 = modeled_throughput(KernelClass::HuffmanEncodeBaseline, &V100, &m3);
+        let h_ours3 = modeled_throughput(KernelClass::HuffmanEncode, &V100, &m3);
+        let gain3 = h_ours3 / h_base3;
+        assert!(gain3 > 1.6 && gain3 < 2.4, "3-D encode gain {gain3} (paper: 2.05×)");
+    }
+
+    #[test]
+    fn rle_kernel_near_100_gbps_on_v100() {
+        let m = KernelEstimate::new(50_000_000, 2);
+        let tp = modeled_throughput(KernelClass::RleEncode, &V100, &m);
+        assert!(close(tp, 100.0, 0.15), "RLE model: {tp}");
+        assert!(modeled_throughput(KernelClass::RleEncode, &A100, &m) > tp);
+    }
+}

@@ -1,0 +1,81 @@
+//! Device specifications for the two GPUs of the paper's evaluation.
+//!
+//! Numbers are the published datasheet values the paper itself quotes
+//! (§V-A.1): V100-SXM2 (TACC Longhorn) and A100-SXM4 (ALCF ThetaGPU).
+
+/// Static description of a GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// HBM2(e) DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Peak FP32 throughput in TFLOPS.
+    pub fp32_tflops: f64,
+    /// Core clock in GHz (boost).
+    pub clock_ghz: f64,
+    /// L2 cache in MiB.
+    pub l2_mib: f64,
+    /// Shared memory per SM in KiB.
+    pub smem_kib_per_sm: f64,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+}
+
+impl DeviceSpec {
+    /// Integer-op throughput proxy: SMs × clock × 64 INT32 lanes,
+    /// in Gop/s. Both Volta and Ampere dispatch 64 INT32 ops per SM-cycle.
+    pub fn int_gops(&self) -> f64 {
+        self.sm_count as f64 * self.clock_ghz * 64.0
+    }
+}
+
+/// NVIDIA Tesla V100-SXM2 16 GB (as on TACC Longhorn, CUDA 10.2).
+pub const V100: DeviceSpec = DeviceSpec {
+    name: "V100-SXM2",
+    dram_gbps: 900.0,
+    sm_count: 80,
+    fp32_tflops: 14.13,
+    clock_ghz: 1.53,
+    l2_mib: 6.0,
+    smem_kib_per_sm: 96.0,
+    max_warps_per_sm: 64,
+};
+
+/// NVIDIA A100-SXM4 40 GB (as on ALCF ThetaGPU).
+pub const A100: DeviceSpec = DeviceSpec {
+    name: "A100-SXM4",
+    dram_gbps: 1555.0,
+    sm_count: 108,
+    fp32_tflops: 19.5,
+    clock_ghz: 1.41,
+    l2_mib: 40.0,
+    smem_kib_per_sm: 164.0,
+    max_warps_per_sm: 64,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_outclasses_v100_where_the_paper_says() {
+        // §I: "CUSZ+ can benefit more from the improvement of memory
+        // bandwidth than that of peak FLOPS" — the A100's BW advantage
+        // (1.73×) far exceeds its FLOPS advantage (1.38×).
+        let bw_ratio = A100.dram_gbps / V100.dram_gbps;
+        let flops_ratio = A100.fp32_tflops / V100.fp32_tflops;
+        assert!(bw_ratio > 1.7 && bw_ratio < 1.8);
+        assert!(flops_ratio < 1.4);
+        assert!(bw_ratio > flops_ratio);
+    }
+
+    #[test]
+    fn int_throughput_is_plausible() {
+        // V100: 80 × 1.53 × 64 ≈ 7.8 Tops.
+        assert!((V100.int_gops() - 7834.0).abs() < 50.0);
+        assert!(A100.int_gops() > V100.int_gops());
+    }
+}

@@ -1,0 +1,311 @@
+//! Lane-level SIMT primitives: warps, shuffles, scans, shared memory,
+//! and memory-transaction accounting.
+//!
+//! A [`Warp`] executes 32 lanes in lockstep; the register-exchange
+//! primitives (`shfl_up`) and the scan algorithms built on them are
+//! bit-faithful ports of their CUDA counterparts, so an algorithm
+//! validated here is the algorithm the paper runs. [`SimtCounters`]
+//! accumulates the events a GPU performance model cares about: DRAM
+//! transactions (with coalescing analysis), shuffle instructions,
+//! shared-memory accesses (with bank conflicts), and barriers.
+
+/// Lanes per warp on every NVIDIA architecture the paper targets.
+pub const WARP_SIZE: usize = 32;
+
+/// Operation counters accumulated during simulated kernel execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimtCounters {
+    /// 32-byte DRAM transactions issued by global loads.
+    pub load_transactions: u64,
+    /// 32-byte DRAM transactions issued by global stores.
+    pub store_transactions: u64,
+    /// Warp shuffle instructions.
+    pub shuffles: u64,
+    /// Shared-memory accesses (load or store), one per lane-request wave.
+    pub shared_accesses: u64,
+    /// Extra shared-memory waves caused by bank conflicts.
+    pub bank_conflict_waves: u64,
+    /// Block-wide barriers (`__syncthreads`).
+    pub barriers: u64,
+    /// Arithmetic (integer) instructions, per warp.
+    pub alu_ops: u64,
+}
+
+impl SimtCounters {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &SimtCounters) {
+        self.load_transactions += other.load_transactions;
+        self.store_transactions += other.store_transactions;
+        self.shuffles += other.shuffles;
+        self.shared_accesses += other.shared_accesses;
+        self.bank_conflict_waves += other.bank_conflict_waves;
+        self.barriers += other.barriers;
+        self.alu_ops += other.alu_ops;
+    }
+
+    /// Total DRAM bytes moved (32 B per transaction).
+    pub fn dram_bytes(&self) -> u64 {
+        (self.load_transactions + self.store_transactions) * 32
+    }
+
+    /// A single-number cost proxy used by the ablation studies: weights
+    /// approximate per-operation latencies in cycles (DRAM transaction
+    /// ≈ 32 cycles of hidden latency pressure, shuffle ≈ 1, shared wave
+    /// ≈ 2, barrier ≈ 20, ALU ≈ 1).
+    pub fn weighted_cycles(&self) -> f64 {
+        32.0 * (self.load_transactions + self.store_transactions) as f64
+            + 1.0 * self.shuffles as f64
+            + 2.0 * (self.shared_accesses + self.bank_conflict_waves) as f64
+            + 20.0 * self.barriers as f64
+            + 1.0 * self.alu_ops as f64
+    }
+}
+
+/// Counts the 32-byte DRAM transactions needed to service one warp-wide
+/// access at the given per-lane byte addresses (the coalescing rule:
+/// distinct 32-byte segments touched).
+pub fn coalesced_transactions(addresses: &[u64]) -> u64 {
+    let mut segs: Vec<u64> = addresses.iter().map(|a| a / 32).collect();
+    segs.sort_unstable();
+    segs.dedup();
+    segs.len() as u64
+}
+
+/// Counts shared-memory waves for one warp access: lanes hitting the same
+/// 4-byte bank (of 32) in different words serialize into extra waves.
+pub fn shared_memory_waves(word_indices: &[usize]) -> u64 {
+    let mut per_bank = [0u64; 32];
+    let mut seen: Vec<(usize, usize)> = Vec::with_capacity(word_indices.len());
+    for &w in word_indices {
+        let bank = w % 32;
+        // Broadcast: multiple lanes reading the *same word* cost one wave.
+        if seen.iter().any(|&(b, word)| b == bank && word == w) {
+            continue;
+        }
+        seen.push((bank, w));
+        per_bank[bank] += 1;
+    }
+    per_bank.iter().copied().max().unwrap_or(0)
+}
+
+/// A software warp: 32 lanes of `i64` registers in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Warp {
+    /// One register per lane.
+    pub lanes: [i64; WARP_SIZE],
+}
+
+impl Warp {
+    /// A warp with every lane holding `v`.
+    pub fn splat(v: i64) -> Self {
+        Self { lanes: [v; WARP_SIZE] }
+    }
+
+    /// Loads a warp from a slice (must be exactly 32 long).
+    pub fn from_slice(s: &[i64]) -> Self {
+        let mut lanes = [0i64; WARP_SIZE];
+        lanes.copy_from_slice(s);
+        Self { lanes }
+    }
+
+    /// `__shfl_up_sync`: lane `i` receives lane `i − delta`'s value;
+    /// lanes below `delta` keep their own (CUDA semantics).
+    pub fn shfl_up(&self, delta: usize, counters: &mut SimtCounters) -> Warp {
+        counters.shuffles += 1;
+        let mut out = *self;
+        for i in (delta..WARP_SIZE).rev() {
+            out.lanes[i] = self.lanes[i - delta];
+        }
+        out
+    }
+
+    /// Warp-wide inclusive scan (add) via the Hillis–Steele shuffle
+    /// ladder — `log2(32) = 5` shuffle rounds, the exact algorithm
+    /// `cub::WarpScan` and the paper's handcrafted kernels use.
+    pub fn inclusive_scan_add(&self, counters: &mut SimtCounters) -> Warp {
+        let mut acc = *self;
+        let mut delta = 1;
+        while delta < WARP_SIZE {
+            let shifted = acc.shfl_up(delta, counters);
+            for i in 0..WARP_SIZE {
+                if i >= delta {
+                    acc.lanes[i] += shifted.lanes[i];
+                }
+            }
+            counters.alu_ops += 1;
+            delta <<= 1;
+        }
+        acc
+    }
+
+    /// Value held by the last lane (the warp aggregate after a scan).
+    pub fn last(&self) -> i64 {
+        self.lanes[WARP_SIZE - 1]
+    }
+}
+
+/// cub-style block scan over `items_per_thread`-coarsened input
+/// ("sequentiality" in the paper): each thread serially scans its private
+/// items, warp scan combines thread aggregates, and per-warp offsets are
+/// exchanged through shared memory.
+///
+/// `data.len()` must be a multiple of `items_per_thread` and small enough
+/// for one block (≤ 1024 threads). Returns the inclusive scan and
+/// accumulates the operation counters.
+pub fn block_scan_inclusive(
+    data: &[i64],
+    items_per_thread: usize,
+    counters: &mut SimtCounters,
+) -> Vec<i64> {
+    assert!(items_per_thread > 0);
+    assert_eq!(data.len() % items_per_thread, 0, "ragged thread tiles");
+    let n_threads = data.len() / items_per_thread;
+    assert!(n_threads <= 1024, "exceeds one thread block");
+
+    // Phase 1: thread-sequential scan of private items.
+    let mut out = data.to_vec();
+    let mut thread_aggregate = vec![0i64; n_threads];
+    for t in 0..n_threads {
+        let lo = t * items_per_thread;
+        let mut acc = 0i64;
+        for x in &mut out[lo..lo + items_per_thread] {
+            acc += *x;
+            *x = acc;
+        }
+        thread_aggregate[t] = acc;
+    }
+    counters.alu_ops += data.len() as u64 / WARP_SIZE as u64 + 1;
+
+    // Phase 2: warp scans of thread aggregates (pad to warp multiples).
+    let n_warps = n_threads.div_ceil(WARP_SIZE);
+    let mut warp_total = vec![0i64; n_warps];
+    let mut thread_prefix = vec![0i64; n_threads]; // exclusive, intra-warp
+    for w in 0..n_warps {
+        let lo = w * WARP_SIZE;
+        let hi = ((w + 1) * WARP_SIZE).min(n_threads);
+        let mut lanes = [0i64; WARP_SIZE];
+        lanes[..hi - lo].copy_from_slice(&thread_aggregate[lo..hi]);
+        let scanned = Warp { lanes }.inclusive_scan_add(counters);
+        for t in lo..hi {
+            let i = t - lo;
+            thread_prefix[t] = scanned.lanes[i] - thread_aggregate[t];
+        }
+        warp_total[w] = scanned.last();
+    }
+
+    // Phase 3: warp offsets through shared memory + barrier.
+    if n_warps > 1 {
+        counters.shared_accesses += 2 * n_warps as u64;
+        counters.barriers += 2;
+    }
+    let mut warp_offset = vec![0i64; n_warps];
+    for w in 1..n_warps {
+        warp_offset[w] = warp_offset[w - 1] + warp_total[w - 1];
+    }
+
+    // Phase 4: fixup.
+    for t in 0..n_threads {
+        let w = t / WARP_SIZE;
+        let add = warp_offset[w] + thread_prefix[t];
+        if add != 0 {
+            let lo = t * items_per_thread;
+            for x in &mut out[lo..lo + items_per_thread] {
+                *x += add;
+            }
+        }
+    }
+    counters.alu_ops += data.len() as u64 / WARP_SIZE as u64 + 1;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shfl_up_matches_cuda_semantics() {
+        let mut c = SimtCounters::default();
+        let w = Warp::from_slice(&(0..32).map(|i| i as i64).collect::<Vec<_>>());
+        let s = w.shfl_up(1, &mut c);
+        assert_eq!(s.lanes[0], 0, "lane 0 keeps its own value");
+        for i in 1..32 {
+            assert_eq!(s.lanes[i], (i - 1) as i64);
+        }
+        assert_eq!(c.shuffles, 1);
+    }
+
+    #[test]
+    fn warp_scan_is_exact() {
+        let vals: Vec<i64> = (0..32).map(|i| (i * i % 7) as i64 - 3).collect();
+        let mut c = SimtCounters::default();
+        let scanned = Warp::from_slice(&vals).inclusive_scan_add(&mut c);
+        let mut acc = 0;
+        for i in 0..32 {
+            acc += vals[i];
+            assert_eq!(scanned.lanes[i], acc, "lane {i}");
+        }
+        assert_eq!(c.shuffles, 5, "log2(32) shuffle rounds");
+    }
+
+    #[test]
+    fn block_scan_matches_serial_for_all_sequentialities() {
+        let data: Vec<i64> = (0..256).map(|i| ((i * 37) % 23) as i64 - 11).collect();
+        let mut serial = data.clone();
+        let mut acc = 0;
+        for x in &mut serial {
+            acc += *x;
+            *x = acc;
+        }
+        for seq in [1usize, 2, 4, 8, 16, 32] {
+            let mut c = SimtCounters::default();
+            let out = block_scan_inclusive(&data, seq, &mut c);
+            assert_eq!(out, serial, "sequentiality {seq}");
+        }
+    }
+
+    #[test]
+    fn higher_sequentiality_uses_fewer_shuffles() {
+        let data: Vec<i64> = vec![1; 256];
+        let count = |seq| {
+            let mut c = SimtCounters::default();
+            block_scan_inclusive(&data, seq, &mut c);
+            c.shuffles
+        };
+        assert!(count(8) < count(1), "coarsening reduces shuffle traffic");
+    }
+
+    #[test]
+    fn coalescing_perfect_and_strided() {
+        // 32 consecutive f32 lanes: 128 bytes = 4 transactions of 32 B.
+        let seq: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(coalesced_transactions(&seq), 4);
+        // Stride-32 floats: every lane its own segment.
+        let strided: Vec<u64> = (0..32).map(|i| i * 128).collect();
+        assert_eq!(coalesced_transactions(&strided), 32);
+        // All lanes on one address: one transaction.
+        let same = vec![64u64; 32];
+        assert_eq!(coalesced_transactions(&same), 1);
+    }
+
+    #[test]
+    fn bank_conflicts_counted() {
+        // Conflict-free: lanes hit distinct banks.
+        let free: Vec<usize> = (0..32).collect();
+        assert_eq!(shared_memory_waves(&free), 1);
+        // 2-way conflict: stride 16 words → banks repeat twice.
+        let conflicted: Vec<usize> = (0..32).map(|i| i * 16).collect();
+        assert_eq!(shared_memory_waves(&conflicted), 16);
+        // Broadcast: all lanes read word 0 → one wave.
+        let broadcast = vec![0usize; 32];
+        assert_eq!(shared_memory_waves(&broadcast), 1);
+    }
+
+    #[test]
+    fn counters_merge_and_weigh() {
+        let mut a = SimtCounters { load_transactions: 1, ..Default::default() };
+        let b = SimtCounters { store_transactions: 2, shuffles: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.dram_bytes(), 96);
+        assert!(a.weighted_cycles() > 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Canonical code assignment and decoding.
+//!
+//! Canonical Huffman fixes a deterministic code assignment given only the
+//! per-symbol code lengths: symbols are ordered by (length, symbol value)
+//! and receive consecutive codewords. Both encoder and decoder derive the
+//! exact same codes from the length array, so the archive stores one byte
+//! per symbol of codebook — the "canonical codebook" of the cuSZ paper.
+
+/// An encoder-side codebook: per-symbol canonical codeword and length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Codebook {
+    /// Codeword bits (MSB-first semantics: the length low bits hold the
+    /// code, transmitted from the most significant of those bits).
+    codes: Vec<u64>,
+    /// Code length per symbol; 0 = symbol unused.
+    lengths: Vec<u8>,
+}
+
+impl Codebook {
+    /// Builds canonical codes from per-symbol lengths (see
+    /// [`code_lengths`](crate::code_lengths)).
+    ///
+    /// Panics if the lengths oversubscribe the Kraft budget (not a valid
+    /// prefix code).
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        assert!(max_len <= 64, "code length exceeds u64 codeword");
+        // bl_count[l] = number of symbols with length l.
+        let mut bl_count = vec![0u64; max_len + 1];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        // Kraft check.
+        let mut kraft = 0u128;
+        for (l, &c) in bl_count.iter().enumerate().skip(1) {
+            kraft += (c as u128) << (128 - 64 - l); // scaled by 2^64
+        }
+        assert!(
+            kraft <= 1u128 << 64,
+            "lengths violate Kraft inequality: not a prefix code"
+        );
+        // First code of each length (RFC 1951 style).
+        let mut next_code = vec![0u64; max_len + 2];
+        let mut code = 0u64;
+        for l in 1..=max_len {
+            code = (code + bl_count[l - 1]) << 1;
+            next_code[l] = code;
+        }
+        let mut codes = vec![0u64; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                codes[sym] = next_code[l as usize];
+                next_code[l as usize] += 1;
+            }
+        }
+        Self { codes, lengths: lengths.to_vec() }
+    }
+
+    /// Number of symbols the book covers (the quantization `cap`).
+    pub fn n_symbols(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// `(codeword, length)` for a symbol; length 0 means "unused symbol".
+    #[inline]
+    pub fn code(&self, symbol: u16) -> (u64, u8) {
+        (self.codes[symbol as usize], self.lengths[symbol as usize])
+    }
+
+    /// Per-symbol lengths — the serialized form of the codebook.
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Expected code length in bits under a frequency table.
+    pub fn expected_bits(&self, hist: &[u32]) -> f64 {
+        let total: f64 = hist.iter().map(|&c| c as f64).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        hist.iter()
+            .zip(&self.lengths)
+            .map(|(&c, &l)| c as f64 * l as f64)
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Decoder built from canonical lengths: length-indexed first-code /
+/// first-index tables give O(length) decoding per symbol with no tree.
+#[derive(Debug, Clone)]
+pub struct CanonicalDecoder {
+    /// `first_code[l]`: canonical code of the first symbol of length `l`.
+    first_code: Vec<u64>,
+    /// `first_index[l]`: position in `sorted_symbols` of that symbol.
+    first_index: Vec<u32>,
+    /// Count of symbols at each length.
+    count: Vec<u32>,
+    /// Symbols ordered by (length, symbol value).
+    sorted_symbols: Vec<u16>,
+    max_len: usize,
+}
+
+impl CanonicalDecoder {
+    /// Builds the decoder from the same length array the encoder used.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        let mut bl_count = vec![0u32; max_len + 1];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut next_code = vec![0u64; max_len + 2];
+        let mut code = 0u64;
+        for l in 1..=max_len {
+            code = (code + bl_count[l - 1] as u64) << 1;
+            next_code[l] = code;
+        }
+        let first_code = next_code[..=max_len].to_vec();
+        // Sort symbols by (length, value): stable single pass by length.
+        let mut first_index = vec![0u32; max_len + 1];
+        let mut cursor = 0u32;
+        for l in 1..=max_len {
+            first_index[l] = cursor;
+            cursor += bl_count[l];
+        }
+        let mut fill = first_index.clone();
+        let mut sorted_symbols = vec![0u16; cursor as usize];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                sorted_symbols[fill[l as usize] as usize] = sym as u16;
+                fill[l as usize] += 1;
+            }
+        }
+        Self { first_code, first_index, count: bl_count, sorted_symbols, max_len }
+    }
+
+    /// Decodes one symbol from a bit reader. Returns `None` on a codeword
+    /// that matches no symbol (corrupt stream) or stream exhaustion.
+    #[inline]
+    pub fn decode_symbol(&self, bits: &mut impl FnMut() -> Option<bool>) -> Option<u16> {
+        let mut code = 0u64;
+        for l in 1..=self.max_len {
+            code = (code << 1) | u64::from(bits()?);
+            let n = self.count[l] as u64;
+            if n > 0 {
+                let first = self.first_code[l];
+                if code >= first && code < first + n {
+                    let idx = self.first_index[l] as u64 + (code - first);
+                    return Some(self.sorted_symbols[idx as usize]);
+                }
+            }
+        }
+        None
+    }
+
+    /// Longest code length in the book.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_codes_are_prefix_free_and_ordered() {
+        let lengths = vec![2u8, 3, 3, 2, 2];
+        let book = Codebook::from_lengths(&lengths);
+        let mut seen: Vec<(u64, u8)> = (0..5).map(|s| book.code(s)).collect();
+        // Prefix-freeness: no code is a prefix of another.
+        for (i, &(ca, la)) in seen.iter().enumerate() {
+            for (j, &(cb, lb)) in seen.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (shorter, longer, ls) =
+                    if la <= lb { (ca, cb, la) } else { (cb, ca, lb) };
+                let prefix = longer >> (la.max(lb) - ls);
+                assert_ne!(shorter, prefix, "codes {i} and {j} conflict");
+            }
+        }
+        // Canonical: codes of equal length increase with symbol value.
+        seen.sort_by_key(|&(_, l)| l);
+        let l2: Vec<u64> = (0..5).filter(|&s| lengths[s as usize] == 2).map(|s| book.code(s).0).collect();
+        assert!(l2.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn decoder_inverts_encoder_symbol_by_symbol() {
+        let lengths = vec![1u8, 2, 3, 3];
+        let book = Codebook::from_lengths(&lengths);
+        let dec = CanonicalDecoder::from_lengths(&lengths);
+        for sym in 0..4u16 {
+            let (code, len) = book.code(sym);
+            let mut pos = 0;
+            let mut reader = || {
+                if pos < len {
+                    let bit = (code >> (len - 1 - pos)) & 1 == 1;
+                    pos += 1;
+                    Some(bit)
+                } else {
+                    None
+                }
+            };
+            assert_eq!(dec.decode_symbol(&mut reader), Some(sym));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Kraft")]
+    fn oversubscribed_lengths_rejected() {
+        // Three 1-bit codes cannot coexist.
+        Codebook::from_lengths(&[1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_book() {
+        let book = Codebook::from_lengths(&[]);
+        assert_eq!(book.n_symbols(), 0);
+        let dec = CanonicalDecoder::from_lengths(&[]);
+        assert_eq!(dec.max_len(), 0);
+    }
+
+    #[test]
+    fn expected_bits_weighs_by_frequency() {
+        let book = Codebook::from_lengths(&[1, 2, 2]);
+        // hist: 2,1,1 → (2·1 + 1·2 + 1·2)/4 = 1.5
+        assert!((book.expected_bits(&[2, 1, 1]) - 1.5).abs() < 1e-12);
+        assert_eq!(book.expected_bits(&[0, 0, 0]), 0.0);
+    }
+}

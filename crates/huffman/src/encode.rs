@@ -1,0 +1,354 @@
+//! Chunked Huffman encoding and decoding (cuSZ+ Steps 7–8).
+//!
+//! The GPU encodes fixed-size chunks of quant-codes independently (one per
+//! thread block) and then *deflates* — concatenates the variable-length
+//! chunk bitstreams. We keep the same structure: each chunk's bitstream is
+//! byte-aligned (≤ 7 wasted bits per 4096-symbol chunk, ≈ 0.02‰) and the
+//! per-chunk bit counts are the deflate metadata. Decoding is then
+//! chunk-parallel, exactly like the GPU's per-block Huffman decoder.
+//!
+//! The encoder performs a store only when a full byte is ready — the CPU
+//! rendition of the paper's "DRAM store per output unit, not per symbol"
+//! optimization (§V-C.1).
+
+use crate::codebook::{CanonicalDecoder, Codebook};
+
+/// Symbols per encoded chunk. Matches the granularity cuSZ uses for its
+/// per-block metadata.
+pub const DEFAULT_ENCODE_CHUNK: usize = 4096;
+
+/// A Huffman-encoded symbol stream plus the metadata needed to decode it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanEncoded {
+    /// Concatenated per-chunk bitstreams, each chunk byte-aligned.
+    pub payload: Vec<u8>,
+    /// Bits used by each chunk (so byte length = bits.div_ceil(8)).
+    pub chunk_bits: Vec<u32>,
+    /// Symbols per chunk (last chunk may be short).
+    pub chunk_symbols: u32,
+    /// Total number of symbols.
+    pub n_symbols: u64,
+    /// Serialized codebook: per-symbol canonical code lengths.
+    pub codebook_lengths: Vec<u8>,
+}
+
+impl HuffmanEncoded {
+    /// Total archive footprint: payload + per-chunk metadata + the
+    /// zero-run-packed codebook.
+    pub fn storage_bytes(&self) -> usize {
+        self.payload.len()
+            + self.chunk_bits.len() * 4
+            + pack_lengths(&self.codebook_lengths).len()
+            + 20
+    }
+
+    /// Serializes to a self-describing little-endian byte layout:
+    /// `[n_symbols u64][chunk_symbols u32][n_chunks u32][packed_book u32]
+    ///  [book_len u32][payload_len u64][packed lengths][chunk_bits]
+    ///  [payload]`.
+    ///
+    /// The codebook lengths are zero-run packed: quant-code histograms
+    /// use a handful of the `cap` symbols, so the raw length array is
+    /// almost all zeros; the packing (`0x00, run_len` for zero runs,
+    /// raw bytes otherwise) shrinks a 1024-entry book to tens of bytes —
+    /// visible in small-field compression ratios.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let packed = pack_lengths(&self.codebook_lengths);
+        let mut out = Vec::with_capacity(self.storage_bytes() + 32);
+        out.extend_from_slice(&self.n_symbols.to_le_bytes());
+        out.extend_from_slice(&self.chunk_symbols.to_le_bytes());
+        out.extend_from_slice(&(self.chunk_bits.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.codebook_lengths.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&packed);
+        for &b in &self.chunk_bits {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses the layout written by [`Self::to_bytes`]. Returns the value
+    /// and the number of bytes consumed, or `None` on truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let n_symbols = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        let chunk_symbols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        let n_chunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let packed_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let book_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
+        let codebook_lengths = unpack_lengths(take(&mut pos, packed_len)?, book_len)?;
+        let mut chunk_bits = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            chunk_bits.push(u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?));
+        }
+        let payload = take(&mut pos, payload_len)?.to_vec();
+        Some((
+            Self { payload, chunk_bits, chunk_symbols, n_symbols, codebook_lengths },
+            pos,
+        ))
+    }
+}
+
+/// Zero-run packing of a code-length array: a `0x00` byte followed by a
+/// run count (1..=255) encodes that many zeros; other bytes pass through.
+fn pack_lengths(lengths: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(lengths.len() / 4 + 8);
+    let mut i = 0usize;
+    while i < lengths.len() {
+        if lengths[i] == 0 {
+            let mut run = 1usize;
+            while i + run < lengths.len() && lengths[i + run] == 0 && run < 255 {
+                run += 1;
+            }
+            out.push(0);
+            out.push(run as u8);
+            i += run;
+        } else {
+            out.push(lengths[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Inverse of [`pack_lengths`]; `None` if the stream does not expand to
+/// exactly `expected_len` entries.
+fn unpack_lengths(packed: &[u8], expected_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut i = 0usize;
+    while i < packed.len() {
+        if packed[i] == 0 {
+            let run = *packed.get(i + 1)? as usize;
+            if run == 0 {
+                return None;
+            }
+            out.resize(out.len() + run, 0);
+            i += 2;
+        } else {
+            out.push(packed[i]);
+            i += 1;
+        }
+    }
+    if out.len() == expected_len {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Encodes a symbol stream with the given codebook.
+///
+/// Panics if a symbol has no code (zero length) — the histogram the book
+/// was built from must cover the stream.
+pub fn encode(symbols: &[u16], book: &Codebook, chunk: usize) -> HuffmanEncoded {
+    assert!(chunk > 0, "chunk must be positive");
+    let chunks: Vec<(Vec<u8>, u32)> =
+        cuszp_parallel::par_map_chunks(symbols, chunk, |_ci, syms| encode_chunk(syms, book));
+    let mut payload = Vec::with_capacity(chunks.iter().map(|(b, _)| b.len()).sum());
+    let mut chunk_bits = Vec::with_capacity(chunks.len());
+    for (bytes, bits) in chunks {
+        payload.extend_from_slice(&bytes);
+        chunk_bits.push(bits);
+    }
+    HuffmanEncoded {
+        payload,
+        chunk_bits,
+        chunk_symbols: chunk as u32,
+        n_symbols: symbols.len() as u64,
+        codebook_lengths: book.lengths().to_vec(),
+    }
+}
+
+/// Encodes one chunk into a byte-aligned bitstream, returning bit count.
+///
+/// Bits queue MSB-first in a `u64` accumulator; a byte is stored only when
+/// complete (the transaction-reduction idea from the paper's Huffman
+/// kernel, transplanted to byte granularity).
+fn encode_chunk(syms: &[u16], book: &Codebook) -> (Vec<u8>, u32) {
+    let mut out = Vec::with_capacity(syms.len() / 2);
+    let mut acc = 0u64; // pending bits, left-justified
+    let mut filled = 0u32; // number of pending bits (< 8 between symbols)
+    let mut total_bits = 0u32;
+    for &s in syms {
+        let (code, len) = book.code(s);
+        assert!(len > 0, "symbol {s} has no code");
+        let len = len as u32;
+        debug_assert!(len <= 56, "code length {len} overflows the bit queue");
+        total_bits += len;
+        acc |= code << (64 - len - filled);
+        filled += len;
+        while filled >= 8 {
+            out.push((acc >> 56) as u8);
+            acc <<= 8;
+            filled -= 8;
+        }
+    }
+    if filled > 0 {
+        out.push((acc >> 56) as u8);
+    }
+    (out, total_bits)
+}
+
+/// Decodes an encoded stream back to symbols using the book's lengths.
+pub fn decode(enc: &HuffmanEncoded, book: &Codebook) -> Vec<u16> {
+    decode_with_lengths(enc, book.lengths())
+}
+
+/// Decodes using an explicit length array (the archive-stored form).
+pub fn decode_with_lengths(enc: &HuffmanEncoded, lengths: &[u8]) -> Vec<u16> {
+    let decoder = CanonicalDecoder::from_lengths(lengths);
+    let n = enc.n_symbols as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = enc.chunk_symbols as usize;
+    // Chunk byte offsets from the per-chunk bit counts.
+    let mut offsets = Vec::with_capacity(enc.chunk_bits.len());
+    let mut cursor = 0usize;
+    for &bits in &enc.chunk_bits {
+        offsets.push(cursor);
+        cursor += (bits as usize).div_ceil(8);
+    }
+    assert_eq!(cursor, enc.payload.len(), "payload length mismatch");
+
+    let mut out = vec![0u16; n];
+    // Decode chunk-parallel: distribute output chunks over workers.
+    cuszp_parallel::par_chunks_mut(&mut out, chunk, |ci, dst| {
+        let start = offsets[ci];
+        let nbits = enc.chunk_bits[ci] as usize;
+        let bytes = &enc.payload[start..start + nbits.div_ceil(8)];
+        let mut bitpos = 0usize;
+        let mut reader = || {
+            if bitpos >= nbits {
+                return None;
+            }
+            let b = bytes[bitpos / 8];
+            let bit = (b >> (7 - (bitpos % 8))) & 1 == 1;
+            bitpos += 1;
+            Some(bit)
+        };
+        for slot in dst.iter_mut() {
+            *slot = decoder
+                .decode_symbol(&mut reader)
+                .expect("corrupt Huffman chunk: ran out of bits");
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_codebook, histogram};
+
+    fn round_trip(syms: &[u16], n_bins: usize, chunk: usize) {
+        let hist = histogram(syms, n_bins);
+        let book = build_codebook(&hist);
+        let enc = encode(syms, &book, chunk);
+        let dec = decode(&enc, &book);
+        assert_eq!(dec, syms);
+    }
+
+    #[test]
+    fn round_trip_small() {
+        round_trip(&[1, 2, 3, 1, 1, 2], 4, 4);
+    }
+
+    #[test]
+    fn round_trip_single_symbol_stream() {
+        round_trip(&vec![9u16; 5000], 16, 1024);
+    }
+
+    #[test]
+    fn round_trip_ragged_last_chunk() {
+        let syms: Vec<u16> = (0..10_001).map(|i| (i % 37) as u16).collect();
+        round_trip(&syms, 64, 4096);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let hist = histogram(&[], 4);
+        let book = build_codebook(&hist);
+        let enc = encode(&[], &book, 16);
+        assert_eq!(enc.n_symbols, 0);
+        assert!(decode(&enc, &book).is_empty());
+    }
+
+    #[test]
+    fn skewed_stream_compresses_near_entropy() {
+        // p1 = 0.95 → entropy ≈ 0.37 bits; Huffman needs ≥ 1 bit/symbol.
+        let syms: Vec<u16> = (0..100_000)
+            .map(|i| if i % 20 == 0 { 1u16 } else { 0 })
+            .collect();
+        let hist = histogram(&syms, 4);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, DEFAULT_ENCODE_CHUNK);
+        let bits_per_sym = enc.payload.len() as f64 * 8.0 / syms.len() as f64;
+        assert!(bits_per_sym >= 1.0 - 1e-9, "VLE floor is 1 bit: {bits_per_sym}");
+        assert!(bits_per_sym < 1.2, "should be close to 1 bit: {bits_per_sym}");
+        round_trip(&syms, 4, DEFAULT_ENCODE_CHUNK);
+    }
+
+    #[test]
+    fn chunk_bits_account_for_payload() {
+        let syms: Vec<u16> = (0..9_000).map(|i| (i % 11) as u16).collect();
+        let hist = histogram(&syms, 16);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, 2048);
+        let expected_bytes: usize =
+            enc.chunk_bits.iter().map(|&b| (b as usize).div_ceil(8)).sum();
+        assert_eq!(enc.payload.len(), expected_bytes);
+        assert_eq!(enc.chunk_bits.len(), 9_000usize.div_ceil(2048));
+    }
+
+    #[test]
+    fn storage_bytes_includes_metadata() {
+        let syms = vec![0u16; 100];
+        let hist = histogram(&syms, 4);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, 50);
+        assert!(enc.storage_bytes() > enc.payload.len());
+    }
+
+    #[test]
+    fn length_packing_round_trips() {
+        for lengths in [
+            vec![],
+            vec![0u8; 1024],
+            vec![5u8; 300],
+            {
+                let mut v = vec![0u8; 1024];
+                v[510] = 3;
+                v[511] = 1;
+                v[512] = 2;
+                v
+            },
+        ] {
+            let packed = pack_lengths(&lengths);
+            let back = unpack_lengths(&packed, lengths.len()).unwrap();
+            assert_eq!(back, lengths);
+        }
+        // The sparse book must pack small.
+        let mut sparse = vec![0u8; 1024];
+        sparse[512] = 1;
+        assert!(pack_lengths(&sparse).len() < 20);
+        // Corruption is rejected.
+        assert!(unpack_lengths(&[0, 0], 5).is_none());
+        assert!(unpack_lengths(&[3, 3], 5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no code")]
+    fn encoding_uncovered_symbol_panics() {
+        let book = build_codebook(&[5, 5, 0, 0]);
+        encode(&[3u16], &book, 16);
+    }
+}

@@ -1,0 +1,223 @@
+//! Table-accelerated canonical decoding.
+//!
+//! The bit-by-bit canonical decoder costs O(code length) branches per
+//! symbol. For the skewed codebooks Lorenzo quant-codes produce (the
+//! dominant symbol is 1-2 bits), a lookup table indexed by the next
+//! `LUT_BITS` bits resolves most symbols in one probe; longer codes fall
+//! back to the canonical path. This mirrors how production decoders
+//! (zlib, Zstd) structure their first-level tables, and is the CPU
+//! counterpart of the gap-array-style decoder the cuSZ line moved to
+//! after the paper ("optimize the performance of decompression further",
+//! §VII).
+
+use crate::codebook::CanonicalDecoder;
+use crate::encode::HuffmanEncoded;
+
+/// First-level table width in bits. 2^12 × 4 B = 16 KiB: L1-resident.
+const LUT_BITS: usize = 12;
+
+/// A decoder with a `2^LUT_BITS`-entry fast path.
+#[derive(Debug, Clone)]
+pub struct FastDecoder {
+    /// `lut[prefix]` packs (symbol << 8 | length); length 0 = fall back.
+    lut: Vec<u32>,
+    /// Fallback decoder for codes longer than `LUT_BITS`.
+    slow: CanonicalDecoder,
+}
+
+impl FastDecoder {
+    /// Builds the accelerated decoder from canonical lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let slow = CanonicalDecoder::from_lengths(lengths);
+        let mut lut = vec![0u32; 1 << LUT_BITS];
+        // Enumerate canonical codes (same assignment as Codebook).
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        let mut bl_count = vec![0u64; max_len + 1];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut next_code = vec![0u64; max_len + 2];
+        let mut code = 0u64;
+        for l in 1..=max_len {
+            code = (code + bl_count[l - 1]) << 1;
+            next_code[l] = code;
+        }
+        for (sym, &l) in lengths.iter().enumerate() {
+            let l = l as usize;
+            if l == 0 || l > LUT_BITS {
+                continue;
+            }
+            let c = next_code[l];
+            next_code[l] += 1;
+            // Fill every LUT slot whose top `l` bits equal this code.
+            let base = (c << (LUT_BITS - l)) as usize;
+            let fill = 1usize << (LUT_BITS - l);
+            let packed = ((sym as u32) << 8) | l as u32;
+            for slot in &mut lut[base..base + fill] {
+                *slot = packed;
+            }
+        }
+        Self { lut, slow }
+    }
+
+    /// Decodes `n` symbols from a byte-aligned chunk holding `nbits`
+    /// valid bits. Returns `None` on corruption.
+    pub fn decode_chunk(&self, bytes: &[u8], nbits: usize, n: usize, out: &mut [u16]) -> Option<()> {
+        debug_assert!(out.len() >= n);
+        let mut bitpos = 0usize;
+        for slot in out.iter_mut().take(n) {
+            // Fast path: peek LUT_BITS bits. `peek_bits` zero-pads past
+            // the buffer, and the encoder's byte-alignment padding is
+            // zeros too, so the window is well-defined near the end; the
+            // `len <= avail` guard below keeps padding from being
+            // consumed as data.
+            let avail = nbits.saturating_sub(bitpos);
+            let window = peek_bits(bytes, bitpos, LUT_BITS) as usize;
+            let entry = self.lut[window];
+            let len = (entry & 0xFF) as usize;
+            if len != 0 && len <= avail {
+                *slot = (entry >> 8) as u16;
+                bitpos += len;
+                continue;
+            }
+            // Slow path.
+            let mut reader = || {
+                if bitpos >= nbits {
+                    return None;
+                }
+                let b = bytes[bitpos / 8];
+                let bit = (b >> (7 - (bitpos % 8))) & 1 == 1;
+                bitpos += 1;
+                Some(bit)
+            };
+            *slot = self.slow.decode_symbol(&mut reader)?;
+        }
+        Some(())
+    }
+}
+
+/// Reads `n ≤ 12` bits starting at `bitpos` (zero-padded past the end),
+/// MSB-first, via a single 24-bit window load.
+#[inline(always)]
+fn peek_bits(bytes: &[u8], bitpos: usize, n: usize) -> u32 {
+    debug_assert!(n <= 12);
+    let byte_i = bitpos / 8;
+    let bit_off = bitpos % 8;
+    let get = |i: usize| *bytes.get(i).unwrap_or(&0) as u32;
+    let window = (get(byte_i) << 16) | (get(byte_i + 1) << 8) | get(byte_i + 2);
+    // bit_off + n ≤ 7 + 12 = 19 ≤ 24, so the shift is always valid.
+    (window >> (24 - bit_off - n)) & ((1u32 << n) - 1)
+}
+
+/// Decodes an encoded stream with the table-accelerated decoder;
+/// chunk-parallel like [`decode`](crate::decode).
+pub fn decode_fast(enc: &HuffmanEncoded) -> Vec<u16> {
+    let decoder = FastDecoder::from_lengths(&enc.codebook_lengths);
+    let n = enc.n_symbols as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = enc.chunk_symbols as usize;
+    let mut offsets = Vec::with_capacity(enc.chunk_bits.len());
+    let mut cursor = 0usize;
+    for &bits in &enc.chunk_bits {
+        offsets.push(cursor);
+        cursor += (bits as usize).div_ceil(8);
+    }
+    assert_eq!(cursor, enc.payload.len(), "payload length mismatch");
+
+    let mut out = vec![0u16; n];
+    cuszp_parallel::par_chunks_mut(&mut out, chunk, |ci, dst| {
+        let start = offsets[ci];
+        let nbits = enc.chunk_bits[ci] as usize;
+        let bytes = &enc.payload[start..start + nbits.div_ceil(8)];
+        let n_here = dst.len();
+        decoder
+            .decode_chunk(bytes, nbits, n_here, dst)
+            .expect("corrupt Huffman chunk");
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_codebook, decode, encode, histogram, DEFAULT_ENCODE_CHUNK};
+
+    fn round_trip_both(syms: &[u16], bins: usize, chunk: usize) {
+        let hist = histogram(syms, bins);
+        let book = build_codebook(&hist);
+        let enc = encode(syms, &book, chunk);
+        let slow = decode(&enc, &book);
+        let fast = decode_fast(&enc);
+        assert_eq!(slow, syms);
+        assert_eq!(fast, syms, "fast decoder diverged");
+    }
+
+    #[test]
+    fn agrees_with_canonical_on_skewed_streams() {
+        let syms: Vec<u16> = (0..100_000)
+            .map(|i| if i % 23 == 0 { 511u16 } else { 512 })
+            .collect();
+        round_trip_both(&syms, 1024, DEFAULT_ENCODE_CHUNK);
+    }
+
+    #[test]
+    fn agrees_on_wide_alphabets() {
+        // Many symbols → some codes exceed LUT_BITS → slow path exercised.
+        let syms: Vec<u16> = (0..60_000)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                // Zipf-ish: frequent small symbols, a long tail.
+                ((h % 16) * (h % 97) % 4096) as u16
+            })
+            .collect();
+        round_trip_both(&syms, 4096, 2048);
+    }
+
+    #[test]
+    fn agrees_on_tiny_and_ragged_inputs() {
+        round_trip_both(&[5u16], 16, 7);
+        let syms: Vec<u16> = (0..777).map(|i| (i % 3) as u16).collect();
+        round_trip_both(&syms, 4, 100);
+    }
+
+    #[test]
+    fn lut_fallback_marker_is_unambiguous() {
+        // A degenerate book with one 1-bit code (canonical code '0'):
+        // exactly the half of the table whose leading bit is 0 resolves
+        // in one probe; the rest stays on the fallback marker.
+        let d = FastDecoder::from_lengths(&[1, 0, 0]);
+        let filled = d.lut.iter().filter(|&&e| e & 0xFF != 0).count();
+        assert_eq!(filled, 1 << (LUT_BITS - 1), "prefix-0 half of the table");
+        // A complete book (two 1-bit codes) fills everything.
+        let d = FastDecoder::from_lengths(&[1, 1]);
+        let filled = d.lut.iter().filter(|&&e| e & 0xFF != 0).count();
+        assert_eq!(filled, 1 << LUT_BITS);
+    }
+
+    #[test]
+    fn fast_is_not_slower_than_bit_by_bit() {
+        // Smoke-level: on a large skewed stream the LUT path should beat
+        // the canonical decoder (allow generous slack for CI noise).
+        let syms: Vec<u16> = (0..400_000)
+            .map(|i| if i % 31 == 0 { 510u16 } else { 512 })
+            .collect();
+        let hist = histogram(&syms, 1024);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, DEFAULT_ENCODE_CHUNK);
+        let t0 = std::time::Instant::now();
+        let slow = decode(&enc, &book);
+        let t_slow = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let fast = decode_fast(&enc);
+        let t_fast = t0.elapsed();
+        assert_eq!(slow, fast);
+        assert!(
+            t_fast < t_slow * 3,
+            "fast decode unexpectedly slow: {t_fast:?} vs {t_slow:?}"
+        );
+    }
+}

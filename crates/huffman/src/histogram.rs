@@ -1,0 +1,41 @@
+//! Symbol frequency counting (cuSZ+ compression Step-5).
+//!
+//! On the GPU this is the privatized-shared-memory histogram of
+//! Gómez-Luna et al.; on the CPU the same privatization happens per worker
+//! thread via [`cuszp_parallel::par_histogram`].
+
+/// Counts occurrences of each symbol value in `0..n_bins`.
+///
+/// Panics (in debug) if a symbol is out of range; in release an
+/// out-of-range symbol panics via the slice index, never corrupts.
+pub fn histogram(symbols: &[u16], n_bins: usize) -> Vec<u32> {
+    cuszp_parallel::par_histogram(symbols, n_bins, |&s| s as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exact() {
+        let syms = vec![0u16, 1, 1, 2, 2, 2, 1023];
+        let h = histogram(&syms, 1024);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[2], 3);
+        assert_eq!(h[1023], 1);
+        assert_eq!(h.iter().sum::<u32>(), 7);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let h = histogram(&[], 16);
+        assert_eq!(h, vec![0u32; 16]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_symbol_panics() {
+        histogram(&[5u16], 4);
+    }
+}

@@ -1,0 +1,181 @@
+//! Length-limited Huffman codes via the package-merge algorithm
+//! (Larmore & Hirschberg 1990).
+//!
+//! Unbounded Huffman depth on a skewed histogram can reach 40+ bits
+//! (Fibonacci-like tails are routine in quant-code histograms at tight
+//! bounds), which defeats table-accelerated decoding and complicates
+//! fixed-width codeword storage. Package-merge produces the *optimal*
+//! prefix code subject to a maximum length `L` — the same tool DEFLATE
+//! (L=15) and Zstd rely on.
+//!
+//! Cost model: building the optimal L-limited code is equivalent to
+//! choosing, for each symbol, how many of the L "levels" include it;
+//! package-merge greedily merges the two cheapest items per level from
+//! the bottom up, and the number of times a leaf appears in the final
+//! selection is its code length.
+
+/// Computes optimal code lengths subject to `max_len`.
+///
+/// * Zero-frequency symbols get length 0.
+/// * A single used symbol gets length 1.
+/// * Panics if the used-symbol count exceeds `2^max_len` (no prefix code
+///   can exist).
+pub fn code_lengths_limited(hist: &[u32], max_len: u8) -> Vec<u8> {
+    let max_len = max_len as usize;
+    assert!(max_len >= 1 && max_len <= 64, "max_len must be 1..=64");
+    let used: Vec<usize> = (0..hist.len()).filter(|&i| hist[i] > 0).collect();
+    let mut lengths = vec![0u8; hist.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    assert!(
+        used.len() as u128 <= 1u128 << max_len.min(127),
+        "{} symbols cannot fit in {max_len}-bit codes",
+        used.len()
+    );
+
+    // Package-merge. An item is either a leaf (one symbol) or a package
+    // of two items from the level below. We only need, per leaf, the
+    // *count* of times it is selected — that count is its code length.
+    #[derive(Clone)]
+    struct Item {
+        weight: u64,
+        /// Leaf-multiplicity vector is too fat; track per-leaf counts via
+        /// flattened indices into `counts` at resolution time. Store the
+        /// set of constituent leaves as an index list (small alphabets
+        /// keep this cheap; caps are ≤ 65536 symbols).
+        leaves: Vec<u32>,
+    }
+
+    // Level 1 (deepest) starts with just the leaves, sorted by weight.
+    let mut leaf_items: Vec<Item> = used
+        .iter()
+        .map(|&s| Item { weight: hist[s] as u64, leaves: vec![s as u32] })
+        .collect();
+    leaf_items.sort_by_key(|it| it.weight);
+
+    let mut prev_level: Vec<Item> = leaf_items.clone();
+    for _ in 1..max_len {
+        // Package pairs from the previous level...
+        let mut packages: Vec<Item> = prev_level
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| {
+                let mut leaves = c[0].leaves.clone();
+                leaves.extend_from_slice(&c[1].leaves);
+                Item { weight: c[0].weight + c[1].weight, leaves }
+            })
+            .collect();
+        // ...and merge with a fresh copy of the leaves.
+        packages.extend(leaf_items.iter().cloned());
+        packages.sort_by_key(|it| it.weight);
+        prev_level = packages;
+    }
+
+    // Select the cheapest 2·(n−1) items of the top level; each selection
+    // of a leaf increments its code length.
+    let n = used.len();
+    let mut counts = vec![0u32; hist.len()];
+    for item in prev_level.iter().take(2 * (n - 1)) {
+        for &leaf in &item.leaves {
+            counts[leaf as usize] += 1;
+        }
+    }
+    for &s in &used {
+        debug_assert!(counts[s] >= 1 && counts[s] as usize <= max_len);
+        lengths[s] = counts[s] as u8;
+    }
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code_lengths;
+
+    fn kraft(lengths: &[u8]) -> f64 {
+        lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum()
+    }
+
+    fn cost(hist: &[u32], lengths: &[u8]) -> u64 {
+        hist.iter().zip(lengths).map(|(&c, &l)| c as u64 * l as u64).sum()
+    }
+
+    #[test]
+    fn unconstrained_depth_matches_plain_huffman_cost() {
+        // With a generous limit the L-limited code must equal Huffman's
+        // total cost (both optimal).
+        let hist = [1000u32, 200, 100, 50, 25, 12, 6, 3];
+        let plain = code_lengths(&hist);
+        let limited = code_lengths_limited(&hist, 32);
+        assert_eq!(cost(&hist, &plain), cost(&hist, &limited));
+        assert!((kraft(&limited) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limit_is_enforced_on_fibonacci_tails() {
+        // Fibonacci weights force depth n−1 in plain Huffman.
+        let mut hist = vec![0u32; 24];
+        let (mut a, mut b) = (1u64, 1u64);
+        for slot in hist.iter_mut() {
+            *slot = a.min(u32::MAX as u64) as u32;
+            let next = a + b;
+            b = a;
+            a = next;
+        }
+        let plain = code_lengths(&hist);
+        assert!(plain.iter().copied().max().unwrap() > 12, "needs deep codes");
+        let limited = code_lengths_limited(&hist, 12);
+        assert!(limited.iter().all(|&l| l <= 12));
+        assert!((kraft(&limited) - 1.0).abs() < 1e-9, "kraft {}", kraft(&limited));
+        // Cost can only grow, and only modestly.
+        let c_plain = cost(&hist, &plain);
+        let c_lim = cost(&hist, &limited);
+        assert!(c_lim >= c_plain);
+        assert!(
+            (c_lim as f64) < c_plain as f64 * 1.05,
+            "limited {c_lim} vs plain {c_plain}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(code_lengths_limited(&[], 8), Vec::<u8>::new());
+        assert_eq!(code_lengths_limited(&[0, 7, 0], 8), vec![0, 1, 0]);
+        assert_eq!(code_lengths_limited(&[3, 3], 1), vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn too_many_symbols_for_the_limit() {
+        code_lengths_limited(&[1u32; 8], 2);
+    }
+
+    #[test]
+    fn limited_codes_build_valid_codebooks() {
+        let hist: Vec<u32> = (0..300).map(|i| 1 + (i * i) % 977).collect();
+        let lengths = code_lengths_limited(&hist, 12);
+        // Must be usable by the canonical machinery (Kraft-valid).
+        let book = crate::Codebook::from_lengths(&lengths);
+        assert_eq!(book.n_symbols(), 300);
+        // And round-trip a stream through encode/decode.
+        let syms: Vec<u16> = (0..20_000).map(|i| (i % 300) as u16).collect();
+        let enc = crate::encode(&syms, &book, 4096);
+        assert_eq!(crate::decode(&enc, &book), syms);
+        assert_eq!(crate::decode_fast(&enc), syms);
+    }
+
+    #[test]
+    fn twelve_bit_limit_keeps_the_fast_decoder_on_its_fast_path() {
+        // With max_len = 12 == LUT_BITS every symbol resolves in one
+        // table probe — the practical reason to length-limit.
+        let hist: Vec<u32> = (0..1024).map(|i| 1 + i as u32).collect();
+        let lengths = code_lengths_limited(&hist, 12);
+        assert!(lengths.iter().all(|&l| (1..=12).contains(&l)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Multi-byte-symbol canonical Huffman coding — the variable-length
+//! encoding ("VLE") stage of cuSZ/cuSZ+.
+//!
+//! Quant-codes use `cap` (default 1024) symbols, so a symbol spans more
+//! than one byte — the paper's "multi-byte Huffman". The pipeline is:
+//!
+//! 1. [`histogram`] — parallel, privatized frequency count;
+//! 2. [`build_codebook`] — Huffman tree → code lengths → *canonical*
+//!    codes (only the length array needs to be stored in the archive);
+//! 3. [`encode`] — chunked encoding + deflating: every fixed-size chunk of
+//!    symbols is packed independently (the GPU analog encodes per thread
+//!    block and concatenates); per-chunk bit counts are the only metadata;
+//! 4. [`decode`] — chunk-parallel canonical decoding.
+//!
+//! [`stats`] carries the information-theoretic side: entropy, average
+//! bit-length, and the Huffman redundancy bounds (Gallager's
+//! `R⁺ = p₁ + 0.086`, Johnsen's `R⁻ = 1 − H(p₁, 1−p₁)` for `p₁ > 0.4`)
+//! that let cuSZ+ predict `⟨b⟩` *without building the tree* — the basis of
+//! the RLE-vs-VLE workflow decision (§III-B of the paper).
+
+mod codebook;
+mod encode;
+mod fast_decode;
+mod histogram;
+mod length_limited;
+pub mod stats;
+mod tree;
+
+pub use codebook::{CanonicalDecoder, Codebook};
+pub use encode::{decode, decode_with_lengths, encode, HuffmanEncoded, DEFAULT_ENCODE_CHUNK};
+pub use fast_decode::{decode_fast, FastDecoder};
+pub use histogram::histogram;
+pub use length_limited::code_lengths_limited;
+pub use tree::code_lengths;
+
+/// Builds a canonical codebook from a symbol histogram.
+///
+/// Symbols with zero frequency get no code (length 0). A degenerate
+/// histogram with a single used symbol gets a 1-bit code.
+pub fn build_codebook(hist: &[u32]) -> Codebook {
+    let lengths = code_lengths(hist);
+    Codebook::from_lengths(&lengths)
+}
+
+/// Builds a canonical codebook with code lengths capped at `max_len`
+/// (package-merge; optimal under the constraint). Production decoders
+/// want `max_len` at or near the fast decoder's 12-bit table so nearly
+/// every symbol resolves in one probe.
+pub fn build_codebook_limited(hist: &[u32], max_len: u8) -> Codebook {
+    let lengths = code_lengths_limited(hist, max_len);
+    Codebook::from_lengths(&lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_skewed_stream() {
+        // A stream dominated by one symbol, as Lorenzo quant-codes are.
+        let mut syms = vec![512u16; 10_000];
+        for (i, s) in syms.iter_mut().enumerate() {
+            if i % 13 == 0 {
+                *s = 511;
+            }
+            if i % 97 == 0 {
+                *s = 513;
+            }
+        }
+        let hist = histogram(&syms, 1024);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, DEFAULT_ENCODE_CHUNK);
+        let dec = decode(&enc, &book);
+        assert_eq!(dec, syms);
+        // Compression must beat the 10-bit flat representation.
+        assert!(enc.payload.len() * 8 < syms.len() * 10);
+    }
+
+    #[test]
+    fn avg_bitlen_between_entropy_and_upper_bound() {
+        let mut syms = Vec::new();
+        for i in 0..4096u32 {
+            let s = if i % 3 == 0 { 7u16 } else if i % 7 == 0 { 9 } else { 8 };
+            syms.push(s);
+        }
+        let hist = histogram(&syms, 16);
+        let book = build_codebook(&hist);
+        let h = stats::entropy(&hist);
+        let b = stats::avg_bit_length(&hist, &book);
+        assert!(b + 1e-9 >= h, "avg bitlen {b} below entropy {h}");
+        assert!(b <= h + 1.0 + 1e-9, "avg bitlen {b} above entropy+1");
+    }
+}

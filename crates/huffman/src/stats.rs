@@ -1,0 +1,149 @@
+//! Information-theoretic estimates over symbol histograms.
+//!
+//! cuSZ+ decides between its two workflows *without building a Huffman
+//! tree*, using classical bounds on the redundancy `R = ⟨b⟩ − H(X)` of a
+//! binary Huffman code in terms of the most likely symbol's probability
+//! `p₁`:
+//!
+//! * **Upper bound** (Gallager 1978): `R⁺ = p₁ + 0.086`.
+//! * **Lower bound** (Johnsen 1980, for `p₁ > 0.4`):
+//!   `R⁻ = 1 − H(p₁, 1−p₁)`.
+//!
+//! So `H + R⁻ ≤ ⟨b⟩ ≤ H + R⁺`, and the paper's practical rule follows:
+//! *when the estimated `⟨b⟩ ≤ 1.09`, run-length encoding beats VLE* —
+//! in that regime the stream is so dominated by one symbol that runs are
+//! long and Huffman is pinned at its 1-bit floor.
+
+/// Shannon entropy of a frequency table, in bits per symbol.
+pub fn entropy(hist: &[u32]) -> f64 {
+    let total: f64 = hist.iter().map(|&c| c as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in hist {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Probability of the most likely symbol, `p₁ ∈ [0, 1]`.
+pub fn p1(hist: &[u32]) -> f64 {
+    let total: f64 = hist.iter().map(|&c| c as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    hist.iter().copied().max().unwrap_or(0) as f64 / total
+}
+
+/// Binary entropy `H(p, 1−p)` in bits.
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Gallager's upper bound on Huffman redundancy: `R⁺ = p₁ + 0.086`.
+pub fn redundancy_upper(p1: f64) -> f64 {
+    p1 + 0.086
+}
+
+/// Johnsen's lower bound on Huffman redundancy for `p₁ > 0.4`:
+/// `R⁻ = 1 − H(p₁, 1−p₁)`. For `p₁ ≤ 0.4` the bound degrades to 0.
+pub fn redundancy_lower(p1: f64) -> f64 {
+    if p1 > 0.4 {
+        (1.0 - binary_entropy(p1)).max(0.0)
+    } else {
+        0.0
+    }
+}
+
+/// Bracketing estimate of the Huffman average bit-length `⟨b⟩` from the
+/// histogram alone (no tree construction): `(lower, upper)`.
+///
+/// A Huffman code never emits fewer than 1 bit per symbol, so both ends
+/// are clamped at 1 from below.
+pub fn avg_bit_length_bounds(hist: &[u32]) -> (f64, f64) {
+    let h = entropy(hist);
+    let p = p1(hist);
+    let lo = (h + redundancy_lower(p)).max(1.0);
+    let hi = (h + redundancy_upper(p)).max(1.0);
+    (lo, hi)
+}
+
+/// Exact average bit-length of a concrete codebook under a histogram.
+pub fn avg_bit_length(hist: &[u32], book: &crate::Codebook) -> f64 {
+    book.expected_bits(hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_codebook;
+
+    #[test]
+    fn entropy_of_uniform_and_degenerate() {
+        assert!((entropy(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        assert_eq!(entropy(&[5, 0, 0]), 0.0);
+        assert_eq!(entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn binary_entropy_symmetry_and_peak() {
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!((binary_entropy(0.1) - binary_entropy(0.9)).abs() < 1e-12);
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+    }
+
+    #[test]
+    fn p1_is_max_probability() {
+        assert!((p1(&[6, 3, 1]) - 0.6).abs() < 1e-12);
+        assert_eq!(p1(&[]), 0.0);
+    }
+
+    #[test]
+    fn bounds_bracket_true_huffman_cost() {
+        // Several regimes of skew; the true ⟨b⟩ must respect the bracket.
+        for p_num in [45u32, 60, 80, 95] {
+            let dominant = p_num * 10;
+            let rest = (1000 - p_num * 10) / 3;
+            let hist = vec![dominant, rest, rest, rest];
+            let book = build_codebook(&hist);
+            let b = avg_bit_length(&hist, &book);
+            let (lo, hi) = avg_bit_length_bounds(&hist);
+            assert!(
+                b >= lo - 1e-9 && b <= hi + 1e-9,
+                "p1=0.{p_num}: bracket [{lo}, {hi}] misses ⟨b⟩={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_threshold_corresponds_to_high_p1() {
+        // ⟨b⟩ ≤ 1.09 requires a very dominant symbol. Find the p1 at which
+        // the *upper* bound crosses 1.09: H(p)+p+0.086 vs 1.09 has no
+        // solution below ~0.9; check monotone behaviour near there.
+        let b_at = |p: f64| {
+            let hist = [
+                (p * 1e6) as u32,
+                ((1.0 - p) * 5e5) as u32,
+                ((1.0 - p) * 5e5) as u32,
+            ];
+            let book = build_codebook(&hist);
+            avg_bit_length(&hist, &book)
+        };
+        assert!(b_at(0.99) < 1.09);
+        assert!(b_at(0.5) > 1.09);
+    }
+
+    #[test]
+    fn lower_bound_vanishes_below_p1_04() {
+        assert_eq!(redundancy_lower(0.3), 0.0);
+        assert!(redundancy_lower(0.9) > 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Huffman tree construction → optimal code lengths.
+//!
+//! Only the *lengths* leave this module: canonical code assignment
+//! (`codebook.rs`) rebuilds identical codes on both ends from lengths
+//! alone, which is why cuSZ can ship a compact codebook.
+//!
+//! The build is the classic two-queue O(n log n) heap algorithm. In cuSZ
+//! this step ran on a single GPU thread (the paper calls it out as a
+//! compression bottleneck); the cost model in `cuszp-gpusim` accounts for
+//! that serialization — here correctness is what matters, the histogram
+//! has at most `cap ≤ 65536` entries.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes optimal prefix-free code lengths for a frequency table.
+///
+/// * Zero-frequency symbols get length 0 (no code).
+/// * A single used symbol gets length 1.
+/// * With `u32` frequencies the maximum depth is ≤ 46 (Fibonacci bound on
+///   a ≤ 2³² total weight), so lengths always fit the `u64` codewords used
+///   downstream.
+pub fn code_lengths(hist: &[u32]) -> Vec<u8> {
+    let n = hist.len();
+    let used: Vec<usize> = (0..n).filter(|&i| hist[i] > 0).collect();
+    let mut lengths = vec![0u8; n];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Internal node arena: (weight, left, right); leaves are 0..used.len().
+    #[derive(Clone, Copy)]
+    struct Node {
+        left: u32,
+        right: u32,
+    }
+    let n_leaves = used.len();
+    let mut nodes: Vec<Node> = Vec::with_capacity(n_leaves - 1);
+    // Heap of (weight, node_id); node_id < n_leaves → leaf, else internal.
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = used
+        .iter()
+        .enumerate()
+        .map(|(leaf, &sym)| Reverse((hist[sym] as u64, leaf as u32)))
+        .collect();
+    while heap.len() > 1 {
+        let Reverse((wa, a)) = heap.pop().expect("heap nonempty");
+        let Reverse((wb, b)) = heap.pop().expect("heap nonempty");
+        let id = (n_leaves + nodes.len()) as u32;
+        nodes.push(Node { left: a, right: b });
+        heap.push(Reverse((wa + wb, id)));
+    }
+    let Reverse((_, root)) = heap.pop().expect("root");
+
+    // Depth-first traversal assigning depths to leaves.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((id, depth)) = stack.pop() {
+        if (id as usize) < n_leaves {
+            lengths[used[id as usize]] = depth.max(1);
+        } else {
+            let node = nodes[id as usize - n_leaves];
+            stack.push((node.left, depth + 1));
+            stack.push((node.right, depth + 1));
+        }
+    }
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Kraft sum must be exactly 1 for a complete prefix code.
+    fn kraft(lengths: &[u8]) -> f64 {
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum()
+    }
+
+    #[test]
+    fn classic_example() {
+        // freqs 1,1,2,4: lengths 3,3,2,1.
+        let lengths = code_lengths(&[1, 1, 2, 4]);
+        assert_eq!(lengths, vec![3, 3, 2, 1]);
+        assert!((kraft(&lengths) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_four_symbols() {
+        let lengths = code_lengths(&[5, 5, 5, 5]);
+        assert_eq!(lengths, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn zero_frequency_symbols_get_no_code() {
+        let lengths = code_lengths(&[0, 3, 0, 7, 0]);
+        assert_eq!(lengths[0], 0);
+        assert_eq!(lengths[2], 0);
+        assert_eq!(lengths[4], 0);
+        assert!(lengths[1] > 0 && lengths[3] > 0);
+        assert!((kraft(&lengths) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = code_lengths(&[0, 0, 42, 0]);
+        assert_eq!(lengths, vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        assert!(code_lengths(&[]).is_empty());
+        assert_eq!(code_lengths(&[0, 0, 0]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn lengths_are_optimal_for_skewed_input() {
+        // Expected code length must be within 1 bit of entropy.
+        let hist = [1000u32, 200, 100, 50, 25, 12, 6, 3];
+        let lengths = code_lengths(&hist);
+        let total: f64 = hist.iter().map(|&c| c as f64).sum();
+        let mut h = 0.0;
+        let mut avg = 0.0;
+        for (i, &c) in hist.iter().enumerate() {
+            if c > 0 {
+                let p = c as f64 / total;
+                h -= p * p.log2();
+                avg += p * lengths[i] as f64;
+            }
+        }
+        assert!(avg >= h - 1e-9 && avg <= h + 1.0);
+        assert!((kraft(&lengths) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fibonacci_like_depths_stay_bounded() {
+        // Exponentially decaying frequencies generate the deepest trees.
+        let mut hist = vec![0u32; 40];
+        let mut f = 1u64;
+        let mut g = 1u64;
+        for slot in hist.iter_mut() {
+            *slot = f.min(u32::MAX as u64) as u32;
+            let next = f + g;
+            g = f;
+            f = next;
+        }
+        let lengths = code_lengths(&hist);
+        assert!(lengths.iter().all(|&l| l <= 64));
+        assert!((kraft(&lengths) - 1.0).abs() < 1e-9);
+    }
+}

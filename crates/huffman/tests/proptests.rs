@@ -1,0 +1,113 @@
+//! Property tests: round-trips for arbitrary streams, canonical-code
+//! invariants, and the redundancy bracket.
+
+use cuszp_huffman::{build_codebook, decode, decode_with_lengths, encode, histogram, stats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn round_trip_arbitrary_streams(
+        syms in prop::collection::vec(0u16..128, 0..6000),
+        chunk in prop::sample::select(vec![7usize, 64, 1024, 4096]),
+    ) {
+        let hist = histogram(&syms, 128);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, chunk);
+        prop_assert_eq!(decode(&enc, &book), syms);
+    }
+
+    #[test]
+    fn decode_from_serialized_lengths_only(
+        syms in prop::collection::vec(0u16..32, 1..3000),
+    ) {
+        // Decoder must work from the archive-stored lengths alone.
+        let hist = histogram(&syms, 32);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, 512);
+        let lengths = enc.codebook_lengths.clone();
+        prop_assert_eq!(decode_with_lengths(&enc, &lengths), syms);
+    }
+
+    #[test]
+    fn kraft_equality_holds(hist in prop::collection::vec(0u32..10_000, 2..256)) {
+        let lengths = cuszp_huffman::code_lengths(&hist);
+        let used = lengths.iter().filter(|&&l| l > 0).count();
+        if used >= 2 {
+            let kraft: f64 = lengths.iter().filter(|&&l| l > 0)
+                .map(|&l| 2f64.powi(-(l as i32))).sum();
+            prop_assert!((kraft - 1.0).abs() < 1e-9, "kraft = {}", kraft);
+        }
+    }
+
+    #[test]
+    fn avg_bitlen_within_bracket(hist in prop::collection::vec(1u32..100_000, 2..64)) {
+        let book = build_codebook(&hist);
+        let b = stats::avg_bit_length(&hist, &book);
+        let (lo, hi) = stats::avg_bit_length_bounds(&hist);
+        prop_assert!(b >= lo - 1e-9, "⟨b⟩={} below lower bound {}", b, lo);
+        prop_assert!(b <= hi + 1e-9, "⟨b⟩={} above upper bound {}", b, hi);
+        // And the textbook bracket: H ≤ ⟨b⟩ < H + 1 (with the 1-bit floor).
+        let h = stats::entropy(&hist);
+        prop_assert!(b + 1e-9 >= h.max(1.0));
+        prop_assert!(b <= h.max(1.0) + 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn payload_matches_chunk_bit_accounting(
+        syms in prop::collection::vec(0u16..16, 1..5000),
+        chunk in 1usize..2000,
+    ) {
+        let hist = histogram(&syms, 16);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, chunk);
+        let bytes: usize = enc.chunk_bits.iter().map(|&b| (b as usize).div_ceil(8)).sum();
+        prop_assert_eq!(enc.payload.len(), bytes);
+        prop_assert_eq!(enc.chunk_bits.len(), syms.len().div_ceil(chunk));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_decoder_agrees_with_canonical(
+        syms in prop::collection::vec(0u16..512, 0..5000),
+        chunk in prop::sample::select(vec![64usize, 1024, 4096]),
+    ) {
+        let hist = histogram(&syms, 512);
+        let book = build_codebook(&hist);
+        let enc = encode(&syms, &book, chunk);
+        prop_assert_eq!(cuszp_huffman::decode_fast(&enc), decode(&enc, &book));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn length_limited_codes_are_valid_and_near_optimal(
+        hist in prop::collection::vec(0u32..50_000, 2..200),
+        limit in 9u8..20,
+    ) {
+        let used = hist.iter().filter(|&&c| c > 0).count();
+        prop_assume!(used as u64 <= 1u64 << limit);
+        let limited = cuszp_huffman::code_lengths_limited(&hist, limit);
+        prop_assert!(limited.iter().all(|&l| l <= limit));
+        // Kraft equality when ≥2 symbols are used.
+        if used >= 2 {
+            let kraft: f64 = limited.iter().filter(|&&l| l > 0)
+                .map(|&l| 2f64.powi(-(l as i32))).sum();
+            prop_assert!((kraft - 1.0).abs() < 1e-9, "kraft {}", kraft);
+        }
+        // Within 8% of unconstrained Huffman cost at these limits.
+        let plain = cuszp_huffman::code_lengths(&hist);
+        let cost = |ls: &[u8]| -> u64 {
+            hist.iter().zip(ls).map(|(&c, &l)| c as u64 * l as u64).sum()
+        };
+        let (cp, cl) = (cost(&plain), cost(&limited));
+        prop_assert!(cl >= cp, "limited can never beat optimal");
+        prop_assert!((cl as f64) <= cp as f64 * 1.08 + 64.0, "{} vs {}", cl, cp);
+    }
+}

@@ -1,0 +1,316 @@
+//! Greedy hash-chain LZ77 matcher and its token byte format.
+//!
+//! Window 32 KiB, minimum match 4, maximum match 258 (DEFLATE's numbers).
+//! The matcher hashes every 4-byte prefix into a head table with chained
+//! previous positions; search depth is the effort knob.
+//!
+//! Token serialization (varint-based, self-delimiting):
+//!
+//! * control varint `v`:
+//!   * `v & 1 == 0` → literal run of `v >> 1` bytes, which follow raw;
+//!   * `v & 1 == 1` → match of length `(v >> 1) + MIN_MATCH`, followed by
+//!     a varint distance (≥ 1).
+
+/// Minimum useful match length.
+pub const MIN_MATCH: usize = 4;
+/// Maximum match length (DEFLATE's cap).
+pub const MAX_MATCH: usize = 258;
+/// Sliding window size.
+pub const WINDOW: usize = 32 * 1024;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// Matcher effort: how many chain links to follow per position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionLevel {
+    /// Depth 8.
+    Fast,
+    /// Depth 32.
+    Default,
+    /// Depth 128.
+    Best,
+}
+
+impl CompressionLevel {
+    fn depth(self) -> usize {
+        match self {
+            CompressionLevel::Fast => 8,
+            CompressionLevel::Default => 32,
+            CompressionLevel::Best => 128,
+        }
+    }
+}
+
+/// One LZ77 token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A run of literal bytes.
+    Literals(Vec<u8>),
+    /// A back-reference: copy `len` bytes from `dist` behind the cursor.
+    Match {
+        /// Copy length (`MIN_MATCH..=MAX_MATCH`).
+        len: u32,
+        /// Backward distance (`1..=WINDOW`).
+        dist: u32,
+    },
+}
+
+#[inline(always)]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy LZ77 tokenization.
+pub fn tokenize(data: &[u8], level: CompressionLevel) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::new();
+    if n == 0 {
+        return tokens;
+    }
+    let depth = level.depth();
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; n.clamp(1, WINDOW)];
+    let window_mask = prev.len();
+
+    let mut lits: Vec<u8> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut steps = 0usize;
+            while cand != usize::MAX && steps < depth {
+                if cand >= i || i - cand > WINDOW {
+                    break;
+                }
+                // Compare forward.
+                let max_len = (n - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == max_len {
+                        break;
+                    }
+                }
+                let next = prev[cand % window_mask];
+                if next == usize::MAX || next >= cand {
+                    break;
+                }
+                cand = next;
+                steps += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            if !lits.is_empty() {
+                tokens.push(Token::Literals(std::mem::take(&mut lits)));
+            }
+            tokens.push(Token::Match { len: best_len as u32, dist: best_dist as u32 });
+            // Insert hash entries for the covered positions (sparsely, to
+            // bound cost: every position is still standard for quality).
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            let mut j = i;
+            while j < end {
+                let h = hash4(data, j);
+                prev[j % window_mask] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            if i + MIN_MATCH <= n {
+                let h = hash4(data, i);
+                prev[i % window_mask] = head[h];
+                head[h] = i;
+            }
+            lits.push(data[i]);
+            i += 1;
+        }
+    }
+    if !lits.is_empty() {
+        tokens.push(Token::Literals(lits));
+    }
+    tokens
+}
+
+/// Serializes tokens into the varint byte format documented above.
+pub fn serialize_tokens(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match t {
+            Token::Literals(bytes) => {
+                let mut rest: &[u8] = bytes;
+                // Split huge literal runs so control varints stay in u32.
+                while !rest.is_empty() {
+                    let take = rest.len().min((u32::MAX >> 1) as usize);
+                    push_varint((take as u32) << 1, &mut out);
+                    out.extend_from_slice(&rest[..take]);
+                    rest = &rest[take..];
+                }
+            }
+            Token::Match { len, dist } => {
+                debug_assert!(*len as usize >= MIN_MATCH);
+                push_varint((((*len as usize - MIN_MATCH) as u32) << 1) | 1, &mut out);
+                push_varint(*dist, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Parses the token byte format. Returns `None` on corruption.
+pub fn deserialize_tokens(bytes: &[u8]) -> Option<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let (v, p) = read_varint(bytes, pos)?;
+        pos = p;
+        if v & 1 == 0 {
+            let count = (v >> 1) as usize;
+            let run = bytes.get(pos..pos + count)?;
+            tokens.push(Token::Literals(run.to_vec()));
+            pos += count;
+        } else {
+            let len = (v >> 1) as usize + MIN_MATCH;
+            let (dist, p) = read_varint(bytes, pos)?;
+            pos = p;
+            if dist == 0 {
+                return None;
+            }
+            tokens.push(Token::Match { len: len as u32, dist });
+        }
+    }
+    Some(tokens)
+}
+
+/// Expands tokens back into the original bytes; `expected_len` guards
+/// against malformed streams.
+pub fn expand(tokens: &[Token], expected_len: usize) -> Option<Vec<u8>> {
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    for t in tokens {
+        match t {
+            Token::Literals(bytes) => out.extend_from_slice(bytes),
+            Token::Match { len, dist } => {
+                let dist = *dist as usize;
+                let len = *len as usize;
+                if dist == 0 || dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are the point (e.g. RLE-like refs).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if out.len() == expected_len {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn push_varint(mut v: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], mut pos: usize) -> Option<(u32, usize)> {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(pos)?;
+        pos += 1;
+        if shift >= 35 {
+            return None;
+        }
+        v |= ((b & 0x7f) as u32) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, pos));
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok_round_trip(data: &[u8], level: CompressionLevel) {
+        let tokens = tokenize(data, level);
+        let raw = serialize_tokens(&tokens);
+        let back = deserialize_tokens(&raw).expect("parse");
+        let out = expand(&back, data.len()).expect("expand");
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn tokenize_finds_the_obvious_repeat() {
+        let data = b"abcdabcdabcdabcd";
+        let tokens = tokenize(data, CompressionLevel::Default);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "periodic input must produce matches: {tokens:?}"
+        );
+        tok_round_trip(data, CompressionLevel::Default);
+    }
+
+    #[test]
+    fn overlapping_match_expansion() {
+        // "aaaaaaaa" typically encodes as literal 'a' + match(dist=1).
+        let tokens = vec![
+            Token::Literals(vec![b'a']),
+            Token::Match { len: 7, dist: 1 },
+        ];
+        let out = expand(&tokens, 8).unwrap();
+        assert_eq!(out, b"aaaaaaaa");
+    }
+
+    #[test]
+    fn all_levels_round_trip() {
+        let data: Vec<u8> = (0..30_000u32).map(|i| ((i * i) % 253) as u8).collect();
+        for level in [CompressionLevel::Fast, CompressionLevel::Default, CompressionLevel::Best] {
+            tok_round_trip(&data, level);
+        }
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        // Match with dist beyond output.
+        let tokens = vec![Token::Match { len: 5, dist: 99 }];
+        assert!(expand(&tokens, 5).is_none());
+        // Length mismatch.
+        let tokens = vec![Token::Literals(b"ab".to_vec())];
+        assert!(expand(&tokens, 5).is_none());
+        // Truncated varint.
+        assert!(deserialize_tokens(&[0x80]).is_none());
+        // Zero distance.
+        let mut raw = Vec::new();
+        push_varint(1, &mut raw); // match, len = MIN_MATCH
+        push_varint(0, &mut raw); // dist 0: invalid
+        assert!(deserialize_tokens(&raw).is_none());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize(&[], CompressionLevel::Default).is_empty());
+        assert_eq!(expand(&[], 0).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,38 @@
+//! Property tests: the lossless codec must be an exact inverse on
+//! arbitrary byte strings at every level.
+
+use cuszp_lossless::{compress_with_level, decompress, CompressionLevel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn round_trip_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = compress_with_level(&data, CompressionLevel::Default);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_repetitive_bytes(
+        pattern in prop::collection::vec(any::<u8>(), 1..64),
+        reps in 1usize..2000,
+    ) {
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * reps.min(5000)).copied().collect();
+        for level in [CompressionLevel::Fast, CompressionLevel::Best] {
+            let c = compress_with_level(&data, level);
+            prop_assert_eq!(decompress(&c).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn truncated_containers_never_panic(
+        data in prop::collection::vec(any::<u8>(), 0..2000),
+        cut in 0usize..100,
+    ) {
+        let c = compress_with_level(&data, CompressionLevel::Fast);
+        let cut = cut.min(c.len());
+        // Must return None or garbage-free Some, never panic.
+        let _ = decompress(&c[..c.len() - cut]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Distortion statistics between an original field and its lossy
+//! reconstruction.
+
+/// Summary statistics of the pointwise reconstruction error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Number of elements compared.
+    pub n: usize,
+    /// Maximum absolute error `max |orig − recon|`.
+    pub max_abs_err: f64,
+    /// Index at which the maximum error occurs.
+    pub max_abs_err_index: usize,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// RMSE normalized by the original value range.
+    pub nrmse: f64,
+    /// Peak signal-to-noise ratio in dB, `20·log10(range) − 10·log10(mse)`.
+    pub psnr: f64,
+    /// Value range (max − min) of the original field.
+    pub range: f64,
+    /// Pearson correlation coefficient between original and reconstruction.
+    pub pearson: f64,
+}
+
+impl ErrorStats {
+    /// Computes the full distortion summary. Panics if lengths differ.
+    ///
+    /// For an empty input, all statistics are zero except `psnr`, which is
+    /// `f64::INFINITY` (no distortion measurable).
+    pub fn compute(orig: &[f32], recon: &[f32]) -> Self {
+        assert_eq!(orig.len(), recon.len(), "field length mismatch");
+        let n = orig.len();
+        if n == 0 {
+            return Self {
+                n: 0,
+                max_abs_err: 0.0,
+                max_abs_err_index: 0,
+                mse: 0.0,
+                rmse: 0.0,
+                nrmse: 0.0,
+                psnr: f64::INFINITY,
+                range: 0.0,
+                pearson: 1.0,
+            };
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut max_abs = 0.0f64;
+        let mut max_idx = 0usize;
+        let mut sum_sq = 0.0f64;
+        let mut sum_o = 0.0f64;
+        let mut sum_r = 0.0f64;
+        for (i, (&o, &r)) in orig.iter().zip(recon).enumerate() {
+            let o = o as f64;
+            let r = r as f64;
+            lo = lo.min(o);
+            hi = hi.max(o);
+            let e = (o - r).abs();
+            if e > max_abs {
+                max_abs = e;
+                max_idx = i;
+            }
+            sum_sq += (o - r) * (o - r);
+            sum_o += o;
+            sum_r += r;
+        }
+        let mse = sum_sq / n as f64;
+        let rmse = mse.sqrt();
+        let range = hi - lo;
+        let mean_o = sum_o / n as f64;
+        let mean_r = sum_r / n as f64;
+        let mut cov = 0.0f64;
+        let mut var_o = 0.0f64;
+        let mut var_r = 0.0f64;
+        for (&o, &r) in orig.iter().zip(recon) {
+            let d_o = o as f64 - mean_o;
+            let dr = r as f64 - mean_r;
+            cov += d_o * dr;
+            var_o += d_o * d_o;
+            var_r += dr * dr;
+        }
+        let pearson = if var_o > 0.0 && var_r > 0.0 {
+            cov / (var_o.sqrt() * var_r.sqrt())
+        } else if var_o == var_r {
+            1.0
+        } else {
+            0.0
+        };
+        let psnr = if mse == 0.0 {
+            f64::INFINITY
+        } else if range == 0.0 {
+            // Constant field with nonzero error; PSNR undefined, report -inf.
+            f64::NEG_INFINITY
+        } else {
+            20.0 * range.log10() - 10.0 * mse.log10()
+        };
+        let nrmse = if range == 0.0 { 0.0 } else { rmse / range };
+        Self {
+            n,
+            max_abs_err: max_abs,
+            max_abs_err_index: max_idx,
+            mse,
+            rmse,
+            nrmse,
+            psnr,
+            range,
+            pearson,
+        }
+    }
+}
+
+/// Checks the defining invariant of error-bounded compression: every
+/// reconstructed value must lie within `bound` of the original.
+///
+/// Returns `Ok(stats)` when the bound holds, or `Err((index, error))`
+/// pointing at the first violation.
+///
+/// The check allows one `f32` ULP of slack at each value's magnitude on
+/// top of `bound·(1+1e-6)`: the final dequantization multiply must round
+/// its result into the `f32` grid, so when `bound` is below the local ULP
+/// the representation itself caps the attainable accuracy. Every SZ-family
+/// implementation shares this caveat.
+pub fn verify_error_bound(
+    orig: &[f32],
+    recon: &[f32],
+    bound: f64,
+) -> Result<ErrorStats, (usize, f64)> {
+    assert_eq!(orig.len(), recon.len(), "field length mismatch");
+    for (i, (&o, &r)) in orig.iter().zip(recon).enumerate() {
+        let e = (o as f64 - r as f64).abs();
+        let slack = bound * (1.0 + 1e-6) + (o.abs() as f64) * f32::EPSILON as f64;
+        if e > slack {
+            return Err((i, e));
+        }
+    }
+    Ok(ErrorStats::compute(orig, recon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_is_infinite_psnr() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let s = ErrorStats::compute(&a, &a);
+        assert_eq!(s.max_abs_err, 0.0);
+        assert!(s.psnr.is_infinite());
+        assert!((s.pearson - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_error_stats() {
+        let orig = vec![0.0f32, 1.0, 2.0, 3.0];
+        let recon = vec![0.5f32, 1.0, 2.0, 3.0];
+        let s = ErrorStats::compute(&orig, &recon);
+        assert_eq!(s.max_abs_err, 0.5);
+        assert_eq!(s.max_abs_err_index, 0);
+        assert!((s.mse - 0.0625).abs() < 1e-12);
+        assert!((s.range - 3.0).abs() < 1e-12);
+        // PSNR = 20 log10(3) - 10 log10(0.0625)
+        let expect = 20.0 * 3.0f64.log10() - 10.0 * 0.0625f64.log10();
+        assert!((s.psnr - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_verification_passes_and_fails() {
+        let orig = vec![0.0f32, 1.0];
+        let good = vec![0.01f32, 0.99];
+        let bad = vec![0.2f32, 1.0];
+        assert!(verify_error_bound(&orig, &good, 0.02).is_ok());
+        let err = verify_error_bound(&orig, &bad, 0.1).unwrap_err();
+        assert_eq!(err.0, 0);
+        // 0.2f32 widened to f64 is not exactly 0.2; compare loosely.
+        assert!((err.1 - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_fields_are_trivially_bounded() {
+        assert!(verify_error_bound(&[], &[], 0.1).is_ok());
+    }
+
+    #[test]
+    fn pearson_of_anticorrelated() {
+        let orig = vec![0.0f32, 1.0, 2.0, 3.0];
+        let recon = vec![3.0f32, 2.0, 1.0, 0.0];
+        let s = ErrorStats::compute(&orig, &recon);
+        assert!((s.pearson + 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quality and performance metrics for error-bounded lossy compression.
+//!
+//! Provides the fidelity statistics the SZ/cuSZ papers report — PSNR,
+//! NRMSE, maximum absolute/relative error, value range — plus
+//! compression-ratio accounting and GB/s throughput meters used by every
+//! benchmark table in the reproduction.
+
+mod error_stats;
+mod throughput;
+
+pub use error_stats::{verify_error_bound, ErrorStats};
+pub use throughput::{gbps, KernelTimer, ThroughputReport};
+
+/// Compression ratio: original bytes over compressed bytes.
+///
+/// Returns `f64::INFINITY` when `compressed == 0` and the original is
+/// non-empty (degenerate but possible for the all-zeros RLE fast path).
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    if compressed_bytes == 0 {
+        if original_bytes == 0 {
+            return 1.0;
+        }
+        return f64::INFINITY;
+    }
+    original_bytes as f64 / compressed_bytes as f64
+}
+
+/// Bit rate in output bits per input element.
+pub fn bit_rate(elements: usize, compressed_bytes: usize) -> f64 {
+    if elements == 0 {
+        return 0.0;
+    }
+    compressed_bytes as f64 * 8.0 / elements as f64
+}
+
+/// Value range (max − min) of a field; the denominator of *relative*
+/// error bounds ("relative to value range" in the paper).
+pub fn value_range(data: &[f32]) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &x in data {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    hi - lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basic() {
+        assert_eq!(compression_ratio(100, 10), 10.0);
+        assert_eq!(compression_ratio(0, 0), 1.0);
+        assert!(compression_ratio(10, 0).is_infinite());
+    }
+
+    #[test]
+    fn bit_rate_basic() {
+        // 4-byte floats compressed 32:1 -> 1 bit per element.
+        assert_eq!(bit_rate(32, 4), 1.0);
+        assert_eq!(bit_rate(0, 100), 0.0);
+    }
+
+    #[test]
+    fn range_basic() {
+        assert_eq!(value_range(&[1.0, -3.0, 5.0]), 8.0);
+        assert_eq!(value_range(&[]), 0.0);
+        assert_eq!(value_range(&[2.5]), 0.0);
+    }
+}

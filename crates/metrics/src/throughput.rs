@@ -1,0 +1,107 @@
+//! Throughput accounting in the paper's unit of record: GB/s of
+//! *uncompressed* field bytes processed per second of kernel time.
+
+use std::time::{Duration, Instant};
+
+/// Converts `(bytes, elapsed)` to GB/s (decimal GB, as in the paper).
+pub fn gbps(bytes: usize, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / 1e9 / secs
+}
+
+/// A stopwatch that runs a closure several times and reports the best
+/// (minimum) duration — the conventional way to report kernel throughput,
+/// since transient interference only ever slows a run down.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelTimer {
+    /// Number of timed repetitions.
+    pub reps: u32,
+    /// Number of untimed warmup runs.
+    pub warmup: u32,
+}
+
+impl Default for KernelTimer {
+    fn default() -> Self {
+        Self { reps: 3, warmup: 1 }
+    }
+}
+
+impl KernelTimer {
+    /// Creates a timer with the given repetitions and one warmup.
+    pub fn new(reps: u32) -> Self {
+        Self { reps: reps.max(1), warmup: 1 }
+    }
+
+    /// Times `f`, returning the minimum duration over the repetitions.
+    pub fn time<F: FnMut()>(&self, mut f: F) -> Duration {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut best = Duration::MAX;
+        for _ in 0..self.reps.max(1) {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed());
+        }
+        best
+    }
+
+    /// Times `f` over a field of `bytes` uncompressed bytes and returns
+    /// a throughput report.
+    pub fn throughput<F: FnMut()>(&self, bytes: usize, f: F) -> ThroughputReport {
+        let best = self.time(f);
+        ThroughputReport { bytes, elapsed: best, gbps: gbps(bytes, best) }
+    }
+}
+
+/// Result of a throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// Uncompressed bytes processed per repetition.
+    pub bytes: usize,
+    /// Best (minimum) elapsed time.
+    pub elapsed: Duration,
+    /// Decimal gigabytes per second.
+    pub gbps: f64,
+}
+
+impl std::fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} GB/s ({} bytes in {:?})", self.gbps, self.bytes, self.elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_conversion() {
+        assert_eq!(gbps(1_000_000_000, Duration::from_secs(1)), 1.0);
+        assert_eq!(gbps(500_000_000, Duration::from_millis(500)), 1.0);
+        assert!(gbps(1, Duration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn timer_returns_minimum() {
+        let timer = KernelTimer::new(3);
+        let mut calls = 0u32;
+        let d = timer.time(|| calls += 1);
+        // warmup (1) + reps (3)
+        assert_eq!(calls, 4);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn throughput_report_is_consistent() {
+        let timer = KernelTimer { reps: 2, warmup: 0 };
+        let r = timer.throughput(1_000_000, || std::thread::sleep(Duration::from_millis(2)));
+        assert!(r.gbps > 0.0 && r.gbps.is_finite());
+        assert_eq!(r.bytes, 1_000_000);
+        let s = format!("{r}");
+        assert!(s.contains("GB/s"));
+    }
+}

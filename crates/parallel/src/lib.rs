@@ -1,0 +1,446 @@
+//! Chunked data-parallel executor built on crossbeam scoped threads.
+//!
+//! This crate is the CPU substrate for every "kernel" in the cuSZ+
+//! reproduction. The paper's GPU kernels decompose into a small set of
+//! data-parallel primitives:
+//!
+//! * embarrassingly parallel element/chunk maps (Lorenzo construction,
+//!   prequantization, outlier scatter),
+//! * parallel reductions (histograms, min/max range scans),
+//! * parallel prefix sums / scans (the partial-sum Lorenzo reconstruction,
+//!   Huffman deflate offsets, RLE offsets),
+//! * `reduce_by_key` (run-length encoding à la `thrust::reduce_by_key`).
+//!
+//! All of these are provided here with a uniform chunking discipline: work
+//! is split into contiguous chunks, one in-flight chunk per worker thread.
+//! The number of workers is process-global and configurable (see
+//! [`set_workers`] / `CUSZP_THREADS`); on a single-core host everything
+//! degrades gracefully to sequential execution without spawning.
+//!
+//! The design deliberately mirrors how the CUDA kernels are organized:
+//! a chunk plays the role of a thread block, the per-chunk closure is the
+//! block program, and the two-phase scan corresponds to the
+//! `BlockScan`-then-device-level-offset pattern from NVIDIA cub.
+
+mod scan;
+mod segmented;
+
+pub use scan::{par_scan_inclusive, par_scan_inclusive_in_place, scan_inclusive_serial};
+pub use segmented::{reduce_by_key, RunBoundary};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count override. Zero means "not set, use default".
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Minimum number of elements per spawned worker; below this the overhead
+/// of spawning dominates and we run sequentially.
+pub const MIN_GRAIN: usize = 4 * 1024;
+
+/// Returns the number of worker threads used by the parallel primitives.
+///
+/// Resolution order: [`set_workers`] override, `CUSZP_THREADS` environment
+/// variable, then [`std::thread::available_parallelism`].
+pub fn num_workers() -> usize {
+    let w = WORKERS.load(Ordering::Relaxed);
+    if w != 0 {
+        return w;
+    }
+    if let Ok(s) = std::env::var("CUSZP_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Overrides the worker count for all subsequent parallel operations.
+///
+/// `0` restores the default resolution (env var / hardware parallelism).
+pub fn set_workers(n: usize) {
+    WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// Splits `len` elements into at most `parts` contiguous ranges of nearly
+/// equal size. Returns an empty vector when `len == 0`.
+pub fn partition_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Decides how many workers a job of `len` elements deserves.
+pub(crate) fn effective_workers(len: usize) -> usize {
+    let w = num_workers();
+    if w <= 1 || len < 2 * MIN_GRAIN {
+        1
+    } else {
+        w.min(len.div_ceil(MIN_GRAIN))
+    }
+}
+
+/// Runs `f` over disjoint index ranges covering `0..len` in parallel.
+///
+/// The closure receives `(range_index, range)`. With one worker (or small
+/// inputs) this is a plain loop — no threads are spawned.
+pub fn par_ranges<F>(len: usize, f: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync,
+{
+    let workers = effective_workers(len);
+    let ranges = partition_ranges(len, workers);
+    if workers <= 1 {
+        for (i, r) in ranges.into_iter().enumerate() {
+            f(i, r);
+        }
+        return;
+    }
+    crossbeam_utils::thread::scope(|s| {
+        for (i, r) in ranges.into_iter().enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i, r));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Applies `f` to every disjoint mutable chunk of `data` of length `chunk`
+/// (the last chunk may be shorter). The closure receives
+/// `(chunk_index, chunk)`. Chunks are distributed over the worker threads.
+///
+/// This is the moral equivalent of launching a 1-D grid of thread blocks:
+/// one chunk is one block's tile.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let n_chunks = data.len().div_ceil(chunk);
+    let workers = effective_workers(data.len()).min(n_chunks.max(1));
+    if workers <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    // Hand each worker a contiguous run of chunks so chunk indices stay
+    // aligned with data offsets.
+    let chunk_ranges = partition_ranges(n_chunks, workers);
+    crossbeam_utils::thread::scope(|s| {
+        let mut rest = data;
+        let mut consumed_chunks = 0usize;
+        for r in chunk_ranges {
+            let elems = ((r.end - r.start) * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(elems);
+            rest = tail;
+            let first_chunk = consumed_chunks;
+            consumed_chunks += r.end - r.start;
+            let f = &f;
+            s.spawn(move |_| {
+                for (j, c) in head.chunks_mut(chunk).enumerate() {
+                    f(first_chunk + j, c);
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Read-only chunked traversal collecting one result per chunk, in order.
+pub fn par_map_chunks<T, R, F>(data: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Default + Clone,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let n_chunks = data.len().div_ceil(chunk);
+    let mut out = vec![R::default(); n_chunks];
+    let workers = effective_workers(data.len()).min(n_chunks.max(1));
+    if workers <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let lo = i * chunk;
+            let hi = (lo + chunk).min(data.len());
+            *slot = f(i, &data[lo..hi]);
+        }
+        return out;
+    }
+    let chunk_ranges = partition_ranges(n_chunks, workers);
+    crossbeam_utils::thread::scope(|s| {
+        let mut rest: &mut [R] = &mut out;
+        for r in chunk_ranges {
+            let (head, tail) = rest.split_at_mut(r.end - r.start);
+            rest = tail;
+            let f = &f;
+            let first = r.start;
+            s.spawn(move |_| {
+                for (j, slot) in head.iter_mut().enumerate() {
+                    let idx = first + j;
+                    let lo = idx * chunk;
+                    let hi = (lo + chunk).min(data.len());
+                    *slot = f(idx, &data[lo..hi]);
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    out
+}
+
+/// Element-wise parallel map producing a new vector.
+pub fn par_map<T, R, F>(data: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Default + Clone,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut out = vec![R::default(); data.len()];
+    par_zip_mut(&mut out, data, |o, i| *o = f(i));
+    out
+}
+
+/// Parallel zip: applies `f(&mut out[i], &inp[i])` for all `i`.
+///
+/// Panics if lengths differ.
+pub fn par_zip_mut<T, U, F>(out: &mut [T], inp: &[U], f: F)
+where
+    T: Send,
+    U: Sync,
+    F: Fn(&mut T, &U) + Sync,
+{
+    assert_eq!(out.len(), inp.len(), "par_zip_mut length mismatch");
+    let len = out.len();
+    let workers = effective_workers(len);
+    if workers <= 1 {
+        for (o, i) in out.iter_mut().zip(inp) {
+            f(o, i);
+        }
+        return;
+    }
+    let ranges = partition_ranges(len, workers);
+    crossbeam_utils::thread::scope(|s| {
+        let mut rest = out;
+        let mut offset = 0;
+        for r in ranges {
+            let (head, tail) = rest.split_at_mut(r.end - r.start);
+            rest = tail;
+            let inp_part = &inp[offset..offset + head.len()];
+            offset += head.len();
+            let f = &f;
+            s.spawn(move |_| {
+                for (o, i) in head.iter_mut().zip(inp_part) {
+                    f(o, i);
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Parallel reduction with an associative, commutative combiner.
+///
+/// `map` projects each element; `combine` merges two accumulators;
+/// `identity` is the neutral accumulator.
+pub fn par_reduce<T, A, M, C>(data: &[T], identity: A, map: M, combine: C) -> A
+where
+    T: Sync,
+    A: Send + Clone,
+    M: Fn(&T) -> A + Sync,
+    C: Fn(A, A) -> A + Sync,
+{
+    let workers = effective_workers(data.len());
+    if workers <= 1 {
+        return data.iter().fold(identity, |acc, x| combine(acc, map(x)));
+    }
+    let ranges = partition_ranges(data.len(), workers);
+    let partials = parking_lot::Mutex::new(Vec::with_capacity(ranges.len()));
+    crossbeam_utils::thread::scope(|s| {
+        for r in ranges {
+            let map = &map;
+            let combine = &combine;
+            let identity = identity.clone();
+            let partials = &partials;
+            let slice = &data[r];
+            s.spawn(move |_| {
+                let acc = slice.iter().fold(identity, |acc, x| combine(acc, map(x)));
+                partials.lock().push(acc);
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    partials.into_inner().into_iter().fold(identity, combine)
+}
+
+/// Privatized parallel histogram: each worker accumulates into a private
+/// `u32` table and tables are summed at the end. This mirrors the
+/// privatization strategy of the GPU histogram kernel (Gómez-Luna et al.)
+/// used by cuSZ/cuSZ+.
+///
+/// `bin_of` must return a value `< n_bins` for every element.
+pub fn par_histogram<T, F>(data: &[T], n_bins: usize, bin_of: F) -> Vec<u32>
+where
+    T: Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    let workers = effective_workers(data.len());
+    if workers <= 1 {
+        let mut h = vec![0u32; n_bins];
+        for x in data {
+            h[bin_of(x)] += 1;
+        }
+        return h;
+    }
+    let ranges = partition_ranges(data.len(), workers);
+    let tables = parking_lot::Mutex::new(Vec::with_capacity(ranges.len()));
+    crossbeam_utils::thread::scope(|s| {
+        for r in ranges {
+            let bin_of = &bin_of;
+            let tables = &tables;
+            let slice = &data[r];
+            s.spawn(move |_| {
+                let mut h = vec![0u32; n_bins];
+                for x in slice {
+                    h[bin_of(x)] += 1;
+                }
+                tables.lock().push(h);
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    let mut acc = vec![0u32; n_bins];
+    for t in tables.into_inner() {
+        for (a, b) in acc.iter_mut().zip(&t) {
+            *a += b;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything() {
+        for len in [0usize, 1, 7, 100, 4096, 100_000] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let rs = partition_ranges(len, parts);
+                let mut cursor = 0;
+                for r in &rs {
+                    assert_eq!(r.start, cursor);
+                    assert!(r.end > r.start);
+                    cursor = r.end;
+                }
+                if len > 0 {
+                    assert_eq!(rs.last().unwrap().end, len);
+                    assert!(rs.len() <= parts.min(len).max(1));
+                } else {
+                    assert!(rs.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let rs = partition_ranges(10, 3);
+        let sizes: Vec<usize> = rs.iter().map(|r| r.end - r.start).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial() {
+        let mut a: Vec<u64> = (0..100_000).collect();
+        let mut b = a.clone();
+        par_chunks_mut(&mut a, 777, |ci, c| {
+            for x in c.iter_mut() {
+                *x = x.wrapping_mul(3).wrapping_add(ci as u64);
+            }
+        });
+        for (ci, c) in b.chunks_mut(777).enumerate() {
+            for x in c.iter_mut() {
+                *x = x.wrapping_mul(3).wrapping_add(ci as u64);
+            }
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_map_chunks_collects_in_order() {
+        let data: Vec<u32> = (0..50_000).collect();
+        let sums = par_map_chunks(&data, 1000, |_i, c| c.iter().map(|&x| x as u64).sum::<u64>());
+        assert_eq!(sums.len(), 50);
+        let expect: Vec<u64> = data
+            .chunks(1000)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn par_zip_handles_empty() {
+        let mut out: Vec<u8> = vec![];
+        par_zip_mut(&mut out, &[], |_o: &mut u8, _i: &u8| unreachable!());
+    }
+
+    #[test]
+    fn par_reduce_sum() {
+        let data: Vec<u32> = (1..=100_000).collect();
+        let s = par_reduce(&data, 0u64, |&x| x as u64, |a, b| a + b);
+        assert_eq!(s, 100_000u64 * 100_001 / 2);
+    }
+
+    #[test]
+    fn par_map_square() {
+        let data: Vec<i32> = (0..20_000).collect();
+        let sq = par_map(&data, |&x| (x as i64) * (x as i64));
+        for (i, v) in sq.iter().enumerate() {
+            assert_eq!(*v, (i as i64) * (i as i64));
+        }
+    }
+
+    #[test]
+    fn histogram_counts_every_element() {
+        let data: Vec<u16> = (0..30_000).map(|i| (i * 31 % 256) as u16).collect();
+        let h = par_histogram(&data, 256, |&x| x as usize);
+        assert_eq!(h.iter().map(|&c| c as usize).sum::<usize>(), data.len());
+        let mut serial = vec![0u32; 256];
+        for &x in &data {
+            serial[x as usize] += 1;
+        }
+        assert_eq!(h, serial);
+    }
+
+    #[test]
+    fn worker_override_round_trips() {
+        set_workers(3);
+        assert_eq!(num_workers(), 3);
+        set_workers(0);
+        assert!(num_workers() >= 1);
+    }
+
+    #[test]
+    fn par_ranges_covers_all_indices() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits = AtomicU64::new(0);
+        par_ranges(100_000, |_i, r| {
+            hits.fetch_add((r.end - r.start) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100_000);
+    }
+}

@@ -1,0 +1,157 @@
+//! Parallel inclusive prefix sum (scan).
+//!
+//! The partial-sum Lorenzo reconstruction of cuSZ+ (§IV-B of the paper)
+//! reduces decompression to repeated 1-D inclusive scans. On the GPU this
+//! is `cub::BlockScan` plus a device-level offset pass; here it is the
+//! classic three-phase parallel scan:
+//!
+//! 1. each worker scans its contiguous chunk locally,
+//! 2. the per-chunk totals are exclusively scanned serially (there are only
+//!    `O(workers)` of them),
+//! 3. each worker adds its chunk's offset to every element.
+//!
+//! The element type only needs an associative `combine`; Lorenzo uses plain
+//! integer addition (the paper's dual-quant argument — integer addition is
+//! exact and reorderable — is precisely what licenses this decomposition).
+
+use crate::{effective_workers, partition_ranges};
+
+/// Serial inclusive scan, the reference implementation.
+pub fn scan_inclusive_serial<T, F>(data: &mut [T], combine: F)
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let mut iter = data.iter_mut();
+    let mut acc = match iter.next() {
+        Some(first) => *first,
+        None => return,
+    };
+    for x in iter {
+        acc = combine(acc, *x);
+        *x = acc;
+    }
+}
+
+/// Parallel inclusive scan over `data` in place using the three-phase
+/// chunk-scan / offset-scan / fixup scheme.
+///
+/// `combine` must be associative. For small inputs this falls back to the
+/// serial scan.
+pub fn par_scan_inclusive_in_place<T, F>(data: &mut [T], combine: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let workers = effective_workers(data.len());
+    if workers <= 1 {
+        scan_inclusive_serial(data, combine);
+        return;
+    }
+    let ranges = partition_ranges(data.len(), workers);
+    // Phase 1: local scans; collect each chunk's total (its last element).
+    let mut totals: Vec<Option<T>> = Vec::new();
+    totals.resize_with(ranges.len(), || None);
+    crossbeam_utils::thread::scope(|s| {
+        let mut rest: &mut [T] = data;
+        let mut slots: &mut [Option<T>] = &mut totals;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.end - r.start);
+            rest = tail;
+            let (slot, slot_rest) = slots.split_first_mut().expect("slot per range");
+            slots = slot_rest;
+            let combine = &combine;
+            s.spawn(move |_| {
+                scan_inclusive_serial(head, combine);
+                *slot = head.last().copied();
+            });
+        }
+    })
+    .expect("scan worker panicked");
+
+    // Phase 2: exclusive scan of totals (serial; O(workers) elements).
+    let mut offsets: Vec<Option<T>> = Vec::with_capacity(ranges.len());
+    let mut running: Option<T> = None;
+    for t in &totals {
+        offsets.push(running);
+        running = match (running, *t) {
+            (Some(a), Some(b)) => Some(combine(a, b)),
+            (None, b) => b,
+            (a, None) => a,
+        };
+    }
+
+    // Phase 3: add offsets.
+    crossbeam_utils::thread::scope(|s| {
+        let mut rest: &mut [T] = data;
+        for (r, off) in ranges.iter().zip(offsets) {
+            let (head, tail) = rest.split_at_mut(r.end - r.start);
+            rest = tail;
+            let combine = &combine;
+            if let Some(off) = off {
+                s.spawn(move |_| {
+                    for x in head.iter_mut() {
+                        *x = combine(off, *x);
+                    }
+                });
+            }
+        }
+    })
+    .expect("scan worker panicked");
+}
+
+/// Parallel inclusive scan returning a new vector, leaving `data` intact.
+pub fn par_scan_inclusive<T, F>(data: &[T], combine: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let mut out = data.to_vec();
+    par_scan_inclusive_in_place(&mut out, combine);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_scan_basic() {
+        let mut v = vec![1i64, 2, 3, 4, 5];
+        scan_inclusive_serial(&mut v, |a, b| a + b);
+        assert_eq!(v, vec![1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn serial_scan_empty_and_single() {
+        let mut v: Vec<i32> = vec![];
+        scan_inclusive_serial(&mut v, |a, b| a + b);
+        assert!(v.is_empty());
+        let mut v = vec![42i32];
+        scan_inclusive_serial(&mut v, |a, b| a + b);
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_large() {
+        crate::set_workers(4);
+        let data: Vec<i64> = (0..250_000).map(|i| (i % 17) as i64 - 8).collect();
+        let mut serial = data.clone();
+        scan_inclusive_serial(&mut serial, |a, b| a + b);
+        let par = par_scan_inclusive(&data, |a, b| a + b);
+        assert_eq!(par, serial);
+        crate::set_workers(0);
+    }
+
+    #[test]
+    fn parallel_scan_with_wrapping_mul_monoid() {
+        crate::set_workers(3);
+        // Non-commutative-looking monoid (max) still associative.
+        let data: Vec<i32> = (0..100_000).map(|i| ((i * 2654435761u64 as usize) % 1000) as i32).collect();
+        let mut serial = data.clone();
+        scan_inclusive_serial(&mut serial, |a, b| a.max(b));
+        let par = par_scan_inclusive(&data, |a, b| a.max(b));
+        assert_eq!(par, serial);
+        crate::set_workers(0);
+    }
+}

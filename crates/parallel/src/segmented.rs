@@ -1,0 +1,158 @@
+//! Segmented operations: `reduce_by_key`, the primitive behind run-length
+//! encoding in cuSZ+ (`thrust::reduce_by_key` in the original).
+//!
+//! Given a sequence, `reduce_by_key` collapses every maximal run of equal
+//! adjacent keys into a single `(key, run_length)` pair. The parallel
+//! formulation splits the input into chunks, run-length encodes each chunk
+//! locally, then stitches the chunk boundaries: if the last run of chunk
+//! *i* carries the same key as the first run of chunk *i+1*, the two runs
+//! merge. Stitching is a serial `O(chunks)` pass, so the overall work stays
+//! `O(n / workers + workers)`.
+
+use crate::{partition_ranges, effective_workers};
+
+/// A maximal run boundary produced by chunk-local encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunBoundary<T> {
+    /// Runs fully contained in the chunk, in order.
+    pub runs: Vec<(T, u32)>,
+}
+
+/// Collapses maximal runs of equal adjacent elements into
+/// `(value, run_length)` pairs, in order. Run lengths are `u32`; a run
+/// longer than `u32::MAX` is split into multiple entries (scientific fields
+/// can legitimately contain billions of identical quant-codes).
+pub fn reduce_by_key<T>(data: &[T]) -> Vec<(T, u32)>
+where
+    T: Copy + PartialEq + Send + Sync,
+{
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let workers = effective_workers(data.len());
+    if workers <= 1 {
+        return reduce_by_key_serial(data);
+    }
+    let ranges = partition_ranges(data.len(), workers);
+    let mut parts: Vec<Vec<(T, u32)>> = Vec::new();
+    parts.resize_with(ranges.len(), Vec::new);
+    crossbeam_utils::thread::scope(|s| {
+        let mut slots: &mut [Vec<(T, u32)>] = &mut parts;
+        for r in &ranges {
+            let (slot, rest) = slots.split_first_mut().expect("slot per range");
+            slots = rest;
+            let slice = &data[r.clone()];
+            s.spawn(move |_| {
+                *slot = reduce_by_key_serial(slice);
+            });
+        }
+    })
+    .expect("reduce_by_key worker panicked");
+
+    // Stitch: merge boundary runs that share a key.
+    let mut out: Vec<(T, u32)> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        let mut iter = part.into_iter();
+        if let Some(first) = iter.next() {
+            match out.last_mut() {
+                Some(last) if last.0 == first.0 => {
+                    let (merged, overflow) = merge_counts(last.1, first.1);
+                    last.1 = merged;
+                    if let Some(extra) = overflow {
+                        out.push((first.0, extra));
+                    }
+                }
+                _ => out.push(first),
+            }
+        }
+        out.extend(iter);
+    }
+    out
+}
+
+/// Serial reference implementation of [`reduce_by_key`].
+pub(crate) fn reduce_by_key_serial<T>(data: &[T]) -> Vec<(T, u32)>
+where
+    T: Copy + PartialEq,
+{
+    let mut out: Vec<(T, u32)> = Vec::new();
+    for &x in data {
+        match out.last_mut() {
+            Some((v, c)) if *v == x && *c < u32::MAX => *c += 1,
+            _ => out.push((x, 1)),
+        }
+    }
+    out
+}
+
+/// Adds two run counts, splitting on `u32` overflow.
+fn merge_counts(a: u32, b: u32) -> (u32, Option<u32>) {
+    match a.checked_add(b) {
+        Some(s) => (s, None),
+        None => (u32::MAX, Some(a.wrapping_add(b).wrapping_add(1))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_rbk_textbook_example() {
+        // "aabcccccaa" -> (a,2)(b,1)(c,5)(a,2) — the paper's own example.
+        let s: Vec<u8> = b"aabcccccaa".to_vec();
+        let runs = reduce_by_key_serial(&s);
+        assert_eq!(
+            runs,
+            vec![(b'a', 2), (b'b', 1), (b'c', 5), (b'a', 2)]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        crate::set_workers(4);
+        let data: Vec<u16> = (0..200_000).map(|i| ((i / 37) % 5) as u16).collect();
+        let par = reduce_by_key(&data);
+        let ser = reduce_by_key_serial(&data);
+        assert_eq!(par, ser);
+        crate::set_workers(0);
+    }
+
+    #[test]
+    fn parallel_merges_chunk_boundary_runs() {
+        crate::set_workers(8);
+        // One gigantic run: every chunk boundary must merge.
+        let data = vec![7u8; 300_000];
+        let runs = reduce_by_key(&data);
+        assert_eq!(runs, vec![(7u8, 300_000)]);
+        crate::set_workers(0);
+    }
+
+    #[test]
+    fn runs_are_maximal() {
+        crate::set_workers(4);
+        let data: Vec<u8> = (0..150_000).map(|i| (i % 3) as u8).collect();
+        let runs = reduce_by_key(&data);
+        for w in runs.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "adjacent runs must differ");
+        }
+        let total: u64 = runs.iter().map(|&(_, c)| c as u64).sum();
+        assert_eq!(total, data.len() as u64);
+        crate::set_workers(0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let runs: Vec<(u8, u32)> = reduce_by_key(&[]);
+        assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn merge_counts_overflow_splits() {
+        let (a, b) = merge_counts(u32::MAX - 1, 5);
+        assert_eq!(a, u32::MAX);
+        assert_eq!(b, Some(4));
+        let (a, b) = merge_counts(10, 20);
+        assert_eq!((a, b), (30, None));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the parallel executor: every parallel primitive
+//! must agree with its obvious serial counterpart for arbitrary inputs and
+//! worker counts.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_matches_serial(data in prop::collection::vec(-1000i64..1000, 0..5000),
+                           workers in 1usize..6) {
+        cuszp_parallel::set_workers(workers);
+        let par = cuszp_parallel::par_scan_inclusive(&data, |a, b| a + b);
+        let mut ser = data.clone();
+        cuszp_parallel::scan_inclusive_serial(&mut ser, |a, b| a + b);
+        cuszp_parallel::set_workers(0);
+        prop_assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn reduce_by_key_round_trips(runs in prop::collection::vec((0u8..5, 1u32..50), 0..100),
+                                 workers in 1usize..6) {
+        // Expand runs into a sequence, encode, and check total length and
+        // maximality.
+        let mut data = Vec::new();
+        for &(v, c) in &runs {
+            data.extend(std::iter::repeat_n(v, c as usize));
+        }
+        cuszp_parallel::set_workers(workers);
+        let enc = cuszp_parallel::reduce_by_key(&data);
+        cuszp_parallel::set_workers(0);
+        // Decode and compare.
+        let mut dec = Vec::with_capacity(data.len());
+        for &(v, c) in &enc {
+            dec.extend(std::iter::repeat_n(v, c as usize));
+        }
+        prop_assert_eq!(&dec, &data);
+        for w in enc.windows(2) {
+            prop_assert_ne!(w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn histogram_is_exact(data in prop::collection::vec(0u16..64, 0..4000),
+                          workers in 1usize..6) {
+        cuszp_parallel::set_workers(workers);
+        let h = cuszp_parallel::par_histogram(&data, 64, |&x| x as usize);
+        cuszp_parallel::set_workers(0);
+        let mut ser = vec![0u32; 64];
+        for &x in &data { ser[x as usize] += 1; }
+        prop_assert_eq!(h, ser);
+    }
+
+    #[test]
+    fn par_map_is_pointwise(data in prop::collection::vec(any::<i32>(), 0..3000)) {
+        let out = cuszp_parallel::par_map(&data, |&x| x.wrapping_mul(7));
+        let ser: Vec<i32> = data.iter().map(|&x| x.wrapping_mul(7)).collect();
+        prop_assert_eq!(out, ser);
+    }
+
+    #[test]
+    fn par_reduce_agrees_with_fold(data in prop::collection::vec(any::<i32>(), 0..3000),
+                                   workers in 1usize..6) {
+        cuszp_parallel::set_workers(workers);
+        let s = cuszp_parallel::par_reduce(&data, 0i64, |&x| x as i64, |a, b| a + b);
+        cuszp_parallel::set_workers(0);
+        let ser: i64 = data.iter().map(|&x| x as i64).sum();
+        prop_assert_eq!(s, ser);
+    }
+}

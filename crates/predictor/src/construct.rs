@@ -1,0 +1,291 @@
+//! Lorenzo construction (compression side): prediction + postquantization.
+//!
+//! Thanks to dual-quantization the prediction reads *prequantized original*
+//! values, never reconstructed ones, so every element's quant-code can be
+//! computed independently — the kernel is embarrassingly parallel.
+//!
+//! Tiling: fields are carved into independent tiles (256 / 16×16 / 8×8×8);
+//! a predictor neighbor that falls outside the element's tile is taken as
+//! zero. Because tiles are axis-aligned with power-of-two edges, "outside
+//! the tile" is simply `coordinate % tile_edge == 0`, so no explicit tile
+//! bookkeeping is needed.
+
+use crate::{gather_outliers, prequantize, Dims, QuantField, Scalar};
+
+/// First-order Lorenzo prediction for a 1-D element from its in-tile
+/// neighbor (`0` at tile starts).
+#[inline(always)]
+fn predict_1d(dq: &[i64], i: usize, tx: usize) -> i64 {
+    if i.is_multiple_of(tx) {
+        0
+    } else {
+        dq[i - 1]
+    }
+}
+
+/// First-order Lorenzo prediction for a 2-D element.
+///
+/// `p = d[j−1,i] + d[j,i−1] − d[j−1,i−1]` with out-of-tile terms zeroed.
+#[inline(always)]
+fn predict_2d(dq: &[i64], j: usize, i: usize, nx: usize, ty: usize, tx: usize) -> i64 {
+    let up = !j.is_multiple_of(ty);
+    let left = !i.is_multiple_of(tx);
+    let idx = j * nx + i;
+    let mut p = 0i64;
+    if up {
+        p += dq[idx - nx];
+    }
+    if left {
+        p += dq[idx - 1];
+    }
+    if up && left {
+        p -= dq[idx - nx - 1];
+    }
+    p
+}
+
+/// First-order Lorenzo prediction for a 3-D element (7-point stencil with
+/// alternating signs), out-of-tile terms zeroed.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn predict_3d(
+    dq: &[i64],
+    k: usize,
+    j: usize,
+    i: usize,
+    ny: usize,
+    nx: usize,
+    tz: usize,
+    ty: usize,
+    tx: usize,
+) -> i64 {
+    let back = !k.is_multiple_of(tz);
+    let up = !j.is_multiple_of(ty);
+    let left = !i.is_multiple_of(tx);
+    let idx = (k * ny + j) * nx + i;
+    let sxy = nx; // stride along y
+    let sz = ny * nx; // stride along z
+    let mut p = 0i64;
+    if up {
+        p += dq[idx - sxy];
+    }
+    if left {
+        p += dq[idx - 1];
+    }
+    if back {
+        p += dq[idx - sz];
+    }
+    if up && left {
+        p -= dq[idx - sxy - 1];
+    }
+    if back && up {
+        p -= dq[idx - sz - sxy];
+    }
+    if back && left {
+        p -= dq[idx - sz - 1];
+    }
+    if back && up && left {
+        p += dq[idx - sz - sxy - 1];
+    }
+    p
+}
+
+/// Computes the prediction `p` for flat index `flat` given dims and tile.
+/// Shared by construction and the outlier gather kernel.
+pub(crate) fn predict_at(dq: &[i64], dims: Dims, flat: usize) -> i64 {
+    let [_, ty, tx] = dims.tile();
+    match dims {
+        Dims::D1(_) => predict_1d(dq, flat, tx),
+        Dims::D2 { nx, .. } => {
+            let j = flat / nx;
+            let i = flat % nx;
+            predict_2d(dq, j, i, nx, ty, tx)
+        }
+        Dims::D3 { ny, nx, .. } => {
+            let [tz, ty, tx] = dims.tile();
+            let i = flat % nx;
+            let j = (flat / nx) % ny;
+            let k = flat / (nx * ny);
+            predict_3d(dq, k, j, i, ny, nx, tz, ty, tx)
+        }
+    }
+}
+
+/// Runs the full prediction-quantization stage over a field.
+///
+/// `eb` is the **absolute** error bound; `cap` the number of quantization
+/// bins (`radius = cap/2`, must be even, `4 ≤ cap ≤ 65534`).
+///
+/// Returns the quant-codes (with `0` marking outliers), the sparse outlier
+/// list, and the parameters needed by decompression.
+pub fn construct<T: Scalar>(data: &[T], dims: Dims, eb: f64, cap: u16) -> QuantField {
+    assert_eq!(data.len(), dims.len(), "data length must match dims");
+    assert!(cap >= 4 && cap.is_multiple_of(2), "cap must be even and ≥ 4");
+    let radius = cap / 2;
+    let dq = prequantize(data, eb);
+    let codes = construct_codes(&dq, dims, radius);
+    let outliers = gather_outliers(&dq, &codes, dims, radius);
+    QuantField { codes, outliers, radius, dims, eb }
+}
+
+/// The Lorenzo-construction kernel proper: maps prequantized integers to
+/// quant-codes. Outlier positions receive the placeholder `0`; their δ is
+/// recovered later by [`gather_outliers`].
+///
+/// Parallelized over contiguous bands aligned with tile boundaries
+/// (1-D: 256-element chunks; 2-D: 16-row bands; 3-D: 8-plane slabs).
+pub fn construct_codes(dq: &[i64], dims: Dims, radius: u16) -> Vec<u16> {
+    let n = dims.len();
+    assert_eq!(dq.len(), n, "prequant length must match dims");
+    let r = radius as i64;
+    let mut codes = vec![0u16; n];
+    let [_, ty, tx] = dims.tile();
+
+    match dims {
+        Dims::D1(_) => {
+            cuszp_parallel::par_chunks_mut(&mut codes, tx, |ci, chunk| {
+                let base = ci * tx;
+                for (loc, c) in chunk.iter_mut().enumerate() {
+                    let i = base + loc;
+                    let delta = dq[i] - predict_1d(dq, i, tx);
+                    *c = encode_delta(delta, r);
+                }
+            });
+        }
+        Dims::D2 { nx, .. } => {
+            let band = ty * nx;
+            cuszp_parallel::par_chunks_mut(&mut codes, band, |bi, chunk| {
+                let j0 = bi * ty;
+                for (loc, c) in chunk.iter_mut().enumerate() {
+                    let j = j0 + loc / nx;
+                    let i = loc % nx;
+                    let delta = dq[j * nx + i] - predict_2d(dq, j, i, nx, ty, tx);
+                    *c = encode_delta(delta, r);
+                }
+            });
+        }
+        Dims::D3 { ny, nx, .. } => {
+            let [tz, ty, tx] = dims.tile();
+            let slab = tz * ny * nx;
+            cuszp_parallel::par_chunks_mut(&mut codes, slab, |si, chunk| {
+                let k0 = si * tz;
+                let plane = ny * nx;
+                for (loc, c) in chunk.iter_mut().enumerate() {
+                    let k = k0 + loc / plane;
+                    let rem = loc % plane;
+                    let j = rem / nx;
+                    let i = rem % nx;
+                    let delta =
+                        dq[(k * ny + j) * nx + i] - predict_3d(dq, k, j, i, ny, nx, tz, ty, tx);
+                    *c = encode_delta(delta, r);
+                }
+            });
+        }
+    }
+    codes
+}
+
+/// Encodes a prediction error as a quant-code: `δ + r` when `|δ| < r`,
+/// else the outlier placeholder `0`.
+#[inline(always)]
+fn encode_delta(delta: i64, r: i64) -> u16 {
+    if delta > -r && delta < r {
+        (delta + r) as u16
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_CAP;
+
+    #[test]
+    fn constant_field_codes_are_all_radius_after_first() {
+        // A constant field: first element of each tile predicts 0 so its δ
+        // is the (possibly large) value; interior elements predict exactly.
+        let data = vec![1.0f32; 512];
+        let qf = construct(&data, Dims::D1(512), 0.01, DEFAULT_CAP);
+        let r = qf.radius;
+        for (i, &c) in qf.codes.iter().enumerate() {
+            if i % 256 == 0 {
+                // δ = 50 (1.0 / 0.02), in range → code = r + 50.
+                assert_eq!(c, r + 50, "tile-start code at {i}");
+            } else {
+                assert_eq!(c, r, "interior code at {i}");
+            }
+        }
+        assert!(qf.outliers.is_empty());
+    }
+
+    #[test]
+    fn linear_ramp_1d_codes_are_constant_increment() {
+        // d = i → prequant with 2eb = 1 gives d° = i, δ = 1 inside tiles.
+        let data: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let qf = construct(&data, Dims::D1(1000), 0.5, DEFAULT_CAP);
+        let r = qf.radius;
+        for (i, &c) in qf.codes.iter().enumerate() {
+            if i % 256 != 0 {
+                assert_eq!(c, r + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn spike_becomes_outlier() {
+        let mut data = vec![0.0f32; 300];
+        data[100] = 1.0e6;
+        let qf = construct(&data, Dims::D1(300), 1e-3, DEFAULT_CAP);
+        assert_eq!(qf.codes[100], 0, "spike code must be the placeholder");
+        // The element after the spike predicts from the spike → also huge δ.
+        assert_eq!(qf.codes[101], 0);
+        assert!(qf.outliers.indices.contains(&100));
+        assert!(qf.outliers.indices.contains(&101));
+    }
+
+    #[test]
+    fn smooth_2d_field_has_no_outliers_and_small_codes() {
+        let (ny, nx) = (64, 64);
+        let data: Vec<f32> = (0..ny * nx)
+            .map(|t| {
+                let j = t / nx;
+                let i = t % nx;
+                ((j as f32) * 0.01 + (i as f32) * 0.02).sin()
+            })
+            .collect();
+        let qf = construct(&data, Dims::D2 { ny, nx }, 1e-2, DEFAULT_CAP);
+        assert!(qf.outlier_fraction() < 0.02, "smooth field should be captured");
+    }
+
+    #[test]
+    fn codes_zero_only_at_outliers() {
+        let mut data = vec![0.5f32; 4096];
+        data[777] = 9.0e8;
+        let qf = construct(&data, Dims::D2 { ny: 64, nx: 64 }, 1e-4, DEFAULT_CAP);
+        let zero_positions: Vec<u64> = qf
+            .codes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(zero_positions, qf.outliers.indices);
+    }
+
+    #[test]
+    fn predict_3d_corner_uses_no_neighbors() {
+        let dq = vec![5i64; 8 * 8 * 8];
+        // Element (0,0,0) of a tile predicts 0.
+        assert_eq!(predict_3d(&dq, 0, 0, 0, 8, 8, 8, 8, 8), 0);
+        // Fully interior element of a constant field predicts the constant:
+        // p = 3·5 − 3·5 + 5 = 5.
+        assert_eq!(predict_3d(&dq, 1, 1, 1, 8, 8, 8, 8, 8), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn rejects_mismatched_dims() {
+        construct(&[0.0; 10], Dims::D1(11), 1e-3, DEFAULT_CAP);
+    }
+}

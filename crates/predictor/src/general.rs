@@ -1,0 +1,276 @@
+//! The general-form Lorenzo predictor of arbitrary order (§IV-A.1b).
+//!
+//! Tao et al. give the order-`n`, dimension-`m` Lorenzo predictor as
+//!
+//! ```text
+//! p(x) = Σ_{k ≠ 0, 0 ≤ k_j ≤ n}  [ Π_j (−1)^{k_j+1} · C(n, k_j) ] · d[x − k]
+//! ```
+//!
+//! whose coefficients sum to exactly 1 (the property the paper leans on:
+//! with dual-quantization the whole computation is closed over the
+//! integers, so any evaluation order is exact). Order 1 specializes to
+//! the first-order predictors in `construct.rs`; higher orders use a
+//! deeper neighborhood and can predict curvature.
+//!
+//! Reconstruction for orders > 1 is *not* a partial-sum (the paper's
+//! identity is first-order-specific), so the general path reconstructs
+//! with the data-dependent sequential engine. This module exists to
+//! (a) verify the specialized first-order kernels against the closed
+//! form and (b) provide the higher-order option the SZ line supports.
+
+use crate::{Dims, OutlierList, QuantField, Scalar};
+
+/// Binomial coefficient C(n, k) for the small orders involved.
+fn binom(n: u32, k: u32) -> i64 {
+    if k > n {
+        return 0;
+    }
+    let mut num = 1i64;
+    let mut den = 1i64;
+    for i in 0..k as i64 {
+        num *= n as i64 - i;
+        den *= i + 1;
+    }
+    num / den
+}
+
+/// One predictor tap: offset (per axis) and integer coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tap {
+    /// Offsets `[dz, dy, dx]` (all ≥ 0; the tap reads `x − offset`).
+    pub offset: [usize; 3],
+    /// Signed integer coefficient.
+    pub coeff: i64,
+}
+
+/// Builds the general Lorenzo stencil of the given order for a rank.
+///
+/// Returns every tap with a non-zero coefficient, excluding `k = 0`
+/// (the predicted point itself).
+pub fn lorenzo_stencil(order: u32, rank: usize) -> Vec<Tap> {
+    assert!((1..=3).contains(&rank), "rank must be 1..=3");
+    assert!((1..=4).contains(&order), "order must be 1..=4");
+    let axis_range = |active: bool| if active { order as usize + 1 } else { 1 };
+    let mut taps = Vec::new();
+    for kz in 0..axis_range(rank >= 3) {
+        for ky in 0..axis_range(rank >= 2) {
+            for kx in 0..axis_range(true) {
+                if kz == 0 && ky == 0 && kx == 0 {
+                    continue;
+                }
+                // From p = [1 − Π_j (1 − B_j)^n] d: the tap at offset k
+                // carries (−1)^{Σ k_j + 1} · Π_j C(n, k_j).
+                let mut coeff = 1i64;
+                for &k in &[kz, ky, kx] {
+                    coeff *= binom(order, k as u32);
+                }
+                if (kz + ky + kx + 1) % 2 != 0 {
+                    coeff = -coeff;
+                }
+                if coeff != 0 {
+                    taps.push(Tap { offset: [kz, ky, kx], coeff });
+                }
+            }
+        }
+    }
+    taps
+}
+
+/// The defining property: stencil coefficients sum to 1.
+pub fn stencil_coefficient_sum(taps: &[Tap]) -> i64 {
+    taps.iter().map(|t| t.coeff).sum()
+}
+
+/// Predicts one element from already-known integer values using the
+/// stencil; out-of-tile / out-of-bounds taps contribute zero.
+fn predict_with_stencil(
+    dq: &[i64],
+    dims: Dims,
+    taps: &[Tap],
+    k: usize,
+    j: usize,
+    i: usize,
+) -> i64 {
+    let [_, ny, nx] = dims.extents();
+    let [tz, ty, tx] = dims.tile();
+    let mut p = 0i64;
+    for t in taps {
+        let [dz, dy, dx] = t.offset;
+        // A tap is valid only if it stays inside the element's tile
+        // (tile-relative coordinates must not go negative).
+        if k % tz < dz || j % ty < dy || i % tx < dx {
+            continue;
+        }
+        let idx = ((k - dz) * ny + (j - dy)) * nx + (i - dx);
+        p += t.coeff * dq[idx];
+    }
+    p
+}
+
+/// Full general-order construction: prequantize, predict with the
+/// order-`order` stencil, postquantize. Order 1 must agree exactly with
+/// [`construct`](crate::construct).
+pub fn construct_general<T: Scalar>(
+    data: &[T],
+    dims: Dims,
+    eb: f64,
+    cap: u16,
+    order: u32,
+) -> QuantField {
+    assert_eq!(data.len(), dims.len(), "data length must match dims");
+    assert!(cap >= 4 && cap.is_multiple_of(2), "cap must be even and ≥ 4");
+    let radius = cap / 2;
+    let r = radius as i64;
+    let dq = crate::prequantize(data, eb);
+    let taps = lorenzo_stencil(order, dims.rank());
+    let [_, ny, nx] = dims.extents();
+
+    let mut codes = vec![0u16; dq.len()];
+    let mut outliers = OutlierList::default();
+    for (flat, c) in codes.iter_mut().enumerate() {
+        let i = flat % nx;
+        let j = (flat / nx) % ny;
+        let k = flat / (nx * ny);
+        let delta = dq[flat] - predict_with_stencil(&dq, dims, &taps, k, j, i);
+        if delta > -r && delta < r {
+            *c = (delta + r) as u16;
+        } else {
+            outliers.indices.push(flat as u64);
+            outliers.values.push(delta + r);
+        }
+    }
+    QuantField { codes, outliers, radius, dims, eb }
+}
+
+/// Sequential reconstruction valid for any order (the general analog of
+/// the coarse engine): rebuilds each value from its already-reconstructed
+/// stencil neighborhood.
+pub fn reconstruct_general_prequant(qf: &QuantField, order: u32) -> Vec<i64> {
+    let taps = lorenzo_stencil(order, qf.dims.rank());
+    let [_, ny, nx] = qf.dims.extents();
+    let mut out = crate::fuse_codes_and_outliers(qf);
+    for flat in 0..out.len() {
+        let i = flat % nx;
+        let j = (flat / nx) % ny;
+        let k = flat / (nx * ny);
+        out[flat] += predict_with_stencil(&out, qf.dims, &taps, k, j, i);
+    }
+    out
+}
+
+/// Full general-order decompression to floats.
+pub fn reconstruct_general<T: Scalar>(qf: &QuantField, order: u32) -> Vec<T> {
+    let dq = reconstruct_general_prequant(qf, order);
+    crate::dequantize(&dq, qf.eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{construct, prequantize, DEFAULT_CAP};
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binom(1, 1), 1);
+        assert_eq!(binom(2, 1), 2);
+        assert_eq!(binom(3, 2), 3);
+        assert_eq!(binom(4, 2), 6);
+        assert_eq!(binom(2, 3), 0);
+    }
+
+    #[test]
+    fn coefficients_sum_to_one_for_all_orders_and_ranks() {
+        // The paper's §IV-A.1b: "throughout the prediction, coefficients
+        // sum to 1".
+        for order in 1..=4u32 {
+            for rank in 1..=3usize {
+                let taps = lorenzo_stencil(order, rank);
+                assert_eq!(
+                    stencil_coefficient_sum(&taps),
+                    1,
+                    "order {order} rank {rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_order_stencil_matches_the_classic_formulas() {
+        // 2-D order 1: +up +left −upleft.
+        let taps = lorenzo_stencil(1, 2);
+        let find = |off: [usize; 3]| taps.iter().find(|t| t.offset == off).map(|t| t.coeff);
+        assert_eq!(find([0, 1, 0]), Some(1));
+        assert_eq!(find([0, 0, 1]), Some(1));
+        assert_eq!(find([0, 1, 1]), Some(-1));
+        assert_eq!(taps.len(), 3);
+        // 3-D order 1: the 7-point alternating stencil.
+        let taps = lorenzo_stencil(1, 3);
+        assert_eq!(taps.len(), 7);
+        let find = |off: [usize; 3]| taps.iter().find(|t| t.offset == off).map(|t| t.coeff);
+        assert_eq!(find([1, 1, 1]), Some(1));
+        assert_eq!(find([1, 0, 0]), Some(1));
+        assert_eq!(find([1, 1, 0]), Some(-1));
+    }
+
+    #[test]
+    fn order_one_general_equals_specialized_construct() {
+        let data: Vec<f32> = (0..24 * 36)
+            .map(|t| {
+                let j = (t / 36) as f32;
+                let i = (t % 36) as f32;
+                (j * 0.11).sin() * (i * 0.07).cos() * 9.0
+            })
+            .collect();
+        let dims = Dims::D2 { ny: 24, nx: 36 };
+        let special = construct(&data, dims, 1e-3, DEFAULT_CAP);
+        let general = construct_general(&data, dims, 1e-3, DEFAULT_CAP, 1);
+        assert_eq!(special.codes, general.codes);
+        assert_eq!(special.outliers, general.outliers);
+    }
+
+    #[test]
+    fn general_round_trip_every_order() {
+        let data: Vec<f32> = (0..10 * 12 * 14)
+            .map(|t| ((t % 14) as f32 * 0.21).sin() + ((t / 14) as f32 * 0.04).cos() * 4.0)
+            .collect();
+        let dims = Dims::D3 { nz: 10, ny: 12, nx: 14 };
+        for order in 1..=3u32 {
+            let qf = construct_general(&data, dims, 1e-3, DEFAULT_CAP, order);
+            let got = reconstruct_general_prequant(&qf, order);
+            let expect = prequantize(&data, 1e-3);
+            assert_eq!(got, expect, "order {order} integer path must be lossless");
+            let floats: Vec<f32> = reconstruct_general(&qf, order);
+            for (o, r) in data.iter().zip(&floats) {
+                assert!(
+                    ((o - r).abs() as f64) <= 1e-3 * 1.001,
+                    "order {order}: {o} vs {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn second_order_flattens_quadratics() {
+        // `(1 − B)^n` annihilates polynomials of degree < n. On the 1-D
+        // quadratic i², the order-2 prediction error is the *constant*
+        // second difference (2), so its interior codes collapse to a
+        // single symbol; order 1 leaves the varying first difference
+        // (2i − 1), spreading codes across hundreds of symbols.
+        let data: Vec<f32> = (0..256).map(|i| (i * i) as f32).collect();
+        let dims = Dims::D1(256);
+        let q1 = construct_general(&data, dims, 0.5, 4096, 1);
+        let q2 = construct_general(&data, dims, 0.5, 4096, 2);
+        let distinct = |codes: &[u16]| {
+            let mut v: Vec<u16> = codes.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert_eq!(distinct(&q2.codes[4..]), 1, "order 2: constant error symbol");
+        assert_eq!(q2.codes[4], 2048 + 2, "the constant is the 2nd difference, 2");
+        assert!(
+            distinct(&q1.codes[4..]) > 100,
+            "order 1 sees the varying first difference"
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Multi-level interpolation predictor — the direction the paper's
+//! related work points to (Zhao et al., "dynamic spline interpolation",
+//! ICDE'21, the paper's reference 19) and the successor the SZ line adopted (SZ3 / cuSZ-i).
+//!
+//! The field is traversed coarse-to-fine: at each level, grid points at
+//! stride `s` are predicted from the already-known points at stride `2s`
+//! — cubic 4-point interpolation in the interior, linear at edges — one
+//! axis pass at a time (z, then y, then x, as SZ3 orders them). Thanks to dual-quantization the "already-known"
+//! values during compression are exactly the prequantized originals —
+//! identical to what decompression reconstructs — so both sides run the
+//! same dependency pattern and within a level every point is independent
+//! (GPU-friendly, like the partial-sum reconstruction).
+//!
+//! Interpolation typically beats Lorenzo on very smooth fields (it uses
+//! longer-range structure) and loses on noisy ones (its stencil spans
+//! farther) — the trade `ablation_predictors` quantifies.
+
+use crate::{Dims, OutlierList, QuantField, Scalar};
+
+/// Rounded average of two integers (round half away from zero).
+#[inline(always)]
+fn lerp2(a: i64, b: i64) -> i64 {
+    let s = a + b;
+    if s >= 0 {
+        (s + 1) / 2
+    } else {
+        -((-s + 1) / 2)
+    }
+}
+
+/// 4-point cubic interpolation of the midpoint between `b` and `c`, with
+/// outer neighbors `a` and `d` (SZ3's default spline weights):
+/// `p = (−a + 9b + 9c − d) / 16`, rounded half away from zero.
+#[inline(always)]
+fn cubic4(a: i64, b: i64, c: i64, d: i64) -> i64 {
+    let num = -a + 9 * (b + c) - d;
+    if num >= 0 {
+        (num + 8) / 16
+    } else {
+        -((-num + 8) / 16)
+    }
+}
+
+/// The interpolation traversal: visits every grid point exactly once in
+/// coarse-to-fine order and hands `(flat_index, predicted_value)` to the
+/// callback, which must return the *final* integer value at that point
+/// (the same value both compressor and decompressor settle on).
+///
+/// `known` is the working array; entries are written as they are visited.
+fn traverse<F>(known: &mut [i64], dims: Dims, mut visit: F)
+where
+    F: FnMut(usize, i64) -> i64,
+{
+    let [nz, ny, nx] = dims.extents();
+    let max_extent = nx.max(ny).max(nz);
+    if max_extent == 0 {
+        return;
+    }
+    // Top stride: smallest power of two ≥ max extent.
+    let mut top = 1usize;
+    while top < max_extent {
+        top <<= 1;
+    }
+    // The root point (0,0,0) is predicted as 0.
+    let root = visit(0, 0);
+    known[0] = root;
+
+    let idx = |k: usize, j: usize, i: usize| (k * ny + j) * nx + i;
+    let mut s2 = top; // parent stride
+    while s2 >= 2 {
+        let s = s2 / 2;
+        // Per-axis predictor: cubic when both outer neighbors exist on the
+        // coarser grid, linear at interior edges, copy at the boundary.
+        macro_rules! axis_predict {
+            ($pos:expr, $extent:expr, $at:expr) => {{
+                let m = $pos;
+                let prev = $at(m - s);
+                if m + s < $extent {
+                    if m >= 3 * s && m + 3 * s < $extent {
+                        cubic4($at(m - 3 * s), prev, $at(m + s), $at(m + 3 * s))
+                    } else {
+                        lerp2(prev, $at(m + s))
+                    }
+                } else {
+                    prev
+                }
+            }};
+        }
+        // Pass 1: refine along z at (z ≡ s mod 2s, y ≡ 0 mod 2s, x ≡ 0 mod 2s).
+        if nz > 1 {
+            for k in (s..nz).step_by(s2) {
+                for j in (0..ny).step_by(s2) {
+                    for i in (0..nx).step_by(s2) {
+                        let p = axis_predict!(k, nz, |z| known[idx(z, j, i)]);
+                        let v = visit(idx(k, j, i), p);
+                        known[idx(k, j, i)] = v;
+                    }
+                }
+            }
+        }
+        // Pass 2: refine along y at (z ≡ 0 mod s, y ≡ s mod 2s, x ≡ 0 mod 2s).
+        if ny > 1 {
+            for k in (0..nz).step_by(s) {
+                for j in (s..ny).step_by(s2) {
+                    for i in (0..nx).step_by(s2) {
+                        let p = axis_predict!(j, ny, |y| known[idx(k, y, i)]);
+                        let v = visit(idx(k, j, i), p);
+                        known[idx(k, j, i)] = v;
+                    }
+                }
+            }
+        }
+        // Pass 3: refine along x at (z, y ≡ 0 mod s, x ≡ s mod 2s).
+        for k in (0..nz).step_by(s) {
+            for j in (0..ny).step_by(s) {
+                for i in (s..nx).step_by(s2) {
+                    let p = axis_predict!(i, nx, |x| known[idx(k, j, x)]);
+                    let v = visit(idx(k, j, i), p);
+                    known[idx(k, j, i)] = v;
+                }
+            }
+        }
+        s2 = s;
+    }
+}
+
+/// Interpolation-predicted construction.
+pub fn construct_interpolation<T: Scalar>(
+    data: &[T],
+    dims: Dims,
+    eb: f64,
+    cap: u16,
+) -> QuantField {
+    assert_eq!(data.len(), dims.len(), "data length must match dims");
+    assert!(cap >= 4 && cap % 2 == 0, "cap must be even and ≥ 4");
+    let radius = cap / 2;
+    let r = radius as i64;
+    let dq = crate::prequantize(data, eb);
+    let mut codes = vec![0u16; dq.len()];
+    let mut outliers = OutlierList::default();
+
+    let mut known = vec![0i64; dq.len()];
+    if dq.is_empty() {
+        return QuantField { codes, outliers, radius, dims, eb };
+    }
+    traverse(&mut known, dims, |flat, p| {
+        let delta = dq[flat] - p;
+        if delta > -r && delta < r {
+            codes[flat] = (delta + r) as u16;
+        } else {
+            outliers.indices.push(flat as u64);
+            outliers.values.push(delta + r);
+        }
+        // Dual-quant: the known value is the exact prequantized original.
+        dq[flat]
+    });
+
+    // Traversal order is coarse-to-fine, not index order; restore the
+    // sorted-index invariant of the outlier list.
+    let mut zipped: Vec<(u64, i64)> =
+        outliers.indices.iter().copied().zip(outliers.values.iter().copied()).collect();
+    zipped.sort_unstable_by_key(|&(i, _)| i);
+    outliers.indices = zipped.iter().map(|&(i, _)| i).collect();
+    outliers.values = zipped.iter().map(|&(_, v)| v).collect();
+
+    QuantField { codes, outliers, radius, dims, eb }
+}
+
+/// Interpolation reconstruction to prequantized integers.
+pub fn reconstruct_interpolation_prequant(qf: &QuantField) -> Vec<i64> {
+    let deltas = crate::fuse_codes_and_outliers(qf);
+    let mut known = vec![0i64; deltas.len()];
+    if deltas.is_empty() {
+        return known;
+    }
+    let mut out = vec![0i64; deltas.len()];
+    traverse(&mut known, qf.dims, |flat, p| {
+        let v = p + deltas[flat];
+        out[flat] = v;
+        v
+    });
+    out
+}
+
+/// Full interpolation decompression.
+pub fn reconstruct_interpolation<T: Scalar>(qf: &QuantField) -> Vec<T> {
+    let dq = reconstruct_interpolation_prequant(qf);
+    crate::dequantize(&dq, qf.eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prequantize, DEFAULT_CAP};
+
+    fn check_round_trip(data: &[f32], dims: Dims, eb: f64) {
+        let qf = construct_interpolation(data, dims, eb, DEFAULT_CAP);
+        let got = reconstruct_interpolation_prequant(&qf);
+        let expect = prequantize(data, eb);
+        assert_eq!(got, expect, "integer path must be lossless");
+        let floats: Vec<f32> = reconstruct_interpolation(&qf);
+        for (o, r) in data.iter().zip(&floats) {
+            let slack = eb * (1.0 + 1e-6) + (o.abs() as f64) * f32::EPSILON as f64;
+            assert!(((o - r).abs() as f64) <= slack, "{o} vs {r}");
+        }
+    }
+
+    #[test]
+    fn round_trip_all_ranks_and_ragged_sizes() {
+        let f = |n: usize| -> Vec<f32> {
+            (0..n).map(|i| (i as f32 * 0.004).sin() * 8.0 + (i as f32 * 0.0009).cos()).collect()
+        };
+        check_round_trip(&f(1), Dims::D1(1), 1e-3);
+        check_round_trip(&f(1000), Dims::D1(1000), 1e-3);
+        check_round_trip(&f(1024), Dims::D1(1024), 1e-3);
+        check_round_trip(&f(48 * 80), Dims::D2 { ny: 48, nx: 80 }, 1e-3);
+        check_round_trip(&f(33 * 47), Dims::D2 { ny: 33, nx: 47 }, 1e-2);
+        check_round_trip(&f(12 * 20 * 28), Dims::D3 { nz: 12, ny: 20, nx: 28 }, 1e-3);
+        check_round_trip(&f(16 * 16 * 16), Dims::D3 { nz: 16, ny: 16, nx: 16 }, 1e-4);
+    }
+
+    #[test]
+    fn every_point_visited_exactly_once() {
+        let dims = Dims::D3 { nz: 9, ny: 13, nx: 17 };
+        let mut seen = vec![0u32; dims.len()];
+        let mut known = vec![0i64; dims.len()];
+        traverse(&mut known, dims, |flat, _p| {
+            seen[flat] += 1;
+            0
+        });
+        assert!(seen.iter().all(|&c| c == 1), "coverage: {seen:?}");
+    }
+
+    #[test]
+    fn linear_data_is_interpolated_exactly() {
+        // On a linear ramp every midpoint interpolation is exact, so all
+        // codes are the zero-error symbol except the sparse boundary/root
+        // extrapolations.
+        let n = 1024;
+        let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let qf = construct_interpolation(&data, Dims::D1(n), 0.5, 4096);
+        let r = 2048u16;
+        let nonzero = qf
+            .codes
+            .iter()
+            .filter(|&&c| c != r && c != 0)
+            .count()
+            + qf.outliers.len();
+        // Root + the right-edge extrapolation chain: O(log n) points.
+        assert!(nonzero <= 16, "only boundary points may miss: {nonzero}");
+    }
+
+    #[test]
+    fn interpolation_beats_lorenzo_on_very_smooth_3d_data() {
+        // The SZ3 story: long-range smooth structure favors interpolation.
+        let (nz, ny, nx) = (32usize, 32usize, 32usize);
+        let data: Vec<f32> = (0..nz * ny * nx)
+            .map(|t| {
+                let i = (t % nx) as f32 / nx as f32;
+                let j = ((t / nx) % ny) as f32 / ny as f32;
+                let k = (t / nx / ny) as f32 / nz as f32;
+                ((i * 2.1).sin() + (j * 1.7).cos() + (k * 1.3).sin()) * 100.0
+            })
+            .collect();
+        let dims = Dims::D3 { nz, ny, nx };
+        let eb = 1e-4 * 400.0; // tight relative bound
+        let lorenzo = crate::construct(&data, dims, eb, DEFAULT_CAP);
+        let interp = construct_interpolation(&data, dims, eb, DEFAULT_CAP);
+        let entropy = |qf: &QuantField| {
+            let mut hist = std::collections::HashMap::new();
+            for &c in &qf.codes {
+                *hist.entry(c).or_insert(0u32) += 1;
+            }
+            let n = qf.codes.len() as f64;
+            -hist.values().map(|&c| {
+                let p = c as f64 / n;
+                p * p.log2()
+            }).sum::<f64>()
+        };
+        let (hl, hi) = (entropy(&lorenzo), entropy(&interp));
+        assert!(
+            hi < hl,
+            "interpolation codes should carry less entropy: {hi:.3} vs {hl:.3} bits"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Dual-quantization and first-order Lorenzo prediction — the
+//! prediction-quantization stage of cuSZ/cuSZ+ (§IV-A of the paper) and the
+//! partial-sum reconstruction of cuSZ+ (§IV-B).
+//!
+//! # Pipeline
+//!
+//! Compression (per tile, no inter-tile dependency):
+//!
+//! 1. **prequant** — `d° = round(d / (2·eb))` integerizes every value; the
+//!    reconstruction `d°·2eb` is then within `eb` of the original. This is
+//!    the step that removes the loop-carried read-after-write dependency of
+//!    classic SZ: prediction afterwards runs on *final* integers.
+//! 2. **predict + postquant** — `δ = d° − ℓ(neighbors)` with the
+//!    first-order Lorenzo predictor `ℓ`; in-range `δ` becomes the
+//!    quant-code `q = δ + r` (`r` = radius), out-of-range `δ` is recorded
+//!    as a sparse *outlier* and the code stores the placeholder `0`.
+//!
+//! Decompression:
+//!
+//! * **fuse** — `q' = q + outlier − r` (outlier entries are pre-biased so
+//!   this is branch-free; see [`OutlierList`]),
+//! * **partial-sum** — the paper's key identity: first-order Lorenzo
+//!   reconstruction over a tile equals the N-dimensional inclusive prefix
+//!   sum of `q'`, computable as N independent 1-D scan passes
+//!   ([`reconstruct`]), fully parallel,
+//! * **dequant** — `d = d°·2eb`.
+//!
+//! Three reconstruction engines are provided so the paper's comparison can
+//! be reproduced: [`ReconstructEngine::CoarseSerial`] (cuSZ: one worker per
+//! tile, serial inside), [`ReconstructEngine::FinePartialSumNaive`]
+//! (proof-of-concept scan), and [`ReconstructEngine::FinePartialSum`]
+//! (optimized scan with fused outlier injection, the cuSZ+ kernel).
+
+mod construct;
+pub mod general;
+pub mod interpolation;
+mod outlier;
+mod quantize;
+mod reconstruct;
+pub mod regression;
+mod scalar;
+
+pub use construct::{construct, construct_codes};
+pub use general::{
+    construct_general, lorenzo_stencil, reconstruct_general, reconstruct_general_prequant, Tap,
+};
+pub use interpolation::{
+    construct_interpolation, reconstruct_interpolation, reconstruct_interpolation_prequant,
+};
+pub use outlier::{gather_outliers, scatter_outliers};
+pub use quantize::{dequantize, prequantize, prequantize_into};
+pub use regression::{
+    construct_regression, reconstruct_regression, reconstruct_regression_prequant,
+    RegressionCoeffs, TileCoeffs,
+};
+pub use scalar::Scalar;
+pub use reconstruct::{
+    fuse_codes_and_outliers, reconstruct, reconstruct_in_place, reconstruct_prequant,
+    ReconstructEngine,
+};
+
+/// Default number of quantization bins (`cap`); the radius is `cap / 2`.
+/// cuSZ uses 1024 bins by default, giving 10-bit quant-codes — hence the
+/// "multi-byte" Huffman symbols.
+pub const DEFAULT_CAP: u16 = 1024;
+
+/// Tile edge for 1-D fields (paper: 256-element chunks).
+pub const TILE_1D: usize = 256;
+/// Tile edge for 2-D fields (paper: 16×16 chunks).
+pub const TILE_2D: usize = 16;
+/// Tile edge for 3-D fields (paper: 8×8×8 chunks).
+pub const TILE_3D: usize = 8;
+
+/// Logical dimensions of a field, C-order (last index fastest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dims {
+    /// 1-D field of `n` elements.
+    D1(usize),
+    /// 2-D field, `ny` rows × `nx` columns.
+    D2 { ny: usize, nx: usize },
+    /// 3-D field, `nz` planes × `ny` rows × `nx` columns.
+    D3 { nz: usize, ny: usize, nx: usize },
+}
+
+impl Dims {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        match *self {
+            Dims::D1(n) => n,
+            Dims::D2 { ny, nx } => ny * nx,
+            Dims::D3 { nz, ny, nx } => nz * ny * nx,
+        }
+    }
+
+    /// True when the field holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality (1, 2, or 3).
+    pub fn rank(&self) -> usize {
+        match self {
+            Dims::D1(_) => 1,
+            Dims::D2 { .. } => 2,
+            Dims::D3 { .. } => 3,
+        }
+    }
+
+    /// Extents as `[nz, ny, nx]` with leading 1s for lower ranks.
+    pub fn extents(&self) -> [usize; 3] {
+        match *self {
+            Dims::D1(n) => [1, 1, n],
+            Dims::D2 { ny, nx } => [1, ny, nx],
+            Dims::D3 { nz, ny, nx } => [nz, ny, nx],
+        }
+    }
+
+    /// The tile shape used for this rank, `[tz, ty, tx]`.
+    pub fn tile(&self) -> [usize; 3] {
+        match self {
+            Dims::D1(_) => [1, 1, TILE_1D],
+            Dims::D2 { .. } => [1, TILE_2D, TILE_2D],
+            Dims::D3 { .. } => [TILE_3D, TILE_3D, TILE_3D],
+        }
+    }
+}
+
+/// Sparse record of prediction errors that fell outside the quantization
+/// range. Values are stored **pre-biased**: `value = δ + radius`, so that
+/// decompression can compute `q' = code + outlier − radius` uniformly
+/// (codes hold the placeholder `0` at outlier positions) without a branch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutlierList {
+    /// Flat element indices, strictly increasing.
+    pub indices: Vec<u64>,
+    /// Pre-biased values `δ + radius` (can be any i64).
+    pub values: Vec<i64>,
+}
+
+impl OutlierList {
+    /// Number of outliers.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when no outliers were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Serialized size in bytes (index + value per entry).
+    pub fn storage_bytes(&self) -> usize {
+        self.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<i64>())
+    }
+}
+
+/// Output of the prediction-quantization stage: everything decompression
+/// needs besides the entropy-coded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantField {
+    /// One quant-code per element; `0` marks an outlier position,
+    /// in-range codes lie in `1..cap`.
+    pub codes: Vec<u16>,
+    /// Sparse out-of-range prediction errors.
+    pub outliers: OutlierList,
+    /// Quantization radius `r = cap / 2`; the "zero error" symbol is `r`.
+    pub radius: u16,
+    /// Field dimensions.
+    pub dims: Dims,
+    /// Absolute error bound used for prequantization.
+    pub eb: f64,
+}
+
+impl QuantField {
+    /// Fraction of elements that became outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.codes.is_empty() {
+            0.0
+        } else {
+            self.outliers.len() as f64 / self.codes.len() as f64
+        }
+    }
+
+    /// Number of quantization bins (`2 × radius`).
+    pub fn cap(&self) -> u16 {
+        self.radius * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_accounting() {
+        assert_eq!(Dims::D1(100).len(), 100);
+        assert_eq!(Dims::D2 { ny: 4, nx: 5 }.len(), 20);
+        assert_eq!(Dims::D3 { nz: 2, ny: 3, nx: 4 }.len(), 24);
+        assert_eq!(Dims::D1(0).rank(), 1);
+        assert_eq!(Dims::D3 { nz: 1, ny: 1, nx: 1 }.rank(), 3);
+        assert!(Dims::D1(0).is_empty());
+        assert!(!Dims::D1(1).is_empty());
+    }
+
+    #[test]
+    fn extents_pad_with_ones() {
+        assert_eq!(Dims::D1(7).extents(), [1, 1, 7]);
+        assert_eq!(Dims::D2 { ny: 3, nx: 7 }.extents(), [1, 3, 7]);
+        assert_eq!(Dims::D3 { nz: 2, ny: 3, nx: 7 }.extents(), [2, 3, 7]);
+    }
+
+    #[test]
+    fn tiles_match_paper() {
+        assert_eq!(Dims::D1(1).tile(), [1, 1, 256]);
+        assert_eq!(Dims::D2 { ny: 1, nx: 1 }.tile(), [1, 16, 16]);
+        assert_eq!(Dims::D3 { nz: 1, ny: 1, nx: 1 }.tile(), [8, 8, 8]);
+    }
+
+    #[test]
+    fn outlier_list_storage() {
+        let o = OutlierList { indices: vec![1, 5], values: vec![100, -100] };
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+        assert_eq!(o.storage_bytes(), 32);
+    }
+}

@@ -1,0 +1,106 @@
+//! Outlier gather (dense→sparse) and scatter (sparse→dense) kernels.
+//!
+//! In cuSZ these map onto cuSPARSE `dense2sparse` / `sparse2dense`; in the
+//! paper's Table VII they are timed as the "gather outlier" and "scatter
+//! outlier" subprocedures. Here the gather walks the quant-codes for the
+//! placeholder `0`, recomputes the prediction error δ at those positions
+//! from the prequantized field, and stores the **pre-biased** value
+//! `δ + radius` so decompression can fuse codes and outliers branch-free.
+
+use crate::construct::predict_at;
+use crate::{Dims, OutlierList};
+
+/// Collects outliers from a constructed code array.
+///
+/// `dq` is the prequantized field (needed to recompute δ at placeholder
+/// positions); `codes` the output of
+/// [`construct_codes`](crate::construct::construct_codes).
+///
+/// Indices come out strictly increasing. The per-chunk collection runs in
+/// parallel; chunk results are concatenated in order.
+pub fn gather_outliers(dq: &[i64], codes: &[u16], dims: Dims, radius: u16) -> OutlierList {
+    assert_eq!(dq.len(), codes.len(), "prequant/code length mismatch");
+    let r = radius as i64;
+    // A chunk granularity comfortably larger than a tile keeps the merge
+    // list short without starving parallelism.
+    let chunk = 64 * 1024;
+    let parts = cuszp_parallel::par_map_chunks(codes, chunk, |ci, cs| {
+        let base = ci * chunk;
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for (loc, &c) in cs.iter().enumerate() {
+            if c == 0 {
+                let flat = base + loc;
+                let delta = dq[flat] - predict_at(dq, dims, flat);
+                idx.push(flat as u64);
+                val.push(delta + r);
+            }
+        }
+        (idx, val)
+    });
+    let mut out = OutlierList::default();
+    for (idx, val) in parts {
+        out.indices.extend(idx);
+        out.values.extend(val);
+    }
+    out
+}
+
+/// Scatters outliers into a dense `q'` buffer: `buf[idx] += value`.
+///
+/// The buffer is expected to already hold `code − radius` (so placeholder
+/// positions hold `−radius`, and adding the pre-biased `δ + radius` leaves
+/// exactly `δ`).
+pub fn scatter_outliers(buf: &mut [i64], outliers: &OutlierList) {
+    for (&i, &v) in outliers.indices.iter().zip(&outliers.values) {
+        buf[i as usize] += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::construct_codes;
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        // A field with huge jumps so almost everything is an outlier.
+        let dq: Vec<i64> = (0..2000).map(|i| (i as i64) * 100_000).collect();
+        let dims = Dims::D1(2000);
+        let radius = 512u16;
+        let codes = construct_codes(&dq, dims, radius);
+        let outliers = gather_outliers(&dq, &codes, dims, radius);
+        assert!(!outliers.is_empty());
+
+        // Fuse: q' = code − r, then scatter.
+        let mut q: Vec<i64> = codes.iter().map(|&c| c as i64 - radius as i64).collect();
+        scatter_outliers(&mut q, &outliers);
+
+        // Every q'[i] must now equal the true δ at i.
+        for i in 0..dq.len() {
+            let p = crate::construct::predict_at(&dq, dims, i);
+            assert_eq!(q[i], dq[i] - p, "fused δ mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn gather_indices_strictly_increasing() {
+        let dq: Vec<i64> = (0..5000).map(|i| ((i * 2654435761usize) % 10_000_000) as i64).collect();
+        let dims = Dims::D1(5000);
+        let codes = construct_codes(&dq, dims, 512);
+        let o = gather_outliers(&dq, &codes, dims, 512);
+        for w in o.indices.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(o.indices.len(), o.values.len());
+    }
+
+    #[test]
+    fn no_outliers_for_smooth_integers() {
+        let dq: Vec<i64> = (0..1000).map(|i| (i % 7) as i64).collect();
+        let dims = Dims::D1(1000);
+        let codes = construct_codes(&dq, dims, 512);
+        let o = gather_outliers(&dq, &codes, dims, 512);
+        assert!(o.is_empty());
+    }
+}

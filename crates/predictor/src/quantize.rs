@@ -1,0 +1,90 @@
+//! Prequantization and dequantization (the two float↔integer crossings).
+//!
+//! `prequant`: `d° = round(d / (2·eb))` — after this single rounding the
+//! whole pipeline is exact integer arithmetic, which is what licenses the
+//! reordering of additions in the partial-sum reconstruction (integer `+`
+//! is associative and commutative; float `+` is not).
+//!
+//! `dequant`: `d = d° · (2·eb)` — reintroduces at most `eb` of error.
+
+use crate::Scalar;
+
+/// Prequantizes a field: `out[i] = round(data[i] / (2·eb))` as `i64`.
+///
+/// Panics if `eb <= 0` or not finite. Generic over `f32`/`f64`.
+pub fn prequantize<T: Scalar>(data: &[T], eb: f64) -> Vec<i64> {
+    let mut out = vec![0i64; data.len()];
+    prequantize_into(data, eb, &mut out);
+    out
+}
+
+/// Prequantizes into a caller-provided buffer (hot-loop variant).
+///
+/// Panics if `eb <= 0`, `eb` is not finite, or lengths differ.
+pub fn prequantize_into<T: Scalar>(data: &[T], eb: f64, out: &mut [i64]) {
+    assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite");
+    assert_eq!(data.len(), out.len(), "buffer length mismatch");
+    let inv = 1.0 / (2.0 * eb);
+    cuszp_parallel::par_zip_mut(out, data, |o, &d| {
+        *o = (d.to_f64() * inv).round() as i64;
+    });
+}
+
+/// Dequantizes prequantized integers back to floats: `d = d° · 2·eb`.
+pub fn dequantize<T: Scalar>(prequant: &[i64], eb: f64) -> Vec<T> {
+    assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite");
+    let scale = 2.0 * eb;
+    cuszp_parallel::par_map(prequant, |&q| T::from_f64(q as f64 * scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prequant_dequant_respects_bound() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.137).sin() * 40.0).collect();
+        for eb in [1e-1, 1e-2, 1e-3] {
+            let q = prequantize(&data, eb);
+            let d: Vec<f32> = dequantize(&q, eb);
+            for (o, r) in data.iter().zip(&d) {
+                assert!(
+                    (o - r).abs() as f64 <= eb * (1.0 + 1e-6),
+                    "bound {eb} violated: {o} vs {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prequant_rounds_to_nearest() {
+        // 2eb = 1.0 — prequant is plain rounding.
+        let q = prequantize(&[0.49, 0.51, -0.49, -0.51, 1.5], 0.5);
+        assert_eq!(q, vec![0, 1, 0, -1, 2]);
+    }
+
+    #[test]
+    fn zero_field_is_all_zero() {
+        let q = prequantize(&[0.0; 64], 1e-3);
+        assert!(q.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_eb() {
+        prequantize(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn large_magnitudes_survive() {
+        // Values far from zero with a small bound — exercises the i64 range.
+        let data = vec![3.0e7f32, -3.0e7];
+        let q = prequantize(&data, 1e-3);
+        let d: Vec<f32> = dequantize(&q, 1e-3);
+        for (o, r) in data.iter().zip(&d) {
+            // f32 has ~7 significant digits at 3e7, so the quantizer cannot
+            // do better than the representation; allow 4 ulps of 3e7.
+            assert!((o - r).abs() <= 8.0, "{o} vs {r}");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Per-tile linear-regression predictor — the paper's §VII future-work
+//! item ("implement other data prediction methods such as
+//! linear-regression-based predictors"), realized the way SZ2 does it:
+//! each tile gets a least-squares plane/hyperplane fit, the coefficients
+//! are quantized so both sides evaluate the *same* integer prediction,
+//! and the residuals go through the usual postquantization.
+//!
+//! Unlike Lorenzo, regression reconstruction has **no data dependency at
+//! all** — every element's prediction comes from the (stored) tile
+//! coefficients, so decompression is embarrassingly parallel without even
+//! needing the partial-sum identity. The price is the per-tile
+//! coefficient overhead and a weaker fit on non-planar data; the
+//! `ablation_predictors` bench quantifies the trade per field class.
+//!
+//! Fitting notes: on a full rectangular tile the centered coordinates are
+//! mutually orthogonal, so the least-squares solution decouples into one
+//! closed-form slope per axis — no linear system to solve.
+
+use crate::{Dims, OutlierList, QuantField, Scalar};
+
+/// Fixed-point scale for quantized regression coefficients.
+const COEFF_SCALE: i64 = 1 << 16;
+
+/// Quantized plane-fit coefficients for one tile:
+/// `p(k,j,i) ≈ (a + bx·ddx + by·ddy + bz·ddz) / COEFF_SCALE`
+/// with doubled centered coordinates `ddx = 2i − (tw−1)` etc. (the
+/// doubling keeps the centered coordinates integral for even tiles; the
+/// slopes are fitted per doubled unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileCoeffs {
+    /// Mean term, scaled by `COEFF_SCALE`.
+    pub a: i64,
+    /// Slope along x (per doubled-coordinate unit), scaled by
+    /// `COEFF_SCALE`.
+    pub bx: i64,
+    /// Slope along y, scaled by `COEFF_SCALE`.
+    pub by: i64,
+    /// Slope along z, scaled by `COEFF_SCALE`.
+    pub bz: i64,
+}
+
+/// All per-tile coefficients of a field, in tile-raster order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegressionCoeffs {
+    /// One entry per tile.
+    pub tiles: Vec<TileCoeffs>,
+}
+
+impl RegressionCoeffs {
+    /// Archive footprint: four 8-byte coefficients per tile (a production
+    /// format would narrow these; SZ2 stores 4×f32).
+    pub fn storage_bytes(&self) -> usize {
+        self.tiles.len() * 32
+    }
+}
+
+/// Iterates tile origins in raster order for the given dims.
+fn tile_origins(dims: Dims) -> Vec<[usize; 3]> {
+    let [nz, ny, nx] = dims.extents();
+    let [tz, ty, tx] = dims.tile();
+    let mut out = Vec::new();
+    for k0 in (0..nz).step_by(tz) {
+        for j0 in (0..ny).step_by(ty) {
+            for i0 in (0..nx).step_by(tx) {
+                out.push([k0, j0, i0]);
+            }
+        }
+    }
+    out
+}
+
+/// Integer prediction from quantized coefficients at tile-local doubled
+/// centered coordinates.
+#[inline(always)]
+fn predict(c: &TileCoeffs, ddz: i64, ddy: i64, ddx: i64) -> i64 {
+    // The doubled centered coordinates are integers, so the model
+    // evaluates directly: p = a + bx·ddx + by·ddy + bz·ddz (all scaled).
+    let num = c.a + c.bx * ddx + c.by * ddy + c.bz * ddz;
+    // Round-half-away from zero.
+    if num >= 0 {
+        (num + COEFF_SCALE / 2) / COEFF_SCALE
+    } else {
+        -((-num + COEFF_SCALE / 2) / COEFF_SCALE)
+    }
+}
+
+/// Fits one tile and quantizes the coefficients.
+fn fit_tile(
+    dq: &[i64],
+    dims: Dims,
+    origin: [usize; 3],
+) -> TileCoeffs {
+    let [_, ny, nx] = dims.extents();
+    let [tz, ty, tx] = dims.tile();
+    let [nz_e, ny_e, nx_e] = dims.extents();
+    let [k0, j0, i0] = origin;
+    let td = tz.min(nz_e - k0);
+    let th = ty.min(ny_e - j0);
+    let tw = tx.min(nx_e - i0);
+    let n = (td * th * tw) as f64;
+
+    // Accumulate in doubled centered coordinates (integers).
+    let mut sum = 0f64;
+    let mut sx = 0f64;
+    let mut sy = 0f64;
+    let mut sz = 0f64;
+    let mut sxx = 0f64;
+    let mut syy = 0f64;
+    let mut szz = 0f64;
+    for k in 0..td {
+        let ddz = (2 * k) as f64 - (td - 1) as f64;
+        for j in 0..th {
+            let ddy = (2 * j) as f64 - (th - 1) as f64;
+            for i in 0..tw {
+                let ddx = (2 * i) as f64 - (tw - 1) as f64;
+                let v = dq[((k0 + k) * ny + j0 + j) * nx + i0 + i] as f64;
+                sum += v;
+                sx += v * ddx;
+                sy += v * ddy;
+                sz += v * ddz;
+                sxx += ddx * ddx;
+                syy += ddy * ddy;
+                szz += ddz * ddz;
+            }
+        }
+    }
+    let a = sum / n;
+    let bx = if sxx > 0.0 { sx / sxx } else { 0.0 };
+    let by = if syy > 0.0 { sy / syy } else { 0.0 };
+    let bz = if szz > 0.0 { sz / szz } else { 0.0 };
+    let q = |v: f64| (v * COEFF_SCALE as f64).round() as i64;
+    TileCoeffs { a: q(a), bx: q(bx), by: q(by), bz: q(bz) }
+}
+
+/// Full regression-predicted construction: prequantize, fit each tile,
+/// postquantize the residuals against the quantized-coefficient
+/// prediction (so the decompressor reproduces it bit-exactly).
+pub fn construct_regression<T: Scalar>(
+    data: &[T],
+    dims: Dims,
+    eb: f64,
+    cap: u16,
+) -> (QuantField, RegressionCoeffs) {
+    assert_eq!(data.len(), dims.len(), "data length must match dims");
+    assert!(cap >= 4 && cap % 2 == 0, "cap must be even and ≥ 4");
+    let radius = cap / 2;
+    let r = radius as i64;
+    let dq = crate::prequantize(data, eb);
+    let [_, ny, nx] = dims.extents();
+    let [tz, ty, tx] = dims.tile();
+    let [nz_e, ny_e, nx_e] = dims.extents();
+
+    let mut codes = vec![0u16; dq.len()];
+    let mut outliers = OutlierList::default();
+    let mut coeffs = RegressionCoeffs::default();
+    for origin in tile_origins(dims) {
+        let c = fit_tile(&dq, dims, origin);
+        coeffs.tiles.push(c);
+        let [k0, j0, i0] = origin;
+        let td = tz.min(nz_e - k0);
+        let th = ty.min(ny_e - j0);
+        let tw = tx.min(nx_e - i0);
+        for k in 0..td {
+            let ddz = (2 * k) as i64 - (td - 1) as i64;
+            for j in 0..th {
+                let ddy = (2 * j) as i64 - (th - 1) as i64;
+                for i in 0..tw {
+                    let ddx = (2 * i) as i64 - (tw - 1) as i64;
+                    let flat = ((k0 + k) * ny + j0 + j) * nx + i0 + i;
+                    let delta = dq[flat] - predict(&c, ddz, ddy, ddx);
+                    if delta > -r && delta < r {
+                        codes[flat] = (delta + r) as u16;
+                    } else {
+                        outliers.indices.push(flat as u64);
+                        outliers.values.push(delta + r);
+                    }
+                }
+            }
+        }
+    }
+    // Outliers were collected tile-raster order; re-sort by index so the
+    // list matches the Lorenzo path's invariant.
+    let mut zipped: Vec<(u64, i64)> =
+        outliers.indices.iter().copied().zip(outliers.values.iter().copied()).collect();
+    zipped.sort_unstable_by_key(|&(i, _)| i);
+    outliers.indices = zipped.iter().map(|&(i, _)| i).collect();
+    outliers.values = zipped.iter().map(|&(_, v)| v).collect();
+
+    (QuantField { codes, outliers, radius, dims, eb }, coeffs)
+}
+
+/// Regression reconstruction: fully parallel, no inter-element
+/// dependency — every prediction comes from stored coefficients.
+pub fn reconstruct_regression_prequant(
+    qf: &QuantField,
+    coeffs: &RegressionCoeffs,
+) -> Vec<i64> {
+    let dims = qf.dims;
+    let [_, ny, nx] = dims.extents();
+    let [tz, ty, tx] = dims.tile();
+    let [nz_e, ny_e, nx_e] = dims.extents();
+    let mut out = crate::fuse_codes_and_outliers(qf);
+    for (c, origin) in coeffs.tiles.iter().zip(tile_origins(dims)) {
+        let [k0, j0, i0] = origin;
+        let td = tz.min(nz_e - k0);
+        let th = ty.min(ny_e - j0);
+        let tw = tx.min(nx_e - i0);
+        for k in 0..td {
+            let ddz = (2 * k) as i64 - (td - 1) as i64;
+            for j in 0..th {
+                let ddy = (2 * j) as i64 - (th - 1) as i64;
+                for i in 0..tw {
+                    let ddx = (2 * i) as i64 - (tw - 1) as i64;
+                    let flat = ((k0 + k) * ny + j0 + j) * nx + i0 + i;
+                    out[flat] += predict(c, ddz, ddy, ddx);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Full regression decompression to floats.
+pub fn reconstruct_regression<T: Scalar>(
+    qf: &QuantField,
+    coeffs: &RegressionCoeffs,
+) -> Vec<T> {
+    let dq = reconstruct_regression_prequant(qf, coeffs);
+    crate::dequantize(&dq, qf.eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prequantize, DEFAULT_CAP};
+
+    fn check_round_trip(data: &[f32], dims: Dims, eb: f64) {
+        let (qf, coeffs) = construct_regression(data, dims, eb, DEFAULT_CAP);
+        let got = reconstruct_regression_prequant(&qf, &coeffs);
+        let expect = prequantize(data, eb);
+        assert_eq!(got, expect, "integer path must be lossless");
+        let floats: Vec<f32> = reconstruct_regression(&qf, &coeffs);
+        for (o, r) in data.iter().zip(&floats) {
+            let slack = eb * (1.0 + 1e-6) + (o.abs() as f64) * f32::EPSILON as f64;
+            assert!(((o - r).abs() as f64) <= slack, "{o} vs {r}");
+        }
+    }
+
+    #[test]
+    fn round_trip_all_ranks() {
+        let f = |n: usize| -> Vec<f32> {
+            (0..n).map(|i| (i as f32 * 0.003).sin() * 9.0 + i as f32 * 1e-4).collect()
+        };
+        check_round_trip(&f(1000), Dims::D1(1000), 1e-3);
+        check_round_trip(&f(48 * 80), Dims::D2 { ny: 48, nx: 80 }, 1e-3);
+        check_round_trip(&f(12 * 20 * 28), Dims::D3 { nz: 12, ny: 20, nx: 28 }, 1e-3);
+    }
+
+    #[test]
+    fn planar_data_is_predicted_almost_exactly() {
+        // A perfect plane: residuals are pure coefficient-quantization
+        // noise, so virtually every code is the zero-error symbol.
+        let (ny, nx) = (64usize, 64usize);
+        let data: Vec<f32> = (0..ny * nx)
+            .map(|t| 5.0 + 0.25 * (t % nx) as f32 + 0.125 * (t / nx) as f32)
+            .collect();
+        let (qf, _) = construct_regression(&data, Dims::D2 { ny, nx }, 1e-3, DEFAULT_CAP);
+        let r = qf.radius;
+        let near_zero = qf
+            .codes
+            .iter()
+            .filter(|&&c| c != 0 && (c as i32 - r as i32).abs() <= 1)
+            .count();
+        assert!(
+            near_zero as f64 > 0.99 * qf.codes.len() as f64,
+            "plane fit should absorb a plane: {near_zero}/{}",
+            qf.codes.len()
+        );
+        assert!(qf.outliers.is_empty());
+    }
+
+    #[test]
+    fn regression_beats_lorenzo_on_steep_planes() {
+        // A steep gradient: Lorenzo's first difference is a large constant
+        // (codes far from the zero symbol, possibly outliers); regression
+        // absorbs the slope into coefficients.
+        let (ny, nx) = (64usize, 64usize);
+        let data: Vec<f32> = (0..ny * nx)
+            .map(|t| ((t % nx) as f32) * 2.0 + ((t / nx) as f32) * 1.5)
+            .collect();
+        let dims = Dims::D2 { ny, nx };
+        let eb = 1e-4; // quantum 2e-4 → Lorenzo δ ≈ 10⁴ quanta: outliers
+        let lorenzo = crate::construct(&data, dims, eb, DEFAULT_CAP);
+        let (regr, _) = construct_regression(&data, dims, eb, DEFAULT_CAP);
+        assert!(
+            regr.outliers.len() * 10 < lorenzo.outliers.len().max(1),
+            "regression {} vs lorenzo {} outliers",
+            regr.outliers.len(),
+            lorenzo.outliers.len()
+        );
+    }
+
+    #[test]
+    fn coefficient_overhead_is_accounted() {
+        let data = vec![1.0f32; 64 * 64];
+        let (_, coeffs) = construct_regression(&data, Dims::D2 { ny: 64, nx: 64 }, 1e-3, 1024);
+        assert_eq!(coeffs.tiles.len(), 16); // (64/16)²
+        assert_eq!(coeffs.storage_bytes(), 16 * 32);
+    }
+
+    #[test]
+    fn outlier_indices_stay_sorted() {
+        let mut data = vec![0.0f32; 40 * 40];
+        for (i, x) in data.iter_mut().enumerate() {
+            if i % 53 == 0 {
+                *x = 1.0e7;
+            }
+        }
+        let (qf, _) = construct_regression(&data, Dims::D2 { ny: 40, nx: 40 }, 1e-4, 1024);
+        for w in qf.outliers.indices.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

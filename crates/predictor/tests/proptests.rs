@@ -1,0 +1,130 @@
+//! Property-based tests for the prediction-quantization stage.
+//!
+//! The two load-bearing invariants of the paper:
+//! 1. the integer path is exactly lossless (reconstruction returns the
+//!    prequantized field bit-for-bit), for every engine;
+//! 2. the partial-sum engines agree element-exactly with the coarse
+//!    data-dependent reconstruction (the §IV-B equivalence proof).
+
+use cuszp_predictor::{
+    construct, prequantize, reconstruct, reconstruct_prequant, Dims, ReconstructEngine,
+    DEFAULT_CAP,
+};
+use proptest::prelude::*;
+
+/// Generates a bounded but irregular field of the given length.
+fn field(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn integer_path_is_lossless_1d(data in field(700), eb in 1e-4f64..1e-1) {
+        let dims = Dims::D1(700);
+        let qf = construct(&data, dims, eb, DEFAULT_CAP);
+        let expect = prequantize(&data, eb);
+        for engine in ReconstructEngine::ALL {
+            prop_assert_eq!(&reconstruct_prequant(&qf, engine), &expect);
+        }
+    }
+
+    #[test]
+    fn integer_path_is_lossless_2d(data in field(31 * 45), eb in 1e-4f64..1e-1) {
+        let dims = Dims::D2 { ny: 31, nx: 45 };
+        let qf = construct(&data, dims, eb, DEFAULT_CAP);
+        let expect = prequantize(&data, eb);
+        for engine in ReconstructEngine::ALL {
+            prop_assert_eq!(&reconstruct_prequant(&qf, engine), &expect);
+        }
+    }
+
+    #[test]
+    fn integer_path_is_lossless_3d(data in field(5 * 11 * 13), eb in 1e-4f64..1e-1) {
+        let dims = Dims::D3 { nz: 5, ny: 11, nx: 13 };
+        let qf = construct(&data, dims, eb, DEFAULT_CAP);
+        let expect = prequantize(&data, eb);
+        for engine in ReconstructEngine::ALL {
+            prop_assert_eq!(&reconstruct_prequant(&qf, engine), &expect);
+        }
+    }
+
+    #[test]
+    fn error_bound_holds(data in field(640), eb in 1e-4f64..1e-1) {
+        let dims = Dims::D2 { ny: 20, nx: 32 };
+        let qf = construct(&data, dims, eb, DEFAULT_CAP);
+        let recon = reconstruct(&qf, ReconstructEngine::FinePartialSum);
+        for (o, r) in data.iter().zip(&recon) {
+            let slack = eb * (1.0 + 1e-6) + (o.abs() as f64) * f32::EPSILON as f64;
+            prop_assert!(((o - r).abs() as f64) <= slack, "{} vs {}", o, r);
+        }
+    }
+
+    #[test]
+    fn outlier_placeholder_is_exactly_the_zero_code(data in field(512), eb in 1e-4f64..1e-2) {
+        let dims = Dims::D1(512);
+        let qf = construct(&data, dims, eb, DEFAULT_CAP);
+        let zero_idx: Vec<u64> = qf.codes.iter().enumerate()
+            .filter(|(_, &c)| c == 0).map(|(i, _)| i as u64).collect();
+        prop_assert_eq!(zero_idx, qf.codes.iter().enumerate()
+            .filter(|(_, &c)| c == 0).map(|(i, _)| i as u64).collect::<Vec<_>>());
+        prop_assert_eq!(qf.outliers.indices.len(), qf.outliers.values.len());
+        // In-range codes never collide with the placeholder and stay < cap.
+        for &c in &qf.codes {
+            prop_assert!(c < qf.cap());
+        }
+    }
+
+    #[test]
+    fn smaller_cap_means_no_fewer_outliers(data in field(1024)) {
+        let dims = Dims::D1(1024);
+        let eb = 1e-3;
+        let small = construct(&data, dims, eb, 16);
+        let large = construct(&data, dims, eb, 4096);
+        prop_assert!(small.outliers.len() >= large.outliers.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interpolation_is_lossless_and_bounded(
+        data in prop::collection::vec(-50.0f32..50.0, 1..2000),
+        eb in 1e-4f64..1e-1,
+    ) {
+        let n = data.len();
+        let dims = Dims::D1(n);
+        let qf = cuszp_predictor::construct_interpolation(&data, dims, eb, DEFAULT_CAP);
+        let got = cuszp_predictor::reconstruct_interpolation_prequant(&qf);
+        prop_assert_eq!(got, prequantize(&data, eb));
+        let floats: Vec<f32> = cuszp_predictor::reconstruct_interpolation(&qf);
+        for (o, r) in data.iter().zip(&floats) {
+            let slack = eb * (1.0 + 1e-6) + (o.abs() as f64) * f32::EPSILON as f64;
+            prop_assert!(((o - r).abs() as f64) <= slack);
+        }
+    }
+
+    #[test]
+    fn regression_is_lossless_for_arbitrary_2d_fields(
+        data in prop::collection::vec(-50.0f32..50.0, 20 * 33..=20 * 33),
+        eb in 1e-3f64..1e-1,
+    ) {
+        let dims = Dims::D2 { ny: 20, nx: 33 };
+        let (qf, coeffs) = cuszp_predictor::construct_regression(&data, dims, eb, DEFAULT_CAP);
+        let got = cuszp_predictor::reconstruct_regression_prequant(&qf, &coeffs);
+        prop_assert_eq!(got, prequantize(&data, eb));
+    }
+
+    #[test]
+    fn general_lorenzo_is_lossless_for_orders_up_to_three(
+        data in prop::collection::vec(-20.0f32..20.0, 9 * 14..=9 * 14),
+        order in 1u32..=3,
+    ) {
+        let dims = Dims::D2 { ny: 9, nx: 14 };
+        let qf = cuszp_predictor::construct_general(&data, dims, 1e-2, DEFAULT_CAP, order);
+        let got = cuszp_predictor::reconstruct_general_prequant(&qf, order);
+        prop_assert_eq!(got, prequantize(&data, 1e-2));
+    }
+}

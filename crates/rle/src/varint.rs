@@ -1,0 +1,95 @@
+//! LEB128 variable-length integers for run-length metadata.
+//!
+//! Run lengths are overwhelmingly small on rough stretches and large on
+//! smooth ones; LEB128 gives 1 byte for lengths < 128, and the byte
+//! stream's skewed histogram then feeds the optional Huffman pass.
+
+/// Encodes one `u32` as LEB128, appending to `out`.
+pub fn encode_one(mut v: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 `u32` starting at `pos`; returns `(value, new_pos)`.
+///
+/// Panics on truncated input or a varint wider than 5 bytes.
+pub fn decode_one(bytes: &[u8], mut pos: usize) -> (u32, usize) {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        assert!(pos < bytes.len(), "truncated varint");
+        assert!(shift < 35, "varint too wide for u32");
+        let b = bytes[pos];
+        pos += 1;
+        v |= ((b & 0x7f) as u32) << shift;
+        if b & 0x80 == 0 {
+            return (v, pos);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a whole slice of counts.
+pub fn encode_stream(counts: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(counts.len() * 2);
+    for &c in counts {
+        encode_one(c, &mut out);
+    }
+    out
+}
+
+/// Decodes exactly `n` counts from a byte stream.
+pub fn decode_stream(bytes: &[u8], n: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 0;
+    for _ in 0..n {
+        let (v, p) = decode_one(bytes, pos);
+        out.push(v);
+        pos = p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_values() {
+        let mut out = Vec::new();
+        encode_one(0, &mut out);
+        encode_one(127, &mut out);
+        assert_eq!(out, vec![0, 127]);
+    }
+
+    #[test]
+    fn multi_byte_boundaries() {
+        for v in [128u32, 16_383, 16_384, u32::MAX] {
+            let mut out = Vec::new();
+            encode_one(v, &mut out);
+            let (got, pos) = decode_one(&out, 0);
+            assert_eq!(got, v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let counts: Vec<u32> = (0..10_000).map(|i| (i * i) % 1_000_000).collect();
+        let bytes = encode_stream(&counts);
+        assert_eq!(decode_stream(&bytes, counts.len()), counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_input_panics() {
+        decode_one(&[0x80], 1);
+    }
+}

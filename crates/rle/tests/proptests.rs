@@ -1,0 +1,47 @@
+//! Property tests: RLE and RLE+VLE are exact inverses for arbitrary
+//! streams, runs are maximal, and storage accounting is consistent.
+
+use cuszp_rle::{rle_decode, rle_encode, rle_vle_decode, rle_vle_encode, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rle_round_trip(syms in prop::collection::vec(0u16..8, 0..8000)) {
+        let enc = rle_encode(&syms);
+        prop_assert_eq!(rle_decode(&enc), syms);
+    }
+
+    #[test]
+    fn runs_are_maximal_and_sum_to_n(syms in prop::collection::vec(0u16..4, 0..5000)) {
+        let enc = rle_encode(&syms);
+        for w in enc.values.windows(2) {
+            prop_assert_ne!(w[0], w[1]);
+        }
+        let total: u64 = enc.counts.iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(total, syms.len() as u64);
+    }
+
+    #[test]
+    fn rle_vle_round_trip(runs in prop::collection::vec((0u16..64, 1u32..200), 0..300)) {
+        let mut syms = Vec::new();
+        for &(v, c) in &runs {
+            syms.extend(std::iter::repeat_n(v, c as usize));
+        }
+        let enc = rle_vle_encode(&syms, 64);
+        prop_assert_eq!(rle_vle_decode(&enc), syms);
+    }
+
+    #[test]
+    fn varint_round_trip(counts in prop::collection::vec(any::<u32>(), 0..2000)) {
+        let bytes = varint::encode_stream(&counts);
+        prop_assert_eq!(varint::decode_stream(&bytes, counts.len()), counts);
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values(counts in prop::collection::vec(1u32..128, 1..1000)) {
+        let bytes = varint::encode_stream(&counts);
+        prop_assert_eq!(bytes.len(), counts.len());
+    }
+}

@@ -1,0 +1,114 @@
+//! MSB-first bit stream writer/reader for the block coder.
+
+/// Accumulating bit writer (MSB-first within each byte).
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    acc: u64,
+    filled: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `v` (n ≤ 57).
+    pub fn write_bits(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 57);
+        debug_assert!(n == 64 || v < (1u64 << n.max(1)) || n == 0);
+        if n == 0 {
+            return;
+        }
+        self.acc |= (v & ((1u64 << n) - 1).max(u64::MAX * u64::from(n == 64)))
+            << (64 - n - self.filled);
+        self.filled += n;
+        while self.filled >= 8 {
+            self.bytes.push((self.acc >> 56) as u8);
+            self.acc <<= 8;
+            self.filled -= 8;
+        }
+    }
+
+    /// Flushes and returns the byte stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.bytes.push((self.acc >> 56) as u8);
+        }
+        self.bytes
+    }
+}
+
+/// Matching MSB-first reader.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bitpos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte stream.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, bitpos: 0 }
+    }
+
+    /// Reads `n` bits (n ≤ 57); `None` at end of stream.
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        if n == 0 {
+            return Some(0);
+        }
+        if self.bitpos + n as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            let byte = self.bytes[self.bitpos / 8];
+            let bit = (byte >> (7 - self.bitpos % 8)) & 1;
+            v = (v << 1) | bit as u64;
+            self.bitpos += 1;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFF, 8);
+        w.write_bits(0, 1);
+        w.write_bits(0x1234_5678, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bits(1), Some(0));
+        assert_eq!(r.read_bits(32), Some(0x1234_5678));
+    }
+
+    #[test]
+    fn reading_past_end_fails() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1), Some(1));
+        // 7 padding bits remain, then end.
+        assert!(r.read_bits(7).is_some());
+        assert!(r.read_bits(1).is_none());
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        assert!(w.finish().is_empty());
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0), Some(0));
+    }
+}

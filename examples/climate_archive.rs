@@ -1,0 +1,62 @@
+//! Climate-archive scenario: compress a whole CESM-ATM snapshot (35
+//! fields) adaptively, as a data-reduction pipeline at a climate center
+//! would. Shows the per-field workflow decision the compressibility-aware
+//! framework makes — the heart of the paper's §III.
+//!
+//! ```sh
+//! cargo run --release --example climate_archive
+//! ```
+
+use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
+use cuszp::{Compressor, Config, ErrorBound, WorkflowChoice};
+
+fn main() {
+    let eb = 1e-2; // the regime where RLE starts to win (paper Table IV)
+    let compressor = Compressor::new(Config {
+        error_bound: ErrorBound::Relative(eb),
+        ..Config::default()
+    });
+
+    println!("CESM-ATM snapshot, relative error bound {eb:.0e}, adaptive workflow\n");
+    println!(
+        "{:<12} {:>9} {:>8} {:>8} {:>7}  workflow",
+        "field", "size(MB)", "CR", "p1", "<b>lo"
+    );
+
+    let mut total_in = 0usize;
+    let mut total_out = 0usize;
+    let mut rle_count = 0usize;
+    for spec in dataset_fields(DatasetKind::CesmAtm) {
+        let field = generate(&spec, Scale::Tiny);
+        let (_, stats) = compressor
+            .compress_with_stats(&field.data, field.dims)
+            .expect("compression failed");
+        total_in += stats.original_bytes;
+        total_out += stats.compressed_bytes;
+        if stats.workflow != WorkflowChoice::Huffman {
+            rle_count += 1;
+        }
+        println!(
+            "{:<12} {:>9.2} {:>8.2} {:>8.4} {:>7.3}  {}",
+            spec.name,
+            stats.original_bytes as f64 / 1e6,
+            stats.compression_ratio(),
+            stats.report.p1,
+            stats.report.b_lower,
+            stats.workflow.name()
+        );
+    }
+
+    println!(
+        "\nsnapshot total: {:.2} MB -> {:.2} MB (CR {:.1}x); {} of 35 fields took Workflow-RLE",
+        total_in as f64 / 1e6,
+        total_out as f64 / 1e6,
+        total_in as f64 / total_out as f64,
+        rle_count
+    );
+    println!(
+        "(the adaptive selector sends smooth fields — insolation, aerosol\n\
+         optical depths, masks — down the RLE path and keeps the dynamic\n\
+         fields on multi-byte Huffman, per the <b> <= 1.09 rule)"
+    );
+}

@@ -1,0 +1,76 @@
+//! GPU what-if analysis: given a field, predict the per-kernel pipeline
+//! throughput on V100 and A100 with the calibrated device model — the
+//! planning question an HPC facility asks before buying nodes ("does the
+//! A100's bandwidth actually help *our* compression pipeline?").
+//!
+//! ```sh
+//! cargo run --release --example gpu_what_if
+//! ```
+
+use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
+use cuszp::gpusim::cost::{
+    modeled_compress_overall, modeled_decompress_overall, modeled_throughput, KernelClass,
+    KernelEstimate,
+};
+use cuszp::gpusim::{A100, V100};
+use cuszp::{Compressor, Config, ErrorBound};
+
+fn main() {
+    // Analyze one field per dataset class.
+    let specs = [
+        (DatasetKind::Hacc, 0, 268_000_000usize),      // vx at full scale
+        (DatasetKind::CesmAtm, 3, 6_480_000),           // FSDSC full scale
+        (DatasetKind::Nyx, 0, 134_217_728),             // baryon full scale
+    ];
+    let compressor = Compressor::new(Config {
+        error_bound: ErrorBound::Relative(1e-4),
+        ..Config::default()
+    });
+
+    for (kind, field_idx, full_elems) in specs {
+        let spec = dataset_fields(kind)[field_idx];
+        // Measure outlier fraction on a tiny instance; it is a ratio, so
+        // it transfers to the full-size estimate.
+        let field = generate(&spec, Scale::Tiny);
+        let (_, stats) = compressor.compress_with_stats(&field.data, field.dims).unwrap();
+        let est = KernelEstimate {
+            n_elems: full_elems,
+            rank: field.dims.rank(),
+            outlier_fraction: stats.outlier_fraction(),
+        };
+
+        println!(
+            "\n=== {} / {} (full-scale: {} elems, {:.1}% outliers measured) ===",
+            kind.name(),
+            spec.name,
+            full_elems,
+            est.outlier_fraction * 100.0
+        );
+        println!("{:<22} {:>10} {:>10} {:>8}", "kernel", "V100 GB/s", "A100 GB/s", "scale");
+        let kernels = [
+            ("Lorenzo construct", KernelClass::LorenzoConstruct),
+            ("gather outlier", KernelClass::GatherOutlier),
+            ("histogram", KernelClass::Histogram),
+            ("Huffman encode", KernelClass::HuffmanEncode),
+            ("Huffman decode", KernelClass::HuffmanDecode),
+            ("scatter outlier", KernelClass::ScatterOutlier),
+            ("Lorenzo reconstruct", KernelClass::LorenzoReconstruct),
+        ];
+        for (name, k) in kernels {
+            let v = modeled_throughput(k, &V100, &est);
+            let a = modeled_throughput(k, &A100, &est);
+            println!("{name:<22} {v:>10.1} {a:>10.1} {:>7.2}x", a / v);
+        }
+        let (vc, ac) = (modeled_compress_overall(&V100, &est), modeled_compress_overall(&A100, &est));
+        let (vd, ad) =
+            (modeled_decompress_overall(&V100, &est), modeled_decompress_overall(&A100, &est));
+        println!("{:<22} {vc:>10.1} {ac:>10.1} {:>7.2}x", "overall compress", ac / vc);
+        println!("{:<22} {vd:>10.1} {ad:>10.1} {:>7.2}x", "overall decompress", ad / vd);
+    }
+
+    println!(
+        "\nconclusion (matches the paper's §V-C.2): the memory-bound kernels\n\
+         ride the A100's 1.73x bandwidth; the latency-bound Huffman stages\n\
+         stagnate, capping the end-to-end gain well below the spec ratio."
+    );
+}

@@ -1,0 +1,331 @@
+//! `cuszp` — command-line front-end for the compressor.
+//!
+//! ```text
+//! cuszp compress   -i field.f32 -o field.csz -d 512x512x512 [-e 1e-3] [-m abs|rel]
+//!                  [-w auto|huffman|rle|rle+vle] [--double]
+//! cuszp decompress -i field.csz -o recon.f32
+//! cuszp info       -i field.csz
+//! cuszp analyze    -i field.f32 -d 1800x3600 [-e 1e-2] [-m rel]
+//! cuszp gen        -o field.f32 --dataset cesm --field FSDSC [--scale small]
+//! ```
+//!
+//! Input/output rasters are raw little-endian `f32` (or `f64` with
+//! `--double`), SDRBench's convention: dimensions travel out-of-band via
+//! `-d`, fastest axis last.
+
+use cuszp::analysis::analyze;
+use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
+use cuszp::metrics::verify_error_bound;
+use cuszp::{
+    Archive, Compressor, Config, Dims, Dtype, ErrorBound, Predictor, WorkflowChoice,
+    WorkflowMode,
+};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "compress" => cmd_compress(&opts),
+        "decompress" => cmd_decompress(&opts),
+        "info" => cmd_info(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "gen" => cmd_gen(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cuszp — error-bounded lossy compression for scientific data (cuSZ+ reproduction)
+
+USAGE:
+  cuszp compress   -i <raw> -o <archive> -d <dims> [-e <bound>] [-m abs|rel]
+                   [-w auto|huffman|rle|rle+vle] [-p lorenzo|interp] [--double]
+  cuszp decompress -i <archive> -o <raw> [--verify <original raw>]
+  cuszp info       -i <archive>
+  cuszp analyze    -i <raw> -d <dims> [-e <bound>] [-m abs|rel] [--double]
+  cuszp gen        -o <raw> --dataset <name> --field <name> [--scale tiny|small]
+
+OPTIONS:
+  -d  dimensions, fastest axis last: '268435456', '1800x3600', '512x512x512'
+  -e  error bound (default 1e-4)
+  -m  bound mode: 'rel' (relative to value range, default) or 'abs'
+  -w  workflow (default auto = the compressibility-aware selector)
+  -p  predictor: 'lorenzo' (default) or 'interp' (multi-level cubic)
+  --double   treat the raw file as f64
+  --dataset  one of: hacc cesm hurricane nyx rtm miranda qmcpack";
+
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option -{key}"))
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a.trim_start_matches('-').to_string();
+        if !a.starts_with('-') {
+            return Err(format!("unexpected positional argument '{a}'"));
+        }
+        // Boolean flags.
+        if matches!(key.as_str(), "double" | "verify-none") {
+            map.insert(key, String::new());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("option -{key} needs a value"))?;
+        map.insert(key, value.clone());
+    }
+    Ok(Opts(map))
+}
+
+fn parse_dims(spec: &str) -> Result<Dims, String> {
+    let parts: Result<Vec<usize>, _> = spec.split(['x', 'X']).map(str::parse).collect();
+    let parts = parts.map_err(|e| format!("bad dims '{spec}': {e}"))?;
+    match parts.as_slice() {
+        [n] => Ok(Dims::D1(*n)),
+        [ny, nx] => Ok(Dims::D2 { ny: *ny, nx: *nx }),
+        [nz, ny, nx] => Ok(Dims::D3 { nz: *nz, ny: *ny, nx: *nx }),
+        _ => Err(format!("dims must have 1-3 axes, got {}", parts.len())),
+    }
+}
+
+fn parse_config(opts: &Opts) -> Result<Config, String> {
+    let eb: f64 = opts
+        .get("e")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad error bound: {e}"))?
+        .unwrap_or(1e-4);
+    let error_bound = match opts.get("m").unwrap_or("rel") {
+        "rel" => ErrorBound::Relative(eb),
+        "abs" => ErrorBound::Absolute(eb),
+        other => return Err(format!("bad mode '{other}' (abs|rel)")),
+    };
+    let workflow = match opts.get("w").unwrap_or("auto") {
+        "auto" => WorkflowMode::Auto,
+        "huffman" => WorkflowMode::Force(WorkflowChoice::Huffman),
+        "rle" => WorkflowMode::Force(WorkflowChoice::Rle),
+        "rle+vle" => WorkflowMode::Force(WorkflowChoice::RleVle),
+        other => return Err(format!("bad workflow '{other}'")),
+    };
+    let predictor = match opts.get("p").unwrap_or("lorenzo") {
+        "lorenzo" => Predictor::Lorenzo,
+        "interp" | "interpolation" => Predictor::Interpolation,
+        other => return Err(format!("bad predictor '{other}'")),
+    };
+    Ok(Config { error_bound, workflow, predictor, ..Config::default() })
+}
+
+fn read_raw_f32(path: &str) -> Result<Vec<f32>, String> {
+    cuszp::datagen::read_f32_raw(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn read_raw_f64(path: &str) -> Result<Vec<f64>, String> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("{path}: {e}"))?;
+    if bytes.len() % 8 != 0 {
+        return Err(format!("{path}: size not a multiple of 8"));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+fn write_bytes(path: &str, bytes: &[u8]) -> Result<(), String> {
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(bytes))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compress(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let output = opts.require("o")?;
+    let dims = parse_dims(opts.require("d")?)?;
+    let config = parse_config(opts)?;
+    let compressor = Compressor::new(config);
+
+    let t0 = std::time::Instant::now();
+    let (bytes, stats) = if opts.has_flag("double") {
+        let data = read_raw_f64(input)?;
+        let (archive, stats) =
+            compressor.compress_f64_with_stats(&data, dims).map_err(|e| e.to_string())?;
+        (archive.to_bytes(), stats)
+    } else {
+        let data = read_raw_f32(input)?;
+        let (archive, stats) =
+            compressor.compress_with_stats(&data, dims).map_err(|e| e.to_string())?;
+        (archive.to_bytes(), stats)
+    };
+    write_bytes(output, &bytes)?;
+    eprintln!("{stats}");
+    eprintln!(
+        "wrote {} bytes to {output} in {:.2}s ({:.1} MB/s)",
+        bytes.len(),
+        t0.elapsed().as_secs_f64(),
+        stats.original_bytes as f64 / 1e6 / t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_decompress(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let output = opts.require("o")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let archive = Archive::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    let out_bytes: Vec<u8> = match archive.dtype {
+        Dtype::F32 => {
+            let (data, _) = cuszp::decompress(&bytes).map_err(|e| e.to_string())?;
+            if let Some(orig_path) = opts.get("verify") {
+                let orig = read_raw_f32(orig_path)?;
+                verify_error_bound(&orig, &data, archive.eb)
+                    .map_err(|(i, e)| format!("bound violated at {i}: {e} > {}", archive.eb))?;
+                eprintln!("verified against {orig_path}: max|err| <= {}", archive.eb);
+            }
+            data.iter().flat_map(|x| x.to_le_bytes()).collect()
+        }
+        Dtype::F64 => {
+            let (data, _) = cuszp::decompress_f64(&bytes).map_err(|e| e.to_string())?;
+            data.iter().flat_map(|x| x.to_le_bytes()).collect()
+        }
+    };
+    write_bytes(output, &out_bytes)?;
+    eprintln!(
+        "wrote {} bytes to {output} in {:.2}s",
+        out_bytes.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_info(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let archive = Archive::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let n = archive.dims.len();
+    println!("archive: {input}");
+    println!("  dtype:        {}", archive.dtype.name());
+    println!("  dims:         {:?} ({n} elements)", archive.dims);
+    println!("  error bound:  {:.6e} (absolute)", archive.eb);
+    println!("  quant cap:    {}", archive.cap);
+    println!("  predictor:    {}", archive.predictor.name());
+    println!("  workflow:     {}", archive.payload.choice().name());
+    println!("  outliers:     {} ({:.3}%)", archive.outliers.len(),
+        100.0 * archive.outliers.len() as f64 / n.max(1) as f64);
+    println!("  stored size:  {} bytes", bytes.len());
+    println!(
+        "  ratio:        {:.2}x",
+        (n * archive.dtype.bytes()) as f64 / bytes.len() as f64
+    );
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let dims = parse_dims(opts.require("d")?)?;
+    let config = parse_config(opts)?;
+    let data = read_raw_f32(input)?;
+    if data.len() != dims.len() {
+        return Err(format!("{input} has {} elements, dims say {}", data.len(), dims.len()));
+    }
+    let eb = config.error_bound.absolute(&data);
+    let qf = cuszp::predictor::construct(&data, dims, eb, cuszp::predictor::DEFAULT_CAP);
+    let report = analyze(&qf.codes, qf.cap());
+    println!("field: {input} {dims:?}, abs eb {eb:.6e}");
+    println!("  outliers:      {:.3}%", qf.outlier_fraction() * 100.0);
+    println!("  p1:            {:.4}", report.p1);
+    println!("  entropy:       {:.3} bits/symbol", report.entropy);
+    println!("  <b> bracket:   [{:.3}, {:.3}] bits", report.b_lower, report.b_upper);
+    println!("  roughness(1):  {:.4}", report.roughness);
+    println!("  est CR (VLE):  {:.1}x", report.est_cr_huffman);
+    println!("  est CR (RLE):  {:.1}x", report.est_cr_rle);
+    println!("  recommended:   {}", report.choice.name());
+    Ok(())
+}
+
+fn cmd_gen(opts: &Opts) -> Result<(), String> {
+    let output = opts.require("o")?;
+    let dataset = match opts.require("dataset")?.to_ascii_lowercase().as_str() {
+        "hacc" => DatasetKind::Hacc,
+        "cesm" | "cesm-atm" => DatasetKind::CesmAtm,
+        "hurricane" => DatasetKind::Hurricane,
+        "nyx" => DatasetKind::Nyx,
+        "rtm" => DatasetKind::Rtm,
+        "miranda" => DatasetKind::Miranda,
+        "qmcpack" => DatasetKind::Qmcpack,
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let field_name = opts.require("field")?;
+    let scale = match opts.get("scale").unwrap_or("small") {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        other => return Err(format!("bad scale '{other}'")),
+    };
+    let spec = dataset_fields(dataset)
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(field_name))
+        .ok_or_else(|| {
+            let names: Vec<&str> =
+                dataset_fields(dataset).iter().map(|s| s.name).collect();
+            format!("no field '{field_name}' in {}; available: {}", dataset.name(), names.join(", "))
+        })?;
+    let field = generate(&spec, scale);
+    cuszp::datagen::write_f32_raw(Path::new(output), &field.data)
+        .map_err(|e| format!("{output}: {e}"))?;
+    eprintln!(
+        "generated {}/{} {:?} -> {output} ({} bytes); compress with: cuszp compress -i {output} -o {output}.csz -d {}",
+        dataset.name(),
+        spec.name,
+        field.dims,
+        field.bytes(),
+        dims_spec(field.dims)
+    );
+    Ok(())
+}
+
+fn dims_spec(dims: Dims) -> String {
+    match dims {
+        Dims::D1(n) => format!("{n}"),
+        Dims::D2 { ny, nx } => format!("{ny}x{nx}"),
+        Dims::D3 { nz, ny, nx } => format!("{nz}x{ny}x{nx}"),
+    }
+}
