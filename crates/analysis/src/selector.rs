@@ -151,7 +151,10 @@ mod tests {
     fn very_smooth_stream_selects_rle() {
         let codes = stream_with_p1(200_000, 0.99);
         let report = analyze(&codes, 1024);
-        assert!(matches!(report.choice, WorkflowChoice::Rle | WorkflowChoice::RleVle));
+        assert!(matches!(
+            report.choice,
+            WorkflowChoice::Rle | WorkflowChoice::RleVle
+        ));
         assert!(report.b_lower <= RLE_BIT_LENGTH_THRESHOLD);
         assert!(report.p1 > 0.98);
     }
@@ -195,7 +198,10 @@ mod tests {
                 last_was_rle = rle;
             }
         }
-        assert!(flips <= 1, "decision must be monotone in p1 (flips={flips})");
+        assert!(
+            flips <= 1,
+            "decision must be monotone in p1 (flips={flips})"
+        );
         assert!(last_was_rle, "p1=0.99 must choose RLE");
     }
 

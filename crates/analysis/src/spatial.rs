@@ -56,7 +56,9 @@ pub fn axis_madogram(
     d_max: usize,
     seed: u64,
 ) -> VariogramCurve {
-    sample_axis(data, dims, axis, n_samples, d_max, seed, |a, b| (a - b).abs() as f64)
+    sample_axis(data, dims, axis, n_samples, d_max, seed, |a, b| {
+        (a - b).abs() as f64
+    })
 }
 
 /// Per-axis binary variogram: probability that two points separated by
@@ -70,7 +72,9 @@ pub fn axis_binary_variogram(
     seed: u64,
 ) -> VariogramCurve {
     let widened: Vec<i64> = codes.iter().map(|&c| c as i64).collect();
-    sample_axis(&widened, dims, axis, n_samples, d_max, seed, |a, b| f64::from(a != b))
+    sample_axis(&widened, dims, axis, n_samples, d_max, seed, |a, b| {
+        f64::from(a != b)
+    })
 }
 
 /// Anisotropy report: mean madogram per axis plus the max/min ratio.
@@ -90,8 +94,17 @@ pub fn anisotropy(data: &[i64], dims: Dims, n_samples: usize, seed: u64) -> Anis
         per_axis.push((axis, m));
     }
     let hi = per_axis.iter().map(|&(_, m)| m).fold(0.0, f64::max);
-    let lo = per_axis.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
-    let ratio = if lo > 0.0 { hi / lo } else if hi > 0.0 { f64::INFINITY } else { 1.0 };
+    let lo = per_axis
+        .iter()
+        .map(|&(_, m)| m)
+        .fold(f64::INFINITY, f64::min);
+    let ratio = if lo > 0.0 {
+        hi / lo
+    } else if hi > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
     AnisotropyReport { per_axis, ratio }
 }
 

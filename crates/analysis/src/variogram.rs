@@ -89,12 +89,7 @@ pub fn madogram(data: &[i64], n_samples: usize, d_max: usize, seed: u64) -> Vari
 /// Binary variogram: `E[v(a) ≠ v(a+d)]` per distance — the paper's
 /// "binary variance", tuned to RLE (a run breaks exactly when the value
 /// changes, regardless of by how much).
-pub fn binary_variogram(
-    data: &[u16],
-    n_samples: usize,
-    d_max: usize,
-    seed: u64,
-) -> VariogramCurve {
+pub fn binary_variogram(data: &[u16], n_samples: usize, d_max: usize, seed: u64) -> VariogramCurve {
     sample_curve(data, n_samples, d_max, seed, |&a, &b| f64::from(a != b))
 }
 
@@ -138,7 +133,10 @@ mod tests {
         let large: Vec<i64> = (0..5000).map(|i| ((i % 3) * 100) as i64).collect();
         let ms = madogram(&small, 10_000, 50, 1).mean();
         let ml = madogram(&large, 10_000, 50, 1).mean();
-        assert!(ml > 50.0 * ms, "madogram must reflect magnitude: {ms} vs {ml}");
+        assert!(
+            ml > 50.0 * ms,
+            "madogram must reflect magnitude: {ms} vs {ml}"
+        );
     }
 
     #[test]

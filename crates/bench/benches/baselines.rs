@@ -11,7 +11,11 @@ fn bench_lossless(c: &mut Criterion) {
     // Quant-code-like bytes: long 2-periodic stretches + bursts.
     let data: Vec<u8> = (0..1 << 19)
         .flat_map(|i: u32| {
-            let code: u16 = if i.is_multiple_of(97) { 505 + (i % 13) as u16 } else { 512 };
+            let code: u16 = if i.is_multiple_of(97) {
+                505 + (i % 13) as u16
+            } else {
+                512
+            };
             code.to_le_bytes()
         })
         .collect();
@@ -46,14 +50,20 @@ fn bench_zfp(c: &mut Criterion) {
         .collect();
     g.throughput(Throughput::Bytes((data.len() * 4) as u64));
     for rate in [4u32, 8, 16] {
-        let cfg = cuszp_zfp::ZfpConfig { rate_bits_per_value: rate };
+        let cfg = cuszp_zfp::ZfpConfig {
+            rate_bits_per_value: rate,
+        };
         g.bench_with_input(BenchmarkId::new("compress", rate), &data, |b, data| {
             b.iter(|| cuszp_zfp::compress(data, [nz, ny, nx], cfg));
         });
         let compressed = cuszp_zfp::compress(&data, [nz, ny, nx], cfg);
-        g.bench_with_input(BenchmarkId::new("decompress", rate), &compressed, |b, comp| {
-            b.iter(|| cuszp_zfp::decompress(comp).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("decompress", rate),
+            &compressed,
+            |b, comp| {
+                b.iter(|| cuszp_zfp::decompress(comp).unwrap());
+            },
+        );
     }
     g.finish();
 }

@@ -1,0 +1,90 @@
+//! Criterion benches for the chunk-parallel engine: compress and
+//! decompress a ≥64 MB field with 1/2/4/8-worker pools.
+//!
+//! On multi-core hardware the 4-worker rows should show the chunk-level
+//! scaling (the paper's coarse-grained block parallelism); on a
+//! single-CPU host all pool widths collapse to the same wall-clock —
+//! the bytes, however, stay identical at every width, which
+//! `determinism_guard` asserts before timing anything.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuszp_core::{ChunkedArchive, Compressor, Config, ErrorBound, ReconstructEngine};
+use cuszp_parallel::WorkerPool;
+use cuszp_predictor::Dims;
+
+/// 16 Mi elements of f32 = 64 MB.
+const N: usize = 16 * 1024 * 1024;
+const CHUNK_TARGET: usize = 2 * 1024 * 1024;
+
+fn make_field(n: usize) -> Vec<f32> {
+    // Smooth waves plus a mild deterministic hash ripple: compressible,
+    // but not so flat that every chunk takes the RLE fast path.
+    (0..n)
+        .map(|i| {
+            let s = (i as f32 * 7.3e-4).sin() * 12.0 + (i as f32 * 4.1e-5).cos() * 3.0;
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 52;
+            s + (h as f32 / 4096.0 - 0.5) * 0.02
+        })
+        .collect()
+}
+
+fn compressor() -> Compressor {
+    Compressor::new(Config {
+        error_bound: ErrorBound::Absolute(1e-3),
+        ..Config::default()
+    })
+}
+
+fn bench_chunked(c: &mut Criterion) {
+    let data = make_field(N);
+    let dims = Dims::D1(N);
+    let comp = compressor();
+    let bytes = (N * 4) as u64;
+
+    // Archives must be byte-identical across pool widths before any
+    // timing claims mean anything.
+    let reference = comp
+        .compress_chunked_with(&data, dims, CHUNK_TARGET, &WorkerPool::new(1))
+        .unwrap()
+        .to_bytes();
+    for workers in [2usize, 4, 8] {
+        let got = comp
+            .compress_chunked_with(&data, dims, CHUNK_TARGET, &WorkerPool::new(workers))
+            .unwrap()
+            .to_bytes();
+        assert_eq!(
+            got, reference,
+            "archive bytes diverged at {workers} workers"
+        );
+    }
+    eprintln!(
+        "determinism_guard: {} chunks, {} archive bytes, identical at 1/2/4/8 workers",
+        ChunkedArchive::from_bytes(&reference).unwrap().n_chunks(),
+        reference.len()
+    );
+
+    let mut g = c.benchmark_group("chunked");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(workers);
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::new("compress", workers), &pool, |b, pool| {
+            b.iter(|| {
+                comp.compress_chunked_with(&data, dims, CHUNK_TARGET, pool)
+                    .unwrap()
+            });
+        });
+        let archive = ChunkedArchive::from_bytes(&reference).unwrap();
+        g.bench_with_input(BenchmarkId::new("decompress", workers), &pool, |b, pool| {
+            b.iter(|| {
+                archive
+                    .decompress_with(ReconstructEngine::FinePartialSum, pool)
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chunked);
+criterion_main!(benches);

@@ -67,9 +67,13 @@ fn bench_rle(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("decode", label), &enc, |b, enc| {
             b.iter(|| rle_decode(enc));
         });
-        g.bench_with_input(BenchmarkId::new("rle_vle_encode", label), &syms, |b, syms| {
-            b.iter(|| rle_vle_encode(syms, 1024));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("rle_vle_encode", label),
+            &syms,
+            |b, syms| {
+                b.iter(|| rle_vle_encode(syms, 1024));
+            },
+        );
         let rv = rle_vle_encode(&syms, 1024);
         g.bench_with_input(BenchmarkId::new("rle_vle_decode", label), &rv, |b, rv| {
             b.iter(|| rle_vle_decode(rv));

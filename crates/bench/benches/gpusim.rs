@@ -8,7 +8,9 @@ use cuszp_gpusim::simt::block_scan_inclusive;
 use cuszp_gpusim::SimtCounters;
 
 fn pseudo(n: usize) -> Vec<i64> {
-    (0..n).map(|i| ((i as i64).wrapping_mul(2654435761) % 17) - 8).collect()
+    (0..n)
+        .map(|i| ((i as i64).wrapping_mul(2654435761) % 17) - 8)
+        .collect()
 }
 
 fn bench_block_scan(c: &mut Criterion) {

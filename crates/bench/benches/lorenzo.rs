@@ -4,19 +4,28 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cuszp_predictor::{
-    construct, construct_codes, fuse_codes_and_outliers, prequantize, reconstruct_in_place,
-    Dims, ReconstructEngine, DEFAULT_CAP,
+    construct, construct_codes, fuse_codes_and_outliers, prequantize, reconstruct_in_place, Dims,
+    ReconstructEngine, DEFAULT_CAP,
 };
 
 fn field(n: usize) -> Vec<f32> {
-    (0..n).map(|i| (i as f32 * 0.003).sin() * 20.0 + (i as f32 * 0.0007).cos() * 5.0).collect()
+    (0..n)
+        .map(|i| (i as f32 * 0.003).sin() * 20.0 + (i as f32 * 0.0007).cos() * 5.0)
+        .collect()
 }
 
 fn dims_cases() -> Vec<(&'static str, Dims)> {
     vec![
         ("1d", Dims::D1(1 << 18)),
         ("2d", Dims::D2 { ny: 512, nx: 512 }),
-        ("3d", Dims::D3 { nz: 64, ny: 64, nx: 64 }),
+        (
+            "3d",
+            Dims::D3 {
+                nz: 64,
+                ny: 64,
+                nx: 64,
+            },
+        ),
     ]
 }
 

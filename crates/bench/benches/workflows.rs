@@ -3,8 +3,10 @@
 //! rows of Tables V and VII).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use cuszp_core::{decompress_archive, Compressor, Config, ErrorBound, ReconstructEngine, WorkflowMode};
 use cuszp_analysis::WorkflowChoice;
+use cuszp_core::{
+    decompress_archive, Compressor, Config, ErrorBound, ReconstructEngine, WorkflowMode,
+};
 use cuszp_datagen::{dataset_fields, generate, DatasetKind, Scale};
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -15,7 +17,10 @@ fn bench_end_to_end(c: &mut Criterion) {
         (DatasetKind::Nyx, "velocity_x"),
     ];
     for (kind, name) in cases {
-        let spec = dataset_fields(kind).into_iter().find(|s| s.name == name).unwrap();
+        let spec = dataset_fields(kind)
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
         let field = generate(&spec, Scale::Tiny);
         let bytes = field.bytes() as u64;
         for (wf_label, wf) in [

@@ -22,7 +22,9 @@ fn main() {
     let scale = bench_scale();
     let spec = representative_field(DatasetKind::CesmAtm);
     let (field, _, eb) = quantize_field(&spec, scale, 1e-4);
-    let Dims::D2 { ny, nx } = field.dims else { unreachable!("CESM is 2-D") };
+    let Dims::D2 { ny, nx } = field.dims else {
+        unreachable!("CESM is 2-D")
+    };
     let dq = prequantize(&field.data, eb);
 
     println!("ABLATION: construction kernel, shared-memory vs in-warp shuffle (§IV-A.2)");
@@ -39,14 +41,28 @@ fn main() {
         "counter", "shared (cuSZ)", "shuffle (cuSZ+)"
     );
     let row = |name: &str, x: u64, y: u64| println!("{name:<26} {x:>14} {y:>14}");
-    row("global load tx", shared.load_transactions, shuffle.load_transactions);
-    row("global store tx", shared.store_transactions, shuffle.store_transactions);
-    row("shared-memory waves", shared.shared_accesses, shuffle.shared_accesses);
+    row(
+        "global load tx",
+        shared.load_transactions,
+        shuffle.load_transactions,
+    );
+    row(
+        "global store tx",
+        shared.store_transactions,
+        shuffle.store_transactions,
+    );
+    row(
+        "shared-memory waves",
+        shared.shared_accesses,
+        shuffle.shared_accesses,
+    );
     row("barriers", shared.barriers, shuffle.barriers);
     row("warp shuffles", shared.shuffles, shuffle.shuffles);
     println!(
         "{:<26} {:>14.0} {:>14.0}",
-        "weighted cycles", shared.weighted_cycles(), shuffle.weighted_cycles()
+        "weighted cycles",
+        shared.weighted_cycles(),
+        shuffle.weighted_cycles()
     );
     println!(
         "\non-chip cost drops {:.1}% with identical DRAM traffic; on the GPU the\n\

@@ -14,9 +14,7 @@
 
 use cuszp_bench::{bench_scale, quantize_field, representative_field};
 use cuszp_datagen::DatasetKind;
-use cuszp_gpusim::coding_kernels::{
-    simt_huffman_encode_baseline, simt_huffman_encode_optimized,
-};
+use cuszp_gpusim::coding_kernels::{simt_huffman_encode_baseline, simt_huffman_encode_optimized};
 use cuszp_gpusim::SimtCounters;
 use cuszp_huffman::{build_codebook, histogram};
 

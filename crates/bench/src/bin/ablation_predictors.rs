@@ -42,7 +42,10 @@ fn main() {
         "field", "lorenzo1", "outl%", "lorenzo2", "outl%", "regress", "outl%", "interp", "outl%"
     );
     for (kind, name) in cases {
-        let spec = dataset_fields(kind).into_iter().find(|s| s.name == name).unwrap();
+        let spec = dataset_fields(kind)
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
         let field = generate(&spec, scale);
         let range = {
             let lo = field.data.iter().cloned().fold(f32::INFINITY, f32::min);

@@ -26,7 +26,10 @@ fn main() {
         "field", "rel eb", "CR", "bits/elem", "PSNR(dB)", "outl%"
     );
     for (kind, name) in cases {
-        let spec = dataset_fields(kind).into_iter().find(|s| s.name == name).unwrap();
+        let spec = dataset_fields(kind)
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
         let field = generate(&spec, scale);
         for &eb in &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1] {
             let c = Compressor::new(Config {

@@ -24,7 +24,9 @@ fn warp_penalty(block_threads: usize) -> f64 {
 }
 
 fn pseudo(n: usize) -> Vec<i64> {
-    (0..n).map(|i| ((i as i64).wrapping_mul(2654435761) % 17) - 8).collect()
+    (0..n)
+        .map(|i| ((i as i64).wrapping_mul(2654435761) % 17) - 8)
+        .collect()
 }
 
 fn main() {
@@ -32,7 +34,10 @@ fn main() {
 
     // 1-D: 256-element chunks, cub::BlockScan style.
     println!("1-D block scan over 4 MB of q' (chunk 256):");
-    println!("{:>5} {:>10} {:>10} {:>10} {:>14} {:>14}", "seq", "shuffles", "shared", "barriers", "weighted cyc", "adj. cost");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>14} {:>14}",
+        "seq", "shuffles", "shared", "barriers", "weighted cyc", "adj. cost"
+    );
     let q0 = pseudo(1 << 19);
     let mut best1 = (f64::INFINITY, 0usize);
     for seq in [1usize, 2, 4, 8, 16, 32] {
@@ -45,14 +50,22 @@ fn main() {
         }
         println!(
             "{:>5} {:>10} {:>10} {:>10} {:>14.0} {:>14.0}",
-            seq, c.shuffles, c.shared_accesses, c.barriers, c.weighted_cycles(), adj
+            seq,
+            c.shuffles,
+            c.shared_accesses,
+            c.barriers,
+            c.weighted_cycles(),
+            adj
         );
     }
     println!("=> minimum adjusted cost at sequentiality {}", best1.1);
 
     // 2-D: 16×16 tiles, block (16, 16/seq, 1).
     println!("\n2-D tile kernel over 512x512 (block (16, 16/seq, 1)):");
-    println!("{:>5} {:>10} {:>10} {:>10} {:>14} {:>14}", "seq", "shuffles", "shared", "barriers", "weighted cyc", "adj. cost");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>14} {:>14}",
+        "seq", "shuffles", "shared", "barriers", "weighted cyc", "adj. cost"
+    );
     let q0 = pseudo(512 * 512);
     let mut best = (f64::INFINITY, 0usize);
     for seq in [1usize, 2, 4, 8, 16] {
@@ -66,14 +79,25 @@ fn main() {
         }
         println!(
             "{:>5} {:>10} {:>10} {:>10} {:>14.0} {:>14.0}",
-            seq, c.shuffles, c.shared_accesses, c.barriers, c.weighted_cycles(), adj
+            seq,
+            c.shuffles,
+            c.shared_accesses,
+            c.barriers,
+            c.weighted_cycles(),
+            adj
         );
     }
-    println!("=> minimum adjusted cost at sequentiality {} (paper: 8)", best.1);
+    println!(
+        "=> minimum adjusted cost at sequentiality {} (paper: 8)",
+        best.1
+    );
 
     // 3-D: 8³ tiles.
     println!("\n3-D tile kernel over 96x96x96:");
-    println!("{:>5} {:>10} {:>10} {:>10} {:>14} {:>14}", "seq", "shuffles", "shared", "barriers", "weighted cyc", "adj. cost");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>14} {:>14}",
+        "seq", "shuffles", "shared", "barriers", "weighted cyc", "adj. cost"
+    );
     let q0 = pseudo(96 * 96 * 96);
     for seq in [1usize, 2, 4, 8] {
         let mut q = q0.clone();
@@ -83,7 +107,12 @@ fn main() {
         let adj = c.weighted_cycles() * warp_penalty(64 * (8 / seq));
         println!(
             "{:>5} {:>10} {:>10} {:>10} {:>14.0} {:>14.0}",
-            seq, c.shuffles, c.shared_accesses, c.barriers, c.weighted_cycles(), adj
+            seq,
+            c.shuffles,
+            c.shared_accesses,
+            c.barriers,
+            c.weighted_cycles(),
+            adj
         );
     }
 

@@ -44,7 +44,9 @@ fn main() {
 
     let mut agreements = 0usize;
     let mut total = 0usize;
-    for &p1 in &[0.50, 0.70, 0.80, 0.88, 0.92, 0.95, 0.96, 0.97, 0.98, 0.99, 0.999] {
+    for &p1 in &[
+        0.50, 0.70, 0.80, 0.88, 0.92, 0.95, 0.96, 0.97, 0.98, 0.99, 0.999,
+    ] {
         let codes = stream(n, p1, 0xAB1E);
         let hist = histogram(&codes, 1024);
         let (b_lo, b_hi) = stats::avg_bit_length_bounds(&hist);

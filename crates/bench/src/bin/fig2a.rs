@@ -61,10 +61,15 @@ fn main() {
     let pre_mean = m_pre.mean();
     let q_mean = m_q.mean();
     eprintln!("\n# quant-code madogram mean {q_mean:.3} vs prequant {pre_mean:.3} (paper: quant-code is far smoother)");
-    assert!(q_mean < pre_mean, "quant-codes must be smoother than prequant");
+    assert!(
+        q_mean < pre_mean,
+        "quant-codes must be smoother than prequant"
+    );
     // Binary variance roughly flat beyond short distances → forward
     // encoding from any starting point sees the same roughness.
     let early = b_q.values[4];
     let late = b_q.values[d_max - 1];
-    eprintln!("# binary variance at d=5: {early:.4}, at d=200: {late:.4} (flatness → stable RLE rate)");
+    eprintln!(
+        "# binary variance at d=5: {early:.4}, at d=200: {late:.4} (flatness → stable RLE rate)"
+    );
 }

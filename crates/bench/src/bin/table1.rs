@@ -24,7 +24,10 @@ fn main() {
     let bounds = [1e-2, 1e-3, 1e-4];
 
     println!("TABLE I: averaged CR of schemes qg / qh / qhg (relative eb)\n");
-    println!("{:<11} {:>8} {:>8} {:>8} {:>8} | {:>6} {:>6} {:>6}", "", "eb", "qg", "qh", "qhg", "qg/qh", "qh/qh", "qhg/qh");
+    println!(
+        "{:<11} {:>8} {:>8} {:>8} {:>8} | {:>6} {:>6} {:>6}",
+        "", "eb", "qg", "qh", "qhg", "qg/qh", "qh/qh", "qhg/qh"
+    );
     for kind in datasets {
         // A bounded number of fields keeps the run minutes-scale.
         let specs: Vec<_> = dataset_fields(kind).into_iter().take(6).collect();

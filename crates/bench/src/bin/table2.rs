@@ -6,9 +6,7 @@
 //! cargo run --release -p cuszp-bench --bin table2
 //! ```
 
-use cuszp_bench::{
-    bench_scale, estimate_for, fmt_gbps, measured_reconstruct_gbps, quantize_field,
-};
+use cuszp_bench::{bench_scale, estimate_for, fmt_gbps, measured_reconstruct_gbps, quantize_field};
 use cuszp_datagen::{dataset_fields, DatasetKind};
 use cuszp_gpusim::cost::{modeled_throughput, KernelClass};
 use cuszp_gpusim::{A100, V100};
@@ -71,7 +69,11 @@ fn main() {
         let m_opt = measured_reconstruct_gbps(&qf, ReconstructEngine::FinePartialSum);
         println!(
             "{:<15} {:<6} | {:>10} {:>10} {:>10} |",
-            "", "CPU", fmt_gbps(m_coarse), fmt_gbps(m_naive), fmt_gbps(m_opt)
+            "",
+            "CPU",
+            fmt_gbps(m_coarse),
+            fmt_gbps(m_naive),
+            fmt_gbps(m_opt)
         );
     }
     println!("\n* = device-model estimate (see cuszp-gpusim); CPU = measured wall-clock.");

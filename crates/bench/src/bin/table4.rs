@@ -39,7 +39,13 @@ fn main() {
         if gain_rv > best_gain.0 {
             best_gain = (gain_rv, spec.name);
         }
-        let fmt_gain = |g: f64| if g >= 1.0 { format!("{g:.2}x") } else { "-".to_string() };
+        let fmt_gain = |g: f64| {
+            if g >= 1.0 {
+                format!("{g:.2}x")
+            } else {
+                "-".to_string()
+            }
+        };
         println!(
             "{:<12} {:>10.2} {:>10.2} {:>9.2} {:>7} {:>9.2} {:>7}",
             spec.name,

@@ -14,12 +14,16 @@ use cuszp_bench::{
     quantize_field, workflow_ratios,
 };
 use cuszp_datagen::{dataset_fields, DatasetKind};
-use cuszp_gpusim::cost::{modeled_time, modeled_throughput, KernelClass};
+use cuszp_gpusim::cost::{modeled_throughput, modeled_time, KernelClass};
 use cuszp_gpusim::{DeviceSpec, A100, V100};
 
 /// Overall compression throughput with a given coding kernel replacing
 /// Huffman in the pipeline composition.
-fn overall_with(dev: &DeviceSpec, est: &cuszp_gpusim::cost::KernelEstimate, coding: KernelClass) -> f64 {
+fn overall_with(
+    dev: &DeviceSpec,
+    est: &cuszp_gpusim::cost::KernelEstimate,
+    coding: KernelClass,
+) -> f64 {
     let t: f64 = [
         KernelClass::LorenzoConstruct,
         KernelClass::GatherOutlier,
@@ -47,7 +51,10 @@ fn main() {
         "field", "", "V100 code", "overall", "A100 code", "overall", "CR"
     );
     for (kind, name) in cases {
-        let spec = dataset_fields(kind).into_iter().find(|s| s.name == name).unwrap();
+        let spec = dataset_fields(kind)
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
         let (field, qf, _) = quantize_field(&spec, scale, eb);
         let est = estimate_for(kind, &qf);
         let wf = workflow_ratios(&field, eb);

@@ -35,7 +35,10 @@ fn main() {
         "", "Lor.comp", "ours", "gain", "Huff.enc", "ours", "gain", "Lor.dec", "ours", "gain"
     );
     for (kind, name) in cases {
-        let spec = dataset_fields(kind).into_iter().find(|s| s.name == name).unwrap();
+        let spec = dataset_fields(kind)
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
         let (field, qf, eb) = quantize_field(&spec, scale, 1e-4);
         let est = estimate_for(kind, &qf);
 

@@ -54,7 +54,10 @@ fn main() {
     }
     print!("{:<22}", "Lorenzo reconstruct");
     for (_, est) in &estimates {
-        print!(" {:>9.1}", modeled_throughput(KernelClass::LorenzoReconstruct, &V100, est));
+        print!(
+            " {:>9.1}",
+            modeled_throughput(KernelClass::LorenzoReconstruct, &V100, est)
+        );
     }
     println!();
     print!("{:<22}", "overall, compress");

@@ -95,7 +95,9 @@ impl Archive {
     pub fn to_quant_field(&self) -> Result<QuantField, CuszpError> {
         let codes = decode_codes(&self.payload);
         if codes.len() != self.dims.len() {
-            return Err(CuszpError::MalformedArchive("decoded code count mismatches dims"));
+            return Err(CuszpError::MalformedArchive(
+                "decoded code count mismatches dims",
+            ));
         }
         Ok(QuantField {
             codes,
@@ -192,7 +194,11 @@ impl Archive {
         let dims = match rank {
             1 => Dims::D1(ex),
             2 => Dims::D2 { ny: ey, nx: ex },
-            3 => Dims::D3 { nz: ez, ny: ey, nx: ex },
+            3 => Dims::D3 {
+                nz: ez,
+                ny: ey,
+                nx: ex,
+            },
             _ => return Err(CuszpError::MalformedArchive("bad rank")),
         };
         if cap < 4 || cap % 2 != 0 {
@@ -203,7 +209,10 @@ impl Archive {
             .ok_or(CuszpError::MalformedArchive("truncated payload"))?;
         let actual = fnv1a(payload);
         if actual != checksum {
-            return Err(CuszpError::ChecksumMismatch { expected: checksum, actual });
+            return Err(CuszpError::ChecksumMismatch {
+                expected: checksum,
+                actual,
+            });
         }
 
         let mut p = 0usize;
@@ -314,7 +323,12 @@ fn read_codes_section(tag: u8, bytes: &[u8]) -> Result<CodesPayload, CuszpError>
                 .ok_or(CuszpError::MalformedArchive("truncated RLE+VLE values"))?;
             let (counts, _) = HuffmanEncoded::from_bytes(&bytes[16 + used..])
                 .ok_or(CuszpError::MalformedArchive("truncated RLE+VLE counts"))?;
-            Ok(CodesPayload::RleVle(RleVleEncoded { values, counts, n, n_runs }))
+            Ok(CodesPayload::RleVle(RleVleEncoded {
+                values,
+                counts,
+                n,
+                n_runs,
+            }))
         }
         _ => Err(CuszpError::MalformedArchive("unknown workflow tag")),
     }
@@ -338,13 +352,20 @@ mod tests {
 
     fn archive_for(workflow: WorkflowMode) -> Archive {
         let data: Vec<f32> = (0..5000).map(|i| (i as f32 * 0.01).sin()).collect();
-        let c = Compressor::new(Config { workflow, ..Config::default() });
+        let c = Compressor::new(Config {
+            workflow,
+            ..Config::default()
+        });
         c.compress(&data, Dims::D1(5000)).unwrap()
     }
 
     #[test]
     fn serialization_round_trips_every_workflow() {
-        for wf in [WorkflowChoice::Huffman, WorkflowChoice::Rle, WorkflowChoice::RleVle] {
+        for wf in [
+            WorkflowChoice::Huffman,
+            WorkflowChoice::Rle,
+            WorkflowChoice::RleVle,
+        ] {
             let a = archive_for(WorkflowMode::Force(wf));
             let bytes = a.to_bytes();
             let b = Archive::from_bytes(&bytes).unwrap();
@@ -360,7 +381,11 @@ mod tests {
         for dims in [
             Dims::D1(5040),
             Dims::D2 { ny: 60, nx: 84 },
-            Dims::D3 { nz: 7, ny: 24, nx: 30 },
+            Dims::D3 {
+                nz: 7,
+                ny: 24,
+                nx: 30,
+            },
         ] {
             let a = c.compress(&data, dims).unwrap();
             let b = Archive::from_bytes(&a.to_bytes()).unwrap();
@@ -397,8 +422,7 @@ mod tests {
         let bytes = a.to_bytes();
         // payload_len field sits at offset HEADER_BYTES-16; verify it.
         let off = HEADER_BYTES - 16;
-        let payload_len =
-            u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
         assert_eq!(HEADER_BYTES + payload_len, bytes.len());
     }
 }

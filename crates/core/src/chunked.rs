@@ -1,0 +1,564 @@
+//! Chunk-parallel execution engine: the v2 multi-chunk archive.
+//!
+//! The field is split into independent slabs along its slowest-varying
+//! axis ([`cuszp_parallel::plan_chunks`]); each chunk runs the **full**
+//! per-chunk pipeline — prequant → Lorenzo → histogram/selector →
+//! Huffman-or-RLE — on a [`WorkerPool`], with its own histogram and its
+//! own codebook. The per-chunk payloads are concatenated into the "CSZ2"
+//! container in plan order. Decompression fans the chunks back out in
+//! parallel, each writing its slab of the output in place.
+//!
+//! # Determinism
+//!
+//! Chunked archives are **byte-identical regardless of thread count**:
+//!
+//! * the chunk plan is a pure function of the field shape and chunk
+//!   target — the worker count never enters it;
+//! * a relative error bound is resolved to an absolute one **once, over
+//!   the whole field**, before chunking (unlike the streaming path,
+//!   which resolves per slab);
+//! * every chunk job runs with nested parallelism forced serial
+//!   ([`WorkerPool`] does this even for one worker), so a chunk's bytes
+//!   come from the identical code path under any pool width;
+//! * the merge is ordered by chunk index, not completion order.
+
+use crate::error::CuszpError;
+use crate::{Archive, Compressor, Config, Dims, Dtype, ErrorBound, Predictor, ReconstructEngine};
+use cuszp_parallel::{plan_chunks, WorkerPool, DEFAULT_CHUNK_ELEMS};
+use cuszp_predictor::Scalar;
+
+pub(crate) const CHUNKED_MAGIC: u32 = 0x325A_5343; // "CSZ2"
+const CHUNKED_VERSION: u16 = 2;
+const CHUNKED_HEADER_BYTES: usize = 4 + 2 + 1 + 1 + 24 + 8 + 8 + 4;
+
+/// True when `bytes` starts with the chunked-container magic.
+pub fn is_chunked_archive(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && u32::from_le_bytes(bytes[0..4].try_into().unwrap()) == CHUNKED_MAGIC
+}
+
+/// A v2 multi-chunk archive: per-chunk v1 [`Archive`]s in plan order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkedArchive {
+    /// Original field dimensions.
+    pub dims: Dims,
+    /// Element type of the field.
+    pub dtype: Dtype,
+    /// Global absolute error bound (resolved once over the whole field).
+    pub eb: f64,
+    /// Target elements per chunk the plan was built with.
+    pub chunk_target: u64,
+    /// Per-chunk archives, in plan (= slab) order.
+    pub chunks: Vec<Archive>,
+}
+
+impl Compressor {
+    /// Chunk-parallel compression of an `f32` field with the default
+    /// chunk granularity and the global worker policy.
+    pub fn compress_chunked(&self, data: &[f32], dims: Dims) -> Result<ChunkedArchive, CuszpError> {
+        self.compress_chunked_with(
+            data,
+            dims,
+            DEFAULT_CHUNK_ELEMS,
+            &WorkerPool::with_default_workers(),
+        )
+    }
+
+    /// Chunk-parallel compression of an `f64` field.
+    pub fn compress_chunked_f64(
+        &self,
+        data: &[f64],
+        dims: Dims,
+    ) -> Result<ChunkedArchive, CuszpError> {
+        self.compress_chunked_f64_with(
+            data,
+            dims,
+            DEFAULT_CHUNK_ELEMS,
+            &WorkerPool::with_default_workers(),
+        )
+    }
+
+    /// Chunk-parallel `f32` compression with explicit chunk target and
+    /// pool. The archive bytes depend on `target_elems` (it shapes the
+    /// plan) but **never** on the pool width.
+    pub fn compress_chunked_with(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        target_elems: usize,
+        pool: &WorkerPool,
+    ) -> Result<ChunkedArchive, CuszpError> {
+        self.compress_chunked_impl(data, dims, Dtype::F32, target_elems, pool)
+    }
+
+    /// Chunk-parallel `f64` compression with explicit chunk target and
+    /// pool.
+    pub fn compress_chunked_f64_with(
+        &self,
+        data: &[f64],
+        dims: Dims,
+        target_elems: usize,
+        pool: &WorkerPool,
+    ) -> Result<ChunkedArchive, CuszpError> {
+        self.compress_chunked_impl(data, dims, Dtype::F64, target_elems, pool)
+    }
+
+    fn compress_chunked_impl<T: Scalar>(
+        &self,
+        data: &[T],
+        dims: Dims,
+        dtype: Dtype,
+        target_elems: usize,
+        pool: &WorkerPool,
+    ) -> Result<ChunkedArchive, CuszpError> {
+        if data.len() != dims.len() {
+            return Err(CuszpError::DimsMismatch {
+                data: data.len(),
+                dims: dims.len(),
+            });
+        }
+        // Resolve the bound globally BEFORE chunking: a relative bound
+        // must scale with the whole field's range, not each slab's, both
+        // for uniform quality and for plan-independent bytes.
+        let eb = self.config().error_bound.absolute_scalar(data);
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CuszpError::InvalidErrorBound(eb));
+        }
+        let plan = plan_chunks(&[dims.slow_extent(), dims.elems_per_slow()], target_elems);
+        let chunk_config = Config {
+            error_bound: ErrorBound::Absolute(eb),
+            ..*self.config()
+        };
+        let chunk_compressor = Compressor::new(chunk_config);
+        let results = pool.run(plan.len(), |i| {
+            let spec = &plan.chunks[i];
+            let chunk_dims = dims.slab(spec.slow_len());
+            chunk_compressor
+                .compress_impl(&data[spec.elems.clone()], chunk_dims, dtype)
+                .map(|(archive, _stats)| archive)
+        });
+        let mut chunks = Vec::with_capacity(results.len());
+        for r in results {
+            chunks.push(r?);
+        }
+        Ok(ChunkedArchive {
+            dims,
+            dtype,
+            eb,
+            chunk_target: target_elems as u64,
+            chunks,
+        })
+    }
+}
+
+impl ChunkedArchive {
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total serialized size in bytes.
+    pub fn serialized_bytes(&self) -> usize {
+        CHUNKED_HEADER_BYTES
+            + self.chunks.len() * 8
+            + self
+                .chunks
+                .iter()
+                .map(Archive::serialized_bytes)
+                .sum::<usize>()
+    }
+
+    /// Parallel decompression into `f32` with the global worker policy.
+    pub fn decompress(&self, engine: ReconstructEngine) -> Result<(Vec<f32>, Dims), CuszpError> {
+        self.decompress_with(engine, &WorkerPool::with_default_workers())
+    }
+
+    /// Parallel decompression into `f64`.
+    pub fn decompress_f64(
+        &self,
+        engine: ReconstructEngine,
+    ) -> Result<(Vec<f64>, Dims), CuszpError> {
+        self.decompress_f64_with(engine, &WorkerPool::with_default_workers())
+    }
+
+    /// `f32` decompression with an explicit pool.
+    pub fn decompress_with(
+        &self,
+        engine: ReconstructEngine,
+        pool: &WorkerPool,
+    ) -> Result<(Vec<f32>, Dims), CuszpError> {
+        if self.dtype != Dtype::F32 {
+            return Err(CuszpError::DtypeMismatch {
+                stored: self.dtype.name(),
+                requested: "f32",
+            });
+        }
+        self.decompress_impl::<f32>(engine, pool)
+    }
+
+    /// `f64` decompression with an explicit pool.
+    pub fn decompress_f64_with(
+        &self,
+        engine: ReconstructEngine,
+        pool: &WorkerPool,
+    ) -> Result<(Vec<f64>, Dims), CuszpError> {
+        if self.dtype != Dtype::F64 {
+            return Err(CuszpError::DtypeMismatch {
+                stored: self.dtype.name(),
+                requested: "f64",
+            });
+        }
+        self.decompress_impl::<f64>(engine, pool)
+    }
+
+    fn decompress_impl<T: Scalar>(
+        &self,
+        engine: ReconstructEngine,
+        pool: &WorkerPool,
+    ) -> Result<(Vec<T>, Dims), CuszpError> {
+        self.validate_chunk_geometry()?;
+        let mut out = vec![T::from_f64(0.0); self.dims.len()];
+        // Carve the output into one mutable slab per chunk; each job owns
+        // its slab, so chunks reconstruct concurrently without copies.
+        let mut slabs: Vec<&mut [T]> = Vec::with_capacity(self.chunks.len());
+        let mut rest: &mut [T] = &mut out;
+        for chunk in &self.chunks {
+            let (head, tail) = rest.split_at_mut(chunk.dims.len());
+            slabs.push(head);
+            rest = tail;
+        }
+        let results = pool.run_parts(slabs, |i, slab| -> Result<(), CuszpError> {
+            let chunk = &self.chunks[i];
+            let qf = chunk.to_quant_field()?;
+            match chunk.predictor {
+                Predictor::Lorenzo => cuszp_predictor::reconstruct_into(&qf, engine, slab),
+                Predictor::Interpolation => {
+                    let recon: Vec<T> = cuszp_predictor::reconstruct_interpolation(&qf);
+                    slab.copy_from_slice(&recon);
+                }
+            }
+            Ok(())
+        });
+        for r in results {
+            r?;
+        }
+        Ok((out, self.dims))
+    }
+
+    /// Checks that the chunk slabs tile `dims` exactly (rank, fast
+    /// extents, slow coverage, element type).
+    fn validate_chunk_geometry(&self) -> Result<(), CuszpError> {
+        let mut slow = 0usize;
+        for chunk in &self.chunks {
+            if chunk.dtype != self.dtype {
+                return Err(CuszpError::MalformedArchive(
+                    "chunk dtype mismatches container",
+                ));
+            }
+            if chunk.dims.rank() != self.dims.rank()
+                || chunk.dims.elems_per_slow() != self.dims.elems_per_slow()
+            {
+                return Err(CuszpError::MalformedArchive(
+                    "chunk shape mismatches container",
+                ));
+            }
+            slow += chunk.dims.slow_extent();
+        }
+        if slow != self.dims.slow_extent() {
+            return Err(CuszpError::MalformedArchive("chunks do not tile the field"));
+        }
+        Ok(())
+    }
+
+    /// Serializes the container:
+    /// `[magic][version u16][rank u8][dtype u8][extents 3×u64][eb f64]
+    ///  [chunk_target u64][n_chunks u32][chunk_len u64]* [chunk bytes]*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let chunk_bytes: Vec<Vec<u8>> = self.chunks.iter().map(Archive::to_bytes).collect();
+        let mut out = Vec::with_capacity(
+            CHUNKED_HEADER_BYTES + chunk_bytes.iter().map(|b| b.len() + 8).sum::<usize>(),
+        );
+        out.extend_from_slice(&CHUNKED_MAGIC.to_le_bytes());
+        out.extend_from_slice(&CHUNKED_VERSION.to_le_bytes());
+        out.push(self.dims.rank() as u8);
+        out.push(match self.dtype {
+            Dtype::F32 => 0,
+            Dtype::F64 => 1,
+        });
+        for e in self.dims.extents() {
+            out.extend_from_slice(&(e as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&self.eb.to_le_bytes());
+        out.extend_from_slice(&self.chunk_target.to_le_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for b in &chunk_bytes {
+            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        }
+        for b in &chunk_bytes {
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Parses a container written by [`Self::to_bytes`]. Every chunk is
+    /// structurally validated and checksummed by [`Archive::from_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
+        if bytes.len() < CHUNKED_HEADER_BYTES {
+            return Err(CuszpError::MalformedArchive("chunked header truncated"));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        if magic != CHUNKED_MAGIC {
+            return Err(CuszpError::MalformedArchive("bad chunked magic"));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if version != CHUNKED_VERSION {
+            return Err(CuszpError::UnsupportedVersion(version));
+        }
+        let rank = bytes[6];
+        let dtype = match bytes[7] {
+            0 => Dtype::F32,
+            1 => Dtype::F64,
+            _ => return Err(CuszpError::MalformedArchive("bad chunked dtype")),
+        };
+        let mut pos = 8usize;
+        let mut ext = [0usize; 3];
+        for e in ext.iter_mut() {
+            *e = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+            pos += 8;
+        }
+        let dims = match rank {
+            1 => Dims::D1(ext[2]),
+            2 => Dims::D2 {
+                ny: ext[1],
+                nx: ext[2],
+            },
+            3 => Dims::D3 {
+                nz: ext[0],
+                ny: ext[1],
+                nx: ext[2],
+            },
+            _ => return Err(CuszpError::MalformedArchive("bad chunked rank")),
+        };
+        let eb = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        let chunk_target = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        let n_chunks = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        let mut lens = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            lens.push(u64::from_le_bytes(
+                bytes
+                    .get(pos..pos + 8)
+                    .ok_or(CuszpError::MalformedArchive("chunk length table truncated"))?
+                    .try_into()
+                    .unwrap(),
+            ) as usize);
+            pos += 8;
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for len in lens {
+            let slice = bytes
+                .get(pos..pos + len)
+                .ok_or(CuszpError::MalformedArchive("chunk truncated"))?;
+            chunks.push(Archive::from_bytes(slice)?);
+            pos += len;
+        }
+        if pos != bytes.len() {
+            return Err(CuszpError::MalformedArchive(
+                "trailing bytes after last chunk",
+            ));
+        }
+        let archive = Self {
+            dims,
+            dtype,
+            eb,
+            chunk_target,
+            chunks,
+        };
+        archive.validate_chunk_geometry()?;
+        Ok(archive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkflowMode;
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.0021).sin() * 9.0 + (i as f32 * 0.00047).cos())
+            .collect()
+    }
+
+    #[test]
+    fn chunked_round_trip_all_ranks() {
+        let c = Compressor::default();
+        let pool = WorkerPool::new(3);
+        for dims in [
+            Dims::D1(40_000),
+            Dims::D2 { ny: 180, nx: 220 },
+            Dims::D3 {
+                nz: 19,
+                ny: 40,
+                nx: 50,
+            },
+        ] {
+            let data = field(dims.len());
+            let arc = c.compress_chunked_with(&data, dims, 8_000, &pool).unwrap();
+            assert!(arc.n_chunks() > 1, "{dims:?} must split");
+            let bytes = arc.to_bytes();
+            assert_eq!(bytes.len(), arc.serialized_bytes());
+            let parsed = ChunkedArchive::from_bytes(&bytes).unwrap();
+            assert_eq!(parsed, arc);
+            let (recon, got) = parsed
+                .decompress_with(ReconstructEngine::FinePartialSum, &pool)
+                .unwrap();
+            assert_eq!(got, dims);
+            let eb = arc.eb;
+            for (o, r) in data.iter().zip(&recon) {
+                let slack = eb * (1.0 + 1e-6) + (o.abs() as f64) * f32::EPSILON as f64;
+                assert!(((o - r).abs() as f64) <= slack, "{o} vs {r} (eb {eb})");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_chunked_round_trip() {
+        let data: Vec<f64> = (0..30_000)
+            .map(|i| (i as f64 * 0.001).sin() * 5.0)
+            .collect();
+        let c = Compressor::default();
+        let pool = WorkerPool::new(2);
+        let arc = c
+            .compress_chunked_f64_with(&data, Dims::D1(30_000), 7_000, &pool)
+            .unwrap();
+        let parsed = ChunkedArchive::from_bytes(&arc.to_bytes()).unwrap();
+        let (recon, _) = parsed
+            .decompress_f64_with(ReconstructEngine::FinePartialSum, &pool)
+            .unwrap();
+        for (o, r) in data.iter().zip(&recon) {
+            assert!((o - r).abs() <= arc.eb * (1.0 + 1e-12), "{o} vs {r}");
+        }
+        // Wrong-dtype request is refused.
+        assert!(matches!(
+            parsed.decompress(ReconstructEngine::FinePartialSum),
+            Err(CuszpError::DtypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn global_bound_resolution_differs_from_per_slab() {
+        // First half is flat, second half spans a large range: per-slab
+        // relative resolution (the streaming path) would give the flat
+        // half a much tighter bound than the global one.
+        let mut data = vec![1.0f32; 20_000];
+        for (i, x) in data[10_000..].iter_mut().enumerate() {
+            *x = (i as f32) * 0.01;
+        }
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Relative(1e-3),
+            ..Config::default()
+        });
+        let arc = c
+            .compress_chunked_with(&data, Dims::D1(20_000), 5_000, &WorkerPool::new(2))
+            .unwrap();
+        let global_eb = ErrorBound::Relative(1e-3).absolute(&data);
+        assert_eq!(arc.eb, global_eb);
+        for chunk in &arc.chunks {
+            assert_eq!(
+                chunk.eb, global_eb,
+                "every chunk must carry the global bound"
+            );
+        }
+    }
+
+    #[test]
+    fn per_chunk_workflows_can_differ() {
+        // Flat region (RLE territory) followed by rough region (Huffman
+        // territory): with per-chunk histograms the selector can pick a
+        // different workflow for each chunk.
+        let mut data = vec![0.5f32; 131_072];
+        for (i, x) in data[65_536..].iter_mut().enumerate() {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+            *x = (h & 0x3FF) as f32 / 1024.0 * 10.0;
+        }
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Absolute(0.05),
+            workflow: WorkflowMode::Auto,
+            ..Config::default()
+        });
+        let arc = c
+            .compress_chunked_with(&data, Dims::D1(131_072), 65_536, &WorkerPool::new(2))
+            .unwrap();
+        assert_eq!(arc.n_chunks(), 2);
+        let tags: Vec<bool> = arc
+            .chunks
+            .iter()
+            .map(|ch| matches!(ch.payload, crate::CodesPayload::Huffman(_)))
+            .collect();
+        assert_ne!(tags[0], tags[1], "chunks must select different workflows");
+    }
+
+    #[test]
+    fn empty_field_chunked() {
+        let c = Compressor::default();
+        let arc = c.compress_chunked(&[], Dims::D1(0)).unwrap();
+        assert_eq!(arc.n_chunks(), 0);
+        let parsed = ChunkedArchive::from_bytes(&arc.to_bytes()).unwrap();
+        let (recon, dims) = parsed
+            .decompress(ReconstructEngine::FinePartialSum)
+            .unwrap();
+        assert!(recon.is_empty());
+        assert_eq!(dims, Dims::D1(0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs_and_corruption() {
+        let c = Compressor::default();
+        assert!(matches!(
+            c.compress_chunked(&[1.0, 2.0], Dims::D1(3)),
+            Err(CuszpError::DimsMismatch { .. })
+        ));
+        assert!(matches!(
+            c.compress_chunked(&[1.0, f32::NAN, 0.0, 0.0], Dims::D1(4)),
+            Err(CuszpError::NonFiniteInput)
+        ));
+
+        let data = field(10_000);
+        let arc = c
+            .compress_chunked_with(&data, Dims::D1(10_000), 2_500, &WorkerPool::new(2))
+            .unwrap();
+        let bytes = arc.to_bytes();
+        assert!(ChunkedArchive::from_bytes(&bytes[..CHUNKED_HEADER_BYTES - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(ChunkedArchive::from_bytes(&bad).is_err(), "bad magic");
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 3] ^= 0x10; // payload flip inside the last chunk
+        assert!(
+            ChunkedArchive::from_bytes(&bad).is_err(),
+            "chunk checksum must catch flips"
+        );
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(ChunkedArchive::from_bytes(&bad).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn top_level_decompress_sniffs_chunked_magic() {
+        let data = field(20_000);
+        let c = Compressor::default();
+        let chunked = c
+            .compress_chunked_with(&data, Dims::D1(20_000), 5_000, &WorkerPool::new(2))
+            .unwrap();
+        let (recon, dims) = crate::decompress(&chunked.to_bytes()).unwrap();
+        assert_eq!(dims, Dims::D1(20_000));
+        assert_eq!(recon.len(), data.len());
+        // v1 single-chunk archives still decompress through the same door.
+        let v1 = c.compress(&data, Dims::D1(20_000)).unwrap();
+        let (recon1, _) = crate::decompress(&v1.to_bytes()).unwrap();
+        assert_eq!(recon1.len(), data.len());
+    }
+}

@@ -47,11 +47,17 @@ impl std::fmt::Display for CuszpError {
             }
             CuszpError::MalformedArchive(what) => write!(f, "malformed archive: {what}"),
             CuszpError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: stored {expected:#x}, computed {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:#x}, computed {actual:#x}"
+                )
             }
             CuszpError::UnsupportedVersion(v) => write!(f, "unsupported archive version {v}"),
             CuszpError::DtypeMismatch { stored, requested } => {
-                write!(f, "archive holds {stored} data but {requested} was requested")
+                write!(
+                    f,
+                    "archive holds {stored} data but {requested} was requested"
+                )
             }
         }
     }
@@ -68,11 +74,16 @@ mod tests {
         let e = CuszpError::DimsMismatch { data: 5, dims: 6 };
         assert!(e.to_string().contains('5') && e.to_string().contains('6'));
         assert!(CuszpError::NonFiniteInput.to_string().contains("NaN"));
-        assert!(CuszpError::InvalidErrorBound(-1.0).to_string().contains("-1"));
+        assert!(CuszpError::InvalidErrorBound(-1.0)
+            .to_string()
+            .contains("-1"));
         assert!(CuszpError::MalformedArchive("truncated header")
             .to_string()
             .contains("truncated"));
-        let e = CuszpError::ChecksumMismatch { expected: 0xAB, actual: 0xCD };
+        let e = CuszpError::ChecksumMismatch {
+            expected: 0xAB,
+            actual: 0xCD,
+        };
         assert!(e.to_string().contains("ab") || e.to_string().contains("0xab"));
         assert!(CuszpError::UnsupportedVersion(9).to_string().contains('9'));
     }

@@ -35,6 +35,7 @@
 //! ```
 
 mod archive;
+mod chunked;
 mod error;
 mod snapshot;
 mod stats;
@@ -42,6 +43,7 @@ mod stream;
 mod workflow;
 
 pub use archive::{Archive, Dtype};
+pub use chunked::{is_chunked_archive, ChunkedArchive};
 pub use error::CuszpError;
 pub use snapshot::{Snapshot, SnapshotEntry};
 pub use stats::CompressionStats;
@@ -201,7 +203,10 @@ impl Compressor {
         dtype: Dtype,
     ) -> Result<(Archive, CompressionStats), CuszpError> {
         if data.len() != dims.len() {
-            return Err(CuszpError::DimsMismatch { data: data.len(), dims: dims.len() });
+            return Err(CuszpError::DimsMismatch {
+                data: data.len(),
+                dims: dims.len(),
+            });
         }
         if !data.iter().all(|x| x.is_finite_scalar()) {
             return Err(CuszpError::NonFiniteInput);
@@ -224,16 +229,23 @@ impl Compressor {
 }
 
 /// Decompresses archive bytes back into a field.
+///
+/// Accepts both v1 single-chunk archives and v2 chunked containers
+/// (dispatched on the magic); chunked containers reconstruct in
+/// parallel, one worker per chunk.
 pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, Dims), CuszpError> {
     decompress_with_engine(bytes, ReconstructEngine::FinePartialSum)
 }
 
 /// Decompression with an explicit reconstruction engine (for the
-/// engine-comparison experiments).
+/// engine-comparison experiments). Accepts v1 and chunked v2 bytes.
 pub fn decompress_with_engine(
     bytes: &[u8],
     engine: ReconstructEngine,
 ) -> Result<(Vec<f32>, Dims), CuszpError> {
+    if is_chunked_archive(bytes) {
+        return ChunkedArchive::from_bytes(bytes)?.decompress(engine);
+    }
     let archive = Archive::from_bytes(bytes)?;
     decompress_archive(&archive, engine)
 }
@@ -257,7 +269,8 @@ pub fn decompress_archive(
     Ok((out, qf.dims))
 }
 
-/// Decompresses archive bytes into an `f64` field.
+/// Decompresses archive bytes into an `f64` field. Accepts v1 and
+/// chunked v2 bytes.
 pub fn decompress_f64(bytes: &[u8]) -> Result<(Vec<f64>, Dims), CuszpError> {
     decompress_f64_with_engine(bytes, ReconstructEngine::FinePartialSum)
 }
@@ -267,6 +280,9 @@ pub fn decompress_f64_with_engine(
     bytes: &[u8],
     engine: ReconstructEngine,
 ) -> Result<(Vec<f64>, Dims), CuszpError> {
+    if is_chunked_archive(bytes) {
+        return ChunkedArchive::from_bytes(bytes)?.decompress_f64(engine);
+    }
     let archive = Archive::from_bytes(bytes)?;
     if archive.dtype != Dtype::F64 {
         return Err(CuszpError::DtypeMismatch {
@@ -287,7 +303,9 @@ mod tests {
     use super::*;
 
     fn sample_field(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.003).sin() * 7.0 + (i as f32 * 0.0011).cos()).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.003).sin() * 7.0 + (i as f32 * 0.0011).cos())
+            .collect()
     }
 
     fn check(config: Config, data: &[f32], dims: Dims) {
@@ -308,8 +326,20 @@ mod tests {
     fn default_roundtrip_all_ranks() {
         let data = sample_field(6000);
         check(Config::default(), &data[..4096], Dims::D1(4096));
-        check(Config::default(), &data[..4000], Dims::D2 { ny: 50, nx: 80 });
-        check(Config::default(), &data[..5760], Dims::D3 { nz: 9, ny: 20, nx: 32 });
+        check(
+            Config::default(),
+            &data[..4000],
+            Dims::D2 { ny: 50, nx: 80 },
+        );
+        check(
+            Config::default(),
+            &data[..5760],
+            Dims::D3 {
+                nz: 9,
+                ny: 20,
+                nx: 32,
+            },
+        );
     }
 
     #[test]
@@ -321,7 +351,10 @@ mod tests {
             WorkflowMode::Force(WorkflowChoice::Rle),
             WorkflowMode::Force(WorkflowChoice::RleVle),
         ] {
-            let config = Config { workflow: wf, ..Config::default() };
+            let config = Config {
+                workflow: wf,
+                ..Config::default()
+            };
             check(config, &data, Dims::D1(8192));
         }
     }
@@ -330,7 +363,10 @@ mod tests {
     fn absolute_and_relative_bounds() {
         let data = sample_field(4096);
         for eb in [ErrorBound::Absolute(0.01), ErrorBound::Relative(1e-3)] {
-            let config = Config { error_bound: eb, ..Config::default() };
+            let config = Config {
+                error_bound: eb,
+                ..Config::default()
+            };
             check(config, &data, Dims::D1(4096));
         }
     }
@@ -345,7 +381,11 @@ mod tests {
         let (archive, stats) = c.compress_with_stats(&data, Dims::D1(100_000)).unwrap();
         // Every 256-element tile start is an outlier (d° = 1625 > radius),
         // so the outlier section bounds the CR near 256·4/16 ≈ 64.
-        assert!(stats.compression_ratio() > 30.0, "CR = {}", stats.compression_ratio());
+        assert!(
+            stats.compression_ratio() > 30.0,
+            "CR = {}",
+            stats.compression_ratio()
+        );
         let (recon, _) = decompress(&archive.to_bytes()).unwrap();
         for (o, r) in data.iter().zip(&recon) {
             assert!((o - r).abs() <= 1e-3 * 1.001);
@@ -376,7 +416,9 @@ mod tests {
     #[test]
     fn corrupt_archives_are_rejected() {
         let data = sample_field(1024);
-        let archive = Compressor::default().compress(&data, Dims::D1(1024)).unwrap();
+        let archive = Compressor::default()
+            .compress(&data, Dims::D1(1024))
+            .unwrap();
         let mut bytes = archive.to_bytes();
         assert!(decompress(&bytes[..bytes.len() - 4]).is_err(), "truncated");
         bytes[0] ^= 0xFF;
@@ -384,7 +426,10 @@ mod tests {
         let mut bytes2 = archive.to_bytes();
         let n = bytes2.len();
         bytes2[n - 3] ^= 0x40;
-        assert!(decompress(&bytes2).is_err(), "checksum must catch payload flips");
+        assert!(
+            decompress(&bytes2).is_err(),
+            "checksum must catch payload flips"
+        );
     }
 
     #[test]
@@ -393,6 +438,63 @@ mod tests {
         let (recon, dims) = decompress(&archive.to_bytes()).unwrap();
         assert!(recon.is_empty());
         assert_eq!(dims, Dims::D1(0));
+    }
+
+    #[test]
+    fn relative_bound_constant_field_uses_zero_range_fallback() {
+        // Zero range: the relative mode falls back to `rel` itself as an
+        // absolute bound instead of producing eb = 0 (which would divide
+        // by zero in prequantization).
+        let data = vec![5.25f32; 4096];
+        let eb = ErrorBound::Relative(1e-3).absolute(&data);
+        assert_eq!(eb, 1e-3);
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Relative(1e-3),
+            ..Config::default()
+        });
+        let archive = c.compress(&data, Dims::D1(4096)).unwrap();
+        assert_eq!(archive.eb, eb);
+        let (recon, _) = decompress(&archive.to_bytes()).unwrap();
+        for (o, r) in data.iter().zip(&recon) {
+            assert!(((o - r).abs() as f64) <= eb * 1.001, "{o} vs {r}");
+        }
+    }
+
+    #[test]
+    fn relative_bound_empty_slice_resolves_positive() {
+        // An empty field has no range at all; resolution must still give
+        // a positive finite bound so compression of Dims::D1(0) succeeds.
+        let eb = ErrorBound::Relative(1e-4).absolute(&[]);
+        assert!(eb.is_finite() && eb > 0.0, "eb = {eb}");
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Relative(1e-4),
+            ..Config::default()
+        });
+        let archive = c.compress(&[], Dims::D1(0)).unwrap();
+        let (recon, dims) = decompress(&archive.to_bytes()).unwrap();
+        assert!(recon.is_empty());
+        assert_eq!(dims, Dims::D1(0));
+    }
+
+    #[test]
+    fn relative_bound_single_element_roundtrips() {
+        // One element: range 0, same fallback; the lone value must come
+        // back within the resolved bound (it travels as an outlier when
+        // it exceeds the quantization radius).
+        let data = [42.5f32];
+        let eb = ErrorBound::Relative(1e-2).absolute(&data);
+        assert_eq!(eb, 1e-2);
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Relative(1e-2),
+            ..Config::default()
+        });
+        let archive = c.compress(&data, Dims::D1(1)).unwrap();
+        let (recon, dims) = decompress(&archive.to_bytes()).unwrap();
+        assert_eq!(dims, Dims::D1(1));
+        assert!(
+            ((data[0] - recon[0]).abs() as f64)
+                <= eb * 1.001 + data[0].abs() as f64 * f32::EPSILON as f64
+        );
     }
 
     #[test]
@@ -414,6 +516,10 @@ mod tests {
         let (_, s1) = c.compress_with_stats(&smooth, Dims::D1(200_000)).unwrap();
         let (_, s2) = c.compress_with_stats(&rough, Dims::D1(200_000)).unwrap();
         assert_ne!(s1.workflow, WorkflowChoice::Huffman, "smooth must take RLE");
-        assert_eq!(s2.workflow, WorkflowChoice::Huffman, "rough must take Huffman");
+        assert_eq!(
+            s2.workflow,
+            WorkflowChoice::Huffman,
+            "rough must take Huffman"
+        );
     }
 }

@@ -49,7 +49,10 @@ impl Snapshot {
             return Err(CuszpError::MalformedArchive("duplicate field name"));
         }
         let archive = compressor.compress(data, dims)?;
-        self.entries.push(SnapshotEntry { name: name.to_string(), archive });
+        self.entries.push(SnapshotEntry {
+            name: name.to_string(),
+            archive,
+        });
         Ok(())
     }
 
@@ -148,7 +151,9 @@ mod tests {
     use crate::{Config, ErrorBound};
 
     fn field(n: usize, phase: f32) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.01 + phase).sin() * 4.0).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.01 + phase).sin() * 4.0)
+            .collect()
     }
 
     #[test]
@@ -175,7 +180,9 @@ mod tests {
         for (o, r) in v.iter().zip(&v_recon) {
             assert!((o - r).abs() <= 1e-3 * 1.001);
         }
-        assert!(parsed.decompress_field("W", ReconstructEngine::FinePartialSum).is_err());
+        assert!(parsed
+            .decompress_field("W", ReconstructEngine::FinePartialSum)
+            .is_err());
     }
 
     #[test]
@@ -199,7 +206,8 @@ mod tests {
     fn corrupt_containers_error() {
         let c = Compressor::default();
         let mut snap = Snapshot::new();
-        snap.add_field(&c, "X", &field(500, 0.0), Dims::D1(500)).unwrap();
+        snap.add_field(&c, "X", &field(500, 0.0), Dims::D1(500))
+            .unwrap();
         let bytes = snap.to_bytes();
         assert!(Snapshot::from_bytes(&bytes[..6]).is_err());
         let mut bad = bytes.clone();
@@ -215,8 +223,10 @@ mod tests {
     fn size_summary_accounts_all_fields() {
         let c = Compressor::default();
         let mut snap = Snapshot::new();
-        snap.add_field(&c, "A", &field(1000, 0.0), Dims::D1(1000)).unwrap();
-        snap.add_field(&c, "B", &field(2000, 0.5), Dims::D1(2000)).unwrap();
+        snap.add_field(&c, "A", &field(1000, 0.0), Dims::D1(1000))
+            .unwrap();
+        snap.add_field(&c, "B", &field(2000, 0.5), Dims::D1(2000))
+            .unwrap();
         let (compressed, original) = snap.size_summary();
         assert_eq!(original, 3000 * 4);
         assert!(compressed > 0 && compressed < original);

@@ -86,7 +86,7 @@ impl std::fmt::Display for CompressionStats {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{Compressor, Config, Dims};
 
     #[test]

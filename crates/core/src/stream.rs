@@ -24,29 +24,16 @@ pub struct StreamArchive {
 
 /// Splits `dims` into slabs of at most `max_elems` elements along the
 /// slowest axis (whole hyperplanes only). Returns per-slab dims.
+///
+/// Delegates to the shared chunk planner ([`cuszp_parallel::plan_chunks`])
+/// so streaming and the chunk-parallel engine carve fields identically.
 fn plan_slabs(dims: Dims, max_elems: usize) -> Vec<Dims> {
     assert!(max_elems > 0, "max_elems must be positive");
-    let [nz, ny, nx] = dims.extents();
-    match dims {
-        Dims::D1(n) => {
-            let step = max_elems.max(1);
-            (0..n).step_by(step).map(|lo| Dims::D1((n - lo).min(step))).collect()
-        }
-        Dims::D2 { .. } => {
-            let rows = (max_elems / nx).max(1);
-            (0..ny)
-                .step_by(rows)
-                .map(|lo| Dims::D2 { ny: (ny - lo).min(rows), nx })
-                .collect()
-        }
-        Dims::D3 { .. } => {
-            let planes = (max_elems / (ny * nx)).max(1);
-            (0..nz)
-                .step_by(planes)
-                .map(|lo| Dims::D3 { nz: (nz - lo).min(planes), ny, nx })
-                .collect()
-        }
-    }
+    cuszp_parallel::plan_chunks(&[dims.slow_extent(), dims.elems_per_slow()], max_elems)
+        .chunks
+        .iter()
+        .map(|c| dims.slab(c.slow_len()))
+        .collect()
 }
 
 impl Compressor {
@@ -62,7 +49,10 @@ impl Compressor {
         max_block_elems: usize,
     ) -> Result<StreamArchive, CuszpError> {
         if data.len() != dims.len() {
-            return Err(CuszpError::DimsMismatch { data: data.len(), dims: dims.len() });
+            return Err(CuszpError::DimsMismatch {
+                data: data.len(),
+                dims: dims.len(),
+            });
         }
         let mut blocks = Vec::new();
         let mut offset = 0usize;
@@ -105,7 +95,9 @@ impl StreamArchive {
             out.extend_from_slice(&slab);
         }
         if out.len() != self.dims.len() {
-            return Err(CuszpError::MalformedArchive("slab sizes disagree with dims"));
+            return Err(CuszpError::MalformedArchive(
+                "slab sizes disagree with dims",
+            ));
         }
         Ok((out, self.dims))
     }
@@ -115,9 +107,8 @@ impl StreamArchive {
     ///  [block_len u64]* [block bytes]*`.
     pub fn to_bytes(&self) -> Vec<u8> {
         let block_bytes: Vec<Vec<u8>> = self.blocks.iter().map(Archive::to_bytes).collect();
-        let mut out = Vec::with_capacity(
-            48 + block_bytes.iter().map(|b| b.len() + 8).sum::<usize>(),
-        );
+        let mut out =
+            Vec::with_capacity(48 + block_bytes.iter().map(|b| b.len() + 8).sum::<usize>());
         out.extend_from_slice(&STREAM_MAGIC.to_le_bytes());
         out.push(self.dims.rank() as u8);
         out.push(match self.blocks.first().map(|b| b.dtype) {
@@ -162,8 +153,15 @@ impl StreamArchive {
         }
         let dims = match rank {
             1 => Dims::D1(ext[2]),
-            2 => Dims::D2 { ny: ext[1], nx: ext[2] },
-            3 => Dims::D3 { nz: ext[0], ny: ext[1], nx: ext[2] },
+            2 => Dims::D2 {
+                ny: ext[1],
+                nx: ext[2],
+            },
+            3 => Dims::D3 {
+                nz: ext[0],
+                ny: ext[1],
+                nx: ext[2],
+            },
             _ => return Err(CuszpError::MalformedArchive("bad stream rank")),
         };
         let n_blocks = u32::from_le_bytes(
@@ -211,7 +209,14 @@ mod tests {
         for (dims, max) in [
             (Dims::D1(10_000), 2048usize),
             (Dims::D2 { ny: 100, nx: 77 }, 1000),
-            (Dims::D3 { nz: 33, ny: 10, nx: 10 }, 450),
+            (
+                Dims::D3 {
+                    nz: 33,
+                    ny: 10,
+                    nx: 10,
+                },
+                450,
+            ),
         ] {
             let slabs = plan_slabs(dims, max);
             let total: usize = slabs.iter().map(Dims::len).sum();
@@ -231,14 +236,20 @@ mod tests {
         for dims in [
             Dims::D1(10_000),
             Dims::D2 { ny: 90, nx: 111 },
-            Dims::D3 { nz: 21, ny: 16, nx: 30 },
+            Dims::D3 {
+                nz: 21,
+                ny: 16,
+                nx: 30,
+            },
         ] {
             let data = field(dims.len());
             let stream = c.compress_stream(&data, dims, 2000).unwrap();
             assert!(stream.n_blocks() > 1, "{dims:?} must split");
             let bytes = stream.to_bytes();
             let parsed = StreamArchive::from_bytes(&bytes).unwrap();
-            let (recon, got) = parsed.decompress(ReconstructEngine::FinePartialSum).unwrap();
+            let (recon, got) = parsed
+                .decompress(ReconstructEngine::FinePartialSum)
+                .unwrap();
             assert_eq!(got, dims);
             for (o, r) in data.iter().zip(&recon) {
                 assert!((o - r).abs() <= 1e-3 * 1.001, "{o} vs {r}");
@@ -261,7 +272,9 @@ mod tests {
         for (o, r) in data[2 * 800..3 * 800].iter().zip(&slab) {
             assert!(((o - r).abs() as f64) <= eb * 2.0 + 1e-9);
         }
-        assert!(stream.decompress_block(999, ReconstructEngine::FinePartialSum).is_err());
+        assert!(stream
+            .decompress_block(999, ReconstructEngine::FinePartialSum)
+            .is_err());
     }
 
     #[test]

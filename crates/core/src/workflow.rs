@@ -12,7 +12,9 @@
 use cuszp_analysis::{analyze, CompressibilityReport, WorkflowChoice};
 use cuszp_huffman::{build_codebook_limited, decode_fast, encode, histogram, HuffmanEncoded};
 use cuszp_predictor::QuantField;
-use cuszp_rle::{rle_decode, rle_encode, rle_vle_decode, rle_vle_from_rle, RleEncoded, RleVleEncoded};
+use cuszp_rle::{
+    rle_decode, rle_encode, rle_vle_decode, rle_vle_from_rle, RleEncoded, RleVleEncoded,
+};
 
 /// Workflow selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +75,11 @@ pub fn encode_codes(qf: &QuantField, mode: WorkflowMode) -> (CodesPayload, Compr
             // of a percent of optimal on quant-code histograms, and keeps
             // the table-accelerated decoder on its fast path.
             let book = build_codebook_limited(&hist, 16);
-            CodesPayload::Huffman(encode(&qf.codes, &book, cuszp_huffman::DEFAULT_ENCODE_CHUNK))
+            CodesPayload::Huffman(encode(
+                &qf.codes,
+                &book,
+                cuszp_huffman::DEFAULT_ENCODE_CHUNK,
+            ))
         }
         WorkflowChoice::Rle => CodesPayload::Rle(rle_encode(&qf.codes)),
         WorkflowChoice::RleVle => {
@@ -108,7 +114,11 @@ mod tests {
     fn every_workflow_round_trips_codes() {
         let data: Vec<f32> = (0..9000).map(|i| (i as f32 * 0.004).sin() * 3.0).collect();
         let qf = quant_field(&data);
-        for choice in [WorkflowChoice::Huffman, WorkflowChoice::Rle, WorkflowChoice::RleVle] {
+        for choice in [
+            WorkflowChoice::Huffman,
+            WorkflowChoice::Rle,
+            WorkflowChoice::RleVle,
+        ] {
             let (payload, _) = encode_codes(&qf, WorkflowMode::Force(choice));
             assert_eq!(payload.choice(), choice);
             assert_eq!(decode_codes(&payload), qf.codes, "{}", choice.name());

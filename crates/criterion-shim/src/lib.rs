@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of the criterion 0.5 API the workspace's benches use —
+//! `Criterion`, benchmark groups, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock harness:
+//! per benchmark it warms up once, then times `sample_size` samples and
+//! reports the best and mean, plus derived throughput when declared.
+//!
+//! Environment knobs:
+//! * `CUSZP_BENCH_SAMPLES` overrides every group's sample count.
+//! * a single CLI argument (after any `--bench`/`--test` flags cargo
+//!   passes) filters benchmarks by substring, like criterion.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Work per iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Measures closures handed to `Bencher::iter`.
+pub struct Bencher {
+    samples: usize,
+    /// Filled by `iter`: per-sample wall time.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` for the configured number of samples (after one warmup
+    /// call whose result is discarded).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        self.times = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+    }
+}
+
+/// A named set of related benchmarks sharing sample-size/throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (criterion's minimum is 10; any positive
+    /// value is accepted here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark that captures its input from the environment.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.label, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark over an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accounting only; output is printed per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, label);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let samples = std::env::var("CUSZP_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.sample_size);
+        let mut b = Bencher {
+            samples,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&full, &b.times, self.throughput);
+    }
+}
+
+fn report(label: &str, times: &[Duration], throughput: Option<Throughput>) {
+    if times.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let best = times.iter().min().copied().unwrap_or_default();
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let rate = |work: u64, t: Duration| work as f64 / t.as_secs_f64().max(1e-12);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => println!(
+            "{label}: best {:>12?}  mean {:>12?}  ({:.3} GB/s best, {} samples)",
+            best,
+            mean,
+            rate(bytes, best) / 1e9,
+            times.len(),
+        ),
+        Some(Throughput::Elements(n)) => println!(
+            "{label}: best {:>12?}  mean {:>12?}  ({:.3} Gelem/s best, {} samples)",
+            best,
+            mean,
+            rate(n, best) / 1e9,
+            times.len(),
+        ),
+        None => println!(
+            "{label}: best {:>12?}  mean {:>12?}  ({} samples)",
+            best,
+            mean,
+            times.len(),
+        ),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [filter]`; a
+        // bare non-flag argument is a substring filter like criterion's.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, label: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(label) {
+            let samples = std::env::var("CUSZP_BENCH_SAMPLES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10);
+            let mut b = Bencher {
+                samples,
+                times: Vec::new(),
+            };
+            f(&mut b);
+            report(label, &b.times, None);
+        }
+        self
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: 4,
+            times: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.times.len(), 4);
+        assert_eq!(calls, 5, "warmup + 4 samples");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("encode", "smooth").label, "encode/smooth");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+    }
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2).throughput(Throughput::Bytes(1024));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("only_this".into()),
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("other");
+        g.bench_function("nope", |_b| ran = true);
+        assert!(!ran);
+    }
+}

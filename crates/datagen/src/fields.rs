@@ -113,7 +113,11 @@ impl DatasetKind {
                 Scale::Tiny => 1 << 16,
             }),
             DatasetKind::CesmAtm => Dims::D2 { ny: y, nx: x },
-            _ => Dims::D3 { nz: z, ny: y, nx: x },
+            _ => Dims::D3 {
+                nz: z,
+                ny: y,
+                nx: x,
+            },
         }
     }
 }
@@ -162,7 +166,11 @@ impl Field {
 pub fn dataset_fields(kind: DatasetKind) -> Vec<FieldSpec> {
     use DatasetKind::*;
     use FieldClass::*;
-    let f = |name, class| FieldSpec { dataset: kind, name, class };
+    let f = |name, class| FieldSpec {
+        dataset: kind,
+        name,
+        class,
+    };
     match kind {
         Hacc => vec![
             f("x", ParticlePosition),
@@ -208,7 +216,11 @@ pub fn dataset_fields(kind: DatasetKind) -> Vec<FieldSpec> {
 /// their physical character.
 fn cesm_fields() -> Vec<FieldSpec> {
     use FieldClass::*;
-    let f = |name, class| FieldSpec { dataset: DatasetKind::CesmAtm, name, class };
+    let f = |name, class| FieldSpec {
+        dataset: DatasetKind::CesmAtm,
+        name,
+        class,
+    };
     vec![
         f("AEROD_v", Smooth { roughness_1e4: 120 }),
         f("FLNTC", Smooth { roughness_1e4: 110 }),
@@ -252,7 +264,9 @@ fn cesm_fields() -> Vec<FieldSpec> {
 pub fn generate(spec: &FieldSpec, scale: Scale) -> Field {
     let dims = spec.dataset.dims(scale);
     let seed = hash64(
-        spec.name.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64))
+        spec.name
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64))
             ^ (spec.dataset as u64) << 56,
     );
     let n = dims.len();
@@ -275,7 +289,11 @@ pub fn generate(spec: &FieldSpec, scale: Scale) -> Field {
             *slot = sample(class, seed, flat, u, v, w) as f32;
         }
     });
-    Field { name: spec.name.to_string(), dims, data }
+    Field {
+        name: spec.name.to_string(),
+        dims,
+        data,
+    }
 }
 
 /// White noise in `[-1, 1]` from a flat index.
@@ -307,12 +325,17 @@ fn sample(class: FieldClass, seed: u64, flat: usize, u: f64, v: f64, w: f64) -> 
             // calibrated so RLE runs average ~50 at rel eb 1e-2 — the
             // paper's ODV_* regime (RLE CRs in the 20-50s, RLE+VLE gains
             // of 2-5x over VLE).
-            let f = Fbm { seed, octaves: 4, frequency: 6.0, persistence: 0.55 };
+            let f = Fbm {
+                seed,
+                octaves: 4,
+                frequency: 6.0,
+                persistence: 0.55,
+            };
             let x = f.at(u, v, w);
             let plume = ((x - 0.55) * 8.0).max(0.0); // sparse activation
-            // Salt density varies per field (seeded), spanning the
-            // paper's ODV_* spread: some fields win on plain RLE, all on
-            // RLE+VLE.
+                                                     // Salt density varies per field (seeded), spanning the
+                                                     // paper's ODV_* spread: some fields win on plain RLE, all on
+                                                     // RLE+VLE.
             let salt_mod = 60 + (seed % 5) * 60; // 1/60 .. 1/300 of cells
             let h = hash64(seed ^ 0x5A17 ^ flat as u64);
             let salt = if h.is_multiple_of(salt_mod) {
@@ -327,7 +350,12 @@ fn sample(class: FieldClass, seed: u64, flat: usize, u: f64, v: f64, w: f64) -> 
             // above the 1e-2 quantization step (real fraction masks carry
             // sub-grid mixed cells) so RLE runs stay finite — paper:
             // LANDFRAC RLE ~14x, RLE+VLE gain ~1.7x.
-            let f = Fbm { seed, octaves: 6, frequency: 5.0, persistence: 0.6 };
+            let f = Fbm {
+                seed,
+                octaves: 6,
+                frequency: 5.0,
+                persistence: 0.6,
+            };
             let base: f64 = if f.at(u, v, w) > 0.05 { 1.0 } else { 0.0 };
             let h = hash64(seed ^ 0x3A5C ^ flat as u64);
             if h.is_multiple_of(50) {
@@ -357,7 +385,12 @@ fn sample(class: FieldClass, seed: u64, flat: usize, u: f64, v: f64, w: f64) -> 
         FieldClass::ParticleVelocity => {
             // Bulk flow varying slowly along the particle stream + thermal
             // component.
-            let f = Fbm { seed, octaves: 5, frequency: 64.0, persistence: 0.6 };
+            let f = Fbm {
+                seed,
+                octaves: 5,
+                frequency: 64.0,
+                persistence: 0.6,
+            };
             let bulk = f.at(u, 0.33, 0.77) * 2000.0;
             bulk + 55.0 * white(seed ^ 0x77, flat)
         }
@@ -365,7 +398,12 @@ fn sample(class: FieldClass, seed: u64, flat: usize, u: f64, v: f64, w: f64) -> 
             // Gentler spectrum than the climate fields: the exp()
             // amplifies slopes, and the paper's Nyx CRs (~30x at 1e-2)
             // need the density to stay smooth at the grid scale.
-            let f = Fbm { seed, octaves: 4, frequency: 3.0, persistence: 0.5 };
+            let f = Fbm {
+                seed,
+                octaves: 4,
+                frequency: 3.0,
+                persistence: 0.5,
+            };
             (2.2 * f.at(u, v, w)).exp()
         }
         FieldClass::Vortex => {
@@ -420,7 +458,11 @@ mod tests {
             for spec in dataset_fields(kind) {
                 let f = generate(&spec, Scale::Tiny);
                 assert_eq!(f.data.len(), f.dims.len(), "{}", spec.name);
-                assert!(f.data.iter().all(|x| x.is_finite()), "{} has NaN/inf", spec.name);
+                assert!(
+                    f.data.iter().all(|x| x.is_finite()),
+                    "{} has NaN/inf",
+                    spec.name
+                );
                 assert!(f.bytes() > 0);
             }
         }
@@ -450,7 +492,9 @@ mod tests {
             class: FieldClass::ZonalBanded { bands: 32 },
         };
         let f = generate(&spec, Scale::Tiny);
-        let Dims::D2 { ny, nx } = f.dims else { panic!() };
+        let Dims::D2 { ny, nx } = f.dims else {
+            panic!()
+        };
         // Within a row, variation (just the calibrated ripple) must be
         // far below the field's overall value range.
         let range = f.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
@@ -495,7 +539,10 @@ mod tests {
         let near = |x: f32, t: f32| (x - t).abs() <= 0.031;
         assert!(f.data.iter().all(|&x| near(x, 0.0) || near(x, 1.0)));
         let exact = f.data.iter().filter(|&&x| x == 0.0 || x == 1.0).count();
-        assert!(exact as f64 > 0.9 * f.data.len() as f64, "plateaus dominate");
+        assert!(
+            exact as f64 > 0.9 * f.data.len() as f64,
+            "plateaus dominate"
+        );
         let ones = f.data.iter().filter(|&&x| x >= 0.5).count();
         assert!(ones > 0 && ones < f.data.len(), "both phases must appear");
     }

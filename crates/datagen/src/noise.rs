@@ -77,12 +77,22 @@ pub struct Fbm {
 impl Fbm {
     /// A smooth default: 4 octaves starting at 4 cycles per axis.
     pub fn smooth(seed: u64) -> Self {
-        Self { seed, octaves: 4, frequency: 4.0, persistence: 0.5 }
+        Self {
+            seed,
+            octaves: 4,
+            frequency: 4.0,
+            persistence: 0.5,
+        }
     }
 
     /// A rough spectrum: more octaves, slower decay.
     pub fn rough(seed: u64) -> Self {
-        Self { seed, octaves: 8, frequency: 8.0, persistence: 0.72 }
+        Self {
+            seed,
+            octaves: 8,
+            frequency: 8.0,
+            persistence: 0.72,
+        }
     }
 
     /// Evaluates fBm at normalized coordinates `u, v, w ∈ [0, 1]`,

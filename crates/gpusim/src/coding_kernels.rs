@@ -28,7 +28,10 @@ pub fn simt_histogram(
     block_size: usize,
     counters: &mut SimtCounters,
 ) -> Vec<u32> {
-    assert!(block_size > 0 && block_size.is_multiple_of(WARP_SIZE), "block must be whole warps");
+    assert!(
+        block_size > 0 && block_size.is_multiple_of(WARP_SIZE),
+        "block must be whole warps"
+    );
     let mut global = vec![0u32; n_bins];
     // Each "block" processes a contiguous tile of symbols.
     let tile = block_size * 8; // 8 items per thread, as the kernel coarsens
@@ -130,10 +133,7 @@ pub fn simt_huffman_encode_optimized(
 ///    run lengths are adjacent-start differences.
 ///
 /// Returns the `(value, count)` runs and accumulates the counters.
-pub fn simt_reduce_by_key(
-    symbols: &[u16],
-    counters: &mut SimtCounters,
-) -> Vec<(u16, u32)> {
+pub fn simt_reduce_by_key(symbols: &[u16], counters: &mut SimtCounters) -> Vec<(u16, u32)> {
     let n = symbols.len();
     if n == 0 {
         return Vec::new();
@@ -143,8 +143,9 @@ pub fn simt_reduce_by_key(
     for (w, warp) in symbols.chunks(WARP_SIZE).enumerate() {
         // Load (2 B/lane) + one shuffle to fetch left neighbors + one
         // shared access for the warp-boundary element.
-        let addrs: Vec<u64> =
-            (0..warp.len() as u64).map(|l| (w as u64 * WARP_SIZE as u64 + l) * 2).collect();
+        let addrs: Vec<u64> = (0..warp.len() as u64)
+            .map(|l| (w as u64 * WARP_SIZE as u64 + l) * 2)
+            .collect();
         counters.load_transactions += coalesced_transactions(&addrs);
         counters.shuffles += 1;
         counters.shared_accesses += 1;
@@ -178,7 +179,9 @@ mod tests {
     use super::*;
 
     fn skewed_stream(n: usize) -> Vec<u16> {
-        (0..n).map(|i| if i % 50 == 0 { 511u16 } else { 512 }).collect()
+        (0..n)
+            .map(|i| if i % 50 == 0 { 511u16 } else { 512 })
+            .collect()
     }
 
     fn lengths_for(stream: &[u16]) -> Vec<u8> {

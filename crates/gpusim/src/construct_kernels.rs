@@ -166,7 +166,9 @@ mod tests {
     use cuszp_predictor::{construct_codes, Dims};
 
     fn pseudo_2d(ny: usize, nx: usize) -> Vec<i64> {
-        (0..ny * nx).map(|i| ((i as i64).wrapping_mul(2654435761) % 301) - 150).collect()
+        (0..ny * nx)
+            .map(|i| ((i as i64).wrapping_mul(2654435761) % 301) - 150)
+            .collect()
     }
 
     #[test]

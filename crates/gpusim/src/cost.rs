@@ -73,7 +73,11 @@ pub struct KernelEstimate {
 impl KernelEstimate {
     /// Convenience constructor with no outliers.
     pub fn new(n_elems: usize, rank: usize) -> Self {
-        Self { n_elems, rank, outlier_fraction: 0.01 }
+        Self {
+            n_elems,
+            rank,
+            outlier_fraction: 0.01,
+        }
     }
 }
 
@@ -165,7 +169,8 @@ fn ops_per_elem(class: KernelClass, rank: usize) -> f64 {
 /// Modeled kernel execution time in seconds.
 pub fn modeled_time(class: KernelClass, device: &DeviceSpec, m: &KernelEstimate) -> f64 {
     let n = m.n_elems as f64;
-    let mem = n * bytes_per_elem(class, m) / (device.dram_gbps * 1e9 * mem_efficiency(class, m.rank));
+    let mem =
+        n * bytes_per_elem(class, m) / (device.dram_gbps * 1e9 * mem_efficiency(class, m.rank));
     let cmp = n * ops_per_elem(class, m.rank) / (device.int_gops() * 1e9);
     mem.max(cmp) + T_LAUNCH
 }
@@ -217,22 +222,50 @@ mod tests {
 
     /// HACC-like field: 268M elements, ~10% outliers at 1e-4.
     fn hacc() -> KernelEstimate {
-        KernelEstimate { n_elems: 268_000_000, rank: 1, outlier_fraction: 0.10 }
+        KernelEstimate {
+            n_elems: 268_000_000,
+            rank: 1,
+            outlier_fraction: 0.10,
+        }
     }
 
     /// Nyx-like field: 128M elements, few outliers.
     fn nyx() -> KernelEstimate {
-        KernelEstimate { n_elems: 134_000_000, rank: 3, outlier_fraction: 0.01 }
+        KernelEstimate {
+            n_elems: 134_000_000,
+            rank: 3,
+            outlier_fraction: 0.01,
+        }
     }
 
     #[test]
     fn v100_calibration_matches_table_vii_anchors() {
         let m = hacc();
-        assert!(close(modeled_throughput(KernelClass::LorenzoConstruct, &V100, &m), 328.3, 0.15));
-        assert!(close(modeled_throughput(KernelClass::Histogram, &V100, &m), 565.9, 0.15));
-        assert!(close(modeled_throughput(KernelClass::HuffmanEncode, &V100, &m), 58.3, 0.20));
-        assert!(close(modeled_throughput(KernelClass::HuffmanDecode, &V100, &m), 42.1, 0.20));
-        assert!(close(modeled_throughput(KernelClass::LorenzoReconstruct, &V100, &m), 308.7, 0.15));
+        assert!(close(
+            modeled_throughput(KernelClass::LorenzoConstruct, &V100, &m),
+            328.3,
+            0.15
+        ));
+        assert!(close(
+            modeled_throughput(KernelClass::Histogram, &V100, &m),
+            565.9,
+            0.15
+        ));
+        assert!(close(
+            modeled_throughput(KernelClass::HuffmanEncode, &V100, &m),
+            58.3,
+            0.20
+        ));
+        assert!(close(
+            modeled_throughput(KernelClass::HuffmanDecode, &V100, &m),
+            42.1,
+            0.20
+        ));
+        assert!(close(
+            modeled_throughput(KernelClass::LorenzoReconstruct, &V100, &m),
+            308.7,
+            0.15
+        ));
         assert!(close(
             modeled_throughput(KernelClass::LorenzoReconstructCoarse, &V100, &m),
             16.8,
@@ -252,14 +285,18 @@ mod tests {
     fn a100_scaling_shapes_hold() {
         // Memory-bound kernels scale ≈ BW ratio; Huffman stages stagnate.
         let m = nyx();
-        let scale = |k| {
-            modeled_throughput(k, &A100, &m) / modeled_throughput(k, &V100, &m)
-        };
+        let scale = |k| modeled_throughput(k, &A100, &m) / modeled_throughput(k, &V100, &m);
         let construct = scale(KernelClass::LorenzoConstruct);
         let reconstruct = scale(KernelClass::LorenzoReconstruct);
         let decode = scale(KernelClass::HuffmanDecode);
-        assert!(construct > 1.55 && construct < 1.8, "construct scale {construct}");
-        assert!(reconstruct > 1.5 && reconstruct < 1.8, "reconstruct scale {reconstruct}");
+        assert!(
+            construct > 1.55 && construct < 1.8,
+            "construct scale {construct}"
+        );
+        assert!(
+            reconstruct > 1.5 && reconstruct < 1.8,
+            "reconstruct scale {reconstruct}"
+        );
         assert!(decode < 1.4, "Huffman decode must stagnate: {decode}");
         assert!(construct > decode, "paper's §V-C.2 scaling dichotomy");
     }
@@ -271,7 +308,10 @@ mod tests {
             let fine = modeled_throughput(KernelClass::LorenzoReconstruct, &V100, &m);
             let naive = modeled_throughput(KernelClass::LorenzoReconstructNaive, &V100, &m);
             let coarse = modeled_throughput(KernelClass::LorenzoReconstructCoarse, &V100, &m);
-            assert!(fine > naive && naive > coarse, "rank {rank}: {fine} {naive} {coarse}");
+            assert!(
+                fine > naive && naive > coarse,
+                "rank {rank}: {fine} {naive} {coarse}"
+            );
         }
     }
 
@@ -294,7 +334,10 @@ mod tests {
             / modeled_throughput(KernelClass::Histogram, &V100, &small);
         let s_big = modeled_throughput(KernelClass::Histogram, &A100, &big)
             / modeled_throughput(KernelClass::Histogram, &V100, &big);
-        assert!(s_small < s_big, "small fields must scale worse: {s_small} vs {s_big}");
+        assert!(
+            s_small < s_big,
+            "small fields must scale worse: {s_small} vs {s_big}"
+        );
     }
 
     #[test]
@@ -317,7 +360,10 @@ mod tests {
         let h_base3 = modeled_throughput(KernelClass::HuffmanEncodeBaseline, &V100, &m3);
         let h_ours3 = modeled_throughput(KernelClass::HuffmanEncode, &V100, &m3);
         let gain3 = h_ours3 / h_base3;
-        assert!(gain3 > 1.6 && gain3 < 2.4, "3-D encode gain {gain3} (paper: 2.05×)");
+        assert!(
+            gain3 > 1.6 && gain3 < 2.4,
+            "3-D encode gain {gain3} (paper: 2.05×)"
+        );
     }
 
     #[test]

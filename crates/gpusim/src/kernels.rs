@@ -47,7 +47,9 @@ fn striped_transactions(base: u64, n: usize, item_bytes: u64) -> u64 {
     let mut i = 0;
     while i < n {
         let lanes = (n - i).min(WARP_SIZE);
-        let addrs: Vec<u64> = (0..lanes).map(|l| base + (i + l) as u64 * item_bytes).collect();
+        let addrs: Vec<u64> = (0..lanes)
+            .map(|l| base + (i + l) as u64 * item_bytes)
+            .collect();
         tx += coalesced_transactions(&addrs);
         i += lanes;
     }
@@ -60,7 +62,10 @@ fn striped_transactions(base: u64, n: usize, item_bytes: u64) -> u64 {
 /// Transforms `q'` into reconstructed prequantized values in place.
 pub fn simt_reconstruct_1d(q: &mut [i64], seq: usize, counters: &mut SimtCounters) {
     const CHUNK: usize = 256;
-    assert!(CHUNK.is_multiple_of(seq), "sequentiality must divide the chunk");
+    assert!(
+        CHUNK.is_multiple_of(seq),
+        "sequentiality must divide the chunk"
+    );
     for (ci, chunk) in q.chunks_mut(CHUNK).enumerate() {
         let base = (ci * CHUNK) as u64 * 8;
         counters.load_transactions += striped_transactions(base, chunk.len(), 8);
@@ -90,7 +95,10 @@ pub fn simt_reconstruct_2d(
     counters: &mut SimtCounters,
 ) {
     const T: usize = 16;
-    assert!(seq > 0 && T.is_multiple_of(seq), "sequentiality must divide 16");
+    assert!(
+        seq > 0 && T.is_multiple_of(seq),
+        "sequentiality must divide 16"
+    );
     assert_eq!(q.len(), ny * nx);
     let mut tile = [[0i64; T]; T];
     for j0 in (0..ny).step_by(T) {
@@ -162,7 +170,10 @@ pub fn simt_reconstruct_3d(
     counters: &mut SimtCounters,
 ) {
     const T: usize = 8;
-    assert!(seq > 0 && T.is_multiple_of(seq), "sequentiality must divide 8");
+    assert!(
+        seq > 0 && T.is_multiple_of(seq),
+        "sequentiality must divide 8"
+    );
     assert_eq!(q.len(), nz * ny * nx);
     let plane = ny * nx;
     let mut tile = vec![0i64; T * T * T];
@@ -263,7 +274,9 @@ mod tests {
     use cuszp_predictor::{reconstruct_in_place, Dims, ReconstructEngine};
 
     fn pseudo(n: usize) -> Vec<i64> {
-        (0..n).map(|i| ((i as i64).wrapping_mul(2654435761) % 41) - 20).collect()
+        (0..n)
+            .map(|i| ((i as i64).wrapping_mul(2654435761) % 41) - 20)
+            .collect()
     }
 
     #[test]

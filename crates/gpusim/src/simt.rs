@@ -98,7 +98,9 @@ pub struct Warp {
 impl Warp {
     /// A warp with every lane holding `v`.
     pub fn splat(v: i64) -> Self {
-        Self { lanes: [v; WARP_SIZE] }
+        Self {
+            lanes: [v; WARP_SIZE],
+        }
     }
 
     /// Loads a warp from a slice (must be exactly 32 long).
@@ -302,8 +304,15 @@ mod tests {
 
     #[test]
     fn counters_merge_and_weigh() {
-        let mut a = SimtCounters { load_transactions: 1, ..Default::default() };
-        let b = SimtCounters { store_transactions: 2, shuffles: 3, ..Default::default() };
+        let mut a = SimtCounters {
+            load_transactions: 1,
+            ..Default::default()
+        };
+        let b = SimtCounters {
+            store_transactions: 2,
+            shuffles: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.dram_bytes(), 96);
         assert!(a.weighted_cycles() > 0.0);

@@ -55,7 +55,10 @@ impl Codebook {
                 next_code[l as usize] += 1;
             }
         }
-        Self { codes, lengths: lengths.to_vec() }
+        Self {
+            codes,
+            lengths: lengths.to_vec(),
+        }
     }
 
     /// Number of symbols the book covers (the quantization `cap`).
@@ -135,7 +138,13 @@ impl CanonicalDecoder {
                 fill[l as usize] += 1;
             }
         }
-        Self { first_code, first_index, count: bl_count, sorted_symbols, max_len }
+        Self {
+            first_code,
+            first_index,
+            count: bl_count,
+            sorted_symbols,
+            max_len,
+        }
     }
 
     /// Decodes one symbol from a bit reader. Returns `None` on a codeword
@@ -178,15 +187,17 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let (shorter, longer, ls) =
-                    if la <= lb { (ca, cb, la) } else { (cb, ca, lb) };
+                let (shorter, longer, ls) = if la <= lb { (ca, cb, la) } else { (cb, ca, lb) };
                 let prefix = longer >> (la.max(lb) - ls);
                 assert_ne!(shorter, prefix, "codes {i} and {j} conflict");
             }
         }
         // Canonical: codes of equal length increase with symbol value.
         seen.sort_by_key(|&(_, l)| l);
-        let l2: Vec<u64> = (0..5).filter(|&s| lengths[s as usize] == 2).map(|s| book.code(s).0).collect();
+        let l2: Vec<u64> = (0..5)
+            .filter(|&s| lengths[s as usize] == 2)
+            .map(|s| book.code(s).0)
+            .collect();
         assert!(l2.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -91,7 +91,13 @@ impl HuffmanEncoded {
         }
         let payload = take(&mut pos, payload_len)?.to_vec();
         Some((
-            Self { payload, chunk_bits, chunk_symbols, n_symbols, codebook_lengths },
+            Self {
+                payload,
+                chunk_bits,
+                chunk_symbols,
+                n_symbols,
+                codebook_lengths,
+            },
             pos,
         ))
     }
@@ -292,8 +298,14 @@ mod tests {
         let book = build_codebook(&hist);
         let enc = encode(&syms, &book, DEFAULT_ENCODE_CHUNK);
         let bits_per_sym = enc.payload.len() as f64 * 8.0 / syms.len() as f64;
-        assert!(bits_per_sym >= 1.0 - 1e-9, "VLE floor is 1 bit: {bits_per_sym}");
-        assert!(bits_per_sym < 1.2, "should be close to 1 bit: {bits_per_sym}");
+        assert!(
+            bits_per_sym >= 1.0 - 1e-9,
+            "VLE floor is 1 bit: {bits_per_sym}"
+        );
+        assert!(
+            bits_per_sym < 1.2,
+            "should be close to 1 bit: {bits_per_sym}"
+        );
         round_trip(&syms, 4, DEFAULT_ENCODE_CHUNK);
     }
 
@@ -303,8 +315,11 @@ mod tests {
         let hist = histogram(&syms, 16);
         let book = build_codebook(&hist);
         let enc = encode(&syms, &book, 2048);
-        let expected_bytes: usize =
-            enc.chunk_bits.iter().map(|&b| (b as usize).div_ceil(8)).sum();
+        let expected_bytes: usize = enc
+            .chunk_bits
+            .iter()
+            .map(|&b| (b as usize).div_ceil(8))
+            .sum();
         assert_eq!(enc.payload.len(), expected_bytes);
         assert_eq!(enc.chunk_bits.len(), 9_000usize.div_ceil(2048));
     }
@@ -320,18 +335,13 @@ mod tests {
 
     #[test]
     fn length_packing_round_trips() {
-        for lengths in [
-            vec![],
-            vec![0u8; 1024],
-            vec![5u8; 300],
-            {
-                let mut v = vec![0u8; 1024];
-                v[510] = 3;
-                v[511] = 1;
-                v[512] = 2;
-                v
-            },
-        ] {
+        for lengths in [vec![], vec![0u8; 1024], vec![5u8; 300], {
+            let mut v = vec![0u8; 1024];
+            v[510] = 3;
+            v[511] = 1;
+            v[512] = 2;
+            v
+        }] {
             let packed = pack_lengths(&lengths);
             let back = unpack_lengths(&packed, lengths.len()).unwrap();
             assert_eq!(back, lengths);

@@ -64,7 +64,13 @@ impl FastDecoder {
 
     /// Decodes `n` symbols from a byte-aligned chunk holding `nbits`
     /// valid bits. Returns `None` on corruption.
-    pub fn decode_chunk(&self, bytes: &[u8], nbits: usize, n: usize, out: &mut [u16]) -> Option<()> {
+    pub fn decode_chunk(
+        &self,
+        bytes: &[u8],
+        nbits: usize,
+        n: usize,
+        out: &mut [u16],
+    ) -> Option<()> {
         debug_assert!(out.len() >= n);
         let mut bitpos = 0usize;
         for slot in out.iter_mut().take(n) {

@@ -22,7 +22,7 @@
 ///   can exist).
 pub fn code_lengths_limited(hist: &[u32], max_len: u8) -> Vec<u8> {
     let max_len = max_len as usize;
-    assert!(max_len >= 1 && max_len <= 64, "max_len must be 1..=64");
+    assert!((1..=64).contains(&max_len), "max_len must be 1..=64");
     let used: Vec<usize> = (0..hist.len()).filter(|&i| hist[i] > 0).collect();
     let mut lengths = vec![0u8; hist.len()];
     match used.len() {
@@ -55,7 +55,10 @@ pub fn code_lengths_limited(hist: &[u32], max_len: u8) -> Vec<u8> {
     // Level 1 (deepest) starts with just the leaves, sorted by weight.
     let mut leaf_items: Vec<Item> = used
         .iter()
-        .map(|&s| Item { weight: hist[s] as u64, leaves: vec![s as u32] })
+        .map(|&s| Item {
+            weight: hist[s] as u64,
+            leaves: vec![s as u32],
+        })
         .collect();
     leaf_items.sort_by_key(|it| it.weight);
 
@@ -68,7 +71,10 @@ pub fn code_lengths_limited(hist: &[u32], max_len: u8) -> Vec<u8> {
             .map(|c| {
                 let mut leaves = c[0].leaves.clone();
                 leaves.extend_from_slice(&c[1].leaves);
-                Item { weight: c[0].weight + c[1].weight, leaves }
+                Item {
+                    weight: c[0].weight + c[1].weight,
+                    leaves,
+                }
             })
             .collect();
         // ...and merge with a fresh copy of the leaves.
@@ -99,11 +105,18 @@ mod tests {
     use crate::code_lengths;
 
     fn kraft(lengths: &[u8]) -> f64 {
-        lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum()
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum()
     }
 
     fn cost(hist: &[u32], lengths: &[u8]) -> u64 {
-        hist.iter().zip(lengths).map(|(&c, &l)| c as u64 * l as u64).sum()
+        hist.iter()
+            .zip(lengths)
+            .map(|(&c, &l)| c as u64 * l as u64)
+            .sum()
     }
 
     #[test]
@@ -129,10 +142,17 @@ mod tests {
             a = next;
         }
         let plain = code_lengths(&hist);
-        assert!(plain.iter().copied().max().unwrap() > 12, "needs deep codes");
+        assert!(
+            plain.iter().copied().max().unwrap() > 12,
+            "needs deep codes"
+        );
         let limited = code_lengths_limited(&hist, 12);
         assert!(limited.iter().all(|&l| l <= 12));
-        assert!((kraft(&limited) - 1.0).abs() < 1e-9, "kraft {}", kraft(&limited));
+        assert!(
+            (kraft(&limited) - 1.0).abs() < 1e-9,
+            "kraft {}",
+            kraft(&limited)
+        );
         // Cost can only grow, and only modestly.
         let c_plain = cost(&hist, &plain);
         let c_lim = cost(&hist, &limited);

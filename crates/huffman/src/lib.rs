@@ -80,7 +80,13 @@ mod tests {
     fn avg_bitlen_between_entropy_and_upper_bound() {
         let mut syms = Vec::new();
         for i in 0..4096u32 {
-            let s = if i % 3 == 0 { 7u16 } else if i % 7 == 0 { 9 } else { 8 };
+            let s = if i % 3 == 0 {
+                7u16
+            } else if i % 7 == 0 {
+                9
+            } else {
+                8
+            };
             syms.push(s);
         }
         let hist = histogram(&syms, 16);

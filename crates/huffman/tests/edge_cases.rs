@@ -1,0 +1,112 @@
+//! Edge-case coverage for the Huffman stage: degenerate histograms
+//! (single symbol, fully uniform) and the ⟨b⟩ ≤ 1.09 selector boundary
+//! the adaptive workflow pivots on.
+
+use cuszp_huffman::{
+    build_codebook, decode, decode_fast, encode, histogram, stats, DEFAULT_ENCODE_CHUNK,
+};
+
+/// A histogram with exactly one used symbol: the codebook must assign it
+/// a 1-bit code (a 0-bit code would make the bitstream unparseable), and
+/// a stream of that symbol must round-trip through both decoders.
+#[test]
+fn single_symbol_histogram() {
+    let syms = vec![512u16; 10_000];
+    let hist = histogram(&syms, 1024);
+    assert_eq!(hist.iter().filter(|&&c| c > 0).count(), 1);
+    let book = build_codebook(&hist);
+    assert_eq!(book.lengths()[512], 1, "lone symbol gets a 1-bit code");
+    assert!(
+        book.lengths()
+            .iter()
+            .enumerate()
+            .all(|(s, &l)| s == 512 || l == 0),
+        "unused symbols get no code"
+    );
+    assert!((book.expected_bits(&hist) - 1.0).abs() < 1e-12);
+
+    let enc = encode(&syms, &book, DEFAULT_ENCODE_CHUNK);
+    assert_eq!(decode(&enc, &book), syms);
+    assert_eq!(decode_fast(&enc), syms);
+    // 10k symbols at 1 bit each ≈ 1.25 KB of payload.
+    assert!(
+        enc.payload.len() <= 10_000 / 8 + 64,
+        "payload = {}",
+        enc.payload.len()
+    );
+
+    // The histogram-only estimate agrees: entropy 0, p1 = 1, both bound
+    // ends clamp to the 1-bit floor.
+    assert_eq!(stats::entropy(&hist), 0.0);
+    assert_eq!(stats::p1(&hist), 1.0);
+    let (lo, hi) = stats::avg_bit_length_bounds(&hist);
+    assert_eq!(lo, 1.0);
+    assert!(hi >= 1.0);
+}
+
+/// A fully uniform 1024-bin histogram: every symbol is equally likely, so
+/// the optimal code is flat 10 bits, the entropy is exactly 10 bits, and
+/// the bracket must pin ⟨b⟩ = 10 from below.
+#[test]
+fn uniform_1024_bin_histogram() {
+    let hist = vec![7u32; 1024];
+    let book = build_codebook(&hist);
+    assert!(
+        book.lengths().iter().all(|&l| l == 10),
+        "uniform 1024 symbols → flat 10-bit code"
+    );
+    assert!((book.expected_bits(&hist) - 10.0).abs() < 1e-12);
+    assert!((stats::entropy(&hist) - 10.0).abs() < 1e-12);
+    let (lo, hi) = stats::avg_bit_length_bounds(&hist);
+    // p1 = 1/1024 < 0.4, so the Johnsen term vanishes: lo = H exactly.
+    assert!((lo - 10.0).abs() < 1e-12);
+    assert!((10.0..=10.1 + 1e-12).contains(&hi));
+
+    // A stream visiting every symbol round-trips at exactly 10 bits each.
+    let syms: Vec<u16> = (0..4096u32).map(|i| (i % 1024) as u16).collect();
+    let h = histogram(&syms, 1024);
+    let b = build_codebook(&h);
+    let enc = encode(&syms, &b, 512);
+    assert_eq!(decode(&enc, &b), syms);
+    let total_bits: u64 = enc.chunk_bits.iter().map(|&b| b as u64).sum();
+    assert_eq!(total_bits, 4096 * 10);
+}
+
+/// The workflow selector's ⟨b⟩ ≤ 1.09 rule (the paper's practical
+/// threshold): for the three-symbol histogram `[p, (1−p)/2, (1−p)/2]`
+/// the Huffman code is {1, 2, 2} bits, so ⟨b⟩ = 1 + (1−p) exactly and
+/// the boundary sits at p₁ = 0.91. The histogram-only lower bound is
+/// tight here (b_lower = ⟨b⟩), which is what makes the selector's
+/// tree-free decision sound.
+#[test]
+fn selector_boundary_at_1_09() {
+    let hist_for = |p1_permille: u32| -> Vec<u32> {
+        let n = 1_000_000u32;
+        let dominant = n / 1000 * p1_permille;
+        let side = (n - dominant) / 2;
+        vec![dominant, side, side]
+    };
+    for (p1_permille, below) in [(940u32, true), (920, true), (900, false), (870, false)] {
+        let hist = hist_for(p1_permille);
+        let book = build_codebook(&hist);
+        let b = stats::avg_bit_length(&hist, &book);
+        let (lo, _hi) = stats::avg_bit_length_bounds(&hist);
+        // ⟨b⟩ = 1 + (1 − p₁), and the lower bound matches it exactly.
+        let expect = 1.0 + (1.0 - p1_permille as f64 / 1000.0);
+        assert!(
+            (b - expect).abs() < 1e-9,
+            "p1=.{p1_permille}: ⟨b⟩ = {b}, expected {expect}"
+        );
+        assert!(
+            (lo - b).abs() < 1e-9,
+            "bound must be tight: lo = {lo}, ⟨b⟩ = {b}"
+        );
+        // 1.09 is RLE_BIT_LENGTH_THRESHOLD in cuszp-analysis (which sits
+        // above this crate in the dependency graph).
+        assert_eq!(
+            b <= 1.09,
+            below,
+            "p1=.{p1_permille} on the wrong side of 1.09"
+        );
+    }
+}

@@ -101,7 +101,11 @@ mod tests {
     fn repetitive_data_compresses_well() {
         let data: Vec<u8> = b"abcdefgh".iter().cycle().take(100_000).copied().collect();
         let c = compress(&data);
-        assert!(c.len() * 20 < data.len(), "LZ must crush periodic data: {}", c.len());
+        assert!(
+            c.len() * 20 < data.len(),
+            "LZ must crush periodic data: {}",
+            c.len()
+        );
         round_trip(&data);
     }
 
@@ -143,9 +147,7 @@ mod tests {
 
     #[test]
     fn levels_trade_effort_for_ratio() {
-        let data: Vec<u8> = (0..60_000u64)
-            .map(|i| ((i / 7) % 251) as u8)
-            .collect();
+        let data: Vec<u8> = (0..60_000u64).map(|i| ((i / 7) % 251) as u8).collect();
         let fast = compress_with_level(&data, CompressionLevel::Fast);
         let best = compress_with_level(&data, CompressionLevel::Best);
         assert_eq!(decompress(&fast).unwrap(), data);

@@ -113,7 +113,10 @@ pub fn tokenize(data: &[u8], level: CompressionLevel) -> Vec<Token> {
             if !lits.is_empty() {
                 tokens.push(Token::Literals(std::mem::take(&mut lits)));
             }
-            tokens.push(Token::Match { len: best_len as u32, dist: best_dist as u32 });
+            tokens.push(Token::Match {
+                len: best_len as u32,
+                dist: best_dist as u32,
+            });
             // Insert hash entries for the covered positions (sparsely, to
             // bound cost: every position is still standard for quality).
             let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
@@ -185,7 +188,10 @@ pub fn deserialize_tokens(bytes: &[u8]) -> Option<Vec<Token>> {
             if dist == 0 {
                 return None;
             }
-            tokens.push(Token::Match { len: len as u32, dist });
+            tokens.push(Token::Match {
+                len: len as u32,
+                dist,
+            });
         }
     }
     Some(tokens)
@@ -286,7 +292,11 @@ mod tests {
     #[test]
     fn all_levels_round_trip() {
         let data: Vec<u8> = (0..30_000u32).map(|i| ((i * i) % 253) as u8).collect();
-        for level in [CompressionLevel::Fast, CompressionLevel::Default, CompressionLevel::Best] {
+        for level in [
+            CompressionLevel::Fast,
+            CompressionLevel::Default,
+            CompressionLevel::Best,
+        ] {
             tok_round_trip(&data, level);
         }
     }

@@ -138,6 +138,21 @@ pub fn verify_error_bound(
     Ok(ErrorStats::compute(orig, recon))
 }
 
+/// [`verify_error_bound`] for native `f64` fields. The per-value slack
+/// uses the `f64` epsilon, since dequantization rounds into the `f64`
+/// grid here.
+pub fn verify_error_bound_f64(orig: &[f64], recon: &[f64], bound: f64) -> Result<(), (usize, f64)> {
+    assert_eq!(orig.len(), recon.len(), "field length mismatch");
+    for (i, (&o, &r)) in orig.iter().zip(recon).enumerate() {
+        let e = (o - r).abs();
+        let slack = bound * (1.0 + 1e-6) + o.abs() * f64::EPSILON;
+        if e > slack {
+            return Err((i, e));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@
 mod error_stats;
 mod throughput;
 
-pub use error_stats::{verify_error_bound, ErrorStats};
+pub use error_stats::{verify_error_bound, verify_error_bound_f64, ErrorStats};
 pub use throughput::{gbps, KernelTimer, ThroughputReport};
 
 /// Compression ratio: original bytes over compressed bytes.

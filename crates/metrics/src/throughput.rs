@@ -32,7 +32,10 @@ impl Default for KernelTimer {
 impl KernelTimer {
     /// Creates a timer with the given repetitions and one warmup.
     pub fn new(reps: u32) -> Self {
-        Self { reps: reps.max(1), warmup: 1 }
+        Self {
+            reps: reps.max(1),
+            warmup: 1,
+        }
     }
 
     /// Times `f`, returning the minimum duration over the repetitions.
@@ -53,7 +56,11 @@ impl KernelTimer {
     /// a throughput report.
     pub fn throughput<F: FnMut()>(&self, bytes: usize, f: F) -> ThroughputReport {
         let best = self.time(f);
-        ThroughputReport { bytes, elapsed: best, gbps: gbps(bytes, best) }
+        ThroughputReport {
+            bytes,
+            elapsed: best,
+            gbps: gbps(bytes, best),
+        }
     }
 }
 
@@ -70,7 +77,11 @@ pub struct ThroughputReport {
 
 impl std::fmt::Display for ThroughputReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.1} GB/s ({} bytes in {:?})", self.gbps, self.bytes, self.elapsed)
+        write!(
+            f,
+            "{:.1} GB/s ({} bytes in {:?})",
+            self.gbps, self.bytes, self.elapsed
+        )
     }
 }
 

@@ -1,0 +1,202 @@
+//! Deterministic chunk planning for the chunk-parallel execution engine.
+//!
+//! A field is split into contiguous slabs along its slowest-varying
+//! dimension (planes for 3-D, rows for 2-D, index ranges for 1-D). In
+//! C-order layout every slab is a contiguous subslice of the original
+//! buffer, so per-chunk kernels run on plain subslices without copies.
+//!
+//! The plan is a pure function of the field shape and the requested
+//! chunk granularity — **never** of the worker count. That invariant is
+//! what makes chunked archives byte-identical regardless of how many
+//! threads execute the plan: the same chunks are produced in the same
+//! order whether one worker walks them sequentially or eight race
+//! through them, and the merge step reassembles them by chunk index.
+
+use std::ops::Range;
+
+/// Target number of elements per chunk: 2 Mi elements (8 MiB of `f32`).
+///
+/// Large enough that per-chunk codebooks amortize, small enough that a
+/// 64 MiB field yields 8 chunks — full occupancy for up to 8 workers.
+pub const DEFAULT_CHUNK_ELEMS: usize = 2 * 1024 * 1024;
+
+/// One slab of the field, in slow-axis units and in flat elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkSpec {
+    /// Position of this chunk in the plan (merge order).
+    pub index: usize,
+    /// Covered range along the slowest-varying axis.
+    pub slow: Range<usize>,
+    /// Covered range of flat element offsets into the field buffer.
+    pub elems: Range<usize>,
+}
+
+impl ChunkSpec {
+    /// Number of slow-axis units in this chunk.
+    pub fn slow_len(&self) -> usize {
+        self.slow.end - self.slow.start
+    }
+
+    /// Number of elements in this chunk.
+    pub fn len(&self) -> usize {
+        self.elems.end - self.elems.start
+    }
+
+    /// True when the chunk covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+}
+
+/// A full slab decomposition of one field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// The slabs, ordered by ascending offset.
+    pub chunks: Vec<ChunkSpec>,
+    /// Elements per slow-axis unit (product of the faster extents).
+    pub elems_per_slow: usize,
+    /// Total elements covered.
+    pub total_elems: usize,
+}
+
+impl ChunkPlan {
+    /// Number of chunks in the plan.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// True when the plan has no chunks (empty field).
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+}
+
+/// Plans slabs over `extents` (slowest-first: `[n]`, `[ny, nx]`, or
+/// `[nz, ny, nx]`) targeting about `target_elems` elements per chunk.
+///
+/// Guarantees:
+/// * chunks tile `0..total` exactly, in order, without overlap;
+/// * every chunk covers a whole number of slow-axis units, so each slab
+///   is a valid field of the same rank;
+/// * the plan depends only on `extents` and `target_elems`.
+pub fn plan_chunks(extents: &[usize], target_elems: usize) -> ChunkPlan {
+    assert!(!extents.is_empty(), "plan_chunks: rank must be 1..=3");
+    assert!(extents.len() <= 3, "plan_chunks: rank must be 1..=3");
+    let slow_units = extents[0];
+    let elems_per_slow: usize = extents[1..].iter().product::<usize>().max(1);
+    let total_elems = slow_units * elems_per_slow;
+    if total_elems == 0 {
+        return ChunkPlan {
+            chunks: Vec::new(),
+            elems_per_slow,
+            total_elems,
+        };
+    }
+    let target = target_elems.max(1);
+    // Whole slow-axis units per chunk, at least one.
+    let units_per_chunk = (target / elems_per_slow).max(1).min(slow_units);
+    let n_chunks = slow_units.div_ceil(units_per_chunk);
+    // Balanced split: sizes differ by at most one unit, largest first.
+    let base = slow_units / n_chunks;
+    let extra = slow_units % n_chunks;
+    let mut chunks = Vec::with_capacity(n_chunks);
+    let mut start = 0usize;
+    for index in 0..n_chunks {
+        let units = base + usize::from(index < extra);
+        let slow = start..start + units;
+        let elems = slow.start * elems_per_slow..slow.end * elems_per_slow;
+        chunks.push(ChunkSpec { index, slow, elems });
+        start += units;
+    }
+    debug_assert_eq!(start, slow_units);
+    ChunkPlan {
+        chunks,
+        elems_per_slow,
+        total_elems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_tiles(plan: &ChunkPlan, extents: &[usize]) {
+        let total: usize = extents.iter().product();
+        assert_eq!(plan.total_elems, total);
+        let mut cursor = 0usize;
+        let mut slow_cursor = 0usize;
+        for (i, c) in plan.chunks.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert_eq!(c.elems.start, cursor);
+            assert_eq!(c.slow.start, slow_cursor);
+            assert_eq!(c.len(), c.slow_len() * plan.elems_per_slow);
+            assert!(!c.is_empty());
+            cursor = c.elems.end;
+            slow_cursor = c.slow.end;
+        }
+        assert_eq!(cursor, total);
+        assert_eq!(slow_cursor, extents[0]);
+    }
+
+    #[test]
+    fn plans_tile_fields_of_every_rank() {
+        for extents in [
+            vec![1usize],
+            vec![4096],
+            vec![10_000_000],
+            vec![512, 512],
+            vec![3, 7],
+            vec![100, 500, 500],
+            vec![1, 1, 1],
+        ] {
+            let plan = plan_chunks(&extents, DEFAULT_CHUNK_ELEMS);
+            assert_tiles(&plan, &extents);
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced() {
+        // 10 planes of 3 Mi elements each, 2 Mi target: one plane per
+        // chunk (a plane can't be split).
+        let plan = plan_chunks(&[10, 1024, 3072], DEFAULT_CHUNK_ELEMS);
+        assert_eq!(plan.len(), 10);
+        assert!(plan.chunks.iter().all(|c| c.slow_len() == 1));
+
+        // 100 rows of 10 elements, target 250 -> 25 rows per chunk.
+        let plan = plan_chunks(&[100, 10], 250);
+        assert_eq!(plan.len(), 4);
+        assert!(plan.chunks.iter().all(|c| c.slow_len() == 25));
+
+        // Unbalanced remainder spreads over leading chunks.
+        let plan = plan_chunks(&[10, 10], 300);
+        let sizes: Vec<usize> = plan.chunks.iter().map(ChunkSpec::slow_len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn plan_is_independent_of_worker_count() {
+        // The planner takes no worker parameter at all; assert the plan
+        // is a pure function of its inputs by comparing repeated calls.
+        let a = plan_chunks(&[64, 256, 256], DEFAULT_CHUNK_ELEMS);
+        let b = plan_chunks(&[64, 256, 256], DEFAULT_CHUNK_ELEMS);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_field_yields_empty_plan() {
+        let plan = plan_chunks(&[0], DEFAULT_CHUNK_ELEMS);
+        assert!(plan.is_empty());
+        let plan = plan_chunks(&[0, 16, 16], DEFAULT_CHUNK_ELEMS);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn tiny_field_is_one_chunk() {
+        let plan = plan_chunks(&[7, 3], DEFAULT_CHUNK_ELEMS);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.chunks[0].elems, 0..21);
+    }
+}

@@ -1,4 +1,4 @@
-//! Chunked data-parallel executor built on crossbeam scoped threads.
+//! Chunked data-parallel executor built on std scoped threads.
 //!
 //! This crate is the CPU substrate for every "kernel" in the cuSZ+
 //! reproduction. The paper's GPU kernels decompose into a small set of
@@ -22,9 +22,13 @@
 //! block program, and the two-phase scan corresponds to the
 //! `BlockScan`-then-device-level-offset pattern from NVIDIA cub.
 
+pub mod chunk;
+pub mod pool;
 mod scan;
 mod segmented;
 
+pub use chunk::{plan_chunks, ChunkPlan, ChunkSpec, DEFAULT_CHUNK_ELEMS};
+pub use pool::WorkerPool;
 pub use scan::{par_scan_inclusive, par_scan_inclusive_in_place, scan_inclusive_serial};
 pub use segmented::{reduce_by_key, RunBoundary};
 
@@ -53,7 +57,9 @@ pub fn num_workers() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Overrides the worker count for all subsequent parallel operations.
@@ -83,8 +89,33 @@ pub fn partition_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>>
     out
 }
 
+thread_local! {
+    /// Set while a [`pool::WorkerPool`] worker runs a job, so nested
+    /// parallel primitives degrade to serial execution instead of
+    /// oversubscribing the machine with threads-within-threads.
+    static FORCE_SERIAL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with nested parallel primitives forced serial on this thread.
+pub fn with_serial_inner<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_SERIAL.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
+/// True when the current thread must not spawn nested workers.
+pub fn inner_parallelism_disabled() -> bool {
+    FORCE_SERIAL.with(|flag| flag.get())
+}
+
 /// Decides how many workers a job of `len` elements deserves.
 pub(crate) fn effective_workers(len: usize) -> usize {
+    if inner_parallelism_disabled() {
+        return 1;
+    }
     let w = num_workers();
     if w <= 1 || len < 2 * MIN_GRAIN {
         1
@@ -109,13 +140,12 @@ where
         }
         return;
     }
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (i, r) in ranges.into_iter().enumerate() {
             let f = &f;
-            s.spawn(move |_| f(i, r));
+            s.spawn(move || f(i, r));
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Applies `f` to every disjoint mutable chunk of `data` of length `chunk`
@@ -141,7 +171,7 @@ where
     // Hand each worker a contiguous run of chunks so chunk indices stay
     // aligned with data offsets.
     let chunk_ranges = partition_ranges(n_chunks, workers);
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = data;
         let mut consumed_chunks = 0usize;
         for r in chunk_ranges {
@@ -151,14 +181,13 @@ where
             let first_chunk = consumed_chunks;
             consumed_chunks += r.end - r.start;
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (j, c) in head.chunks_mut(chunk).enumerate() {
                     f(first_chunk + j, c);
                 }
             });
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Read-only chunked traversal collecting one result per chunk, in order.
@@ -181,14 +210,14 @@ where
         return out;
     }
     let chunk_ranges = partition_ranges(n_chunks, workers);
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest: &mut [R] = &mut out;
         for r in chunk_ranges {
             let (head, tail) = rest.split_at_mut(r.end - r.start);
             rest = tail;
             let f = &f;
             let first = r.start;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (j, slot) in head.iter_mut().enumerate() {
                     let idx = first + j;
                     let lo = idx * chunk;
@@ -197,8 +226,7 @@ where
                 }
             });
         }
-    })
-    .expect("parallel worker panicked");
+    });
     out
 }
 
@@ -233,7 +261,7 @@ where
         return;
     }
     let ranges = partition_ranges(len, workers);
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = out;
         let mut offset = 0;
         for r in ranges {
@@ -242,14 +270,13 @@ where
             let inp_part = &inp[offset..offset + head.len()];
             offset += head.len();
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (o, i) in head.iter_mut().zip(inp_part) {
                     f(o, i);
                 }
             });
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Parallel reduction with an associative, commutative combiner.
@@ -268,22 +295,25 @@ where
         return data.iter().fold(identity, |acc, x| combine(acc, map(x)));
     }
     let ranges = partition_ranges(data.len(), workers);
-    let partials = parking_lot::Mutex::new(Vec::with_capacity(ranges.len()));
-    crossbeam_utils::thread::scope(|s| {
+    // Slot-per-range results keep the final fold in range order, so the
+    // reduction tree is deterministic for a given worker count.
+    let mut partials: Vec<Option<A>> = Vec::new();
+    partials.resize_with(ranges.len(), || None);
+    std::thread::scope(|s| {
+        let mut slots: &mut [Option<A>] = &mut partials;
         for r in ranges {
+            let (slot, rest) = slots.split_first_mut().expect("slot per range");
+            slots = rest;
             let map = &map;
             let combine = &combine;
             let identity = identity.clone();
-            let partials = &partials;
             let slice = &data[r];
-            s.spawn(move |_| {
-                let acc = slice.iter().fold(identity, |acc, x| combine(acc, map(x)));
-                partials.lock().push(acc);
+            s.spawn(move || {
+                *slot = Some(slice.iter().fold(identity, |acc, x| combine(acc, map(x))));
             });
         }
-    })
-    .expect("parallel worker panicked");
-    partials.into_inner().into_iter().fold(identity, combine)
+    });
+    partials.into_iter().flatten().fold(identity, combine)
 }
 
 /// Privatized parallel histogram: each worker accumulates into a private
@@ -306,24 +336,26 @@ where
         return h;
     }
     let ranges = partition_ranges(data.len(), workers);
-    let tables = parking_lot::Mutex::new(Vec::with_capacity(ranges.len()));
-    crossbeam_utils::thread::scope(|s| {
+    let mut tables: Vec<Vec<u32>> = Vec::new();
+    tables.resize_with(ranges.len(), Vec::new);
+    std::thread::scope(|s| {
+        let mut slots: &mut [Vec<u32>] = &mut tables;
         for r in ranges {
+            let (slot, rest) = slots.split_first_mut().expect("slot per range");
+            slots = rest;
             let bin_of = &bin_of;
-            let tables = &tables;
             let slice = &data[r];
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut h = vec![0u32; n_bins];
                 for x in slice {
                     h[bin_of(x)] += 1;
                 }
-                tables.lock().push(h);
+                *slot = h;
             });
         }
-    })
-    .expect("parallel worker panicked");
+    });
     let mut acc = vec![0u32; n_bins];
-    for t in tables.into_inner() {
+    for t in tables {
         for (a, b) in acc.iter_mut().zip(&t) {
             *a += b;
         }
@@ -383,7 +415,9 @@ mod tests {
     #[test]
     fn par_map_chunks_collects_in_order() {
         let data: Vec<u32> = (0..50_000).collect();
-        let sums = par_map_chunks(&data, 1000, |_i, c| c.iter().map(|&x| x as u64).sum::<u64>());
+        let sums = par_map_chunks(&data, 1000, |_i, c| {
+            c.iter().map(|&x| x as u64).sum::<u64>()
+        });
         assert_eq!(sums.len(), 50);
         let expect: Vec<u64> = data
             .chunks(1000)

@@ -1,0 +1,247 @@
+//! Worker pool for chunk-level parallelism.
+//!
+//! [`WorkerPool::run`] executes `jobs` indexed closures on a fixed
+//! number of scoped threads and returns the results **in job-index
+//! order**, whatever order the workers finished in. Scheduling is
+//! work-stealing-by-counter: workers race on an atomic cursor, so a
+//! slow chunk never stalls the rest of the queue behind it.
+//!
+//! Two properties matter for deterministic archives:
+//!
+//! * results are reassembled by index, so the merge order is the plan
+//!   order, not the completion order;
+//! * every job body runs with nested parallel primitives forced serial
+//!   ([`crate::with_serial_inner`]) — including on a single-worker pool —
+//!   so a chunk's bytes are produced by the identical code path no
+//!   matter how many pool workers exist. Parallelism comes from chunks,
+//!   not from kernels-within-chunks.
+
+use crate::num_workers;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool executing indexed jobs on scoped threads.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Pool with exactly `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Pool sized by the global worker policy ([`crate::num_workers`]),
+    /// degraded to one worker inside another pool's job.
+    pub fn with_default_workers() -> Self {
+        if crate::inner_parallelism_disabled() {
+            Self::new(1)
+        } else {
+            Self::new(num_workers())
+        }
+    }
+
+    /// Number of threads this pool uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(0), f(1), …, f(jobs - 1)` across the pool and returns the
+    /// results indexed by job. Panics in a job propagate to the caller.
+    pub fn run<R, F>(&self, jobs: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || jobs == 1 {
+            return (0..jobs)
+                .map(|i| crate::with_serial_inner(|| f(i)))
+                .collect();
+        }
+        let threads = self.workers.min(jobs);
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(jobs, || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            local.push((i, crate::with_serial_inner(|| f(i))));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("pool worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job index executed exactly once"))
+            .collect()
+    }
+
+    /// Like [`Self::run`], but each job takes ownership of its item —
+    /// this is how chunked decompression hands every worker the mutable
+    /// output slab it writes into. Results come back in item order.
+    pub fn run_parts<T, R, F>(&self, parts: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let jobs = parts.len();
+        if jobs == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || jobs == 1 {
+            return parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| crate::with_serial_inner(|| f(i, p)))
+                .collect();
+        }
+        let threads = self.workers.min(jobs);
+        let cursor = AtomicUsize::new(0);
+        // Items are parked in per-index cells so stealing workers can take
+        // ownership without holding one lock across all of them.
+        let cells: Vec<std::sync::Mutex<Option<T>>> = parts
+            .into_iter()
+            .map(|p| std::sync::Mutex::new(Some(p)))
+            .collect();
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(jobs, || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let cells = &cells;
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            let part = cells[i]
+                                .lock()
+                                .expect("part cell poisoned")
+                                .take()
+                                .expect("each part taken exactly once");
+                            local.push((i, crate::with_serial_inner(|| f(i, part))));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("pool worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job index executed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1usize, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let out = pool.run(23, |i| i * i);
+            let expect: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(out, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn order_holds_under_skewed_job_durations() {
+        // Early jobs sleep longest; completion order is roughly reversed
+        // from submission order, yet results must stay index-ordered.
+        let pool = WorkerPool::new(4);
+        let out = pool.run(12, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(((12 - i) % 5) as u64));
+            i as u64 + 100
+        });
+        let expect: Vec<u64> = (0..12).map(|i| i + 100).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<u8> = pool.run(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_run_with_inner_parallelism_disabled() {
+        for workers in [1usize, 4] {
+            let pool = WorkerPool::new(workers);
+            let flags = pool.run(6, |_| crate::inner_parallelism_disabled());
+            assert!(flags.iter().all(|&x| x), "workers = {workers}");
+        }
+        // Outside a pool job the flag is clear again.
+        assert!(!crate::inner_parallelism_disabled());
+    }
+
+    #[test]
+    fn run_parts_moves_items_and_keeps_order() {
+        for workers in [1usize, 4] {
+            let pool = WorkerPool::new(workers);
+            let parts: Vec<Vec<u32>> = (0..9).map(|i| vec![i; i as usize + 1]).collect();
+            let out = pool.run_parts(parts, |i, p| {
+                assert_eq!(p.len(), i + 1);
+                p.into_iter().map(|x| x as u64).sum::<u64>()
+            });
+            let expect: Vec<u64> = (0..9u64).map(|i| i * (i + 1)).collect();
+            assert_eq!(out, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn run_parts_hands_out_disjoint_mut_slices() {
+        let mut buf = [0u8; 100];
+        let parts: Vec<&mut [u8]> = buf.chunks_mut(7).collect();
+        let pool = WorkerPool::new(4);
+        pool.run_parts(parts, |i, slab| {
+            for x in slab.iter_mut() {
+                *x = i as u8 + 1;
+            }
+        });
+        for (j, &x) in buf.iter().enumerate() {
+            assert_eq!(x as usize, j / 7 + 1);
+        }
+    }
+
+    #[test]
+    fn pool_width_is_clamped_and_reported() {
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+        assert_eq!(WorkerPool::new(5).workers(), 5);
+        assert!(WorkerPool::with_default_workers().workers() >= 1);
+    }
+}

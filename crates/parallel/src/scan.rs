@@ -52,7 +52,7 @@ where
     // Phase 1: local scans; collect each chunk's total (its last element).
     let mut totals: Vec<Option<T>> = Vec::new();
     totals.resize_with(ranges.len(), || None);
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest: &mut [T] = data;
         let mut slots: &mut [Option<T>] = &mut totals;
         for r in &ranges {
@@ -61,13 +61,12 @@ where
             let (slot, slot_rest) = slots.split_first_mut().expect("slot per range");
             slots = slot_rest;
             let combine = &combine;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 scan_inclusive_serial(head, combine);
                 *slot = head.last().copied();
             });
         }
-    })
-    .expect("scan worker panicked");
+    });
 
     // Phase 2: exclusive scan of totals (serial; O(workers) elements).
     let mut offsets: Vec<Option<T>> = Vec::with_capacity(ranges.len());
@@ -82,22 +81,21 @@ where
     }
 
     // Phase 3: add offsets.
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest: &mut [T] = data;
         for (r, off) in ranges.iter().zip(offsets) {
             let (head, tail) = rest.split_at_mut(r.end - r.start);
             rest = tail;
             let combine = &combine;
             if let Some(off) = off {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for x in head.iter_mut() {
                         *x = combine(off, *x);
                     }
                 });
             }
         }
-    })
-    .expect("scan worker panicked");
+    });
 }
 
 /// Parallel inclusive scan returning a new vector, leaving `data` intact.
@@ -147,7 +145,9 @@ mod tests {
     fn parallel_scan_with_wrapping_mul_monoid() {
         crate::set_workers(3);
         // Non-commutative-looking monoid (max) still associative.
-        let data: Vec<i32> = (0..100_000).map(|i| ((i * 2654435761u64 as usize) % 1000) as i32).collect();
+        let data: Vec<i32> = (0..100_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as i32)
+            .collect();
         let mut serial = data.clone();
         scan_inclusive_serial(&mut serial, |a, b| a.max(b));
         let par = par_scan_inclusive(&data, |a, b| a.max(b));

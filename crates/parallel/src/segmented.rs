@@ -9,7 +9,7 @@
 //! merge. Stitching is a serial `O(chunks)` pass, so the overall work stays
 //! `O(n / workers + workers)`.
 
-use crate::{partition_ranges, effective_workers};
+use crate::{effective_workers, partition_ranges};
 
 /// A maximal run boundary produced by chunk-local encoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,18 +36,17 @@ where
     let ranges = partition_ranges(data.len(), workers);
     let mut parts: Vec<Vec<(T, u32)>> = Vec::new();
     parts.resize_with(ranges.len(), Vec::new);
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut slots: &mut [Vec<(T, u32)>] = &mut parts;
         for r in &ranges {
             let (slot, rest) = slots.split_first_mut().expect("slot per range");
             slots = rest;
             let slice = &data[r.clone()];
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = reduce_by_key_serial(slice);
             });
         }
-    })
-    .expect("reduce_by_key worker panicked");
+    });
 
     // Stitch: merge boundary runs that share a key.
     let mut out: Vec<(T, u32)> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
@@ -102,10 +101,7 @@ mod tests {
         // "aabcccccaa" -> (a,2)(b,1)(c,5)(a,2) — the paper's own example.
         let s: Vec<u8> = b"aabcccccaa".to_vec();
         let runs = reduce_by_key_serial(&s);
-        assert_eq!(
-            runs,
-            vec![(b'a', 2), (b'b', 1), (b'c', 5), (b'a', 2)]
-        );
+        assert_eq!(runs, vec![(b'a', 2), (b'b', 1), (b'c', 5), (b'a', 2)]);
     }
 
     #[test]

@@ -120,12 +120,49 @@ pub(crate) fn predict_at(dq: &[i64], dims: Dims, flat: usize) -> i64 {
 /// list, and the parameters needed by decompression.
 pub fn construct<T: Scalar>(data: &[T], dims: Dims, eb: f64, cap: u16) -> QuantField {
     assert_eq!(data.len(), dims.len(), "data length must match dims");
-    assert!(cap >= 4 && cap.is_multiple_of(2), "cap must be even and ≥ 4");
+    assert!(
+        cap >= 4 && cap.is_multiple_of(2),
+        "cap must be even and ≥ 4"
+    );
     let radius = cap / 2;
     let dq = prequantize(data, eb);
     let codes = construct_codes(&dq, dims, radius);
     let outliers = gather_outliers(&dq, &codes, dims, radius);
-    QuantField { codes, outliers, radius, dims, eb }
+    QuantField {
+        codes,
+        outliers,
+        radius,
+        dims,
+        eb,
+    }
+}
+
+/// Chunk-aware construction: runs [`construct`] on the slab covering
+/// `slow_range` slow-axis units of a `dims`-shaped field.
+///
+/// In C-order the slab is a contiguous subslice of `data`, so no copy is
+/// made; the returned [`QuantField`] describes the slab as a standalone
+/// field of the same rank (indices and prediction are slab-local).
+pub fn construct_slab<T: Scalar>(
+    data: &[T],
+    dims: Dims,
+    slow_range: std::ops::Range<usize>,
+    eb: f64,
+    cap: u16,
+) -> QuantField {
+    assert_eq!(data.len(), dims.len(), "data length must match dims");
+    assert!(
+        slow_range.start <= slow_range.end && slow_range.end <= dims.slow_extent(),
+        "slab range out of bounds"
+    );
+    let eps = dims.elems_per_slow();
+    let slab_dims = dims.slab(slow_range.end - slow_range.start);
+    construct(
+        &data[slow_range.start * eps..slow_range.end * eps],
+        slab_dims,
+        eb,
+        cap,
+    )
 }
 
 /// The Lorenzo-construction kernel proper: maps prequantized integers to
@@ -255,7 +292,10 @@ mod tests {
             })
             .collect();
         let qf = construct(&data, Dims::D2 { ny, nx }, 1e-2, DEFAULT_CAP);
-        assert!(qf.outlier_fraction() < 0.02, "smooth field should be captured");
+        assert!(
+            qf.outlier_fraction() < 0.02,
+            "smooth field should be captured"
+        );
     }
 
     #[test]

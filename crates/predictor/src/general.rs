@@ -68,7 +68,10 @@ pub fn lorenzo_stencil(order: u32, rank: usize) -> Vec<Tap> {
                     coeff = -coeff;
                 }
                 if coeff != 0 {
-                    taps.push(Tap { offset: [kz, ky, kx], coeff });
+                    taps.push(Tap {
+                        offset: [kz, ky, kx],
+                        coeff,
+                    });
                 }
             }
         }
@@ -83,14 +86,7 @@ pub fn stencil_coefficient_sum(taps: &[Tap]) -> i64 {
 
 /// Predicts one element from already-known integer values using the
 /// stencil; out-of-tile / out-of-bounds taps contribute zero.
-fn predict_with_stencil(
-    dq: &[i64],
-    dims: Dims,
-    taps: &[Tap],
-    k: usize,
-    j: usize,
-    i: usize,
-) -> i64 {
+fn predict_with_stencil(dq: &[i64], dims: Dims, taps: &[Tap], k: usize, j: usize, i: usize) -> i64 {
     let [_, ny, nx] = dims.extents();
     let [tz, ty, tx] = dims.tile();
     let mut p = 0i64;
@@ -118,7 +114,10 @@ pub fn construct_general<T: Scalar>(
     order: u32,
 ) -> QuantField {
     assert_eq!(data.len(), dims.len(), "data length must match dims");
-    assert!(cap >= 4 && cap.is_multiple_of(2), "cap must be even and ≥ 4");
+    assert!(
+        cap >= 4 && cap.is_multiple_of(2),
+        "cap must be even and ≥ 4"
+    );
     let radius = cap / 2;
     let r = radius as i64;
     let dq = crate::prequantize(data, eb);
@@ -139,7 +138,13 @@ pub fn construct_general<T: Scalar>(
             outliers.values.push(delta + r);
         }
     }
-    QuantField { codes, outliers, radius, dims, eb }
+    QuantField {
+        codes,
+        outliers,
+        radius,
+        dims,
+        eb,
+    }
 }
 
 /// Sequential reconstruction valid for any order (the general analog of
@@ -233,7 +238,11 @@ mod tests {
         let data: Vec<f32> = (0..10 * 12 * 14)
             .map(|t| ((t % 14) as f32 * 0.21).sin() + ((t / 14) as f32 * 0.04).cos() * 4.0)
             .collect();
-        let dims = Dims::D3 { nz: 10, ny: 12, nx: 14 };
+        let dims = Dims::D3 {
+            nz: 10,
+            ny: 12,
+            nx: 14,
+        };
         for order in 1..=3u32 {
             let qf = construct_general(&data, dims, 1e-3, DEFAULT_CAP, order);
             let got = reconstruct_general_prequant(&qf, order);
@@ -266,8 +275,16 @@ mod tests {
             v.dedup();
             v.len()
         };
-        assert_eq!(distinct(&q2.codes[4..]), 1, "order 2: constant error symbol");
-        assert_eq!(q2.codes[4], 2048 + 2, "the constant is the 2nd difference, 2");
+        assert_eq!(
+            distinct(&q2.codes[4..]),
+            1,
+            "order 2: constant error symbol"
+        );
+        assert_eq!(
+            q2.codes[4],
+            2048 + 2,
+            "the constant is the 2nd difference, 2"
+        );
         assert!(
             distinct(&q1.codes[4..]) > 100,
             "order 1 sees the varying first difference"

@@ -125,14 +125,12 @@ where
 }
 
 /// Interpolation-predicted construction.
-pub fn construct_interpolation<T: Scalar>(
-    data: &[T],
-    dims: Dims,
-    eb: f64,
-    cap: u16,
-) -> QuantField {
+pub fn construct_interpolation<T: Scalar>(data: &[T], dims: Dims, eb: f64, cap: u16) -> QuantField {
     assert_eq!(data.len(), dims.len(), "data length must match dims");
-    assert!(cap >= 4 && cap % 2 == 0, "cap must be even and ≥ 4");
+    assert!(
+        cap >= 4 && cap.is_multiple_of(2),
+        "cap must be even and ≥ 4"
+    );
     let radius = cap / 2;
     let r = radius as i64;
     let dq = crate::prequantize(data, eb);
@@ -141,7 +139,13 @@ pub fn construct_interpolation<T: Scalar>(
 
     let mut known = vec![0i64; dq.len()];
     if dq.is_empty() {
-        return QuantField { codes, outliers, radius, dims, eb };
+        return QuantField {
+            codes,
+            outliers,
+            radius,
+            dims,
+            eb,
+        };
     }
     traverse(&mut known, dims, |flat, p| {
         let delta = dq[flat] - p;
@@ -157,13 +161,23 @@ pub fn construct_interpolation<T: Scalar>(
 
     // Traversal order is coarse-to-fine, not index order; restore the
     // sorted-index invariant of the outlier list.
-    let mut zipped: Vec<(u64, i64)> =
-        outliers.indices.iter().copied().zip(outliers.values.iter().copied()).collect();
+    let mut zipped: Vec<(u64, i64)> = outliers
+        .indices
+        .iter()
+        .copied()
+        .zip(outliers.values.iter().copied())
+        .collect();
     zipped.sort_unstable_by_key(|&(i, _)| i);
     outliers.indices = zipped.iter().map(|&(i, _)| i).collect();
     outliers.values = zipped.iter().map(|&(_, v)| v).collect();
 
-    QuantField { codes, outliers, radius, dims, eb }
+    QuantField {
+        codes,
+        outliers,
+        radius,
+        dims,
+        eb,
+    }
 }
 
 /// Interpolation reconstruction to prequantized integers.
@@ -208,20 +222,42 @@ mod tests {
     #[test]
     fn round_trip_all_ranks_and_ragged_sizes() {
         let f = |n: usize| -> Vec<f32> {
-            (0..n).map(|i| (i as f32 * 0.004).sin() * 8.0 + (i as f32 * 0.0009).cos()).collect()
+            (0..n)
+                .map(|i| (i as f32 * 0.004).sin() * 8.0 + (i as f32 * 0.0009).cos())
+                .collect()
         };
         check_round_trip(&f(1), Dims::D1(1), 1e-3);
         check_round_trip(&f(1000), Dims::D1(1000), 1e-3);
         check_round_trip(&f(1024), Dims::D1(1024), 1e-3);
         check_round_trip(&f(48 * 80), Dims::D2 { ny: 48, nx: 80 }, 1e-3);
         check_round_trip(&f(33 * 47), Dims::D2 { ny: 33, nx: 47 }, 1e-2);
-        check_round_trip(&f(12 * 20 * 28), Dims::D3 { nz: 12, ny: 20, nx: 28 }, 1e-3);
-        check_round_trip(&f(16 * 16 * 16), Dims::D3 { nz: 16, ny: 16, nx: 16 }, 1e-4);
+        check_round_trip(
+            &f(12 * 20 * 28),
+            Dims::D3 {
+                nz: 12,
+                ny: 20,
+                nx: 28,
+            },
+            1e-3,
+        );
+        check_round_trip(
+            &f(16 * 16 * 16),
+            Dims::D3 {
+                nz: 16,
+                ny: 16,
+                nx: 16,
+            },
+            1e-4,
+        );
     }
 
     #[test]
     fn every_point_visited_exactly_once() {
-        let dims = Dims::D3 { nz: 9, ny: 13, nx: 17 };
+        let dims = Dims::D3 {
+            nz: 9,
+            ny: 13,
+            nx: 17,
+        };
         let mut seen = vec![0u32; dims.len()];
         let mut known = vec![0i64; dims.len()];
         traverse(&mut known, dims, |flat, _p| {
@@ -240,12 +276,7 @@ mod tests {
         let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let qf = construct_interpolation(&data, Dims::D1(n), 0.5, 4096);
         let r = 2048u16;
-        let nonzero = qf
-            .codes
-            .iter()
-            .filter(|&&c| c != r && c != 0)
-            .count()
-            + qf.outliers.len();
+        let nonzero = qf.codes.iter().filter(|&&c| c != r && c != 0).count() + qf.outliers.len();
         // Root + the right-edge extrapolation chain: O(log n) points.
         assert!(nonzero <= 16, "only boundary points may miss: {nonzero}");
     }
@@ -272,10 +303,13 @@ mod tests {
                 *hist.entry(c).or_insert(0u32) += 1;
             }
             let n = qf.codes.len() as f64;
-            -hist.values().map(|&c| {
-                let p = c as f64 / n;
-                p * p.log2()
-            }).sum::<f64>()
+            -hist
+                .values()
+                .map(|&c| {
+                    let p = c as f64 / n;
+                    p * p.log2()
+                })
+                .sum::<f64>()
         };
         let (hl, hi) = (entropy(&lorenzo), entropy(&interp));
         assert!(

@@ -40,7 +40,7 @@ mod reconstruct;
 pub mod regression;
 mod scalar;
 
-pub use construct::{construct, construct_codes};
+pub use construct::{construct, construct_codes, construct_slab};
 pub use general::{
     construct_general, lorenzo_stencil, reconstruct_general, reconstruct_general_prequant, Tap,
 };
@@ -48,16 +48,16 @@ pub use interpolation::{
     construct_interpolation, reconstruct_interpolation, reconstruct_interpolation_prequant,
 };
 pub use outlier::{gather_outliers, scatter_outliers};
-pub use quantize::{dequantize, prequantize, prequantize_into};
+pub use quantize::{dequantize, dequantize_into, prequantize, prequantize_into};
+pub use reconstruct::{
+    fuse_codes_and_outliers, reconstruct, reconstruct_in_place, reconstruct_into,
+    reconstruct_prequant, ReconstructEngine,
+};
 pub use regression::{
     construct_regression, reconstruct_regression, reconstruct_regression_prequant,
     RegressionCoeffs, TileCoeffs,
 };
 pub use scalar::Scalar;
-pub use reconstruct::{
-    fuse_codes_and_outliers, reconstruct, reconstruct_in_place, reconstruct_prequant,
-    ReconstructEngine,
-};
 
 /// Default number of quantization bins (`cap`); the radius is `cap / 2`.
 /// cuSZ uses 1024 bins by default, giving 10-bit quant-codes — hence the
@@ -112,6 +112,39 @@ impl Dims {
             Dims::D1(n) => [1, 1, n],
             Dims::D2 { ny, nx } => [1, ny, nx],
             Dims::D3 { nz, ny, nx } => [nz, ny, nx],
+        }
+    }
+
+    /// Extent along the slowest-varying axis (`n`, `ny`, or `nz`).
+    pub fn slow_extent(&self) -> usize {
+        match *self {
+            Dims::D1(n) => n,
+            Dims::D2 { ny, .. } => ny,
+            Dims::D3 { nz, .. } => nz,
+        }
+    }
+
+    /// Elements per slow-axis unit (1, `nx`, or `ny·nx`). In C-order a
+    /// slab of whole slow-axis units is a contiguous subslice.
+    pub fn elems_per_slow(&self) -> usize {
+        match *self {
+            Dims::D1(_) => 1,
+            Dims::D2 { nx, .. } => nx,
+            Dims::D3 { ny, nx, .. } => ny * nx,
+        }
+    }
+
+    /// Dims of a slab covering `slow_len` slow-axis units of this field
+    /// (same rank, same fast extents).
+    pub fn slab(&self, slow_len: usize) -> Dims {
+        match *self {
+            Dims::D1(_) => Dims::D1(slow_len),
+            Dims::D2 { nx, .. } => Dims::D2 { ny: slow_len, nx },
+            Dims::D3 { ny, nx, .. } => Dims::D3 {
+                nz: slow_len,
+                ny,
+                nx,
+            },
         }
     }
 
@@ -195,9 +228,25 @@ mod tests {
     fn dims_accounting() {
         assert_eq!(Dims::D1(100).len(), 100);
         assert_eq!(Dims::D2 { ny: 4, nx: 5 }.len(), 20);
-        assert_eq!(Dims::D3 { nz: 2, ny: 3, nx: 4 }.len(), 24);
+        assert_eq!(
+            Dims::D3 {
+                nz: 2,
+                ny: 3,
+                nx: 4
+            }
+            .len(),
+            24
+        );
         assert_eq!(Dims::D1(0).rank(), 1);
-        assert_eq!(Dims::D3 { nz: 1, ny: 1, nx: 1 }.rank(), 3);
+        assert_eq!(
+            Dims::D3 {
+                nz: 1,
+                ny: 1,
+                nx: 1
+            }
+            .rank(),
+            3
+        );
         assert!(Dims::D1(0).is_empty());
         assert!(!Dims::D1(1).is_empty());
     }
@@ -206,19 +255,38 @@ mod tests {
     fn extents_pad_with_ones() {
         assert_eq!(Dims::D1(7).extents(), [1, 1, 7]);
         assert_eq!(Dims::D2 { ny: 3, nx: 7 }.extents(), [1, 3, 7]);
-        assert_eq!(Dims::D3 { nz: 2, ny: 3, nx: 7 }.extents(), [2, 3, 7]);
+        assert_eq!(
+            Dims::D3 {
+                nz: 2,
+                ny: 3,
+                nx: 7
+            }
+            .extents(),
+            [2, 3, 7]
+        );
     }
 
     #[test]
     fn tiles_match_paper() {
         assert_eq!(Dims::D1(1).tile(), [1, 1, 256]);
         assert_eq!(Dims::D2 { ny: 1, nx: 1 }.tile(), [1, 16, 16]);
-        assert_eq!(Dims::D3 { nz: 1, ny: 1, nx: 1 }.tile(), [8, 8, 8]);
+        assert_eq!(
+            Dims::D3 {
+                nz: 1,
+                ny: 1,
+                nx: 1
+            }
+            .tile(),
+            [8, 8, 8]
+        );
     }
 
     #[test]
     fn outlier_list_storage() {
-        let o = OutlierList { indices: vec![1, 5], values: vec![100, -100] };
+        let o = OutlierList {
+            indices: vec![1, 5],
+            values: vec![100, -100],
+        };
         assert_eq!(o.len(), 2);
         assert!(!o.is_empty());
         assert_eq!(o.storage_bytes(), 32);

@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn gather_indices_strictly_increasing() {
-        let dq: Vec<i64> = (0..5000).map(|i| ((i * 2654435761usize) % 10_000_000) as i64).collect();
+        let dq: Vec<i64> = (0..5000)
+            .map(|i| ((i * 2654435761usize) % 10_000_000) as i64)
+            .collect();
         let dims = Dims::D1(5000);
         let codes = construct_codes(&dq, dims, 512);
         let o = gather_outliers(&dq, &codes, dims, 512);

@@ -22,7 +22,10 @@ pub fn prequantize<T: Scalar>(data: &[T], eb: f64) -> Vec<i64> {
 ///
 /// Panics if `eb <= 0`, `eb` is not finite, or lengths differ.
 pub fn prequantize_into<T: Scalar>(data: &[T], eb: f64, out: &mut [i64]) {
-    assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite");
+    assert!(
+        eb.is_finite() && eb > 0.0,
+        "error bound must be positive and finite"
+    );
     assert_eq!(data.len(), out.len(), "buffer length mismatch");
     let inv = 1.0 / (2.0 * eb);
     cuszp_parallel::par_zip_mut(out, data, |o, &d| {
@@ -32,9 +35,23 @@ pub fn prequantize_into<T: Scalar>(data: &[T], eb: f64, out: &mut [i64]) {
 
 /// Dequantizes prequantized integers back to floats: `d = d° · 2·eb`.
 pub fn dequantize<T: Scalar>(prequant: &[i64], eb: f64) -> Vec<T> {
-    assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite");
+    let mut out = vec![T::from_f64(0.0); prequant.len()];
+    dequantize_into(prequant, eb, &mut out);
+    out
+}
+
+/// Dequantizes into a caller-provided buffer — typically one slab of a
+/// larger field's output, so chunked decompression writes in place.
+///
+/// Panics if `eb <= 0`, `eb` is not finite, or lengths differ.
+pub fn dequantize_into<T: Scalar>(prequant: &[i64], eb: f64, out: &mut [T]) {
+    assert!(
+        eb.is_finite() && eb > 0.0,
+        "error bound must be positive and finite"
+    );
+    assert_eq!(prequant.len(), out.len(), "buffer length mismatch");
     let scale = 2.0 * eb;
-    cuszp_parallel::par_map(prequant, |&q| T::from_f64(q as f64 * scale))
+    cuszp_parallel::par_zip_mut(out, prequant, |o, &q| *o = T::from_f64(q as f64 * scale));
 }
 
 #[cfg(test)]

@@ -74,6 +74,21 @@ pub fn reconstruct<T: Scalar>(qf: &QuantField, engine: ReconstructEngine) -> Vec
     dequantize(&dq, qf.eb)
 }
 
+/// Full decompression into a caller-provided buffer — the chunk-aware
+/// entry point: `out` is typically a slab of a larger field's buffer, so
+/// chunked decompression lands each slab at its offset without a copy.
+///
+/// Panics if `out.len() != qf.dims.len()`.
+pub fn reconstruct_into<T: Scalar>(qf: &QuantField, engine: ReconstructEngine, out: &mut [T]) {
+    assert_eq!(
+        out.len(),
+        qf.dims.len(),
+        "output slab length must match dims"
+    );
+    let dq = reconstruct_prequant(qf, engine);
+    crate::dequantize_into(&dq, qf.eb, out);
+}
+
 /// Core dispatch: turns a fused `q'` buffer into reconstructed
 /// prequantized values, in place.
 pub fn reconstruct_in_place(q: &mut [i64], dims: Dims, engine: ReconstructEngine) {
@@ -117,7 +132,9 @@ fn fine_1d(q: &mut [i64], dims: Dims) {
 // ---------------------------------------------------------------- 2-D ----
 
 fn coarse_2d(q: &mut [i64], dims: Dims) {
-    let Dims::D2 { nx, .. } = dims else { unreachable!() };
+    let Dims::D2 { nx, .. } = dims else {
+        unreachable!()
+    };
     let [_, ty, tx] = dims.tile();
     let band = ty * nx;
     cuszp_parallel::par_chunks_mut(q, band, |_bi, rows| {
@@ -144,7 +161,9 @@ fn coarse_2d(q: &mut [i64], dims: Dims) {
 }
 
 fn fine_2d(q: &mut [i64], dims: Dims, optimized: bool) {
-    let Dims::D2 { nx, .. } = dims else { unreachable!() };
+    let Dims::D2 { nx, .. } = dims else {
+        unreachable!()
+    };
     let [_, ty, tx] = dims.tile();
     let band = ty * nx;
     cuszp_parallel::par_chunks_mut(q, band, |_bi, rows| {
@@ -181,7 +200,9 @@ fn fine_2d(q: &mut [i64], dims: Dims, optimized: bool) {
 // ---------------------------------------------------------------- 3-D ----
 
 fn coarse_3d(q: &mut [i64], dims: Dims) {
-    let Dims::D3 { ny, nx, .. } = dims else { unreachable!() };
+    let Dims::D3 { ny, nx, .. } = dims else {
+        unreachable!()
+    };
     let [tz, ty, tx] = dims.tile();
     let slab = tz * ny * nx;
     let plane = ny * nx;
@@ -224,7 +245,9 @@ fn coarse_3d(q: &mut [i64], dims: Dims) {
 }
 
 fn fine_3d(q: &mut [i64], dims: Dims, optimized: bool) {
-    let Dims::D3 { ny, nx, .. } = dims else { unreachable!() };
+    let Dims::D3 { ny, nx, .. } = dims else {
+        unreachable!()
+    };
     let [tz, ty, tx] = dims.tile();
     let slab = tz * ny * nx;
     let plane = ny * nx;
@@ -330,7 +353,9 @@ mod tests {
 
     #[test]
     fn round_trip_1d() {
-        let data = wavy(3000, |i| (i as f32 * 0.01).sin() * 5.0 + (i as f32 * 0.003).cos());
+        let data = wavy(3000, |i| {
+            (i as f32 * 0.01).sin() * 5.0 + (i as f32 * 0.003).cos()
+        });
         check_round_trip(&data, Dims::D1(3000), 1e-3);
     }
 
@@ -373,19 +398,36 @@ mod tests {
         }
         check_round_trip(&data, Dims::D1(4096), 1e-4);
         check_round_trip(&data, Dims::D2 { ny: 64, nx: 64 }, 1e-4);
-        check_round_trip(&data, Dims::D3 { nz: 16, ny: 16, nx: 16 }, 1e-4);
+        check_round_trip(
+            &data,
+            Dims::D3 {
+                nz: 16,
+                ny: 16,
+                nx: 16,
+            },
+            1e-4,
+        );
     }
 
     #[test]
     fn engines_agree_on_random_codes() {
         // Directly stress the identity: arbitrary fused buffers must give
         // identical results across all engines.
-        let dims = Dims::D3 { nz: 9, ny: 17, nx: 33 };
+        let dims = Dims::D3 {
+            nz: 9,
+            ny: 17,
+            nx: 33,
+        };
         let n = dims.len();
-        let q0: Vec<i64> = (0..n).map(|i| ((i as i64).wrapping_mul(2654435761) % 37) - 18).collect();
+        let q0: Vec<i64> = (0..n)
+            .map(|i| ((i as i64).wrapping_mul(2654435761) % 37) - 18)
+            .collect();
         let mut ref_out = q0.clone();
         reconstruct_in_place(&mut ref_out, dims, ReconstructEngine::CoarseSerial);
-        for engine in [ReconstructEngine::FinePartialSumNaive, ReconstructEngine::FinePartialSum] {
+        for engine in [
+            ReconstructEngine::FinePartialSumNaive,
+            ReconstructEngine::FinePartialSum,
+        ] {
             let mut out = q0.clone();
             reconstruct_in_place(&mut out, dims, engine);
             assert_eq!(out, ref_out, "{} diverged from coarse", engine.name());

@@ -85,11 +85,7 @@ fn predict(c: &TileCoeffs, ddz: i64, ddy: i64, ddx: i64) -> i64 {
 }
 
 /// Fits one tile and quantizes the coefficients.
-fn fit_tile(
-    dq: &[i64],
-    dims: Dims,
-    origin: [usize; 3],
-) -> TileCoeffs {
+fn fit_tile(dq: &[i64], dims: Dims, origin: [usize; 3]) -> TileCoeffs {
     let [_, ny, nx] = dims.extents();
     let [tz, ty, tx] = dims.tile();
     let [nz_e, ny_e, nx_e] = dims.extents();
@@ -129,7 +125,12 @@ fn fit_tile(
     let by = if syy > 0.0 { sy / syy } else { 0.0 };
     let bz = if szz > 0.0 { sz / szz } else { 0.0 };
     let q = |v: f64| (v * COEFF_SCALE as f64).round() as i64;
-    TileCoeffs { a: q(a), bx: q(bx), by: q(by), bz: q(bz) }
+    TileCoeffs {
+        a: q(a),
+        bx: q(bx),
+        by: q(by),
+        bz: q(bz),
+    }
 }
 
 /// Full regression-predicted construction: prequantize, fit each tile,
@@ -142,7 +143,10 @@ pub fn construct_regression<T: Scalar>(
     cap: u16,
 ) -> (QuantField, RegressionCoeffs) {
     assert_eq!(data.len(), dims.len(), "data length must match dims");
-    assert!(cap >= 4 && cap % 2 == 0, "cap must be even and ≥ 4");
+    assert!(
+        cap >= 4 && cap.is_multiple_of(2),
+        "cap must be even and ≥ 4"
+    );
     let radius = cap / 2;
     let r = radius as i64;
     let dq = crate::prequantize(data, eb);
@@ -180,21 +184,31 @@ pub fn construct_regression<T: Scalar>(
     }
     // Outliers were collected tile-raster order; re-sort by index so the
     // list matches the Lorenzo path's invariant.
-    let mut zipped: Vec<(u64, i64)> =
-        outliers.indices.iter().copied().zip(outliers.values.iter().copied()).collect();
+    let mut zipped: Vec<(u64, i64)> = outliers
+        .indices
+        .iter()
+        .copied()
+        .zip(outliers.values.iter().copied())
+        .collect();
     zipped.sort_unstable_by_key(|&(i, _)| i);
     outliers.indices = zipped.iter().map(|&(i, _)| i).collect();
     outliers.values = zipped.iter().map(|&(_, v)| v).collect();
 
-    (QuantField { codes, outliers, radius, dims, eb }, coeffs)
+    (
+        QuantField {
+            codes,
+            outliers,
+            radius,
+            dims,
+            eb,
+        },
+        coeffs,
+    )
 }
 
 /// Regression reconstruction: fully parallel, no inter-element
 /// dependency — every prediction comes from stored coefficients.
-pub fn reconstruct_regression_prequant(
-    qf: &QuantField,
-    coeffs: &RegressionCoeffs,
-) -> Vec<i64> {
+pub fn reconstruct_regression_prequant(qf: &QuantField, coeffs: &RegressionCoeffs) -> Vec<i64> {
     let dims = qf.dims;
     let [_, ny, nx] = dims.extents();
     let [tz, ty, tx] = dims.tile();
@@ -221,10 +235,7 @@ pub fn reconstruct_regression_prequant(
 }
 
 /// Full regression decompression to floats.
-pub fn reconstruct_regression<T: Scalar>(
-    qf: &QuantField,
-    coeffs: &RegressionCoeffs,
-) -> Vec<T> {
+pub fn reconstruct_regression<T: Scalar>(qf: &QuantField, coeffs: &RegressionCoeffs) -> Vec<T> {
     let dq = reconstruct_regression_prequant(qf, coeffs);
     crate::dequantize(&dq, qf.eb)
 }
@@ -249,11 +260,21 @@ mod tests {
     #[test]
     fn round_trip_all_ranks() {
         let f = |n: usize| -> Vec<f32> {
-            (0..n).map(|i| (i as f32 * 0.003).sin() * 9.0 + i as f32 * 1e-4).collect()
+            (0..n)
+                .map(|i| (i as f32 * 0.003).sin() * 9.0 + i as f32 * 1e-4)
+                .collect()
         };
         check_round_trip(&f(1000), Dims::D1(1000), 1e-3);
         check_round_trip(&f(48 * 80), Dims::D2 { ny: 48, nx: 80 }, 1e-3);
-        check_round_trip(&f(12 * 20 * 28), Dims::D3 { nz: 12, ny: 20, nx: 28 }, 1e-3);
+        check_round_trip(
+            &f(12 * 20 * 28),
+            Dims::D3 {
+                nz: 12,
+                ny: 20,
+                nx: 28,
+            },
+            1e-3,
+        );
     }
 
     #[test]

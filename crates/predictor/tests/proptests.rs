@@ -7,8 +7,7 @@
 //!    data-dependent reconstruction (the §IV-B equivalence proof).
 
 use cuszp_predictor::{
-    construct, prequantize, reconstruct, reconstruct_prequant, Dims, ReconstructEngine,
-    DEFAULT_CAP,
+    construct, prequantize, reconstruct, reconstruct_prequant, Dims, ReconstructEngine, DEFAULT_CAP,
 };
 use proptest::prelude::*;
 

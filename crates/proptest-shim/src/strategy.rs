@@ -1,0 +1,263 @@
+//! The [`Strategy`] trait and the combinators the workspace's property
+//! tests use: ranges, tuples, `prop_map`, `Vec`s, `select`, and boxed
+//! unions (for `prop_oneof!`).
+
+use crate::TestRng;
+use rand::{Rng, UniformSampled};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values (no shrinking in this shim).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies a pure function to every generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<T: UniformSampled> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: UniformSampled> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: Clone> Strategy for crate::Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain sample (`any::<T>()`).
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Output of `prop::collection::vec`.
+pub struct VecStrategy<S> {
+    pub(crate) elem: S,
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.min >= self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..=self.max)
+        };
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// Length specification for collection strategies. Mirrors proptest's
+/// `SizeRange` conversions: `a..b` (half-open), `a..=b`, or an exact
+/// `usize`.
+pub trait IntoSizeRange {
+    /// `(min, max)` with `max` inclusive.
+    fn into_size_range(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> (usize, usize) {
+        assert!(self.start < self.end, "collection size range is empty");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn into_size_range(self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+/// Output of `prop::sample::select`.
+pub struct Select<T: Clone>(pub(crate) Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Uniform union of same-valued strategies (`prop_oneof!`).
+pub struct OneOf<T>(Vec<BoxedStrategy<T>>);
+
+/// Builds a [`OneOf`] from boxed strategies.
+pub fn one_of<T>(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!options.is_empty(), "prop_oneof: empty strategy list");
+    OneOf(options)
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut r = rng();
+        let s = ((0usize..10), (5u32..=6)).prop_map(|(a, b)| a as u64 + b as u64);
+        for _ in 0..1000 {
+            let v = s.sample(&mut r);
+            assert!((5..=15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_bounds() {
+        let mut r = rng();
+        let s = crate::prop::collection::vec(0u8..4, 3..6);
+        for _ in 0..200 {
+            let v = s.sample(&mut r);
+            assert!((3..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+        let exact = crate::prop::collection::vec(0u8..4, 7usize..=7);
+        assert_eq!(exact.sample(&mut r).len(), 7);
+    }
+
+    #[test]
+    fn select_and_oneof_cover_options() {
+        let mut r = rng();
+        let s = crate::prop::sample::select(vec![10, 20, 30]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match s.sample(&mut r) {
+                10 => seen[0] = true,
+                20 => seen[1] = true,
+                30 => seen[2] = true,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+
+        let u = one_of(vec![(0u8..1).boxed(), (10u8..11).boxed()]);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..100 {
+            match u.sample(&mut r) {
+                0 => lo = true,
+                10 => hi = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(lo && hi);
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! workspace vendors the narrow slice of the rand 0.8 API it actually
+//! uses: a seedable generator ([`rngs::StdRng`]), the [`Rng`] extension
+//! trait with `gen_range`/`gen`, and [`SeedableRng::seed_from_u64`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction rand's `SmallRng` family uses. It is deterministic,
+//! portable, and plenty for sampling-based statistics and tests; it is
+//! NOT the ChaCha-based `StdRng` of the real crate, so streams differ
+//! from upstream (nothing in this workspace depends on the exact
+//! stream, only on determinism for a fixed seed).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable construction, mirroring `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly over its whole domain by `gen`.
+pub trait Standard: Sized {
+    /// Draws one uniform value from `rng`.
+    fn sample(rng: &mut impl RngCore) -> Self;
+}
+
+/// Minimal generator core: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSampled,
+        R: IntoBounds<T>,
+        Self: Sized,
+    {
+        let (lo, hi_inclusive) = range.into_bounds();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+
+    /// Uniform sample over a type's whole domain (`bool`, integers) or
+    /// `[0, 1)` for floats — matching rand's `Standard` distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Fisher-Yates shuffle.
+    fn shuffle<T>(&mut self, data: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..data.len()).rev() {
+            let j = self.gen_range(0..=i);
+            data.swap(i, j);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Range-bound extraction: converts `a..b` / `a..=b` into an inclusive
+/// `[lo, hi]` pair.
+pub trait IntoBounds<T> {
+    /// Returns `(lo, hi)` with `hi` inclusive.
+    fn into_bounds(self) -> (T, T);
+}
+
+impl<T: UniformSampled> IntoBounds<T> for Range<T> {
+    fn into_bounds(self) -> (T, T) {
+        assert!(self.start < self.end, "gen_range: empty range");
+        (self.start, T::predecessor(self.end))
+    }
+}
+
+impl<T: UniformSampled> IntoBounds<T> for RangeInclusive<T> {
+    fn into_bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        (lo, hi)
+    }
+}
+
+/// Types `gen_range` can sample uniformly from an inclusive interval.
+pub trait UniformSampled: Copy + PartialOrd {
+    /// Largest value strictly below `x` (floats return `x` itself; the
+    /// half-open float interval is handled by the sampler instead).
+    fn predecessor(x: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut (impl RngCore + ?Sized), lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl UniformSampled for $t {
+            fn predecessor(x: Self) -> Self {
+                x.checked_sub(1).expect("gen_range: empty range")
+            }
+            fn sample_inclusive(
+                rng: &mut (impl RngCore + ?Sized),
+                lo: Self,
+                hi: Self,
+            ) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $wide as $t;
+                }
+                // Rejection-free bounded sample via 128-bit multiply
+                // (Lemire's method without the bias-correction loop; the
+                // bias is < 2^-64, irrelevant for statistics/tests).
+                let m = (rng.next_u64() as u128) * ((span + 1) as u128);
+                lo.wrapping_add((m >> 64) as u64 as $wide as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformSampled for $t {
+            fn predecessor(x: Self) -> Self {
+                x // half-open handled below: unit sample is in [0, 1)
+            }
+            fn sample_inclusive(
+                rng: &mut (impl RngCore + ?Sized),
+                lo: Self,
+                hi: Self,
+            ) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = lo as f64 + unit * (hi as f64 - lo as f64);
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(rng: &mut impl RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        ((rng.next_u64() >> 40) as f32) / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        ((rng.next_u64() >> 11) as f64) / (1u64 << 53) as f64
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ seeded via SplitMix64. Deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Alias: the workspace treats small and standard generators alike.
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion (Vigna's recommended seeding).
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<u64> = (0..16).map(|_| c.gen_range(0..1u64 << 60)).collect();
+        let mut a = StdRng::seed_from_u64(7);
+        let other: Vec<u64> = (0..16).map(|_| a.gen_range(0..1u64 << 60)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1u32..=5);
+            assert!((1..=5).contains(&w));
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.5).contains(&f));
+            let i = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&i));
+        }
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bin count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+}

@@ -62,7 +62,11 @@ pub fn rle_encode(symbols: &[u16]) -> RleEncoded {
         values.push(v);
         counts.push(c);
     }
-    RleEncoded { values, counts, n: symbols.len() as u64 }
+    RleEncoded {
+        values,
+        counts,
+        n: symbols.len() as u64,
+    }
 }
 
 /// Expands an [`RleEncoded`] back to the symbol stream.
@@ -119,7 +123,12 @@ pub fn rle_vle_from_rle(rle: &RleEncoded, cap: u16) -> RleVleEncoded {
     let cbook = build_codebook_limited(&chist, 16);
     let counts = encode(&csyms, &cbook, cuszp_huffman::DEFAULT_ENCODE_CHUNK);
 
-    RleVleEncoded { values, counts, n: rle.n, n_runs: rle.values.len() as u64 }
+    RleVleEncoded {
+        values,
+        counts,
+        n: rle.n,
+        n_runs: rle.values.len() as u64,
+    }
 }
 
 /// Decodes an [`RleVleEncoded`] back to the original symbol stream.
@@ -128,7 +137,11 @@ pub fn rle_vle_decode(enc: &RleVleEncoded) -> Vec<u16> {
     let csyms = decode_fast(&enc.counts);
     let cbytes: Vec<u8> = csyms.iter().map(|&s| s as u8).collect();
     let counts = varint::decode_stream(&cbytes, enc.n_runs as usize);
-    let rle = RleEncoded { values, counts, n: enc.n };
+    let rle = RleEncoded {
+        values,
+        counts,
+        n: enc.n,
+    };
     rle_decode(&rle)
 }
 
@@ -140,7 +153,10 @@ mod tests {
     fn paper_example_round_trips() {
         let s: Vec<u16> = b"aabcccccaa".iter().map(|&b| b as u16).collect();
         let enc = rle_encode(&s);
-        assert_eq!(enc.values, vec![b'a' as u16, b'b' as u16, b'c' as u16, b'a' as u16]);
+        assert_eq!(
+            enc.values,
+            vec![b'a' as u16, b'b' as u16, b'c' as u16, b'a' as u16]
+        );
         assert_eq!(enc.counts, vec![2, 1, 5, 2]);
         assert_eq!(rle_decode(&enc), s);
         assert_eq!(enc.n_runs(), 4);

@@ -44,4 +44,104 @@ proptest! {
         let bytes = varint::encode_stream(&counts);
         prop_assert_eq!(bytes.len(), counts.len());
     }
+
+    #[test]
+    fn adversarial_run_structure_round_trips(
+        runs in prop::collection::vec((0u16..1024, prop::sample::select(vec![1u32, 2, 127, 128, 129, 16_384, 65_535])), 0..40)
+    ) {
+        // Runs whose lengths sit on varint byte-width boundaries, adjacent
+        // runs allowed to share a value (they must merge into one maximal
+        // run) — the full RLE→VLE→decode stack must be exact.
+        let mut syms = Vec::new();
+        for &(v, c) in &runs {
+            syms.extend(std::iter::repeat_n(v, c as usize));
+        }
+        let enc = rle_encode(&syms);
+        for w in enc.values.windows(2) {
+            prop_assert_ne!(w[0], w[1], "runs must be maximal");
+        }
+        prop_assert_eq!(rle_decode(&enc), syms.clone());
+        let vle = rle_vle_encode(&syms, 1024);
+        prop_assert_eq!(rle_vle_decode(&vle), syms);
+    }
+}
+
+// ---- Deterministic adversarial edges (satellite coverage) ----
+
+/// One maximal 300k-element run: a single `u32` count must carry it and
+/// both decoders must reproduce every element.
+#[test]
+fn max_length_single_run() {
+    let syms = vec![513u16; 300_000];
+    let enc = rle_encode(&syms);
+    assert_eq!(enc.values, vec![513]);
+    assert_eq!(enc.counts, vec![300_000]);
+    assert_eq!(rle_decode(&enc), syms);
+    let vle = rle_vle_encode(&syms, 1024);
+    assert_eq!(vle.n_runs, 1);
+    assert_eq!(rle_vle_decode(&vle), syms);
+    // A single run costs bytes, not kilobytes.
+    assert!(
+        vle.storage_bytes() < 200,
+        "one run must stay tiny: {}",
+        vle.storage_bytes()
+    );
+}
+
+/// Strictly alternating symbols: every run has length 1 (RLE's worst
+/// case) and the round trip must still be exact through the VLE pass.
+#[test]
+fn alternating_symbols_worst_case() {
+    let syms: Vec<u16> = (0..50_001)
+        .map(|i| if i % 2 == 0 { 511 } else { 513 })
+        .collect();
+    let enc = rle_encode(&syms);
+    assert_eq!(enc.n_runs(), syms.len());
+    assert!(enc.counts.iter().all(|&c| c == 1));
+    assert_eq!(rle_decode(&enc), syms);
+    let vle = rle_vle_encode(&syms, 1024);
+    assert_eq!(rle_vle_decode(&vle), syms);
+}
+
+/// Empty input flows through every layer (RLE, VLE, varint) untouched.
+#[test]
+fn empty_input_everywhere() {
+    let enc = rle_encode(&[]);
+    assert_eq!(enc.n_runs(), 0);
+    assert_eq!(enc.n, 0);
+    assert!(rle_decode(&enc).is_empty());
+    assert!(rle_vle_decode(&rle_vle_encode(&[], 1024)).is_empty());
+    assert!(varint::encode_stream(&[]).is_empty());
+    assert!(varint::decode_stream(&[], 0).is_empty());
+}
+
+/// LEB128 byte-width boundaries: 0, 127 | 128, 16383 | 16384, and
+/// `u32::MAX` must take exactly 1, 2, 3, and 5 bytes respectively.
+#[test]
+fn varint_boundary_widths() {
+    for (v, width) in [
+        (0u32, 1usize),
+        (1, 1),
+        (127, 1),
+        (128, 2),
+        (16_383, 2),
+        (16_384, 3),
+        (2_097_151, 3),
+        (2_097_152, 4),
+        (268_435_455, 4),
+        (268_435_456, 5),
+        (u32::MAX, 5),
+    ] {
+        let mut bytes = Vec::new();
+        varint::encode_one(v, &mut bytes);
+        assert_eq!(bytes.len(), width, "value {v} must take {width} bytes");
+        let (back, pos) = varint::decode_one(&bytes, 0);
+        assert_eq!(back, v);
+        assert_eq!(pos, width);
+    }
+    // The same values concatenated as one stream.
+    let vals = vec![0, 127, 128, 16_383, 16_384, u32::MAX];
+    let bytes = varint::encode_stream(&vals);
+    assert_eq!(bytes.len(), 1 + 1 + 2 + 2 + 3 + 5);
+    assert_eq!(varint::decode_stream(&bytes, vals.len()), vals);
 }

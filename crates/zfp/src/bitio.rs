@@ -21,8 +21,8 @@ impl BitWriter {
         if n == 0 {
             return;
         }
-        self.acc |= (v & ((1u64 << n) - 1).max(u64::MAX * u64::from(n == 64)))
-            << (64 - n - self.filled);
+        self.acc |=
+            (v & ((1u64 << n) - 1).max(u64::MAX * u64::from(n == 64))) << (64 - n - self.filled);
         self.filled += n;
         while self.filled >= 8 {
             self.bytes.push((self.acc >> 56) as u8);

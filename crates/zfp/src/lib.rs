@@ -36,7 +36,9 @@ pub struct ZfpConfig {
 
 impl Default for ZfpConfig {
     fn default() -> Self {
-        Self { rate_bits_per_value: 8 }
+        Self {
+            rate_bits_per_value: 8,
+        }
     }
 }
 
@@ -45,7 +47,10 @@ impl Default for ZfpConfig {
 pub fn compress(data: &[f32], extents: [usize; 3], config: ZfpConfig) -> Vec<u8> {
     let [nz, ny, nx] = extents;
     assert_eq!(data.len(), nz * ny * nx, "extent mismatch");
-    assert!((1..=32).contains(&config.rate_bits_per_value), "rate must be 1..=32");
+    assert!(
+        (1..=32).contains(&config.rate_bits_per_value),
+        "rate must be 1..=32"
+    );
     let rank = if nz > 1 {
         3
     } else if ny > 1 {
@@ -157,7 +162,13 @@ fn encode_block(block: &[f32], rank: usize, budget: usize, w: &mut BitWriter) {
     // Shared exponent.
     let emax = block
         .iter()
-        .map(|x| if *x == 0.0 { -127 } else { x.abs().log2().floor() as i32 })
+        .map(|x| {
+            if *x == 0.0 {
+                -127
+            } else {
+                x.abs().log2().floor() as i32
+            }
+        })
         .max()
         .unwrap_or(-127)
         .clamp(-127, 127);
@@ -173,7 +184,10 @@ fn encode_block(block: &[f32], rank: usize, budget: usize, w: &mut BitWriter) {
     // plane" marker skips the all-zero prefix planes — the cheap analog
     // of ZFP's group testing, without which a fixed budget is squandered
     // on empty planes.
-    let neg: Vec<u64> = ints.iter().map(|&x| ((x as u64).wrapping_add(NBMASK)) ^ NBMASK).collect();
+    let neg: Vec<u64> = ints
+        .iter()
+        .map(|&x| ((x as u64).wrapping_add(NBMASK)) ^ NBMASK)
+        .collect();
     let top = neg
         .iter()
         .map(|&u| 63 - (u | 1).leading_zeros() as usize)
@@ -235,18 +249,30 @@ mod tests {
     use super::*;
 
     fn smooth_field(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.01).sin() * 3.0 + 1.0).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.01).sin() * 3.0 + 1.0)
+            .collect()
     }
 
     fn rmse(a: &[f32], b: &[f32]) -> f64 {
-        let s: f64 = a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum();
+        let s: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| ((x - y) as f64).powi(2))
+            .sum();
         (s / a.len() as f64).sqrt()
     }
 
     #[test]
     fn round_trip_structure_1d() {
         let data = smooth_field(1000);
-        let c = compress(&data, [1, 1, 1000], ZfpConfig { rate_bits_per_value: 16 });
+        let c = compress(
+            &data,
+            [1, 1, 1000],
+            ZfpConfig {
+                rate_bits_per_value: 16,
+            },
+        );
         let (d, ext) = decompress(&c).unwrap();
         assert_eq!(ext, [1, 1, 1000]);
         assert_eq!(d.len(), 1000);
@@ -258,7 +284,13 @@ mod tests {
         let data = smooth_field(4096);
         let mut last = f64::INFINITY;
         for rate in [4u32, 8, 16, 24] {
-            let c = compress(&data, [1, 1, 4096], ZfpConfig { rate_bits_per_value: rate });
+            let c = compress(
+                &data,
+                [1, 1, 4096],
+                ZfpConfig {
+                    rate_bits_per_value: rate,
+                },
+            );
             let (d, _) = decompress(&c).unwrap();
             let e = rmse(&data, &d);
             assert!(e <= last * 1.05, "rate {rate}: rmse {e} vs prior {last}");
@@ -271,7 +303,13 @@ mod tests {
     fn fixed_rate_is_honored() {
         let data = smooth_field(4096);
         for rate in [4u32, 8, 16] {
-            let c = compress(&data, [1, 1, 4096], ZfpConfig { rate_bits_per_value: rate });
+            let c = compress(
+                &data,
+                [1, 1, 4096],
+                ZfpConfig {
+                    rate_bits_per_value: rate,
+                },
+            );
             // Per block: 8-bit exponent + 6-bit top-plane marker.
             let expected_bits = 4096 * rate as usize + (4096 / 4) * 14;
             let total_bits = (c.len() - 4) * 8;
@@ -305,7 +343,13 @@ mod tests {
                 (k * 0.1).sin() + (j * 0.07).cos() * (i * 0.06).sin()
             })
             .collect();
-        let c = compress(&data3, [9, 10, 11], ZfpConfig { rate_bits_per_value: 12 });
+        let c = compress(
+            &data3,
+            [9, 10, 11],
+            ZfpConfig {
+                rate_bits_per_value: 12,
+            },
+        );
         let (d, _) = decompress(&c).unwrap();
         assert!(rmse(&data3, &d) < 0.05, "3d rmse {}", rmse(&data3, &d));
     }
@@ -313,7 +357,13 @@ mod tests {
     #[test]
     fn zero_block_is_exact() {
         let data = vec![0.0f32; 256];
-        let c = compress(&data, [1, 1, 256], ZfpConfig { rate_bits_per_value: 4 });
+        let c = compress(
+            &data,
+            [1, 1, 256],
+            ZfpConfig {
+                rate_bits_per_value: 4,
+            },
+        );
         let (d, _) = decompress(&c).unwrap();
         assert_eq!(d, data);
     }
@@ -332,7 +382,9 @@ mod tests {
         let rough: Vec<f32> = (0..4096)
             .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as f32 / 1e5)
             .collect();
-        let cfg = ZfpConfig { rate_bits_per_value: 8 };
+        let cfg = ZfpConfig {
+            rate_bits_per_value: 8,
+        };
         let (ds, _) = decompress(&compress(&smooth, [1, 1, 4096], cfg)).unwrap();
         let (dr, _) = decompress(&compress(&rough, [1, 1, 4096], cfg)).unwrap();
         let rel_s = rmse(&smooth, &ds) / 4.0; // range ≈ 8

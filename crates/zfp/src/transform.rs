@@ -154,7 +154,10 @@ mod tests {
         v = arr.to_vec();
         // First coefficient carries the mean; the rest must be small.
         assert!(v[0].abs() > 500);
-        assert!(v[1].abs() < 50 && v[2].abs() < 50 && v[3].abs() < 50, "{v:?}");
+        assert!(
+            v[1].abs() < 50 && v[2].abs() < 50 && v[3].abs() < 50,
+            "{v:?}"
+        );
     }
 
     #[test]

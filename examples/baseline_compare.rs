@@ -30,16 +30,21 @@ fn main() {
             let n_bytes = field.bytes();
 
             // cuSZ+: error-bounded, variable ratio.
-            let (archive, stats) =
-                compressor.compress_with_stats(&field.data, field.dims).unwrap();
+            let (archive, stats) = compressor
+                .compress_with_stats(&field.data, field.dims)
+                .unwrap();
             let (recon, _) = cuszp::decompress(&archive.to_bytes()).unwrap();
             let q_sz = ErrorStats::compute(&field.data, &recon);
 
             // zfp-like: fixed 8 bits/value (CR pinned at 4), variable error.
             let [nz, ny, nx] = field.dims.extents();
-            let zc = zfp_compress(&field.data, [nz, ny, nx], ZfpConfig {
-                rate_bits_per_value: 8,
-            });
+            let zc = zfp_compress(
+                &field.data,
+                [nz, ny, nx],
+                ZfpConfig {
+                    rate_bits_per_value: 8,
+                },
+            );
             let (zrecon, _) = zfp_decompress(&zc).unwrap();
             let q_zfp = ErrorStats::compute(&field.data, &zrecon);
 

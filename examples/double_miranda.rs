@@ -88,7 +88,10 @@ fn main() {
         .zip(&recon)
         .map(|(o, r)| (o - r).abs())
         .fold(0.0f64, f64::max);
-    assert!(max_err <= 1e-8 * 1.001, "sub-ULP bound must hold: {max_err:e}");
+    assert!(
+        max_err <= 1e-8 * 1.001,
+        "sub-ULP bound must hold: {max_err:e}"
+    );
     // And the signal itself survives: correlation of the de-meaned wave.
     let wave: Vec<f64> = signal.iter().map(|x| x - 1.0).collect();
     let wave_r: Vec<f64> = recon.iter().map(|x| x - 1.0).collect();
@@ -120,7 +123,10 @@ fn main() {
         .map(|(_, m)| *m)
         .unwrap();
     assert!(
-        report.per_axis.iter().all(|&(a, m)| a == Axis::Y || m <= y_mean),
+        report
+            .per_axis
+            .iter()
+            .all(|&(a, m)| a == Axis::Y || m <= y_mean),
         "the interface axis (y) must be the rough one"
     );
     println!(

@@ -18,9 +18,9 @@ use cuszp::{Compressor, Config, ErrorBound};
 fn main() {
     // Analyze one field per dataset class.
     let specs = [
-        (DatasetKind::Hacc, 0, 268_000_000usize),      // vx at full scale
-        (DatasetKind::CesmAtm, 3, 6_480_000),           // FSDSC full scale
-        (DatasetKind::Nyx, 0, 134_217_728),             // baryon full scale
+        (DatasetKind::Hacc, 0, 268_000_000usize), // vx at full scale
+        (DatasetKind::CesmAtm, 3, 6_480_000),     // FSDSC full scale
+        (DatasetKind::Nyx, 0, 134_217_728),       // baryon full scale
     ];
     let compressor = Compressor::new(Config {
         error_bound: ErrorBound::Relative(1e-4),
@@ -32,7 +32,9 @@ fn main() {
         // Measure outlier fraction on a tiny instance; it is a ratio, so
         // it transfers to the full-size estimate.
         let field = generate(&spec, Scale::Tiny);
-        let (_, stats) = compressor.compress_with_stats(&field.data, field.dims).unwrap();
+        let (_, stats) = compressor
+            .compress_with_stats(&field.data, field.dims)
+            .unwrap();
         let est = KernelEstimate {
             n_elems: full_elems,
             rank: field.dims.rank(),
@@ -46,7 +48,10 @@ fn main() {
             full_elems,
             est.outlier_fraction * 100.0
         );
-        println!("{:<22} {:>10} {:>10} {:>8}", "kernel", "V100 GB/s", "A100 GB/s", "scale");
+        println!(
+            "{:<22} {:>10} {:>10} {:>8}",
+            "kernel", "V100 GB/s", "A100 GB/s", "scale"
+        );
         let kernels = [
             ("Lorenzo construct", KernelClass::LorenzoConstruct),
             ("gather outlier", KernelClass::GatherOutlier),
@@ -61,11 +66,24 @@ fn main() {
             let a = modeled_throughput(k, &A100, &est);
             println!("{name:<22} {v:>10.1} {a:>10.1} {:>7.2}x", a / v);
         }
-        let (vc, ac) = (modeled_compress_overall(&V100, &est), modeled_compress_overall(&A100, &est));
-        let (vd, ad) =
-            (modeled_decompress_overall(&V100, &est), modeled_decompress_overall(&A100, &est));
-        println!("{:<22} {vc:>10.1} {ac:>10.1} {:>7.2}x", "overall compress", ac / vc);
-        println!("{:<22} {vd:>10.1} {ad:>10.1} {:>7.2}x", "overall decompress", ad / vd);
+        let (vc, ac) = (
+            modeled_compress_overall(&V100, &est),
+            modeled_compress_overall(&A100, &est),
+        );
+        let (vd, ad) = (
+            modeled_decompress_overall(&V100, &est),
+            modeled_decompress_overall(&A100, &est),
+        );
+        println!(
+            "{:<22} {vc:>10.1} {ac:>10.1} {:>7.2}x",
+            "overall compress",
+            ac / vc
+        );
+        println!(
+            "{:<22} {vd:>10.1} {ad:>10.1} {:>7.2}x",
+            "overall decompress",
+            ad / vd
+        );
     }
 
     println!(

@@ -34,8 +34,11 @@ fn main() {
     for step in 0..n_steps {
         // Advance the "simulation": smooth drift plus slight growth.
         let drift = step as f32 * 0.01;
-        let snapshot: Vec<f32> =
-            base.data.iter().map(|&x| x * (1.0 + drift) + drift).collect();
+        let snapshot: Vec<f32> = base
+            .data
+            .iter()
+            .map(|&x| x * (1.0 + drift) + drift)
+            .collect();
 
         let t0 = Instant::now();
         let (archive, stats) = compressor

@@ -26,7 +26,10 @@ fn main() {
     );
 
     // 2. Configure: value-range-relative 1e-3 bound, adaptive workflow.
-    let config = Config { error_bound: ErrorBound::Relative(1e-3), ..Config::default() };
+    let config = Config {
+        error_bound: ErrorBound::Relative(1e-3),
+        ..Config::default()
+    };
     let compressor = Compressor::new(config);
 
     // 3. Compress.

@@ -15,10 +15,11 @@
 
 use cuszp::analysis::analyze;
 use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
-use cuszp::metrics::verify_error_bound;
+use cuszp::metrics::{verify_error_bound, verify_error_bound_f64};
+use cuszp::parallel::WorkerPool;
 use cuszp::{
-    Archive, Compressor, Config, Dims, Dtype, ErrorBound, Predictor, WorkflowChoice,
-    WorkflowMode,
+    Archive, ChunkedArchive, Compressor, Config, Dims, Dtype, ErrorBound, Predictor,
+    WorkflowChoice, WorkflowMode,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -65,7 +66,8 @@ cuszp — error-bounded lossy compression for scientific data (cuSZ+ reproductio
 USAGE:
   cuszp compress   -i <raw> -o <archive> -d <dims> [-e <bound>] [-m abs|rel]
                    [-w auto|huffman|rle|rle+vle] [-p lorenzo|interp] [--double]
-  cuszp decompress -i <archive> -o <raw> [--verify <original raw>]
+                   [--threads <n>]
+  cuszp decompress -i <archive> -o <raw> [--verify <original raw>] [--threads <n>]
   cuszp info       -i <archive>
   cuszp analyze    -i <raw> -d <dims> [-e <bound>] [-m abs|rel] [--double]
   cuszp gen        -o <raw> --dataset <name> --field <name> [--scale tiny|small]
@@ -77,6 +79,8 @@ OPTIONS:
   -w  workflow (default auto = the compressibility-aware selector)
   -p  predictor: 'lorenzo' (default) or 'interp' (multi-level cubic)
   --double   treat the raw file as f64
+  --threads  chunk-parallel engine with an n-worker pool; compress writes the
+             multi-chunk (v2) archive, whose bytes are identical for any n
   --dataset  one of: hacc cesm hurricane nyx rtm miranda qmcpack";
 
 struct Opts(HashMap<String, String>);
@@ -87,7 +91,8 @@ impl Opts {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option -{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option -{key}"))
     }
 
     fn has_flag(&self, key: &str) -> bool {
@@ -108,7 +113,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             map.insert(key, String::new());
             continue;
         }
-        let value = it.next().ok_or_else(|| format!("option -{key} needs a value"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("option -{key} needs a value"))?;
         map.insert(key, value.clone());
     }
     Ok(Opts(map))
@@ -120,7 +127,11 @@ fn parse_dims(spec: &str) -> Result<Dims, String> {
     match parts.as_slice() {
         [n] => Ok(Dims::D1(*n)),
         [ny, nx] => Ok(Dims::D2 { ny: *ny, nx: *nx }),
-        [nz, ny, nx] => Ok(Dims::D3 { nz: *nz, ny: *ny, nx: *nx }),
+        [nz, ny, nx] => Ok(Dims::D3 {
+            nz: *nz,
+            ny: *ny,
+            nx: *nx,
+        }),
         _ => Err(format!("dims must have 1-3 axes, got {}", parts.len())),
     }
 }
@@ -149,7 +160,12 @@ fn parse_config(opts: &Opts) -> Result<Config, String> {
         "interp" | "interpolation" => Predictor::Interpolation,
         other => return Err(format!("bad predictor '{other}'")),
     };
-    Ok(Config { error_bound, workflow, predictor, ..Config::default() })
+    Ok(Config {
+        error_bound,
+        workflow,
+        predictor,
+        ..Config::default()
+    })
 }
 
 fn read_raw_f32(path: &str) -> Result<Vec<f32>, String> {
@@ -176,32 +192,75 @@ fn write_bytes(path: &str, bytes: &[u8]) -> Result<(), String> {
         .map_err(|e| format!("{path}: {e}"))
 }
 
+/// Parses `--threads` into a pool width, if present.
+fn parse_threads(opts: &Opts) -> Result<Option<usize>, String> {
+    opts.get("threads")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|e| format!("bad --threads '{s}': {e}"))
+        })
+        .transpose()
+}
+
 fn cmd_compress(opts: &Opts) -> Result<(), String> {
     let input = opts.require("i")?;
     let output = opts.require("o")?;
     let dims = parse_dims(opts.require("d")?)?;
     let config = parse_config(opts)?;
+    let threads = parse_threads(opts)?;
     let compressor = Compressor::new(config);
 
     let t0 = std::time::Instant::now();
-    let (bytes, stats) = if opts.has_flag("double") {
+    let (bytes, original_bytes) = if let Some(n) = threads {
+        // Chunk-parallel engine: multi-chunk (v2) archive, byte-identical
+        // for any worker count.
+        let pool = WorkerPool::new(n);
+        let target = cuszp::parallel::DEFAULT_CHUNK_ELEMS;
+        if opts.has_flag("double") {
+            let data = read_raw_f64(input)?;
+            let arc = compressor
+                .compress_chunked_f64_with(&data, dims, target, &pool)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "chunked: {} chunks, {} workers",
+                arc.n_chunks(),
+                pool.workers()
+            );
+            (arc.to_bytes(), data.len() * 8)
+        } else {
+            let data = read_raw_f32(input)?;
+            let arc = compressor
+                .compress_chunked_with(&data, dims, target, &pool)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "chunked: {} chunks, {} workers",
+                arc.n_chunks(),
+                pool.workers()
+            );
+            (arc.to_bytes(), data.len() * 4)
+        }
+    } else if opts.has_flag("double") {
         let data = read_raw_f64(input)?;
-        let (archive, stats) =
-            compressor.compress_f64_with_stats(&data, dims).map_err(|e| e.to_string())?;
-        (archive.to_bytes(), stats)
+        let (archive, stats) = compressor
+            .compress_f64_with_stats(&data, dims)
+            .map_err(|e| e.to_string())?;
+        eprintln!("{stats}");
+        (archive.to_bytes(), stats.original_bytes)
     } else {
         let data = read_raw_f32(input)?;
-        let (archive, stats) =
-            compressor.compress_with_stats(&data, dims).map_err(|e| e.to_string())?;
-        (archive.to_bytes(), stats)
+        let (archive, stats) = compressor
+            .compress_with_stats(&data, dims)
+            .map_err(|e| e.to_string())?;
+        eprintln!("{stats}");
+        (archive.to_bytes(), stats.original_bytes)
     };
     write_bytes(output, &bytes)?;
-    eprintln!("{stats}");
     eprintln!(
-        "wrote {} bytes to {output} in {:.2}s ({:.1} MB/s)",
+        "wrote {} bytes to {output} in {:.2}s ({:.1} MB/s, ratio {:.2}x)",
         bytes.len(),
         t0.elapsed().as_secs_f64(),
-        stats.original_bytes as f64 / 1e6 / t0.elapsed().as_secs_f64()
+        original_bytes as f64 / 1e6 / t0.elapsed().as_secs_f64(),
+        original_bytes as f64 / bytes.len().max(1) as f64
     );
     Ok(())
 }
@@ -210,21 +269,41 @@ fn cmd_decompress(opts: &Opts) -> Result<(), String> {
     let input = opts.require("i")?;
     let output = opts.require("o")?;
     let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    let archive = Archive::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    if let Some(n) = parse_threads(opts)? {
+        // Pool width for chunk fan-out (v1 archives reconstruct whole).
+        cuszp::parallel::set_workers(n);
+    }
+    let chunked = cuszp::is_chunked_archive(&bytes)
+        .then(|| ChunkedArchive::from_bytes(&bytes))
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let (dtype, eb) = match &chunked {
+        Some(arc) => (arc.dtype, arc.eb),
+        None => {
+            let archive = Archive::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            (archive.dtype, archive.eb)
+        }
+    };
     let t0 = std::time::Instant::now();
-    let out_bytes: Vec<u8> = match archive.dtype {
+    let out_bytes: Vec<u8> = match dtype {
         Dtype::F32 => {
             let (data, _) = cuszp::decompress(&bytes).map_err(|e| e.to_string())?;
             if let Some(orig_path) = opts.get("verify") {
                 let orig = read_raw_f32(orig_path)?;
-                verify_error_bound(&orig, &data, archive.eb)
-                    .map_err(|(i, e)| format!("bound violated at {i}: {e} > {}", archive.eb))?;
-                eprintln!("verified against {orig_path}: max|err| <= {}", archive.eb);
+                verify_error_bound(&orig, &data, eb)
+                    .map_err(|(i, e)| format!("bound violated at {i}: {e} > {eb}"))?;
+                eprintln!("verified against {orig_path}: max|err| <= {eb}");
             }
             data.iter().flat_map(|x| x.to_le_bytes()).collect()
         }
         Dtype::F64 => {
             let (data, _) = cuszp::decompress_f64(&bytes).map_err(|e| e.to_string())?;
+            if let Some(orig_path) = opts.get("verify") {
+                let orig = read_raw_f64(orig_path)?;
+                verify_error_bound_f64(&orig, &data, eb)
+                    .map_err(|(i, e)| format!("bound violated at {i}: {e} > {eb}"))?;
+                eprintln!("verified against {orig_path}: max|err| <= {eb}");
+            }
             data.iter().flat_map(|x| x.to_le_bytes()).collect()
         }
     };
@@ -240,6 +319,33 @@ fn cmd_decompress(opts: &Opts) -> Result<(), String> {
 fn cmd_info(opts: &Opts) -> Result<(), String> {
     let input = opts.require("i")?;
     let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    if cuszp::is_chunked_archive(&bytes) {
+        let arc = ChunkedArchive::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        let n = arc.dims.len();
+        println!("archive: {input} (chunked v2)");
+        println!("  dtype:        {}", arc.dtype.name());
+        println!("  dims:         {:?} ({n} elements)", arc.dims);
+        println!("  error bound:  {:.6e} (absolute, global)", arc.eb);
+        println!(
+            "  chunks:       {} (target {} elems)",
+            arc.n_chunks(),
+            arc.chunk_target
+        );
+        for (i, ch) in arc.chunks.iter().enumerate() {
+            println!(
+                "    [{i}] {:?}  workflow {}  {} bytes",
+                ch.dims,
+                ch.payload.choice().name(),
+                ch.serialized_bytes()
+            );
+        }
+        println!("  stored size:  {} bytes", bytes.len());
+        println!(
+            "  ratio:        {:.2}x",
+            (n * arc.dtype.bytes()) as f64 / bytes.len().max(1) as f64
+        );
+        return Ok(());
+    }
     let archive = Archive::from_bytes(&bytes).map_err(|e| e.to_string())?;
     let n = archive.dims.len();
     println!("archive: {input}");
@@ -249,8 +355,11 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
     println!("  quant cap:    {}", archive.cap);
     println!("  predictor:    {}", archive.predictor.name());
     println!("  workflow:     {}", archive.payload.choice().name());
-    println!("  outliers:     {} ({:.3}%)", archive.outliers.len(),
-        100.0 * archive.outliers.len() as f64 / n.max(1) as f64);
+    println!(
+        "  outliers:     {} ({:.3}%)",
+        archive.outliers.len(),
+        100.0 * archive.outliers.len() as f64 / n.max(1) as f64
+    );
     println!("  stored size:  {} bytes", bytes.len());
     println!(
         "  ratio:        {:.2}x",
@@ -265,7 +374,11 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     let config = parse_config(opts)?;
     let data = read_raw_f32(input)?;
     if data.len() != dims.len() {
-        return Err(format!("{input} has {} elements, dims say {}", data.len(), dims.len()));
+        return Err(format!(
+            "{input} has {} elements, dims say {}",
+            data.len(),
+            dims.len()
+        ));
     }
     let eb = config.error_bound.absolute(&data);
     let qf = cuszp::predictor::construct(&data, dims, eb, cuszp::predictor::DEFAULT_CAP);
@@ -274,7 +387,10 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     println!("  outliers:      {:.3}%", qf.outlier_fraction() * 100.0);
     println!("  p1:            {:.4}", report.p1);
     println!("  entropy:       {:.3} bits/symbol", report.entropy);
-    println!("  <b> bracket:   [{:.3}, {:.3}] bits", report.b_lower, report.b_upper);
+    println!(
+        "  <b> bracket:   [{:.3}, {:.3}] bits",
+        report.b_lower, report.b_upper
+    );
     println!("  roughness(1):  {:.4}", report.roughness);
     println!("  est CR (VLE):  {:.1}x", report.est_cr_huffman);
     println!("  est CR (RLE):  {:.1}x", report.est_cr_rle);
@@ -304,9 +420,12 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
         .into_iter()
         .find(|s| s.name.eq_ignore_ascii_case(field_name))
         .ok_or_else(|| {
-            let names: Vec<&str> =
-                dataset_fields(dataset).iter().map(|s| s.name).collect();
-            format!("no field '{field_name}' in {}; available: {}", dataset.name(), names.join(", "))
+            let names: Vec<&str> = dataset_fields(dataset).iter().map(|s| s.name).collect();
+            format!(
+                "no field '{field_name}' in {}; available: {}",
+                dataset.name(),
+                names.join(", ")
+            )
         })?;
     let field = generate(&spec, scale);
     cuszp::datagen::write_f32_raw(Path::new(output), &field.data)

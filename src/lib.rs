@@ -58,7 +58,7 @@ pub use cuszp_zfp as zfp;
 // The everyday API, flattened.
 pub use cuszp_core::{
     decompress, decompress_archive, decompress_f64, decompress_f64_with_engine,
-    decompress_with_engine, Archive, CompressionStats, Compressor, Config, CuszpError, Dims,
-    Snapshot, SnapshotEntry, StreamArchive,
-    Dtype, ErrorBound, Predictor, ReconstructEngine, WorkflowChoice, WorkflowMode,
+    decompress_with_engine, is_chunked_archive, Archive, ChunkedArchive, CompressionStats,
+    Compressor, Config, CuszpError, Dims, Dtype, ErrorBound, Predictor, ReconstructEngine,
+    Snapshot, SnapshotEntry, StreamArchive, WorkflowChoice, WorkflowMode,
 };

@@ -2,8 +2,8 @@
 //! path (Miranda is natively double; the paper converts it to float only
 //! because original cuSZ lacked double support).
 
-use cuszp::{Compressor, Config, Dims, Dtype, ErrorBound, ReconstructEngine, WorkflowMode};
 use cuszp::analysis::WorkflowChoice;
+use cuszp::{Compressor, Config, Dims, Dtype, ErrorBound, ReconstructEngine, WorkflowMode};
 
 fn field_f64(n: usize) -> Vec<f64> {
     (0..n)
@@ -17,7 +17,14 @@ fn f64_round_trip_all_ranks_and_engines() {
     let cases = [
         (Dims::D1(6000), &data[..6000]),
         (Dims::D2 { ny: 60, nx: 100 }, &data[..6000]),
-        (Dims::D3 { nz: 10, ny: 20, nx: 30 }, &data[..6000]),
+        (
+            Dims::D3 {
+                nz: 10,
+                ny: 20,
+                nx: 30,
+            },
+            &data[..6000],
+        ),
     ];
     for (dims, slice) in cases {
         let config = Config {
@@ -46,8 +53,13 @@ fn f64_bound_below_f32_precision_is_honored() {
     // A bound of 1e-9 on O(1) values is unreachable in f32 (ULP ≈ 1e-7)
     // but must hold exactly in the f64 pipeline.
     let data = field_f64(4096);
-    let config = Config { error_bound: ErrorBound::Absolute(1e-9), ..Config::default() };
-    let archive = Compressor::new(config).compress_f64(&data, Dims::D1(4096)).unwrap();
+    let config = Config {
+        error_bound: ErrorBound::Absolute(1e-9),
+        ..Config::default()
+    };
+    let archive = Compressor::new(config)
+        .compress_f64(&data, Dims::D1(4096))
+        .unwrap();
     let (recon, _) = cuszp::decompress_f64(&archive.to_bytes()).unwrap();
     for (o, r) in data.iter().zip(&recon) {
         assert!((o - r).abs() <= 1e-9 * (1.0 + 1e-9), "{o} vs {r}");
@@ -78,18 +90,26 @@ fn f64_smooth_data_exceeds_the_32x_float_cap() {
 #[test]
 fn dtype_mismatch_is_a_clean_error() {
     let data = field_f64(1000);
-    let archive = Compressor::default().compress_f64(&data, Dims::D1(1000)).unwrap();
+    let archive = Compressor::default()
+        .compress_f64(&data, Dims::D1(1000))
+        .unwrap();
     let bytes = archive.to_bytes();
     // f32 entry point on an f64 archive:
     let err = cuszp::decompress(&bytes).unwrap_err();
-    assert!(matches!(err, cuszp::CuszpError::DtypeMismatch { .. }), "{err}");
+    assert!(
+        matches!(err, cuszp::CuszpError::DtypeMismatch { .. }),
+        "{err}"
+    );
     // And the reverse:
     let f32_archive = Compressor::default()
         .compress(&[1.0f32; 100], Dims::D1(100))
         .unwrap()
         .to_bytes();
     let err = cuszp::decompress_f64(&f32_archive).unwrap_err();
-    assert!(matches!(err, cuszp::CuszpError::DtypeMismatch { .. }), "{err}");
+    assert!(
+        matches!(err, cuszp::CuszpError::DtypeMismatch { .. }),
+        "{err}"
+    );
 }
 
 #[test]

@@ -15,10 +15,24 @@ fn sample_archive(wf: WorkflowChoice) -> Vec<u8> {
 
 #[test]
 fn truncation_at_every_boundary_errors_cleanly() {
-    for wf in [WorkflowChoice::Huffman, WorkflowChoice::Rle, WorkflowChoice::RleVle] {
+    for wf in [
+        WorkflowChoice::Huffman,
+        WorkflowChoice::Rle,
+        WorkflowChoice::RleVle,
+    ] {
         let bytes = sample_archive(wf);
         // Cut at a spread of positions including header, outliers, codes.
-        for cut in [0usize, 1, 4, 7, 30, 60, 80, bytes.len() / 2, bytes.len() - 1] {
+        for cut in [
+            0usize,
+            1,
+            4,
+            7,
+            30,
+            60,
+            80,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
             let r = cuszp::decompress(&bytes[..cut.min(bytes.len())]);
             assert!(r.is_err(), "truncated at {cut} must fail ({})", wf.name());
         }
@@ -27,7 +41,11 @@ fn truncation_at_every_boundary_errors_cleanly() {
 
 #[test]
 fn single_bit_flips_are_detected() {
-    for wf in [WorkflowChoice::Huffman, WorkflowChoice::Rle, WorkflowChoice::RleVle] {
+    for wf in [
+        WorkflowChoice::Huffman,
+        WorkflowChoice::Rle,
+        WorkflowChoice::RleVle,
+    ] {
         let bytes = sample_archive(wf);
         // Flip a bit every ~97 bytes; every flip must be either caught
         // (checksum / structural error) — silent corruption of payload

@@ -15,7 +15,11 @@ use cuszp::{Compressor, Config, ErrorBound, WorkflowMode};
 /// on V100 for 1-D reaches the paper's order (18.64×).
 #[test]
 fn claim_headline_reconstruction_speedup() {
-    let est = KernelEstimate { n_elems: 280_953_867, rank: 1, outlier_fraction: 0.1 };
+    let est = KernelEstimate {
+        n_elems: 280_953_867,
+        rank: 1,
+        outlier_fraction: 0.1,
+    };
     let fine = modeled_throughput(KernelClass::LorenzoReconstruct, &V100, &est);
     let coarse = modeled_throughput(KernelClass::LorenzoReconstructCoarse, &V100, &est);
     assert!(
@@ -30,7 +34,11 @@ fn claim_headline_reconstruction_speedup() {
 /// Huffman stage does.
 #[test]
 fn claim_bandwidth_over_flops() {
-    let est = KernelEstimate { n_elems: 134_217_728, rank: 3, outlier_fraction: 0.01 };
+    let est = KernelEstimate {
+        n_elems: 134_217_728,
+        rank: 3,
+        outlier_fraction: 0.01,
+    };
     let scale = |k| modeled_throughput(k, &A100, &est) / modeled_throughput(k, &V100, &est);
     let mem_kernels = [
         KernelClass::LorenzoConstruct,
@@ -39,8 +47,14 @@ fn claim_bandwidth_over_flops() {
         KernelClass::LorenzoReconstruct,
     ];
     let huffman_kernels = [KernelClass::HuffmanEncode, KernelClass::HuffmanDecode];
-    let min_mem = mem_kernels.iter().map(|&k| scale(k)).fold(f64::INFINITY, f64::min);
-    let max_huff = huffman_kernels.iter().map(|&k| scale(k)).fold(0.0, f64::max);
+    let min_mem = mem_kernels
+        .iter()
+        .map(|&k| scale(k))
+        .fold(f64::INFINITY, f64::min);
+    let max_huff = huffman_kernels
+        .iter()
+        .map(|&k| scale(k))
+        .fold(0.0, f64::max);
     assert!(
         min_mem > max_huff,
         "memory-bound kernels ({min_mem:.2}x) must outscale Huffman ({max_huff:.2}x)"
@@ -155,9 +169,9 @@ fn claim_quant_codes_are_smoother_than_values() {
 #[test]
 fn claim_selector_separates_field_classes() {
     let cases = [
-        ("SOLIN", true),    // zonal: must take RLE
+        ("SOLIN", true),     // zonal: must take RLE
         ("ODV_bcar1", true), // sparse plumes: must take RLE
-        ("TSMX", false),    // dynamic smooth: must keep Huffman
+        ("TSMX", false),     // dynamic smooth: must keep Huffman
         ("PHIS", false),
     ];
     for (name, expect_rle) in cases {
@@ -175,7 +189,8 @@ fn claim_selector_separates_field_classes() {
         let report = analyze(&qf.codes, qf.cap());
         let got_rle = report.choice != WorkflowChoice::Huffman;
         assert_eq!(
-            got_rle, expect_rle,
+            got_rle,
+            expect_rle,
             "{name}: selector chose {} (p1={:.4}, b_lo={:.3})",
             report.choice.name(),
             report.p1,

@@ -4,9 +4,7 @@
 
 use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
 use cuszp::metrics::verify_error_bound;
-use cuszp::{
-    Compressor, Config, ErrorBound, ReconstructEngine, WorkflowChoice, WorkflowMode,
-};
+use cuszp::{Compressor, Config, ErrorBound, ReconstructEngine, WorkflowChoice, WorkflowMode};
 
 #[test]
 fn every_dataset_round_trips_under_every_workflow() {
@@ -37,7 +35,11 @@ fn every_dataset_round_trips_under_every_workflow() {
                     .unwrap_or_else(|e| panic!("{}/{}: {e}", kind.name(), spec.name));
                 assert_eq!(dims, field.dims);
                 verify_error_bound(&field.data, &recon, eb).unwrap_or_else(|(i, e)| {
-                    panic!("{}/{} wf {wf:?}: bound violated at {i}: {e} > {eb}", kind.name(), spec.name)
+                    panic!(
+                        "{}/{} wf {wf:?}: bound violated at {i}: {e} > {eb}",
+                        kind.name(),
+                        spec.name
+                    )
                 });
             }
         }
@@ -52,10 +54,16 @@ fn all_engines_reconstruct_identically_from_the_same_archive() {
         error_bound: ErrorBound::Relative(1e-4),
         ..Config::default()
     });
-    let bytes = compressor.compress(&field.data, field.dims).unwrap().to_bytes();
+    let bytes = compressor
+        .compress(&field.data, field.dims)
+        .unwrap()
+        .to_bytes();
     let (reference, _) =
         cuszp::decompress_with_engine(&bytes, ReconstructEngine::CoarseSerial).unwrap();
-    for engine in [ReconstructEngine::FinePartialSumNaive, ReconstructEngine::FinePartialSum] {
+    for engine in [
+        ReconstructEngine::FinePartialSumNaive,
+        ReconstructEngine::FinePartialSum,
+    ] {
         let (out, _) = cuszp::decompress_with_engine(&bytes, engine).unwrap();
         assert_eq!(out, reference, "engine {} diverged bitwise", engine.name());
     }
@@ -68,13 +76,20 @@ fn workflow_choice_does_not_change_reconstruction() {
     let spec = dataset_fields(DatasetKind::CesmAtm)[3]; // FSDSC
     let field = generate(&spec, Scale::Tiny);
     let mut outputs = Vec::new();
-    for wf in [WorkflowChoice::Huffman, WorkflowChoice::Rle, WorkflowChoice::RleVle] {
+    for wf in [
+        WorkflowChoice::Huffman,
+        WorkflowChoice::Rle,
+        WorkflowChoice::RleVle,
+    ] {
         let compressor = Compressor::new(Config {
             error_bound: ErrorBound::Relative(1e-2),
             workflow: WorkflowMode::Force(wf),
             ..Config::default()
         });
-        let bytes = compressor.compress(&field.data, field.dims).unwrap().to_bytes();
+        let bytes = compressor
+            .compress(&field.data, field.dims)
+            .unwrap()
+            .to_bytes();
         let (recon, _) = cuszp::decompress(&bytes).unwrap();
         outputs.push(recon);
     }
@@ -93,7 +108,10 @@ fn tighter_bounds_give_larger_archives_and_better_quality() {
             error_bound: ErrorBound::Relative(eb),
             ..Config::default()
         });
-        let bytes = compressor.compress(&field.data, field.dims).unwrap().to_bytes();
+        let bytes = compressor
+            .compress(&field.data, field.dims)
+            .unwrap()
+            .to_bytes();
         let (recon, _) = cuszp::decompress(&bytes).unwrap();
         let stats = cuszp::metrics::ErrorStats::compute(&field.data, &recon);
         assert!(bytes.len() > last_size, "eb {eb}: archive must grow");
@@ -115,7 +133,10 @@ fn double_compression_is_idempotent_on_quality() {
         ..Config::default()
     });
     let once = {
-        let b = compressor.compress(&field.data, field.dims).unwrap().to_bytes();
+        let b = compressor
+            .compress(&field.data, field.dims)
+            .unwrap()
+            .to_bytes();
         cuszp::decompress(&b).unwrap().0
     };
     let twice = {

@@ -16,7 +16,9 @@ fn interpolation_round_trips_through_archives() {
             ..Config::default()
         };
         let eb = config.error_bound.absolute(&field.data);
-        let archive = Compressor::new(config).compress(&field.data, field.dims).unwrap();
+        let archive = Compressor::new(config)
+            .compress(&field.data, field.dims)
+            .unwrap();
         assert_eq!(archive.predictor, Predictor::Interpolation);
         let bytes = archive.to_bytes();
         let (recon, dims) = cuszp::decompress(&bytes).unwrap();
@@ -30,8 +32,13 @@ fn interpolation_round_trips_through_archives() {
 fn predictor_survives_serialization() {
     let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin()).collect();
     for predictor in [Predictor::Lorenzo, Predictor::Interpolation] {
-        let config = Config { predictor, ..Config::default() };
-        let archive = Compressor::new(config).compress(&data, Dims::D1(2048)).unwrap();
+        let config = Config {
+            predictor,
+            ..Config::default()
+        };
+        let archive = Compressor::new(config)
+            .compress(&data, Dims::D1(2048))
+            .unwrap();
         let parsed = cuszp::Archive::from_bytes(&archive.to_bytes()).unwrap();
         assert_eq!(parsed.predictor, predictor);
         // Decompression must dispatch to the matching reconstruction.
@@ -72,10 +79,16 @@ fn f64_supports_both_predictors() {
             predictor,
             ..Config::default()
         };
-        let archive = Compressor::new(config).compress_f64(&data, Dims::D1(4096)).unwrap();
+        let archive = Compressor::new(config)
+            .compress_f64(&data, Dims::D1(4096))
+            .unwrap();
         let (recon, _) = cuszp::decompress_f64(&archive.to_bytes()).unwrap();
         for (o, r) in data.iter().zip(&recon) {
-            assert!((o - r).abs() <= 1e-8 * 1.001, "{}: {o} vs {r}", predictor.name());
+            assert!(
+                (o - r).abs() <= 1e-8 * 1.001,
+                "{}: {o} vs {r}",
+                predictor.name()
+            );
         }
     }
 }

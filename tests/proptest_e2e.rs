@@ -8,8 +8,7 @@ fn arb_dims() -> impl Strategy<Value = Dims> {
     prop_oneof![
         (1usize..3000).prop_map(Dims::D1),
         ((1usize..40), (1usize..40)).prop_map(|(ny, nx)| Dims::D2 { ny, nx }),
-        ((1usize..12), (1usize..12), (1usize..12))
-            .prop_map(|(nz, ny, nx)| Dims::D3 { nz, ny, nx }),
+        ((1usize..12), (1usize..12), (1usize..12)).prop_map(|(nz, ny, nx)| Dims::D3 { nz, ny, nx }),
     ]
 }
 
