@@ -14,8 +14,8 @@
 //! The checksum is FNV-1a over the payload so storage corruption is
 //! detected before reconstruction runs.
 
-use crate::error::CuszpError;
-use crate::workflow::{decode_codes, CodesPayload};
+use crate::error::{ArchiveSection, CuszpError};
+use crate::workflow::{decode_codes_checked, CodesPayload};
 use crate::Predictor;
 use cuszp_huffman::HuffmanEncoded;
 use cuszp_predictor::{Dims, OutlierList, QuantField};
@@ -93,10 +93,17 @@ impl Archive {
 
     /// Rebuilds the [`QuantField`] (decoding the code payload).
     pub fn to_quant_field(&self) -> Result<QuantField, CuszpError> {
-        let codes = decode_codes(&self.payload);
+        let codes_off = HEADER_BYTES + self.outliers.len() * 16;
+        let codes = decode_codes_checked(&self.payload).ok_or(CuszpError::malformed(
+            "undecodable codes payload",
+            ArchiveSection::CodesSection,
+            codes_off,
+        ))?;
         if codes.len() != self.dims.len() {
-            return Err(CuszpError::MalformedArchive(
+            return Err(CuszpError::malformed(
                 "decoded code count mismatches dims",
+                ArchiveSection::CodesSection,
+                codes_off,
             ));
         }
         Ok(QuantField {
@@ -151,9 +158,18 @@ impl Archive {
     }
 
     /// Parses an archive from bytes, verifying structure and checksum.
+    ///
+    /// Every validation runs before the allocation it guards, so
+    /// adversarial length fields can neither panic the parser nor make it
+    /// allocate more memory than the input buffer itself justifies.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
+        use ArchiveSection::Header;
         if bytes.len() < HEADER_BYTES {
-            return Err(CuszpError::MalformedArchive("shorter than header"));
+            return Err(CuszpError::malformed(
+                "shorter than header",
+                Header,
+                bytes.len(),
+            ));
         }
         let mut pos = 0usize;
         let rd = |pos: &mut usize, n: usize| -> &[u8] {
@@ -163,7 +179,7 @@ impl Archive {
         };
         let magic = u32::from_le_bytes(rd(&mut pos, 4).try_into().unwrap());
         if magic != MAGIC {
-            return Err(CuszpError::MalformedArchive("bad magic"));
+            return Err(CuszpError::malformed("bad magic", Header, 0));
         }
         let version = u16::from_le_bytes(rd(&mut pos, 2).try_into().unwrap());
         if version != VERSION {
@@ -179,52 +195,74 @@ impl Archive {
         let dtype = match rd(&mut pos, 1)[0] {
             0 => Dtype::F32,
             1 => Dtype::F64,
-            _ => return Err(CuszpError::MalformedArchive("bad dtype")),
+            _ => return Err(CuszpError::malformed("bad dtype", Header, 42)),
         };
         let predictor = match rd(&mut pos, 1)[0] {
             0 => Predictor::Lorenzo,
             1 => Predictor::Interpolation,
-            _ => return Err(CuszpError::MalformedArchive("bad predictor")),
+            _ => return Err(CuszpError::malformed("bad predictor", Header, 43)),
         };
         let _pad = rd(&mut pos, 4);
         let n_outliers = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap()) as usize;
         let payload_len = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap()) as usize;
         let checksum = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap());
 
-        let dims = match rank {
-            1 => Dims::D1(ex),
-            2 => Dims::D2 { ny: ey, nx: ex },
-            3 => Dims::D3 {
-                nz: ez,
-                ny: ey,
-                nx: ex,
-            },
-            _ => return Err(CuszpError::MalformedArchive("bad rank")),
+        let (dims, n_elems) = match rank {
+            1 => (Dims::D1(ex), Some(ex)),
+            2 => (Dims::D2 { ny: ey, nx: ex }, ey.checked_mul(ex)),
+            3 => (
+                Dims::D3 {
+                    nz: ez,
+                    ny: ey,
+                    nx: ex,
+                },
+                ez.checked_mul(ey).and_then(|p| p.checked_mul(ex)),
+            ),
+            _ => return Err(CuszpError::malformed("bad rank", Header, 7)),
         };
+        let n_elems = n_elems.ok_or(CuszpError::malformed("extent product overflow", Header, 8))?;
         if cap < 4 || cap % 2 != 0 {
-            return Err(CuszpError::MalformedArchive("bad cap"));
+            return Err(CuszpError::malformed("bad cap", Header, 40));
         }
-        let payload = bytes
-            .get(pos..pos + payload_len)
-            .ok_or(CuszpError::MalformedArchive("truncated payload"))?;
+        let payload = match bytes.get(pos..).and_then(|rest| rest.get(..payload_len)) {
+            Some(p) => p,
+            None => {
+                return Err(CuszpError::malformed(
+                    "truncated payload",
+                    ArchiveSection::Payload,
+                    bytes.len(),
+                ))
+            }
+        };
         let actual = fnv1a(payload);
         if actual != checksum {
-            return Err(CuszpError::ChecksumMismatch {
-                expected: checksum,
-                actual,
-            });
+            return Err(CuszpError::checksum(checksum, actual));
         }
 
         let mut p = 0usize;
-        let need = n_outliers
-            .checked_mul(16)
-            .ok_or(CuszpError::MalformedArchive("outlier count overflow"))?;
+        let need = n_outliers.checked_mul(16).ok_or(CuszpError::malformed(
+            "outlier count overflow",
+            Header,
+            48,
+        ))?;
         if payload.len() < need {
-            return Err(CuszpError::MalformedArchive("truncated outliers"));
+            return Err(CuszpError::malformed(
+                "truncated outliers",
+                ArchiveSection::OutlierSection,
+                HEADER_BYTES + payload.len(),
+            ));
         }
         let mut indices = Vec::with_capacity(n_outliers);
         for _ in 0..n_outliers {
-            indices.push(u64::from_le_bytes(payload[p..p + 8].try_into().unwrap()));
+            let i = u64::from_le_bytes(payload[p..p + 8].try_into().unwrap());
+            if i >= n_elems as u64 {
+                return Err(CuszpError::malformed(
+                    "outlier index out of bounds",
+                    ArchiveSection::OutlierSection,
+                    HEADER_BYTES + p,
+                ));
+            }
+            indices.push(i);
             p += 8;
         }
         let mut values = Vec::with_capacity(n_outliers);
@@ -232,7 +270,7 @@ impl Archive {
             values.push(i64::from_le_bytes(payload[p..p + 8].try_into().unwrap()));
             p += 8;
         }
-        let codes = read_codes_section(workflow, &payload[p..])?;
+        let codes = read_codes_section(workflow, &payload[p..], n_elems, HEADER_BYTES + p)?;
         Ok(Self {
             dtype,
             predictor,
@@ -283,22 +321,42 @@ fn write_codes_section(payload: &CodesPayload, out: &mut Vec<u8>) {
     }
 }
 
-fn read_codes_section(tag: u8, bytes: &[u8]) -> Result<CodesPayload, CuszpError> {
+/// Parses the entropy-coded codes section. `expected` is the element
+/// count the header's dimensions declare — any payload whose own symbol
+/// count disagrees is rejected here, before decode-time allocation.
+/// `base` is the section's absolute byte offset, for fault reporting.
+fn read_codes_section(
+    tag: u8,
+    bytes: &[u8],
+    expected: usize,
+    base: usize,
+) -> Result<CodesPayload, CuszpError> {
+    use ArchiveSection::CodesSection;
+    let fail = |what: &'static str, off: usize| CuszpError::malformed(what, CodesSection, off);
     match tag {
         0 => {
-            let (enc, _) = HuffmanEncoded::from_bytes(bytes)
-                .ok_or(CuszpError::MalformedArchive("truncated Huffman section"))?;
+            let (enc, _) =
+                HuffmanEncoded::from_bytes(bytes).ok_or(fail("truncated Huffman section", base))?;
+            if enc.n_symbols != expected as u64 {
+                return Err(fail("Huffman symbol count mismatches dims", base));
+            }
             Ok(CodesPayload::Huffman(enc))
         }
         1 => {
             if bytes.len() < 16 {
-                return Err(CuszpError::MalformedArchive("truncated RLE section"));
+                return Err(fail("truncated RLE section", base + bytes.len()));
             }
             let n = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+            if n != expected as u64 {
+                return Err(fail("RLE symbol count mismatches dims", base));
+            }
             let n_runs = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
-            let need = 16 + n_runs * 2 + n_runs * 4;
+            let need = n_runs
+                .checked_mul(6)
+                .and_then(|b| b.checked_add(16))
+                .ok_or(fail("RLE run count overflow", base + 8))?;
             if bytes.len() < need {
-                return Err(CuszpError::MalformedArchive("truncated RLE arrays"));
+                return Err(fail("truncated RLE arrays", base + bytes.len()));
             }
             let mut p = 16usize;
             let mut values = Vec::with_capacity(n_runs);
@@ -307,22 +365,36 @@ fn read_codes_section(tag: u8, bytes: &[u8]) -> Result<CodesPayload, CuszpError>
                 p += 2;
             }
             let mut counts = Vec::with_capacity(n_runs);
+            let mut total = 0u64;
             for _ in 0..n_runs {
-                counts.push(u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()));
+                let c = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap());
+                total = total
+                    .checked_add(c as u64)
+                    .ok_or(fail("RLE run lengths overflow", base + p))?;
+                counts.push(c);
                 p += 4;
+            }
+            if total != n {
+                return Err(fail("RLE run lengths do not sum to count", base + 16));
             }
             Ok(CodesPayload::Rle(RleEncoded { values, counts, n }))
         }
         2 => {
             if bytes.len() < 16 {
-                return Err(CuszpError::MalformedArchive("truncated RLE+VLE section"));
+                return Err(fail("truncated RLE+VLE section", base + bytes.len()));
             }
             let n = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+            if n != expected as u64 {
+                return Err(fail("RLE+VLE symbol count mismatches dims", base));
+            }
             let n_runs = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
             let (values, used) = HuffmanEncoded::from_bytes(&bytes[16..])
-                .ok_or(CuszpError::MalformedArchive("truncated RLE+VLE values"))?;
+                .ok_or(fail("truncated RLE+VLE values", base + 16))?;
             let (counts, _) = HuffmanEncoded::from_bytes(&bytes[16 + used..])
-                .ok_or(CuszpError::MalformedArchive("truncated RLE+VLE counts"))?;
+                .ok_or(fail("truncated RLE+VLE counts", base + 16 + used))?;
+            if values.n_symbols != n_runs {
+                return Err(fail("RLE+VLE run count mismatches value stream", base + 16));
+            }
             Ok(CodesPayload::RleVle(RleVleEncoded {
                 values,
                 counts,
@@ -330,7 +402,7 @@ fn read_codes_section(tag: u8, bytes: &[u8]) -> Result<CodesPayload, CuszpError>
                 n_runs,
             }))
         }
-        _ => Err(CuszpError::MalformedArchive("unknown workflow tag")),
+        _ => Err(fail("unknown workflow tag", 6)),
     }
 }
 

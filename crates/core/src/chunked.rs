@@ -22,14 +22,14 @@
 //!   come from the identical code path under any pool width;
 //! * the merge is ordered by chunk index, not completion order.
 
-use crate::error::CuszpError;
+use crate::error::{ArchiveSection, CuszpError};
 use crate::{Archive, Compressor, Config, Dims, Dtype, ErrorBound, Predictor, ReconstructEngine};
 use cuszp_parallel::{plan_chunks, WorkerPool, DEFAULT_CHUNK_ELEMS};
 use cuszp_predictor::Scalar;
 
 pub(crate) const CHUNKED_MAGIC: u32 = 0x325A_5343; // "CSZ2"
 const CHUNKED_VERSION: u16 = 2;
-const CHUNKED_HEADER_BYTES: usize = 4 + 2 + 1 + 1 + 24 + 8 + 8 + 4;
+pub(crate) const CHUNKED_HEADER_BYTES: usize = 4 + 2 + 1 + 1 + 24 + 8 + 8 + 4;
 
 /// True when `bytes` starts with the chunked-container magic.
 pub fn is_chunked_archive(bytes: &[u8]) -> bool {
@@ -244,27 +244,45 @@ impl ChunkedArchive {
         Ok((out, self.dims))
     }
 
-    /// Checks that the chunk slabs tile `dims` exactly (rank, fast
-    /// extents, slow coverage, element type).
+    /// Checks that the chunks match the plan implied by the container
+    /// header, slab by slab.
+    ///
+    /// The plan is a pure function of `(dims, chunk_target)`, so the
+    /// header fully determines where every chunk must sit and what shape
+    /// it must have. Enforcing exact per-slab equality (not merely that
+    /// slow extents sum up) is what rejects a container whose chunks
+    /// were reordered self-consistently — same-sum transpositions would
+    /// otherwise reconstruct silently with slabs in the wrong places.
     fn validate_chunk_geometry(&self) -> Result<(), CuszpError> {
-        let mut slow = 0usize;
-        for chunk in &self.chunks {
-            if chunk.dtype != self.dtype {
-                return Err(CuszpError::MalformedArchive(
-                    "chunk dtype mismatches container",
-                ));
-            }
-            if chunk.dims.rank() != self.dims.rank()
-                || chunk.dims.elems_per_slow() != self.dims.elems_per_slow()
-            {
-                return Err(CuszpError::MalformedArchive(
-                    "chunk shape mismatches container",
-                ));
-            }
-            slow += chunk.dims.slow_extent();
+        let target = usize::try_from(self.chunk_target).unwrap_or(usize::MAX);
+        let plan = plan_chunks(
+            &[self.dims.slow_extent(), self.dims.elems_per_slow()],
+            target,
+        );
+        if self.chunks.len() != plan.len() {
+            return Err(CuszpError::malformed(
+                "chunk count disagrees with plan",
+                ArchiveSection::ContainerHeader,
+                CHUNKED_HEADER_BYTES - 4,
+            ));
         }
-        if slow != self.dims.slow_extent() {
-            return Err(CuszpError::MalformedArchive("chunks do not tile the field"));
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            if chunk.dtype != self.dtype {
+                return Err(CuszpError::malformed(
+                    "chunk dtype mismatches container",
+                    ArchiveSection::ChunkBody,
+                    0,
+                )
+                .in_chunk(i, 0));
+            }
+            if chunk.dims != self.dims.slab(plan.chunks[i].slow_len()) {
+                return Err(CuszpError::malformed(
+                    "chunk shape mismatches plan",
+                    ArchiveSection::ChunkBody,
+                    0,
+                )
+                .in_chunk(i, 0));
+            }
         }
         Ok(())
     }
@@ -300,84 +318,204 @@ impl ChunkedArchive {
     }
 
     /// Parses a container written by [`Self::to_bytes`]. Every chunk is
-    /// structurally validated and checksummed by [`Archive::from_bytes`].
+    /// structurally validated and checksummed by [`Archive::from_bytes`];
+    /// failures carry the chunk index and container-relative byte offset.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
-        if bytes.len() < CHUNKED_HEADER_BYTES {
-            return Err(CuszpError::MalformedArchive("chunked header truncated"));
-        }
-        let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
-        if magic != CHUNKED_MAGIC {
-            return Err(CuszpError::MalformedArchive("bad chunked magic"));
-        }
-        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
-        if version != CHUNKED_VERSION {
-            return Err(CuszpError::UnsupportedVersion(version));
-        }
-        let rank = bytes[6];
-        let dtype = match bytes[7] {
-            0 => Dtype::F32,
-            1 => Dtype::F64,
-            _ => return Err(CuszpError::MalformedArchive("bad chunked dtype")),
-        };
-        let mut pos = 8usize;
-        let mut ext = [0usize; 3];
-        for e in ext.iter_mut() {
-            *e = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
-            pos += 8;
-        }
-        let dims = match rank {
-            1 => Dims::D1(ext[2]),
-            2 => Dims::D2 {
-                ny: ext[1],
-                nx: ext[2],
-            },
-            3 => Dims::D3 {
-                nz: ext[0],
-                ny: ext[1],
-                nx: ext[2],
-            },
-            _ => return Err(CuszpError::MalformedArchive("bad chunked rank")),
-        };
-        let eb = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-        pos += 8;
-        let chunk_target = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-        pos += 8;
-        let n_chunks = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        pos += 4;
-        let mut lens = Vec::with_capacity(n_chunks);
-        for _ in 0..n_chunks {
-            lens.push(u64::from_le_bytes(
-                bytes
-                    .get(pos..pos + 8)
-                    .ok_or(CuszpError::MalformedArchive("chunk length table truncated"))?
-                    .try_into()
-                    .unwrap(),
-            ) as usize);
-            pos += 8;
-        }
-        let mut chunks = Vec::with_capacity(n_chunks);
-        for len in lens {
-            let slice = bytes
-                .get(pos..pos + len)
-                .ok_or(CuszpError::MalformedArchive("chunk truncated"))?;
-            chunks.push(Archive::from_bytes(slice)?);
+        let hdr = parse_chunked_header(bytes)?;
+        let lens = read_length_table(bytes, &hdr)?;
+        let mut pos = hdr.table_offset + hdr.n_chunks * 8;
+        let mut chunks = Vec::with_capacity(lens.len());
+        for (i, len) in lens.into_iter().enumerate() {
+            let slice = pos
+                .checked_add(len)
+                .and_then(|end| bytes.get(pos..end))
+                .ok_or(
+                    CuszpError::malformed(
+                        "chunk truncated",
+                        ArchiveSection::ChunkBody,
+                        bytes.len(),
+                    )
+                    .in_chunk(i, 0),
+                )?;
+            chunks.push(Archive::from_bytes(slice).map_err(|e| e.in_chunk(i, pos))?);
             pos += len;
         }
         if pos != bytes.len() {
-            return Err(CuszpError::MalformedArchive(
+            return Err(CuszpError::malformed(
                 "trailing bytes after last chunk",
+                ArchiveSection::Trailer,
+                pos,
             ));
         }
         let archive = Self {
-            dims,
-            dtype,
-            eb,
-            chunk_target,
+            dims: hdr.dims,
+            dtype: hdr.dtype,
+            eb: hdr.eb,
+            chunk_target: hdr.chunk_target,
             chunks,
         };
         archive.validate_chunk_geometry()?;
         Ok(archive)
     }
+}
+
+/// Parsed fixed-size prefix of a CSZ2 container, shared between the
+/// strict parser ([`ChunkedArchive::from_bytes`]) and the lenient
+/// recovery scanner (`crate::recovery`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChunkedHeader {
+    pub dims: Dims,
+    pub dtype: Dtype,
+    pub eb: f64,
+    pub chunk_target: u64,
+    pub n_chunks: usize,
+    /// Byte offset of the chunk length table (first byte after the
+    /// fixed header).
+    pub table_offset: usize,
+}
+
+impl ChunkedHeader {
+    /// Byte offset of the first chunk body (end of a complete table).
+    /// Saturates on inflated chunk counts so lenient scanners can call
+    /// it before any bounds validation.
+    pub fn body_offset(&self) -> usize {
+        self.table_offset
+            .saturating_add(self.n_chunks.saturating_mul(8))
+    }
+}
+
+/// Parses and validates the fixed CSZ2 header.
+pub(crate) fn parse_chunked_header(bytes: &[u8]) -> Result<ChunkedHeader, CuszpError> {
+    use ArchiveSection::ContainerHeader;
+    if bytes.len() < CHUNKED_HEADER_BYTES {
+        return Err(CuszpError::malformed(
+            "chunked header truncated",
+            ContainerHeader,
+            bytes.len(),
+        ));
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != CHUNKED_MAGIC {
+        return Err(CuszpError::malformed(
+            "bad chunked magic",
+            ContainerHeader,
+            0,
+        ));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != CHUNKED_VERSION {
+        return Err(CuszpError::UnsupportedVersion(version));
+    }
+    let rank = bytes[6];
+    let dtype = match bytes[7] {
+        0 => Dtype::F32,
+        1 => Dtype::F64,
+        _ => {
+            return Err(CuszpError::malformed(
+                "bad chunked dtype",
+                ContainerHeader,
+                7,
+            ))
+        }
+    };
+    let mut pos = 8usize;
+    let mut ext = [0usize; 3];
+    for e in ext.iter_mut() {
+        *e = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+        pos += 8;
+    }
+    let (dims, n_elems) = match rank {
+        1 => (Dims::D1(ext[2]), Some(ext[2])),
+        2 => (
+            Dims::D2 {
+                ny: ext[1],
+                nx: ext[2],
+            },
+            ext[1].checked_mul(ext[2]),
+        ),
+        3 => (
+            Dims::D3 {
+                nz: ext[0],
+                ny: ext[1],
+                nx: ext[2],
+            },
+            ext[0]
+                .checked_mul(ext[1])
+                .and_then(|p| p.checked_mul(ext[2])),
+        ),
+        _ => {
+            return Err(CuszpError::malformed(
+                "bad chunked rank",
+                ContainerHeader,
+                6,
+            ))
+        }
+    };
+    if n_elems.is_none() {
+        return Err(CuszpError::malformed(
+            "extent product overflow",
+            ContainerHeader,
+            8,
+        ));
+    }
+    let eb = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+    pos += 8;
+    let chunk_target = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+    pos += 8;
+    let n_chunks = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    pos += 4;
+    Ok(ChunkedHeader {
+        dims,
+        dtype,
+        eb,
+        chunk_target,
+        n_chunks,
+        table_offset: pos,
+    })
+}
+
+/// Reads the full chunk length table, strictly: the buffer must hold all
+/// `n_chunks` entries. The bounds check precedes the allocation, so an
+/// inflated `n_chunks` cannot drive `Vec::with_capacity` beyond what the
+/// input itself pays for.
+pub(crate) fn read_length_table(
+    bytes: &[u8],
+    hdr: &ChunkedHeader,
+) -> Result<Vec<usize>, CuszpError> {
+    let need = hdr.n_chunks.checked_mul(8).ok_or(CuszpError::malformed(
+        "chunk count overflow",
+        ArchiveSection::LengthTable,
+        hdr.table_offset,
+    ))?;
+    if bytes.len() - hdr.table_offset < need {
+        return Err(CuszpError::malformed(
+            "chunk length table truncated",
+            ArchiveSection::LengthTable,
+            bytes.len(),
+        ));
+    }
+    let mut lens = Vec::with_capacity(hdr.n_chunks);
+    let mut pos = hdr.table_offset;
+    for _ in 0..hdr.n_chunks {
+        lens.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize);
+        pos += 8;
+    }
+    Ok(lens)
+}
+
+/// Reads as many complete length-table entries as the buffer holds — the
+/// lenient variant the recovery scanner uses on truncated containers.
+pub(crate) fn read_length_table_lenient(bytes: &[u8], hdr: &ChunkedHeader) -> Vec<usize> {
+    let mut lens = Vec::new();
+    let mut pos = hdr.table_offset;
+    for _ in 0..hdr.n_chunks {
+        match bytes.get(pos..pos + 8) {
+            Some(s) => lens.push(u64::from_le_bytes(s.try_into().unwrap()) as usize),
+            None => break,
+        }
+        pos += 8;
+    }
+    lens
 }
 
 #[cfg(test)]

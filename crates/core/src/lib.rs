@@ -37,6 +37,7 @@
 mod archive;
 mod chunked;
 mod error;
+mod recovery;
 mod snapshot;
 mod stats;
 mod stream;
@@ -44,7 +45,12 @@ mod workflow;
 
 pub use archive::{Archive, Dtype};
 pub use chunked::{is_chunked_archive, ChunkedArchive};
-pub use error::CuszpError;
+pub use error::{ArchiveSection, CuszpError, ParseFault};
+pub use recovery::{
+    decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
+    decompress_resilient_with, scan, scan_with, ChunkReport, ChunkStatus, FillPolicy,
+    RecoveredField, ScanReport,
+};
 pub use snapshot::{Snapshot, SnapshotEntry};
 pub use stats::CompressionStats;
 pub use stream::StreamArchive;

@@ -1,0 +1,791 @@
+//! Fault-isolated decompression and archive diagnosis.
+//!
+//! CSZ2 chunks are compressed independently — each carries its own
+//! header, codebook, and FNV-1a checksum — so corruption in one chunk
+//! says nothing about the others. This module exploits that: instead of
+//! the all-or-nothing [`ChunkedArchive::from_bytes`](crate::ChunkedArchive)
+//! path, [`decompress_resilient`] validates and decodes every chunk
+//! independently, reconstructs the undamaged slabs bit-exactly, fills
+//! damaged slabs per a caller-chosen [`FillPolicy`], and reports a
+//! [`ChunkReport`] per chunk. [`scan`] runs the same diagnosis without
+//! producing output (the engine behind `cuszp fsck`).
+//!
+//! # Geometry recovery
+//!
+//! The chunk plan is a pure function of the container header's shape and
+//! chunk target ([`cuszp_parallel::plan_chunks`]), so slab extents can be
+//! recomputed even for chunks whose own headers are destroyed. The plan
+//! is the geometry authority: a chunk whose embedded dims disagree with
+//! its planned slab is reported [`ChunkStatus::Malformed`] rather than
+//! trusted. When **no** chunk is recoverable the container header itself
+//! is suspect (its dims would mis-plan every chunk), and recovery fails
+//! hard instead of fabricating a field — this is also what keeps a
+//! corrupted header from driving a giant output allocation.
+
+use crate::chunked::{parse_chunked_header, read_length_table_lenient, ChunkedHeader};
+use crate::error::{ArchiveSection, CuszpError, ParseFault};
+use crate::{is_chunked_archive, Archive, Dims, Dtype, Predictor, ReconstructEngine};
+use cuszp_parallel::{plan_chunk_spec, plan_len, ChunkSpec, WorkerPool};
+use cuszp_predictor::Scalar;
+use std::ops::Range;
+
+/// What to write into slabs whose chunk could not be recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillPolicy {
+    /// Fill with NaN — damage stays visible to downstream analysis
+    /// (the default).
+    #[default]
+    Nan,
+    /// Fill with zero — for consumers that cannot tolerate NaN.
+    Zero,
+}
+
+impl FillPolicy {
+    fn value<T: Scalar>(&self) -> T {
+        match self {
+            FillPolicy::Nan => T::from_f64(f64::NAN),
+            FillPolicy::Zero => T::from_f64(0.0),
+        }
+    }
+
+    /// Parses a CLI spelling ("nan" / "zero").
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "nan" => Some(FillPolicy::Nan),
+            "zero" => Some(FillPolicy::Zero),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of validating (and decoding) one chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkStatus {
+    /// Parsed, checksum verified, decoded.
+    Ok,
+    /// Stored checksum disagrees with the recomputed one: the chunk's
+    /// bytes were altered in storage or transit.
+    ChecksumMismatch {
+        /// Checksum stored in the chunk header.
+        expected: u64,
+        /// Checksum recomputed over the chunk payload.
+        actual: u64,
+    },
+    /// The container ends before this chunk's declared bytes (or before
+    /// its length-table entry).
+    Truncated,
+    /// The chunk bytes are structurally invalid; the fault pinpoints
+    /// what and where.
+    Malformed(ParseFault),
+}
+
+impl ChunkStatus {
+    /// True for [`ChunkStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ChunkStatus::Ok)
+    }
+
+    /// Short display label ("ok" / "checksum" / "truncated" / "malformed").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChunkStatus::Ok => "ok",
+            ChunkStatus::ChecksumMismatch { .. } => "checksum",
+            ChunkStatus::Truncated => "truncated",
+            ChunkStatus::Malformed(_) => "malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for ChunkStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkStatus::Ok => write!(f, "ok"),
+            ChunkStatus::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch (stored {expected:#x}, computed {actual:#x})"
+                )
+            }
+            ChunkStatus::Truncated => write!(f, "truncated"),
+            ChunkStatus::Malformed(fault) => write!(f, "malformed: {fault}"),
+        }
+    }
+}
+
+/// Per-chunk diagnosis: status, where the chunk lives in the container,
+/// and which slab of the field it covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkReport {
+    /// Chunk index in plan order.
+    pub index: usize,
+    /// Validation/decode outcome.
+    pub status: ChunkStatus,
+    /// Declared byte range of the chunk body inside the container, when
+    /// the length table still locates it (the end may lie beyond a
+    /// truncated buffer).
+    pub byte_range: Option<Range<usize>>,
+    /// Element range of the field this chunk's slab covers.
+    pub elem_range: Range<usize>,
+}
+
+/// Result of [`scan`]: the per-chunk diagnosis without decompression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanReport {
+    /// Container format ("csz2" or "v1").
+    pub format: &'static str,
+    /// Field dimensions from the container header, when parseable.
+    pub dims: Option<Dims>,
+    /// Element type from the container header, when parseable.
+    pub dtype: Option<Dtype>,
+    /// Chunk count the container header declares.
+    pub declared_chunks: usize,
+    /// One report per chunk in plan order, with two bounded exceptions
+    /// that keep the list proportional to the *input*: planned chunks
+    /// the buffer cannot even frame collapse into one trailing
+    /// `Truncated` report, and declared chunks beyond the plan are
+    /// appended only as far as the buffer holds table entries for them.
+    pub reports: Vec<ChunkReport>,
+}
+
+impl ScanReport {
+    /// Number of damaged chunks.
+    pub fn n_damaged(&self) -> usize {
+        self.reports.iter().filter(|r| !r.status.is_ok()).count()
+    }
+
+    /// True when every chunk validated and decoded.
+    pub fn is_clean(&self) -> bool {
+        self.n_damaged() == 0
+    }
+}
+
+/// A field recovered by resilient decompression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredField<T> {
+    /// The reconstructed field; damaged slabs hold the fill value.
+    pub data: Vec<T>,
+    /// Field dimensions.
+    pub dims: Dims,
+    /// One report per chunk.
+    pub reports: Vec<ChunkReport>,
+}
+
+impl<T> RecoveredField<T> {
+    /// Number of damaged chunks.
+    pub fn n_damaged(&self) -> usize {
+        self.reports.iter().filter(|r| !r.status.is_ok()).count()
+    }
+
+    /// True when every chunk recovered.
+    pub fn is_clean(&self) -> bool {
+        self.n_damaged() == 0
+    }
+}
+
+/// Maps a chunk-local error to a [`ChunkStatus`], rebasing parse faults
+/// to container coordinates.
+fn status_from_error(e: CuszpError, chunk: usize, base: usize) -> ChunkStatus {
+    match e.in_chunk(chunk, base) {
+        CuszpError::ChecksumMismatch {
+            expected, actual, ..
+        } => ChunkStatus::ChecksumMismatch { expected, actual },
+        CuszpError::MalformedArchive(fault) => ChunkStatus::Malformed(fault),
+        CuszpError::UnsupportedVersion(_) => ChunkStatus::Malformed(ParseFault {
+            what: "unsupported chunk version",
+            section: ArchiveSection::ChunkBody,
+            offset: base,
+            chunk: Some(chunk),
+        }),
+        _ => ChunkStatus::Malformed(ParseFault {
+            what: "invalid chunk",
+            section: ArchiveSection::ChunkBody,
+            offset: base,
+            chunk: Some(chunk),
+        }),
+    }
+}
+
+fn geometry_fault(chunk: usize, base: usize) -> ChunkStatus {
+    ChunkStatus::Malformed(ParseFault {
+        what: "chunk geometry mismatches plan",
+        section: ArchiveSection::ChunkBody,
+        offset: base,
+        chunk: Some(chunk),
+    })
+}
+
+/// The container's chunk layout: one entry per *planned* chunk, holding
+/// the declared byte range (when locatable) and the in-bounds body slice
+/// (when fully present).
+struct ChunkLayout<'a> {
+    byte_range: Option<Range<usize>>,
+    body: Option<&'a [u8]>,
+}
+
+/// Walks the length table and locates each planned chunk's bytes. Once
+/// the running offset leaves the buffer, every later chunk is absent —
+/// the container has no resync framing.
+fn layout_chunks<'a>(bytes: &'a [u8], hdr: &ChunkedHeader, n_geo: usize) -> Vec<ChunkLayout<'a>> {
+    let lens = read_length_table_lenient(bytes, hdr);
+    let table_complete = lens.len() == hdr.n_chunks;
+    let body_base = hdr.body_offset();
+    let mut out = Vec::with_capacity(n_geo);
+    let mut cursor = Some(body_base);
+    for i in 0..n_geo {
+        let len = lens.get(i).copied();
+        let (byte_range, body) = match (cursor, len) {
+            (Some(start), Some(len)) => {
+                let range = start.checked_add(len).map(|end| start..end);
+                // Bodies only exist after a complete length table.
+                let body = match (&range, table_complete) {
+                    (Some(r), true) => bytes.get(r.clone()),
+                    _ => None,
+                };
+                cursor = range.as_ref().map(|r| r.end);
+                (range, body)
+            }
+            _ => {
+                cursor = None;
+                (None, None)
+            }
+        };
+        out.push(ChunkLayout { byte_range, body });
+    }
+    out
+}
+
+/// Parses one chunk and cross-checks its geometry against the plan.
+fn parse_chunk(
+    layout: &ChunkLayout<'_>,
+    i: usize,
+    slab_dims: Dims,
+    dtype: Dtype,
+) -> Result<Archive, ChunkStatus> {
+    let Some(body) = layout.body else {
+        return Err(ChunkStatus::Truncated);
+    };
+    let base = layout.byte_range.as_ref().map_or(0, |r| r.start);
+    let archive = Archive::from_bytes(body).map_err(|e| status_from_error(e, i, base))?;
+    if archive.dtype != dtype || archive.dims != slab_dims {
+        return Err(geometry_fault(i, base));
+    }
+    Ok(archive)
+}
+
+/// Reconstructs one parsed chunk into its output slab.
+fn reconstruct_chunk<T: Scalar>(
+    archive: &Archive,
+    engine: ReconstructEngine,
+    slab: &mut [T],
+) -> Result<(), CuszpError> {
+    let qf = archive.to_quant_field()?;
+    match archive.predictor {
+        Predictor::Lorenzo => cuszp_predictor::reconstruct_into(&qf, engine, slab),
+        Predictor::Interpolation => {
+            let recon: Vec<T> = cuszp_predictor::reconstruct_interpolation(&qf);
+            slab.copy_from_slice(&recon);
+        }
+    }
+    Ok(())
+}
+
+/// Lazy view of the plan implied by the container header: chunk count
+/// and per-chunk specs in O(1). A corrupted extent or chunk target can
+/// claim billions of chunks; nothing here costs memory until a chunk is
+/// actually evaluated, and evaluation is capped by the input (see
+/// [`evaluable_chunks`]).
+struct PlanView {
+    extents: [usize; 2],
+    target: usize,
+    n: usize,
+}
+
+impl PlanView {
+    fn spec(&self, i: usize) -> ChunkSpec {
+        plan_chunk_spec(&self.extents, self.target, i)
+    }
+}
+
+/// Recomputes the chunk plan from the container header.
+fn plan_for(hdr: &ChunkedHeader) -> PlanView {
+    let extents = [hdr.dims.slow_extent(), hdr.dims.elems_per_slow()];
+    let target = usize::try_from(hdr.chunk_target).unwrap_or(usize::MAX);
+    PlanView {
+        extents,
+        target,
+        n: plan_len(&extents, target),
+    }
+}
+
+/// How many planned chunks the input can possibly frame: each needs an
+/// 8-byte length-table entry, so per-chunk evaluation (and reporting)
+/// is bounded by the buffer itself, never by a header claim.
+fn evaluable_chunks(plan_n: usize, hdr: &ChunkedHeader, bytes: &[u8]) -> usize {
+    let entry_cap = bytes.len().saturating_sub(hdr.table_offset) / 8;
+    plan_n.min(entry_cap.max(1))
+}
+
+/// When the buffer cannot frame every planned chunk, the unframeable
+/// tail collapses into one `Truncated` report spanning the rest of the
+/// field, keeping the report list proportional to the input.
+fn push_truncated_tail(
+    reports: &mut Vec<ChunkReport>,
+    plan: &PlanView,
+    n_geo: usize,
+    n_elems: usize,
+) {
+    if n_geo < plan.n {
+        let start = plan.spec(n_geo).elems.start.min(n_elems);
+        reports.push(ChunkReport {
+            index: n_geo,
+            status: ChunkStatus::Truncated,
+            byte_range: None,
+            elem_range: start..n_elems,
+        });
+    }
+}
+
+/// Reports for declared chunks beyond the plan (an inflated `n_chunks`
+/// or a corrupted chunk target): they cover no slab and are malformed by
+/// definition. Only entries the buffer actually holds table bytes for
+/// are enumerated — an inflated count must not inflate the report list
+/// beyond what the input itself pays for (`declared_chunks` still
+/// records the raw claim).
+fn extra_chunk_reports(
+    hdr: &ChunkedHeader,
+    layouts_end: usize,
+    bytes: &[u8],
+    n_elems: usize,
+) -> Vec<ChunkReport> {
+    let lens = read_length_table_lenient(bytes, hdr);
+    let mut cursor = Some(hdr.body_offset());
+    for len in lens.iter().take(layouts_end) {
+        cursor = cursor.and_then(|c| c.checked_add(*len));
+    }
+    let mut out = Vec::new();
+    for (i, len) in lens.iter().copied().enumerate().skip(layouts_end) {
+        let byte_range = match cursor {
+            Some(start) => {
+                let r = start.checked_add(len).map(|end| start..end);
+                cursor = r.as_ref().map(|r| r.end);
+                r
+            }
+            None => None,
+        };
+        out.push(ChunkReport {
+            index: i,
+            status: ChunkStatus::Malformed(ParseFault {
+                what: "chunk beyond plan",
+                section: ArchiveSection::LengthTable,
+                offset: hdr.table_offset + i * 8,
+                chunk: Some(i),
+            }),
+            byte_range,
+            elem_range: n_elems..n_elems,
+        });
+    }
+    out
+}
+
+/// Diagnoses every chunk of a CSZ2 container (or a v1 archive, treated
+/// as a single chunk) without producing output. Chunks are parsed,
+/// checksummed, **and decoded** in parallel; only a container whose
+/// fixed header is unusable returns `Err`.
+pub fn scan(bytes: &[u8]) -> Result<ScanReport, CuszpError> {
+    scan_with(bytes, &WorkerPool::with_default_workers())
+}
+
+/// [`scan`] with an explicit worker pool.
+pub fn scan_with(bytes: &[u8], pool: &WorkerPool) -> Result<ScanReport, CuszpError> {
+    if !is_chunked_archive(bytes) {
+        return Ok(scan_v1(bytes));
+    }
+    let hdr = parse_chunked_header(bytes)?;
+    let plan = plan_for(&hdr);
+    let n_geo = evaluable_chunks(plan.n, &hdr, bytes);
+    let layouts = layout_chunks(bytes, &hdr, n_geo);
+    let statuses = pool.run(n_geo, |i| {
+        let slab_dims = hdr.dims.slab(plan.spec(i).slow_len());
+        match parse_chunk(&layouts[i], i, slab_dims, hdr.dtype) {
+            Err(st) => st,
+            Ok(archive) => match archive.to_quant_field() {
+                Ok(_) => ChunkStatus::Ok,
+                Err(e) => {
+                    let base = layouts[i].byte_range.as_ref().map_or(0, |r| r.start);
+                    status_from_error(e, i, base)
+                }
+            },
+        }
+    });
+    let mut reports: Vec<ChunkReport> = statuses
+        .into_iter()
+        .enumerate()
+        .map(|(i, status)| ChunkReport {
+            index: i,
+            status,
+            byte_range: layouts[i].byte_range.clone(),
+            elem_range: plan.spec(i).elems,
+        })
+        .collect();
+    push_truncated_tail(&mut reports, &plan, n_geo, hdr.dims.len());
+    reports.extend(extra_chunk_reports(&hdr, n_geo, bytes, hdr.dims.len()));
+    Ok(ScanReport {
+        format: "csz2",
+        dims: Some(hdr.dims),
+        dtype: Some(hdr.dtype),
+        declared_chunks: hdr.n_chunks,
+        reports,
+    })
+}
+
+/// v1 archives have no chunk independence: the whole payload is one
+/// checksummed unit, reported as a single chunk.
+fn scan_v1(bytes: &[u8]) -> ScanReport {
+    let (dims, dtype, status) = match Archive::from_bytes(bytes) {
+        Ok(a) => {
+            let decode = match a.to_quant_field() {
+                Ok(_) => ChunkStatus::Ok,
+                Err(e) => status_from_error(e, 0, 0),
+            };
+            (Some(a.dims), Some(a.dtype), decode)
+        }
+        Err(e) => (None, None, status_from_error(e, 0, 0)),
+    };
+    let n_elems = dims.map_or(0, |d| d.len());
+    ScanReport {
+        format: "v1",
+        dims,
+        dtype,
+        declared_chunks: 1,
+        reports: vec![ChunkReport {
+            index: 0,
+            status,
+            byte_range: Some(0..bytes.len()),
+            elem_range: 0..n_elems,
+        }],
+    }
+}
+
+/// Resilient decompression into `f32`: undamaged chunks reconstruct
+/// bit-identically to [`crate::decompress`]; damaged slabs are filled
+/// per `fill` and reported. Fails hard only when the container header is
+/// unusable or **no** chunk is recoverable.
+pub fn decompress_resilient(
+    bytes: &[u8],
+    fill: FillPolicy,
+) -> Result<RecoveredField<f32>, CuszpError> {
+    decompress_resilient_with(
+        bytes,
+        fill,
+        ReconstructEngine::FinePartialSum,
+        &WorkerPool::with_default_workers(),
+    )
+}
+
+/// [`decompress_resilient`] with explicit engine and pool.
+pub fn decompress_resilient_with(
+    bytes: &[u8],
+    fill: FillPolicy,
+    engine: ReconstructEngine,
+    pool: &WorkerPool,
+) -> Result<RecoveredField<f32>, CuszpError> {
+    decompress_resilient_impl::<f32>(bytes, fill, engine, pool, Dtype::F32)
+}
+
+/// Resilient decompression into `f64`.
+pub fn decompress_resilient_f64(
+    bytes: &[u8],
+    fill: FillPolicy,
+) -> Result<RecoveredField<f64>, CuszpError> {
+    decompress_resilient_f64_with(
+        bytes,
+        fill,
+        ReconstructEngine::FinePartialSum,
+        &WorkerPool::with_default_workers(),
+    )
+}
+
+/// [`decompress_resilient_f64`] with explicit engine and pool.
+pub fn decompress_resilient_f64_with(
+    bytes: &[u8],
+    fill: FillPolicy,
+    engine: ReconstructEngine,
+    pool: &WorkerPool,
+) -> Result<RecoveredField<f64>, CuszpError> {
+    decompress_resilient_impl::<f64>(bytes, fill, engine, pool, Dtype::F64)
+}
+
+fn decompress_resilient_impl<T: Scalar>(
+    bytes: &[u8],
+    fill: FillPolicy,
+    engine: ReconstructEngine,
+    pool: &WorkerPool,
+    want: Dtype,
+) -> Result<RecoveredField<T>, CuszpError> {
+    if !is_chunked_archive(bytes) {
+        return recover_v1::<T>(bytes, engine, want);
+    }
+    let hdr = parse_chunked_header(bytes)?;
+    if hdr.dtype != want {
+        return Err(CuszpError::DtypeMismatch {
+            stored: hdr.dtype.name(),
+            requested: want.name(),
+        });
+    }
+    let plan = plan_for(&hdr);
+    let n_geo = evaluable_chunks(plan.n, &hdr, bytes);
+    let layouts = layout_chunks(bytes, &hdr, n_geo);
+
+    // Pass 1: parse + geometry-check every evaluable chunk (in parallel)
+    // BEFORE allocating the output. If nothing is recoverable the
+    // header's own dims are untrustworthy and allocating `dims.len()`
+    // elements from them would let a flipped extent bit demand arbitrary
+    // memory.
+    let parsed: Vec<Result<Archive, ChunkStatus>> = pool.run(n_geo, |i| {
+        let slab_dims = hdr.dims.slab(plan.spec(i).slow_len());
+        parse_chunk(&layouts[i], i, slab_dims, hdr.dtype)
+    });
+    if plan.n > 0 && !parsed.iter().any(|r| r.is_ok()) {
+        return Err(CuszpError::malformed(
+            "no recoverable chunks in container",
+            ArchiveSection::ChunkBody,
+            hdr.body_offset().min(bytes.len()),
+        ));
+    }
+
+    // Pass 2: reconstruct recovered chunks into their slabs; damaged
+    // slabs (and any unframeable tail) keep the fill value the buffer
+    // was initialized with. The allocation is a try_reserve: a header
+    // that survives pass 1 is trustworthy, but graceful failure beats an
+    // abort if memory genuinely runs out.
+    let fill_value: T = fill.value();
+    let n_elems = hdr.dims.len();
+    let mut data: Vec<T> = Vec::new();
+    data.try_reserve_exact(n_elems).map_err(|_| {
+        CuszpError::malformed(
+            "field too large for memory",
+            ArchiveSection::ContainerHeader,
+            8,
+        )
+    })?;
+    data.resize(n_elems, fill_value);
+    let mut parts: Vec<(&mut [T], Result<Archive, ChunkStatus>)> = Vec::with_capacity(n_geo);
+    let mut rest: &mut [T] = &mut data;
+    for (i, res) in parsed.into_iter().enumerate() {
+        let (head, tail) = rest.split_at_mut(plan.spec(i).elems.len());
+        parts.push((head, res));
+        rest = tail;
+    }
+    let statuses = pool.run_parts(parts, |i, (slab, res)| match res {
+        Err(status) => status,
+        Ok(archive) => match reconstruct_chunk(&archive, engine, slab) {
+            Ok(()) => ChunkStatus::Ok,
+            Err(e) => {
+                // Reconstruction may have partially written the slab.
+                slab.fill(fill_value);
+                let base = layouts[i].byte_range.as_ref().map_or(0, |r| r.start);
+                status_from_error(e, i, base)
+            }
+        },
+    });
+    let mut reports: Vec<ChunkReport> = statuses
+        .into_iter()
+        .enumerate()
+        .map(|(i, status)| ChunkReport {
+            index: i,
+            status,
+            byte_range: layouts[i].byte_range.clone(),
+            elem_range: plan.spec(i).elems,
+        })
+        .collect();
+    push_truncated_tail(&mut reports, &plan, n_geo, n_elems);
+    reports.extend(extra_chunk_reports(&hdr, n_geo, bytes, n_elems));
+    Ok(RecoveredField {
+        data,
+        dims: hdr.dims,
+        reports,
+    })
+}
+
+/// v1 recovery is all-or-nothing: the archive is one checksummed unit,
+/// so any damage fails hard (there is no independent chunk to salvage).
+fn recover_v1<T: Scalar>(
+    bytes: &[u8],
+    engine: ReconstructEngine,
+    want: Dtype,
+) -> Result<RecoveredField<T>, CuszpError> {
+    let archive = Archive::from_bytes(bytes)?;
+    if archive.dtype != want {
+        return Err(CuszpError::DtypeMismatch {
+            stored: archive.dtype.name(),
+            requested: want.name(),
+        });
+    }
+    let qf = archive.to_quant_field()?;
+    let data: Vec<T> = match archive.predictor {
+        Predictor::Lorenzo => cuszp_predictor::reconstruct(&qf, engine),
+        Predictor::Interpolation => cuszp_predictor::reconstruct_interpolation(&qf),
+    };
+    let n = data.len();
+    Ok(RecoveredField {
+        data,
+        dims: archive.dims,
+        reports: vec![ChunkReport {
+            index: 0,
+            status: ChunkStatus::Ok,
+            byte_range: Some(0..bytes.len()),
+            elem_range: 0..n,
+        }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compressor, Config, ErrorBound};
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.0017).sin() * 4.0 + (i as f32 * 0.00031).cos())
+            .collect()
+    }
+
+    fn chunked_bytes(n: usize, target: usize) -> (Vec<f32>, Vec<u8>) {
+        let data = field(n);
+        let arc = Compressor::new(Config {
+            error_bound: ErrorBound::Absolute(1e-3),
+            ..Config::default()
+        })
+        .compress_chunked_with(&data, Dims::D1(n), target, &WorkerPool::new(2))
+        .unwrap();
+        (data, arc.to_bytes())
+    }
+
+    #[test]
+    fn clean_container_scans_clean_and_matches_strict_path() {
+        let (_, bytes) = chunked_bytes(40_000, 8_000);
+        let report = scan(&bytes).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.format, "csz2");
+        assert_eq!(report.reports.len(), 5);
+        let strict = crate::decompress(&bytes).unwrap().0;
+        let recovered = decompress_resilient(&bytes, FillPolicy::Nan).unwrap();
+        assert!(recovered.is_clean());
+        assert_eq!(recovered.data, strict, "resilient path must be bit-exact");
+    }
+
+    #[test]
+    fn one_corrupt_chunk_recovers_all_others_bit_exact() {
+        let (_, bytes) = chunked_bytes(40_000, 8_000);
+        let strict = crate::decompress(&bytes).unwrap().0;
+        let report = scan(&bytes).unwrap();
+        // Flip a byte inside chunk 2's body.
+        let r = report.reports[2].byte_range.clone().unwrap();
+        let mut bad = bytes.clone();
+        bad[r.start + r.len() / 2] ^= 0x01;
+
+        let rec = decompress_resilient(&bad, FillPolicy::Nan).unwrap();
+        assert_eq!(rec.n_damaged(), 1);
+        assert!(matches!(
+            rec.reports[2].status,
+            ChunkStatus::ChecksumMismatch { .. } | ChunkStatus::Malformed(_)
+        ));
+        let er = rec.reports[2].elem_range.clone();
+        for (i, (&got, &want)) in rec.data.iter().zip(&strict).enumerate() {
+            if er.contains(&i) {
+                assert!(got.is_nan(), "damaged slab must be NaN-filled at {i}");
+            } else {
+                assert!(got == want, "undamaged element {i} must be bit-exact");
+            }
+        }
+
+        let rec0 = decompress_resilient(&bad, FillPolicy::Zero).unwrap();
+        for i in er {
+            assert_eq!(rec0.data[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn truncation_reports_tail_chunks() {
+        let (_, bytes) = chunked_bytes(40_000, 8_000);
+        let report = scan(&bytes).unwrap();
+        let cut = report.reports[3].byte_range.clone().unwrap().start + 5;
+        let trunc = &bytes[..cut];
+        let rec = decompress_resilient(trunc, FillPolicy::Nan).unwrap();
+        assert_eq!(rec.n_damaged(), 2);
+        assert_eq!(rec.reports[3].status, ChunkStatus::Truncated);
+        assert_eq!(rec.reports[4].status, ChunkStatus::Truncated);
+        for r in &rec.reports[..3] {
+            assert!(r.status.is_ok());
+        }
+    }
+
+    #[test]
+    fn destroying_every_chunk_fails_hard() {
+        let (_, bytes) = chunked_bytes(20_000, 5_000);
+        let hdr = parse_chunked_header(&bytes).unwrap();
+        let mut bad = bytes.clone();
+        for b in bad[hdr.body_offset()..].iter_mut() {
+            *b = 0xAA;
+        }
+        assert!(decompress_resilient(&bad, FillPolicy::Nan).is_err());
+        // scan still works — it never allocates output.
+        let report = scan(&bad).unwrap();
+        assert_eq!(report.n_damaged(), report.reports.len());
+    }
+
+    #[test]
+    fn inflated_n_chunks_reports_extras_without_overallocation() {
+        let (_, bytes) = chunked_bytes(20_000, 5_000);
+        let hdr = parse_chunked_header(&bytes).unwrap();
+        let mut bad = bytes.clone();
+        let n_off = hdr.table_offset - 4;
+        bad[n_off..n_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Strict path rejects; scan survives and reports.
+        assert!(crate::decompress(&bad).is_err());
+        let report = scan(&bad).unwrap();
+        assert_eq!(report.declared_chunks, u32::MAX as usize);
+        assert!(!report.is_clean());
+        // Reports stay bounded by plan + declared-but-absent entries...
+        // absent entries have no table bytes, so the lenient table walk
+        // bounds the work by the buffer, not by the declared count.
+        assert!(report.reports.len() >= 4);
+    }
+
+    #[test]
+    fn v1_archives_scan_as_single_chunk() {
+        let data = field(5_000);
+        let arc = Compressor::default()
+            .compress(&data, Dims::D1(5_000))
+            .unwrap();
+        let bytes = arc.to_bytes();
+        let report = scan(&bytes).unwrap();
+        assert_eq!(report.format, "v1");
+        assert!(report.is_clean());
+        let rec = decompress_resilient(&bytes, FillPolicy::Nan).unwrap();
+        assert!(rec.is_clean());
+        // Damage anywhere fails hard — v1 has no chunk isolation.
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 3] ^= 0x08;
+        assert!(decompress_resilient(&bad, FillPolicy::Nan).is_err());
+        let report = scan(&bad).unwrap();
+        assert_eq!(report.n_damaged(), 1);
+    }
+
+    #[test]
+    fn f64_recovery_round_trips() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.001).sin()).collect();
+        let arc = Compressor::default()
+            .compress_chunked_f64_with(&data, Dims::D1(20_000), 5_000, &WorkerPool::new(2))
+            .unwrap();
+        let bytes = arc.to_bytes();
+        let rec = decompress_resilient_f64(&bytes, FillPolicy::Nan).unwrap();
+        assert!(rec.is_clean());
+        // Wrong-dtype request is refused.
+        assert!(matches!(
+            decompress_resilient(&bytes, FillPolicy::Nan),
+            Err(CuszpError::DtypeMismatch { .. })
+        ));
+    }
+}

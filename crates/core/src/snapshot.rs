@@ -8,6 +8,7 @@
 //! post-hoc analysis can extract a single variable without touching the
 //! rest.
 
+use crate::error::ArchiveSection;
 use crate::{Archive, Compressor, CuszpError, Dims, ReconstructEngine};
 
 const SNAPSHOT_MAGIC: u32 = 0x4E53_5343; // "CSSN"
@@ -43,10 +44,18 @@ impl Snapshot {
         dims: Dims,
     ) -> Result<(), CuszpError> {
         if name.len() > u16::MAX as usize {
-            return Err(CuszpError::MalformedArchive("field name too long"));
+            return Err(CuszpError::malformed(
+                "field name too long",
+                ArchiveSection::ContainerHeader,
+                0,
+            ));
         }
         if self.entries.iter().any(|e| e.name == name) {
-            return Err(CuszpError::MalformedArchive("duplicate field name"));
+            return Err(CuszpError::malformed(
+                "duplicate field name",
+                ArchiveSection::ContainerHeader,
+                0,
+            ));
         }
         let archive = compressor.compress(data, dims)?;
         self.entries.push(SnapshotEntry {
@@ -82,9 +91,11 @@ impl Snapshot {
         name: &str,
         engine: ReconstructEngine,
     ) -> Result<(Vec<f32>, Dims), CuszpError> {
-        let entry = self
-            .get(name)
-            .ok_or(CuszpError::MalformedArchive("no such field"))?;
+        let entry = self.get(name).ok_or(CuszpError::malformed(
+            "no such field",
+            ArchiveSection::ContainerHeader,
+            0,
+        ))?;
         crate::decompress_archive(&entry.archive, engine)
     }
 
@@ -105,29 +116,48 @@ impl Snapshot {
         out
     }
 
-    /// Parses a snapshot container.
+    /// Parses a snapshot container. Per-entry failures carry the entry
+    /// index and container-relative byte offset.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], CuszpError> {
-            let s = bytes
-                .get(*pos..*pos + n)
-                .ok_or(CuszpError::MalformedArchive("snapshot truncated"))?;
+            let s = pos
+                .checked_add(n)
+                .and_then(|end| bytes.get(*pos..end))
+                .ok_or(CuszpError::malformed(
+                    "snapshot truncated",
+                    ArchiveSection::ContainerHeader,
+                    bytes.len(),
+                ))?;
             *pos += n;
             Ok(s)
         };
         let mut pos = 0usize;
         let magic = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
         if magic != SNAPSHOT_MAGIC {
-            return Err(CuszpError::MalformedArchive("bad snapshot magic"));
+            return Err(CuszpError::malformed(
+                "bad snapshot magic",
+                ArchiveSection::ContainerHeader,
+                0,
+            ));
         }
         let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         let mut entries = Vec::with_capacity(n.min(4096));
-        for _ in 0..n {
+        for i in 0..n {
             let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let name_off = pos;
             let name = std::str::from_utf8(take(&mut pos, name_len)?)
-                .map_err(|_| CuszpError::MalformedArchive("field name not UTF-8"))?
+                .map_err(|_| {
+                    CuszpError::malformed(
+                        "field name not UTF-8",
+                        ArchiveSection::ContainerHeader,
+                        name_off,
+                    )
+                })?
                 .to_string();
             let arch_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
-            let archive = Archive::from_bytes(take(&mut pos, arch_len)?)?;
+            let arch_off = pos;
+            let archive = Archive::from_bytes(take(&mut pos, arch_len)?)
+                .map_err(|e| e.in_chunk(i, arch_off))?;
             entries.push(SnapshotEntry { name, archive });
         }
         Ok(Self { entries })

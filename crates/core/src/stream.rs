@@ -9,6 +9,7 @@
 //! the coarse-grained random access the paper's Step-1 block split is
 //! for.
 
+use crate::error::ArchiveSection;
 use crate::{Archive, Compressor, CuszpError, Dims, Dtype, ReconstructEngine};
 
 const STREAM_MAGIC: u32 = 0x535A_5343; // "CSZS"
@@ -80,10 +81,11 @@ impl StreamArchive {
         index: usize,
         engine: ReconstructEngine,
     ) -> Result<(Vec<f32>, Dims), CuszpError> {
-        let archive = self
-            .blocks
-            .get(index)
-            .ok_or(CuszpError::MalformedArchive("block index out of range"))?;
+        let archive = self.blocks.get(index).ok_or(CuszpError::malformed(
+            "block index out of range",
+            ArchiveSection::ChunkBody,
+            0,
+        ))?;
         crate::decompress_archive(archive, engine)
     }
 
@@ -95,8 +97,10 @@ impl StreamArchive {
             out.extend_from_slice(&slab);
         }
         if out.len() != self.dims.len() {
-            return Err(CuszpError::MalformedArchive(
+            return Err(CuszpError::malformed(
                 "slab sizes disagree with dims",
+                ArchiveSection::ContainerHeader,
+                8,
             ));
         }
         Ok((out, self.dims))
@@ -129,67 +133,102 @@ impl StreamArchive {
         out
     }
 
-    /// Parses a container written by [`Self::to_bytes`].
+    /// Parses a container written by [`Self::to_bytes`]. Length fields
+    /// are validated against the buffer before any allocation sized from
+    /// them, and per-block failures carry the block index and
+    /// container-relative byte offset.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
+        use ArchiveSection::{ChunkBody, ContainerHeader, LengthTable};
         if bytes.len() < 36 {
-            return Err(CuszpError::MalformedArchive("stream header truncated"));
+            return Err(CuszpError::malformed(
+                "stream header truncated",
+                ContainerHeader,
+                bytes.len(),
+            ));
         }
         let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
         if magic != STREAM_MAGIC {
-            return Err(CuszpError::MalformedArchive("bad stream magic"));
+            return Err(CuszpError::malformed(
+                "bad stream magic",
+                ContainerHeader,
+                0,
+            ));
         }
         let rank = bytes[4];
         let mut pos = 8usize;
         let mut ext = [0usize; 3];
         for e in ext.iter_mut() {
-            *e = u64::from_le_bytes(
-                bytes
-                    .get(pos..pos + 8)
-                    .ok_or(CuszpError::MalformedArchive("stream header truncated"))?
-                    .try_into()
-                    .unwrap(),
-            ) as usize;
+            *e = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
             pos += 8;
         }
-        let dims = match rank {
-            1 => Dims::D1(ext[2]),
-            2 => Dims::D2 {
-                ny: ext[1],
-                nx: ext[2],
-            },
-            3 => Dims::D3 {
-                nz: ext[0],
-                ny: ext[1],
-                nx: ext[2],
-            },
-            _ => return Err(CuszpError::MalformedArchive("bad stream rank")),
+        let (dims, n_elems) = match rank {
+            1 => (Dims::D1(ext[2]), Some(ext[2])),
+            2 => (
+                Dims::D2 {
+                    ny: ext[1],
+                    nx: ext[2],
+                },
+                ext[1].checked_mul(ext[2]),
+            ),
+            3 => (
+                Dims::D3 {
+                    nz: ext[0],
+                    ny: ext[1],
+                    nx: ext[2],
+                },
+                ext[0]
+                    .checked_mul(ext[1])
+                    .and_then(|p| p.checked_mul(ext[2])),
+            ),
+            _ => return Err(CuszpError::malformed("bad stream rank", ContainerHeader, 4)),
         };
-        let n_blocks = u32::from_le_bytes(
-            bytes
-                .get(pos..pos + 4)
-                .ok_or(CuszpError::MalformedArchive("stream header truncated"))?
-                .try_into()
-                .unwrap(),
-        ) as usize;
+        let n_elems = n_elems.ok_or(CuszpError::malformed(
+            "extent product overflow",
+            ContainerHeader,
+            8,
+        ))?;
+        let n_blocks = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 4;
+        let table_need = n_blocks.checked_mul(8).ok_or(CuszpError::malformed(
+            "block count overflow",
+            LengthTable,
+            pos,
+        ))?;
+        if bytes.len() - pos < table_need {
+            return Err(CuszpError::malformed(
+                "stream lens truncated",
+                LengthTable,
+                bytes.len(),
+            ));
+        }
         let mut lens = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
-            lens.push(u64::from_le_bytes(
-                bytes
-                    .get(pos..pos + 8)
-                    .ok_or(CuszpError::MalformedArchive("stream lens truncated"))?
-                    .try_into()
-                    .unwrap(),
-            ) as usize);
+            lens.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize);
             pos += 8;
         }
         let mut blocks = Vec::with_capacity(n_blocks);
-        for len in lens {
-            let slice = bytes
-                .get(pos..pos + len)
-                .ok_or(CuszpError::MalformedArchive("stream block truncated"))?;
-            blocks.push(Archive::from_bytes(slice)?);
+        let mut covered = 0usize;
+        for (i, len) in lens.into_iter().enumerate() {
+            let slice = pos
+                .checked_add(len)
+                .and_then(|end| bytes.get(pos..end))
+                .ok_or(
+                    CuszpError::malformed("stream block truncated", ChunkBody, bytes.len())
+                        .in_chunk(i, 0),
+                )?;
+            let block = Archive::from_bytes(slice).map_err(|e| e.in_chunk(i, pos))?;
+            covered = covered.checked_add(block.dims.len()).ok_or(
+                CuszpError::malformed("block extents overflow", ChunkBody, pos).in_chunk(i, 0),
+            )?;
+            blocks.push(block);
             pos += len;
+        }
+        if covered != n_elems {
+            return Err(CuszpError::malformed(
+                "blocks do not tile the field",
+                ContainerHeader,
+                8,
+            ));
         }
         Ok(Self { dims, blocks })
     }

@@ -10,11 +10,9 @@
 //! `cuszp-analysis` picks the path per field (the `⟨b⟩ ≤ 1.09` rule).
 
 use cuszp_analysis::{analyze, CompressibilityReport, WorkflowChoice};
-use cuszp_huffman::{build_codebook_limited, decode_fast, encode, histogram, HuffmanEncoded};
+use cuszp_huffman::{build_codebook_limited, encode, histogram, HuffmanEncoded};
 use cuszp_predictor::QuantField;
-use cuszp_rle::{
-    rle_decode, rle_encode, rle_vle_decode, rle_vle_from_rle, RleEncoded, RleVleEncoded,
-};
+use cuszp_rle::{rle_encode, rle_vle_from_rle, RleEncoded, RleVleEncoded};
 
 /// Workflow selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,14 +88,16 @@ pub fn encode_codes(qf: &QuantField, mode: WorkflowMode) -> (CodesPayload, Compr
     (payload, report)
 }
 
-/// Decodes a payload back to the quant-code stream. Huffman payloads go
-/// through the table-accelerated decoder (bitwise-identical to the
-/// canonical one; see `cuszp_huffman::decode_fast`).
-pub fn decode_codes(payload: &CodesPayload) -> Vec<u16> {
+/// Decodes a payload back to the quant-code stream, panic-free: corrupted
+/// streams return `None` and no allocation exceeds what the payload
+/// metadata validates to. Huffman payloads go through the
+/// table-accelerated decoder (bitwise-identical to the canonical one; see
+/// `cuszp_huffman::decode_fast`).
+pub fn decode_codes_checked(payload: &CodesPayload) -> Option<Vec<u16>> {
     match payload {
-        CodesPayload::Huffman(h) => decode_fast(h),
-        CodesPayload::Rle(r) => rle_decode(r),
-        CodesPayload::RleVle(rv) => rle_vle_decode(rv),
+        CodesPayload::Huffman(h) => cuszp_huffman::decode_fast_checked(h),
+        CodesPayload::Rle(r) => cuszp_rle::rle_decode_checked(r),
+        CodesPayload::RleVle(rv) => cuszp_rle::rle_vle_decode_checked(rv),
     }
 }
 
@@ -121,7 +121,12 @@ mod tests {
         ] {
             let (payload, _) = encode_codes(&qf, WorkflowMode::Force(choice));
             assert_eq!(payload.choice(), choice);
-            assert_eq!(decode_codes(&payload), qf.codes, "{}", choice.name());
+            assert_eq!(
+                decode_codes_checked(&payload).unwrap(),
+                qf.codes,
+                "{}",
+                choice.name()
+            );
         }
     }
 

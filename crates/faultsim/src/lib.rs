@@ -1,0 +1,483 @@
+//! Deterministic fault injection for archive robustness testing.
+//!
+//! Decompressors face storage bit-rot, torn writes, and truncated
+//! transfers; the recovery contract (see `DESIGN.md`) promises that no
+//! corrupt input panics, over-allocates, or silently yields wrong data.
+//! This crate manufactures the corrupt inputs that check the promise:
+//! seeded, reproducible mutations of a valid archive — truncations at
+//! and around section boundaries, bit-flip sweeps, length-field
+//! inflation, and chunk-level reorder/duplicate/delete surgery on CSZ2
+//! containers.
+//!
+//! Everything is driven by [`FaultRng`], a fixed xorshift64* generator:
+//! a campaign is a pure function of `(base bytes, seed, n)`, so a
+//! failing case replays from its campaign index alone.
+//!
+//! The crate deliberately depends on nothing: it knows just enough of
+//! the CSZ2 layout (magic, fixed header size, length table) to aim
+//! structured faults, duplicated here as constants so the harness stays
+//! usable from any crate's dev-dependencies without cycles.
+
+use std::ops::Range;
+
+/// xorshift64* — tiny, seedable, good enough for fault placement.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Seeds the generator (a zero seed is remapped; xorshift has a
+    /// zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// CSZ2 container magic ("CSZ2", little-endian).
+pub const CSZ2_MAGIC: u32 = 0x325A_5343;
+/// Fixed CSZ2 header size: magic, version, rank, dtype, extents, eb,
+/// chunk target, chunk count.
+pub const CSZ2_HEADER_BYTES: usize = 4 + 2 + 1 + 1 + 24 + 8 + 8 + 4;
+
+/// Byte map of a CSZ2 container, for aiming structured faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csz2Layout {
+    /// Declared chunk count.
+    pub n_chunks: usize,
+    /// Byte range of the chunk length table.
+    pub table: Range<usize>,
+    /// Byte range of each chunk body, in order.
+    pub chunks: Vec<Range<usize>>,
+}
+
+/// Parses the layout of a **valid** CSZ2 container. Returns `None` for
+/// anything that does not parse cleanly — the harness aims faults from
+/// the pristine base, never from an already-mutated body.
+pub fn parse_csz2(bytes: &[u8]) -> Option<Csz2Layout> {
+    if bytes.len() < CSZ2_HEADER_BYTES {
+        return None;
+    }
+    if u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != CSZ2_MAGIC {
+        return None;
+    }
+    let n_chunks = u32::from_le_bytes(
+        bytes[CSZ2_HEADER_BYTES - 4..CSZ2_HEADER_BYTES]
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    let table = CSZ2_HEADER_BYTES..CSZ2_HEADER_BYTES.checked_add(n_chunks.checked_mul(8)?)?;
+    if table.end > bytes.len() {
+        return None;
+    }
+    let mut chunks = Vec::with_capacity(n_chunks);
+    let mut pos = table.end;
+    for i in 0..n_chunks {
+        let off = table.start + i * 8;
+        let len = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+        let end = pos.checked_add(len)?;
+        if end > bytes.len() {
+            return None;
+        }
+        chunks.push(pos..end);
+        pos = end;
+    }
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(Csz2Layout {
+        n_chunks,
+        table,
+        chunks,
+    })
+}
+
+/// The section boundaries of a container: 0, end of header, end of each
+/// length-table entry, and end of each chunk. Truncating exactly at (and
+/// one byte before/after) these offsets exercises every parser edge.
+pub fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut out = vec![0];
+    if let Some(layout) = parse_csz2(bytes) {
+        out.push(CSZ2_HEADER_BYTES);
+        for i in 0..layout.n_chunks {
+            out.push(layout.table.start + (i + 1) * 8);
+        }
+        for c in &layout.chunks {
+            out.push(c.end);
+        }
+    }
+    out.push(bytes.len());
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Truncates to `at` bytes (clamped).
+pub fn truncate(bytes: &[u8], at: usize) -> Vec<u8> {
+    bytes[..at.min(bytes.len())].to_vec()
+}
+
+/// Flips one bit.
+pub fn flip_bit(bytes: &[u8], offset: usize, bit: u8) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if let Some(b) = out.get_mut(offset) {
+        *b ^= 1 << (bit % 8);
+    }
+    out
+}
+
+/// Overwrites the little-endian `u64` at `offset` (e.g. a length-table
+/// entry) with an inflated value.
+pub fn inflate_u64(bytes: &[u8], offset: usize, value: u64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if offset + 8 <= out.len() {
+        out[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    }
+    out
+}
+
+/// Overwrites the little-endian `u32` at `offset` (e.g. the chunk count).
+pub fn inflate_u32(bytes: &[u8], offset: usize, value: u32) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if offset + 4 <= out.len() {
+        out[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+    out
+}
+
+/// Rebuilds a CSZ2 container with its chunks in `order` (indices into
+/// the original chunk list; duplicates and omissions allowed — this one
+/// primitive implements reorder, duplicate, and delete). The header's
+/// chunk count and the length table are rewritten consistently, so the
+/// result is *structurally* valid and probes semantic validation
+/// (geometry/tiling checks), not mere framing.
+pub fn rebuild_with_chunk_order(bytes: &[u8], order: &[usize]) -> Option<Vec<u8>> {
+    let layout = parse_csz2(bytes)?;
+    if order.iter().any(|&i| i >= layout.chunks.len()) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len());
+    out.extend_from_slice(&bytes[..CSZ2_HEADER_BYTES - 4]);
+    out.extend_from_slice(&(order.len() as u32).to_le_bytes());
+    for &i in order {
+        out.extend_from_slice(&(layout.chunks[i].len() as u64).to_le_bytes());
+    }
+    for &i in order {
+        out.extend_from_slice(&bytes[layout.chunks[i].clone()]);
+    }
+    Some(out)
+}
+
+/// Swaps chunks `i` and `j`.
+pub fn reorder_chunks(bytes: &[u8], i: usize, j: usize) -> Option<Vec<u8>> {
+    let layout = parse_csz2(bytes)?;
+    let mut order: Vec<usize> = (0..layout.chunks.len()).collect();
+    if i >= order.len() || j >= order.len() {
+        return None;
+    }
+    order.swap(i, j);
+    rebuild_with_chunk_order(bytes, &order)
+}
+
+/// Duplicates chunk `i` in place (the container grows by one chunk).
+pub fn duplicate_chunk(bytes: &[u8], i: usize) -> Option<Vec<u8>> {
+    let layout = parse_csz2(bytes)?;
+    if i >= layout.chunks.len() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..layout.chunks.len()).collect();
+    order.insert(i, i);
+    rebuild_with_chunk_order(bytes, &order)
+}
+
+/// Deletes chunk `i` (the container shrinks by one chunk).
+pub fn delete_chunk(bytes: &[u8], i: usize) -> Option<Vec<u8>> {
+    let layout = parse_csz2(bytes)?;
+    if i >= layout.chunks.len() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..layout.chunks.len()).collect();
+    order.remove(i);
+    rebuild_with_chunk_order(bytes, &order)
+}
+
+/// One corrupted input from a campaign.
+#[derive(Debug, Clone)]
+pub struct FaultCase {
+    /// Campaign index (replay key together with the seed).
+    pub id: usize,
+    /// Human-readable description of the mutation.
+    pub description: String,
+    /// The corrupted bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Generates `n` deterministic corruptions of `base`.
+///
+/// The mix interleaves: truncation at/around every section boundary,
+/// seeded random truncations, single- and multi-bit flips across the
+/// whole container, length-table and chunk-count inflation, and (for
+/// CSZ2 containers) chunk reorder/duplicate/delete surgery. The same
+/// `(base, seed, n)` always yields the same cases.
+pub fn campaign(base: &[u8], seed: u64, n: usize) -> Vec<FaultCase> {
+    let mut rng = FaultRng::new(seed);
+    let layout = parse_csz2(base);
+    let boundaries = section_boundaries(base);
+    let mut cases = Vec::with_capacity(n);
+    let mut boundary_cursor = 0usize;
+    for id in 0..n {
+        let (mut description, mut bytes) = match id % 8 {
+            // Boundary truncations first — exact, one short, one long —
+            // cycling through every boundary of the container.
+            0 => {
+                let b = boundaries[boundary_cursor % boundaries.len()];
+                boundary_cursor += 1;
+                let at = match rng.below(3) {
+                    0 => b,
+                    1 => b.saturating_sub(1),
+                    _ => b + 1,
+                }
+                // Truncating at (or past) the full length is a no-op;
+                // clamp to the one-byte-short case instead.
+                .min(base.len().saturating_sub(1));
+                (
+                    format!("truncate at {at} (boundary {b})"),
+                    truncate(base, at),
+                )
+            }
+            1 => {
+                let at = if base.is_empty() {
+                    0
+                } else {
+                    rng.below(base.len() + 1)
+                };
+                (format!("truncate at {at}"), truncate(base, at))
+            }
+            2 | 3 => {
+                let off = if base.is_empty() {
+                    0
+                } else {
+                    rng.below(base.len())
+                };
+                let bit = (rng.next_u64() % 8) as u8;
+                (
+                    format!("flip bit {bit} of byte {off}"),
+                    flip_bit(base, off, bit),
+                )
+            }
+            4 => {
+                // A burst of flips clustered in one region.
+                let mut bytes = base.to_vec();
+                let mut start = 0;
+                if !bytes.is_empty() {
+                    start = rng.below(bytes.len());
+                    for _ in 0..4 {
+                        let off = (start + rng.below(16)).min(bytes.len() - 1);
+                        bytes[off] ^= 1 << (rng.next_u64() % 8);
+                    }
+                }
+                (format!("4-bit burst near byte {start}"), bytes)
+            }
+            5 => match &layout {
+                Some(l) if l.n_chunks > 0 => {
+                    let entry = rng.below(l.n_chunks);
+                    let off = l.table.start + entry * 8;
+                    let value = match rng.below(3) {
+                        0 => u64::MAX,
+                        1 => (base.len() as u64) * 2,
+                        _ => rng.next_u64(),
+                    };
+                    (
+                        format!("inflate length-table entry {entry} to {value:#x}"),
+                        inflate_u64(base, off, value),
+                    )
+                }
+                _ => {
+                    let value = rng.next_u64() as u32;
+                    (
+                        format!("overwrite chunk count with {value}"),
+                        inflate_u32(base, CSZ2_HEADER_BYTES.saturating_sub(4), value),
+                    )
+                }
+            },
+            6 => {
+                let value = match rng.below(2) {
+                    0 => u32::MAX,
+                    _ => rng.next_u64() as u32,
+                };
+                (
+                    format!("overwrite chunk count with {value}"),
+                    inflate_u32(base, CSZ2_HEADER_BYTES.saturating_sub(4), value),
+                )
+            }
+            _ => match &layout {
+                Some(l) if l.n_chunks > 1 => {
+                    let i = rng.below(l.n_chunks);
+                    let j = rng.below(l.n_chunks);
+                    match rng.below(3) {
+                        0 => (
+                            format!("reorder chunks {i} <-> {j}"),
+                            reorder_chunks(base, i, j).unwrap(),
+                        ),
+                        1 => (
+                            format!("duplicate chunk {i}"),
+                            duplicate_chunk(base, i).unwrap(),
+                        ),
+                        _ => (format!("delete chunk {i}"), delete_chunk(base, i).unwrap()),
+                    }
+                }
+                _ => {
+                    let off = if base.is_empty() {
+                        0
+                    } else {
+                        rng.below(base.len())
+                    };
+                    (format!("zero byte {off}"), {
+                        let mut b = base.to_vec();
+                        if let Some(x) = b.get_mut(off) {
+                            *x = 0;
+                        }
+                        b
+                    })
+                }
+            },
+        };
+        // Some ops can degenerate into no-ops (paired flips cancelling,
+        // swapping byte-identical chunks). A no-op case would silently
+        // weaken the campaign, so force a mutation.
+        if bytes == base && !bytes.is_empty() {
+            let off = id % bytes.len();
+            bytes[off] ^= 0x01;
+            description = format!("{description}; degenerate, flip bit 0 of byte {off}");
+        }
+        cases.push(FaultCase {
+            id,
+            description,
+            bytes,
+        });
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built two-chunk CSZ2-framed container (bodies are opaque
+    /// to this crate, so arbitrary filler works).
+    fn fake_container(body_a: &[u8], body_b: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CSZ2_MAGIC.to_le_bytes());
+        out.extend_from_slice(&2u16.to_le_bytes()); // version
+        out.push(1); // rank
+        out.push(0); // dtype
+        out.extend_from_slice(&[0u8; 24]); // extents
+        out.extend_from_slice(&1e-3f64.to_le_bytes()); // eb
+        out.extend_from_slice(&1024u64.to_le_bytes()); // chunk target
+        out.extend_from_slice(&2u32.to_le_bytes()); // n_chunks
+        out.extend_from_slice(&(body_a.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(body_b.len() as u64).to_le_bytes());
+        out.extend_from_slice(body_a);
+        out.extend_from_slice(body_b);
+        out
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_nonzero() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut z = FaultRng::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn layout_parses_round_numbers() {
+        let c = fake_container(b"AAAA", b"BBBBBBB");
+        let l = parse_csz2(&c).unwrap();
+        assert_eq!(l.n_chunks, 2);
+        assert_eq!(l.chunks[0].len(), 4);
+        assert_eq!(l.chunks[1].len(), 7);
+        assert_eq!(l.chunks[1].end, c.len());
+        // Truncated containers don't parse.
+        assert!(parse_csz2(&c[..c.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn chunk_surgery_preserves_framing() {
+        let c = fake_container(b"AAAA", b"BBBBBBB");
+        let swapped = reorder_chunks(&c, 0, 1).unwrap();
+        let l = parse_csz2(&swapped).unwrap();
+        assert_eq!(&swapped[l.chunks[0].clone()], b"BBBBBBB");
+        assert_eq!(&swapped[l.chunks[1].clone()], b"AAAA");
+
+        let duped = duplicate_chunk(&c, 0).unwrap();
+        assert_eq!(parse_csz2(&duped).unwrap().n_chunks, 3);
+
+        let deleted = delete_chunk(&c, 1).unwrap();
+        let l = parse_csz2(&deleted).unwrap();
+        assert_eq!(l.n_chunks, 1);
+        assert_eq!(&deleted[l.chunks[0].clone()], b"AAAA");
+    }
+
+    #[test]
+    fn boundaries_are_sorted_unique_and_cover_ends() {
+        let c = fake_container(b"AAAA", b"BBBBBBB");
+        let b = section_boundaries(&c);
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&c.len()));
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!(b.contains(&CSZ2_HEADER_BYTES));
+    }
+
+    #[test]
+    fn campaigns_replay_exactly() {
+        let c = fake_container(b"AAAAAAAAAA", b"BBBBBBBBBB");
+        let a = campaign(&c, 0xDEAD_BEEF, 64);
+        let b = campaign(&c, 0xDEAD_BEEF, 64);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bytes, y.bytes, "case {}", x.id);
+            assert_eq!(x.description, y.description);
+        }
+        // A different seed must differ somewhere.
+        let d = campaign(&c, 1, 64);
+        assert!(a.iter().zip(&d).any(|(x, y)| x.bytes != y.bytes));
+    }
+
+    #[test]
+    fn campaign_mutates_every_case() {
+        let c = fake_container(b"AAAAAAAAAA", b"BBBBBBBBBB");
+        for case in campaign(&c, 7, 200) {
+            assert_ne!(
+                case.bytes, c,
+                "case {} ({}) is a no-op",
+                case.id, case.description
+            );
+        }
+    }
+}

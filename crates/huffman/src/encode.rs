@@ -84,7 +84,23 @@ impl HuffmanEncoded {
         let packed_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
         let book_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
         let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
+        // Declared sizes are attacker-controlled: every count must fit in
+        // the remaining input before any allocation sized by it (a
+        // 20-byte stream must never reserve gigabytes).
+        let remaining = bytes.len().saturating_sub(pos);
+        if packed_len > remaining {
+            return None;
+        }
+        // A packed byte expands to at most 255 length entries, and
+        // symbols are u16 so no real book exceeds 65536 entries.
+        if book_len > packed_len.checked_mul(255)? || book_len > 65536 {
+            return None;
+        }
         let codebook_lengths = unpack_lengths(take(&mut pos, packed_len)?, book_len)?;
+        let remaining = bytes.len().saturating_sub(pos);
+        if n_chunks.checked_mul(4)? > remaining || payload_len > remaining {
+            return None;
+        }
         let mut chunk_bits = Vec::with_capacity(n_chunks);
         for _ in 0..n_chunks {
             chunk_bits.push(u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?));
@@ -100,6 +116,46 @@ impl HuffmanEncoded {
             },
             pos,
         ))
+    }
+
+    /// Structural consistency of the decode metadata: chunk bit counts
+    /// must tile the payload exactly, the chunking must cover `n_symbols`,
+    /// and the codebook lengths must form a valid prefix code. An encoded
+    /// stream that passes decodes without panicking.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let mut payload_bytes = 0usize;
+        for &bits in &self.chunk_bits {
+            payload_bytes = payload_bytes
+                .checked_add((bits as usize).div_ceil(8))
+                .ok_or("chunk bit counts overflow")?;
+        }
+        if payload_bytes != self.payload.len() {
+            return Err("chunk bits disagree with payload length");
+        }
+        let n = self.n_symbols as usize;
+        if n == 0 {
+            return Ok(());
+        }
+        if self.chunk_symbols == 0 {
+            return Err("zero chunk_symbols with symbols present");
+        }
+        if self.chunk_bits.len() != n.div_ceil(self.chunk_symbols as usize) {
+            return Err("chunk count disagrees with n_symbols");
+        }
+        if self.codebook_lengths.iter().any(|&l| l > 64) {
+            return Err("codebook length exceeds 64 bits");
+        }
+        // Kraft inequality: lengths must describe a real prefix code.
+        let mut kraft = 0u128;
+        for &l in &self.codebook_lengths {
+            if l > 0 {
+                kraft += 1u128 << (64 - l as u32);
+            }
+        }
+        if kraft > 1u128 << 64 {
+            return Err("codebook violates Kraft inequality");
+        }
+        Ok(())
     }
 }
 

@@ -62,6 +62,25 @@ impl FastDecoder {
         Self { lut, slow }
     }
 
+    /// Panic-free construction from untrusted lengths: rejects lengths
+    /// over 64 bits and length populations violating the Kraft
+    /// inequality (either would make table construction unsound).
+    pub fn from_lengths_checked(lengths: &[u8]) -> Option<Self> {
+        if lengths.iter().any(|&l| l > 64) {
+            return None;
+        }
+        let mut kraft = 0u128;
+        for &l in lengths {
+            if l > 0 {
+                kraft += 1u128 << (64 - l as u32);
+            }
+        }
+        if kraft > 1u128 << 64 {
+            return None;
+        }
+        Some(Self::from_lengths(lengths))
+    }
+
     /// Decodes `n` symbols from a byte-aligned chunk holding `nbits`
     /// valid bits. Returns `None` on corruption.
     pub fn decode_chunk(
@@ -119,12 +138,25 @@ fn peek_bits(bytes: &[u8], bitpos: usize, n: usize) -> u32 {
 
 /// Decodes an encoded stream with the table-accelerated decoder;
 /// chunk-parallel like [`decode`](crate::decode).
+///
+/// Panics on structurally inconsistent metadata — callers decoding
+/// untrusted bytes should use [`decode_fast_checked`].
 pub fn decode_fast(enc: &HuffmanEncoded) -> Vec<u16> {
-    let decoder = FastDecoder::from_lengths(&enc.codebook_lengths);
+    decode_fast_checked(enc).expect("corrupt Huffman stream")
+}
+
+/// Panic-free decoding of a possibly corrupted stream: structural
+/// inconsistencies (chunk bit counts disagreeing with the payload, an
+/// invalid codebook, a bitstream that runs dry) return `None` instead of
+/// panicking, and no allocation exceeds what the metadata itself has
+/// already been validated to describe.
+pub fn decode_fast_checked(enc: &HuffmanEncoded) -> Option<Vec<u16>> {
+    enc.validate().ok()?;
     let n = enc.n_symbols as usize;
     if n == 0 {
-        return Vec::new();
+        return Some(Vec::new());
     }
+    let decoder = FastDecoder::from_lengths_checked(&enc.codebook_lengths)?;
     let chunk = enc.chunk_symbols as usize;
     let mut offsets = Vec::with_capacity(enc.chunk_bits.len());
     let mut cursor = 0usize;
@@ -132,19 +164,27 @@ pub fn decode_fast(enc: &HuffmanEncoded) -> Vec<u16> {
         offsets.push(cursor);
         cursor += (bits as usize).div_ceil(8);
     }
-    assert_eq!(cursor, enc.payload.len(), "payload length mismatch");
+    // validate() proved the chunk bit counts tile the payload.
+    debug_assert_eq!(cursor, enc.payload.len());
 
-    let mut out = vec![0u16; n];
+    let mut out = Vec::new();
+    out.try_reserve_exact(n).ok()?;
+    out.resize(n, 0u16);
+    let corrupt = std::sync::atomic::AtomicBool::new(false);
     cuszp_parallel::par_chunks_mut(&mut out, chunk, |ci, dst| {
         let start = offsets[ci];
         let nbits = enc.chunk_bits[ci] as usize;
         let bytes = &enc.payload[start..start + nbits.div_ceil(8)];
         let n_here = dst.len();
-        decoder
-            .decode_chunk(bytes, nbits, n_here, dst)
-            .expect("corrupt Huffman chunk");
+        if decoder.decode_chunk(bytes, nbits, n_here, dst).is_none() {
+            corrupt.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
     });
-    out
+    if corrupt.into_inner() {
+        None
+    } else {
+        Some(out)
+    }
 }
 
 #[cfg(test)]

@@ -80,40 +80,58 @@ impl ChunkPlan {
 ///   is a valid field of the same rank;
 /// * the plan depends only on `extents` and `target_elems`.
 pub fn plan_chunks(extents: &[usize], target_elems: usize) -> ChunkPlan {
-    assert!(!extents.is_empty(), "plan_chunks: rank must be 1..=3");
-    assert!(extents.len() <= 3, "plan_chunks: rank must be 1..=3");
-    let slow_units = extents[0];
+    let n_chunks = plan_len(extents, target_elems);
     let elems_per_slow: usize = extents[1..].iter().product::<usize>().max(1);
-    let total_elems = slow_units * elems_per_slow;
-    if total_elems == 0 {
-        return ChunkPlan {
-            chunks: Vec::new(),
-            elems_per_slow,
-            total_elems,
-        };
-    }
-    let target = target_elems.max(1);
-    // Whole slow-axis units per chunk, at least one.
-    let units_per_chunk = (target / elems_per_slow).max(1).min(slow_units);
-    let n_chunks = slow_units.div_ceil(units_per_chunk);
-    // Balanced split: sizes differ by at most one unit, largest first.
-    let base = slow_units / n_chunks;
-    let extra = slow_units % n_chunks;
-    let mut chunks = Vec::with_capacity(n_chunks);
-    let mut start = 0usize;
-    for index in 0..n_chunks {
-        let units = base + usize::from(index < extra);
-        let slow = start..start + units;
-        let elems = slow.start * elems_per_slow..slow.end * elems_per_slow;
-        chunks.push(ChunkSpec { index, slow, elems });
-        start += units;
-    }
-    debug_assert_eq!(start, slow_units);
+    let total_elems = extents[0] * elems_per_slow;
+    let chunks = (0..n_chunks)
+        .map(|index| plan_chunk_spec(extents, target_elems, index))
+        .collect();
     ChunkPlan {
         chunks,
         elems_per_slow,
         total_elems,
     }
+}
+
+/// Number of chunks [`plan_chunks`] would produce, in O(1).
+///
+/// Consumers planning over **untrusted** shapes (a parsed archive
+/// header) use this to bound work before materializing any specs: a
+/// corrupted extent or chunk target can demand billions of chunks, and
+/// allocating a [`ChunkSpec`] per chunk would turn a 100-byte input
+/// into a multi-gigabyte allocation.
+pub fn plan_len(extents: &[usize], target_elems: usize) -> usize {
+    assert!(!extents.is_empty(), "plan_chunks: rank must be 1..=3");
+    assert!(extents.len() <= 3, "plan_chunks: rank must be 1..=3");
+    let slow_units = extents[0];
+    let elems_per_slow: usize = extents[1..].iter().product::<usize>().max(1);
+    if slow_units * elems_per_slow == 0 {
+        return 0;
+    }
+    // Whole slow-axis units per chunk, at least one.
+    let units_per_chunk = (target_elems.max(1) / elems_per_slow)
+        .max(1)
+        .min(slow_units);
+    slow_units.div_ceil(units_per_chunk)
+}
+
+/// The `index`-th [`ChunkSpec`] of the plan, in O(1) — identical to
+/// `plan_chunks(extents, target_elems).chunks[index]`.
+///
+/// Balanced split: sizes differ by at most one slow unit, largest
+/// first. Panics if `index >= plan_len(extents, target_elems)`.
+pub fn plan_chunk_spec(extents: &[usize], target_elems: usize, index: usize) -> ChunkSpec {
+    let n_chunks = plan_len(extents, target_elems);
+    assert!(index < n_chunks, "chunk {index} out of plan ({n_chunks})");
+    let slow_units = extents[0];
+    let elems_per_slow: usize = extents[1..].iter().product::<usize>().max(1);
+    let base = slow_units / n_chunks;
+    let extra = slow_units % n_chunks;
+    let start = index * base + index.min(extra);
+    let units = base + usize::from(index < extra);
+    let slow = start..start + units;
+    let elems = slow.start * elems_per_slow..slow.end * elems_per_slow;
+    ChunkSpec { index, slow, elems }
 }
 
 #[cfg(test)]
@@ -152,6 +170,33 @@ mod tests {
             let plan = plan_chunks(&extents, DEFAULT_CHUNK_ELEMS);
             assert_tiles(&plan, &extents);
         }
+    }
+
+    #[test]
+    fn lazy_accessors_agree_with_the_materialized_plan() {
+        for (extents, target) in [
+            (vec![1usize], 1usize),
+            (vec![4096], 100),
+            (vec![6000, 1], 2048),
+            (vec![100, 10], 250),
+            (vec![10, 10], 300),
+            (vec![100, 500, 500], DEFAULT_CHUNK_ELEMS),
+            (vec![0, 7], 64),
+        ] {
+            let plan = plan_chunks(&extents, target);
+            assert_eq!(plan.len(), plan_len(&extents, target));
+            for (i, spec) in plan.chunks.iter().enumerate() {
+                assert_eq!(*spec, plan_chunk_spec(&extents, target, i));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_len_is_cheap_on_hostile_shapes() {
+        // A corrupted header can claim absurd chunk counts; counting
+        // must not allocate anything proportional to the claim.
+        assert_eq!(plan_len(&[usize::MAX >> 8, 1], 1), usize::MAX >> 8);
+        assert_eq!(plan_len(&[1 << 40, 1], 1 << 20), 1 << 20);
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub mod pool;
 mod scan;
 mod segmented;
 
-pub use chunk::{plan_chunks, ChunkPlan, ChunkSpec, DEFAULT_CHUNK_ELEMS};
+pub use chunk::{
+    plan_chunk_spec, plan_chunks, plan_len, ChunkPlan, ChunkSpec, DEFAULT_CHUNK_ELEMS,
+};
 pub use pool::WorkerPool;
 pub use scan::{par_scan_inclusive, par_scan_inclusive_in_place, scan_inclusive_serial};
 pub use segmented::{reduce_by_key, RunBoundary};

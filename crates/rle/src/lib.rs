@@ -16,7 +16,7 @@
 
 pub mod varint;
 
-use cuszp_huffman::{build_codebook_limited, decode_fast, encode, histogram, HuffmanEncoded};
+use cuszp_huffman::{build_codebook_limited, encode, histogram, HuffmanEncoded};
 
 /// Plain RLE output: parallel arrays of run values and run lengths.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,13 +70,35 @@ pub fn rle_encode(symbols: &[u16]) -> RleEncoded {
 }
 
 /// Expands an [`RleEncoded`] back to the symbol stream.
+///
+/// Panics if the runs do not sum to `n` — callers decoding untrusted
+/// bytes should use [`rle_decode_checked`].
 pub fn rle_decode(enc: &RleEncoded) -> Vec<u16> {
-    let mut out = Vec::with_capacity(enc.n as usize);
+    rle_decode_checked(enc).expect("corrupt RLE stream")
+}
+
+/// Panic-free expansion of a possibly corrupted encoding: mismatched
+/// value/count array lengths or runs not summing to exactly `n` return
+/// `None`, and nothing larger than the declared (validated) `n` is ever
+/// allocated.
+pub fn rle_decode_checked(enc: &RleEncoded) -> Option<Vec<u16>> {
+    if enc.values.len() != enc.counts.len() {
+        return None;
+    }
+    let mut total = 0u64;
+    for &c in &enc.counts {
+        total = total.checked_add(c as u64)?;
+    }
+    if total != enc.n {
+        return None;
+    }
+    let n = usize::try_from(enc.n).ok()?;
+    let mut out = Vec::new();
+    out.try_reserve_exact(n).ok()?;
     for (&v, &c) in enc.values.iter().zip(&enc.counts) {
         out.resize(out.len() + c as usize, v);
     }
-    debug_assert_eq!(out.len() as u64, enc.n);
-    out
+    Some(out)
 }
 
 /// RLE followed by variable-length (Huffman) encoding of both the run
@@ -132,17 +154,31 @@ pub fn rle_vle_from_rle(rle: &RleEncoded, cap: u16) -> RleVleEncoded {
 }
 
 /// Decodes an [`RleVleEncoded`] back to the original symbol stream.
+///
+/// Panics on corruption — callers decoding untrusted bytes should use
+/// [`rle_vle_decode_checked`].
 pub fn rle_vle_decode(enc: &RleVleEncoded) -> Vec<u16> {
-    let values = decode_fast(&enc.values);
-    let csyms = decode_fast(&enc.counts);
+    rle_vle_decode_checked(enc).expect("corrupt RLE+VLE stream")
+}
+
+/// Panic-free decoding of a possibly corrupted RLE+VLE stream: failures
+/// in either Huffman sub-stream, truncated varints, or runs that do not
+/// reassemble into exactly `n` symbols return `None`.
+pub fn rle_vle_decode_checked(enc: &RleVleEncoded) -> Option<Vec<u16>> {
+    let values = cuszp_huffman::decode_fast_checked(&enc.values)?;
+    let csyms = cuszp_huffman::decode_fast_checked(&enc.counts)?;
+    if csyms.iter().any(|&s| s > 0xFF) {
+        return None;
+    }
     let cbytes: Vec<u8> = csyms.iter().map(|&s| s as u8).collect();
-    let counts = varint::decode_stream(&cbytes, enc.n_runs as usize);
+    let n_runs = usize::try_from(enc.n_runs).ok()?;
+    let counts = varint::decode_stream_checked(&cbytes, n_runs)?;
     let rle = RleEncoded {
         values,
         counts,
         n: enc.n,
     };
-    rle_decode(&rle)
+    rle_decode_checked(&rle)
 }
 
 #[cfg(test)]

@@ -57,6 +57,46 @@ pub fn decode_stream(bytes: &[u8], n: usize) -> Vec<u32> {
     out
 }
 
+/// Panic-free [`decode_one`]: `None` on truncation or a varint wider
+/// than a `u32`.
+pub fn decode_one_checked(bytes: &[u8], mut pos: usize) -> Option<(u32, usize)> {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        if pos >= bytes.len() || shift >= 35 {
+            return None;
+        }
+        let b = bytes[pos];
+        pos += 1;
+        v |= ((b & 0x7f) as u32) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, pos));
+        }
+        shift += 7;
+    }
+}
+
+/// Panic-free [`decode_stream`]: `None` if the bytes do not hold exactly
+/// `n` well-formed varints. Allocation is bounded by the stream itself
+/// (a varint costs at least one byte), not by the untrusted `n`.
+pub fn decode_stream_checked(bytes: &[u8], n: usize) -> Option<Vec<u32>> {
+    if n > bytes.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 0;
+    for _ in 0..n {
+        let (v, p) = decode_one_checked(bytes, pos)?;
+        out.push(v);
+        pos = p;
+    }
+    if pos == bytes.len() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

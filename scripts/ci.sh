@@ -16,4 +16,7 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace
 
+echo "==> corruption campaign (seeded fault injection)"
+scripts/corruption_campaign.sh
+
 echo "CI green."

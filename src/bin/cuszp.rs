@@ -18,8 +18,8 @@ use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
 use cuszp::metrics::{verify_error_bound, verify_error_bound_f64};
 use cuszp::parallel::WorkerPool;
 use cuszp::{
-    Archive, ChunkedArchive, Compressor, Config, Dims, Dtype, ErrorBound, Predictor,
-    WorkflowChoice, WorkflowMode,
+    Archive, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype, ErrorBound, FillPolicy,
+    Predictor, RecoveredField, WorkflowChoice, WorkflowMode,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -32,6 +32,15 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // `fsck` takes its archive as a positional argument (`cuszp fsck
+    // field.csz`); normalize to `-i` so option parsing stays uniform.
+    let fsck_rest: Vec<String>;
+    let rest = if cmd == "fsck" && rest.len() == 1 && !rest[0].starts_with('-') {
+        fsck_rest = vec!["-i".to_string(), rest[0].clone()];
+        &fsck_rest[..]
+    } else {
+        rest
+    };
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -43,6 +52,7 @@ fn main() -> ExitCode {
         "compress" => cmd_compress(&opts),
         "decompress" => cmd_decompress(&opts),
         "info" => cmd_info(&opts),
+        "fsck" => cmd_fsck(&opts),
         "analyze" => cmd_analyze(&opts),
         "gen" => cmd_gen(&opts),
         "help" | "--help" | "-h" => {
@@ -68,7 +78,9 @@ USAGE:
                    [-w auto|huffman|rle|rle+vle] [-p lorenzo|interp] [--double]
                    [--threads <n>]
   cuszp decompress -i <archive> -o <raw> [--verify <original raw>] [--threads <n>]
+                   [--recover [--fill nan|zero]]
   cuszp info       -i <archive>
+  cuszp fsck       <archive>
   cuszp analyze    -i <raw> -d <dims> [-e <bound>] [-m abs|rel] [--double]
   cuszp gen        -o <raw> --dataset <name> --field <name> [--scale tiny|small]
 
@@ -81,7 +93,13 @@ OPTIONS:
   --double   treat the raw file as f64
   --threads  chunk-parallel engine with an n-worker pool; compress writes the
              multi-chunk (v2) archive, whose bytes are identical for any n
-  --dataset  one of: hacc cesm hurricane nyx rtm miranda qmcpack";
+  --recover  fault-isolated decompression of a damaged chunked archive:
+             undamaged chunks reconstruct exactly, damaged slabs are filled
+             (--fill nan|zero, default nan) and reported per chunk
+  --dataset  one of: hacc cesm hurricane nyx rtm miranda qmcpack
+
+`fsck` validates and decodes every chunk independently, prints a per-chunk
+report, and exits non-zero if any chunk is damaged.";
 
 struct Opts(HashMap<String, String>);
 
@@ -109,7 +127,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             return Err(format!("unexpected positional argument '{a}'"));
         }
         // Boolean flags.
-        if matches!(key.as_str(), "double" | "verify-none") {
+        if matches!(key.as_str(), "double" | "verify-none" | "recover") {
             map.insert(key, String::new());
             continue;
         }
@@ -273,6 +291,9 @@ fn cmd_decompress(opts: &Opts) -> Result<(), String> {
         // Pool width for chunk fan-out (v1 archives reconstruct whole).
         cuszp::parallel::set_workers(n);
     }
+    if opts.has_flag("recover") {
+        return cmd_decompress_recover(opts, input, output, &bytes);
+    }
     let chunked = cuszp::is_chunked_archive(&bytes)
         .then(|| ChunkedArchive::from_bytes(&bytes))
         .transpose()
@@ -312,6 +333,98 @@ fn cmd_decompress(opts: &Opts) -> Result<(), String> {
         "wrote {} bytes to {output} in {:.2}s",
         out_bytes.len(),
         t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `decompress --recover`: fault-isolated decompression. The strict
+/// metadata parse is skipped on purpose — the archive may be damaged —
+/// and the element type is discovered by attempting `f32` first (the
+/// recovery core rejects a wrong dtype before doing any work).
+fn cmd_decompress_recover(
+    opts: &Opts,
+    input: &str,
+    output: &str,
+    bytes: &[u8],
+) -> Result<(), String> {
+    if opts.get("verify").is_some() {
+        return Err(
+            "--verify cannot be combined with --recover (damaged slabs hold fill values)".into(),
+        );
+    }
+    let fill = FillPolicy::parse(opts.get("fill").unwrap_or("nan"))
+        .ok_or_else(|| format!("bad --fill '{}' (nan|zero)", opts.get("fill").unwrap_or("")))?;
+    let t0 = std::time::Instant::now();
+    let (out_bytes, reports) = match cuszp::decompress_resilient(bytes, fill) {
+        Ok(rf) => {
+            let RecoveredField { data, reports, .. } = rf;
+            let out: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
+            (out, reports)
+        }
+        Err(CuszpError::DtypeMismatch { .. }) => {
+            let rf = cuszp::decompress_resilient_f64(bytes, fill).map_err(|e| e.to_string())?;
+            let RecoveredField { data, reports, .. } = rf;
+            let out: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
+            (out, reports)
+        }
+        Err(e) => return Err(format!("{input}: unrecoverable: {e}")),
+    };
+    let damaged: Vec<_> = reports.iter().filter(|r| !r.status.is_ok()).collect();
+    for r in &damaged {
+        eprintln!(
+            "  chunk {}: {} (elements {}..{})",
+            r.index, r.status, r.elem_range.start, r.elem_range.end
+        );
+    }
+    write_bytes(output, &out_bytes)?;
+    eprintln!(
+        "recovered {}/{} chunks to {output} in {:.2}s{}",
+        reports.len() - damaged.len(),
+        reports.len(),
+        t0.elapsed().as_secs_f64(),
+        if damaged.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} damaged slab(s) filled)", damaged.len())
+        }
+    );
+    Ok(())
+}
+
+/// `fsck`: validates and decodes every chunk independently, prints the
+/// per-chunk report, exits non-zero if anything is damaged.
+fn cmd_fsck(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let report = cuszp::scan(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    println!("archive: {input} ({})", report.format);
+    if let Some(dims) = report.dims {
+        println!("  dims:   {dims:?} ({} elements)", dims.len());
+    }
+    if let Some(dtype) = report.dtype {
+        println!("  dtype:  {}", dtype.name());
+    }
+    println!("  chunks: {} declared", report.declared_chunks);
+    for r in &report.reports {
+        let loc = match &r.byte_range {
+            Some(range) => format!("bytes {}..{}", range.start, range.end),
+            None => "unlocatable".to_string(),
+        };
+        println!(
+            "    [{}] {}  ({loc}, elements {}..{})",
+            r.index, r.status, r.elem_range.start, r.elem_range.end
+        );
+    }
+    let damaged = report.n_damaged();
+    if damaged > 0 {
+        return Err(format!(
+            "{input}: {damaged} of {} chunk(s) damaged",
+            report.reports.len()
+        ));
+    }
+    println!(
+        "  clean: all {} chunk(s) validated and decoded",
+        report.reports.len()
     );
     Ok(())
 }

@@ -58,7 +58,10 @@ pub use cuszp_zfp as zfp;
 // The everyday API, flattened.
 pub use cuszp_core::{
     decompress, decompress_archive, decompress_f64, decompress_f64_with_engine,
-    decompress_with_engine, is_chunked_archive, Archive, ChunkedArchive, CompressionStats,
-    Compressor, Config, CuszpError, Dims, Dtype, ErrorBound, Predictor, ReconstructEngine,
-    Snapshot, SnapshotEntry, StreamArchive, WorkflowChoice, WorkflowMode,
+    decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
+    decompress_resilient_with, decompress_with_engine, is_chunked_archive, scan, scan_with,
+    Archive, ArchiveSection, ChunkReport, ChunkStatus, ChunkedArchive, CompressionStats,
+    Compressor, Config, CuszpError, Dims, Dtype, ErrorBound, FillPolicy, ParseFault, Predictor,
+    ReconstructEngine, RecoveredField, ScanReport, Snapshot, SnapshotEntry, StreamArchive,
+    WorkflowChoice, WorkflowMode,
 };
