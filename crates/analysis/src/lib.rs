@@ -20,7 +20,8 @@ pub mod spatial;
 pub mod variogram;
 
 pub use selector::{
-    analyze, select_workflow, CompressibilityReport, WorkflowChoice, RLE_BIT_LENGTH_THRESHOLD,
+    analyze, analyze_with_histogram, select_workflow, CompressibilityReport, WorkflowChoice,
+    RLE_BIT_LENGTH_THRESHOLD,
 };
 pub use spatial::{anisotropy, axis_binary_variogram, axis_madogram, AnisotropyReport, Axis};
 pub use variogram::{binary_variogram, madogram, smoothness, VariogramCurve, DEFAULT_MAX_DISTANCE};

@@ -69,9 +69,19 @@ pub struct CompressibilityReport {
 /// seed) so compression is reproducible.
 pub fn analyze(codes: &[u16], cap: u16) -> CompressibilityReport {
     let hist = cuszp_huffman::histogram(codes, cap as usize);
-    let p1 = stats::p1(&hist);
-    let entropy = stats::entropy(&hist);
-    let (b_lower, b_upper) = stats::avg_bit_length_bounds(&hist);
+    analyze_with_histogram(codes, &hist)
+}
+
+/// [`analyze`] over a histogram the caller has already computed (the
+/// pipeline engine builds one histogram per chunk and shares it between
+/// selection and codebook construction instead of counting twice).
+///
+/// `hist` must be the exact symbol histogram of `codes` with one bin per
+/// alphabet symbol.
+pub fn analyze_with_histogram(codes: &[u16], hist: &[u32]) -> CompressibilityReport {
+    let p1 = stats::p1(hist);
+    let entropy = stats::entropy(hist);
+    let (b_lower, b_upper) = stats::avg_bit_length_bounds(hist);
 
     // Adjacency roughness from a capped sample (the madogram's offline
     // sampling scheme, distance restricted to 1 which is what run breaks

@@ -11,10 +11,55 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use cuszp_core::{ChunkedArchive, Compressor, Config, ErrorBound, ReconstructEngine};
 use cuszp_parallel::WorkerPool;
 use cuszp_predictor::Dims;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation so scratch-reuse regressions in the
+/// pipeline engine fail loudly instead of silently re-inflating the
+/// per-chunk memory traffic the engine exists to remove.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed
+// atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, r)
+}
 
 /// 16 Mi elements of f32 = 64 MB.
 const N: usize = 16 * 1024 * 1024;
 const CHUNK_TARGET: usize = 2 * 1024 * 1024;
+
+/// Per-chunk steady-state allocation budget. The pre-engine drivers
+/// measured 18,710 allocations/chunk on this bench; the scratch-reusing
+/// `PipelineEngine` brought that to ~1,534. The budget leaves headroom
+/// for encoder-internal churn while still failing loudly long before a
+/// regression returns to the old per-chunk re-allocation pattern.
+const MAX_ALLOCS_PER_CHUNK: u64 = 2_500;
 
 fn make_field(n: usize) -> Vec<f32> {
     // Smooth waves plus a mild deterministic hash ripple: compressible,
@@ -57,10 +102,25 @@ fn bench_chunked(c: &mut Criterion) {
             "archive bytes diverged at {workers} workers"
         );
     }
+    let n_chunks = ChunkedArchive::from_bytes(&reference).unwrap().n_chunks() as u64;
     eprintln!(
-        "determinism_guard: {} chunks, {} archive bytes, identical at 1/2/4/8 workers",
-        ChunkedArchive::from_bytes(&reference).unwrap().n_chunks(),
+        "determinism_guard: {n_chunks} chunks, {} archive bytes, identical at 1/2/4/8 workers",
         reference.len()
+    );
+
+    // Steady-state allocation guard: one warm compress already ran above,
+    // so this measures per-chunk allocation traffic with caches hot.
+    let pool = WorkerPool::new(1);
+    let (allocs, _) = allocs_during(|| {
+        comp.compress_chunked_with(&data, dims, CHUNK_TARGET, &pool)
+            .unwrap()
+    });
+    let per_chunk = allocs / n_chunks;
+    eprintln!("alloc_guard: {allocs} allocations for {n_chunks} chunks ({per_chunk}/chunk)");
+    assert!(
+        per_chunk <= MAX_ALLOCS_PER_CHUNK,
+        "scratch-reuse regression: {per_chunk} allocations/chunk exceeds the \
+         {MAX_ALLOCS_PER_CHUNK} budget"
     );
 
     let mut g = c.benchmark_group("chunked");

@@ -15,7 +15,7 @@
 //! detected before reconstruction runs.
 
 use crate::error::{ArchiveSection, CuszpError};
-use crate::workflow::{decode_codes_checked, CodesPayload};
+use crate::workflow::{decode_codes_checked_into, CodesPayload};
 use crate::Predictor;
 use cuszp_huffman::HuffmanEncoded;
 use cuszp_predictor::{Dims, OutlierList, QuantField};
@@ -74,8 +74,12 @@ pub struct Archive {
 impl Archive {
     /// Assembles an archive from the prediction stage's output and the
     /// chosen coding payload.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
-        qf: QuantField,
+        dims: Dims,
+        eb: f64,
+        cap: u16,
+        outliers: OutlierList,
         payload: CodesPayload,
         dtype: Dtype,
         predictor: Predictor,
@@ -83,29 +87,18 @@ impl Archive {
         Self {
             dtype,
             predictor,
-            dims: qf.dims,
-            eb: qf.eb,
-            cap: qf.radius * 2,
-            outliers: qf.outliers,
+            dims,
+            eb,
+            cap,
+            outliers,
             payload,
         }
     }
 
     /// Rebuilds the [`QuantField`] (decoding the code payload).
     pub fn to_quant_field(&self) -> Result<QuantField, CuszpError> {
-        let codes_off = HEADER_BYTES + self.outliers.len() * 16;
-        let codes = decode_codes_checked(&self.payload).ok_or(CuszpError::malformed(
-            "undecodable codes payload",
-            ArchiveSection::CodesSection,
-            codes_off,
-        ))?;
-        if codes.len() != self.dims.len() {
-            return Err(CuszpError::malformed(
-                "decoded code count mismatches dims",
-                ArchiveSection::CodesSection,
-                codes_off,
-            ));
-        }
+        let mut codes = Vec::new();
+        self.decode_codes_into(&mut codes)?;
         Ok(QuantField {
             codes,
             outliers: self.outliers.clone(),
@@ -115,6 +108,27 @@ impl Archive {
         })
     }
 
+    /// Decodes the code payload into a caller-owned buffer (cleared
+    /// first), validating the decoded count against the header dims. This
+    /// is [`Archive::to_quant_field`] minus the outlier clone and the
+    /// fresh allocation — the pipeline engine's scratch-reusing decode.
+    pub fn decode_codes_into(&self, out: &mut Vec<u16>) -> Result<(), CuszpError> {
+        let codes_off = HEADER_BYTES + self.outliers.len() * 16;
+        decode_codes_checked_into(&self.payload, out).ok_or(CuszpError::malformed(
+            "undecodable codes payload",
+            ArchiveSection::CodesSection,
+            codes_off,
+        ))?;
+        if out.len() != self.dims.len() {
+            return Err(CuszpError::malformed(
+                "decoded code count mismatches dims",
+                ArchiveSection::CodesSection,
+                codes_off,
+            ));
+        }
+        Ok(())
+    }
+
     /// Total serialized size in bytes.
     pub fn serialized_bytes(&self) -> usize {
         HEADER_BYTES + self.outliers.storage_bytes() + codes_section_len(&self.payload)
@@ -122,16 +136,19 @@ impl Archive {
 
     /// Serializes the archive.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(self.serialized_bytes() - HEADER_BYTES);
-        for &i in &self.outliers.indices {
-            payload.extend_from_slice(&i.to_le_bytes());
-        }
-        for &v in &self.outliers.values {
-            payload.extend_from_slice(&v.to_le_bytes());
-        }
-        write_codes_section(&self.payload, &mut payload);
+        let mut out = Vec::with_capacity(self.serialized_bytes());
+        self.write_into(&mut out);
+        out
+    }
 
-        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    /// Serializes the archive by appending to `out`, writing every
+    /// section directly into the destination — no per-section staging
+    /// buffers. `codes_section_len` is exact, so the payload length is
+    /// known up front and the checksum is the only field patched after
+    /// the payload is written.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        let payload_len = self.serialized_bytes() - HEADER_BYTES;
+        out.reserve(HEADER_BYTES + payload_len);
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.push(workflow_tag(&self.payload));
@@ -151,10 +168,20 @@ impl Archive {
         });
         out.extend_from_slice(&[0u8; 4]);
         out.extend_from_slice(&(self.outliers.len() as u64).to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+        let checksum_at = out.len();
+        out.extend_from_slice(&0u64.to_le_bytes());
+        let payload_start = out.len();
+        for &i in &self.outliers.indices {
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        for &v in &self.outliers.values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        write_codes_section(&self.payload, out);
+        debug_assert_eq!(out.len() - payload_start, payload_len);
+        let checksum = fnv1a(&out[payload_start..]);
+        out[checksum_at..checksum_at + 8].copy_from_slice(&checksum.to_le_bytes());
     }
 
     /// Parses an archive from bytes, verifying structure and checksum.
@@ -293,15 +320,15 @@ fn workflow_tag(payload: &CodesPayload) -> u8 {
 
 fn codes_section_len(payload: &CodesPayload) -> usize {
     match payload {
-        CodesPayload::Huffman(h) => h.to_bytes().len(),
+        CodesPayload::Huffman(h) => h.serialized_bytes(),
         CodesPayload::Rle(r) => 16 + r.values.len() * 2 + r.counts.len() * 4,
-        CodesPayload::RleVle(rv) => 16 + rv.values.to_bytes().len() + rv.counts.to_bytes().len(),
+        CodesPayload::RleVle(rv) => 16 + rv.serialized_bytes(),
     }
 }
 
 fn write_codes_section(payload: &CodesPayload, out: &mut Vec<u8>) {
     match payload {
-        CodesPayload::Huffman(h) => out.extend_from_slice(&h.to_bytes()),
+        CodesPayload::Huffman(h) => h.write_into(out),
         CodesPayload::Rle(r) => {
             out.extend_from_slice(&r.n.to_le_bytes());
             out.extend_from_slice(&(r.values.len() as u64).to_le_bytes());
@@ -315,8 +342,8 @@ fn write_codes_section(payload: &CodesPayload, out: &mut Vec<u8>) {
         CodesPayload::RleVle(rv) => {
             out.extend_from_slice(&rv.n.to_le_bytes());
             out.extend_from_slice(&rv.n_runs.to_le_bytes());
-            out.extend_from_slice(&rv.values.to_bytes());
-            out.extend_from_slice(&rv.counts.to_bytes());
+            rv.values.write_into(out);
+            rv.counts.write_into(out);
         }
     }
 }

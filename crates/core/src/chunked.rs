@@ -22,8 +22,10 @@
 //!   come from the identical code path under any pool width;
 //! * the merge is ordered by chunk index, not completion order.
 
+use crate::engine::{resolve_bound, validate_and_range, PipelineEngine};
 use crate::error::{ArchiveSection, CuszpError};
-use crate::{Archive, Compressor, Config, Dims, Dtype, ErrorBound, Predictor, ReconstructEngine};
+use crate::stats::ChunkedStats;
+use crate::{Archive, Compressor, Dims, Dtype, ReconstructEngine};
 use cuszp_parallel::{plan_chunks, WorkerPool, DEFAULT_CHUNK_ELEMS};
 use cuszp_predictor::Scalar;
 
@@ -87,7 +89,8 @@ impl Compressor {
         target_elems: usize,
         pool: &WorkerPool,
     ) -> Result<ChunkedArchive, CuszpError> {
-        self.compress_chunked_impl(data, dims, Dtype::F32, target_elems, pool)
+        self.compress_chunked_impl(data, dims, target_elems, pool)
+            .map(|(a, _)| a)
     }
 
     /// Chunk-parallel `f64` compression with explicit chunk target and
@@ -99,54 +102,79 @@ impl Compressor {
         target_elems: usize,
         pool: &WorkerPool,
     ) -> Result<ChunkedArchive, CuszpError> {
-        self.compress_chunked_impl(data, dims, Dtype::F64, target_elems, pool)
+        self.compress_chunked_impl(data, dims, target_elems, pool)
+            .map(|(a, _)| a)
+    }
+
+    /// [`Compressor::compress_chunked_with`] also returning the
+    /// aggregated per-chunk statistics ([`ChunkedStats`]).
+    pub fn compress_chunked_with_stats(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        target_elems: usize,
+        pool: &WorkerPool,
+    ) -> Result<(ChunkedArchive, ChunkedStats), CuszpError> {
+        self.compress_chunked_impl(data, dims, target_elems, pool)
+    }
+
+    /// [`Compressor::compress_chunked_f64_with`] also returning the
+    /// aggregated per-chunk statistics.
+    pub fn compress_chunked_f64_with_stats(
+        &self,
+        data: &[f64],
+        dims: Dims,
+        target_elems: usize,
+        pool: &WorkerPool,
+    ) -> Result<(ChunkedArchive, ChunkedStats), CuszpError> {
+        self.compress_chunked_impl(data, dims, target_elems, pool)
     }
 
     fn compress_chunked_impl<T: Scalar>(
         &self,
         data: &[T],
         dims: Dims,
-        dtype: Dtype,
         target_elems: usize,
         pool: &WorkerPool,
-    ) -> Result<ChunkedArchive, CuszpError> {
-        if data.len() != dims.len() {
-            return Err(CuszpError::DimsMismatch {
-                data: data.len(),
-                dims: dims.len(),
-            });
-        }
-        // Resolve the bound globally BEFORE chunking: a relative bound
-        // must scale with the whole field's range, not each slab's, both
-        // for uniform quality and for plan-independent bytes.
-        let eb = self.config().error_bound.absolute_scalar(data);
-        if !(eb.is_finite() && eb > 0.0) {
-            return Err(CuszpError::InvalidErrorBound(eb));
-        }
-        let plan = plan_chunks(&[dims.slow_extent(), dims.elems_per_slow()], target_elems);
-        let chunk_config = Config {
-            error_bound: ErrorBound::Absolute(eb),
-            ..*self.config()
+    ) -> Result<(ChunkedArchive, ChunkedStats), CuszpError> {
+        // One validation + range pass over the whole field; chunks then
+        // skip their own scans entirely. Resolving the bound globally
+        // BEFORE chunking matters twice over: a relative bound must scale
+        // with the whole field's range, not each slab's, both for uniform
+        // quality and for plan-independent bytes.
+        let range = validate_and_range(data, dims)?;
+        let eb = resolve_bound(self.config().error_bound, range)?;
+        let dtype = if T::BYTES == 4 {
+            Dtype::F32
+        } else {
+            Dtype::F64
         };
-        let chunk_compressor = Compressor::new(chunk_config);
-        let results = pool.run(plan.len(), |i| {
+        let plan = plan_chunks(&[dims.slow_extent(), dims.elems_per_slow()], target_elems);
+        let config = self.config();
+        // Each pool worker keeps ONE engine and reuses its scratch arenas
+        // across every chunk it drains from the queue.
+        let results = pool.run_with_state(plan.len(), PipelineEngine::new, |i, eng| {
             let spec = &plan.chunks[i];
             let chunk_dims = dims.slab(spec.slow_len());
-            chunk_compressor
-                .compress_impl(&data[spec.elems.clone()], chunk_dims, dtype)
-                .map(|(archive, _stats)| archive)
+            eng.compress(config, &data[spec.elems.clone()], chunk_dims, eb)
         });
         let mut chunks = Vec::with_capacity(results.len());
+        let mut per_chunk = Vec::with_capacity(results.len());
         for r in results {
-            chunks.push(r?);
+            let (archive, stats) = r?;
+            chunks.push(archive);
+            per_chunk.push(stats);
         }
-        Ok(ChunkedArchive {
-            dims,
-            dtype,
-            eb,
-            chunk_target: target_elems as u64,
-            chunks,
-        })
+        Ok((
+            ChunkedArchive {
+                dims,
+                dtype,
+                eb,
+                chunk_target: target_elems as u64,
+                chunks,
+            },
+            ChunkedStats { per_chunk },
+        ))
     }
 }
 
@@ -226,18 +254,15 @@ impl ChunkedArchive {
             slabs.push(head);
             rest = tail;
         }
-        let results = pool.run_parts(slabs, |i, slab| -> Result<(), CuszpError> {
-            let chunk = &self.chunks[i];
-            let qf = chunk.to_quant_field()?;
-            match chunk.predictor {
-                Predictor::Lorenzo => cuszp_predictor::reconstruct_into(&qf, engine, slab),
-                Predictor::Interpolation => {
-                    let recon: Vec<T> = cuszp_predictor::reconstruct_interpolation(&qf);
-                    slab.copy_from_slice(&recon);
-                }
-            }
-            Ok(())
-        });
+        // One engine per worker: the decode/fuse scratch survives across
+        // all the chunks a worker reconstructs.
+        let results = pool.run_parts_with_state(
+            slabs,
+            PipelineEngine::new,
+            |i, slab, eng| -> Result<(), CuszpError> {
+                eng.decompress_into(&self.chunks[i], engine, slab)
+            },
+        );
         for r in results {
             r?;
         }
@@ -291,10 +316,10 @@ impl ChunkedArchive {
     /// `[magic][version u16][rank u8][dtype u8][extents 3×u64][eb f64]
     ///  [chunk_target u64][n_chunks u32][chunk_len u64]* [chunk bytes]*`.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let chunk_bytes: Vec<Vec<u8>> = self.chunks.iter().map(Archive::to_bytes).collect();
-        let mut out = Vec::with_capacity(
-            CHUNKED_HEADER_BYTES + chunk_bytes.iter().map(|b| b.len() + 8).sum::<usize>(),
-        );
+        // `Archive::serialized_bytes` is exact, so the length table can
+        // be written before any chunk body and every chunk serializes
+        // directly into the single pre-sized output buffer.
+        let mut out = Vec::with_capacity(self.serialized_bytes());
         out.extend_from_slice(&CHUNKED_MAGIC.to_le_bytes());
         out.extend_from_slice(&CHUNKED_VERSION.to_le_bytes());
         out.push(self.dims.rank() as u8);
@@ -308,11 +333,11 @@ impl ChunkedArchive {
         out.extend_from_slice(&self.eb.to_le_bytes());
         out.extend_from_slice(&self.chunk_target.to_le_bytes());
         out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
-        for b in &chunk_bytes {
-            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        for chunk in &self.chunks {
+            out.extend_from_slice(&(chunk.serialized_bytes() as u64).to_le_bytes());
         }
-        for b in &chunk_bytes {
-            out.extend_from_slice(b);
+        for chunk in &self.chunks {
+            chunk.write_into(&mut out);
         }
         out
     }
@@ -521,7 +546,7 @@ pub(crate) fn read_length_table_lenient(bytes: &[u8], hdr: &ChunkedHeader) -> Ve
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::WorkflowMode;
+    use crate::{Config, ErrorBound, WorkflowMode};
 
     fn field(n: usize) -> Vec<f32> {
         (0..n)

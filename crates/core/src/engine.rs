@@ -1,0 +1,264 @@
+//! The unified pipeline engine: one scratch-reusing driver behind every
+//! compress/decompress entry point.
+//!
+//! Four call sites used to each re-allocate the full working set per
+//! field — the v1 [`crate::Compressor`], the chunked (CSZ2) worker pool,
+//! [`crate::StreamArchive`], and the fault-isolated recovery decoder. A
+//! [`PipelineEngine`] owns that working set instead:
+//!
+//! * `dq` — the prequant/fused-delta buffer (`i64` per element),
+//! * `codes` — the quant-code buffer (`u16` per element),
+//! * `hist` — the symbol histogram (`cap` bins),
+//!
+//! and drives the stage sequence explicitly: *prequant → Lorenzo +
+//! postquant → outlier gather → histogram → selector → entropy code* on
+//! the way in, *code decode → outlier fuse → partial-sum → dequant* on
+//! the way out. A worker thread keeps one engine and reuses its arenas
+//! across chunks, so steady-state compression allocates only for the
+//! outputs that outlive the call (outlier list, coded payload, archive
+//! bytes), not for the per-chunk working set.
+//!
+//! The engine is generic over [`Scalar`], collapsing the former f32/f64
+//! duplication: the dtype tag is derived from `T::BYTES`.
+
+use crate::archive::{Archive, Dtype};
+use crate::error::CuszpError;
+use crate::stats::CompressionStats;
+use crate::workflow::{encode_codes_from, WorkflowMode};
+use crate::{Config, ErrorBound, Predictor};
+use cuszp_analysis::analyze_with_histogram;
+use cuszp_predictor::{Dims, ReconstructEngine, Scalar};
+
+/// Reusable per-thread scratch arenas plus the stage driver. See the
+/// module docs for the stage sequence.
+#[derive(Debug, Default)]
+pub struct PipelineEngine {
+    /// Prequantized values on the way in; fused deltas / reconstructed
+    /// prequant on the way out.
+    dq: Vec<i64>,
+    /// Quant-codes (one per element).
+    codes: Vec<u16>,
+    /// Symbol histogram (`cap` bins).
+    hist: Vec<u32>,
+}
+
+impl PipelineEngine {
+    /// Creates an engine with empty arenas; they grow to the largest
+    /// field seen and stay allocated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compresses one field through the full pipeline.
+    ///
+    /// `eb` is the already-resolved *absolute* error bound — callers
+    /// validate input and resolve relative bounds first (see
+    /// [`validate_and_range`] / [`resolve_bound`]), because bound
+    /// resolution is container policy: v1 and CSZ2 resolve globally,
+    /// streams per slab.
+    pub fn compress<T: Scalar>(
+        &mut self,
+        config: &Config,
+        data: &[T],
+        dims: Dims,
+        eb: f64,
+    ) -> Result<(Archive, CompressionStats), CuszpError> {
+        debug_assert_eq!(data.len(), dims.len());
+        let cap = config.cap;
+        assert!(
+            cap >= 4 && cap.is_multiple_of(2),
+            "cap must be even and ≥ 4"
+        );
+        let radius = cap / 2;
+        let dtype = if T::BYTES == 4 {
+            Dtype::F32
+        } else {
+            Dtype::F64
+        };
+
+        let outliers = match config.predictor {
+            Predictor::Lorenzo => {
+                self.dq.resize(data.len(), 0);
+                cuszp_predictor::prequantize_into(data, eb, &mut self.dq);
+                cuszp_predictor::construct_codes_into(&self.dq, dims, radius, &mut self.codes);
+                cuszp_predictor::gather_outliers(&self.dq, &self.codes, dims, radius)
+            }
+            Predictor::Interpolation => {
+                let qf = cuszp_predictor::construct_interpolation(data, dims, eb, cap);
+                // Adopt the field's code buffer as the new arena; the old
+                // one is returned to the allocator, and subsequent chunks
+                // reuse this one.
+                self.codes = qf.codes;
+                qf.outliers
+            }
+        };
+
+        cuszp_huffman::histogram_into(&self.codes, cap as usize, &mut self.hist);
+        let report = analyze_with_histogram(&self.codes, &self.hist);
+        let choice = match config.workflow {
+            WorkflowMode::Auto => report.choice,
+            WorkflowMode::Force(c) => c,
+        };
+        let payload = encode_codes_from(&self.codes, cap, &self.hist, choice);
+        let stats = CompressionStats::new(data.len(), dtype.bytes(), &outliers, &payload, report);
+        let archive = Archive::assemble(
+            dims,
+            eb,
+            radius * 2,
+            outliers,
+            payload,
+            dtype,
+            config.predictor,
+        );
+        Ok((archive, stats))
+    }
+
+    /// Decompresses one archive into a caller-owned slab whose length
+    /// must equal `archive.dims.len()`. Dtype dispatch stays with the
+    /// caller; this only runs the stage sequence.
+    pub fn decompress_into<T: Scalar>(
+        &mut self,
+        archive: &Archive,
+        engine: ReconstructEngine,
+        out: &mut [T],
+    ) -> Result<(), CuszpError> {
+        assert_eq!(
+            out.len(),
+            archive.dims.len(),
+            "output slab length must match dims"
+        );
+        match archive.predictor {
+            Predictor::Interpolation => {
+                // Level-parallel interpolation needs its own traversal
+                // buffers; only the code decode goes through the arena.
+                let qf = archive.to_quant_field()?;
+                let recon: Vec<T> = cuszp_predictor::reconstruct_interpolation(&qf);
+                out.copy_from_slice(&recon);
+            }
+            Predictor::Lorenzo => {
+                archive.decode_codes_into(&mut self.codes)?;
+                cuszp_predictor::fuse_codes_and_outliers_into(
+                    &self.codes,
+                    &archive.outliers,
+                    archive.cap / 2,
+                    &mut self.dq,
+                );
+                cuszp_predictor::reconstruct_in_place(&mut self.dq, archive.dims, engine);
+                cuszp_predictor::dequantize_into(&self.dq, archive.eb, out);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`PipelineEngine::decompress_into`] allocating the output field.
+    pub fn decompress<T: Scalar>(
+        &mut self,
+        archive: &Archive,
+        engine: ReconstructEngine,
+    ) -> Result<Vec<T>, CuszpError> {
+        let mut out = vec![T::from_f64(0.0); archive.dims.len()];
+        self.decompress_into(archive, engine, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes and validates the code payload without reconstructing —
+    /// the recovery scanner's integrity probe, reusing the code arena.
+    pub fn validate_codes(&mut self, archive: &Archive) -> Result<(), CuszpError> {
+        archive.decode_codes_into(&mut self.codes)
+    }
+}
+
+/// Single-pass input validation shared by every compression driver: the
+/// dims/length check, the finiteness check, and the value range (for
+/// relative-bound resolution) fused into one scan of the data. Returns
+/// the range (`0.0` for an empty field).
+pub(crate) fn validate_and_range<T: Scalar>(data: &[T], dims: Dims) -> Result<f64, CuszpError> {
+    if data.len() != dims.len() {
+        return Err(CuszpError::DimsMismatch {
+            data: data.len(),
+            dims: dims.len(),
+        });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for x in data {
+        if !x.is_finite_scalar() {
+            return Err(CuszpError::NonFiniteInput);
+        }
+        let v = x.to_f64();
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Ok(if data.is_empty() { 0.0 } else { hi - lo })
+}
+
+/// Resolves a configured bound against a measured range and validates
+/// the result.
+pub(crate) fn resolve_bound(bound: ErrorBound, range: f64) -> Result<f64, CuszpError> {
+    let eb = bound.absolute_for_range(range);
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(CuszpError::InvalidErrorBound(eb));
+    }
+    Ok(eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_dims_and_nan() {
+        assert!(matches!(
+            validate_and_range(&[1.0f32, 2.0], Dims::D1(3)),
+            Err(CuszpError::DimsMismatch { .. })
+        ));
+        assert!(matches!(
+            validate_and_range(&[1.0f32, f32::NAN], Dims::D1(2)),
+            Err(CuszpError::NonFiniteInput)
+        ));
+        assert_eq!(validate_and_range::<f32>(&[], Dims::D1(0)).unwrap(), 0.0);
+        assert_eq!(
+            validate_and_range(&[2.0f32, -1.0, 4.0], Dims::D1(3)).unwrap(),
+            5.0
+        );
+    }
+
+    #[test]
+    fn engine_matches_compressor_bytes() {
+        let data: Vec<f32> = (0..20_000)
+            .map(|i| (i as f32 * 0.002).sin() * 4.0)
+            .collect();
+        let config = Config::default();
+        let via_compressor = crate::Compressor::new(config)
+            .compress(&data, Dims::D1(20_000))
+            .unwrap();
+        let mut eng = PipelineEngine::new();
+        let range = validate_and_range(&data, Dims::D1(20_000)).unwrap();
+        let eb = resolve_bound(config.error_bound, range).unwrap();
+        let (via_engine, _) = eng.compress(&config, &data, Dims::D1(20_000), eb).unwrap();
+        assert_eq!(via_compressor.to_bytes(), via_engine.to_bytes());
+    }
+
+    #[test]
+    fn scratch_survives_shrinking_and_growing_fields() {
+        let mut eng = PipelineEngine::new();
+        let config = Config {
+            error_bound: ErrorBound::Absolute(1e-3),
+            ..Config::default()
+        };
+        for n in [10_000usize, 100, 40_000, 0, 256] {
+            let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).cos()).collect();
+            let (archive, _) = eng.compress(&config, &data, Dims::D1(n), 1e-3).unwrap();
+            let recon: Vec<f32> = eng
+                .decompress(&archive, ReconstructEngine::FinePartialSum)
+                .unwrap();
+            for (o, r) in data.iter().zip(&recon) {
+                assert!((o - r).abs() <= 1e-3 * 1.001, "n={n}: {o} vs {r}");
+            }
+        }
+    }
+}

@@ -36,6 +36,7 @@
 
 mod archive;
 mod chunked;
+mod engine;
 mod error;
 mod recovery;
 mod snapshot;
@@ -45,6 +46,7 @@ mod workflow;
 
 pub use archive::{Archive, Dtype};
 pub use chunked::{is_chunked_archive, ChunkedArchive};
+pub use engine::PipelineEngine;
 pub use error::{ArchiveSection, CuszpError, ParseFault};
 pub use recovery::{
     decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
@@ -52,7 +54,7 @@ pub use recovery::{
     RecoveredField, ScanReport,
 };
 pub use snapshot::{Snapshot, SnapshotEntry};
-pub use stats::CompressionStats;
+pub use stats::{ChunkedStats, CompressionStats};
 pub use stream::StreamArchive;
 pub use workflow::{CodesPayload, WorkflowMode};
 
@@ -105,7 +107,7 @@ impl ErrorBound {
     pub fn absolute_scalar<T: cuszp_predictor::Scalar>(&self, data: &[T]) -> f64 {
         match *self {
             ErrorBound::Absolute(eb) => eb,
-            ErrorBound::Relative(rel) => {
+            ErrorBound::Relative(_) => {
                 let mut lo = f64::INFINITY;
                 let mut hi = f64::NEG_INFINITY;
                 for x in data {
@@ -118,10 +120,23 @@ impl ErrorBound {
                     }
                 }
                 let range = if data.is_empty() { 0.0 } else { hi - lo };
+                self.absolute_for_range(range)
+            }
+        }
+    }
+
+    /// Resolves against an already-measured value range, so callers that
+    /// scan the data anyway (see the pipeline engine's fused validation
+    /// pass) don't scan it twice. A non-positive range (constant or empty
+    /// field) falls back to the tiny absolute bound.
+    pub fn absolute_for_range(&self, range: f64) -> f64 {
+        match *self {
+            ErrorBound::Absolute(eb) => eb,
+            ErrorBound::Relative(rel) => {
                 if range > 0.0 {
                     rel * range
                 } else {
-                    rel.max(f64::MIN_POSITIVE) * 1.0
+                    rel.max(f64::MIN_POSITIVE)
                 }
             }
         }
@@ -184,7 +199,7 @@ impl Compressor {
         data: &[f32],
         dims: Dims,
     ) -> Result<(Archive, CompressionStats), CuszpError> {
-        self.compress_impl(data, dims, Dtype::F32)
+        self.compress_impl(data, dims)
     }
 
     /// Compresses an `f64` (double-precision) field. Doubles raise the
@@ -199,38 +214,17 @@ impl Compressor {
         data: &[f64],
         dims: Dims,
     ) -> Result<(Archive, CompressionStats), CuszpError> {
-        self.compress_impl(data, dims, Dtype::F64)
+        self.compress_impl(data, dims)
     }
 
     fn compress_impl<T: cuszp_predictor::Scalar>(
         &self,
         data: &[T],
         dims: Dims,
-        dtype: Dtype,
     ) -> Result<(Archive, CompressionStats), CuszpError> {
-        if data.len() != dims.len() {
-            return Err(CuszpError::DimsMismatch {
-                data: data.len(),
-                dims: dims.len(),
-            });
-        }
-        if !data.iter().all(|x| x.is_finite_scalar()) {
-            return Err(CuszpError::NonFiniteInput);
-        }
-        let eb = self.config.error_bound.absolute_scalar(data);
-        if !(eb.is_finite() && eb > 0.0) {
-            return Err(CuszpError::InvalidErrorBound(eb));
-        }
-        let qf = match self.config.predictor {
-            Predictor::Lorenzo => cuszp_predictor::construct(data, dims, eb, self.config.cap),
-            Predictor::Interpolation => {
-                cuszp_predictor::construct_interpolation(data, dims, eb, self.config.cap)
-            }
-        };
-        let (payload, report) = workflow::encode_codes(&qf, self.config.workflow);
-        let stats = CompressionStats::new(data.len(), dtype.bytes(), &qf, &payload, report);
-        let archive = Archive::assemble(qf, payload, dtype, self.config.predictor);
-        Ok((archive, stats))
+        let range = engine::validate_and_range(data, dims)?;
+        let eb = engine::resolve_bound(self.config.error_bound, range)?;
+        PipelineEngine::new().compress(&self.config, data, dims, eb)
     }
 }
 
@@ -267,12 +261,8 @@ pub fn decompress_archive(
             requested: "f32",
         });
     }
-    let qf = archive.to_quant_field()?;
-    let out = match archive.predictor {
-        Predictor::Lorenzo => cuszp_predictor::reconstruct(&qf, engine),
-        Predictor::Interpolation => cuszp_predictor::reconstruct_interpolation(&qf),
-    };
-    Ok((out, qf.dims))
+    let out = PipelineEngine::new().decompress(archive, engine)?;
+    Ok((out, archive.dims))
 }
 
 /// Decompresses archive bytes into an `f64` field. Accepts v1 and
@@ -296,12 +286,8 @@ pub fn decompress_f64_with_engine(
             requested: "f64",
         });
     }
-    let qf = archive.to_quant_field()?;
-    let out = match archive.predictor {
-        Predictor::Lorenzo => cuszp_predictor::reconstruct(&qf, engine),
-        Predictor::Interpolation => cuszp_predictor::reconstruct_interpolation(&qf),
-    };
-    Ok((out, qf.dims))
+    let out = PipelineEngine::new().decompress(&archive, engine)?;
+    Ok((out, archive.dims))
 }
 
 #[cfg(test)]

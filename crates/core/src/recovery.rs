@@ -23,8 +23,9 @@
 //! corrupted header from driving a giant output allocation.
 
 use crate::chunked::{parse_chunked_header, read_length_table_lenient, ChunkedHeader};
+use crate::engine::PipelineEngine;
 use crate::error::{ArchiveSection, CuszpError, ParseFault};
-use crate::{is_chunked_archive, Archive, Dims, Dtype, Predictor, ReconstructEngine};
+use crate::{is_chunked_archive, Archive, Dims, Dtype, ReconstructEngine};
 use cuszp_parallel::{plan_chunk_spec, plan_len, ChunkSpec, WorkerPool};
 use cuszp_predictor::Scalar;
 use std::ops::Range;
@@ -272,23 +273,6 @@ fn parse_chunk(
     Ok(archive)
 }
 
-/// Reconstructs one parsed chunk into its output slab.
-fn reconstruct_chunk<T: Scalar>(
-    archive: &Archive,
-    engine: ReconstructEngine,
-    slab: &mut [T],
-) -> Result<(), CuszpError> {
-    let qf = archive.to_quant_field()?;
-    match archive.predictor {
-        Predictor::Lorenzo => cuszp_predictor::reconstruct_into(&qf, engine, slab),
-        Predictor::Interpolation => {
-            let recon: Vec<T> = cuszp_predictor::reconstruct_interpolation(&qf);
-            slab.copy_from_slice(&recon);
-        }
-    }
-    Ok(())
-}
-
 /// Lazy view of the plan implied by the container header: chunk count
 /// and per-chunk specs in O(1). A corrupted extent or chunk target can
 /// claim billions of chunks; nothing here costs memory until a chunk is
@@ -404,12 +388,14 @@ pub fn scan_with(bytes: &[u8], pool: &WorkerPool) -> Result<ScanReport, CuszpErr
     let plan = plan_for(&hdr);
     let n_geo = evaluable_chunks(plan.n, &hdr, bytes);
     let layouts = layout_chunks(bytes, &hdr, n_geo);
-    let statuses = pool.run(n_geo, |i| {
+    // Each scan worker keeps one engine: the decode probe reuses the
+    // engine's code arena across every chunk it checks.
+    let statuses = pool.run_with_state(n_geo, PipelineEngine::new, |i, eng| {
         let slab_dims = hdr.dims.slab(plan.spec(i).slow_len());
         match parse_chunk(&layouts[i], i, slab_dims, hdr.dtype) {
             Err(st) => st,
-            Ok(archive) => match archive.to_quant_field() {
-                Ok(_) => ChunkStatus::Ok,
+            Ok(archive) => match eng.validate_codes(&archive) {
+                Ok(()) => ChunkStatus::Ok,
                 Err(e) => {
                     let base = layouts[i].byte_range.as_ref().map_or(0, |r| r.start);
                     status_from_error(e, i, base)
@@ -576,17 +562,19 @@ fn decompress_resilient_impl<T: Scalar>(
         parts.push((head, res));
         rest = tail;
     }
-    let statuses = pool.run_parts(parts, |i, (slab, res)| match res {
-        Err(status) => status,
-        Ok(archive) => match reconstruct_chunk(&archive, engine, slab) {
-            Ok(()) => ChunkStatus::Ok,
-            Err(e) => {
-                // Reconstruction may have partially written the slab.
-                slab.fill(fill_value);
-                let base = layouts[i].byte_range.as_ref().map_or(0, |r| r.start);
-                status_from_error(e, i, base)
-            }
-        },
+    let statuses = pool.run_parts_with_state(parts, PipelineEngine::new, |i, (slab, res), eng| {
+        match res {
+            Err(status) => status,
+            Ok(archive) => match eng.decompress_into(&archive, engine, slab) {
+                Ok(()) => ChunkStatus::Ok,
+                Err(e) => {
+                    // Reconstruction may have partially written the slab.
+                    slab.fill(fill_value);
+                    let base = layouts[i].byte_range.as_ref().map_or(0, |r| r.start);
+                    status_from_error(e, i, base)
+                }
+            },
+        }
     });
     let mut reports: Vec<ChunkReport> = statuses
         .into_iter()
@@ -621,11 +609,7 @@ fn recover_v1<T: Scalar>(
             requested: want.name(),
         });
     }
-    let qf = archive.to_quant_field()?;
-    let data: Vec<T> = match archive.predictor {
-        Predictor::Lorenzo => cuszp_predictor::reconstruct(&qf, engine),
-        Predictor::Interpolation => cuszp_predictor::reconstruct_interpolation(&qf),
-    };
+    let data: Vec<T> = PipelineEngine::new().decompress(&archive, engine)?;
     let n = data.len();
     Ok(RecoveredField {
         data,

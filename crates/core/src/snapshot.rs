@@ -99,19 +99,31 @@ impl Snapshot {
         crate::decompress_archive(&entry.archive, engine)
     }
 
+    /// Total serialized size in bytes.
+    pub fn serialized_bytes(&self) -> usize {
+        8 + self
+            .entries
+            .iter()
+            .map(|e| 2 + e.name.len() + 8 + e.archive.serialized_bytes())
+            .sum::<usize>()
+    }
+
     /// Serializes the snapshot:
     /// `[magic u32][n u32] { [name_len u16][name][arch_len u64][archive] }*`.
+    ///
+    /// Every entry serializes directly into one pre-sized buffer; the
+    /// exact [`Archive::serialized_bytes`] fills the length fields up
+    /// front.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.serialized_bytes());
         out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
         out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
         for e in &self.entries {
             let name = e.name.as_bytes();
             out.extend_from_slice(&(name.len() as u16).to_le_bytes());
             out.extend_from_slice(name);
-            let arch = e.archive.to_bytes();
-            out.extend_from_slice(&(arch.len() as u64).to_le_bytes());
-            out.extend_from_slice(&arch);
+            out.extend_from_slice(&(e.archive.serialized_bytes() as u64).to_le_bytes());
+            e.archive.write_into(&mut out);
         }
         out
     }
@@ -165,7 +177,7 @@ impl Snapshot {
 
     /// Total serialized footprint and total uncompressed size, in bytes.
     pub fn size_summary(&self) -> (usize, usize) {
-        let compressed = self.to_bytes().len();
+        let compressed = self.serialized_bytes();
         let original: usize = self
             .entries
             .iter()

@@ -3,7 +3,7 @@
 
 use crate::workflow::CodesPayload;
 use cuszp_analysis::{CompressibilityReport, WorkflowChoice};
-use cuszp_predictor::QuantField;
+use cuszp_predictor::OutlierList;
 
 /// Everything measured during one compression.
 #[derive(Debug, Clone, Copy)]
@@ -30,20 +30,20 @@ impl CompressionStats {
     pub(crate) fn new(
         n_elements: usize,
         elem_bytes: usize,
-        qf: &QuantField,
+        outliers: &OutlierList,
         payload: &CodesPayload,
         report: CompressibilityReport,
     ) -> Self {
         let original_bytes = n_elements * elem_bytes;
         let codes_bytes = payload.storage_bytes();
-        let outlier_bytes = qf.outliers.storage_bytes();
+        let outlier_bytes = outliers.storage_bytes();
         Self {
             n_elements,
             original_bytes,
             compressed_bytes: codes_bytes + outlier_bytes + 64,
             codes_bytes,
             outlier_bytes,
-            n_outliers: qf.outliers.len(),
+            n_outliers: outliers.len(),
             workflow: payload.choice(),
             report,
         }
@@ -80,6 +80,87 @@ impl std::fmt::Display for CompressionStats {
             self.compressed_bytes,
             self.bit_rate(),
             self.outlier_fraction() * 100.0
+        )
+    }
+}
+
+/// Aggregated statistics for one chunked (v2) compression: the per-chunk
+/// [`CompressionStats`] plus container-level totals.
+#[derive(Debug, Clone)]
+pub struct ChunkedStats {
+    /// One entry per chunk, in chunk order.
+    pub per_chunk: Vec<CompressionStats>,
+}
+
+impl ChunkedStats {
+    /// Total input elements across chunks.
+    pub fn n_elements(&self) -> usize {
+        self.per_chunk.iter().map(|s| s.n_elements).sum()
+    }
+
+    /// Total input bytes across chunks.
+    pub fn original_bytes(&self) -> usize {
+        self.per_chunk.iter().map(|s| s.original_bytes).sum()
+    }
+
+    /// Total estimated archive bytes across chunks (per-chunk headers
+    /// included, container header excluded).
+    pub fn compressed_bytes(&self) -> usize {
+        self.per_chunk.iter().map(|s| s.compressed_bytes).sum()
+    }
+
+    /// Total outliers across chunks.
+    pub fn n_outliers(&self) -> usize {
+        self.per_chunk.iter().map(|s| s.n_outliers).sum()
+    }
+
+    /// Container-wide compression ratio.
+    pub fn compression_ratio(&self) -> f64 {
+        cuszp_metrics::compression_ratio(self.original_bytes(), self.compressed_bytes())
+    }
+
+    /// Container-wide bits of archive per input element.
+    pub fn bit_rate(&self) -> f64 {
+        cuszp_metrics::bit_rate(self.n_elements(), self.compressed_bytes())
+    }
+
+    /// How many chunks chose each workflow, as `(workflow, count)` pairs
+    /// in a fixed order, zero-count entries omitted.
+    pub fn workflow_mix(&self) -> Vec<(WorkflowChoice, usize)> {
+        [
+            WorkflowChoice::Huffman,
+            WorkflowChoice::Rle,
+            WorkflowChoice::RleVle,
+        ]
+        .into_iter()
+        .map(|wf| {
+            (
+                wf,
+                self.per_chunk.iter().filter(|s| s.workflow == wf).count(),
+            )
+        })
+        .filter(|&(_, n)| n > 0)
+        .collect()
+    }
+}
+
+impl std::fmt::Display for ChunkedStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mix: Vec<String> = self
+            .workflow_mix()
+            .into_iter()
+            .map(|(wf, n)| format!("{} x{}", wf.name(), n))
+            .collect();
+        write!(
+            f,
+            "{} chunks [{}]: CR {:.2}x ({} -> {} bytes, {:.3} bits/elem, {} outliers)",
+            self.per_chunk.len(),
+            mix.join(", "),
+            self.compression_ratio(),
+            self.original_bytes(),
+            self.compressed_bytes(),
+            self.bit_rate(),
+            self.n_outliers()
         )
     }
 }

@@ -9,6 +9,7 @@
 //! the coarse-grained random access the paper's Step-1 block split is
 //! for.
 
+use crate::engine::{resolve_bound, validate_and_range, PipelineEngine};
 use crate::error::ArchiveSection;
 use crate::{Archive, Compressor, CuszpError, Dims, Dtype, ReconstructEngine};
 
@@ -55,11 +56,19 @@ impl Compressor {
                 dims: dims.len(),
             });
         }
+        // One engine for the whole stream: slabs run serially, so the
+        // scratch arenas are reused across every block. Validation and
+        // bound resolution stay PER SLAB — the per-block relative-bound
+        // semantics documented above.
+        let mut eng = PipelineEngine::new();
         let mut blocks = Vec::new();
         let mut offset = 0usize;
         for slab_dims in plan_slabs(dims, max_block_elems) {
             let n = slab_dims.len();
-            let archive = self.compress(&data[offset..offset + n], slab_dims)?;
+            let slab = &data[offset..offset + n];
+            let range = validate_and_range(slab, slab_dims)?;
+            let eb = resolve_bound(self.config().error_bound, range)?;
+            let (archive, _) = eng.compress(self.config(), slab, slab_dims, eb)?;
             blocks.push(archive);
             offset += n;
         }
@@ -106,13 +115,24 @@ impl StreamArchive {
         Ok((out, self.dims))
     }
 
+    /// Total serialized size in bytes.
+    pub fn serialized_bytes(&self) -> usize {
+        36 + self.blocks.len() * 8
+            + self
+                .blocks
+                .iter()
+                .map(Archive::serialized_bytes)
+                .sum::<usize>()
+    }
+
     /// Serializes the container:
     /// `[magic][rank u8][dtype u8][pad 2][extents 3×u64][n_blocks u32]
     ///  [block_len u64]* [block bytes]*`.
+    ///
+    /// Blocks serialize directly into one pre-sized buffer; the length
+    /// table is written up front from the exact per-block sizes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let block_bytes: Vec<Vec<u8>> = self.blocks.iter().map(Archive::to_bytes).collect();
-        let mut out =
-            Vec::with_capacity(48 + block_bytes.iter().map(|b| b.len() + 8).sum::<usize>());
+        let mut out = Vec::with_capacity(self.serialized_bytes());
         out.extend_from_slice(&STREAM_MAGIC.to_le_bytes());
         out.push(self.dims.rank() as u8);
         out.push(match self.blocks.first().map(|b| b.dtype) {
@@ -124,11 +144,11 @@ impl StreamArchive {
             out.extend_from_slice(&(e as u64).to_le_bytes());
         }
         out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
-        for b in &block_bytes {
-            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        for b in &self.blocks {
+            out.extend_from_slice(&(b.serialized_bytes() as u64).to_le_bytes());
         }
-        for b in &block_bytes {
-            out.extend_from_slice(b);
+        for b in &self.blocks {
+            b.write_into(&mut out);
         }
         out
     }

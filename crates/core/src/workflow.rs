@@ -9,10 +9,15 @@
 //! In [`WorkflowMode::Auto`] the histogram-based selector of
 //! `cuszp-analysis` picks the path per field (the `⟨b⟩ ≤ 1.09` rule).
 
-use cuszp_analysis::{analyze, CompressibilityReport, WorkflowChoice};
-use cuszp_huffman::{build_codebook_limited, encode, histogram, HuffmanEncoded};
-use cuszp_predictor::QuantField;
+use cuszp_analysis::WorkflowChoice;
+use cuszp_huffman::{build_codebook_limited, encode, HuffmanEncoded};
 use cuszp_rle::{rle_encode, rle_vle_from_rle, RleEncoded, RleVleEncoded};
+#[cfg(test)]
+use {
+    cuszp_analysis::{analyze_with_histogram, CompressibilityReport},
+    cuszp_huffman::histogram,
+    cuszp_predictor::QuantField,
+};
 
 /// Workflow selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,33 +64,44 @@ impl CodesPayload {
 ///
 /// Returns the payload and the compressibility report that drove (or
 /// would have driven) the selection — the report is always computed so
-/// stats stay comparable across modes.
+/// stats stay comparable across modes. Production code goes through the
+/// pipeline engine (histogram reused from its arena); this convenience
+/// wrapper remains for the workflow unit tests.
+#[cfg(test)]
 pub fn encode_codes(qf: &QuantField, mode: WorkflowMode) -> (CodesPayload, CompressibilityReport) {
-    let report = analyze(&qf.codes, qf.cap());
+    let hist = histogram(&qf.codes, qf.cap() as usize);
+    let report = analyze_with_histogram(&qf.codes, &hist);
     let choice = match mode {
         WorkflowMode::Auto => report.choice,
         WorkflowMode::Force(c) => c,
     };
-    let payload = match choice {
+    let payload = encode_codes_from(&qf.codes, qf.cap(), &hist, choice);
+    (payload, report)
+}
+
+/// Encodes an already-analyzed quant-code stream under `choice`, reusing
+/// the histogram the selector computed — the single-histogram fast path
+/// the pipeline engine drives.
+pub(crate) fn encode_codes_from(
+    codes: &[u16],
+    cap: u16,
+    hist: &[u32],
+    choice: WorkflowChoice,
+) -> CodesPayload {
+    match choice {
         WorkflowChoice::Huffman => {
-            let hist = histogram(&qf.codes, qf.cap() as usize);
             // Length-limited (package-merge, ≤16 bits): within a fraction
             // of a percent of optimal on quant-code histograms, and keeps
             // the table-accelerated decoder on its fast path.
-            let book = build_codebook_limited(&hist, 16);
-            CodesPayload::Huffman(encode(
-                &qf.codes,
-                &book,
-                cuszp_huffman::DEFAULT_ENCODE_CHUNK,
-            ))
+            let book = build_codebook_limited(hist, 16);
+            CodesPayload::Huffman(encode(codes, &book, cuszp_huffman::DEFAULT_ENCODE_CHUNK))
         }
-        WorkflowChoice::Rle => CodesPayload::Rle(rle_encode(&qf.codes)),
+        WorkflowChoice::Rle => CodesPayload::Rle(rle_encode(codes)),
         WorkflowChoice::RleVle => {
-            let rle = rle_encode(&qf.codes);
-            CodesPayload::RleVle(rle_vle_from_rle(&rle, qf.cap()))
+            let rle = rle_encode(codes);
+            CodesPayload::RleVle(rle_vle_from_rle(&rle, cap))
         }
-    };
-    (payload, report)
+    }
 }
 
 /// Decodes a payload back to the quant-code stream, panic-free: corrupted
@@ -93,11 +109,20 @@ pub fn encode_codes(qf: &QuantField, mode: WorkflowMode) -> (CodesPayload, Compr
 /// metadata validates to. Huffman payloads go through the
 /// table-accelerated decoder (bitwise-identical to the canonical one; see
 /// `cuszp_huffman::decode_fast`).
+#[cfg(test)]
 pub fn decode_codes_checked(payload: &CodesPayload) -> Option<Vec<u16>> {
+    let mut out = Vec::new();
+    decode_codes_checked_into(payload, &mut out)?;
+    Some(out)
+}
+
+/// [`decode_codes_checked`] decoding into a caller-owned buffer (cleared
+/// first), so the pipeline engine reuses one code arena across chunks.
+pub(crate) fn decode_codes_checked_into(payload: &CodesPayload, out: &mut Vec<u16>) -> Option<()> {
     match payload {
-        CodesPayload::Huffman(h) => cuszp_huffman::decode_fast_checked(h),
-        CodesPayload::Rle(r) => cuszp_rle::rle_decode_checked(r),
-        CodesPayload::RleVle(rv) => cuszp_rle::rle_vle_decode_checked(rv),
+        CodesPayload::Huffman(h) => cuszp_huffman::decode_fast_checked_into(h, out),
+        CodesPayload::Rle(r) => cuszp_rle::rle_decode_checked_into(r, out),
+        CodesPayload::RleVle(rv) => cuszp_rle::rle_vle_decode_checked_into(rv, out),
     }
 }
 

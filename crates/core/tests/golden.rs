@@ -1,0 +1,196 @@
+//! Golden-archive regression tests: the serialized bytes of every
+//! container format, hashed and pinned.
+//!
+//! The hashes below were captured from the pre-`PipelineEngine` drivers;
+//! the unified engine must reproduce every container **bit-identically**
+//! (same prequant, same per-chunk histograms and codebooks, same section
+//! order, same checksums). Any refactor that changes archive bytes —
+//! intentionally or not — trips these before it trips a downstream
+//! consumer.
+
+use cuszp_core::{Compressor, Config, ErrorBound, Snapshot, WorkflowMode};
+use cuszp_parallel::WorkerPool;
+use cuszp_predictor::Dims;
+
+/// FNV-1a 64-bit, the same hash the archive checksum uses.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic mixed-character field: smooth waves, a hash ripple, a
+/// flat stretch (RLE territory), and sparse spikes (outlier territory).
+fn field_f32(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            if i % 11 < 3 {
+                1.75
+            } else {
+                let s = (i as f32 * 0.0019).sin() * 8.0 + (i as f32 * 0.00037).cos();
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 44;
+                let spike = if i % 1013 == 0 { 300.0 } else { 0.0 };
+                s + (h & 0x3FF) as f32 * 0.002 + spike
+            }
+        })
+        .collect()
+}
+
+fn field_f64(n: usize) -> Vec<f64> {
+    field_f32(n).into_iter().map(|x| x as f64).collect()
+}
+
+fn abs_compressor(eb: f64) -> Compressor {
+    Compressor::new(Config {
+        error_bound: ErrorBound::Absolute(eb),
+        ..Config::default()
+    })
+}
+
+#[test]
+fn v1_archive_bytes_are_pinned_per_workflow() {
+    use cuszp_core::WorkflowChoice;
+    let data = field_f32(40_000);
+    let cases: [(WorkflowMode, u64); 4] = [
+        (WorkflowMode::Auto, GOLDEN_V1_AUTO),
+        (
+            WorkflowMode::Force(WorkflowChoice::Huffman),
+            GOLDEN_V1_HUFFMAN,
+        ),
+        (WorkflowMode::Force(WorkflowChoice::Rle), GOLDEN_V1_RLE),
+        (
+            WorkflowMode::Force(WorkflowChoice::RleVle),
+            GOLDEN_V1_RLEVLE,
+        ),
+    ];
+    for (wf, want) in cases {
+        let c = Compressor::new(Config {
+            error_bound: ErrorBound::Absolute(1e-3),
+            workflow: wf,
+            ..Config::default()
+        });
+        let bytes = c
+            .compress(&data, Dims::D2 { ny: 200, nx: 200 })
+            .unwrap()
+            .to_bytes();
+        let got = fnv1a(&bytes);
+        assert_eq!(
+            got, want,
+            "v1 {wf:?} archive bytes drifted: fnv {got:#018x} (expected {want:#018x})"
+        );
+    }
+}
+
+#[test]
+fn v1_f64_archive_bytes_are_pinned() {
+    let data = field_f64(30_000);
+    let bytes = abs_compressor(1e-3)
+        .compress_f64(&data, Dims::D1(30_000))
+        .unwrap()
+        .to_bytes();
+    let got = fnv1a(&bytes);
+    assert_eq!(got, GOLDEN_V1_F64, "f64 archive drifted: {got:#018x}");
+}
+
+#[test]
+fn chunked_archive_bytes_are_pinned_at_1_2_8_workers() {
+    let data = field_f32(120_000);
+    let dims = Dims::D2 { ny: 300, nx: 400 };
+    let c = Compressor::new(Config {
+        error_bound: ErrorBound::Relative(1e-3),
+        ..Config::default()
+    });
+    let reference = c
+        .compress_chunked_with(&data, dims, 25_000, &WorkerPool::new(1))
+        .unwrap()
+        .to_bytes();
+    for workers in [2usize, 8] {
+        let bytes = c
+            .compress_chunked_with(&data, dims, 25_000, &WorkerPool::new(workers))
+            .unwrap()
+            .to_bytes();
+        assert_eq!(bytes, reference, "bytes diverged at {workers} workers");
+    }
+    let got = fnv1a(&reference);
+    assert_eq!(got, GOLDEN_CSZ2_F32, "CSZ2 archive drifted: {got:#018x}");
+}
+
+#[test]
+fn chunked_f64_archive_bytes_are_pinned() {
+    let data = field_f64(60_000);
+    let bytes = abs_compressor(5e-4)
+        .compress_chunked_f64_with(&data, Dims::D1(60_000), 16_000, &WorkerPool::new(2))
+        .unwrap()
+        .to_bytes();
+    let got = fnv1a(&bytes);
+    assert_eq!(
+        got, GOLDEN_CSZ2_F64,
+        "CSZ2 f64 archive drifted: {got:#018x}"
+    );
+}
+
+#[test]
+fn stream_archive_bytes_are_pinned() {
+    let data = field_f32(50_000);
+    let c = Compressor::new(Config {
+        error_bound: ErrorBound::Relative(1e-3),
+        ..Config::default()
+    });
+    let bytes = c
+        .compress_stream(&data, Dims::D2 { ny: 250, nx: 200 }, 12_000)
+        .unwrap()
+        .to_bytes();
+    let got = fnv1a(&bytes);
+    assert_eq!(got, GOLDEN_CSZS, "stream archive drifted: {got:#018x}");
+}
+
+#[test]
+fn snapshot_bytes_are_pinned() {
+    let mut snap = Snapshot::new();
+    let c = abs_compressor(1e-3);
+    let u = field_f32(20_000);
+    let v: Vec<f32> = field_f32(20_000).iter().map(|x| x * 0.5 + 1.0).collect();
+    let dims = Dims::D2 { ny: 100, nx: 200 };
+    snap.add_field(&c, "U", &u, dims).unwrap();
+    snap.add_field(&c, "V", &v, dims).unwrap();
+    let got = fnv1a(&snap.to_bytes());
+    assert_eq!(got, GOLDEN_CSSN, "snapshot drifted: {got:#018x}");
+}
+
+#[test]
+fn recovery_of_pinned_archive_is_bit_exact() {
+    // The fourth driver: per-chunk recovery decode must reproduce the
+    // strict path bit-for-bit on an undamaged container.
+    let data = field_f32(120_000);
+    let dims = Dims::D2 { ny: 300, nx: 400 };
+    let c = Compressor::new(Config {
+        error_bound: ErrorBound::Relative(1e-3),
+        ..Config::default()
+    });
+    let bytes = c
+        .compress_chunked_with(&data, dims, 25_000, &WorkerPool::new(1))
+        .unwrap()
+        .to_bytes();
+    let strict = cuszp_core::decompress(&bytes).unwrap().0;
+    let rec = cuszp_core::decompress_resilient(&bytes, cuszp_core::FillPolicy::Nan).unwrap();
+    assert!(rec.is_clean());
+    assert_eq!(rec.data, strict);
+    let raw: Vec<u8> = strict.iter().flat_map(|x| x.to_le_bytes()).collect();
+    let got = fnv1a(&raw);
+    assert_eq!(got, GOLDEN_RECON_F32, "reconstruction drifted: {got:#018x}");
+}
+
+// Pinned FNV-1a hashes of the serialized containers (pre-refactor bytes).
+const GOLDEN_V1_AUTO: u64 = 0xd1a6_0730_8a54_4497;
+const GOLDEN_V1_HUFFMAN: u64 = 0xd1a6_0730_8a54_4497; // auto picks huffman here
+const GOLDEN_V1_RLE: u64 = 0x838e_ff9d_8a46_bbc6;
+const GOLDEN_V1_RLEVLE: u64 = 0x52cc_bf7c_fcc2_314b;
+const GOLDEN_V1_F64: u64 = 0x0df1_5c34_2bdd_adb3;
+const GOLDEN_CSZ2_F32: u64 = 0x178d_33d0_f8a9_00b4;
+const GOLDEN_CSZ2_F64: u64 = 0x084f_8668_5ca2_fa3b;
+const GOLDEN_CSZS: u64 = 0xa219_994f_dc9c_f6b7;
+const GOLDEN_CSSN: u64 = 0x7bc3_743f_3863_5fa9;
+const GOLDEN_RECON_F32: u64 = 0xef1c_7873_1edc_c786;

@@ -38,8 +38,17 @@ impl HuffmanEncoded {
     pub fn storage_bytes(&self) -> usize {
         self.payload.len()
             + self.chunk_bits.len() * 4
-            + pack_lengths(&self.codebook_lengths).len()
+            + packed_lengths_len(&self.codebook_lengths)
             + 20
+    }
+
+    /// Exact byte length of [`Self::to_bytes`] / [`Self::write_into`],
+    /// computed without serializing (a counting pass over the codebook
+    /// lengths instead of packing them into a scratch vector).
+    pub fn serialized_bytes(&self) -> usize {
+        32 + packed_lengths_len(&self.codebook_lengths)
+            + self.chunk_bits.len() * 4
+            + self.payload.len()
     }
 
     /// Serializes to a self-describing little-endian byte layout:
@@ -53,20 +62,28 @@ impl HuffmanEncoded {
     /// raw bytes otherwise) shrinks a 1024-entry book to tens of bytes —
     /// visible in small-field compression ratios.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let packed = pack_lengths(&self.codebook_lengths);
-        let mut out = Vec::with_capacity(self.storage_bytes() + 32);
+        let mut out = Vec::with_capacity(self.serialized_bytes());
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Appends the [`Self::to_bytes`] layout to `out` without intermediate
+    /// buffers — containers pre-size one output vector from
+    /// [`Self::serialized_bytes`] and serialize every section into it.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        let packed_len = packed_lengths_len(&self.codebook_lengths);
+        out.reserve(32 + packed_len + self.chunk_bits.len() * 4 + self.payload.len());
         out.extend_from_slice(&self.n_symbols.to_le_bytes());
         out.extend_from_slice(&self.chunk_symbols.to_le_bytes());
         out.extend_from_slice(&(self.chunk_bits.len() as u32).to_le_bytes());
-        out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(packed_len as u32).to_le_bytes());
         out.extend_from_slice(&(self.codebook_lengths.len() as u32).to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&packed);
+        pack_lengths_into(&self.codebook_lengths, out);
         for &b in &self.chunk_bits {
             out.extend_from_slice(&b.to_le_bytes());
         }
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Parses the layout written by [`Self::to_bytes`]. Returns the value
@@ -161,8 +178,15 @@ impl HuffmanEncoded {
 
 /// Zero-run packing of a code-length array: a `0x00` byte followed by a
 /// run count (1..=255) encodes that many zeros; other bytes pass through.
+#[cfg(test)]
 fn pack_lengths(lengths: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(lengths.len() / 4 + 8);
+    pack_lengths_into(lengths, &mut out);
+    out
+}
+
+/// [`pack_lengths`] appending to an existing buffer.
+fn pack_lengths_into(lengths: &[u8], out: &mut Vec<u8>) {
     let mut i = 0usize;
     while i < lengths.len() {
         if lengths[i] == 0 {
@@ -178,7 +202,26 @@ fn pack_lengths(lengths: &[u8]) -> Vec<u8> {
             i += 1;
         }
     }
-    out
+}
+
+/// Byte length [`pack_lengths`] would produce, via a counting-only pass.
+fn packed_lengths_len(lengths: &[u8]) -> usize {
+    let mut len = 0usize;
+    let mut i = 0usize;
+    while i < lengths.len() {
+        if lengths[i] == 0 {
+            let mut run = 1usize;
+            while i + run < lengths.len() && lengths[i + run] == 0 && run < 255 {
+                run += 1;
+            }
+            len += 2;
+            i += run;
+        } else {
+            len += 1;
+            i += 1;
+        }
+    }
+    len
 }
 
 /// Inverse of [`pack_lengths`]; `None` if the stream does not expand to

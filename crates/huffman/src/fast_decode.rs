@@ -151,10 +151,21 @@ pub fn decode_fast(enc: &HuffmanEncoded) -> Vec<u16> {
 /// panicking, and no allocation exceeds what the metadata itself has
 /// already been validated to describe.
 pub fn decode_fast_checked(enc: &HuffmanEncoded) -> Option<Vec<u16>> {
+    let mut out = Vec::new();
+    decode_fast_checked_into(enc, &mut out)?;
+    Some(out)
+}
+
+/// [`decode_fast_checked`] decoding into a caller-owned buffer (cleared
+/// and resized to the symbol count). The pipeline engine's per-chunk
+/// decode reuses one symbol arena across chunks through this entry point.
+/// On `None` the buffer contents are unspecified.
+pub fn decode_fast_checked_into(enc: &HuffmanEncoded, out: &mut Vec<u16>) -> Option<()> {
     enc.validate().ok()?;
     let n = enc.n_symbols as usize;
+    out.clear();
     if n == 0 {
-        return Some(Vec::new());
+        return Some(());
     }
     let decoder = FastDecoder::from_lengths_checked(&enc.codebook_lengths)?;
     let chunk = enc.chunk_symbols as usize;
@@ -167,11 +178,12 @@ pub fn decode_fast_checked(enc: &HuffmanEncoded) -> Option<Vec<u16>> {
     // validate() proved the chunk bit counts tile the payload.
     debug_assert_eq!(cursor, enc.payload.len());
 
-    let mut out = Vec::new();
-    out.try_reserve_exact(n).ok()?;
+    if out.capacity() < n {
+        out.try_reserve_exact(n - out.len()).ok()?;
+    }
     out.resize(n, 0u16);
     let corrupt = std::sync::atomic::AtomicBool::new(false);
-    cuszp_parallel::par_chunks_mut(&mut out, chunk, |ci, dst| {
+    cuszp_parallel::par_chunks_mut(out, chunk, |ci, dst| {
         let start = offsets[ci];
         let nbits = enc.chunk_bits[ci] as usize;
         let bytes = &enc.payload[start..start + nbits.div_ceil(8)];
@@ -183,7 +195,7 @@ pub fn decode_fast_checked(enc: &HuffmanEncoded) -> Option<Vec<u16>> {
     if corrupt.into_inner() {
         None
     } else {
-        Some(out)
+        Some(())
     }
 }
 

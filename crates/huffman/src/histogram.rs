@@ -12,6 +12,13 @@ pub fn histogram(symbols: &[u16], n_bins: usize) -> Vec<u32> {
     cuszp_parallel::par_histogram(symbols, n_bins, |&s| s as usize)
 }
 
+/// [`histogram`] counting into a caller-owned table (cleared and resized
+/// to `n_bins`), so the pipeline engine reuses one histogram arena across
+/// chunks.
+pub fn histogram_into(symbols: &[u16], n_bins: usize, out: &mut Vec<u32>) {
+    cuszp_parallel::par_histogram_into(symbols, n_bins, |&s| s as usize, out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

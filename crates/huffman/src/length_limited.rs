@@ -41,55 +41,65 @@ pub fn code_lengths_limited(hist: &[u32], max_len: u8) -> Vec<u8> {
 
     // Package-merge. An item is either a leaf (one symbol) or a package
     // of two items from the level below. We only need, per leaf, the
-    // *count* of times it is selected — that count is its code length.
-    #[derive(Clone)]
-    struct Item {
-        weight: u64,
-        /// Leaf-multiplicity vector is too fat; track per-leaf counts via
-        /// flattened indices into `counts` at resolution time. Store the
-        /// set of constituent leaves as an index list (small alphabets
-        /// keep this cheap; caps are ≤ 65536 symbols).
-        leaves: Vec<u32>,
-    }
+    // *count* of times it is selected — that count is its code length —
+    // so items reference their constituents through a shared arena DAG
+    // instead of materializing per-item leaf lists (which would clone
+    // O(n·L) vectors per build and dominated the compressor's allocation
+    // profile before the pipeline-engine refactor).
+    //
+    // Arena node: `(LEAF_TAG, symbol)` for a leaf, `(left, right)` arena
+    // ids for a package. Arena size is bounded by n_leaves + L·n/2 ids,
+    // far below u32::MAX for u16 symbol alphabets.
+    const LEAF_TAG: u32 = u32::MAX;
+    let mut arena: Vec<(u32, u32)> = Vec::with_capacity(used.len() * (max_len + 1) / 2);
 
     // Level 1 (deepest) starts with just the leaves, sorted by weight.
-    let mut leaf_items: Vec<Item> = used
+    // The sort is stable, so equal weights keep ascending-symbol order —
+    // the tie-break every later level inherits.
+    let mut leaf_items: Vec<(u64, u32)> = used
         .iter()
-        .map(|&s| Item {
-            weight: hist[s] as u64,
-            leaves: vec![s as u32],
+        .map(|&s| {
+            arena.push((LEAF_TAG, s as u32));
+            (hist[s] as u64, (arena.len() - 1) as u32)
         })
         .collect();
-    leaf_items.sort_by_key(|it| it.weight);
+    leaf_items.sort_by_key(|&(w, _)| w);
 
-    let mut prev_level: Vec<Item> = leaf_items.clone();
+    let mut prev_level: Vec<(u64, u32)> = leaf_items.clone();
+    let mut next_level: Vec<(u64, u32)> = Vec::new();
     for _ in 1..max_len {
         // Package pairs from the previous level...
-        let mut packages: Vec<Item> = prev_level
-            .chunks(2)
-            .filter(|c| c.len() == 2)
-            .map(|c| {
-                let mut leaves = c[0].leaves.clone();
-                leaves.extend_from_slice(&c[1].leaves);
-                Item {
-                    weight: c[0].weight + c[1].weight,
-                    leaves,
-                }
-            })
-            .collect();
-        // ...and merge with a fresh copy of the leaves.
-        packages.extend(leaf_items.iter().cloned());
-        packages.sort_by_key(|it| it.weight);
-        prev_level = packages;
+        next_level.clear();
+        next_level.reserve(prev_level.len() / 2 + leaf_items.len());
+        for c in prev_level.chunks(2) {
+            if let [(wa, a), (wb, b)] = *c {
+                arena.push((a, b));
+                next_level.push((wa + wb, (arena.len() - 1) as u32));
+            }
+        }
+        // ...and merge with a fresh copy of the leaves. Packages precede
+        // leaves before the stable sort, so ties resolve package-first —
+        // identical selection order to the list-of-leaves formulation.
+        next_level.extend_from_slice(&leaf_items);
+        next_level.sort_by_key(|&(w, _)| w);
+        std::mem::swap(&mut prev_level, &mut next_level);
     }
 
     // Select the cheapest 2·(n−1) items of the top level; each selection
     // of a leaf increments its code length.
     let n = used.len();
     let mut counts = vec![0u32; hist.len()];
-    for item in prev_level.iter().take(2 * (n - 1)) {
-        for &leaf in &item.leaves {
-            counts[leaf as usize] += 1;
+    let mut stack: Vec<u32> = Vec::new();
+    for &(_, id) in prev_level.iter().take(2 * (n - 1)) {
+        stack.push(id);
+        while let Some(id) = stack.pop() {
+            let (left, right) = arena[id as usize];
+            if left == LEAF_TAG {
+                counts[right as usize] += 1;
+            } else {
+                stack.push(left);
+                stack.push(right);
+            }
         }
     }
     for &s in &used {

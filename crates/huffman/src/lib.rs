@@ -28,8 +28,8 @@ mod tree;
 
 pub use codebook::{CanonicalDecoder, Codebook};
 pub use encode::{decode, decode_with_lengths, encode, HuffmanEncoded, DEFAULT_ENCODE_CHUNK};
-pub use fast_decode::{decode_fast, decode_fast_checked, FastDecoder};
-pub use histogram::histogram;
+pub use fast_decode::{decode_fast, decode_fast_checked, decode_fast_checked_into, FastDecoder};
+pub use histogram::{histogram, histogram_into};
 pub use length_limited::code_lengths_limited;
 pub use tree::code_lengths;
 

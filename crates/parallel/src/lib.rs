@@ -324,6 +324,28 @@ where
 /// used by cuSZ/cuSZ+.
 ///
 /// `bin_of` must return a value `< n_bins` for every element.
+pub fn par_histogram_into<T, F>(data: &[T], n_bins: usize, bin_of: F, out: &mut Vec<u32>)
+where
+    T: Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    out.clear();
+    out.resize(n_bins, 0);
+    if effective_workers(data.len()) <= 1 {
+        for x in data {
+            out[bin_of(x)] += 1;
+        }
+        return;
+    }
+    // Wide inputs go through the privatized path; the merged table is
+    // copied into the caller's arena (one transient allocation, only on
+    // the standalone-parallel path — per-chunk pipeline jobs run with
+    // nested parallelism forced serial and never reach this branch).
+    let merged = par_histogram(data, n_bins, bin_of);
+    out.copy_from_slice(&merged);
+}
+
+/// [`par_histogram_into`] returning a fresh table.
 pub fn par_histogram<T, F>(data: &[T], n_bins: usize, bin_of: F) -> Vec<u32>
 where
     T: Sync,

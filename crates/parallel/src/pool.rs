@@ -55,12 +55,32 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.run_with_state(jobs, || (), |i, ()| f(i))
+    }
+
+    /// Like [`Self::run`], but every worker thread owns one reusable state
+    /// value built by `init`, passed `&mut` to each job it steals. This is
+    /// the pool's scratch-arena hook: a worker compressing many chunks
+    /// constructs its pipeline engine once and reuses its buffers across
+    /// chunks instead of reallocating per chunk.
+    ///
+    /// `init` runs once per worker thread (once total on the serial path),
+    /// and state never migrates between threads — job results must not
+    /// depend on which worker ran them, only on the job index.
+    pub fn run_with_state<S, R, I, F>(&self, jobs: usize, init: I, f: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> R + Sync,
+    {
         if jobs == 0 {
             return Vec::new();
         }
         if self.workers == 1 || jobs == 1 {
+            let mut state = init();
             return (0..jobs)
-                .map(|i| crate::with_serial_inner(|| f(i)))
+                .map(|i| crate::with_serial_inner(|| f(i, &mut state)))
                 .collect();
         }
         let threads = self.workers.min(jobs);
@@ -71,15 +91,17 @@ impl WorkerPool {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let cursor = &cursor;
+                    let init = &init;
                     let f = &f;
                     s.spawn(move || {
+                        let mut state = init();
                         let mut local: Vec<(usize, R)> = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= jobs {
                                 break;
                             }
-                            local.push((i, crate::with_serial_inner(|| f(i))));
+                            local.push((i, crate::with_serial_inner(|| f(i, &mut state))));
                         }
                         local
                     })
@@ -106,15 +128,30 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        self.run_parts_with_state(parts, || (), |i, p, ()| f(i, p))
+    }
+
+    /// [`Self::run_parts`] with the per-worker reusable state of
+    /// [`Self::run_with_state`]: each job receives its owned item plus
+    /// `&mut` access to the worker's state.
+    pub fn run_parts_with_state<T, S, R, I, F>(&self, parts: Vec<T>, init: I, f: F) -> Vec<R>
+    where
+        T: Send,
+        S: Send,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, T, &mut S) -> R + Sync,
+    {
         let jobs = parts.len();
         if jobs == 0 {
             return Vec::new();
         }
         if self.workers == 1 || jobs == 1 {
+            let mut state = init();
             return parts
                 .into_iter()
                 .enumerate()
-                .map(|(i, p)| crate::with_serial_inner(|| f(i, p)))
+                .map(|(i, p)| crate::with_serial_inner(|| f(i, p, &mut state)))
                 .collect();
         }
         let threads = self.workers.min(jobs);
@@ -132,8 +169,10 @@ impl WorkerPool {
                 .map(|_| {
                     let cursor = &cursor;
                     let cells = &cells;
+                    let init = &init;
                     let f = &f;
                     s.spawn(move || {
+                        let mut state = init();
                         let mut local: Vec<(usize, R)> = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -145,7 +184,7 @@ impl WorkerPool {
                                 .expect("part cell poisoned")
                                 .take()
                                 .expect("each part taken exactly once");
-                            local.push((i, crate::with_serial_inner(|| f(i, part))));
+                            local.push((i, crate::with_serial_inner(|| f(i, part, &mut state))));
                         }
                         local
                     })

@@ -172,15 +172,25 @@ pub fn construct_slab<T: Scalar>(
 /// Parallelized over contiguous bands aligned with tile boundaries
 /// (1-D: 256-element chunks; 2-D: 16-row bands; 3-D: 8-plane slabs).
 pub fn construct_codes(dq: &[i64], dims: Dims, radius: u16) -> Vec<u16> {
+    let mut codes = Vec::new();
+    construct_codes_into(dq, dims, radius, &mut codes);
+    codes
+}
+
+/// [`construct_codes`] writing into a caller-owned buffer (resized to the
+/// field length) so the pipeline engine can reuse one code arena across
+/// chunks instead of allocating per chunk.
+pub fn construct_codes_into(dq: &[i64], dims: Dims, radius: u16, codes: &mut Vec<u16>) {
     let n = dims.len();
     assert_eq!(dq.len(), n, "prequant length must match dims");
     let r = radius as i64;
-    let mut codes = vec![0u16; n];
+    codes.clear();
+    codes.resize(n, 0);
     let [_, ty, tx] = dims.tile();
 
     match dims {
         Dims::D1(_) => {
-            cuszp_parallel::par_chunks_mut(&mut codes, tx, |ci, chunk| {
+            cuszp_parallel::par_chunks_mut(codes, tx, |ci, chunk| {
                 let base = ci * tx;
                 for (loc, c) in chunk.iter_mut().enumerate() {
                     let i = base + loc;
@@ -191,7 +201,7 @@ pub fn construct_codes(dq: &[i64], dims: Dims, radius: u16) -> Vec<u16> {
         }
         Dims::D2 { nx, .. } => {
             let band = ty * nx;
-            cuszp_parallel::par_chunks_mut(&mut codes, band, |bi, chunk| {
+            cuszp_parallel::par_chunks_mut(codes, band, |bi, chunk| {
                 let j0 = bi * ty;
                 for (loc, c) in chunk.iter_mut().enumerate() {
                     let j = j0 + loc / nx;
@@ -204,7 +214,7 @@ pub fn construct_codes(dq: &[i64], dims: Dims, radius: u16) -> Vec<u16> {
         Dims::D3 { ny, nx, .. } => {
             let [tz, ty, tx] = dims.tile();
             let slab = tz * ny * nx;
-            cuszp_parallel::par_chunks_mut(&mut codes, slab, |si, chunk| {
+            cuszp_parallel::par_chunks_mut(codes, slab, |si, chunk| {
                 let k0 = si * tz;
                 let plane = ny * nx;
                 for (loc, c) in chunk.iter_mut().enumerate() {
@@ -219,7 +229,6 @@ pub fn construct_codes(dq: &[i64], dims: Dims, radius: u16) -> Vec<u16> {
             });
         }
     }
-    codes
 }
 
 /// Encodes a prediction error as a quant-code: `δ + r` when `|δ| < r`,

@@ -40,7 +40,7 @@ mod reconstruct;
 pub mod regression;
 mod scalar;
 
-pub use construct::{construct, construct_codes, construct_slab};
+pub use construct::{construct, construct_codes, construct_codes_into, construct_slab};
 pub use general::{
     construct_general, lorenzo_stencil, reconstruct_general, reconstruct_general_prequant, Tap,
 };
@@ -50,8 +50,8 @@ pub use interpolation::{
 pub use outlier::{gather_outliers, scatter_outliers};
 pub use quantize::{dequantize, dequantize_into, prequantize, prequantize_into};
 pub use reconstruct::{
-    fuse_codes_and_outliers, reconstruct, reconstruct_in_place, reconstruct_into,
-    reconstruct_prequant, ReconstructEngine,
+    fuse_codes_and_outliers, fuse_codes_and_outliers_into, reconstruct, reconstruct_in_place,
+    reconstruct_into, reconstruct_prequant, ReconstructEngine,
 };
 pub use regression::{
     construct_regression, reconstruct_regression, reconstruct_regression_prequant,

@@ -54,10 +54,27 @@ impl ReconstructEngine {
 /// Builds the fused `q' = code − r (+ outlier)` buffer: the branch-free
 /// starting point of cuSZ+ decompression.
 pub fn fuse_codes_and_outliers(qf: &QuantField) -> Vec<i64> {
-    let r = qf.radius as i64;
-    let mut q = cuszp_parallel::par_map(&qf.codes, |&c| c as i64 - r);
-    scatter_outliers(&mut q, &qf.outliers);
+    let mut q = Vec::new();
+    fuse_codes_and_outliers_into(&qf.codes, &qf.outliers, qf.radius, &mut q);
     q
+}
+
+/// [`fuse_codes_and_outliers`] over bare slices, writing into a
+/// caller-owned buffer (resized to the field length): the decode-side
+/// scratch hook for the pipeline engine, so per-chunk decompression fuses
+/// decoded codes straight from one arena into another without a
+/// [`QuantField`] round-trip.
+pub fn fuse_codes_and_outliers_into(
+    codes: &[u16],
+    outliers: &crate::OutlierList,
+    radius: u16,
+    q: &mut Vec<i64>,
+) {
+    let r = radius as i64;
+    q.clear();
+    q.resize(codes.len(), 0);
+    cuszp_parallel::par_zip_mut(q, codes, |o, &c| *o = c as i64 - r);
+    scatter_outliers(q, outliers);
 }
 
 /// Reconstructs the prequantized integer field from a [`QuantField`].

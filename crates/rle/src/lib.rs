@@ -82,6 +82,15 @@ pub fn rle_decode(enc: &RleEncoded) -> Vec<u16> {
 /// `None`, and nothing larger than the declared (validated) `n` is ever
 /// allocated.
 pub fn rle_decode_checked(enc: &RleEncoded) -> Option<Vec<u16>> {
+    let mut out = Vec::new();
+    rle_decode_checked_into(enc, &mut out)?;
+    Some(out)
+}
+
+/// [`rle_decode_checked`] expanding into a caller-owned buffer (cleared
+/// first), so repeated per-chunk decodes reuse one symbol arena. On
+/// `None` the buffer contents are unspecified.
+pub fn rle_decode_checked_into(enc: &RleEncoded, out: &mut Vec<u16>) -> Option<()> {
     if enc.values.len() != enc.counts.len() {
         return None;
     }
@@ -93,12 +102,14 @@ pub fn rle_decode_checked(enc: &RleEncoded) -> Option<Vec<u16>> {
         return None;
     }
     let n = usize::try_from(enc.n).ok()?;
-    let mut out = Vec::new();
-    out.try_reserve_exact(n).ok()?;
+    out.clear();
+    if out.capacity() < n {
+        out.try_reserve_exact(n - out.len()).ok()?;
+    }
     for (&v, &c) in enc.values.iter().zip(&enc.counts) {
         out.resize(out.len() + c as usize, v);
     }
-    Some(out)
+    Some(())
 }
 
 /// RLE followed by variable-length (Huffman) encoding of both the run
@@ -119,6 +130,13 @@ impl RleVleEncoded {
     /// Total archive footprint of the composed stage.
     pub fn storage_bytes(&self) -> usize {
         self.values.storage_bytes() + self.counts.storage_bytes() + 16
+    }
+
+    /// Exact combined byte length of the two serialized Huffman
+    /// sub-streams ([`HuffmanEncoded::serialized_bytes`]), so containers
+    /// can pre-size output buffers without serializing twice.
+    pub fn serialized_bytes(&self) -> usize {
+        self.values.serialized_bytes() + self.counts.serialized_bytes()
     }
 }
 
@@ -165,6 +183,15 @@ pub fn rle_vle_decode(enc: &RleVleEncoded) -> Vec<u16> {
 /// in either Huffman sub-stream, truncated varints, or runs that do not
 /// reassemble into exactly `n` symbols return `None`.
 pub fn rle_vle_decode_checked(enc: &RleVleEncoded) -> Option<Vec<u16>> {
+    let mut out = Vec::new();
+    rle_vle_decode_checked_into(enc, &mut out)?;
+    Some(out)
+}
+
+/// [`rle_vle_decode_checked`] expanding into a caller-owned buffer. The
+/// run-level intermediates stay internal (they are small — one entry per
+/// run); only the full-length symbol expansion lands in `out`.
+pub fn rle_vle_decode_checked_into(enc: &RleVleEncoded, out: &mut Vec<u16>) -> Option<()> {
     let values = cuszp_huffman::decode_fast_checked(&enc.values)?;
     let csyms = cuszp_huffman::decode_fast_checked(&enc.counts)?;
     if csyms.iter().any(|&s| s > 0xFF) {
@@ -178,7 +205,7 @@ pub fn rle_vle_decode_checked(enc: &RleVleEncoded) -> Option<Vec<u16>> {
         counts,
         n: enc.n,
     };
-    rle_decode_checked(&rle)
+    rle_decode_checked_into(&rle, out)
 }
 
 #[cfg(test)]

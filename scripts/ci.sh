@@ -16,6 +16,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run
+
 echo "==> corruption campaign (seeded fault injection)"
 scripts/corruption_campaign.sh
 

@@ -76,7 +76,7 @@ cuszp — error-bounded lossy compression for scientific data (cuSZ+ reproductio
 USAGE:
   cuszp compress   -i <raw> -o <archive> -d <dims> [-e <bound>] [-m abs|rel]
                    [-w auto|huffman|rle|rle+vle] [-p lorenzo|interp] [--double]
-                   [--threads <n>]
+                   [--threads <n>] [--stats]
   cuszp decompress -i <archive> -o <raw> [--verify <original raw>] [--threads <n>]
                    [--recover [--fill nan|zero]]
   cuszp info       -i <archive>
@@ -93,6 +93,8 @@ OPTIONS:
   --double   treat the raw file as f64
   --threads  chunk-parallel engine with an n-worker pool; compress writes the
              multi-chunk (v2) archive, whose bytes are identical for any n
+  --stats    with --threads: aggregate per-chunk compression stats (workflow
+             mix, bit rate, outliers) on stderr
   --recover  fault-isolated decompression of a damaged chunked archive:
              undamaged chunks reconstruct exactly, damaged slabs are filled
              (--fill nan|zero, default nan) and reported per chunk
@@ -127,7 +129,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             return Err(format!("unexpected positional argument '{a}'"));
         }
         // Boolean flags.
-        if matches!(key.as_str(), "double" | "verify-none" | "recover") {
+        if matches!(key.as_str(), "double" | "verify-none" | "recover" | "stats") {
             map.insert(key, String::new());
             continue;
         }
@@ -234,27 +236,34 @@ fn cmd_compress(opts: &Opts) -> Result<(), String> {
         // for any worker count.
         let pool = WorkerPool::new(n);
         let target = cuszp::parallel::DEFAULT_CHUNK_ELEMS;
+        let want_stats = opts.has_flag("stats");
         if opts.has_flag("double") {
             let data = read_raw_f64(input)?;
-            let arc = compressor
-                .compress_chunked_f64_with(&data, dims, target, &pool)
+            let (arc, stats) = compressor
+                .compress_chunked_f64_with_stats(&data, dims, target, &pool)
                 .map_err(|e| e.to_string())?;
             eprintln!(
                 "chunked: {} chunks, {} workers",
                 arc.n_chunks(),
                 pool.workers()
             );
+            if want_stats {
+                eprintln!("{stats}");
+            }
             (arc.to_bytes(), data.len() * 8)
         } else {
             let data = read_raw_f32(input)?;
-            let arc = compressor
-                .compress_chunked_with(&data, dims, target, &pool)
+            let (arc, stats) = compressor
+                .compress_chunked_with_stats(&data, dims, target, &pool)
                 .map_err(|e| e.to_string())?;
             eprintln!(
                 "chunked: {} chunks, {} workers",
                 arc.n_chunks(),
                 pool.workers()
             );
+            if want_stats {
+                eprintln!("{stats}");
+            }
             (arc.to_bytes(), data.len() * 4)
         }
     } else if opts.has_flag("double") {
@@ -446,12 +455,35 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
         );
         for (i, ch) in arc.chunks.iter().enumerate() {
             println!(
-                "    [{i}] {:?}  workflow {}  {} bytes",
+                "    [{i}] {:?}  workflow {}  {} outliers  {} bytes",
                 ch.dims,
                 ch.payload.choice().name(),
+                ch.outliers.len(),
                 ch.serialized_bytes()
             );
         }
+        let mix: Vec<String> = [
+            WorkflowChoice::Huffman,
+            WorkflowChoice::Rle,
+            WorkflowChoice::RleVle,
+        ]
+        .into_iter()
+        .filter_map(|c| {
+            let count = arc
+                .chunks
+                .iter()
+                .filter(|ch| ch.payload.choice() == c)
+                .count();
+            (count > 0).then(|| format!("{} x{count}", c.name()))
+        })
+        .collect();
+        println!("  workflow mix: {}", mix.join(", "));
+        let outliers: usize = arc.chunks.iter().map(|ch| ch.outliers.len()).sum();
+        println!(
+            "  outliers:     {} ({:.3}%)",
+            outliers,
+            100.0 * outliers as f64 / n.max(1) as f64
+        );
         println!("  stored size:  {} bytes", bytes.len());
         println!(
             "  ratio:        {:.2}x",
