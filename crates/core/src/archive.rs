@@ -263,7 +263,7 @@ impl Archive {
         };
         let actual = fnv1a(payload);
         if actual != checksum {
-            return Err(CuszpError::checksum(checksum, actual));
+            return Err(CuszpError::checksum(checksum, actual, HEADER_BYTES));
         }
 
         let mut p = 0usize;
@@ -433,8 +433,39 @@ fn read_codes_section(
     }
 }
 
+/// Reads dims and dtype from a v1 header without validating the payload.
+/// The scanner uses this to keep reporting the field's shape when only
+/// the payload is damaged; `None` means the header itself is unusable.
+pub(crate) fn peek_v1_header(bytes: &[u8]) -> Option<(Dims, Dtype)> {
+    if bytes.len() < HEADER_BYTES
+        || u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != MAGIC
+        || u16::from_le_bytes(bytes[4..6].try_into().unwrap()) != VERSION
+    {
+        return None;
+    }
+    let ez = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let ey = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let ex = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+    let dims = match bytes[7] {
+        1 => Dims::D1(ex),
+        2 => Dims::D2 { ny: ey, nx: ex },
+        3 => Dims::D3 {
+            nz: ez,
+            ny: ey,
+            nx: ex,
+        },
+        _ => return None,
+    };
+    let dtype = match bytes[42] {
+        0 => Dtype::F32,
+        1 => Dtype::F64,
+        _ => return None,
+    };
+    Some((dims, dtype))
+}
+
 /// FNV-1a 64-bit hash.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;

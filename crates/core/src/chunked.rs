@@ -24,6 +24,7 @@
 
 use crate::engine::{resolve_bound, validate_and_range, PipelineEngine};
 use crate::error::{ArchiveSection, CuszpError};
+use crate::parity::{ParityConfig, ParitySection, PARITY_MAGIC};
 use crate::stats::ChunkedStats;
 use crate::{Archive, Compressor, Dims, Dtype, ReconstructEngine};
 use cuszp_parallel::{plan_chunks, WorkerPool, DEFAULT_CHUNK_ELEMS};
@@ -51,6 +52,10 @@ pub struct ChunkedArchive {
     pub chunk_target: u64,
     /// Per-chunk archives, in plan (= slab) order.
     pub chunks: Vec<Archive>,
+    /// Optional Reed–Solomon parity over the serialized chunk region
+    /// (see [`crate::ParitySection`]). `None` serializes byte-identically
+    /// to the pre-parity format.
+    pub parity: Option<ParitySection>,
 }
 
 impl Compressor {
@@ -172,9 +177,45 @@ impl Compressor {
                 eb,
                 chunk_target: target_elems as u64,
                 chunks,
+                parity: None,
             },
             ChunkedStats { per_chunk },
         ))
+    }
+
+    /// [`Compressor::compress_chunked_with`] plus a self-healing parity
+    /// section: after compression the serialized chunk region is striped
+    /// and Reed–Solomon parity (`parity.parity_shards` per stripe of
+    /// `parity.data_shards` data shards) is appended. Parity encoding
+    /// fans stripes across the same pool; bytes stay independent of the
+    /// pool width.
+    pub fn compress_chunked_with_parity(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        target_elems: usize,
+        pool: &WorkerPool,
+        parity: ParityConfig,
+    ) -> Result<ChunkedArchive, CuszpError> {
+        parity.validate()?;
+        let mut arc = self.compress_chunked_with(data, dims, target_elems, pool)?;
+        arc.add_parity(parity, pool);
+        Ok(arc)
+    }
+
+    /// `f64` variant of [`Compressor::compress_chunked_with_parity`].
+    pub fn compress_chunked_f64_with_parity(
+        &self,
+        data: &[f64],
+        dims: Dims,
+        target_elems: usize,
+        pool: &WorkerPool,
+        parity: ParityConfig,
+    ) -> Result<ChunkedArchive, CuszpError> {
+        parity.validate()?;
+        let mut arc = self.compress_chunked_f64_with(data, dims, target_elems, pool)?;
+        arc.add_parity(parity, pool);
+        Ok(arc)
     }
 }
 
@@ -193,6 +234,25 @@ impl ChunkedArchive {
                 .iter()
                 .map(Archive::serialized_bytes)
                 .sum::<usize>()
+            + self
+                .parity
+                .as_ref()
+                .map_or(0, ParitySection::serialized_bytes)
+    }
+
+    /// Computes and attaches a parity section over the serialized chunk
+    /// region, replacing any existing one. A no-op for an empty region
+    /// (nothing to protect). Deterministic at any pool width.
+    pub fn add_parity(&mut self, cfg: ParityConfig, pool: &WorkerPool) {
+        // The region is exactly what to_bytes will emit for the chunk
+        // bodies: each chunk serializes into the same bytes it would
+        // inside the container.
+        let mut region =
+            Vec::with_capacity(self.chunks.iter().map(Archive::serialized_bytes).sum());
+        for chunk in &self.chunks {
+            chunk.write_into(&mut region);
+        }
+        self.parity = ParitySection::build(&region, &cfg, pool);
     }
 
     /// Parallel decompression into `f32` with the global worker policy.
@@ -314,7 +374,9 @@ impl ChunkedArchive {
 
     /// Serializes the container:
     /// `[magic][version u16][rank u8][dtype u8][extents 3×u64][eb f64]
-    ///  [chunk_target u64][n_chunks u32][chunk_len u64]* [chunk bytes]*`.
+    ///  [chunk_target u64][n_chunks u32][chunk_len u64]* [chunk bytes]*
+    ///  [parity section]?` — the parity section only when present, so
+    /// parity-less archives keep the exact pre-parity byte layout.
     pub fn to_bytes(&self) -> Vec<u8> {
         // `Archive::serialized_bytes` is exact, so the length table can
         // be written before any chunk body and every chunk serializes
@@ -339,6 +401,9 @@ impl ChunkedArchive {
         for chunk in &self.chunks {
             chunk.write_into(&mut out);
         }
+        if let Some(parity) = &self.parity {
+            parity.write_into(&mut out);
+        }
         out
     }
 
@@ -348,7 +413,8 @@ impl ChunkedArchive {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
         let hdr = parse_chunked_header(bytes)?;
         let lens = read_length_table(bytes, &hdr)?;
-        let mut pos = hdr.table_offset + hdr.n_chunks * 8;
+        let region_start = hdr.table_offset + hdr.n_chunks * 8;
+        let mut pos = region_start;
         let mut chunks = Vec::with_capacity(lens.len());
         for (i, len) in lens.into_iter().enumerate() {
             let slice = pos
@@ -365,19 +431,33 @@ impl ChunkedArchive {
             chunks.push(Archive::from_bytes(slice).map_err(|e| e.in_chunk(i, pos))?);
             pos += len;
         }
-        if pos != bytes.len() {
+        // Anything after the chunk region must be a valid parity section
+        // — the only extension the format defines; other trailing bytes
+        // stay a hard error.
+        let parity = if pos == bytes.len() {
+            None
+        } else if bytes.len() - pos >= 4
+            && u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) == PARITY_MAGIC
+        {
+            Some(ParitySection::from_bytes(
+                &bytes[pos..],
+                &bytes[region_start..pos],
+                pos,
+            )?)
+        } else {
             return Err(CuszpError::malformed(
                 "trailing bytes after last chunk",
                 ArchiveSection::Trailer,
                 pos,
             ));
-        }
+        };
         let archive = Self {
             dims: hdr.dims,
             dtype: hdr.dtype,
             eb: hdr.eb,
             chunk_target: hdr.chunk_target,
             chunks,
+            parity,
         };
         archive.validate_chunk_geometry()?;
         Ok(archive)
@@ -707,6 +787,72 @@ mod tests {
         let mut bad = bytes.clone();
         bad.push(0);
         assert!(ChunkedArchive::from_bytes(&bad).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn parity_archives_round_trip_and_extend_plain_bytes() {
+        let data = field(50_000);
+        let c = Compressor::default();
+        let pool = WorkerPool::new(2);
+        let plain = c
+            .compress_chunked_with(&data, Dims::D1(50_000), 8_000, &pool)
+            .unwrap();
+        let cfg = crate::ParityConfig {
+            data_shards: 4,
+            parity_shards: 2,
+        };
+        let with_parity = c
+            .compress_chunked_with_parity(&data, Dims::D1(50_000), 8_000, &pool, cfg)
+            .unwrap();
+        let sec = with_parity.parity.as_ref().expect("parity section present");
+        assert!(sec.n_stripes >= 2, "fixture must span multiple stripes");
+
+        // The parity section is strictly additive: the prefix is the
+        // parity-less archive, byte for byte.
+        let plain_bytes = plain.to_bytes();
+        let parity_bytes = with_parity.to_bytes();
+        assert_eq!(parity_bytes.len(), with_parity.serialized_bytes());
+        assert_eq!(&parity_bytes[..plain_bytes.len()], &plain_bytes[..]);
+        assert!(parity_bytes.len() > plain_bytes.len());
+
+        // Round trip through the strict parser, then decompress.
+        let parsed = ChunkedArchive::from_bytes(&parity_bytes).unwrap();
+        assert_eq!(parsed, with_parity);
+        let (recon, dims) = parsed
+            .decompress_with(ReconstructEngine::FinePartialSum, &pool)
+            .unwrap();
+        assert_eq!(dims, Dims::D1(50_000));
+        for (o, r) in data.iter().zip(&recon) {
+            let slack = with_parity.eb * (1.0 + 1e-6) + (o.abs() as f64) * f32::EPSILON as f64;
+            assert!(((o - r).abs() as f64) <= slack, "{o} vs {r}");
+        }
+
+        // Deterministic at any pool width.
+        for workers in [1, 8] {
+            let other = c
+                .compress_chunked_with_parity(
+                    &data,
+                    Dims::D1(50_000),
+                    8_000,
+                    &WorkerPool::new(workers),
+                    cfg,
+                )
+                .unwrap();
+            assert_eq!(other.to_bytes(), parity_bytes, "{workers} workers");
+        }
+
+        // A flipped parity byte is caught by the strict parser.
+        let mut bad = parity_bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(ChunkedArchive::from_bytes(&bad).is_err());
+        // Junk that is not a parity section stays a trailer error.
+        let mut bad = plain_bytes.clone();
+        bad.extend_from_slice(b"junk");
+        assert!(matches!(
+            ChunkedArchive::from_bytes(&bad),
+            Err(CuszpError::MalformedArchive(f)) if f.section == ArchiveSection::Trailer
+        ));
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub enum ArchiveSection {
     ChunkBody,
     /// Bytes after the declared end of the last chunk.
     Trailer,
+    /// The Reed–Solomon parity section appended after the chunk region.
+    ParitySection,
 }
 
 impl ArchiveSection {
@@ -39,6 +41,7 @@ impl ArchiveSection {
             ArchiveSection::LengthTable => "chunk length table",
             ArchiveSection::ChunkBody => "chunk body",
             ArchiveSection::Trailer => "trailer",
+            ArchiveSection::ParitySection => "parity section",
         }
     }
 }
@@ -97,9 +100,15 @@ pub enum CuszpError {
         expected: u64,
         /// Recomputed checksum.
         actual: u64,
+        /// Byte offset where the checksummed region starts, in the
+        /// outermost buffer's coordinates (chunk faults are rebased like
+        /// [`ParseFault::offset`]).
+        offset: usize,
         /// Chunk index inside a multi-chunk container, if any.
         chunk: Option<usize>,
     },
+    /// A parity configuration the Reed–Solomon codec cannot realise.
+    InvalidParityConfig(String),
     /// Archive was produced by an unsupported format version.
     UnsupportedVersion(u16),
     /// Archive holds a different element type than the decompression
@@ -123,11 +132,13 @@ impl CuszpError {
         })
     }
 
-    /// A checksum mismatch outside any container.
-    pub fn checksum(expected: u64, actual: u64) -> Self {
+    /// A checksum mismatch outside any container; `offset` is where the
+    /// checksummed region starts in the parsed buffer.
+    pub fn checksum(expected: u64, actual: u64, offset: usize) -> Self {
         CuszpError::ChecksumMismatch {
             expected,
             actual,
+            offset,
             chunk: None,
         }
     }
@@ -143,10 +154,14 @@ impl CuszpError {
                 ..fault
             }),
             CuszpError::ChecksumMismatch {
-                expected, actual, ..
+                expected,
+                actual,
+                offset,
+                ..
             } => CuszpError::ChecksumMismatch {
                 expected,
                 actual,
+                offset: offset + base,
                 chunk: Some(chunk),
             },
             other => other,
@@ -176,16 +191,20 @@ impl std::fmt::Display for CuszpError {
             CuszpError::ChecksumMismatch {
                 expected,
                 actual,
+                offset,
                 chunk,
             } => {
                 write!(
                     f,
-                    "checksum mismatch: stored {expected:#x}, computed {actual:#x}"
+                    "checksum mismatch: stored {expected:#x}, computed {actual:#x} [payload @ byte {offset}"
                 )?;
                 if let Some(c) = chunk {
-                    write!(f, " [chunk {c}]")?;
+                    write!(f, ", chunk {c}")?;
                 }
-                Ok(())
+                write!(f, "]")
+            }
+            CuszpError::InvalidParityConfig(why) => {
+                write!(f, "invalid parity configuration: {why}")
             }
             CuszpError::UnsupportedVersion(v) => write!(f, "unsupported archive version {v}"),
             CuszpError::DtypeMismatch { stored, requested } => {
@@ -217,6 +236,7 @@ mod tests {
         let e = CuszpError::ChecksumMismatch {
             expected: 0xAB,
             actual: 0xCD,
+            offset: 0,
             chunk: None,
         };
         assert!(e.to_string().contains("ab") || e.to_string().contains("0xab"));
@@ -241,12 +261,17 @@ mod tests {
 
     #[test]
     fn checksum_rebasing_attaches_chunk() {
-        let e = CuszpError::checksum(1, 2).in_chunk(7, 64);
+        let e = CuszpError::checksum(1, 2, 96).in_chunk(7, 64);
         assert!(matches!(
             e,
-            CuszpError::ChecksumMismatch { chunk: Some(7), .. }
+            CuszpError::ChecksumMismatch {
+                offset: 160,
+                chunk: Some(7),
+                ..
+            }
         ));
         assert!(e.to_string().contains("chunk 7"));
+        assert!(e.to_string().contains("160"));
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod archive;
 mod chunked;
 mod engine;
 mod error;
+mod parity;
 mod recovery;
 mod snapshot;
 mod stats;
@@ -48,10 +49,11 @@ pub use archive::{Archive, Dtype};
 pub use chunked::{is_chunked_archive, ChunkedArchive};
 pub use engine::PipelineEngine;
 pub use error::{ArchiveSection, CuszpError, ParseFault};
+pub use parity::{ParityConfig, ParitySection};
 pub use recovery::{
     decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
-    decompress_resilient_with, scan, scan_with, ChunkReport, ChunkStatus, FillPolicy,
-    RecoveredField, ScanReport,
+    decompress_resilient_with, repair, repair_with, scan, scan_with, ChunkReport, ChunkStatus,
+    FillPolicy, ParityReport, RecoveredField, RepairOutcome, ScanReport, StripeStatus,
 };
 pub use snapshot::{Snapshot, SnapshotEntry};
 pub use stats::{ChunkedStats, CompressionStats};

@@ -22,12 +22,18 @@
 //! hard instead of fabricating a field — this is also what keeps a
 //! corrupted header from driving a giant output allocation.
 
+use crate::archive::{fnv1a, peek_v1_header};
 use crate::chunked::{parse_chunked_header, read_length_table_lenient, ChunkedHeader};
 use crate::engine::PipelineEngine;
 use crate::error::{ArchiveSection, CuszpError, ParseFault};
+use crate::parity::{
+    parse_parity_layout, ParityConfig, ParitySection, PARITY_HEADER_BYTES, PARITY_MAGIC,
+};
 use crate::{is_chunked_archive, Archive, Dims, Dtype, ReconstructEngine};
+use cuszp_ecc::ReedSolomon;
 use cuszp_parallel::{plan_chunk_spec, plan_len, ChunkSpec, WorkerPool};
 use cuszp_predictor::Scalar;
+use std::borrow::Cow;
 use std::ops::Range;
 
 /// What to write into slabs whose chunk could not be recovered.
@@ -64,6 +70,13 @@ impl FillPolicy {
 pub enum ChunkStatus {
     /// Parsed, checksum verified, decoded.
     Ok,
+    /// Damaged in storage but reconstructed bit-exactly from Reed–Solomon
+    /// parity before decoding; lists the global data-shard indices that
+    /// were healed within this chunk's byte range.
+    Repaired {
+        /// Global data-shard indices (region order) the repair rewrote.
+        shards: Vec<usize>,
+    },
     /// Stored checksum disagrees with the recomputed one: the chunk's
     /// bytes were altered in storage or transit.
     ChecksumMismatch {
@@ -71,6 +84,9 @@ pub enum ChunkStatus {
         expected: u64,
         /// Checksum recomputed over the chunk payload.
         actual: u64,
+        /// Byte offset where the checksummed payload starts, in the
+        /// outermost buffer's coordinates.
+        offset: usize,
     },
     /// The container ends before this chunk's declared bytes (or before
     /// its length-table entry).
@@ -81,15 +97,24 @@ pub enum ChunkStatus {
 }
 
 impl ChunkStatus {
-    /// True for [`ChunkStatus::Ok`].
+    /// True for [`ChunkStatus::Ok`] — the chunk was intact as stored.
     pub fn is_ok(&self) -> bool {
         matches!(self, ChunkStatus::Ok)
     }
 
-    /// Short display label ("ok" / "checksum" / "truncated" / "malformed").
+    /// True when the chunk's data is available bit-exactly: intact as
+    /// stored ([`ChunkStatus::Ok`]) or healed from parity
+    /// ([`ChunkStatus::Repaired`]).
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, ChunkStatus::Ok | ChunkStatus::Repaired { .. })
+    }
+
+    /// Short display label ("ok" / "repaired" / "checksum" / "truncated"
+    /// / "malformed").
     pub fn label(&self) -> &'static str {
         match self {
             ChunkStatus::Ok => "ok",
+            ChunkStatus::Repaired { .. } => "repaired",
             ChunkStatus::ChecksumMismatch { .. } => "checksum",
             ChunkStatus::Truncated => "truncated",
             ChunkStatus::Malformed(_) => "malformed",
@@ -101,10 +126,17 @@ impl std::fmt::Display for ChunkStatus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ChunkStatus::Ok => write!(f, "ok"),
-            ChunkStatus::ChecksumMismatch { expected, actual } => {
+            ChunkStatus::Repaired { shards } => {
+                write!(f, "repaired from parity (data shards {shards:?})")
+            }
+            ChunkStatus::ChecksumMismatch {
+                expected,
+                actual,
+                offset,
+            } => {
                 write!(
                     f,
-                    "checksum mismatch (stored {expected:#x}, computed {actual:#x})"
+                    "checksum mismatch (stored {expected:#x}, computed {actual:#x}, payload @ byte {offset})"
                 )
             }
             ChunkStatus::Truncated => write!(f, "truncated"),
@@ -129,6 +161,71 @@ pub struct ChunkReport {
     pub elem_range: Range<usize>,
 }
 
+/// Health of one parity stripe, as classified (and where possible
+/// healed) by the recovery pre-pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StripeStatus {
+    /// Every data and parity shard matched its stored checksum.
+    Intact,
+    /// Damage within the erasure budget: the listed `data` shards were
+    /// reconstructed bit-exactly; `parity` lists this stripe's damaged
+    /// parity shards (stripe-local indices, `0..m`), which
+    /// [`repair`] regenerates when rewriting the archive.
+    Repaired {
+        /// Global data-shard indices reconstructed from parity.
+        data: Vec<usize>,
+        /// Stripe-local indices of damaged parity shards.
+        parity: Vec<usize>,
+    },
+    /// More damaged data shards than surviving parity shards:
+    /// reconstruction is impossible and the affected chunks fall back to
+    /// the [`FillPolicy`].
+    Unrepairable {
+        /// Global data-shard indices that failed their checksums.
+        damaged_data: Vec<usize>,
+        /// How many of the stripe's parity shards survived.
+        intact_parity: usize,
+    },
+}
+
+/// Stripe-level diagnosis of a container's parity section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityReport {
+    /// Data shards per stripe (`k`).
+    pub data_shards: u16,
+    /// Parity shards per stripe (`m`).
+    pub parity_shards: u16,
+    /// Bytes per shard.
+    pub shard_size: u32,
+    /// Number of stripes guarding the chunk region.
+    pub n_stripes: usize,
+    /// One status per stripe, in region order.
+    pub stripes: Vec<StripeStatus>,
+}
+
+impl ParityReport {
+    /// Stripes healed by the pre-pass (includes parity-only damage).
+    pub fn n_repaired(&self) -> usize {
+        self.stripes
+            .iter()
+            .filter(|s| matches!(s, StripeStatus::Repaired { .. }))
+            .count()
+    }
+
+    /// Stripes whose damage exceeded the erasure budget.
+    pub fn n_unrepairable(&self) -> usize {
+        self.stripes
+            .iter()
+            .filter(|s| matches!(s, StripeStatus::Unrepairable { .. }))
+            .count()
+    }
+
+    /// True when every stripe (data *and* parity shards) verified.
+    pub fn is_intact(&self) -> bool {
+        self.stripes.iter().all(|s| *s == StripeStatus::Intact)
+    }
+}
+
 /// Result of [`scan`]: the per-chunk diagnosis without decompression.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanReport {
@@ -146,15 +243,31 @@ pub struct ScanReport {
     /// `Truncated` report, and declared chunks beyond the plan are
     /// appended only as far as the buffer holds table entries for them.
     pub reports: Vec<ChunkReport>,
+    /// Stripe-level parity diagnosis, when the container carries a
+    /// locatable parity section.
+    pub parity: Option<ParityReport>,
 }
 
 impl ScanReport {
-    /// Number of damaged chunks.
+    /// Number of chunks whose data is lost (neither intact nor healed
+    /// from parity).
     pub fn n_damaged(&self) -> usize {
-        self.reports.iter().filter(|r| !r.status.is_ok()).count()
+        self.reports
+            .iter()
+            .filter(|r| !r.status.is_recovered())
+            .count()
     }
 
-    /// True when every chunk validated and decoded.
+    /// Number of chunks healed from parity.
+    pub fn n_repaired(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| matches!(r.status, ChunkStatus::Repaired { .. }))
+            .count()
+    }
+
+    /// True when every chunk's data is available bit-exactly (intact or
+    /// repaired).
     pub fn is_clean(&self) -> bool {
         self.n_damaged() == 0
     }
@@ -169,15 +282,31 @@ pub struct RecoveredField<T> {
     pub dims: Dims,
     /// One report per chunk.
     pub reports: Vec<ChunkReport>,
+    /// Stripe-level parity diagnosis, when the container carries a
+    /// locatable parity section.
+    pub parity: Option<ParityReport>,
 }
 
 impl<T> RecoveredField<T> {
-    /// Number of damaged chunks.
+    /// Number of chunks whose data is lost (neither intact nor healed
+    /// from parity).
     pub fn n_damaged(&self) -> usize {
-        self.reports.iter().filter(|r| !r.status.is_ok()).count()
+        self.reports
+            .iter()
+            .filter(|r| !r.status.is_recovered())
+            .count()
     }
 
-    /// True when every chunk recovered.
+    /// Number of chunks healed from parity.
+    pub fn n_repaired(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| matches!(r.status, ChunkStatus::Repaired { .. }))
+            .count()
+    }
+
+    /// True when every chunk's data is available bit-exactly (intact or
+    /// repaired).
     pub fn is_clean(&self) -> bool {
         self.n_damaged() == 0
     }
@@ -188,8 +317,15 @@ impl<T> RecoveredField<T> {
 fn status_from_error(e: CuszpError, chunk: usize, base: usize) -> ChunkStatus {
     match e.in_chunk(chunk, base) {
         CuszpError::ChecksumMismatch {
-            expected, actual, ..
-        } => ChunkStatus::ChecksumMismatch { expected, actual },
+            expected,
+            actual,
+            offset,
+            ..
+        } => ChunkStatus::ChecksumMismatch {
+            expected,
+            actual,
+            offset,
+        },
         CuszpError::MalformedArchive(fault) => ChunkStatus::Malformed(fault),
         CuszpError::UnsupportedVersion(_) => ChunkStatus::Malformed(ParseFault {
             what: "unsupported chunk version",
@@ -371,6 +507,209 @@ fn extra_chunk_reports(
     out
 }
 
+/// Global index and absolute byte range of each healed data shard.
+type RepairedShards = Vec<(usize, Range<usize>)>;
+
+/// Outcome of the parity pre-pass over a CSZ2 container.
+struct ParityHeal {
+    /// Stripe-level diagnosis.
+    report: ParityReport,
+    /// Absolute byte range of the chunk region in the container.
+    region: Range<usize>,
+    /// Container bytes with every repairable data shard healed in place
+    /// (`None` when no data shard needed reconstruction).
+    healed: Option<Vec<u8>>,
+    /// What was healed, and where.
+    repaired: RepairedShards,
+}
+
+/// Locates the chunk region from the length table. `None` when the
+/// table is incomplete, overflows, or runs past the buffer — a damaged
+/// table also makes the parity section unlocatable, so repair degrades
+/// to the plain fill path.
+fn locate_region(bytes: &[u8], hdr: &ChunkedHeader) -> Option<Range<usize>> {
+    let lens = read_length_table_lenient(bytes, hdr);
+    if lens.len() != hdr.n_chunks {
+        return None;
+    }
+    let start = hdr.body_offset();
+    let mut end = start;
+    for len in lens {
+        end = end.checked_add(len)?;
+    }
+    (end <= bytes.len()).then_some(start..end)
+}
+
+fn section_u64(section: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(section[off..off + 8].try_into().unwrap())
+}
+
+/// Classifies every shard of the parity section against its stored
+/// checksum and reconstructs repairable stripes. Returns `None` when the
+/// container carries no parity section the scanner can trust enough to
+/// use (absent, unlocatable, or a damaged header).
+///
+/// Truncation that cuts into the chunk region also cuts the section off
+/// the tail, so truncated containers get no parity assist — parity
+/// guards bit flips, not missing bytes.
+fn parity_heal(bytes: &[u8], hdr: &ChunkedHeader) -> Option<ParityHeal> {
+    let region_range = locate_region(bytes, hdr)?;
+    let section = &bytes[region_range.end..];
+    if section.len() < PARITY_HEADER_BYTES
+        || u32::from_le_bytes(section[..4].try_into().unwrap()) != PARITY_MAGIC
+    {
+        return None;
+    }
+    let geo = parse_parity_layout(section).ok()?;
+    if geo.region_len != region_range.len() {
+        return None;
+    }
+    let region = &bytes[region_range.clone()];
+
+    // Shard classification: a data shard is intact iff its bytes hash to
+    // the stored checksum; a parity shard additionally needs its length
+    // entry to agree with the (header-checksummed) shard size.
+    let data_ok: Vec<bool> = (0..geo.n_data)
+        .map(|d| {
+            section_u64(section, PARITY_HEADER_BYTES + d * 8)
+                == fnv1a(&region[geo.data_shard_range(d)])
+        })
+        .collect();
+    let parity_bytes_off = geo.parity_bytes_off();
+    let parity_shard = |p: usize| {
+        let start = parity_bytes_off + p * geo.shard_size;
+        &section[start..start + geo.shard_size]
+    };
+    let parity_ok: Vec<bool> = (0..geo.n_parity())
+        .map(|p| {
+            let len_off = geo.parity_len_off() + p * 4;
+            let len = u32::from_le_bytes(section[len_off..len_off + 4].try_into().unwrap());
+            len as usize == geo.shard_size
+                && section_u64(section, geo.parity_cksum_off() + p * 8) == fnv1a(parity_shard(p))
+        })
+        .collect();
+
+    let rs = ReedSolomon::new(geo.k, geo.m).ok()?;
+    let mut healed: Option<Vec<u8>> = None;
+    let mut repaired: RepairedShards = Vec::new();
+    let mut stripes = Vec::with_capacity(geo.n_stripes);
+    for s in 0..geo.n_stripes {
+        let data_range = geo.stripe_data_shards(s);
+        let damaged_data: Vec<usize> = data_range.clone().filter(|&d| !data_ok[d]).collect();
+        let damaged_parity: Vec<usize> =
+            (0..geo.m).filter(|&p| !parity_ok[s * geo.m + p]).collect();
+        if damaged_data.is_empty() && damaged_parity.is_empty() {
+            stripes.push(StripeStatus::Intact);
+            continue;
+        }
+        let intact_parity = geo.m - damaged_parity.len();
+        if damaged_data.len() > intact_parity {
+            stripes.push(StripeStatus::Unrepairable {
+                damaged_data,
+                intact_parity,
+            });
+            continue;
+        }
+        if !damaged_data.is_empty() {
+            // Stripes are disjoint slices of the region, so survivors can
+            // be read from the original buffer even after earlier stripes
+            // were healed.
+            let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(geo.k + geo.m);
+            for d in data_range.start..data_range.start + geo.k {
+                shards.push(if d >= geo.n_data {
+                    // Virtual zero shard of the tail stripe: intact by
+                    // definition, never costs erasure budget.
+                    Some(vec![0u8; geo.shard_size])
+                } else if data_ok[d] {
+                    Some(region[geo.data_shard_range(d)].to_vec())
+                } else {
+                    None
+                });
+            }
+            for p in 0..geo.m {
+                let gp = s * geo.m + p;
+                shards.push(parity_ok[gp].then(|| parity_shard(gp).to_vec()));
+            }
+            if rs.reconstruct(&mut shards, geo.shard_size).is_err() {
+                stripes.push(StripeStatus::Unrepairable {
+                    damaged_data,
+                    intact_parity,
+                });
+                continue;
+            }
+            let buf = healed.get_or_insert_with(|| bytes.to_vec());
+            for &d in &damaged_data {
+                let r = geo.data_shard_range(d);
+                let abs = region_range.start + r.start..region_range.start + r.end;
+                let src = shards[d - data_range.start].as_ref().unwrap();
+                buf[abs.clone()].copy_from_slice(&src[..r.len()]);
+                repaired.push((d, abs));
+            }
+        }
+        stripes.push(StripeStatus::Repaired {
+            data: damaged_data,
+            parity: damaged_parity,
+        });
+    }
+    Some(ParityHeal {
+        report: ParityReport {
+            data_shards: geo.k as u16,
+            parity_shards: geo.m as u16,
+            shard_size: geo.shard_size as u32,
+            n_stripes: geo.n_stripes,
+            stripes,
+        },
+        region: region_range,
+        healed,
+        repaired,
+    })
+}
+
+/// Upgrades chunks that validated cleanly only because the parity pass
+/// healed bytes inside their range: `Ok` → `Repaired` with the shard
+/// indices that were rewritten. Chunks that still fail keep their
+/// failure status — their stripe was beyond budget.
+fn apply_repairs(reports: &mut [ChunkReport], repaired: &[(usize, Range<usize>)]) {
+    if repaired.is_empty() {
+        return;
+    }
+    for rep in reports.iter_mut() {
+        if !rep.status.is_ok() {
+            continue;
+        }
+        let Some(br) = rep.byte_range.clone() else {
+            continue;
+        };
+        let shards: Vec<usize> = repaired
+            .iter()
+            .filter(|(_, r)| r.start < br.end && br.start < r.end)
+            .map(|(d, _)| *d)
+            .collect();
+        if !shards.is_empty() {
+            rep.status = ChunkStatus::Repaired { shards };
+        }
+    }
+}
+
+/// Runs the parity pre-pass and hands back the buffer the chunk passes
+/// should evaluate: the healed copy when shards were reconstructed, the
+/// input otherwise.
+fn pre_heal<'a>(
+    bytes: &'a [u8],
+    hdr: &ChunkedHeader,
+) -> (Cow<'a, [u8]>, Option<ParityReport>, RepairedShards) {
+    match parity_heal(bytes, hdr) {
+        Some(h) => {
+            let buf = match h.healed {
+                Some(v) => Cow::Owned(v),
+                None => Cow::Borrowed(bytes),
+            };
+            (buf, Some(h.report), h.repaired)
+        }
+        None => (Cow::Borrowed(bytes), None, Vec::new()),
+    }
+}
+
 /// Diagnoses every chunk of a CSZ2 container (or a v1 archive, treated
 /// as a single chunk) without producing output. Chunks are parsed,
 /// checksummed, **and decoded** in parallel; only a container whose
@@ -385,6 +724,12 @@ pub fn scan_with(bytes: &[u8], pool: &WorkerPool) -> Result<ScanReport, CuszpErr
         return Ok(scan_v1(bytes));
     }
     let hdr = parse_chunked_header(bytes)?;
+    // Repair before fill: damaged shards the parity section can
+    // reconstruct are healed first, so the chunk passes below see the
+    // repaired bytes. The header and length table sit outside the
+    // striped region and are reused unchanged.
+    let (healed, parity, repaired) = pre_heal(bytes, &hdr);
+    let bytes = &healed[..];
     let plan = plan_for(&hdr);
     let n_geo = evaluable_chunks(plan.n, &hdr, bytes);
     let layouts = layout_chunks(bytes, &hdr, n_geo);
@@ -415,19 +760,25 @@ pub fn scan_with(bytes: &[u8], pool: &WorkerPool) -> Result<ScanReport, CuszpErr
         .collect();
     push_truncated_tail(&mut reports, &plan, n_geo, hdr.dims.len());
     reports.extend(extra_chunk_reports(&hdr, n_geo, bytes, hdr.dims.len()));
+    apply_repairs(&mut reports, &repaired);
     Ok(ScanReport {
         format: "csz2",
         dims: Some(hdr.dims),
         dtype: Some(hdr.dtype),
         declared_chunks: hdr.n_chunks,
         reports,
+        parity,
     })
 }
 
 /// v1 archives have no chunk independence: the whole payload is one
-/// checksummed unit, reported as a single chunk.
+/// checksummed unit, reported as a single chunk. The header is peeked
+/// separately from payload validation so the report keeps dims and dtype
+/// when only the payload is damaged, classifies a cut-off payload as
+/// `Truncated`, and pins checksum mismatches to the payload's byte
+/// offset instead of collapsing everything into a blanket failure.
 fn scan_v1(bytes: &[u8]) -> ScanReport {
-    let (dims, dtype, status) = match Archive::from_bytes(bytes) {
+    let (mut dims, mut dtype, status) = match Archive::from_bytes(bytes) {
         Ok(a) => {
             let decode = match a.to_quant_field() {
                 Ok(_) => ChunkStatus::Ok,
@@ -435,8 +786,26 @@ fn scan_v1(bytes: &[u8]) -> ScanReport {
             };
             (Some(a.dims), Some(a.dtype), decode)
         }
-        Err(e) => (None, None, status_from_error(e, 0, 0)),
+        Err(e) => {
+            let truncated = matches!(
+                e.fault(),
+                Some(f) if f.section == ArchiveSection::Payload && f.what.starts_with("truncated")
+            );
+            let status = if truncated {
+                ChunkStatus::Truncated
+            } else {
+                status_from_error(e, 0, 0)
+            };
+            (None, None, status)
+        }
     };
+    if dims.is_none() {
+        // Payload damage does not erase the header's facts.
+        if let Some((d, t)) = peek_v1_header(bytes) {
+            dims = Some(d);
+            dtype = Some(t);
+        }
+    }
     let n_elems = dims.map_or(0, |d| d.len());
     ScanReport {
         format: "v1",
@@ -449,6 +818,7 @@ fn scan_v1(bytes: &[u8]) -> ScanReport {
             byte_range: Some(0..bytes.len()),
             elem_range: 0..n_elems,
         }],
+        parity: None,
     }
 }
 
@@ -518,6 +888,11 @@ fn decompress_resilient_impl<T: Scalar>(
             requested: want.name(),
         });
     }
+    // Repair before fill: shards the parity section can reconstruct are
+    // healed before any chunk is parsed, so slabs whose damage fits the
+    // erasure budget decode bit-exactly instead of taking the fill value.
+    let (healed, parity, repaired) = pre_heal(bytes, &hdr);
+    let bytes = &healed[..];
     let plan = plan_for(&hdr);
     let n_geo = evaluable_chunks(plan.n, &hdr, bytes);
     let layouts = layout_chunks(bytes, &hdr, n_geo);
@@ -588,10 +963,12 @@ fn decompress_resilient_impl<T: Scalar>(
         .collect();
     push_truncated_tail(&mut reports, &plan, n_geo, n_elems);
     reports.extend(extra_chunk_reports(&hdr, n_geo, bytes, n_elems));
+    apply_repairs(&mut reports, &repaired);
     Ok(RecoveredField {
         data,
         dims: hdr.dims,
         reports,
+        parity,
     })
 }
 
@@ -620,6 +997,70 @@ fn recover_v1<T: Scalar>(
             byte_range: Some(0..bytes.len()),
             elem_range: 0..n,
         }],
+        parity: None,
+    })
+}
+
+/// Outcome of [`repair`]: the healed archive bytes plus the diagnosis of
+/// the *input* (what was damaged and what parity reconstructed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The full healed container: repaired chunk region plus a freshly
+    /// regenerated parity section. Parity generation is deterministic,
+    /// so an in-budget repair restores the pre-damage archive
+    /// byte-identically. Equals the input when nothing was wrong — or
+    /// when rewriting would be unsafe (data loss, see `modified`).
+    pub bytes: Vec<u8>,
+    /// Scan of the input, including `Repaired` chunk statuses and the
+    /// stripe-level parity diagnosis.
+    pub report: ScanReport,
+    /// True when `bytes` differs from the input. Stays false on data
+    /// loss: regenerating checksums over unrepairable bytes would freeze
+    /// the damage in place, so the input is returned untouched.
+    pub modified: bool,
+}
+
+/// Heals a CSZ2 archive in memory: reconstructs every repairable data
+/// shard from parity and regenerates the parity section (restoring
+/// damaged parity shards too). See [`RepairOutcome`] for the contract —
+/// archives with unrepairable damage are diagnosed but never rewritten.
+pub fn repair(bytes: &[u8]) -> Result<RepairOutcome, CuszpError> {
+    repair_with(bytes, &WorkerPool::with_default_workers())
+}
+
+/// [`repair`] with an explicit worker pool.
+pub fn repair_with(bytes: &[u8], pool: &WorkerPool) -> Result<RepairOutcome, CuszpError> {
+    let report = scan_with(bytes, pool)?;
+    let untouched = |report: ScanReport| RepairOutcome {
+        bytes: bytes.to_vec(),
+        report,
+        modified: false,
+    };
+    if !is_chunked_archive(bytes) {
+        // v1 archives carry no parity; there is nothing to heal with.
+        return Ok(untouched(report));
+    }
+    let hdr = parse_chunked_header(bytes)?;
+    let Some(heal) = parity_heal(bytes, &hdr) else {
+        return Ok(untouched(report));
+    };
+    if heal.report.n_unrepairable() > 0 || report.n_damaged() > 0 {
+        return Ok(untouched(report));
+    }
+    let src = heal.healed.as_deref().unwrap_or(bytes);
+    let cfg = ParityConfig {
+        data_shards: heal.report.data_shards,
+        parity_shards: heal.report.parity_shards,
+    };
+    let mut out = src[..heal.region.end].to_vec();
+    if let Some(section) = ParitySection::build(&src[heal.region.clone()], &cfg, pool) {
+        section.write_into(&mut out);
+    }
+    let modified = out != bytes;
+    Ok(RepairOutcome {
+        bytes: out,
+        report,
+        modified,
     })
 }
 
@@ -755,6 +1196,146 @@ mod tests {
         assert!(decompress_resilient(&bad, FillPolicy::Nan).is_err());
         let report = scan(&bad).unwrap();
         assert_eq!(report.n_damaged(), 1);
+    }
+
+    fn parity_bytes(n: usize, target: usize, m: u16, k: u16) -> (Vec<f32>, Vec<u8>) {
+        let data = field(n);
+        let arc = Compressor::new(Config {
+            error_bound: ErrorBound::Absolute(1e-3),
+            ..Config::default()
+        })
+        .compress_chunked_with_parity(
+            &data,
+            Dims::D1(n),
+            target,
+            &WorkerPool::new(2),
+            ParityConfig {
+                data_shards: k,
+                parity_shards: m,
+            },
+        )
+        .unwrap();
+        (data, arc.to_bytes())
+    }
+
+    #[test]
+    fn shard_damage_heals_bit_exactly_and_reports_repaired() {
+        let (_, bytes) = parity_bytes(40_000, 8_000, 2, 4);
+        let strict = crate::decompress(&bytes).unwrap().0;
+        let hdr = parse_chunked_header(&bytes).unwrap();
+        let mut bad = bytes.clone();
+        bad[hdr.body_offset() + 10] ^= 0xFF;
+        // The strict path refuses the damaged container; scan heals it.
+        assert!(crate::decompress(&bad).is_err());
+        let report = scan(&bad).unwrap();
+        assert!(report.is_clean(), "in-budget damage must scan clean");
+        // One 4 KiB shard can span several small chunks; every chunk the
+        // healed shard touches reports Repaired.
+        assert!(report.n_repaired() >= 1);
+        assert!(matches!(
+            report.reports[0].status,
+            ChunkStatus::Repaired { .. }
+        ));
+        let parity = report.parity.expect("parity section must be diagnosed");
+        assert_eq!(parity.n_repaired(), 1);
+        assert_eq!(parity.n_unrepairable(), 0);
+        let rec = decompress_resilient(&bad, FillPolicy::Nan).unwrap();
+        assert_eq!(rec.n_damaged(), 0);
+        assert!(rec.n_repaired() >= 1);
+        assert_eq!(rec.data, strict, "healed decode must be bit-exact");
+    }
+
+    #[test]
+    fn damage_beyond_parity_budget_falls_back_to_fill() {
+        let (_, bytes) = parity_bytes(40_000, 8_000, 1, 4);
+        let strict = crate::decompress(&bytes).unwrap().0;
+        let clean = scan(&bytes).unwrap();
+        assert!(clean.parity.as_ref().unwrap().is_intact());
+        let shard = clean.parity.as_ref().unwrap().shard_size as usize;
+        let hdr = parse_chunked_header(&bytes).unwrap();
+        // Two damaged data shards in stripe 0 against one parity shard.
+        let mut bad = bytes.clone();
+        bad[hdr.body_offset() + 1] ^= 0x40;
+        bad[hdr.body_offset() + shard + 1] ^= 0x40;
+        let report = scan(&bad).unwrap();
+        let parity = report.parity.clone().unwrap();
+        assert_eq!(parity.n_unrepairable(), 1);
+        assert!(!report.is_clean());
+        let rec = decompress_resilient(&bad, FillPolicy::Nan).unwrap();
+        assert!(rec.n_damaged() >= 1);
+        // Unrecovered slabs are filled; everything else stays bit-exact.
+        for r in &rec.reports {
+            if r.status.is_recovered() {
+                let er = r.elem_range.clone();
+                assert_eq!(&rec.data[er.clone()], &strict[er]);
+            } else {
+                for i in r.elem_range.clone() {
+                    assert!(rec.data[i].is_nan());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_restores_pre_damage_bytes_exactly() {
+        let (_, bytes) = parity_bytes(40_000, 8_000, 2, 4);
+        let pool = WorkerPool::new(2);
+        // Clean archive: repair is a byte-identical no-op.
+        let clean = repair_with(&bytes, &pool).unwrap();
+        assert!(!clean.modified);
+        assert_eq!(clean.bytes, bytes);
+
+        // In-budget damage (a data shard and a parity shard): the healed
+        // region plus deterministic parity regeneration restores the
+        // exact original archive.
+        let hdr = parse_chunked_header(&bytes).unwrap();
+        let mut bad = bytes.clone();
+        bad[hdr.body_offset() + 3] ^= 0x11;
+        let last = bad.len() - 1;
+        bad[last] ^= 0x22;
+        let healed = repair_with(&bad, &pool).unwrap();
+        assert!(healed.modified);
+        assert_eq!(healed.bytes, bytes, "repair must restore original bytes");
+        assert!(healed.report.is_clean());
+        assert!(healed.report.n_repaired() >= 1);
+
+        // Beyond-budget damage: never rewritten — freezing damaged bytes
+        // under fresh checksums would destroy the evidence.
+        let shard = clean.report.parity.as_ref().unwrap().shard_size as usize;
+        let mut lost = bytes.clone();
+        for i in 0..3 {
+            lost[hdr.body_offset() + i * shard + 7] ^= 0x01;
+        }
+        let out = repair_with(&lost, &pool).unwrap();
+        assert!(!out.modified);
+        assert_eq!(out.bytes, lost);
+        assert!(out.report.n_damaged() >= 1);
+    }
+
+    #[test]
+    fn v1_payload_damage_keeps_header_facts_and_offsets() {
+        let data = field(5_000);
+        let arc = Compressor::default()
+            .compress(&data, Dims::D1(5_000))
+            .unwrap();
+        let bytes = arc.to_bytes();
+        // Payload flip: checksum mismatch pinned to the payload offset,
+        // dims/dtype still reported from the intact header.
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 3] ^= 0x08;
+        let report = scan(&bad).unwrap();
+        assert_eq!(report.dims, Some(Dims::D1(5_000)));
+        assert_eq!(report.dtype, Some(Dtype::F32));
+        // 72 = v1 HEADER_BYTES, where the checksummed payload starts.
+        assert!(matches!(
+            report.reports[0].status,
+            ChunkStatus::ChecksumMismatch { offset: 72, .. }
+        ));
+        // A cut-off payload is truncation, not a blanket malformed.
+        let report = scan(&bytes[..bytes.len() - 9]).unwrap();
+        assert_eq!(report.dims, Some(Dims::D1(5_000)));
+        assert_eq!(report.reports[0].status, ChunkStatus::Truncated);
     }
 
     #[test]

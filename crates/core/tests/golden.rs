@@ -119,6 +119,50 @@ fn chunked_archive_bytes_are_pinned_at_1_2_8_workers() {
 }
 
 #[test]
+fn parity_extends_pinned_chunked_bytes_without_perturbing_them() {
+    // Parity is strictly additive: a `--parity` archive must begin with
+    // the exact bytes of the parity-less container (still matching the
+    // pinned golden hash), followed by the CSZP section — and those
+    // bytes must not depend on the worker count.
+    use cuszp_core::ParityConfig;
+    let data = field_f32(120_000);
+    let dims = Dims::D2 { ny: 300, nx: 400 };
+    let c = Compressor::new(Config {
+        error_bound: ErrorBound::Relative(1e-3),
+        ..Config::default()
+    });
+    let plain = c
+        .compress_chunked_with(&data, dims, 25_000, &WorkerPool::new(1))
+        .unwrap()
+        .to_bytes();
+    assert_eq!(fnv1a(&plain), GOLDEN_CSZ2_F32, "parity-less bytes drifted");
+    let cfg = ParityConfig {
+        data_shards: 8,
+        parity_shards: 2,
+    };
+    let reference = c
+        .compress_chunked_with_parity(&data, dims, 25_000, &WorkerPool::new(1), cfg)
+        .unwrap()
+        .to_bytes();
+    assert!(reference.len() > plain.len(), "parity section missing");
+    assert_eq!(
+        &reference[..plain.len()],
+        &plain[..],
+        "parity perturbed the container bytes"
+    );
+    for workers in [2usize, 8] {
+        let bytes = c
+            .compress_chunked_with_parity(&data, dims, 25_000, &WorkerPool::new(workers), cfg)
+            .unwrap()
+            .to_bytes();
+        assert_eq!(
+            bytes, reference,
+            "parity bytes diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn chunked_f64_archive_bytes_are_pinned() {
     let data = field_f64(60_000);
     let bytes = abs_compressor(5e-4)

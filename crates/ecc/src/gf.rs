@@ -1,0 +1,153 @@
+//! GF(2^8) arithmetic over the primitive polynomial `x^8 + x^4 + x^3 +
+//! x^2 + 1` (0x11d), with α = 2 as the generator.
+//!
+//! Multiplication goes through log/exp tables: the exp table is doubled
+//! so `exp[log a + log b]` never needs a `% 255`. Addition in a binary
+//! extension field is XOR, so only multiplication and inversion need
+//! tables.
+
+/// Log/exp tables for GF(2^8); ~770 bytes, built once per codec.
+#[derive(Debug, Clone)]
+pub struct GfTables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+impl GfTables {
+    /// Builds the tables by walking the powers of the generator.
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d;
+            }
+        }
+        // Duplicate the cycle so log(a) + log(b) (max 508) indexes in
+        // bounds without reduction. exp[255] restarts the cycle at 1.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Self { exp, log }
+    }
+
+    /// Product of two field elements.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse (`a` must be non-zero).
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        debug_assert_ne!(a, 0, "zero has no inverse");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    /// `base^power` with the convention `0^0 = 1` (what the Vandermonde
+    /// construction needs for its first column).
+    #[inline]
+    pub fn pow(&self, base: u8, power: usize) -> u8 {
+        if power == 0 {
+            1
+        } else if base == 0 {
+            0
+        } else {
+            self.exp[(self.log[base as usize] as usize * power) % 255]
+        }
+    }
+
+    /// `acc[i] ^= coef · src[i]` over a whole shard — the inner loop of
+    /// both encoding and reconstruction.
+    #[inline]
+    pub fn mul_acc(&self, acc: &mut [u8], src: &[u8], coef: u8) {
+        if coef == 0 {
+            return;
+        }
+        let lc = self.log[coef as usize] as usize;
+        for (a, &s) in acc.iter_mut().zip(src) {
+            if s != 0 {
+                *a ^= self.exp[lc + self.log[s as usize] as usize];
+            }
+        }
+    }
+}
+
+impl Default for GfTables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_hold_exhaustively() {
+        let gf = GfTables::new();
+        // Associativity + commutativity on a sample grid, identity and
+        // inverse exhaustively.
+        for a in 0..=255u8 {
+            assert_eq!(gf.mul(a, 1), a);
+            assert_eq!(gf.mul(1, a), a);
+            assert_eq!(gf.mul(a, 0), 0);
+            if a != 0 {
+                assert_eq!(gf.mul(a, gf.inv(a)), 1, "a = {a}");
+            }
+        }
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                for c in (0..=255u8).step_by(29) {
+                    assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+                    // Distributivity over XOR addition.
+                    assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let gf = GfTables::new();
+        // 2 is primitive for 0x11d: the powers 2^0..2^254 are distinct.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = gf.pow(2, i);
+            assert!(!seen[v as usize], "2^{i} repeats");
+            seen[v as usize] = true;
+        }
+        assert_eq!(gf.pow(2, 255), 1);
+    }
+
+    #[test]
+    fn pow_zero_conventions() {
+        let gf = GfTables::new();
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 3), 0);
+        assert_eq!(gf.pow(5, 0), 1);
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_loop() {
+        let gf = GfTables::new();
+        let src: Vec<u8> = (0..64).map(|i| (i * 37 + 11) as u8).collect();
+        let mut acc: Vec<u8> = (0..64).map(|i| (i * 13) as u8).collect();
+        let reference: Vec<u8> = acc
+            .iter()
+            .zip(&src)
+            .map(|(&a, &s)| a ^ gf.mul(0x8e, s))
+            .collect();
+        gf.mul_acc(&mut acc, &src, 0x8e);
+        assert_eq!(acc, reference);
+    }
+}

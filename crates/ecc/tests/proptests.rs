@@ -1,0 +1,221 @@
+//! Property tests for the Reed–Solomon codec: encode → erase ≤ m shards
+//! → reconstruct must be bit-exact for arbitrary geometry (including 0-
+//! and 1-byte shards and k = 1), and > m erasures must be a structured
+//! error — never a panic, never silent corruption.
+
+use cuszp_ecc::{EccError, ReedSolomon};
+use proptest::prelude::*;
+
+/// Deterministic shard bytes from a small seed (xorshift64*).
+fn shard_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+        })
+        .collect()
+}
+
+/// Picks `count` distinct erasure positions out of `total` slots, driven
+/// by a seed.
+fn erasure_positions(seed: u64, count: usize, total: usize) -> Vec<usize> {
+    let mut x = seed | 1;
+    let mut slots: Vec<usize> = (0..total).collect();
+    // Partial Fisher–Yates: the first `count` entries after shuffling.
+    for i in 0..count.min(total) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let j = i + (x as usize) % (total - i);
+        slots.swap(i, j);
+    }
+    slots.truncate(count.min(total));
+    slots
+}
+
+fn encode_stripe(rs: &ReedSolomon, data: &[Vec<u8>], shard_size: usize) -> Vec<Vec<u8>> {
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = rs.encode(&refs, shard_size).unwrap();
+    data.iter().cloned().chain(parity).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Core property: any ≤ m erasures reconstruct bit-exactly, for
+    // arbitrary k, m, and shard size (0 and 1 byte included).
+    #[test]
+    fn erasures_within_budget_reconstruct_bit_exactly(
+        k in 1usize..12,
+        m in 1usize..6,
+        shard_size in 0usize..80,
+        seed in any::<u64>(),
+        erase_frac in 0usize..=100,
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| shard_bytes(seed ^ (i as u64) << 8, shard_size))
+            .collect();
+        let original = encode_stripe(&rs, &data, shard_size);
+        let n_erase = (erase_frac * m).div_ceil(100); // 0..=m
+        let positions = erasure_positions(seed ^ 0xE5A5, n_erase, k + m);
+
+        let mut shards: Vec<Option<Vec<u8>>> = original.iter().cloned().map(Some).collect();
+        for &p in &positions {
+            shards[p] = None;
+        }
+        rs.reconstruct(&mut shards, shard_size).unwrap();
+        for (i, (s, o)) in shards.iter().zip(&original).enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), o, "shard {} differs", i);
+        }
+    }
+
+    // Beyond the budget: erasing > m shards must fail with
+    // TooFewShards, leave the survivors untouched, and never panic.
+    #[test]
+    fn erasures_beyond_budget_fail_structurally(
+        k in 1usize..10,
+        m in 1usize..5,
+        shard_size in 0usize..48,
+        seed in any::<u64>(),
+        extra in 1usize..4,
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let total = k + m;
+        let n_erase = (m + extra).min(total);
+        // Only over-budget when fewer than k survive.
+        prop_assume!(total - n_erase < k);
+
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| shard_bytes(seed ^ (i as u64) << 8, shard_size))
+            .collect();
+        let original = encode_stripe(&rs, &data, shard_size);
+        let positions = erasure_positions(seed ^ 0xFA11, n_erase, total);
+        let mut shards: Vec<Option<Vec<u8>>> = original.iter().cloned().map(Some).collect();
+        for &p in &positions {
+            shards[p] = None;
+        }
+        let err = rs.reconstruct(&mut shards, shard_size).unwrap_err();
+        prop_assert_eq!(err, EccError::TooFewShards {
+            present: total - n_erase,
+            needed: k,
+        });
+        // Survivors unmodified, erasures still empty.
+        for (i, s) in shards.iter().enumerate() {
+            if positions.contains(&i) {
+                prop_assert!(s.is_none());
+            } else {
+                prop_assert_eq!(s.as_ref().unwrap(), &original[i]);
+            }
+        }
+    }
+
+    // Short trailing shards (region tails) encode exactly like their
+    // zero-padded materialisation, and reconstruct back bit-exactly.
+    #[test]
+    fn tail_padding_is_equivalent_to_zero_fill(
+        k in 2usize..8,
+        m in 1usize..4,
+        shard_size in 1usize..64,
+        tail_len_frac in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let tail_len = tail_len_frac * shard_size / 100;
+        let mut data: Vec<Vec<u8>> = (0..k - 1)
+            .map(|i| shard_bytes(seed ^ (i as u64) << 8, shard_size))
+            .collect();
+        data.push(shard_bytes(seed ^ 0x7A11, tail_len));
+
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity_short = rs.encode(&refs, shard_size).unwrap();
+
+        let mut padded = data.clone();
+        padded[k - 1].resize(shard_size, 0);
+        let refs_padded: Vec<&[u8]> = padded.iter().map(|d| d.as_slice()).collect();
+        let parity_padded = rs.encode(&refs_padded, shard_size).unwrap();
+        prop_assert_eq!(&parity_short, &parity_padded);
+
+        // Erase the short tail shard and reconstruct: comes back as the
+        // padded form, whose prefix is the original tail.
+        let mut shards: Vec<Option<Vec<u8>>> = padded
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity_short.iter().cloned().map(Some))
+            .collect();
+        shards[k - 1] = None;
+        rs.reconstruct(&mut shards, shard_size).unwrap();
+        prop_assert_eq!(
+            &shards[k - 1].as_ref().unwrap()[..tail_len],
+            &data[k - 1][..]
+        );
+    }
+
+    // k = 1 degenerate geometry: any single survivor restores the data.
+    #[test]
+    fn k1_reconstructs_from_any_single_survivor(
+        m in 1usize..6,
+        shard_size in 0usize..32,
+        seed in any::<u64>(),
+        survivor_pick in 0usize..6,
+    ) {
+        let rs = ReedSolomon::new(1, m).unwrap();
+        let data = vec![shard_bytes(seed, shard_size)];
+        let original = encode_stripe(&rs, &data, shard_size);
+        let survivor = survivor_pick % (1 + m);
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; 1 + m];
+        shards[survivor] = Some(original[survivor].clone());
+        rs.reconstruct(&mut shards, shard_size).unwrap();
+        for (i, (s, o)) in shards.iter().zip(&original).enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), o, "shard {} differs", i);
+        }
+    }
+
+    // Parity must actually depend on the data: flipping one byte of one
+    // data shard changes at least one parity shard (detection, not just
+    // correction).
+    #[test]
+    fn parity_detects_single_byte_change(
+        k in 1usize..8,
+        m in 1usize..4,
+        shard_size in 1usize..32,
+        seed in any::<u64>(),
+        victim_frac in 0usize..100,
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| shard_bytes(seed ^ (i as u64) << 8, shard_size))
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity_a = rs.encode(&refs, shard_size).unwrap();
+
+        let victim_shard = victim_frac % k;
+        let victim_byte = (victim_frac * 7 + 3) % shard_size;
+        let mut mutated = data.clone();
+        mutated[victim_shard][victim_byte] ^= 0x40;
+        let refs_b: Vec<&[u8]> = mutated.iter().map(|d| d.as_slice()).collect();
+        let parity_b = rs.encode(&refs_b, shard_size).unwrap();
+        prop_assert!(parity_a != parity_b, "parity blind to data change");
+    }
+}
+
+#[test]
+fn invalid_geometry_never_panics() {
+    assert!(matches!(
+        ReedSolomon::new(0, 1),
+        Err(EccError::InvalidShardCounts { .. })
+    ));
+    assert!(matches!(
+        ReedSolomon::new(1, 0),
+        Err(EccError::InvalidShardCounts { .. })
+    ));
+    assert!(matches!(
+        ReedSolomon::new(128, 128),
+        Err(EccError::InvalidShardCounts { .. })
+    ));
+    assert!(ReedSolomon::new(254, 1).is_ok());
+}

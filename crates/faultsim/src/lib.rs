@@ -61,6 +61,11 @@ pub const CSZ2_MAGIC: u32 = 0x325A_5343;
 /// Fixed CSZ2 header size: magic, version, rank, dtype, extents, eb,
 /// chunk target, chunk count.
 pub const CSZ2_HEADER_BYTES: usize = 4 + 2 + 1 + 1 + 24 + 8 + 8 + 4;
+/// Parity section magic ("CSZP", little-endian).
+pub const CSZP_MAGIC: u32 = 0x505A_5343;
+/// Fixed CSZP parity header size: magic, version, k, m, pad, shard
+/// size, region length, stripe count, pad, header checksum.
+pub const CSZP_HEADER_BYTES: usize = 40;
 
 /// Byte map of a CSZ2 container, for aiming structured faults.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +76,8 @@ pub struct Csz2Layout {
     pub table: Range<usize>,
     /// Byte range of each chunk body, in order.
     pub chunks: Vec<Range<usize>>,
+    /// Byte range of the trailing CSZP parity section, when present.
+    pub parity: Option<Range<usize>>,
 }
 
 /// Parses the layout of a **valid** CSZ2 container. Returns `None` for
@@ -104,14 +111,113 @@ pub fn parse_csz2(bytes: &[u8]) -> Option<Csz2Layout> {
         chunks.push(pos..end);
         pos = end;
     }
-    if pos != bytes.len() {
+    let parity = if pos == bytes.len() {
+        None
+    } else if bytes.len() >= pos + 4
+        && u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) == CSZP_MAGIC
+    {
+        Some(pos..bytes.len())
+    } else {
         return None;
-    }
+    };
     Some(Csz2Layout {
         n_chunks,
         table,
         chunks,
+        parity,
     })
+}
+
+/// Byte map of a CSZ2 container's parity section, for aiming
+/// shard-precise faults. All ranges are absolute file offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityLayout {
+    /// Data shards per stripe.
+    pub k: usize,
+    /// Parity shards per stripe.
+    pub m: usize,
+    /// Bytes per shard.
+    pub shard_size: usize,
+    /// The protected region (the chunk bodies).
+    pub region: Range<usize>,
+    /// The whole CSZP section.
+    pub section: Range<usize>,
+    /// Data shards actually materialized in the region (the all-zero
+    /// tail of the last stripe is virtual).
+    pub n_data: usize,
+    /// Stripe count.
+    pub n_stripes: usize,
+}
+
+impl ParityLayout {
+    /// Stored parity shard count.
+    pub fn n_parity(&self) -> usize {
+        self.n_stripes * self.m
+    }
+
+    /// Absolute byte range of data shard `d` (the last one may be
+    /// shorter than `shard_size`).
+    pub fn data_shard(&self, d: usize) -> Range<usize> {
+        let start = self.region.start + d * self.shard_size;
+        start..(start + self.shard_size).min(self.region.end)
+    }
+
+    /// Absolute byte range of stored parity shard `p`.
+    pub fn parity_shard(&self, p: usize) -> Range<usize> {
+        let start = self.section.start
+            + CSZP_HEADER_BYTES
+            + self.n_data * 8
+            + self.n_parity() * 12
+            + p * self.shard_size;
+        start..start + self.shard_size
+    }
+
+    /// Materialized data shards of stripe `s` (global indices).
+    pub fn stripe_data(&self, s: usize) -> Range<usize> {
+        let start = s * self.k;
+        start..(start + self.k).min(self.n_data)
+    }
+}
+
+/// Parses the parity geometry of a **valid** CSZ2+CSZP container.
+/// Returns `None` when there is no parity section or the section does
+/// not describe the container consistently.
+pub fn parse_parity(bytes: &[u8]) -> Option<ParityLayout> {
+    let layout = parse_csz2(bytes)?;
+    let section = layout.parity?;
+    let s = &bytes[section.clone()];
+    if s.len() < CSZP_HEADER_BYTES {
+        return None;
+    }
+    let k = u16::from_le_bytes(s[6..8].try_into().unwrap()) as usize;
+    let m = u16::from_le_bytes(s[8..10].try_into().unwrap()) as usize;
+    let shard_size = u32::from_le_bytes(s[12..16].try_into().unwrap()) as usize;
+    let region_len = u64::from_le_bytes(s[16..24].try_into().unwrap()) as usize;
+    let n_stripes = u32::from_le_bytes(s[24..28].try_into().unwrap()) as usize;
+    if k == 0 || m == 0 || shard_size == 0 {
+        return None;
+    }
+    let region = layout.table.end..section.start;
+    if region.len() != region_len {
+        return None;
+    }
+    let n_data = region_len.div_ceil(shard_size);
+    if n_stripes != n_data.div_ceil(k) {
+        return None;
+    }
+    let p = ParityLayout {
+        k,
+        m,
+        shard_size,
+        region,
+        section,
+        n_data,
+        n_stripes,
+    };
+    if p.parity_shard(p.n_parity() - 1).end > bytes.len() {
+        return None;
+    }
+    Some(p)
 }
 
 /// The section boundaries of a container: 0, end of header, end of each
@@ -126,6 +232,9 @@ pub fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
         }
         for c in &layout.chunks {
             out.push(c.end);
+        }
+        if let Some(p) = &layout.parity {
+            out.push(p.start + CSZP_HEADER_BYTES.min(p.len()));
         }
     }
     out.push(bytes.len());
@@ -187,6 +296,12 @@ pub fn rebuild_with_chunk_order(bytes: &[u8], order: &[usize]) -> Option<Vec<u8>
     for &i in order {
         out.extend_from_slice(&bytes[layout.chunks[i].clone()]);
     }
+    // Carry any parity section verbatim: the framing stays valid, and
+    // the now-stale shard checksums probe the repair pass's own
+    // validation instead of its parser.
+    if let Some(p) = &layout.parity {
+        out.extend_from_slice(&bytes[p.clone()]);
+    }
     Some(out)
 }
 
@@ -232,6 +347,187 @@ pub struct FaultCase {
     pub description: String,
     /// The corrupted bytes.
     pub bytes: Vec<u8>,
+}
+
+/// What a parity-aware corruption is expected to do to recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParityExpect {
+    /// Every stripe's damage fits its erasure budget: resilient
+    /// decompression must be bit-exact and report no data loss.
+    Heals,
+    /// Some stripe is beyond budget: recovery must not panic, must
+    /// report at least one unrepairable stripe, and must fill the
+    /// chunks it could not validate.
+    DataLoss,
+    /// The parity header itself is destroyed while every chunk byte is
+    /// intact: the archive must behave as if parity-less and decode
+    /// bit-exactly.
+    MetadataOnly,
+}
+
+/// One corrupted input from a [`parity_campaign`], tagged with the
+/// recovery outcome the mutation was engineered to produce.
+#[derive(Debug, Clone)]
+pub struct ParityCase {
+    /// Campaign index (replay key together with the seed).
+    pub id: usize,
+    /// Human-readable description of the mutation.
+    pub description: String,
+    /// The corrupted bytes.
+    pub bytes: Vec<u8>,
+    /// The engineered outcome.
+    pub expect: ParityExpect,
+}
+
+/// Picks `n` distinct values from `range` (fewer when the range is
+/// smaller), sorted.
+fn pick_distinct(rng: &mut FaultRng, range: Range<usize>, n: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = range.collect();
+    let mut out = Vec::with_capacity(n.min(pool.len()));
+    for _ in 0..n.min(pool.len()) {
+        out.push(pool.swap_remove(rng.below(pool.len())));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Flips one random bit inside `range`.
+fn flip_within(bytes: &mut [u8], range: Range<usize>, rng: &mut FaultRng) {
+    let off = range.start + rng.below(range.len());
+    bytes[off] ^= 1 << (rng.next_u64() % 8);
+}
+
+/// Generates `n` deterministic corruptions of a parity-carrying CSZ2
+/// container, each engineered to land on a known side of the erasure
+/// budget: within-budget data damage, parity-only damage, mixed damage
+/// that still fits, damage one past the budget (pure data and
+/// data+parity combined), and parity-header destruction. Every case is
+/// tagged with the [`ParityExpect`] outcome the recovery contract
+/// promises for it. Returns an empty vec when `base` carries no
+/// (consistent) parity section.
+pub fn parity_campaign(base: &[u8], seed: u64, n: usize) -> Vec<ParityCase> {
+    let Some(p) = parse_parity(base) else {
+        return Vec::new();
+    };
+    let mut rng = FaultRng::new(seed);
+    let mut cases = Vec::with_capacity(n);
+    for id in 0..n {
+        let s = rng.below(p.n_stripes);
+        let data = p.stripe_data(s);
+        let stripe_parity = s * p.m..(s + 1) * p.m;
+        let mut bytes = base.to_vec();
+        let (description, expect) = match id % 6 {
+            0 => {
+                // Data damage within budget: 1..=min(m, |data|) shards.
+                let want = 1 + rng.below(p.m.min(data.len()));
+                let picked = pick_distinct(&mut rng, data.clone(), want);
+                for &d in &picked {
+                    flip_within(&mut bytes, p.data_shard(d), &mut rng);
+                }
+                (
+                    format!("stripe {s}: flip data shards {picked:?} (within budget)"),
+                    ParityExpect::Heals,
+                )
+            }
+            1 => {
+                // Parity-only damage: the payload stays intact, the
+                // report must still notice the stripes are not whole.
+                let want = 1 + rng.below(p.m);
+                let picked = pick_distinct(&mut rng, stripe_parity, want);
+                for &q in &picked {
+                    flip_within(&mut bytes, p.parity_shard(q), &mut rng);
+                }
+                (
+                    format!("stripe {s}: flip parity shards {picked:?}"),
+                    ParityExpect::Heals,
+                )
+            }
+            2 => {
+                // Mixed damage that still fits: x parity + y data with
+                // x + y <= m (degenerates to data-only when m == 1).
+                let x = if p.m > 1 { 1 + rng.below(p.m - 1) } else { 0 };
+                let y = 1 + rng.below((p.m - x).min(data.len()));
+                let pp = pick_distinct(&mut rng, stripe_parity, x);
+                let dd = pick_distinct(&mut rng, data.clone(), y);
+                for &q in &pp {
+                    flip_within(&mut bytes, p.parity_shard(q), &mut rng);
+                }
+                for &d in &dd {
+                    flip_within(&mut bytes, p.data_shard(d), &mut rng);
+                }
+                (
+                    format!("stripe {s}: flip data {dd:?} + parity {pp:?} (within budget)"),
+                    ParityExpect::Heals,
+                )
+            }
+            3 => {
+                // One past the budget, pure data where the stripe is
+                // wide enough; otherwise all data plus enough parity
+                // that the survivors cannot reconstruct.
+                if data.len() > p.m {
+                    let want = p.m + 1 + rng.below(data.len() - p.m);
+                    let picked = pick_distinct(&mut rng, data.clone(), want);
+                    for &d in &picked {
+                        flip_within(&mut bytes, p.data_shard(d), &mut rng);
+                    }
+                    (
+                        format!("stripe {s}: flip data shards {picked:?} (beyond budget)"),
+                        ParityExpect::DataLoss,
+                    )
+                } else {
+                    let q = p.m - data.len() + 1;
+                    let pp = pick_distinct(&mut rng, stripe_parity, q);
+                    let dd: Vec<usize> = data.clone().collect();
+                    for &q in &pp {
+                        flip_within(&mut bytes, p.parity_shard(q), &mut rng);
+                    }
+                    for &d in &dd {
+                        flip_within(&mut bytes, p.data_shard(d), &mut rng);
+                    }
+                    (
+                        format!("stripe {s}: flip all data {dd:?} + parity {pp:?} (beyond budget)"),
+                        ParityExpect::DataLoss,
+                    )
+                }
+            }
+            4 => {
+                // Combined beyond budget: x parity + (m - x + 1) data.
+                let x_min = (p.m + 1).saturating_sub(data.len()).max(1);
+                let x = x_min + rng.below(p.m - x_min + 1);
+                let y = p.m - x + 1;
+                let pp = pick_distinct(&mut rng, stripe_parity, x);
+                let dd = pick_distinct(&mut rng, data.clone(), y);
+                for &q in &pp {
+                    flip_within(&mut bytes, p.parity_shard(q), &mut rng);
+                }
+                for &d in &dd {
+                    flip_within(&mut bytes, p.data_shard(d), &mut rng);
+                }
+                (
+                    format!("stripe {s}: flip data {dd:?} + parity {pp:?} (beyond budget)"),
+                    ParityExpect::DataLoss,
+                )
+            }
+            _ => {
+                // Destroy the parity header (all 32 pre-checksum bytes
+                // are covered by the header checksum, so any flip is
+                // noticed and the section is ignored wholesale).
+                let off = p.section.start + rng.below(32);
+                bytes[off] ^= 1 << (rng.next_u64() % 8);
+                (
+                    format!("flip parity-header byte {off}"),
+                    ParityExpect::MetadataOnly,
+                )
+            }
+        };
+        cases.push(ParityCase {
+            id,
+            description,
+            bytes,
+            expect,
+        });
+    }
+    cases
 }
 
 /// Generates `n` deterministic corruptions of `base`.
@@ -402,6 +698,96 @@ mod tests {
         out.extend_from_slice(body_a);
         out.extend_from_slice(body_b);
         out
+    }
+
+    /// Appends a structurally consistent CSZP section (checksums are
+    /// zero — this crate never verifies them) to a fake container.
+    fn with_fake_parity(mut c: Vec<u8>, k: u16, m: u16, shard: u32) -> Vec<u8> {
+        let layout = parse_csz2(&c).unwrap();
+        let region_len = (c.len() - layout.table.end) as u64;
+        let n_data = (region_len as usize).div_ceil(shard as usize);
+        let n_stripes = n_data.div_ceil(k as usize);
+        let n_parity = n_stripes * m as usize;
+        c.extend_from_slice(&CSZP_MAGIC.to_le_bytes());
+        c.extend_from_slice(&1u16.to_le_bytes()); // version
+        c.extend_from_slice(&k.to_le_bytes());
+        c.extend_from_slice(&m.to_le_bytes());
+        c.extend_from_slice(&0u16.to_le_bytes()); // pad
+        c.extend_from_slice(&shard.to_le_bytes());
+        c.extend_from_slice(&region_len.to_le_bytes());
+        c.extend_from_slice(&(n_stripes as u32).to_le_bytes());
+        c.extend_from_slice(&0u32.to_le_bytes()); // pad
+        c.extend_from_slice(&0u64.to_le_bytes()); // header fnv (unchecked here)
+        c.extend_from_slice(&vec![0u8; n_data * 8 + n_parity * 12]);
+        c.extend_from_slice(&vec![0u8; n_parity * shard as usize]);
+        c
+    }
+
+    #[test]
+    fn parity_layout_parses_and_maps_shards() {
+        let c = with_fake_parity(fake_container(b"AAAA", b"BBBBBBB"), 2, 1, 4);
+        let l = parse_csz2(&c).unwrap();
+        let p = parse_parity(&c).unwrap();
+        assert_eq!((p.k, p.m, p.shard_size), (2, 1, 4));
+        assert_eq!(p.region.len(), 11);
+        assert_eq!(p.n_data, 3);
+        assert_eq!(p.n_stripes, 2);
+        assert_eq!(p.section, l.parity.unwrap());
+        // Shards tile the region; the last one is short.
+        assert_eq!(p.data_shard(0), p.region.start..p.region.start + 4);
+        assert_eq!(p.data_shard(2).len(), 3);
+        assert_eq!(p.data_shard(2).end, p.region.end);
+        // Stored parity shards end exactly at the file's end.
+        assert_eq!(p.parity_shard(p.n_parity() - 1).end, c.len());
+        // Tail stripe has one real data shard.
+        assert_eq!(p.stripe_data(1), 2..3);
+        // Containers without the section parse to no parity.
+        assert!(parse_parity(&fake_container(b"AAAA", b"B")).is_none());
+        // Truncating inside the section keeps the container framing
+        // (the section is opaque at that level) but fails the
+        // geometry-consistency check.
+        assert!(parse_csz2(&c[..c.len() - 1]).is_some());
+        assert!(parse_parity(&c[..c.len() - 1]).is_none());
+        // A trailing stub too short to hold the CSZP magic (or trailing
+        // non-CSZP garbage) still breaks the framing.
+        assert!(parse_csz2(&c[..p.section.start + 2]).is_none());
+    }
+
+    #[test]
+    fn chunk_surgery_keeps_parity_section() {
+        let c = with_fake_parity(fake_container(b"AAAA", b"BBBBBBB"), 2, 1, 4);
+        let section = parse_csz2(&c).unwrap().parity.unwrap();
+        let swapped = reorder_chunks(&c, 0, 1).unwrap();
+        let l = parse_csz2(&swapped).unwrap();
+        assert_eq!(&swapped[l.parity.unwrap()], &c[section]);
+    }
+
+    #[test]
+    fn parity_campaigns_cover_every_expectation_and_replay() {
+        let c = with_fake_parity(fake_container(&[0xAA; 40], &[0xBB; 40]), 2, 2, 8);
+        let a = parity_campaign(&c, 99, 60);
+        let b = parity_campaign(&c, 99, 60);
+        assert_eq!(a.len(), 60);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bytes, y.bytes, "case {}", x.id);
+            assert_eq!(x.expect, y.expect);
+        }
+        for want in [
+            ParityExpect::Heals,
+            ParityExpect::DataLoss,
+            ParityExpect::MetadataOnly,
+        ] {
+            assert!(a.iter().any(|c| c.expect == want), "missing {want:?}");
+        }
+        // Every case actually mutates, and no parity-less fallback.
+        for case in &a {
+            assert_ne!(
+                case.bytes, c,
+                "case {} ({}) is a no-op",
+                case.id, case.description
+            );
+        }
+        assert!(parity_campaign(&fake_container(b"A", b"B"), 1, 8).is_empty());
     }
 
     #[test]

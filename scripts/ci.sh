@@ -22,4 +22,7 @@ cargo bench --workspace --no-run
 echo "==> corruption campaign (seeded fault injection)"
 scripts/corruption_campaign.sh
 
+echo "==> golden compatibility (parity-less bytes pinned, parity strictly additive)"
+cargo test -q -p cuszp-core --test golden
+
 echo "CI green."

@@ -2,8 +2,10 @@
 # Deterministic corruption campaign: every fault-injection suite in one
 # sweep, on fixed seeds so any failure replays bit-identically.
 #
-# The seeded campaign itself lives in crates/core/tests/recovery_campaign.rs
-# (cuszp-faultsim, seed 0xC52A_2021_FA17_0001, 256 mutations); the property
+# The seeded campaigns live in crates/core/tests/recovery_campaign.rs
+# (cuszp-faultsim, seed 0xC52A_2021_FA17_0001, 256 mutations) and
+# crates/core/tests/repair_campaign.rs (parity-aware, seed
+# 0xC52A_2021_FA17_0002, 256 shard-precise mutations); the property
 # sweeps replay on PROPTEST_SEED (shim default if unset).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,6 +19,9 @@ cargo test -q -p cuszp-faultsim
 
 echo "==> seeded recovery campaign (>=200 mutations)"
 cargo test -q -p cuszp-core --test recovery_campaign
+
+echo "==> seeded parity-repair campaign (256 shard-precise mutations)"
+cargo test -q -p cuszp-core --test repair_campaign
 
 echo "==> failure injection (v1 + chunked containers)"
 cargo test -q --test failure_injection --test failure_injection_chunked

@@ -18,8 +18,9 @@ use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
 use cuszp::metrics::{verify_error_bound, verify_error_bound_f64};
 use cuszp::parallel::WorkerPool;
 use cuszp::{
-    Archive, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype, ErrorBound, FillPolicy,
-    Predictor, RecoveredField, WorkflowChoice, WorkflowMode,
+    Archive, ChunkStatus, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype, ErrorBound,
+    FillPolicy, ParityConfig, Predictor, RecoveredField, ScanReport, StripeStatus, WorkflowChoice,
+    WorkflowMode,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -35,8 +36,11 @@ fn main() -> ExitCode {
     // `fsck` takes its archive as a positional argument (`cuszp fsck
     // field.csz`); normalize to `-i` so option parsing stays uniform.
     let fsck_rest: Vec<String>;
-    let rest = if cmd == "fsck" && rest.len() == 1 && !rest[0].starts_with('-') {
-        fsck_rest = vec!["-i".to_string(), rest[0].clone()];
+    let rest = if cmd == "fsck" && rest.first().is_some_and(|a| !a.starts_with('-')) {
+        fsck_rest = ["-i".to_string(), rest[0].clone()]
+            .into_iter()
+            .chain(rest[1..].iter().cloned())
+            .collect();
         &fsck_rest[..]
     } else {
         rest
@@ -49,20 +53,22 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
-        "compress" => cmd_compress(&opts),
-        "decompress" => cmd_decompress(&opts),
-        "info" => cmd_info(&opts),
+        "compress" => cmd_compress(&opts).map(|()| ExitCode::SUCCESS),
+        "decompress" => cmd_decompress(&opts).map(|()| ExitCode::SUCCESS),
+        "info" => cmd_info(&opts).map(|()| ExitCode::SUCCESS),
+        // fsck picks its own exit code: 0 clean, 1 damaged-but-repaired
+        // (or repairable), 2 data loss.
         "fsck" => cmd_fsck(&opts),
-        "analyze" => cmd_analyze(&opts),
-        "gen" => cmd_gen(&opts),
+        "analyze" => cmd_analyze(&opts).map(|()| ExitCode::SUCCESS),
+        "gen" => cmd_gen(&opts).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -76,11 +82,11 @@ cuszp — error-bounded lossy compression for scientific data (cuSZ+ reproductio
 USAGE:
   cuszp compress   -i <raw> -o <archive> -d <dims> [-e <bound>] [-m abs|rel]
                    [-w auto|huffman|rle|rle+vle] [-p lorenzo|interp] [--double]
-                   [--threads <n>] [--stats]
+                   [--threads <n>] [--stats] [--parity <m/k>]
   cuszp decompress -i <archive> -o <raw> [--verify <original raw>] [--threads <n>]
                    [--recover [--fill nan|zero]]
   cuszp info       -i <archive>
-  cuszp fsck       <archive>
+  cuszp fsck       <archive> [--repair] [--json]
   cuszp analyze    -i <raw> -d <dims> [-e <bound>] [-m abs|rel] [--double]
   cuszp gen        -o <raw> --dataset <name> --field <name> [--scale tiny|small]
 
@@ -95,13 +101,20 @@ OPTIONS:
              multi-chunk (v2) archive, whose bytes are identical for any n
   --stats    with --threads: aggregate per-chunk compression stats (workflow
              mix, bit rate, outliers) on stderr
+  --parity   append Reed-Solomon parity stripes (m parity per k data shards,
+             RAID-style '2/8'); any <= m damaged shards per stripe later
+             repair bit-exactly. Implies the chunked (v2) container.
   --recover  fault-isolated decompression of a damaged chunked archive:
-             undamaged chunks reconstruct exactly, damaged slabs are filled
+             shards covered by parity are repaired first, then undamaged
+             chunks reconstruct exactly and lost slabs are filled
              (--fill nan|zero, default nan) and reported per chunk
   --dataset  one of: hacc cesm hurricane nyx rtm miranda qmcpack
 
-`fsck` validates and decodes every chunk independently, prints a per-chunk
-report, and exits non-zero if any chunk is damaged.";
+`fsck` validates and decodes every chunk independently (healing damaged
+shards from parity when possible), prints a per-chunk report (--json for a
+machine-readable one), and exits 0 when clean, 1 when damage exists but
+parity covers all of it (with --repair: heals the file in place, atomically),
+and 2 on data loss.";
 
 struct Opts(HashMap<String, String>);
 
@@ -129,7 +142,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             return Err(format!("unexpected positional argument '{a}'"));
         }
         // Boolean flags.
-        if matches!(key.as_str(), "double" | "verify-none" | "recover" | "stats") {
+        if matches!(
+            key.as_str(),
+            "double" | "verify-none" | "recover" | "stats" | "repair" | "json"
+        ) {
             map.insert(key, String::new());
             continue;
         }
@@ -228,39 +244,61 @@ fn cmd_compress(opts: &Opts) -> Result<(), String> {
     let dims = parse_dims(opts.require("d")?)?;
     let config = parse_config(opts)?;
     let threads = parse_threads(opts)?;
+    let parity = opts
+        .get("parity")
+        .map(ParityConfig::parse)
+        .transpose()
+        .map_err(|e| e.to_string())?;
     let compressor = Compressor::new(config);
 
     let t0 = std::time::Instant::now();
-    let (bytes, original_bytes) = if let Some(n) = threads {
+    // Parity stripes live in the chunked (v2) container, so --parity
+    // selects it even without --threads.
+    let (bytes, original_bytes) = if threads.is_some() || parity.is_some() {
         // Chunk-parallel engine: multi-chunk (v2) archive, byte-identical
         // for any worker count.
-        let pool = WorkerPool::new(n);
+        let pool = match threads {
+            Some(n) => WorkerPool::new(n),
+            None => WorkerPool::with_default_workers(),
+        };
         let target = cuszp::parallel::DEFAULT_CHUNK_ELEMS;
         let want_stats = opts.has_flag("stats");
+        let report = |arc: &ChunkedArchive| {
+            eprintln!(
+                "chunked: {} chunks, {} workers{}",
+                arc.n_chunks(),
+                pool.workers(),
+                match &arc.parity {
+                    Some(p) => format!(
+                        ", parity {}/{} ({} stripes)",
+                        p.parity_shards, p.data_shards, p.n_stripes
+                    ),
+                    None => String::new(),
+                }
+            );
+        };
         if opts.has_flag("double") {
             let data = read_raw_f64(input)?;
-            let (arc, stats) = compressor
+            let (mut arc, stats) = compressor
                 .compress_chunked_f64_with_stats(&data, dims, target, &pool)
                 .map_err(|e| e.to_string())?;
-            eprintln!(
-                "chunked: {} chunks, {} workers",
-                arc.n_chunks(),
-                pool.workers()
-            );
+            if let Some(cfg) = parity {
+                arc.add_parity(cfg, &pool);
+            }
+            report(&arc);
             if want_stats {
                 eprintln!("{stats}");
             }
             (arc.to_bytes(), data.len() * 8)
         } else {
             let data = read_raw_f32(input)?;
-            let (arc, stats) = compressor
+            let (mut arc, stats) = compressor
                 .compress_chunked_with_stats(&data, dims, target, &pool)
                 .map_err(|e| e.to_string())?;
-            eprintln!(
-                "chunked: {} chunks, {} workers",
-                arc.n_chunks(),
-                pool.workers()
-            );
+            if let Some(cfg) = parity {
+                arc.add_parity(cfg, &pool);
+            }
+            report(&arc);
             if want_stats {
                 eprintln!("{stats}");
             }
@@ -378,7 +416,14 @@ fn cmd_decompress_recover(
         }
         Err(e) => return Err(format!("{input}: unrecoverable: {e}")),
     };
-    let damaged: Vec<_> = reports.iter().filter(|r| !r.status.is_ok()).collect();
+    let damaged: Vec<_> = reports
+        .iter()
+        .filter(|r| !r.status.is_recovered())
+        .collect();
+    let repaired = reports
+        .iter()
+        .filter(|r| matches!(r.status, ChunkStatus::Repaired { .. }))
+        .count();
     for r in &damaged {
         eprintln!(
             "  chunk {}: {} (elements {}..{})",
@@ -387,10 +432,15 @@ fn cmd_decompress_recover(
     }
     write_bytes(output, &out_bytes)?;
     eprintln!(
-        "recovered {}/{} chunks to {output} in {:.2}s{}",
+        "recovered {}/{} chunks to {output} in {:.2}s{}{}",
         reports.len() - damaged.len(),
         reports.len(),
         t0.elapsed().as_secs_f64(),
+        if repaired > 0 {
+            format!(" ({repaired} chunk(s) healed from parity)")
+        } else {
+            String::new()
+        },
         if damaged.is_empty() {
             String::new()
         } else {
@@ -400,12 +450,62 @@ fn cmd_decompress_recover(
     Ok(())
 }
 
-/// `fsck`: validates and decodes every chunk independently, prints the
-/// per-chunk report, exits non-zero if anything is damaged.
-fn cmd_fsck(opts: &Opts) -> Result<(), String> {
+/// `fsck`: validates and decodes every chunk independently (repairing
+/// damaged shards from parity first), prints a per-chunk and per-stripe
+/// report, and exits 0 (clean), 1 (damage fully covered by parity — with
+/// `--repair`, healed in place), or 2 (data loss).
+fn cmd_fsck(opts: &Opts) -> Result<ExitCode, String> {
     let input = opts.require("i")?;
+    let json = opts.has_flag("json");
     let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    let report = cuszp::scan(&bytes).map_err(|e| format!("{input}: {e}"))?;
+
+    // An unusable container header means nothing is recoverable: that is
+    // data loss, not a usage error.
+    let scanned = if opts.has_flag("repair") {
+        cuszp::repair(&bytes).map(Some)
+    } else {
+        cuszp::scan(&bytes).map(|r| {
+            Some(cuszp::RepairOutcome {
+                bytes: Vec::new(),
+                report: r,
+                modified: false,
+            })
+        })
+    };
+    let outcome = match scanned {
+        Ok(o) => o.unwrap(),
+        Err(e) => {
+            if json {
+                println!(
+                    "{{\"archive\":\"{}\",\"error\":\"{}\",\"exit_code\":2}}",
+                    json_escape(input),
+                    json_escape(&e.to_string())
+                );
+            } else {
+                eprintln!("error: {input}: {e}");
+            }
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let report = &outcome.report;
+    let mut code = fsck_exit_code(report);
+    let rewritten = if opts.has_flag("repair") {
+        let do_write = code != 2 && outcome.modified;
+        if do_write {
+            write_atomic(input, &outcome.bytes)?;
+            // The file on disk is whole again.
+            code = 0;
+        }
+        Some(do_write)
+    } else {
+        None
+    };
+
+    if json {
+        println!("{}", fsck_json(input, report, code, rewritten));
+        return Ok(ExitCode::from(code));
+    }
+
     println!("archive: {input} ({})", report.format);
     if let Some(dims) = report.dims {
         println!("  dims:   {dims:?} ({} elements)", dims.len());
@@ -424,18 +524,170 @@ fn cmd_fsck(opts: &Opts) -> Result<(), String> {
             r.index, r.status, r.elem_range.start, r.elem_range.end
         );
     }
-    let damaged = report.n_damaged();
-    if damaged > 0 {
-        return Err(format!(
-            "{input}: {damaged} of {} chunk(s) damaged",
-            report.reports.len()
-        ));
+    if let Some(p) = &report.parity {
+        println!(
+            "  parity: {}/{} (shard {} B, {} stripes): {} repaired, {} unrepairable",
+            p.parity_shards,
+            p.data_shards,
+            p.shard_size,
+            p.n_stripes,
+            p.n_repaired(),
+            p.n_unrepairable()
+        );
     }
-    println!(
-        "  clean: all {} chunk(s) validated and decoded",
-        report.reports.len()
-    );
-    Ok(())
+    match (code, rewritten) {
+        (2, _) => println!(
+            "  data loss: {} of {} chunk(s) unrecoverable",
+            report.n_damaged(),
+            report.reports.len()
+        ),
+        (_, Some(true)) => println!("  repaired: {input} rewritten, archive is whole again"),
+        (1, _) => {
+            println!("  repairable: damage is covered by parity; run `cuszp fsck {input} --repair`")
+        }
+        _ => println!(
+            "  clean: all {} chunk(s) validated and decoded",
+            report.reports.len()
+        ),
+    }
+    Ok(ExitCode::from(code))
+}
+
+/// 0 = clean, 1 = damaged but fully covered by parity, 2 = data loss.
+fn fsck_exit_code(report: &ScanReport) -> u8 {
+    if report.n_damaged() > 0 {
+        2
+    } else if report.n_repaired() > 0 || report.parity.as_ref().is_some_and(|p| !p.is_intact()) {
+        1
+    } else {
+        0
+    }
+}
+
+/// Writes via a temp file in the same directory plus rename, so a crash
+/// mid-repair never leaves a half-written archive where a good (if
+/// damaged) one used to be.
+fn write_atomic(path: &str, bytes: &[u8]) -> Result<(), String> {
+    let tmp = format!("{path}.repair.{}", std::process::id());
+    write_bytes(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("{path}: {e}")
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_usize_list(v: &[usize]) -> String {
+    let items: Vec<String> = v.iter().map(usize::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_dims(d: Dims) -> String {
+    match d {
+        Dims::D1(n) => format!("[{n}]"),
+        Dims::D2 { ny, nx } => format!("[{ny},{nx}]"),
+        Dims::D3 { nz, ny, nx } => format!("[{nz},{ny},{nx}]"),
+    }
+}
+
+/// One chunk as a JSON object. Field names are a stable interface:
+/// index, status ("ok" / "repaired" / "checksum" / "truncated" /
+/// "malformed"), byte_start/byte_end (null when unlocatable),
+/// elem_start/elem_end, repaired_shards.
+fn json_chunk(r: &cuszp::ChunkReport) -> String {
+    let (bs, be) = match &r.byte_range {
+        Some(br) => (br.start.to_string(), br.end.to_string()),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    let shards = match &r.status {
+        ChunkStatus::Repaired { shards } => json_usize_list(shards),
+        _ => "[]".to_string(),
+    };
+    format!(
+        "{{\"index\":{},\"status\":\"{}\",\"byte_start\":{bs},\"byte_end\":{be},\"elem_start\":{},\"elem_end\":{},\"repaired_shards\":{shards}}}",
+        r.index,
+        r.status.label(),
+        r.elem_range.start,
+        r.elem_range.end
+    )
+}
+
+/// One parity stripe as a JSON object: index plus status "intact" /
+/// "repaired" (data = healed global shard indices, parity = damaged
+/// stripe-local parity indices) / "unrepairable" (damaged_data,
+/// intact_parity).
+fn json_stripe(i: usize, s: &StripeStatus) -> String {
+    match s {
+        StripeStatus::Intact => format!("{{\"index\":{i},\"status\":\"intact\"}}"),
+        StripeStatus::Repaired { data, parity } => format!(
+            "{{\"index\":{i},\"status\":\"repaired\",\"data\":{},\"parity\":{}}}",
+            json_usize_list(data),
+            json_usize_list(parity)
+        ),
+        StripeStatus::Unrepairable {
+            damaged_data,
+            intact_parity,
+        } => format!(
+            "{{\"index\":{i},\"status\":\"unrepairable\",\"damaged_data\":{},\"intact_parity\":{intact_parity}}}",
+            json_usize_list(damaged_data)
+        ),
+    }
+}
+
+/// The whole fsck report as one JSON object (stable field names; see
+/// [`json_chunk`] / [`json_stripe`] for the nested shapes).
+/// `repaired_file` is null without `--repair`, else whether the archive
+/// was rewritten.
+fn fsck_json(input: &str, report: &ScanReport, code: u8, repaired_file: Option<bool>) -> String {
+    let chunks: Vec<String> = report.reports.iter().map(json_chunk).collect();
+    let parity = match &report.parity {
+        Some(p) => {
+            let stripes: Vec<String> = p
+                .stripes
+                .iter()
+                .enumerate()
+                .map(|(i, s)| json_stripe(i, s))
+                .collect();
+            format!(
+                "{{\"data_shards\":{},\"parity_shards\":{},\"shard_size\":{},\"n_stripes\":{},\"stripes\":[{}]}}",
+                p.data_shards,
+                p.parity_shards,
+                p.shard_size,
+                p.n_stripes,
+                stripes.join(",")
+            )
+        }
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"archive\":\"{}\",\"format\":\"{}\",\"dims\":{},\"dtype\":{},\"declared_chunks\":{},\"chunks\":[{}],\"parity\":{},\"repaired_file\":{},\"exit_code\":{}}}",
+        json_escape(input),
+        report.format,
+        report.dims.map_or("null".to_string(), json_dims),
+        report
+            .dtype
+            .map_or("null".to_string(), |t| format!("\"{}\"", t.name())),
+        report.declared_chunks,
+        chunks.join(","),
+        parity,
+        repaired_file.map_or("null".to_string(), |b| b.to_string()),
+        code
+    )
 }
 
 fn cmd_info(opts: &Opts) -> Result<(), String> {
@@ -484,6 +736,21 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
             outliers,
             100.0 * outliers as f64 / n.max(1) as f64
         );
+        match &arc.parity {
+            Some(p) => {
+                let section = p.serialized_bytes();
+                println!(
+                    "  parity:       {}/{} (shard {} B, {} stripes, {} bytes = {:.2}% overhead)",
+                    p.parity_shards,
+                    p.data_shards,
+                    p.shard_size,
+                    p.n_stripes,
+                    section,
+                    100.0 * section as f64 / bytes.len().max(1) as f64
+                );
+            }
+            None => println!("  parity:       none"),
+        }
         println!("  stored size:  {} bytes", bytes.len());
         println!(
             "  ratio:        {:.2}x",

@@ -59,9 +59,10 @@ pub use cuszp_zfp as zfp;
 pub use cuszp_core::{
     decompress, decompress_archive, decompress_f64, decompress_f64_with_engine,
     decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
-    decompress_resilient_with, decompress_with_engine, is_chunked_archive, scan, scan_with,
-    Archive, ArchiveSection, ChunkReport, ChunkStatus, ChunkedArchive, CompressionStats,
-    Compressor, Config, CuszpError, Dims, Dtype, ErrorBound, FillPolicy, ParseFault, Predictor,
-    ReconstructEngine, RecoveredField, ScanReport, Snapshot, SnapshotEntry, StreamArchive,
+    decompress_resilient_with, decompress_with_engine, is_chunked_archive, repair, repair_with,
+    scan, scan_with, Archive, ArchiveSection, ChunkReport, ChunkStatus, ChunkedArchive,
+    CompressionStats, Compressor, Config, CuszpError, Dims, Dtype, ErrorBound, FillPolicy,
+    ParityConfig, ParityReport, ParitySection, ParseFault, Predictor, ReconstructEngine,
+    RecoveredField, RepairOutcome, ScanReport, Snapshot, SnapshotEntry, StripeStatus,
     WorkflowChoice, WorkflowMode,
 };
