@@ -217,6 +217,70 @@ impl Compressor {
         arc.add_parity(parity, pool);
         Ok(arc)
     }
+
+    /// Chunk-sequential compression on a **caller-owned engine**: the
+    /// whole plan runs on `engine`, reusing its scratch arenas across
+    /// chunks *and across calls*. This is the long-lived-service entry
+    /// point — a `cuszp-server` worker owns one engine for its lifetime
+    /// and drives every request through it instead of reallocating
+    /// arenas per request. Each chunk runs under
+    /// [`cuszp_parallel::with_serial_inner`], the same code path pool
+    /// jobs take, so the bytes are identical to the pooled drivers at
+    /// any worker count.
+    pub fn compress_chunked_with_engine(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        target_elems: usize,
+        engine: &mut PipelineEngine,
+    ) -> Result<ChunkedArchive, CuszpError> {
+        self.compress_chunked_engine_impl(data, dims, target_elems, engine)
+    }
+
+    /// `f64` variant of [`Compressor::compress_chunked_with_engine`].
+    pub fn compress_chunked_f64_with_engine(
+        &self,
+        data: &[f64],
+        dims: Dims,
+        target_elems: usize,
+        engine: &mut PipelineEngine,
+    ) -> Result<ChunkedArchive, CuszpError> {
+        self.compress_chunked_engine_impl(data, dims, target_elems, engine)
+    }
+
+    fn compress_chunked_engine_impl<T: Scalar>(
+        &self,
+        data: &[T],
+        dims: Dims,
+        target_elems: usize,
+        engine: &mut PipelineEngine,
+    ) -> Result<ChunkedArchive, CuszpError> {
+        let range = validate_and_range(data, dims)?;
+        let eb = resolve_bound(self.config().error_bound, range)?;
+        let dtype = if T::BYTES == 4 {
+            Dtype::F32
+        } else {
+            Dtype::F64
+        };
+        let plan = plan_chunks(&[dims.slow_extent(), dims.elems_per_slow()], target_elems);
+        let config = self.config();
+        let mut chunks = Vec::with_capacity(plan.len());
+        for spec in &plan.chunks {
+            let chunk_dims = dims.slab(spec.slow_len());
+            let (archive, _) = cuszp_parallel::with_serial_inner(|| {
+                engine.compress(config, &data[spec.elems.clone()], chunk_dims, eb)
+            })?;
+            chunks.push(archive);
+        }
+        Ok(ChunkedArchive {
+            dims,
+            dtype,
+            eb,
+            chunk_target: target_elems as u64,
+            chunks,
+            parity: None,
+        })
+    }
 }
 
 impl ChunkedArchive {

@@ -40,6 +40,7 @@ mod engine;
 mod error;
 mod parity;
 mod recovery;
+mod report;
 mod snapshot;
 mod stats;
 mod stream;
@@ -54,6 +55,10 @@ pub use recovery::{
     decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
     decompress_resilient_with, repair, repair_with, scan, scan_with, ChunkReport, ChunkStatus,
     FillPolicy, ParityReport, RecoveredField, RepairOutcome, ScanReport, StripeStatus,
+};
+pub use report::{
+    json_escape, PortableChunkReport, PortableChunkStatus, PortableParityReport,
+    PortableScanReport, PortableStripeStatus, REPORT_VERSION,
 };
 pub use snapshot::{Snapshot, SnapshotEntry};
 pub use stats::{ChunkedStats, CompressionStats};

@@ -1,0 +1,307 @@
+//! Thread-safe service instrumentation: monotonic counters and a
+//! fixed-bucket latency histogram with percentile summaries.
+//!
+//! Both types are lock-free (`AtomicU64` throughout) and record through
+//! `&self`, so one instance can be shared across every worker thread of
+//! a service and sampled live while requests are in flight. The
+//! histogram trades exactness for a fixed footprint: durations land in
+//! power-of-two microsecond buckets, and quantiles are reconstructed by
+//! linear interpolation inside the bucket that crosses the rank — the
+//! standard fixed-bucket estimate (as in Prometheus `histogram_quantile`),
+//! bounded by the bucket width, which for ×2 buckets means a quantile is
+//! never off by more than 2× (and the recorded maximum clamps the last
+//! bucket, so p99 of a small sample never overshoots the slowest
+//! observation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonic event counter usable from any number of threads.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `i < N-1` covers
+/// `[lower_bound(i), upper_bound(i))` microseconds; the last bucket is
+/// unbounded above. With ×2 buckets this spans 1 µs … ~134 s of finite
+/// resolution, enough for any request a TCP timeout would still allow.
+pub const N_LATENCY_BUCKETS: usize = 28;
+
+/// Inclusive lower bound of bucket `i`, in microseconds: 0 for the
+/// first bucket, then `2^(i-1)`.
+pub fn bucket_lower_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Exclusive upper bound of bucket `i`, in microseconds
+/// (`u64::MAX` for the last, unbounded bucket).
+pub fn bucket_upper_us(i: usize) -> u64 {
+    if i + 1 >= N_LATENCY_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// Bucket index for a duration of `us` microseconds.
+pub fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        return 0;
+    }
+    // us in [2^(i-1), 2^i) → bucket i = floor(log2(us)) + 1.
+    let i = 64 - (us.leading_zeros() as usize);
+    i.min(N_LATENCY_BUCKETS - 1)
+}
+
+/// A fixed-bucket latency histogram: power-of-two microsecond buckets,
+/// lock-free recording, and p50/p90/p99 estimates by rank interpolation.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency in microseconds (0 when empty).
+    pub mean_us: f64,
+    /// Estimated 50th percentile, microseconds.
+    pub p50_us: f64,
+    /// Estimated 90th percentile, microseconds.
+    pub p90_us: f64,
+    /// Estimated 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Exact maximum observed, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.record_us(us);
+    }
+
+    /// Records one observation given directly in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the raw bucket counts (index `i` =
+    /// `[bucket_lower_us(i), bucket_upper_us(i))`).
+    pub fn bucket_counts(&self) -> [u64; N_LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Estimates the `q`-quantile (`0 < q ≤ 1`) in microseconds by
+    /// linear interpolation inside the bucket holding the rank
+    /// `⌈q·count⌉`. Returns 0 for an empty histogram. The recorded
+    /// maximum clamps the estimate, so the unbounded last bucket (and
+    /// tiny samples) cannot fabricate a latency larger than anything
+    /// observed.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let buckets = self.bucket_counts();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self.max_us.load(Ordering::Relaxed) as f64;
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let lo = bucket_lower_us(i) as f64;
+                let hi = (bucket_upper_us(i) as f64).min(max.max(lo));
+                let frac = (rank - cum) as f64 / n as f64;
+                return (lo + (hi - lo) * frac).min(max);
+            }
+            cum += n;
+        }
+        max
+    }
+
+    /// Full summary: count, mean, p50/p90/p99, max.
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.count();
+        let mean_us = if count == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
+        };
+        LatencySummary {
+            count,
+            mean_us,
+            p50_us: self.quantile(0.50),
+            p90_us: self.quantile(0.90),
+            p99_us: self.quantile(0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic_and_concurrent() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        c.add(5);
+        assert_eq!(c.get(), 4005);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 holds 0 and sub-microsecond observations; bucket i
+        // holds [2^(i-1), 2^i).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for i in 1..N_LATENCY_BUCKETS - 1 {
+            let lo = bucket_lower_us(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(lo * 2 - 1), i, "last value of bucket {i}");
+            assert_eq!(bucket_upper_us(i), lo * 2);
+        }
+        // Everything past the finite range lands in the last bucket.
+        assert_eq!(bucket_index(u64::MAX), N_LATENCY_BUCKETS - 1);
+        assert_eq!(bucket_upper_us(N_LATENCY_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_ramp_land_in_the_right_buckets() {
+        let h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_us, 1000);
+        assert!((s.mean_us - 500.5).abs() < 1e-9);
+        // The estimates are bucket interpolations: within one ×2 bucket
+        // of the exact order statistic, and monotone in q.
+        let exact = [500.0, 900.0, 990.0];
+        for (q, x) in [0.50, 0.90, 0.99].into_iter().zip(exact) {
+            let est = h.quantile(q);
+            assert!(est >= x / 2.0 && est <= x * 2.0, "q{q}: {est} vs {x}");
+        }
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us);
+    }
+
+    #[test]
+    fn single_observation_reports_itself() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(777));
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_us, 777);
+        // All quantiles clamp to the only (= maximum) observation.
+        assert_eq!(s.p50_us, 777.0);
+        assert_eq!(s.p99_us, 777.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = LatencyHistogram::new().summary();
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn interpolation_math_on_a_known_two_bucket_split() {
+        // 3 observations in bucket [4,8), 1 in [8,16): p50 has rank 2,
+        // crossing inside the first bucket at fraction 2/3.
+        let h = LatencyHistogram::new();
+        for us in [4, 5, 6, 9] {
+            h.record_us(us);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 - (4.0 + 4.0 * (2.0 / 3.0))).abs() < 1e-9, "{p50}");
+        // p100 = the exact max, not the bucket upper bound.
+        assert_eq!(h.quantile(1.0), 9.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        h.record_us(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 2000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 2000);
+    }
+}

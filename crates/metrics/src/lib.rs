@@ -3,12 +3,19 @@
 //! Provides the fidelity statistics the SZ/cuSZ papers report — PSNR,
 //! NRMSE, maximum absolute/relative error, value range — plus
 //! compression-ratio accounting and GB/s throughput meters used by every
-//! benchmark table in the reproduction.
+//! benchmark table in the reproduction, plus the thread-safe service
+//! instrumentation ([`Counter`], [`LatencyHistogram`]) behind
+//! `cuszp-server`'s live stats.
 
 mod error_stats;
+mod histogram;
 mod throughput;
 
 pub use error_stats::{verify_error_bound, verify_error_bound_f64, ErrorStats};
+pub use histogram::{
+    bucket_index, bucket_lower_us, bucket_upper_us, Counter, LatencyHistogram, LatencySummary,
+    N_LATENCY_BUCKETS,
+};
 pub use throughput::{gbps, KernelTimer, ThroughputReport};
 
 /// Compression ratio: original bytes over compressed bytes.

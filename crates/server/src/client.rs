@@ -1,0 +1,186 @@
+//! Typed client for the compression service.
+//!
+//! [`Client`] wraps one TCP connection and speaks CSRP: each typed call
+//! stamps a fresh request id, writes one frame, and matches the
+//! response by that id. Error responses come back as
+//! [`ClientError::Server`] with the server's typed
+//! [`ErrorResponse`] — including `Busy` rejections, which the
+//! acceptor sends with request id 0 because no request frame was ever
+//! read.
+//!
+//! For pipelined use (several requests in flight on one connection),
+//! the split [`Client::send`] / [`Client::recv`] pair exposes the raw
+//! id matching.
+
+use crate::metrics::StatsSnapshot;
+use crate::wire::{
+    read_frame, write_frame, CompressRequest, DecompressMode, DecompressRequest,
+    DecompressResponse, ErrorResponse, Frame, Op, RemoteInfo, WireError, MAX_FRAME_PAYLOAD,
+};
+use cuszp_core::PortableScanReport;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// The response frame or payload failed to decode.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Server(ErrorResponse),
+    /// The server violated the protocol (wrong id, wrong frame kind).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl ClientError {
+    /// The server's typed error code, when this is a server error.
+    pub fn server_code(&self) -> Option<crate::wire::ErrorCode> {
+        match self {
+            ClientError::Server(e) => Some(e.code),
+            _ => None,
+        }
+    }
+}
+
+/// One connection to a compression service.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame_payload: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            next_id: 1,
+            max_frame_payload: MAX_FRAME_PAYLOAD,
+        })
+    }
+
+    /// Sets read/write timeouts on the underlying socket.
+    pub fn set_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)
+    }
+
+    /// Sends one request frame, returning its request id. Pair with
+    /// [`Client::recv`] for pipelined use.
+    pub fn send(&mut self, op: Op, payload: &[u8]) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, op as u8, 0, id, payload)?;
+        Ok(id)
+    }
+
+    /// Reads one response frame (any request id).
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        let frame = read_frame(&mut self.stream, self.max_frame_payload)?;
+        if !frame.is_response() {
+            return Err(ClientError::Protocol("expected a response frame"));
+        }
+        Ok(frame)
+    }
+
+    /// One full round trip: send, then match the response by id.
+    fn call(&mut self, op: Op, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let id = self.send(op, payload)?;
+        let frame = self.recv()?;
+        if frame.is_error() {
+            let err = ErrorResponse::decode(&frame.payload)?;
+            // Busy (and malformed-frame) rejections carry id 0: the
+            // server never read a request to echo an id from.
+            if frame.req_id == id || frame.req_id == 0 {
+                return Err(ClientError::Server(err));
+            }
+            return Err(ClientError::Protocol("error response for another request"));
+        }
+        if frame.req_id != id {
+            return Err(ClientError::Protocol("response id mismatch"));
+        }
+        Ok(frame.payload)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(Op::Ping, &[]).map(|_| ())
+    }
+
+    /// Compresses a raw field server-side; returns the archive bytes.
+    pub fn compress(&mut self, req: &CompressRequest<'_>) -> Result<Vec<u8>, ClientError> {
+        self.call(Op::Compress, &req.encode())
+    }
+
+    /// Decompresses an archive server-side. In
+    /// [`DecompressMode::Recover`] the response carries a per-chunk
+    /// recovery report.
+    pub fn decompress(
+        &mut self,
+        archive: &[u8],
+        mode: DecompressMode,
+    ) -> Result<DecompressResponse, ClientError> {
+        let req = DecompressRequest { mode, archive };
+        let payload = self.call(Op::Decompress, &req.encode())?;
+        Ok(DecompressResponse::decode(&payload)?)
+    }
+
+    /// Validates an archive chunk-by-chunk (fsck over the wire).
+    pub fn scan(&mut self, archive: &[u8]) -> Result<PortableScanReport, ClientError> {
+        let payload = self.call(Op::Scan, archive)?;
+        PortableScanReport::from_bytes(&payload)
+            .map_err(|_| ClientError::Protocol("malformed scan report"))
+    }
+
+    /// Describes an archive without decoding it.
+    pub fn info(&mut self, archive: &[u8]) -> Result<RemoteInfo, ClientError> {
+        let payload = self.call(Op::Info, archive)?;
+        Ok(RemoteInfo::decode(&payload)?)
+    }
+
+    /// Samples the server's live metrics.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let payload = self.call(Op::Stats, &[])?;
+        Ok(StatsSnapshot::decode(&payload)?)
+    }
+
+    /// Asks the server to shut down gracefully. The server acks before
+    /// it begins draining.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.call(Op::Shutdown, &[]).map(|_| ())
+    }
+}

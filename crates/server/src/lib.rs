@@ -1,0 +1,39 @@
+//! cuszp-server — a concurrent compression service over a framed wire
+//! protocol, with a typed client library and live service metrics.
+//!
+//! The crate has three layers:
+//!
+//! - [`wire`]: the CSRP framing and payload codecs. Versioned,
+//!   length-prefixed, checksummed frames with a hard payload cap and
+//!   `try_reserve`-guarded reads, so untrusted peers can neither
+//!   allocation-bomb nor desynchronize a process.
+//! - [`Server`]: a `std::net` TCP service. A nonblocking acceptor feeds
+//!   a bounded connection queue (overflow answered with a typed `Busy`
+//!   frame); workers run as [`cuszp_parallel::WorkerPool`] jobs, each
+//!   owning a long-lived reusable [`cuszp_core::PipelineEngine`].
+//!   Shutdown is cooperative: the `shutdown` op or a [`ServerHandle`]
+//!   flips a flag and workers drain until a deadline.
+//! - [`Client`]: typed calls (`compress`, `decompress`, `scan`, `info`,
+//!   `stats`, `ping`, `shutdown_server`) with request-id matching, plus
+//!   a split [`Client::send`]/[`Client::recv`] pair for pipelining.
+//!
+//! Served compression runs through the same chunked planner and
+//! forced-serial inner primitives as the local drivers, so the archive
+//! bytes a server returns are bit-identical to a local
+//! `compress_chunked` at any worker count.
+//!
+//! Everything is std-only — no external runtime or protocol deps.
+
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use metrics::{OpStats, ServiceMetrics, StatsSnapshot};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{
+    fnv1a, CompressRequest, DecompressMode, DecompressRequest, DecompressResponse, ErrorCode,
+    ErrorResponse, Frame, Op, RemoteInfo, WireError, FLAG_ERROR, FLAG_RESPONSE, FRAME_HEADER_BYTES,
+    MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+};

@@ -1,0 +1,601 @@
+//! The compression service: a bounded acceptor → worker architecture
+//! over `std::net` + scoped threads.
+//!
+//! ```text
+//!            accept()            bounded queue             workers
+//!  clients ───────────▶ acceptor ─────────────▶ [conn conn] ─▶ pool job 0 (engine)
+//!                        │  full? reject with Busy           ─▶ pool job 1 (engine)
+//!                        ▼                                      …
+//!                     metrics
+//! ```
+//!
+//! The worker side runs on [`cuszp_parallel::WorkerPool::run_with_state`]:
+//! each pool job is one worker loop owning a long-lived
+//! [`PipelineEngine`], so every request a worker serves reuses the same
+//! scratch arenas (the PR 3 engine contract, extended from
+//! chunks-within-one-call to requests-within-one-process). Backpressure
+//! is explicit — when the connection queue is full the acceptor answers
+//! a typed `Busy` error frame instead of queueing unboundedly — and a
+//! malformed frame is answered with a typed error and at worst a closed
+//! connection, never a dead process. Shutdown is cooperative: the
+//! `shutdown` op (or [`ServerHandle::shutdown`]) flips a flag, the
+//! acceptor stops accepting, and workers drain queued + in-flight
+//! connections until a drain deadline.
+
+use crate::metrics::ServiceMetrics;
+use crate::wire::{
+    read_frame, write_frame, CompressRequest, DecompressMode, DecompressRequest,
+    DecompressResponse, ErrorCode, ErrorResponse, Op, RemoteInfo, WireError, FLAG_ERROR,
+    FLAG_RESPONSE, MAX_FRAME_PAYLOAD,
+};
+use cuszp_core::{
+    is_chunked_archive, Archive, ChunkedArchive, Compressor, Config, CuszpError, Dtype,
+    PipelineEngine, PortableScanReport, RecoveredField,
+};
+use cuszp_parallel::{WorkerPool, DEFAULT_CHUNK_ELEMS};
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked workers and the acceptor re-check the shutdown
+/// flag. Also the idle-poll granularity on open connections.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads (each owns one [`PipelineEngine`]).
+    pub workers: usize,
+    /// Connections allowed to wait in the queue; beyond this the
+    /// acceptor answers `Busy`.
+    pub queue_capacity: usize,
+    /// A connection is closed after this long without a complete frame.
+    pub read_timeout: Duration,
+    /// Per-response write timeout.
+    pub write_timeout: Duration,
+    /// After shutdown begins, connected clients get this long to finish.
+    pub drain_deadline: Duration,
+    /// Frame payload cap for this server (≤ [`MAX_FRAME_PAYLOAD`]).
+    pub max_frame_payload: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 16,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            max_frame_payload: MAX_FRAME_PAYLOAD,
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and external handles.
+#[derive(Debug)]
+struct Shared {
+    config: ServerConfig,
+    metrics: ServiceMetrics,
+    shutdown: AtomicBool,
+    /// Set when shutdown begins: the instant the drain window closes.
+    drain_until: Mutex<Option<Instant>>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+}
+
+impl Shared {
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn begin_shutdown(&self) {
+        let mut until = self.drain_until.lock().expect("drain lock poisoned");
+        if until.is_none() {
+            *until = Some(Instant::now() + self.config.drain_deadline);
+        }
+        drop(until);
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue_cv.notify_all();
+    }
+
+    fn drain_expired(&self) -> bool {
+        self.drain_until
+            .lock()
+            .expect("drain lock poisoned")
+            .is_some_and(|t| Instant::now() >= t)
+    }
+}
+
+/// A cloneable control handle: shut the server down or sample its
+/// metrics from outside the serve loop (e.g. a signal handler shim or a
+/// test harness).
+#[derive(Debug, Clone)]
+pub struct ServerHandle(Arc<Shared>);
+
+impl ServerHandle {
+    /// Begins graceful shutdown: stop accepting, drain, return.
+    pub fn shutdown(&self) {
+        self.0.begin_shutdown();
+    }
+
+    /// True once shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.0.is_shutting_down()
+    }
+
+    /// Samples the live metrics.
+    pub fn stats(&self) -> crate::metrics::StatsSnapshot {
+        self.0.metrics.snapshot()
+    }
+}
+
+/// The compression service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the service (use port 0 for an ephemeral port; read it
+    /// back with [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            max_frame_payload: config.max_frame_payload.min(MAX_FRAME_PAYLOAD),
+            ..config
+        };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                config,
+                metrics: ServiceMetrics::new(),
+                shutdown: AtomicBool::new(false),
+                drain_until: Mutex::new(None),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle(self.shared.clone())
+    }
+
+    /// Runs the service until graceful shutdown completes. The acceptor
+    /// runs on the calling thread's scope; request workers run as pool
+    /// jobs, each owning one reusable [`PipelineEngine`].
+    pub fn serve(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let shared = &self.shared;
+        let listener = &self.listener;
+        std::thread::scope(|s| {
+            let acceptor = s.spawn(move || accept_loop(listener, shared));
+            let pool = WorkerPool::new(shared.config.workers);
+            pool.run_with_state(shared.config.workers, PipelineEngine::new, |_, engine| {
+                worker_loop(shared, engine)
+            });
+            acceptor.join().expect("acceptor panicked")
+        });
+        Ok(())
+    }
+}
+
+/// Accepts connections until shutdown, enqueueing each for a worker —
+/// or rejecting with a typed `Busy` frame when the queue is at
+/// capacity (the explicit-backpressure contract).
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.is_shutting_down() {
+            // Wake any workers parked on an empty queue.
+            shared.queue_cv.notify_all();
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.connections_total.incr();
+                // Accepted sockets must block again regardless of what
+                // they inherited from the nonblocking listener.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let mut queue = shared.queue.lock().expect("queue lock poisoned");
+                if queue.len() >= shared.config.queue_capacity {
+                    drop(queue);
+                    shared.metrics.rejected_busy.incr();
+                    reject_busy(stream, shared);
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL.min(Duration::from_millis(20)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Answers one `Busy` error frame (request id 0 — no request was read)
+/// and drops the connection.
+fn reject_busy(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let busy = ErrorResponse::new(
+        ErrorCode::Busy,
+        format!(
+            "request queue full ({} waiting); retry later",
+            shared.config.queue_capacity
+        ),
+    );
+    let _ = write_frame(
+        &mut stream,
+        Op::Ping as u8,
+        FLAG_RESPONSE | FLAG_ERROR,
+        0,
+        &busy.encode(),
+    );
+}
+
+/// One worker: pull connections off the queue and serve each until the
+/// client closes (or timeouts/drain end it). Exits when shutdown has
+/// begun and the queue is drained — or immediately once the drain
+/// deadline passes.
+fn worker_loop(shared: &Shared, engine: &mut PipelineEngine) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(c) = queue.pop_front() {
+                    break Some(c);
+                }
+                if shared.is_shutting_down() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .expect("queue lock poisoned");
+                queue = guard;
+            }
+        };
+        match conn {
+            Some(stream) => serve_connection(stream, shared, engine),
+            None => return,
+        }
+        if shared.drain_expired() {
+            return;
+        }
+    }
+}
+
+/// Serves every frame on one connection. A malformed frame gets a typed
+/// error response and closes the connection; request-level failures get
+/// typed error responses and the connection keeps serving.
+fn serve_connection(mut stream: TcpStream, shared: &Shared, engine: &mut PipelineEngine) {
+    let _active = shared.metrics.connection_guard();
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_write_timeout(Some(shared.config.write_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let mut last_frame = Instant::now();
+    loop {
+        if shared.drain_expired() {
+            return;
+        }
+        // Idle-poll via peek so the frame reader never consumes partial
+        // headers on a timeout: wait for the first byte of a frame under
+        // a short poll, then grant the full read timeout to the frame.
+        if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+            return;
+        }
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // clean close
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_frame.elapsed() >= shared.config.read_timeout {
+                    return; // idle connection
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        if stream
+            .set_read_timeout(Some(shared.config.read_timeout))
+            .is_err()
+        {
+            return;
+        }
+        match read_frame(&mut stream, shared.config.max_frame_payload) {
+            Ok(frame) => {
+                last_frame = Instant::now();
+                if !handle_frame(&mut stream, &frame, shared, engine) {
+                    return;
+                }
+            }
+            Err(WireError::Closed) => return,
+            Err(WireError::Io(_)) => return, // timeout mid-frame or hard I/O error
+            Err(wire_err) => {
+                // Structurally bad frame: answer with a typed error,
+                // then close — the stream cannot be resynchronized.
+                shared.metrics.malformed_frames.incr();
+                let code = match wire_err {
+                    WireError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+                    WireError::FrameTooLarge { .. } => ErrorCode::FrameTooLarge,
+                    _ => ErrorCode::MalformedFrame,
+                };
+                let resp = ErrorResponse::new(code, wire_err.to_string());
+                let _ = write_frame(
+                    &mut stream,
+                    Op::Ping as u8,
+                    FLAG_RESPONSE | FLAG_ERROR,
+                    0,
+                    &resp.encode(),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one well-framed request; returns false when the
+/// connection should close. Every outcome is a response frame carrying
+/// the request's id.
+fn handle_frame(
+    stream: &mut TcpStream,
+    frame: &crate::wire::Frame,
+    shared: &Shared,
+    engine: &mut PipelineEngine,
+) -> bool {
+    let Some(op) = Op::from_u8(frame.op) else {
+        shared.metrics.malformed_frames.incr();
+        let resp = ErrorResponse::new(
+            ErrorCode::UnknownOp,
+            format!("op tag {} names no operation", frame.op),
+        );
+        return write_frame(
+            stream,
+            frame.op,
+            FLAG_RESPONSE | FLAG_ERROR,
+            frame.req_id,
+            &resp.encode(),
+        )
+        .is_ok();
+    };
+    let t0 = Instant::now();
+    let result = if frame.is_response() {
+        Err(ErrorResponse::new(
+            ErrorCode::BadRequest,
+            "a server does not accept response frames",
+        ))
+    } else {
+        handle_op(op, &frame.payload, shared, engine)
+    };
+    let (payload, flags, errored) = match result {
+        Ok(p) => (p, FLAG_RESPONSE, false),
+        Err(e) => (e.encode(), FLAG_RESPONSE | FLAG_ERROR, true),
+    };
+    shared.metrics.record_request(
+        op,
+        frame.payload.len(),
+        payload.len(),
+        t0.elapsed(),
+        errored,
+    );
+    if op == Op::Shutdown && !errored {
+        // Flip the flag before the ack goes out: once the client sees
+        // the response, the server is observably draining.
+        shared.begin_shutdown();
+    }
+    write_frame(stream, frame.op, flags, frame.req_id, &payload).is_ok()
+}
+
+/// Maps a pipeline error to a typed response: request-shaped faults are
+/// the client's (`BadRequest`), archive/pipeline faults are `Pipeline`.
+fn pipeline_error(e: CuszpError) -> ErrorResponse {
+    let code = match e {
+        CuszpError::DimsMismatch { .. }
+        | CuszpError::NonFiniteInput
+        | CuszpError::InvalidErrorBound(_)
+        | CuszpError::InvalidParityConfig(_)
+        | CuszpError::DtypeMismatch { .. } => ErrorCode::BadRequest,
+        _ => ErrorCode::Pipeline,
+    };
+    ErrorResponse::new(code, e.to_string())
+}
+
+fn wire_error(e: WireError) -> ErrorResponse {
+    ErrorResponse::new(ErrorCode::BadRequest, e.to_string())
+}
+
+/// Executes one op. All fallible work funnels into typed
+/// [`ErrorResponse`]s; nothing here may panic on untrusted input.
+fn handle_op(
+    op: Op,
+    payload: &[u8],
+    shared: &Shared,
+    engine: &mut PipelineEngine,
+) -> Result<Vec<u8>, ErrorResponse> {
+    match op {
+        Op::Ping => Ok(Vec::new()),
+        Op::Shutdown => Ok(Vec::new()),
+        Op::Stats => Ok(shared.metrics.snapshot().encode()),
+        Op::Compress => handle_compress(payload, engine),
+        Op::Decompress => handle_decompress(payload),
+        Op::Scan => {
+            let report = cuszp_core::scan(payload).map_err(pipeline_error)?;
+            Ok(PortableScanReport::from(&report).to_bytes())
+        }
+        Op::Info => handle_info(payload),
+    }
+}
+
+fn alloc_scalars<T: Copy + Default>(
+    bytes: &[u8],
+    width: usize,
+    from_le: impl FnMut(&[u8]) -> T,
+) -> Result<Vec<T>, ErrorResponse> {
+    let n = bytes.len() / width;
+    let mut out: Vec<T> = Vec::new();
+    out.try_reserve_exact(n)
+        .map_err(|_| ErrorResponse::new(ErrorCode::Pipeline, "field allocation refused"))?;
+    out.extend(bytes.chunks_exact(width).map(from_le));
+    Ok(out)
+}
+
+fn handle_compress(payload: &[u8], engine: &mut PipelineEngine) -> Result<Vec<u8>, ErrorResponse> {
+    let req = CompressRequest::decode(payload).map_err(wire_error)?;
+    if let Some(p) = req.parity {
+        p.validate().map_err(pipeline_error)?;
+    }
+    let config = Config {
+        error_bound: req.error_bound,
+        workflow: req.workflow,
+        predictor: req.predictor,
+        ..Config::default()
+    };
+    let compressor = Compressor::new(config);
+    let target = if req.chunk_target == 0 {
+        DEFAULT_CHUNK_ELEMS
+    } else {
+        usize::try_from(req.chunk_target)
+            .map_err(|_| ErrorResponse::new(ErrorCode::BadRequest, "chunk target too large"))?
+    };
+    let mut arc = match req.dtype {
+        Dtype::F32 => {
+            let data = alloc_scalars(req.data, 4, |c| f32::from_le_bytes(c.try_into().unwrap()))?;
+            compressor
+                .compress_chunked_with_engine(&data, req.dims, target, engine)
+                .map_err(pipeline_error)?
+        }
+        Dtype::F64 => {
+            let data = alloc_scalars(req.data, 8, |c| f64::from_le_bytes(c.try_into().unwrap()))?;
+            compressor
+                .compress_chunked_f64_with_engine(&data, req.dims, target, engine)
+                .map_err(pipeline_error)?
+        }
+    };
+    if let Some(parity) = req.parity {
+        // Inside a pool job the default pool degrades to one worker;
+        // parity bytes are width-independent either way.
+        arc.add_parity(parity, &WorkerPool::with_default_workers());
+    }
+    Ok(arc.to_bytes())
+}
+
+fn handle_decompress(payload: &[u8]) -> Result<Vec<u8>, ErrorResponse> {
+    let req = DecompressRequest::decode(payload).map_err(wire_error)?;
+    match req.mode {
+        DecompressMode::Strict => {
+            let (dtype, dims, data) = match cuszp_core::decompress(req.archive) {
+                Ok((data, dims)) => (
+                    Dtype::F32,
+                    dims,
+                    data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                ),
+                Err(CuszpError::DtypeMismatch { .. }) => {
+                    let (data, dims) =
+                        cuszp_core::decompress_f64(req.archive).map_err(pipeline_error)?;
+                    (
+                        Dtype::F64,
+                        dims,
+                        data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                    )
+                }
+                Err(e) => return Err(pipeline_error(e)),
+            };
+            Ok(DecompressResponse {
+                dtype,
+                dims,
+                report: None,
+                data,
+            }
+            .encode())
+        }
+        DecompressMode::Recover(fill) => {
+            let (dtype, dims, report, data): (_, _, _, Vec<u8>) =
+                match cuszp_core::decompress_resilient(req.archive, fill) {
+                    Ok(rf) => {
+                        let report = PortableScanReport::from_recovered(&rf, Dtype::F32);
+                        let RecoveredField { data, dims, .. } = rf;
+                        (
+                            Dtype::F32,
+                            dims,
+                            report,
+                            data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                        )
+                    }
+                    Err(CuszpError::DtypeMismatch { .. }) => {
+                        let rf = cuszp_core::decompress_resilient_f64(req.archive, fill)
+                            .map_err(pipeline_error)?;
+                        let report = PortableScanReport::from_recovered(&rf, Dtype::F64);
+                        let RecoveredField { data, dims, .. } = rf;
+                        (
+                            Dtype::F64,
+                            dims,
+                            report,
+                            data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                        )
+                    }
+                    Err(e) => return Err(pipeline_error(e)),
+                };
+            Ok(DecompressResponse {
+                dtype,
+                dims,
+                report: Some(report),
+                data,
+            }
+            .encode())
+        }
+    }
+}
+
+fn handle_info(payload: &[u8]) -> Result<Vec<u8>, ErrorResponse> {
+    let info = if is_chunked_archive(payload) {
+        let arc = ChunkedArchive::from_bytes(payload).map_err(pipeline_error)?;
+        RemoteInfo {
+            format: "csz2".to_string(),
+            dtype: arc.dtype,
+            dims: arc.dims,
+            eb: arc.eb,
+            n_chunks: arc.n_chunks() as u64,
+            parity: arc
+                .parity
+                .as_ref()
+                .map(|p| (p.data_shards, p.parity_shards)),
+            stored_bytes: payload.len() as u64,
+        }
+    } else {
+        let archive = Archive::from_bytes(payload).map_err(pipeline_error)?;
+        RemoteInfo {
+            format: "v1".to_string(),
+            dtype: archive.dtype,
+            dims: archive.dims,
+            eb: archive.eb,
+            n_chunks: 1,
+            parity: None,
+            stored_bytes: payload.len() as u64,
+        }
+    };
+    Ok(info.encode())
+}

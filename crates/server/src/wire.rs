@@ -1,0 +1,972 @@
+//! CSRP — the cuSZ+ Request Protocol: a versioned, length-prefixed
+//! binary framing for the compression service.
+//!
+//! ```text
+//! offset size  field
+//! 0      4     magic "CSRP"
+//! 4      2     protocol version (= 1)
+//! 6      1     op (see [`Op`])
+//! 7      1     flags (bit 0: response, bit 1: error response)
+//! 8      8     request id (echoed verbatim in the response)
+//! 16     4     payload length n
+//! 20     n     payload
+//! 20+n   8     FNV-1a checksum of the payload
+//! ```
+//!
+//! Framing is defensive on both sides: the payload length is capped
+//! ([`MAX_FRAME_PAYLOAD`] by default, lower per server config), the
+//! payload buffer grows in bounded slabs under `try_reserve` — the same
+//! discipline as untrusted archive headers, so a hostile length field
+//! can never allocation-bomb the process — and the trailing checksum
+//! rejects frames damaged in transit before any request parsing runs.
+//! Every decode error is a typed [`WireError`]; the server answers with
+//! a typed [`ErrorResponse`] frame and at worst closes the connection,
+//! never panics.
+
+use cuszp_core::{Dims, Dtype, ErrorBound, ParityConfig, Predictor, WorkflowChoice, WorkflowMode};
+use std::io::{Read, Write};
+
+/// Frame magic: "CSRP" little-endian.
+pub const WIRE_MAGIC: u32 = 0x5052_5343;
+/// Protocol version this build speaks.
+pub const WIRE_VERSION: u16 = 1;
+/// Fixed frame header bytes (before the payload).
+pub const FRAME_HEADER_BYTES: usize = 20;
+/// Hard cap on a frame payload (1 GiB). Server configs may lower it.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
+/// Payloads are read in slabs of this size so a lying length field
+/// commits memory no faster than the peer actually sends bytes.
+const READ_SLAB_BYTES: usize = 4 << 20;
+
+/// Response flag bit.
+pub const FLAG_RESPONSE: u8 = 0x01;
+/// Error-response flag bit (implies [`FLAG_RESPONSE`]).
+pub const FLAG_ERROR: u8 = 0x02;
+
+/// FNV-1a over a byte slice (the workspace's checksum of record).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Request/response operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Op {
+    /// Liveness probe; empty payload both ways.
+    Ping = 0,
+    /// Compress a raw field into a CSZ2 archive.
+    Compress = 1,
+    /// Decompress an archive (optionally fault-isolated).
+    Decompress = 2,
+    /// Validate an archive chunk-by-chunk (fsck over the wire).
+    Scan = 3,
+    /// Describe an archive without decoding it.
+    Info = 4,
+    /// Live service metrics snapshot.
+    Stats = 5,
+    /// Begin graceful shutdown (drain, then exit).
+    Shutdown = 6,
+}
+
+impl Op {
+    /// All ops, in wire-tag order.
+    pub const ALL: [Op; 7] = [
+        Op::Ping,
+        Op::Compress,
+        Op::Decompress,
+        Op::Scan,
+        Op::Info,
+        Op::Stats,
+        Op::Shutdown,
+    ];
+
+    /// Parses the wire tag.
+    pub fn from_u8(v: u8) -> Option<Op> {
+        Op::ALL.into_iter().find(|op| *op as u8 == v)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Compress => "compress",
+            Op::Decompress => "decompress",
+            Op::Scan => "scan",
+            Op::Info => "info",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Everything that can go wrong reading or decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly (EOF before any header
+    /// byte). Not an error in itself — the server's serve loop ends.
+    Closed,
+    /// The stream ended or timed out mid-frame.
+    Truncated,
+    /// An I/O failure other than EOF.
+    Io(std::io::ErrorKind),
+    /// The first four bytes were not the CSRP magic.
+    BadMagic(u32),
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u16),
+    /// Declared payload length exceeds the frame cap.
+    FrameTooLarge {
+        /// Declared length.
+        len: u64,
+        /// The enforced cap.
+        max: u64,
+    },
+    /// Payload checksum mismatch: the frame was damaged in transit.
+    ChecksumMismatch {
+        /// Checksum carried by the frame.
+        expected: u64,
+        /// Checksum recomputed over the received payload.
+        actual: u64,
+    },
+    /// A structurally invalid payload for the op it arrived under.
+    BadPayload(&'static str),
+    /// The payload allocation was refused (memory pressure).
+    Alloc,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch (carried {expected:#x}, computed {actual:#x})"
+            ),
+            WireError::BadPayload(what) => write!(f, "bad payload: {what}"),
+            WireError::Alloc => write!(f, "payload allocation refused"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Truncated,
+            kind => WireError::Io(kind),
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Raw op tag (validated against [`Op`] at dispatch, not here, so a
+    /// server can answer an unknown op with a typed error).
+    pub op: u8,
+    /// Flag bits ([`FLAG_RESPONSE`], [`FLAG_ERROR`]).
+    pub flags: u8,
+    /// Request id, echoed by responses.
+    pub req_id: u64,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// True when this frame is a response.
+    pub fn is_response(&self) -> bool {
+        self.flags & FLAG_RESPONSE != 0
+    }
+
+    /// True when this frame is an error response.
+    pub fn is_error(&self) -> bool {
+        self.flags & FLAG_ERROR != 0
+    }
+}
+
+/// Reads exactly `buf.len()` bytes. `Ok(false)` means the stream hit
+/// EOF *before the first byte* — a clean close. EOF mid-buffer is
+/// [`WireError::Truncated`].
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, WireError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(false)
+                } else {
+                    Err(WireError::Truncated)
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame. The declared payload length is validated against
+/// `max_payload` before any allocation, and the buffer grows slab by
+/// slab under `try_reserve`, so untrusted headers cannot
+/// allocation-bomb the reader.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, WireError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    if !read_full(r, &mut header)? {
+        return Err(WireError::Closed);
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let op = header[6];
+    let flags = header[7];
+    let req_id = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let len = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
+    if len > max_payload {
+        return Err(WireError::FrameTooLarge {
+            len: len as u64,
+            max: max_payload as u64,
+        });
+    }
+    let mut payload: Vec<u8> = Vec::new();
+    while payload.len() < len {
+        let step = (len - payload.len()).min(READ_SLAB_BYTES);
+        let old = payload.len();
+        payload.try_reserve(step).map_err(|_| WireError::Alloc)?;
+        payload.resize(old + step, 0);
+        if !read_full(r, &mut payload[old..])? {
+            return Err(WireError::Truncated);
+        }
+    }
+    let mut sum = [0u8; 8];
+    if !read_full(r, &mut sum)? {
+        return Err(WireError::Truncated);
+    }
+    let expected = u64::from_le_bytes(sum);
+    let actual = fnv1a(&payload);
+    if expected != actual {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    Ok(Frame {
+        op,
+        flags,
+        req_id,
+        payload,
+    })
+}
+
+/// Writes one frame (header, payload, trailing checksum).
+pub fn write_frame(
+    w: &mut impl Write,
+    op: u8,
+    flags: u8,
+    req_id: u64,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    header[0..4].copy_from_slice(&WIRE_MAGIC.to_le_bytes());
+    header[4..6].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    header[6] = op;
+    header[7] = flags;
+    header[8..16].copy_from_slice(&req_id.to_le_bytes());
+    header[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------
+// Payload codec helpers.
+// ---------------------------------------------------------------------
+
+/// Bounded little-endian reader over a payload.
+pub(crate) struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::BadPayload("payload truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// All bytes not yet consumed (the "rest of payload" field).
+    pub(crate) fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| WireError::BadPayload("string not UTF-8"))
+    }
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+pub(crate) fn put_dims(out: &mut Vec<u8>, dims: Dims) {
+    let (rank, d): (u8, [u64; 3]) = match dims {
+        Dims::D1(n) => (1, [n as u64, 0, 0]),
+        Dims::D2 { ny, nx } => (2, [ny as u64, nx as u64, 0]),
+        Dims::D3 { nz, ny, nx } => (3, [nz as u64, ny as u64, nx as u64]),
+    };
+    out.push(rank);
+    for x in &d[..rank as usize] {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+pub(crate) fn read_dims(c: &mut Cur<'_>) -> Result<Dims, WireError> {
+    // Axes are capped at u32 range and the element product at u48 so a
+    // hostile request can neither overflow `usize` math nor demand an
+    // absurd output allocation sight unseen.
+    let rank = c.u8()?;
+    let mut axes = [0usize; 3];
+    for a in axes.iter_mut().take(rank as usize) {
+        let v = c.u64()?;
+        if v > u32::MAX as u64 {
+            return Err(WireError::BadPayload("dimension axis too large"));
+        }
+        *a = v as usize;
+    }
+    let dims = match rank {
+        1 => Dims::D1(axes[0]),
+        2 => Dims::D2 {
+            ny: axes[0],
+            nx: axes[1],
+        },
+        3 => Dims::D3 {
+            nz: axes[0],
+            ny: axes[1],
+            nx: axes[2],
+        },
+        _ => return Err(WireError::BadPayload("dims rank must be 1-3")),
+    };
+    let product: u128 = axes[..rank as usize].iter().map(|&a| a as u128).product();
+    if product > 1 << 48 {
+        return Err(WireError::BadPayload("field too large"));
+    }
+    Ok(dims)
+}
+
+pub(crate) fn dtype_tag(d: Dtype) -> u8 {
+    match d {
+        Dtype::F32 => 1,
+        Dtype::F64 => 2,
+    }
+}
+
+pub(crate) fn dtype_from_tag(v: u8) -> Result<Dtype, WireError> {
+    match v {
+        1 => Ok(Dtype::F32),
+        2 => Ok(Dtype::F64),
+        _ => Err(WireError::BadPayload("bad dtype tag")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed error responses.
+// ---------------------------------------------------------------------
+
+/// Typed failure classes a server can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame failed structural validation (magic, checksum, length).
+    MalformedFrame = 1,
+    /// Protocol version mismatch.
+    UnsupportedVersion = 2,
+    /// The op tag names no operation this server knows.
+    UnknownOp = 3,
+    /// The request queue is full; retry later (backpressure).
+    Busy = 4,
+    /// The frame was sound but the request payload was not.
+    BadRequest = 5,
+    /// The compression pipeline rejected the request (CuszpError text).
+    Pipeline = 6,
+    /// The server is draining for shutdown.
+    ShuttingDown = 7,
+    /// Declared payload exceeds the server's frame cap.
+    FrameTooLarge = 8,
+}
+
+impl ErrorCode {
+    /// Parses the wire tag.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        [
+            ErrorCode::MalformedFrame,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::UnknownOp,
+            ErrorCode::Busy,
+            ErrorCode::BadRequest,
+            ErrorCode::Pipeline,
+            ErrorCode::ShuttingDown,
+            ErrorCode::FrameTooLarge,
+        ]
+        .into_iter()
+        .find(|c| *c as u16 == v)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorCode::MalformedFrame => "malformed frame",
+            ErrorCode::UnsupportedVersion => "unsupported version",
+            ErrorCode::UnknownOp => "unknown op",
+            ErrorCode::Busy => "busy",
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::Pipeline => "pipeline error",
+            ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::FrameTooLarge => "frame too large",
+        }
+    }
+}
+
+/// The payload of an error-response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorResponse {
+    /// Typed failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorResponse {
+    /// Builds a typed error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + 2 + self.message.len());
+        out.extend_from_slice(&(self.code as u16).to_le_bytes());
+        put_str(&mut out, &self.message);
+        out
+    }
+
+    /// Parses from an error-response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let code =
+            ErrorCode::from_u16(c.u16()?).ok_or(WireError::BadPayload("unknown error code"))?;
+        let message = c.str()?;
+        Ok(Self { code, message })
+    }
+}
+
+impl std::fmt::Display for ErrorResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.name(), self.message)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request/response payloads.
+// ---------------------------------------------------------------------
+
+/// A compress request: pipeline parameters plus the raw field bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressRequest<'a> {
+    /// Field dimensions (fastest axis last).
+    pub dims: Dims,
+    /// Element type of `data`.
+    pub dtype: Dtype,
+    /// Error bound specification.
+    pub error_bound: ErrorBound,
+    /// Coding workflow (auto or forced).
+    pub workflow: WorkflowMode,
+    /// Prediction scheme.
+    pub predictor: Predictor,
+    /// Elements per chunk for the CSZ2 plan; 0 = server default.
+    pub chunk_target: u64,
+    /// Optional Reed–Solomon parity configuration.
+    pub parity: Option<ParityConfig>,
+    /// Raw little-endian scalars, `dims.len() * dtype.bytes()` bytes.
+    pub data: &'a [u8],
+}
+
+impl<'a> CompressRequest<'a> {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.data.len());
+        put_dims(&mut out, self.dims);
+        out.push(dtype_tag(self.dtype));
+        match self.error_bound {
+            ErrorBound::Absolute(eb) => {
+                out.push(0);
+                out.extend_from_slice(&eb.to_le_bytes());
+            }
+            ErrorBound::Relative(eb) => {
+                out.push(1);
+                out.extend_from_slice(&eb.to_le_bytes());
+            }
+        }
+        out.push(match self.workflow {
+            WorkflowMode::Auto => 0,
+            WorkflowMode::Force(WorkflowChoice::Huffman) => 1,
+            WorkflowMode::Force(WorkflowChoice::Rle) => 2,
+            WorkflowMode::Force(WorkflowChoice::RleVle) => 3,
+        });
+        out.push(match self.predictor {
+            Predictor::Lorenzo => 0,
+            Predictor::Interpolation => 1,
+        });
+        out.extend_from_slice(&self.chunk_target.to_le_bytes());
+        let (k, m) = self
+            .parity
+            .map_or((0, 0), |p| (p.data_shards, p.parity_shards));
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&m.to_le_bytes());
+        out.extend_from_slice(self.data);
+        out
+    }
+
+    /// Parses and validates a compress payload. The data length must
+    /// match the declared geometry exactly.
+    pub fn decode(payload: &'a [u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let dims = read_dims(&mut c)?;
+        let dtype = dtype_from_tag(c.u8()?)?;
+        let eb_mode = c.u8()?;
+        let eb = c.f64()?;
+        if !eb.is_finite() {
+            return Err(WireError::BadPayload("error bound not finite"));
+        }
+        let error_bound = match eb_mode {
+            0 => ErrorBound::Absolute(eb),
+            1 => ErrorBound::Relative(eb),
+            _ => return Err(WireError::BadPayload("bad error-bound mode")),
+        };
+        let workflow = match c.u8()? {
+            0 => WorkflowMode::Auto,
+            1 => WorkflowMode::Force(WorkflowChoice::Huffman),
+            2 => WorkflowMode::Force(WorkflowChoice::Rle),
+            3 => WorkflowMode::Force(WorkflowChoice::RleVle),
+            _ => return Err(WireError::BadPayload("bad workflow tag")),
+        };
+        let predictor = match c.u8()? {
+            0 => Predictor::Lorenzo,
+            1 => Predictor::Interpolation,
+            _ => return Err(WireError::BadPayload("bad predictor tag")),
+        };
+        let chunk_target = c.u64()?;
+        let k = c.u16()?;
+        let m = c.u16()?;
+        let parity = match (k, m) {
+            (0, 0) => None,
+            (k, m) if k > 0 && m > 0 => Some(ParityConfig {
+                data_shards: k,
+                parity_shards: m,
+            }),
+            _ => return Err(WireError::BadPayload("bad parity config")),
+        };
+        let data = c.rest();
+        let expected = dims
+            .len()
+            .checked_mul(dtype.bytes())
+            .ok_or(WireError::BadPayload("field too large"))?;
+        if data.len() != expected {
+            return Err(WireError::BadPayload("data length does not match dims"));
+        }
+        Ok(Self {
+            dims,
+            dtype,
+            error_bound,
+            workflow,
+            predictor,
+            chunk_target,
+            parity,
+            data,
+        })
+    }
+}
+
+/// How a decompress request wants damage handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressMode {
+    /// All-or-nothing: any damage fails the request.
+    Strict,
+    /// Fault-isolated recovery with the given fill policy; the response
+    /// carries per-chunk reports.
+    Recover(cuszp_core::FillPolicy),
+}
+
+/// A decompress request: mode plus the archive bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompressRequest<'a> {
+    /// Damage handling.
+    pub mode: DecompressMode,
+    /// The serialized archive (v1 or CSZ2).
+    pub archive: &'a [u8],
+}
+
+impl<'a> DecompressRequest<'a> {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.archive.len());
+        out.push(match self.mode {
+            DecompressMode::Strict => 0,
+            DecompressMode::Recover(cuszp_core::FillPolicy::Nan) => 1,
+            DecompressMode::Recover(cuszp_core::FillPolicy::Zero) => 2,
+        });
+        out.extend_from_slice(self.archive);
+        out
+    }
+
+    /// Parses a decompress payload.
+    pub fn decode(payload: &'a [u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let mode = match c.u8()? {
+            0 => DecompressMode::Strict,
+            1 => DecompressMode::Recover(cuszp_core::FillPolicy::Nan),
+            2 => DecompressMode::Recover(cuszp_core::FillPolicy::Zero),
+            _ => return Err(WireError::BadPayload("bad decompress mode")),
+        };
+        Ok(Self {
+            mode,
+            archive: c.rest(),
+        })
+    }
+}
+
+/// A decompress response: geometry, optional recovery report, raw data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompressResponse {
+    /// Element type of `data`.
+    pub dtype: Dtype,
+    /// Field dimensions.
+    pub dims: Dims,
+    /// Per-chunk recovery report (recover mode only).
+    pub report: Option<cuszp_core::PortableScanReport>,
+    /// Raw little-endian scalars.
+    pub data: Vec<u8>,
+}
+
+impl DecompressResponse {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let report = self
+            .report
+            .as_ref()
+            .map(cuszp_core::PortableScanReport::to_bytes)
+            .unwrap_or_default();
+        let mut out = Vec::with_capacity(32 + report.len() + self.data.len());
+        out.push(dtype_tag(self.dtype));
+        put_dims(&mut out, self.dims);
+        out.extend_from_slice(&(report.len() as u32).to_le_bytes());
+        out.extend_from_slice(&report);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses a decompress response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let dtype = dtype_from_tag(c.u8()?)?;
+        let dims = read_dims(&mut c)?;
+        let report_len = c.u32()? as usize;
+        if report_len > c.remaining() {
+            return Err(WireError::BadPayload("report length exceeds payload"));
+        }
+        let report = if report_len == 0 {
+            None
+        } else {
+            Some(
+                cuszp_core::PortableScanReport::from_bytes(c.take(report_len)?)
+                    .map_err(|_| WireError::BadPayload("malformed recovery report"))?,
+            )
+        };
+        let data = c.rest().to_vec();
+        if data.len() != dims.len() * dtype.bytes() {
+            return Err(WireError::BadPayload("data length does not match dims"));
+        }
+        Ok(Self {
+            dtype,
+            dims,
+            report,
+            data,
+        })
+    }
+}
+
+/// An archive description, as returned by the `info` op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteInfo {
+    /// Container format ("v1" or "csz2").
+    pub format: String,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Field dimensions.
+    pub dims: Dims,
+    /// Absolute error bound stored in the archive.
+    pub eb: f64,
+    /// Chunk count (1 for v1).
+    pub n_chunks: u64,
+    /// Parity configuration `(data_shards, parity_shards)`, if any.
+    pub parity: Option<(u16, u16)>,
+    /// Serialized archive size in bytes.
+    pub stored_bytes: u64,
+}
+
+impl RemoteInfo {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        put_str(&mut out, &self.format);
+        out.push(dtype_tag(self.dtype));
+        put_dims(&mut out, self.dims);
+        out.extend_from_slice(&self.eb.to_le_bytes());
+        out.extend_from_slice(&self.n_chunks.to_le_bytes());
+        let (k, m) = self.parity.unwrap_or((0, 0));
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&m.to_le_bytes());
+        out.extend_from_slice(&self.stored_bytes.to_le_bytes());
+        out
+    }
+
+    /// Parses an info response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let format = c.str()?;
+        let dtype = dtype_from_tag(c.u8()?)?;
+        let dims = read_dims(&mut c)?;
+        let eb = c.f64()?;
+        let n_chunks = c.u64()?;
+        let k = c.u16()?;
+        let m = c.u16()?;
+        let parity = if k == 0 && m == 0 { None } else { Some((k, m)) };
+        let stored_bytes = c.u64()?;
+        Ok(Self {
+            format,
+            dtype,
+            dims,
+            eb,
+            n_chunks,
+            parity,
+            stored_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Op::Compress as u8, FLAG_RESPONSE, 42, b"hello").unwrap();
+        let frame = read_frame(&mut buf.as_slice(), MAX_FRAME_PAYLOAD).unwrap();
+        assert_eq!(frame.op, Op::Compress as u8);
+        assert!(frame.is_response() && !frame.is_error());
+        assert_eq!(frame.req_id, 42);
+        assert_eq!(frame.payload, b"hello");
+    }
+
+    #[test]
+    fn empty_stream_reads_as_clean_close() {
+        assert_eq!(
+            read_frame(&mut (&[] as &[u8]), MAX_FRAME_PAYLOAD),
+            Err(WireError::Closed)
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, 0, 7, b"payload bytes").unwrap();
+        for cut in 1..buf.len() {
+            let e = read_frame(&mut (&buf[..cut]), MAX_FRAME_PAYLOAD).unwrap_err();
+            assert_eq!(e, WireError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_oversize_are_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, 0, 7, b"x").unwrap();
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice(), MAX_FRAME_PAYLOAD),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut bad = buf.clone();
+        bad[4] = 0x7F;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice(), MAX_FRAME_PAYLOAD),
+            Err(WireError::UnsupportedVersion(_))
+        ));
+        // A frame cap below the declared length rejects before reading.
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 0),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_flips_fail_the_frame_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, 0, 9, b"sensitive payload").unwrap();
+        buf[FRAME_HEADER_BYTES + 3] ^= 0x10;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), MAX_FRAME_PAYLOAD),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inflated_length_reports_truncation_not_oom() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, 0, 1, b"abc").unwrap();
+        // Inflate the declared length far past the actual bytes; the
+        // reader must hit EOF, not allocate 512 MiB up front.
+        buf[16..20].copy_from_slice(&(512u32 << 20).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut buf.as_slice(), MAX_FRAME_PAYLOAD),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn compress_request_roundtrip() {
+        let data: Vec<u8> = (0..4096u32 * 4).map(|i| i as u8).collect();
+        let req = CompressRequest {
+            dims: Dims::D2 { ny: 64, nx: 64 },
+            dtype: Dtype::F32,
+            error_bound: ErrorBound::Relative(1e-3),
+            workflow: WorkflowMode::Force(WorkflowChoice::Rle),
+            predictor: Predictor::Lorenzo,
+            chunk_target: 1 << 16,
+            parity: Some(ParityConfig {
+                data_shards: 8,
+                parity_shards: 2,
+            }),
+            data: &data,
+        };
+        let bytes = req.encode();
+        let back = CompressRequest::decode(&bytes).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn compress_request_rejects_geometry_lies() {
+        let data = vec![0u8; 16];
+        let req = CompressRequest {
+            dims: Dims::D1(4),
+            dtype: Dtype::F32,
+            error_bound: ErrorBound::Absolute(1e-3),
+            workflow: WorkflowMode::Auto,
+            predictor: Predictor::Lorenzo,
+            chunk_target: 0,
+            parity: None,
+            data: &data,
+        };
+        let mut bytes = req.encode();
+        bytes.truncate(bytes.len() - 4); // data no longer matches dims
+        assert!(CompressRequest::decode(&bytes).is_err());
+        // Axis beyond u32: rejected before any multiplication.
+        let mut huge = req.encode();
+        huge[1..9].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(CompressRequest::decode(&huge).is_err());
+    }
+
+    #[test]
+    fn decompress_and_info_roundtrip() {
+        let req = DecompressRequest {
+            mode: DecompressMode::Recover(cuszp_core::FillPolicy::Zero),
+            archive: b"not really an archive",
+        };
+        assert_eq!(DecompressRequest::decode(&req.encode()).unwrap(), req);
+
+        let resp = DecompressResponse {
+            dtype: Dtype::F64,
+            dims: Dims::D1(3),
+            report: None,
+            data: vec![0u8; 24],
+        };
+        assert_eq!(DecompressResponse::decode(&resp.encode()).unwrap(), resp);
+
+        let info = RemoteInfo {
+            format: "csz2".to_string(),
+            dtype: Dtype::F32,
+            dims: Dims::D3 {
+                nz: 2,
+                ny: 3,
+                nx: 4,
+            },
+            eb: 1e-4,
+            n_chunks: 2,
+            parity: Some((8, 2)),
+            stored_bytes: 12345,
+        };
+        assert_eq!(RemoteInfo::decode(&info.encode()).unwrap(), info);
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let e = ErrorResponse::new(ErrorCode::Busy, "queue full (16 waiting)");
+        assert_eq!(ErrorResponse::decode(&e.encode()).unwrap(), e);
+        assert!(e.to_string().contains("busy"));
+    }
+}

@@ -25,4 +25,7 @@ scripts/corruption_campaign.sh
 echo "==> golden compatibility (parity-less bytes pinned, parity strictly additive)"
 cargo test -q -p cuszp-core --test golden
 
+echo "==> server smoke (ephemeral port, remote round trip, graceful shutdown)"
+scripts/server_smoke.sh
+
 echo "CI green."

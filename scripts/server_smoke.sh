@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Server smoke test: boot `cuszp serve` on an ephemeral port, drive a
+# remote compress -> decompress -> scan round trip plus stats, then
+# shut down gracefully and require a clean exit. Designed to stay fast
+# on a 1-CPU container (tiny field, release binary reused from the CI
+# build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CUSZP=target/release/cuszp
+if [[ ! -x "$CUSZP" ]]; then
+    echo "==> building release cuszp binary"
+    cargo build --release --bin cuszp
+fi
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> generating a small field"
+"$CUSZP" gen -o "$WORK/field.f32" --dataset cesm --field FSDSC --scale tiny 2> "$WORK/gen.log"
+DIMS=$(sed -n 's/.*-d \([0-9x]*\)$/\1/p' "$WORK/gen.log")
+[[ -n "$DIMS" ]] || { echo "FAIL: could not discover field dims"; cat "$WORK/gen.log"; exit 1; }
+
+echo "==> booting cuszp serve on an ephemeral port"
+"$CUSZP" serve -a 127.0.0.1:0 --workers 2 > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^cuszp-server listening on //p' "$WORK/serve.out")
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died at boot"; cat "$WORK/serve.err"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "FAIL: server never reported its address"; exit 1; }
+echo "    server at $ADDR (pid $SERVER_PID)"
+
+echo "==> remote ping"
+"$CUSZP" remote ping -s "$ADDR" > /dev/null
+
+echo "==> remote compress ($DIMS, parity 2/8)"
+"$CUSZP" remote compress -s "$ADDR" -i "$WORK/field.f32" -o "$WORK/field.csz" \
+    -d "$DIMS" -e 1e-3 --parity 2/8 2> /dev/null
+
+echo "==> served bytes match the local chunked compressor"
+"$CUSZP" compress -i "$WORK/field.f32" -o "$WORK/local.csz" -d "$DIMS" -e 1e-3 \
+    --threads 2 --parity 2/8 2> /dev/null
+cmp "$WORK/field.csz" "$WORK/local.csz" \
+    || { echo "FAIL: served archive differs from local bytes"; exit 1; }
+
+echo "==> remote decompress + local verification"
+"$CUSZP" remote decompress "$WORK/field.csz" -s "$ADDR" -o "$WORK/recon.f32" 2> /dev/null
+"$CUSZP" decompress -i "$WORK/field.csz" -o /dev/null --verify "$WORK/field.f32" 2> /dev/null
+
+echo "==> remote scan (clean archive must exit 0)"
+"$CUSZP" remote scan "$WORK/field.csz" -s "$ADDR" --json > "$WORK/scan.json"
+grep -q '"exit_code":0' "$WORK/scan.json" || { echo "FAIL: scan not clean"; cat "$WORK/scan.json"; exit 1; }
+
+echo "==> remote stats shows the traffic"
+"$CUSZP" remote stats -s "$ADDR" > "$WORK/stats.out"
+grep -q '^compress ' "$WORK/stats.out" || { echo "FAIL: no compress stats"; cat "$WORK/stats.out"; exit 1; }
+grep -q '^decompress ' "$WORK/stats.out" || { echo "FAIL: no decompress stats"; cat "$WORK/stats.out"; exit 1; }
+
+echo "==> graceful shutdown exits 0"
+"$CUSZP" remote shutdown -s "$ADDR" > /dev/null
+SERVE_STATUS=0
+wait "$SERVER_PID" || SERVE_STATUS=$?
+SERVER_PID=""
+[[ "$SERVE_STATUS" -eq 0 ]] || { echo "FAIL: serve exited $SERVE_STATUS"; cat "$WORK/serve.err"; exit 1; }
+
+echo "server smoke green."

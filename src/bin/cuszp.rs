@@ -7,6 +7,8 @@
 //! cuszp info       -i field.csz
 //! cuszp analyze    -i field.f32 -d 1800x3600 [-e 1e-2] [-m rel]
 //! cuszp gen        -o field.f32 --dataset cesm --field FSDSC [--scale small]
+//! cuszp serve      [-a 127.0.0.1:7117] [--workers 2] [--queue 16]
+//! cuszp remote <compress|decompress|scan|info|stats|ping|shutdown> -s <addr> ...
 //! ```
 //!
 //! Input/output rasters are raw little-endian `f32` (or `f64` with
@@ -17,10 +19,11 @@ use cuszp::analysis::analyze;
 use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
 use cuszp::metrics::{verify_error_bound, verify_error_bound_f64};
 use cuszp::parallel::WorkerPool;
+use cuszp::server::{Client, CompressRequest, DecompressMode, Server, ServerConfig};
 use cuszp::{
-    Archive, ChunkStatus, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype, ErrorBound,
-    FillPolicy, ParityConfig, Predictor, RecoveredField, ScanReport, StripeStatus, WorkflowChoice,
-    WorkflowMode,
+    json_escape, Archive, ChunkStatus, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype,
+    ErrorBound, FillPolicy, ParityConfig, PortableScanReport, Predictor, RecoveredField,
+    ScanReport, WorkflowChoice, WorkflowMode,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -33,15 +36,30 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    // `fsck` takes its archive as a positional argument (`cuszp fsck
-    // field.csz`); normalize to `-i` so option parsing stays uniform.
-    let fsck_rest: Vec<String>;
-    let rest = if cmd == "fsck" && rest.first().is_some_and(|a| !a.starts_with('-')) {
-        fsck_rest = ["-i".to_string(), rest[0].clone()]
+    // `remote` takes a positional sub-operation (`cuszp remote scan ...`);
+    // split it off before option parsing.
+    let mut remote_op: Option<&str> = None;
+    let mut rest = rest;
+    if cmd == "remote" {
+        let Some((sub, sub_rest)) = rest.split_first() else {
+            eprintln!("error: remote needs an operation\n\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        remote_op = Some(sub.as_str());
+        rest = sub_rest;
+    }
+    // `fsck` (and `remote scan`/`remote info`) take their archive as a
+    // positional argument; normalize to `-i` so option parsing stays
+    // uniform.
+    let takes_positional_archive =
+        cmd == "fsck" || matches!(remote_op, Some("scan" | "info" | "decompress"));
+    let norm_rest: Vec<String>;
+    let rest = if takes_positional_archive && rest.first().is_some_and(|a| !a.starts_with('-')) {
+        norm_rest = ["-i".to_string(), rest[0].clone()]
             .into_iter()
             .chain(rest[1..].iter().cloned())
             .collect();
-        &fsck_rest[..]
+        &norm_rest[..]
     } else {
         rest
     };
@@ -61,6 +79,9 @@ fn main() -> ExitCode {
         "fsck" => cmd_fsck(&opts),
         "analyze" => cmd_analyze(&opts).map(|()| ExitCode::SUCCESS),
         "gen" => cmd_gen(&opts).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(&opts).map(|()| ExitCode::SUCCESS),
+        // `remote scan` mirrors fsck's exit-code contract.
+        "remote" => cmd_remote(remote_op.unwrap(), &opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -89,6 +110,14 @@ USAGE:
   cuszp fsck       <archive> [--repair] [--json]
   cuszp analyze    -i <raw> -d <dims> [-e <bound>] [-m abs|rel] [--double]
   cuszp gen        -o <raw> --dataset <name> --field <name> [--scale tiny|small]
+  cuszp serve      [-a <addr>] [--workers <n>] [--queue <n>]
+  cuszp remote compress   -s <addr> -i <raw> -o <archive> -d <dims> [-e] [-m]
+                          [-w] [-p] [--double] [--parity <m/k>] [--chunk <elems>]
+  cuszp remote decompress <archive> -o <raw> [-s <addr>]
+                          [--recover [--fill nan|zero]]
+  cuszp remote scan       <archive> [-s <addr>] [--json]
+  cuszp remote info       <archive> [-s <addr>]
+  cuszp remote stats|ping|shutdown -s <addr>
 
 OPTIONS:
   -d  dimensions, fastest axis last: '268435456', '1800x3600', '512x512x512'
@@ -114,7 +143,16 @@ OPTIONS:
 shards from parity when possible), prints a per-chunk report (--json for a
 machine-readable one), and exits 0 when clean, 1 when damage exists but
 parity covers all of it (with --repair: heals the file in place, atomically),
-and 2 on data loss.";
+and 2 on data loss.
+
+`serve` runs the compression service (CSRP framed protocol over TCP; -a
+defaults to 127.0.0.1:7117, port 0 picks an ephemeral port). Each worker owns
+a reusable pipeline engine; a full queue answers clients with a typed `busy`
+error. `remote <op>` talks to a server (-s defaults to 127.0.0.1:7117):
+compression runs server-side through the same chunked pipeline, so the
+archive bytes match a local `cuszp compress --threads` exactly. `remote scan`
+mirrors fsck's report and exit codes; `remote stats` prints live service
+metrics (per-op counts, bytes, latency percentiles).";
 
 struct Opts(HashMap<String, String>);
 
@@ -576,115 +614,16 @@ fn write_atomic(path: &str, bytes: &[u8]) -> Result<(), String> {
     })
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn json_usize_list(v: &[usize]) -> String {
-    let items: Vec<String> = v.iter().map(usize::to_string).collect();
-    format!("[{}]", items.join(","))
-}
-
-fn json_dims(d: Dims) -> String {
-    match d {
-        Dims::D1(n) => format!("[{n}]"),
-        Dims::D2 { ny, nx } => format!("[{ny},{nx}]"),
-        Dims::D3 { nz, ny, nx } => format!("[{nz},{ny},{nx}]"),
-    }
-}
-
-/// One chunk as a JSON object. Field names are a stable interface:
-/// index, status ("ok" / "repaired" / "checksum" / "truncated" /
-/// "malformed"), byte_start/byte_end (null when unlocatable),
-/// elem_start/elem_end, repaired_shards.
-fn json_chunk(r: &cuszp::ChunkReport) -> String {
-    let (bs, be) = match &r.byte_range {
-        Some(br) => (br.start.to_string(), br.end.to_string()),
-        None => ("null".to_string(), "null".to_string()),
-    };
-    let shards = match &r.status {
-        ChunkStatus::Repaired { shards } => json_usize_list(shards),
-        _ => "[]".to_string(),
-    };
-    format!(
-        "{{\"index\":{},\"status\":\"{}\",\"byte_start\":{bs},\"byte_end\":{be},\"elem_start\":{},\"elem_end\":{},\"repaired_shards\":{shards}}}",
-        r.index,
-        r.status.label(),
-        r.elem_range.start,
-        r.elem_range.end
-    )
-}
-
-/// One parity stripe as a JSON object: index plus status "intact" /
-/// "repaired" (data = healed global shard indices, parity = damaged
-/// stripe-local parity indices) / "unrepairable" (damaged_data,
-/// intact_parity).
-fn json_stripe(i: usize, s: &StripeStatus) -> String {
-    match s {
-        StripeStatus::Intact => format!("{{\"index\":{i},\"status\":\"intact\"}}"),
-        StripeStatus::Repaired { data, parity } => format!(
-            "{{\"index\":{i},\"status\":\"repaired\",\"data\":{},\"parity\":{}}}",
-            json_usize_list(data),
-            json_usize_list(parity)
-        ),
-        StripeStatus::Unrepairable {
-            damaged_data,
-            intact_parity,
-        } => format!(
-            "{{\"index\":{i},\"status\":\"unrepairable\",\"damaged_data\":{},\"intact_parity\":{intact_parity}}}",
-            json_usize_list(damaged_data)
-        ),
-    }
-}
-
-/// The whole fsck report as one JSON object (stable field names; see
-/// [`json_chunk`] / [`json_stripe`] for the nested shapes).
-/// `repaired_file` is null without `--repair`, else whether the archive
-/// was rewritten.
+/// The whole fsck report as one JSON object. The report body renders
+/// through [`PortableScanReport::to_json_fields`] — the same code path
+/// as `remote scan --json` and the wire form, so the formats cannot
+/// drift. `repaired_file` is null without `--repair`, else whether the
+/// archive was rewritten.
 fn fsck_json(input: &str, report: &ScanReport, code: u8, repaired_file: Option<bool>) -> String {
-    let chunks: Vec<String> = report.reports.iter().map(json_chunk).collect();
-    let parity = match &report.parity {
-        Some(p) => {
-            let stripes: Vec<String> = p
-                .stripes
-                .iter()
-                .enumerate()
-                .map(|(i, s)| json_stripe(i, s))
-                .collect();
-            format!(
-                "{{\"data_shards\":{},\"parity_shards\":{},\"shard_size\":{},\"n_stripes\":{},\"stripes\":[{}]}}",
-                p.data_shards,
-                p.parity_shards,
-                p.shard_size,
-                p.n_stripes,
-                stripes.join(",")
-            )
-        }
-        None => "null".to_string(),
-    };
     format!(
-        "{{\"archive\":\"{}\",\"format\":\"{}\",\"dims\":{},\"dtype\":{},\"declared_chunks\":{},\"chunks\":[{}],\"parity\":{},\"repaired_file\":{},\"exit_code\":{}}}",
+        "{{\"archive\":\"{}\",{},\"repaired_file\":{},\"exit_code\":{}}}",
         json_escape(input),
-        report.format,
-        report.dims.map_or("null".to_string(), json_dims),
-        report
-            .dtype
-            .map_or("null".to_string(), |t| format!("\"{}\"", t.name())),
-        report.declared_chunks,
-        chunks.join(","),
-        parity,
+        PortableScanReport::from(report).to_json_fields(),
         repaired_file.map_or("null".to_string(), |b| b.to_string()),
         code
     )
@@ -859,4 +798,282 @@ fn dims_spec(dims: Dims) -> String {
         Dims::D2 { ny, nx } => format!("{ny}x{nx}"),
         Dims::D3 { nz, ny, nx } => format!("{nz}x{ny}x{nx}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// The compression service: `serve` and `remote <op>`.
+// ---------------------------------------------------------------------
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7117";
+
+/// `serve`: run the compression service until a `remote shutdown` (or a
+/// signal kills the process). Prints the bound address on stdout first,
+/// so scripts binding port 0 can discover the ephemeral port.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let addr = opts
+        .get("a")
+        .or_else(|| opts.get("addr"))
+        .unwrap_or(DEFAULT_ADDR);
+    let mut config = ServerConfig::default();
+    if let Some(w) = opts.get("workers") {
+        config.workers = w.parse().map_err(|e| format!("bad --workers '{w}': {e}"))?;
+    }
+    if let Some(q) = opts.get("queue") {
+        config.queue_capacity = q.parse().map_err(|e| format!("bad --queue '{q}': {e}"))?;
+    }
+    let server = Server::bind(addr, config).map_err(|e| format!("{addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!("cuszp-server listening on {bound}");
+    eprintln!(
+        "  {} workers (one pipeline engine each), queue capacity {}; stop with: cuszp remote shutdown -s {bound}",
+        config.workers, config.queue_capacity
+    );
+    server.serve().map_err(|e| e.to_string())?;
+    eprintln!("cuszp-server: drained, bye");
+    Ok(())
+}
+
+fn remote_client(opts: &Opts) -> Result<Client, String> {
+    let addr = opts
+        .get("s")
+        .or_else(|| opts.get("server"))
+        .unwrap_or(DEFAULT_ADDR);
+    Client::connect(addr).map_err(|e| format!("{addr}: {e}"))
+}
+
+fn cmd_remote(sub: &str, opts: &Opts) -> Result<ExitCode, String> {
+    match sub {
+        "compress" => remote_compress(opts).map(|()| ExitCode::SUCCESS),
+        "decompress" => remote_decompress(opts).map(|()| ExitCode::SUCCESS),
+        "scan" => remote_scan(opts),
+        "info" => remote_info(opts).map(|()| ExitCode::SUCCESS),
+        "stats" => remote_stats(opts).map(|()| ExitCode::SUCCESS),
+        "ping" => {
+            let mut client = remote_client(opts)?;
+            let t0 = std::time::Instant::now();
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong ({:.1} ms)", t0.elapsed().as_secs_f64() * 1e3);
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            let mut client = remote_client(opts)?;
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server acknowledged shutdown; draining");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown remote operation '{other}' (compress decompress scan info stats ping shutdown)"
+        )),
+    }
+}
+
+/// `remote compress`: ship the raw field; the server compresses through
+/// its per-worker engine with the same chunked plan as a local
+/// `compress --threads`, so the returned archive bytes are identical.
+fn remote_compress(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let output = opts.require("o")?;
+    let dims = parse_dims(opts.require("d")?)?;
+    let config = parse_config(opts)?;
+    let dtype = if opts.has_flag("double") {
+        Dtype::F64
+    } else {
+        Dtype::F32
+    };
+    let parity = opts
+        .get("parity")
+        .map(ParityConfig::parse)
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let chunk_target: u64 = opts
+        .get("chunk")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --chunk: {e}"))?
+        .unwrap_or(0);
+    let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    if data.len() != dims.len() * dtype.bytes() {
+        return Err(format!(
+            "{input} holds {} bytes, dims say {} x {} bytes",
+            data.len(),
+            dims.len(),
+            dtype.bytes()
+        ));
+    }
+    let req = CompressRequest {
+        dims,
+        dtype,
+        error_bound: config.error_bound,
+        workflow: config.workflow,
+        predictor: config.predictor,
+        chunk_target,
+        parity,
+        data: &data,
+    };
+    let mut client = remote_client(opts)?;
+    let t0 = std::time::Instant::now();
+    let archive = client.compress(&req).map_err(|e| e.to_string())?;
+    write_bytes(output, &archive)?;
+    eprintln!(
+        "remote: wrote {} bytes to {output} in {:.2}s (ratio {:.2}x)",
+        archive.len(),
+        t0.elapsed().as_secs_f64(),
+        data.len() as f64 / archive.len().max(1) as f64
+    );
+    Ok(())
+}
+
+/// `remote decompress`: ship the archive, write back the raw field. With
+/// `--recover` the server decompresses fault-isolated and returns the
+/// per-chunk report alongside the (filled) data.
+fn remote_decompress(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let output = opts.require("o")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let mode = if opts.has_flag("recover") {
+        let fill = FillPolicy::parse(opts.get("fill").unwrap_or("nan"))
+            .ok_or_else(|| format!("bad --fill '{}' (nan|zero)", opts.get("fill").unwrap_or("")))?;
+        DecompressMode::Recover(fill)
+    } else {
+        DecompressMode::Strict
+    };
+    let mut client = remote_client(opts)?;
+    let t0 = std::time::Instant::now();
+    let resp = client.decompress(&bytes, mode).map_err(|e| e.to_string())?;
+    write_bytes(output, &resp.data)?;
+    if let Some(report) = &resp.report {
+        for c in report.chunks.iter().filter(|c| !c.status.is_recovered()) {
+            eprintln!(
+                "  chunk {}: {} (elements {}..{})",
+                c.index, c.status, c.elem_range.start, c.elem_range.end
+            );
+        }
+        eprintln!(
+            "remote: recovered {}/{} chunks{}",
+            report.chunks.len() - report.n_damaged(),
+            report.chunks.len(),
+            if report.n_repaired() > 0 {
+                format!(" ({} healed from parity)", report.n_repaired())
+            } else {
+                String::new()
+            }
+        );
+    }
+    eprintln!(
+        "remote: wrote {} bytes ({}, {:?}) to {output} in {:.2}s",
+        resp.data.len(),
+        resp.dtype.name(),
+        resp.dims,
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `remote scan`: fsck over the wire, same report shape and exit codes.
+fn remote_scan(opts: &Opts) -> Result<ExitCode, String> {
+    let input = opts.require("i")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let mut client = remote_client(opts)?;
+    let report = client.scan(&bytes).map_err(|e| e.to_string())?;
+    let code = report.exit_code();
+    if opts.has_flag("json") {
+        println!(
+            "{{\"archive\":\"{}\",{},\"exit_code\":{}}}",
+            json_escape(input),
+            report.to_json_fields(),
+            code
+        );
+        return Ok(ExitCode::from(code));
+    }
+    println!("archive: {input} ({}, scanned remotely)", report.format);
+    if let Some(dims) = report.dims {
+        println!("  dims:   {dims:?} ({} elements)", dims.len());
+    }
+    if let Some(dtype) = report.dtype {
+        println!("  dtype:  {}", dtype.name());
+    }
+    println!("  chunks: {} declared", report.declared_chunks);
+    for c in &report.chunks {
+        let loc = match &c.byte_range {
+            Some(range) => format!("bytes {}..{}", range.start, range.end),
+            None => "unlocatable".to_string(),
+        };
+        println!(
+            "    [{}] {}  ({loc}, elements {}..{})",
+            c.index, c.status, c.elem_range.start, c.elem_range.end
+        );
+    }
+    match code {
+        2 => println!(
+            "  data loss: {} of {} chunk(s) unrecoverable",
+            report.n_damaged(),
+            report.chunks.len()
+        ),
+        1 => println!("  repairable: damage is covered by parity"),
+        _ => println!(
+            "  clean: all {} chunk(s) validated and decoded",
+            report.chunks.len()
+        ),
+    }
+    Ok(ExitCode::from(code))
+}
+
+fn remote_info(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let mut client = remote_client(opts)?;
+    let info = client.info(&bytes).map_err(|e| e.to_string())?;
+    println!("archive: {input} ({}, described remotely)", info.format);
+    println!("  dtype:        {}", info.dtype.name());
+    println!(
+        "  dims:         {:?} ({} elements)",
+        info.dims,
+        info.dims.len()
+    );
+    println!("  error bound:  {:.6e} (absolute)", info.eb);
+    println!("  chunks:       {}", info.n_chunks);
+    match info.parity {
+        Some((k, m)) => println!("  parity:       {m}/{k}"),
+        None => println!("  parity:       none"),
+    }
+    println!("  stored size:  {} bytes", info.stored_bytes);
+    Ok(())
+}
+
+/// `remote stats`: the server's live metrics — per-op request counts,
+/// error counts, bytes in/out, latency percentiles, plus the service
+/// gauges (busy rejections, malformed frames, connections).
+fn remote_stats(opts: &Opts) -> Result<(), String> {
+    let mut client = remote_client(opts)?;
+    let snap = client.stats().map_err(|e| e.to_string())?;
+    println!(
+        "{:<11} {:>9} {:>7} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "op", "requests", "errors", "bytes_in", "bytes_out", "p50_us", "p90_us", "p99_us", "max_us"
+    );
+    for o in &snap.ops {
+        if o.requests == 0 {
+            continue;
+        }
+        println!(
+            "{:<11} {:>9} {:>7} {:>12} {:>12} {:>9.0} {:>9.0} {:>9.0} {:>9}",
+            o.op.name(),
+            o.requests,
+            o.errors,
+            o.bytes_in,
+            o.bytes_out,
+            o.latency.p50_us,
+            o.latency.p90_us,
+            o.latency.p99_us,
+            o.latency.max_us
+        );
+    }
+    println!(
+        "total {} requests; {} busy rejections, {} malformed frames, {} connections ({} active)",
+        snap.total_requests(),
+        snap.rejected_busy,
+        snap.malformed_frames,
+        snap.connections_total,
+        snap.active_connections
+    );
+    Ok(())
 }

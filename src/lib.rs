@@ -20,6 +20,7 @@
 //! | [`datagen`] | `cuszp-datagen` | synthetic SDRBench-style datasets |
 //! | [`metrics`] | `cuszp-metrics` | PSNR/NRMSE, bound checks, throughput |
 //! | [`parallel`] | `cuszp-parallel` | the data-parallel executor |
+//! | [`server`] | `cuszp-server` | CSRP wire protocol, TCP service, client |
 //!
 //! ## Quickstart
 //!
@@ -53,16 +54,18 @@ pub use cuszp_metrics as metrics;
 pub use cuszp_parallel as parallel;
 pub use cuszp_predictor as predictor;
 pub use cuszp_rle as rle;
+pub use cuszp_server as server;
 pub use cuszp_zfp as zfp;
 
 // The everyday API, flattened.
 pub use cuszp_core::{
     decompress, decompress_archive, decompress_f64, decompress_f64_with_engine,
     decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
-    decompress_resilient_with, decompress_with_engine, is_chunked_archive, repair, repair_with,
-    scan, scan_with, Archive, ArchiveSection, ChunkReport, ChunkStatus, ChunkedArchive,
-    CompressionStats, Compressor, Config, CuszpError, Dims, Dtype, ErrorBound, FillPolicy,
-    ParityConfig, ParityReport, ParitySection, ParseFault, Predictor, ReconstructEngine,
-    RecoveredField, RepairOutcome, ScanReport, Snapshot, SnapshotEntry, StripeStatus,
-    WorkflowChoice, WorkflowMode,
+    decompress_resilient_with, decompress_with_engine, is_chunked_archive, json_escape, repair,
+    repair_with, scan, scan_with, Archive, ArchiveSection, ChunkReport, ChunkStatus,
+    ChunkedArchive, CompressionStats, Compressor, Config, CuszpError, Dims, Dtype, ErrorBound,
+    FillPolicy, ParityConfig, ParityReport, ParitySection, ParseFault, PortableChunkReport,
+    PortableChunkStatus, PortableParityReport, PortableScanReport, PortableStripeStatus, Predictor,
+    ReconstructEngine, RecoveredField, RepairOutcome, ScanReport, Snapshot, SnapshotEntry,
+    StripeStatus, WorkflowChoice, WorkflowMode,
 };
