@@ -1,0 +1,122 @@
+//! Cold vs. hot range-read latency through the serving tier.
+//!
+//! One loopback server per cache mode: "cold" runs with the slab cache
+//! disabled (`cache_bytes = 0`), so every `get_range` decodes its
+//! chunks; "hot" runs with the default budget and a warmed cache, so
+//! the same read is pure cache lookup + row gather. Before any timing,
+//! `cache_guard` asserts the contract the bench exists to pin: hot
+//! reads answer bit-identically to cold reads and measurably faster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuszp_core::{Compressor, Config, Dims, ErrorBound, RangeSpec};
+use cuszp_parallel::WorkerPool;
+use cuszp_server::{Client, DecompressMode, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const DIMS: Dims = Dims::D2 { ny: 64, nx: 32768 }; // 8 MiB of f32
+const CHUNK: usize = 8 * 32768; // -> 8 chunks of 8 slow-rows each
+
+fn make_field(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let s = (i as f32 * 7.3e-4).sin() * 12.0 + (i as f32 * 4.1e-5).cos() * 3.0;
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 52;
+            s + (h as f32 / 4096.0 - 0.5) * 0.02
+        })
+        .collect()
+}
+
+fn archive() -> Vec<u8> {
+    let data = make_field(DIMS.len());
+    Compressor::new(Config {
+        error_bound: ErrorBound::Absolute(1e-3),
+        ..Config::default()
+    })
+    .compress_chunked_with(&data, DIMS, CHUNK, &WorkerPool::new(2))
+    .expect("compress")
+    .to_bytes()
+}
+
+fn start_server(cache_bytes: usize) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache_bytes,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let join = std::thread::spawn(move || server.serve());
+    (addr, join)
+}
+
+fn stop_server(addr: SocketAddr, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client.shutdown_server().expect("shutdown ack");
+    join.join().expect("serve thread panicked").expect("serve");
+}
+
+fn read_range(client: &mut Client, bytes: &[u8], spec: &RangeSpec) -> Vec<u8> {
+    client
+        .get_range(bytes, spec, DecompressMode::Strict)
+        .expect("get_range")
+        .data
+}
+
+fn mean_latency(client: &mut Client, bytes: &[u8], spec: &RangeSpec, rounds: u32) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        read_range(client, bytes, spec);
+    }
+    t0.elapsed() / rounds
+}
+
+fn bench_range_cache(c: &mut Criterion) {
+    let bytes = archive();
+    // 3 chunks' worth of rows, partial columns: decode-bound when cold.
+    let spec = RangeSpec::new(vec![4..28, 1000..30000]);
+
+    let (cold_addr, cold_join) = start_server(0);
+    let (hot_addr, hot_join) = start_server(ServerConfig::default().cache_bytes);
+    let mut cold = Client::connect(cold_addr).expect("connect cold");
+    let mut hot = Client::connect(hot_addr).expect("connect hot");
+
+    // Contract guard: identical bytes, and the warm cache actually
+    // buys latency. Generous 10-round means keep the guard stable on
+    // noisy shared hardware.
+    let cold_bytes = read_range(&mut cold, &bytes, &spec);
+    let hot_bytes = read_range(&mut hot, &bytes, &spec); // warms the cache
+    assert_eq!(cold_bytes, hot_bytes, "cached reads must be bit-identical");
+    let cold_mean = mean_latency(&mut cold, &bytes, &spec, 10);
+    let hot_mean = mean_latency(&mut hot, &bytes, &spec, 10);
+    eprintln!(
+        "cache_guard: cold {:.2} ms/read, hot {:.2} ms/read ({:.1}x)",
+        cold_mean.as_secs_f64() * 1e3,
+        hot_mean.as_secs_f64() * 1e3,
+        cold_mean.as_secs_f64() / hot_mean.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        hot_mean < cold_mean,
+        "hot range reads ({hot_mean:?}) must beat cold ones ({cold_mean:?})"
+    );
+
+    let mut g = c.benchmark_group("range_cache");
+    g.sample_size(10);
+    g.bench_function("cold", |b| {
+        b.iter(|| read_range(&mut cold, &bytes, &spec));
+    });
+    g.bench_function("hot", |b| {
+        b.iter(|| read_range(&mut hot, &bytes, &spec));
+    });
+    g.finish();
+
+    drop(cold);
+    drop(hot);
+    stop_server(cold_addr, cold_join);
+    stop_server(hot_addr, hot_join);
+}
+
+criterion_group!(benches, bench_range_cache);
+criterion_main!(benches);

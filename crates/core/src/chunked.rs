@@ -402,7 +402,7 @@ impl ChunkedArchive {
     /// slow extents sum up) is what rejects a container whose chunks
     /// were reordered self-consistently — same-sum transpositions would
     /// otherwise reconstruct silently with slabs in the wrong places.
-    fn validate_chunk_geometry(&self) -> Result<(), CuszpError> {
+    pub(crate) fn validate_chunk_geometry(&self) -> Result<(), CuszpError> {
         let target = usize::try_from(self.chunk_target).unwrap_or(usize::MAX);
         let plan = plan_chunks(
             &[self.dims.slow_extent(), self.dims.elems_per_slow()],

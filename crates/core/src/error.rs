@@ -119,6 +119,15 @@ pub enum CuszpError {
         /// Dtype the caller asked for.
         requested: &'static str,
     },
+    /// A range request that does not describe a valid sub-volume of the
+    /// field it was applied to (wrong rank, inverted or empty axis,
+    /// out-of-bounds end).
+    InvalidRange {
+        /// Axis the violation was found on, slowest first (0-based).
+        axis: usize,
+        /// Why the spec was rejected.
+        reason: String,
+    },
 }
 
 impl CuszpError {
@@ -212,6 +221,9 @@ impl std::fmt::Display for CuszpError {
                     f,
                     "archive holds {stored} data but {requested} was requested"
                 )
+            }
+            CuszpError::InvalidRange { axis, reason } => {
+                write!(f, "invalid range on axis {axis}: {reason}")
             }
         }
     }

@@ -39,6 +39,7 @@ mod chunked;
 mod engine;
 mod error;
 mod parity;
+mod range;
 mod recovery;
 mod report;
 mod snapshot;
@@ -51,10 +52,15 @@ pub use chunked::{is_chunked_archive, ChunkedArchive};
 pub use engine::PipelineEngine;
 pub use error::{ArchiveSection, CuszpError, ParseFault};
 pub use parity::{ParityConfig, ParitySection};
+pub use range::{
+    decompress_range, decompress_range_f64, decompress_range_with_fetch, slice_field, RangeSpec,
+};
 pub use recovery::{
-    decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
-    decompress_resilient_with, repair, repair_with, scan, scan_with, ChunkReport, ChunkStatus,
-    FillPolicy, ParityReport, RecoveredField, RepairOutcome, ScanReport, StripeStatus,
+    decompress_range_resilient, decompress_range_resilient_f64,
+    decompress_range_resilient_f64_with, decompress_range_resilient_with, decompress_resilient,
+    decompress_resilient_f64, decompress_resilient_f64_with, decompress_resilient_with, repair,
+    repair_with, scan, scan_with, ChunkReport, ChunkStatus, FillPolicy, ParityReport,
+    RecoveredField, RepairOutcome, ScanReport, StripeStatus,
 };
 pub use report::{
     json_escape, PortableChunkReport, PortableChunkStatus, PortableParityReport,
@@ -66,7 +72,7 @@ pub use stream::StreamArchive;
 pub use workflow::{CodesPayload, WorkflowMode};
 
 pub use cuszp_analysis::{CompressibilityReport, WorkflowChoice};
-pub use cuszp_predictor::{Dims, ReconstructEngine};
+pub use cuszp_predictor::{Dims, ReconstructEngine, Scalar};
 
 /// Which prediction scheme drives quantization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -29,6 +29,7 @@ use crate::error::{ArchiveSection, CuszpError, ParseFault};
 use crate::parity::{
     parse_parity_layout, ParityConfig, ParitySection, PARITY_HEADER_BYTES, PARITY_MAGIC,
 };
+use crate::range::{chunk_span, gather_chunk, resolve, slice_field, RangeSpec};
 use crate::{is_chunked_archive, Archive, Dims, Dtype, ReconstructEngine};
 use cuszp_ecc::ReedSolomon;
 use cuszp_parallel::{plan_chunk_spec, plan_len, ChunkSpec, WorkerPool};
@@ -998,6 +999,190 @@ fn recover_v1<T: Scalar>(
             elem_range: 0..n,
         }],
         parity: None,
+    })
+}
+
+/// Resilient range read into `f32`: decodes only the chunks whose slabs
+/// intersect `spec`, fills the in-range rows of damaged slabs per
+/// `fill`, and reports one [`ChunkReport`] per **intersecting** chunk
+/// (global chunk indices and field-global element ranges). Out-of-range
+/// chunks are neither decoded nor reported, whatever their state.
+pub fn decompress_range_resilient(
+    bytes: &[u8],
+    spec: &RangeSpec,
+    fill: FillPolicy,
+) -> Result<RecoveredField<f32>, CuszpError> {
+    decompress_range_resilient_with(
+        bytes,
+        spec,
+        fill,
+        ReconstructEngine::FinePartialSum,
+        &WorkerPool::with_default_workers(),
+    )
+}
+
+/// [`decompress_range_resilient`] with explicit engine and pool.
+pub fn decompress_range_resilient_with(
+    bytes: &[u8],
+    spec: &RangeSpec,
+    fill: FillPolicy,
+    engine: ReconstructEngine,
+    pool: &WorkerPool,
+) -> Result<RecoveredField<f32>, CuszpError> {
+    decompress_range_resilient_impl::<f32>(bytes, spec, fill, engine, pool, Dtype::F32)
+}
+
+/// Resilient range read into `f64`.
+pub fn decompress_range_resilient_f64(
+    bytes: &[u8],
+    spec: &RangeSpec,
+    fill: FillPolicy,
+) -> Result<RecoveredField<f64>, CuszpError> {
+    decompress_range_resilient_f64_with(
+        bytes,
+        spec,
+        fill,
+        ReconstructEngine::FinePartialSum,
+        &WorkerPool::with_default_workers(),
+    )
+}
+
+/// [`decompress_range_resilient_f64`] with explicit engine and pool.
+pub fn decompress_range_resilient_f64_with(
+    bytes: &[u8],
+    spec: &RangeSpec,
+    fill: FillPolicy,
+    engine: ReconstructEngine,
+    pool: &WorkerPool,
+) -> Result<RecoveredField<f64>, CuszpError> {
+    decompress_range_resilient_impl::<f64>(bytes, spec, fill, engine, pool, Dtype::F64)
+}
+
+fn decompress_range_resilient_impl<T: Scalar>(
+    bytes: &[u8],
+    spec: &RangeSpec,
+    fill: FillPolicy,
+    engine: ReconstructEngine,
+    pool: &WorkerPool,
+    want: Dtype,
+) -> Result<RecoveredField<T>, CuszpError> {
+    if !is_chunked_archive(bytes) {
+        // v1 is one checksummed unit: recover it whole, slice after.
+        let rv = recover_v1::<T>(bytes, engine, want)?;
+        let (data, dims) = slice_field(&rv.data, rv.dims, spec)?;
+        let n = data.len();
+        return Ok(RecoveredField {
+            data,
+            dims,
+            reports: vec![ChunkReport {
+                index: 0,
+                status: ChunkStatus::Ok,
+                byte_range: Some(0..bytes.len()),
+                elem_range: 0..n,
+            }],
+            parity: None,
+        });
+    }
+    let hdr = parse_chunked_header(bytes)?;
+    if hdr.dtype != want {
+        return Err(CuszpError::DtypeMismatch {
+            stored: hdr.dtype.name(),
+            requested: want.name(),
+        });
+    }
+    // The spec is validated against the header's dims before anything is
+    // allocated or decoded: a bad spec is a typed `InvalidRange`, and a
+    // valid spec bounds the output by what the *caller* asked for — so
+    // unlike the whole-field path, a range read needs no "any chunk
+    // recoverable?" pre-pass to keep a corrupted header from driving a
+    // giant allocation. All-damaged-in-range therefore fills and reports
+    // instead of failing hard.
+    let r = resolve(spec, hdr.dims)?;
+    // Repair before fill, as in the whole-field path. Parity stripes span
+    // the whole chunk region, so healing is global; the range contract is
+    // about decoding and reporting, which stay confined below.
+    let (healed, parity, repaired) = pre_heal(bytes, &hdr);
+    let bytes = &healed[..];
+    let plan = plan_for(&hdr);
+    let n_geo = evaluable_chunks(plan.n, &hdr, bytes);
+    let span = chunk_span(&plan.extents, plan.target, &r.slow);
+    // Layouts are walked cumulatively from chunk 0, but only up to the
+    // last in-range chunk the buffer can frame; chunks past that report
+    // as truncated via the missing-layout fallback.
+    let layouts = layout_chunks(bytes, &hdr, span.end.min(n_geo));
+    let missing = ChunkLayout {
+        byte_range: None,
+        body: None,
+    };
+
+    let fill_value: T = fill.value();
+    let seps = r.sub_elems_per_slow();
+    let mut data: Vec<T> = Vec::new();
+    data.try_reserve_exact(r.len()).map_err(|_| {
+        CuszpError::malformed(
+            "range too large for memory",
+            ArchiveSection::ContainerHeader,
+            8,
+        )
+    })?;
+    data.resize(r.len(), fill_value);
+
+    // Carve the sub-volume into one contiguous segment per intersecting
+    // chunk (chunks tile the slow axis in order), then parse + decode +
+    // gather each in parallel. A slab that fails to parse or decode
+    // leaves its segment at the fill value.
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(span.len());
+    let mut rest: &mut [T] = &mut data;
+    for i in span.clone() {
+        let slab = plan.spec(i).slow;
+        let rows = slab.end.min(r.slow.end) - slab.start.max(r.slow.start);
+        let (head, tail) = rest.split_at_mut(rows * seps);
+        parts.push((i, head));
+        rest = tail;
+    }
+    let statuses = pool.run_parts_with_state(
+        parts,
+        || (PipelineEngine::new(), Vec::<T>::new()),
+        |_, (i, part), (eng, scratch)| {
+            let spec_i = plan.spec(i);
+            let slab_dims = hdr.dims.slab(spec_i.slow_len());
+            let layout = layouts.get(i).unwrap_or(&missing);
+            match parse_chunk(layout, i, slab_dims, hdr.dtype) {
+                Err(status) => status,
+                Ok(archive) => {
+                    let n = slab_dims.len();
+                    scratch.clear();
+                    scratch.resize(n, fill_value);
+                    match eng.decompress_into(&archive, engine, &mut scratch[..n]) {
+                        Ok(()) => {
+                            gather_chunk(&scratch[..n], &spec_i.slow, &r, part);
+                            ChunkStatus::Ok
+                        }
+                        Err(e) => {
+                            let base = layout.byte_range.as_ref().map_or(0, |r| r.start);
+                            status_from_error(e, i, base)
+                        }
+                    }
+                }
+            }
+        },
+    );
+    let mut reports: Vec<ChunkReport> = statuses
+        .into_iter()
+        .zip(span)
+        .map(|(status, i)| ChunkReport {
+            index: i,
+            status,
+            byte_range: layouts.get(i).and_then(|l| l.byte_range.clone()),
+            elem_range: plan.spec(i).elems,
+        })
+        .collect();
+    apply_repairs(&mut reports, &repaired);
+    Ok(RecoveredField {
+        data,
+        dims: r.sub_dims(hdr.dims),
+        reports,
+        parity,
     })
 }
 

@@ -530,6 +530,75 @@ pub fn parity_campaign(base: &[u8], seed: u64, n: usize) -> Vec<ParityCase> {
     cases
 }
 
+/// Generates `n` deterministic corruptions confined to the bodies of
+/// the given chunks of a CSZ2 container. Every byte outside
+/// `targets` — other chunks, the header, the length table, any parity
+/// section — is left bit-identical to `base`, which is what lets a
+/// range-read test assert that damage *outside* a requested range is
+/// invisible to it. The mix cycles single-bit flips, short flip bursts,
+/// and zeroed bytes (never truncation or structural surgery, which
+/// would move bytes that are out of scope).
+///
+/// Returns an empty vec when `base` is not a clean CSZ2 container, when
+/// `targets` is empty, names an out-of-range chunk, or only empty
+/// chunk bodies.
+pub fn targeted_campaign(base: &[u8], seed: u64, n: usize, targets: &[usize]) -> Vec<FaultCase> {
+    let Some(layout) = parse_csz2(base) else {
+        return Vec::new();
+    };
+    if targets.is_empty() || targets.iter().any(|&t| t >= layout.chunks.len()) {
+        return Vec::new();
+    }
+    let spans: Vec<Range<usize>> = targets
+        .iter()
+        .map(|&t| layout.chunks[t].clone())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = FaultRng::new(seed);
+    let mut cases = Vec::with_capacity(n);
+    for id in 0..n {
+        let span = spans[rng.below(spans.len())].clone();
+        let mut bytes = base.to_vec();
+        let mut description = match id % 3 {
+            0 => {
+                let off = span.start + rng.below(span.len());
+                let bit = (rng.next_u64() % 8) as u8;
+                bytes[off] ^= 1 << bit;
+                format!("flip bit {bit} of byte {off} (chunk span {span:?})")
+            }
+            1 => {
+                let start = span.start + rng.below(span.len());
+                for _ in 0..4 {
+                    let off = (start + rng.below(16)).min(span.end - 1);
+                    bytes[off] ^= 1 << (rng.next_u64() % 8);
+                }
+                format!("4-bit burst near byte {start} (chunk span {span:?})")
+            }
+            _ => {
+                let off = span.start + rng.below(span.len());
+                bytes[off] = 0;
+                format!("zero byte {off} (chunk span {span:?})")
+            }
+        };
+        // Paired flips (or zeroing an already-zero byte) can cancel out;
+        // force a mutation inside the span so no case is a no-op.
+        if bytes == base {
+            let off = span.start + id % span.len();
+            bytes[off] ^= 0x01;
+            description = format!("{description}; degenerate, flip bit 0 of byte {off}");
+        }
+        cases.push(FaultCase {
+            id,
+            description,
+            bytes,
+        });
+    }
+    cases
+}
+
 /// Generates `n` deterministic corruptions of `base`.
 ///
 /// The mix interleaves: truncation at/around every section boundary,
@@ -853,6 +922,44 @@ mod tests {
         // A different seed must differ somewhere.
         let d = campaign(&c, 1, 64);
         assert!(a.iter().zip(&d).any(|(x, y)| x.bytes != y.bytes));
+    }
+
+    #[test]
+    fn targeted_campaigns_stay_inside_their_chunks() {
+        let c = fake_container(&[0xAA; 40], &[0xBB; 40]);
+        let layout = parse_csz2(&c).unwrap();
+        let cases = targeted_campaign(&c, 13, 60, &[1]);
+        assert_eq!(cases.len(), 60);
+        let span = layout.chunks[1].clone();
+        for case in &cases {
+            assert_ne!(
+                case.bytes, c,
+                "case {} ({}) is a no-op",
+                case.id, case.description
+            );
+            assert_eq!(case.bytes.len(), c.len(), "targeted faults never resize");
+            assert_eq!(
+                &case.bytes[..span.start],
+                &c[..span.start],
+                "case {} leaked before the target chunk",
+                case.id
+            );
+            assert_eq!(
+                &case.bytes[span.end..],
+                &c[span.end..],
+                "case {} leaked after the target chunk",
+                case.id
+            );
+        }
+        // Replay is exact.
+        let again = targeted_campaign(&c, 13, 60, &[1]);
+        for (x, y) in cases.iter().zip(&again) {
+            assert_eq!(x.bytes, y.bytes, "case {}", x.id);
+        }
+        // Degenerate inputs yield no cases rather than panicking.
+        assert!(targeted_campaign(&c, 1, 8, &[]).is_empty());
+        assert!(targeted_campaign(&c, 1, 8, &[2]).is_empty());
+        assert!(targeted_campaign(b"not csz2", 1, 8, &[0]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The hot-slab cache: decoded chunk slabs from range reads, keyed by
+//! `(archive FNV-1a, chunk index)`, evicted least-recently-used under a
+//! configurable byte budget.
+//!
+//! Keying by the *content hash* of the archive bytes makes invalidation
+//! automatic: a different (or modified) archive hashes to a different
+//! key space, so stale slabs can never be served — they simply age out.
+//! Entries hold `Arc`s, so a hit hands back a shared handle without
+//! copying the slab, and a concurrent eviction cannot tear a read that
+//! already holds the handle.
+//!
+//! The cache itself is a plain sequential structure; the server wraps it
+//! in a `Mutex` and keeps the critical sections to lookup/insert only
+//! (never decoding under the lock).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: archive content hash plus chunk index.
+pub type SlabKey = (u64, u32);
+
+#[derive(Debug)]
+struct Entry {
+    data: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+/// LRU map of decoded chunk slabs (raw little-endian scalar bytes).
+#[derive(Debug)]
+pub struct SlabCache {
+    budget: usize,
+    bytes: usize,
+    tick: u64,
+    map: HashMap<SlabKey, Entry>,
+}
+
+impl SlabCache {
+    /// An empty cache with the given byte budget. A zero budget disables
+    /// caching (every `insert` is a no-op).
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            bytes: 0,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a slab, marking it most-recently-used on hit.
+    pub fn get(&mut self, key: SlabKey) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.data)
+        })
+    }
+
+    /// Inserts a decoded slab, evicting least-recently-used entries
+    /// until the budget holds. Returns how many entries were evicted.
+    /// A slab larger than the whole budget is not cached at all.
+    pub fn insert(&mut self, key: SlabKey, data: Arc<Vec<u8>>) -> u64 {
+        if data.len() > self.budget {
+            return 0;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.insert(
+            key,
+            Entry {
+                data: Arc::clone(&data),
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes -= old.data.len();
+        }
+        self.bytes += data.len();
+        let mut evicted = 0;
+        while self.bytes > self.budget {
+            // Budget ≥ the new entry, so the loop always terminates with
+            // at least the fresh slab retained.
+            let coldest = self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(k) = coldest else { break };
+            if let Some(e) = self.map.remove(&k) {
+                self.bytes -= e.data.len();
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab(n: usize, fill: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; n])
+    }
+
+    #[test]
+    fn hits_return_the_stored_bytes() {
+        let mut c = SlabCache::new(1024);
+        assert!(c.get((1, 0)).is_none());
+        c.insert((1, 0), slab(100, 0xAB));
+        let got = c.get((1, 0)).unwrap();
+        assert_eq!(&got[..], &vec![0xAB; 100][..]);
+        assert_eq!(c.bytes(), 100);
+        // A different archive hash is a different key space.
+        assert!(c.get((2, 0)).is_none());
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut c = SlabCache::new(250);
+        c.insert((1, 0), slab(100, 1));
+        c.insert((1, 1), slab(100, 2));
+        // Touch chunk 0 so chunk 1 is the LRU victim.
+        assert!(c.get((1, 0)).is_some());
+        let evicted = c.insert((1, 2), slab(100, 3));
+        assert_eq!(evicted, 1);
+        assert!(c.get((1, 1)).is_none(), "LRU entry must be gone");
+        assert!(c.get((1, 0)).is_some());
+        assert!(c.get((1, 2)).is_some());
+        assert!(c.bytes() <= 250);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let mut c = SlabCache::new(0);
+        assert_eq!(c.insert((1, 0), slab(10, 0)), 0);
+        assert!(c.is_empty());
+        assert!(c.get((1, 0)).is_none());
+    }
+
+    #[test]
+    fn oversized_slabs_are_not_cached() {
+        let mut c = SlabCache::new(50);
+        c.insert((1, 0), slab(40, 1));
+        assert_eq!(c.insert((1, 1), slab(51, 2)), 0);
+        assert!(c.get((1, 1)).is_none());
+        assert!(c.get((1, 0)).is_some(), "resident entry untouched");
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_double_counting() {
+        let mut c = SlabCache::new(1000);
+        c.insert((1, 0), slab(100, 1));
+        c.insert((1, 0), slab(200, 2));
+        assert_eq!(c.bytes(), 200);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get((1, 0)).unwrap().len(), 200);
+    }
+
+    #[test]
+    fn held_handles_survive_eviction() {
+        let mut c = SlabCache::new(100);
+        c.insert((1, 0), slab(100, 7));
+        let handle = c.get((1, 0)).unwrap();
+        c.insert((1, 1), slab(100, 8)); // evicts (1, 0)
+        assert!(c.get((1, 0)).is_none());
+        assert_eq!(&handle[..], &vec![7u8; 100][..]);
+    }
+}

@@ -15,7 +15,8 @@
 use crate::metrics::StatsSnapshot;
 use crate::wire::{
     read_frame, write_frame, CompressRequest, DecompressMode, DecompressRequest,
-    DecompressResponse, ErrorResponse, Frame, Op, RemoteInfo, WireError, MAX_FRAME_PAYLOAD,
+    DecompressResponse, ErrorResponse, Frame, GetRangeRequest, Op, RemoteInfo, WireError,
+    MAX_FRAME_PAYLOAD,
 };
 use cuszp_core::PortableScanReport;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -156,6 +157,26 @@ impl Client {
     ) -> Result<DecompressResponse, ClientError> {
         let req = DecompressRequest { mode, archive };
         let payload = self.call(Op::Decompress, &req.encode())?;
+        Ok(DecompressResponse::decode(&payload)?)
+    }
+
+    /// Decompresses only the requested sub-volume of an archive
+    /// server-side. The response's `dims` describe the sub-volume. Hot
+    /// chunks are served from the server's slab cache; in
+    /// [`DecompressMode::Recover`] the read bypasses the cache and the
+    /// response carries per-chunk reports for the intersecting chunks.
+    pub fn get_range(
+        &mut self,
+        archive: &[u8],
+        spec: &cuszp_core::RangeSpec,
+        mode: DecompressMode,
+    ) -> Result<DecompressResponse, ClientError> {
+        let req = GetRangeRequest {
+            mode,
+            spec: spec.clone(),
+            archive,
+        };
+        let payload = self.call(Op::GetRange, &req.encode())?;
         Ok(DecompressResponse::decode(&payload)?)
     }
 

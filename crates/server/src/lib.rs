@@ -13,9 +13,15 @@
 //!   owning a long-lived reusable [`cuszp_core::PipelineEngine`].
 //!   Shutdown is cooperative: the `shutdown` op or a [`ServerHandle`]
 //!   flips a flag and workers drain until a deadline.
-//! - [`Client`]: typed calls (`compress`, `decompress`, `scan`, `info`,
-//!   `stats`, `ping`, `shutdown_server`) with request-id matching, plus
-//!   a split [`Client::send`]/[`Client::recv`] pair for pipelining.
+//! - [`Client`]: typed calls (`compress`, `decompress`, `get_range`,
+//!   `scan`, `info`, `stats`, `ping`, `shutdown_server`) with request-id
+//!   matching, plus a split [`Client::send`]/[`Client::recv`] pair for
+//!   pipelining.
+//!
+//! Range reads (`get_range`) are backed by a hot-slab cache
+//! ([`SlabCache`]): decoded chunk slabs are kept under an LRU byte
+//! budget keyed by `(archive FNV-1a, chunk index)`, so repeated reads
+//! of a popular archive skip the decoder entirely.
 //!
 //! Served compression runs through the same chunked planner and
 //! forced-serial inner primitives as the local drivers, so the archive
@@ -24,16 +30,18 @@
 //!
 //! Everything is std-only — no external runtime or protocol deps.
 
+pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod server;
 pub mod wire;
 
+pub use cache::{SlabCache, SlabKey};
 pub use client::{Client, ClientError};
 pub use metrics::{OpStats, ServiceMetrics, StatsSnapshot};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
     fnv1a, CompressRequest, DecompressMode, DecompressRequest, DecompressResponse, ErrorCode,
-    ErrorResponse, Frame, Op, RemoteInfo, WireError, FLAG_ERROR, FLAG_RESPONSE, FRAME_HEADER_BYTES,
-    MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+    ErrorResponse, Frame, GetRangeRequest, Op, RemoteInfo, WireError, FLAG_ERROR, FLAG_RESPONSE,
+    FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
 };

@@ -37,6 +37,12 @@ pub struct ServiceMetrics {
     pub malformed_frames: Counter,
     /// Connections accepted over the server's lifetime.
     pub connections_total: Counter,
+    /// Hot-slab cache: range-read chunks served without re-decoding.
+    pub cache_hits: Counter,
+    /// Hot-slab cache: range-read chunks that had to be decoded.
+    pub cache_misses: Counter,
+    /// Hot-slab cache: entries evicted to fit the byte budget.
+    pub cache_evictions: Counter,
     /// Connections currently being served (gauge).
     active_connections: AtomicU64,
 }
@@ -104,6 +110,9 @@ impl ServiceMetrics {
             rejected_busy: self.rejected_busy.get(),
             malformed_frames: self.malformed_frames.get(),
             connections_total: self.connections_total.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_evictions: self.cache_evictions.get(),
             active_connections: self.active_connections(),
         }
     }
@@ -147,6 +156,12 @@ pub struct StatsSnapshot {
     pub malformed_frames: u64,
     /// Connections accepted over the server's lifetime.
     pub connections_total: u64,
+    /// Hot-slab cache hits (range-read chunks served without decoding).
+    pub cache_hits: u64,
+    /// Hot-slab cache misses (range-read chunks decoded fresh).
+    pub cache_misses: u64,
+    /// Hot-slab cache evictions under the byte budget.
+    pub cache_evictions: u64,
     /// Connections in service at sampling time.
     pub active_connections: u64,
 }
@@ -186,6 +201,9 @@ impl StatsSnapshot {
             self.rejected_busy,
             self.malformed_frames,
             self.connections_total,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
             self.active_connections,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
@@ -226,6 +244,9 @@ impl StatsSnapshot {
             rejected_busy: c.u64()?,
             malformed_frames: c.u64()?,
             connections_total: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_misses: c.u64()?,
+            cache_evictions: c.u64()?,
             active_connections: c.u64()?,
         })
     }
@@ -243,6 +264,9 @@ mod tests {
         m.record_request(Op::Ping, 0, 0, Duration::from_micros(3), false);
         m.rejected_busy.incr();
         m.connections_total.add(2);
+        m.cache_hits.add(5);
+        m.cache_misses.add(2);
+        m.cache_evictions.incr();
         let snap = m.snapshot();
         let back = StatsSnapshot::decode(&snap.encode()).unwrap();
         assert_eq!(back, snap);
@@ -253,6 +277,10 @@ mod tests {
         assert!(c.latency.p99_us > 0.0);
         assert_eq!(back.total_requests(), 3);
         assert_eq!(back.rejected_busy, 1);
+        assert_eq!(
+            (back.cache_hits, back.cache_misses, back.cache_evictions),
+            (5, 2, 1)
+        );
     }
 
     #[test]

@@ -22,15 +22,16 @@
 //! acceptor stops accepting, and workers drain queued + in-flight
 //! connections until a drain deadline.
 
+use crate::cache::SlabCache;
 use crate::metrics::ServiceMetrics;
 use crate::wire::{
-    read_frame, write_frame, CompressRequest, DecompressMode, DecompressRequest,
-    DecompressResponse, ErrorCode, ErrorResponse, Op, RemoteInfo, WireError, FLAG_ERROR,
-    FLAG_RESPONSE, MAX_FRAME_PAYLOAD,
+    fnv1a, read_frame, write_frame, CompressRequest, DecompressMode, DecompressRequest,
+    DecompressResponse, ErrorCode, ErrorResponse, GetRangeRequest, Op, RemoteInfo, WireError,
+    FLAG_ERROR, FLAG_RESPONSE, MAX_FRAME_PAYLOAD,
 };
 use cuszp_core::{
-    is_chunked_archive, Archive, ChunkedArchive, Compressor, Config, CuszpError, Dtype,
-    PipelineEngine, PortableScanReport, RecoveredField,
+    is_chunked_archive, Archive, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype,
+    PipelineEngine, PortableScanReport, RangeSpec, ReconstructEngine, RecoveredField, Scalar,
 };
 use cuszp_parallel::{WorkerPool, DEFAULT_CHUNK_ELEMS};
 use std::collections::VecDeque;
@@ -59,6 +60,8 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// Frame payload cap for this server (≤ [`MAX_FRAME_PAYLOAD`]).
     pub max_frame_payload: usize,
+    /// Byte budget for the hot-slab range cache; 0 disables caching.
+    pub cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +73,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             drain_deadline: Duration::from_secs(5),
             max_frame_payload: MAX_FRAME_PAYLOAD,
+            cache_bytes: 64 << 20,
         }
     }
 }
@@ -84,6 +88,9 @@ struct Shared {
     drain_until: Mutex<Option<Instant>>,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
+    /// Hot-slab cache for `get_range`. Locked only for lookup/insert;
+    /// chunk decoding always happens outside the critical section.
+    cache: Mutex<SlabCache>,
 }
 
 impl Shared {
@@ -158,6 +165,7 @@ impl Server {
                 drain_until: Mutex::new(None),
                 queue: Mutex::new(VecDeque::new()),
                 queue_cv: Condvar::new(),
+                cache: Mutex::new(SlabCache::new(config.cache_bytes)),
             }),
         })
     }
@@ -418,7 +426,8 @@ fn pipeline_error(e: CuszpError) -> ErrorResponse {
         | CuszpError::NonFiniteInput
         | CuszpError::InvalidErrorBound(_)
         | CuszpError::InvalidParityConfig(_)
-        | CuszpError::DtypeMismatch { .. } => ErrorCode::BadRequest,
+        | CuszpError::DtypeMismatch { .. }
+        | CuszpError::InvalidRange { .. } => ErrorCode::BadRequest,
         _ => ErrorCode::Pipeline,
     };
     ErrorResponse::new(code, e.to_string())
@@ -447,6 +456,7 @@ fn handle_op(
             Ok(PortableScanReport::from(&report).to_bytes())
         }
         Op::Info => handle_info(payload),
+        Op::GetRange => handle_get_range(payload, shared, engine),
     }
 }
 
@@ -548,6 +558,192 @@ fn handle_decompress(payload: &[u8]) -> Result<Vec<u8>, ErrorResponse> {
                     Err(CuszpError::DtypeMismatch { .. }) => {
                         let rf = cuszp_core::decompress_resilient_f64(req.archive, fill)
                             .map_err(pipeline_error)?;
+                        let report = PortableScanReport::from_recovered(&rf, Dtype::F64);
+                        let RecoveredField { data, dims, .. } = rf;
+                        (
+                            Dtype::F64,
+                            dims,
+                            report,
+                            data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                        )
+                    }
+                    Err(e) => return Err(pipeline_error(e)),
+                };
+            Ok(DecompressResponse {
+                dtype,
+                dims,
+                report: Some(report),
+                data,
+            }
+            .encode())
+        }
+    }
+}
+
+/// Serves a chunked-archive range read through the hot-slab cache.
+///
+/// The fetch/store hooks given to [`cuszp_core::decompress_range_with_fetch`]
+/// lock the cache only for the lookup/insert itself — a miss decodes the
+/// chunk with the worker's engine *outside* the lock, so a slow decode
+/// never blocks other workers' hits. Slabs are stored as little-endian
+/// scalar bytes (the wire encoding), making cached and fresh responses
+/// byte-identical by construction.
+fn serve_cached_range<T: Scalar>(
+    arc: &ChunkedArchive,
+    spec: &RangeSpec,
+    key_hash: u64,
+    shared: &Shared,
+    engine: &mut PipelineEngine,
+    to_le: impl Fn(&[T]) -> Vec<u8>,
+    from_le: impl Fn(&[u8]) -> Vec<T>,
+) -> Result<(Dims, Vec<u8>), CuszpError> {
+    let caching = shared.config.cache_bytes > 0;
+    let mut fetch = |i: usize| -> Option<Vec<T>> {
+        if !caching {
+            return None;
+        }
+        let hit = shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get((key_hash, i as u32));
+        match hit {
+            Some(bytes) => {
+                shared.metrics.cache_hits.incr();
+                Some(from_le(&bytes))
+            }
+            None => {
+                shared.metrics.cache_misses.incr();
+                None
+            }
+        }
+    };
+    let mut store = |i: usize, slab: &[T]| {
+        if !caching {
+            return;
+        }
+        let evicted = shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert((key_hash, i as u32), Arc::new(to_le(slab)));
+        shared.metrics.cache_evictions.add(evicted);
+    };
+    let (data, dims) = cuszp_core::decompress_range_with_fetch(
+        arc,
+        ReconstructEngine::FinePartialSum,
+        spec,
+        engine,
+        &mut fetch,
+        &mut store,
+    )?;
+    Ok((dims, to_le(&data)))
+}
+
+fn handle_get_range(
+    payload: &[u8],
+    shared: &Shared,
+    engine: &mut PipelineEngine,
+) -> Result<Vec<u8>, ErrorResponse> {
+    let req = GetRangeRequest::decode(payload).map_err(wire_error)?;
+    match req.mode {
+        DecompressMode::Strict if is_chunked_archive(req.archive) => {
+            let arc = ChunkedArchive::from_bytes(req.archive).map_err(pipeline_error)?;
+            let key_hash = fnv1a(req.archive);
+            let (dtype, dims, data) = match arc.dtype {
+                Dtype::F32 => {
+                    let (dims, data) = serve_cached_range::<f32>(
+                        &arc,
+                        &req.spec,
+                        key_hash,
+                        shared,
+                        engine,
+                        |s| s.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                        |b| {
+                            b.chunks_exact(4)
+                                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                                .collect()
+                        },
+                    )
+                    .map_err(pipeline_error)?;
+                    (Dtype::F32, dims, data)
+                }
+                Dtype::F64 => {
+                    let (dims, data) = serve_cached_range::<f64>(
+                        &arc,
+                        &req.spec,
+                        key_hash,
+                        shared,
+                        engine,
+                        |s| s.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                        |b| {
+                            b.chunks_exact(8)
+                                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                                .collect()
+                        },
+                    )
+                    .map_err(pipeline_error)?;
+                    (Dtype::F64, dims, data)
+                }
+            };
+            Ok(DecompressResponse {
+                dtype,
+                dims,
+                report: None,
+                data,
+            }
+            .encode())
+        }
+        DecompressMode::Strict => {
+            // v1 single-chunk archives: a range read is a full decode
+            // plus a slice — nothing chunk-grained to cache.
+            let (dtype, dims, data) = match cuszp_core::decompress_range(req.archive, &req.spec) {
+                Ok((data, dims)) => (
+                    Dtype::F32,
+                    dims,
+                    data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                ),
+                Err(CuszpError::DtypeMismatch { .. }) => {
+                    let (data, dims) = cuszp_core::decompress_range_f64(req.archive, &req.spec)
+                        .map_err(pipeline_error)?;
+                    (
+                        Dtype::F64,
+                        dims,
+                        data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                    )
+                }
+                Err(e) => return Err(pipeline_error(e)),
+            };
+            Ok(DecompressResponse {
+                dtype,
+                dims,
+                report: None,
+                data,
+            }
+            .encode())
+        }
+        DecompressMode::Recover(fill) => {
+            // Damaged archives must never seed the cache: the resilient
+            // path decodes uncached and reports per-chunk outcomes.
+            let (dtype, dims, report, data): (_, _, _, Vec<u8>) =
+                match cuszp_core::decompress_range_resilient(req.archive, &req.spec, fill) {
+                    Ok(rf) => {
+                        let report = PortableScanReport::from_recovered(&rf, Dtype::F32);
+                        let RecoveredField { data, dims, .. } = rf;
+                        (
+                            Dtype::F32,
+                            dims,
+                            report,
+                            data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                        )
+                    }
+                    Err(CuszpError::DtypeMismatch { .. }) => {
+                        let rf = cuszp_core::decompress_range_resilient_f64(
+                            req.archive,
+                            &req.spec,
+                            fill,
+                        )
+                        .map_err(pipeline_error)?;
                         let report = PortableScanReport::from_recovered(&rf, Dtype::F64);
                         let RecoveredField { data, dims, .. } = rf;
                         (

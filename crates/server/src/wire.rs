@@ -71,11 +71,14 @@ pub enum Op {
     Stats = 5,
     /// Begin graceful shutdown (drain, then exit).
     Shutdown = 6,
+    /// Decode only the chunks covering a sub-volume of an archive
+    /// (strictly additive: servers that predate it answer `UnknownOp`).
+    GetRange = 7,
 }
 
 impl Op {
     /// All ops, in wire-tag order.
-    pub const ALL: [Op; 7] = [
+    pub const ALL: [Op; 8] = [
         Op::Ping,
         Op::Compress,
         Op::Decompress,
@@ -83,6 +86,7 @@ impl Op {
         Op::Info,
         Op::Stats,
         Op::Shutdown,
+        Op::GetRange,
     ];
 
     /// Parses the wire tag.
@@ -100,6 +104,7 @@ impl Op {
             Op::Info => "info",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
+            Op::GetRange => "get_range",
         }
     }
 }
@@ -689,6 +694,71 @@ impl<'a> DecompressRequest<'a> {
     }
 }
 
+/// A range-read request: damage mode, the requested sub-volume, and the
+/// archive bytes. The response reuses [`DecompressResponse`] — `dims`
+/// there are the *sub-volume* dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetRangeRequest<'a> {
+    /// Damage handling (strict, or fault-isolated with a fill policy).
+    pub mode: DecompressMode,
+    /// The requested sub-volume, slowest axis first.
+    pub spec: cuszp_core::RangeSpec,
+    /// The serialized archive (v1 or CSZ2).
+    pub archive: &'a [u8],
+}
+
+impl<'a> GetRangeRequest<'a> {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let axes = self.spec.axes();
+        let mut out = Vec::with_capacity(2 + 16 * axes.len() + self.archive.len());
+        out.push(match self.mode {
+            DecompressMode::Strict => 0,
+            DecompressMode::Recover(cuszp_core::FillPolicy::Nan) => 1,
+            DecompressMode::Recover(cuszp_core::FillPolicy::Zero) => 2,
+        });
+        out.push(axes.len() as u8);
+        for r in axes {
+            out.extend_from_slice(&(r.start as u64).to_le_bytes());
+            out.extend_from_slice(&(r.end as u64).to_le_bytes());
+        }
+        out.extend_from_slice(self.archive);
+        out
+    }
+
+    /// Parses a get-range payload. Axis endpoints are capped like dims
+    /// (`read_dims`), so hostile bounds cannot overflow index math; range
+    /// *semantics* (inverted, out of bounds for the archive) are the
+    /// pipeline's typed `InvalidRange`, answered as `BadRequest`.
+    pub fn decode(payload: &'a [u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let mode = match c.u8()? {
+            0 => DecompressMode::Strict,
+            1 => DecompressMode::Recover(cuszp_core::FillPolicy::Nan),
+            2 => DecompressMode::Recover(cuszp_core::FillPolicy::Zero),
+            _ => return Err(WireError::BadPayload("bad get-range mode")),
+        };
+        let rank = c.u8()? as usize;
+        if rank == 0 || rank > 3 {
+            return Err(WireError::BadPayload("range rank must be 1-3"));
+        }
+        let mut axes = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let start = c.u64()?;
+            let end = c.u64()?;
+            if start > 1 << 48 || end > 1 << 48 {
+                return Err(WireError::BadPayload("range endpoint too large"));
+            }
+            axes.push(start as usize..end as usize);
+        }
+        Ok(Self {
+            mode,
+            spec: cuszp_core::RangeSpec::new(axes),
+            archive: c.rest(),
+        })
+    }
+}
+
 /// A decompress response: geometry, optional recovery report, raw data.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecompressResponse {
@@ -961,6 +1031,52 @@ mod tests {
             stored_bytes: 12345,
         };
         assert_eq!(RemoteInfo::decode(&info.encode()).unwrap(), info);
+    }
+
+    #[test]
+    fn get_range_request_roundtrip_and_rejections() {
+        let req = GetRangeRequest {
+            mode: DecompressMode::Strict,
+            spec: cuszp_core::RangeSpec::new(vec![2..5, 10..90]),
+            archive: b"archive bytes",
+        };
+        let bytes = req.encode();
+        assert_eq!(GetRangeRequest::decode(&bytes).unwrap(), req);
+        let req = GetRangeRequest {
+            mode: DecompressMode::Recover(cuszp_core::FillPolicy::Zero),
+            spec: cuszp_core::RangeSpec::new(vec![0..1, 0..2, 3..4]),
+            archive: &[],
+        };
+        assert_eq!(GetRangeRequest::decode(&req.encode()).unwrap(), req);
+
+        // Bad mode, bad rank, and oversized endpoints are typed.
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(GetRangeRequest::decode(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[1] = 0;
+        assert!(GetRangeRequest::decode(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[1] = 4;
+        assert!(GetRangeRequest::decode(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[2..10].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(GetRangeRequest::decode(&bad).is_err());
+        // Truncated mid-axis is typed, never a panic.
+        for cut in 0..18 {
+            assert!(GetRangeRequest::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn get_range_is_additive_to_the_op_table() {
+        assert_eq!(Op::GetRange as u8, 7);
+        assert_eq!(Op::from_u8(7), Some(Op::GetRange));
+        assert_eq!(Op::GetRange.name(), "get_range");
+        // Existing tags are untouched — the op is strictly additive.
+        for (i, op) in Op::ALL.into_iter().enumerate() {
+            assert_eq!(op as u8, i as u8);
+        }
     }
 
     #[test]

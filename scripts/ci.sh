@@ -25,6 +25,15 @@ scripts/corruption_campaign.sh
 echo "==> golden compatibility (parity-less bytes pinned, parity strictly additive)"
 cargo test -q -p cuszp-core --test golden
 
+echo "==> range battery (ranges bit-equal full-decompress slices at any worker count)"
+cargo test -q -p cuszp-core --test range
+
+echo "==> hot-slab cache behavior (hits, eviction, invalidation, concurrency)"
+cargo test -q -p cuszp-server --test cache
+
+echo "==> targeted fault injection through get-range (heal/report/ignore)"
+cargo test -q -p cuszp-server --test range_damage
+
 echo "==> server smoke (ephemeral port, remote round trip, graceful shutdown)"
 scripts/server_smoke.sh
 

@@ -27,7 +27,7 @@ DIMS=$(sed -n 's/.*-d \([0-9x]*\)$/\1/p' "$WORK/gen.log")
 [[ -n "$DIMS" ]] || { echo "FAIL: could not discover field dims"; cat "$WORK/gen.log"; exit 1; }
 
 echo "==> booting cuszp serve on an ephemeral port"
-"$CUSZP" serve -a 127.0.0.1:0 --workers 2 > "$WORK/serve.out" 2> "$WORK/serve.err" &
+"$CUSZP" serve -a 127.0.0.1:0 --workers 2 --cache-bytes 8388608 > "$WORK/serve.out" 2> "$WORK/serve.err" &
 SERVER_PID=$!
 ADDR=""
 for _ in $(seq 1 50); do
@@ -60,10 +60,25 @@ echo "==> remote scan (clean archive must exit 0)"
 "$CUSZP" remote scan "$WORK/field.csz" -s "$ADDR" --json > "$WORK/scan.json"
 grep -q '"exit_code":0' "$WORK/scan.json" || { echo "FAIL: scan not clean"; cat "$WORK/scan.json"; exit 1; }
 
+echo "==> remote get-range round trip (twice: cold, then from the slab cache)"
+NY=${DIMS%x*}
+NX=${DIMS#*x}
+RANGE="1:$((NY / 2))x2:$((NX - 3))"
+"$CUSZP" extract -i "$WORK/field.csz" -o "$WORK/ref_slice.raw" --range "$RANGE" 2> /dev/null
+"$CUSZP" remote get-range "$WORK/field.csz" -s "$ADDR" -o "$WORK/slice_cold.raw" --range "$RANGE" 2> /dev/null
+"$CUSZP" remote get-range "$WORK/field.csz" -s "$ADDR" -o "$WORK/slice_hot.raw" --range "$RANGE" 2> /dev/null
+cmp "$WORK/ref_slice.raw" "$WORK/slice_cold.raw" \
+    || { echo "FAIL: served range differs from local extract"; exit 1; }
+cmp "$WORK/ref_slice.raw" "$WORK/slice_hot.raw" \
+    || { echo "FAIL: cached range read differs from local extract"; exit 1; }
+
 echo "==> remote stats shows the traffic"
 "$CUSZP" remote stats -s "$ADDR" > "$WORK/stats.out"
 grep -q '^compress ' "$WORK/stats.out" || { echo "FAIL: no compress stats"; cat "$WORK/stats.out"; exit 1; }
 grep -q '^decompress ' "$WORK/stats.out" || { echo "FAIL: no decompress stats"; cat "$WORK/stats.out"; exit 1; }
+grep -q '^get_range ' "$WORK/stats.out" || { echo "FAIL: no get_range stats"; cat "$WORK/stats.out"; exit 1; }
+grep -q '^slab cache: [1-9]' "$WORK/stats.out" \
+    || { echo "FAIL: second get-range did not hit the slab cache"; cat "$WORK/stats.out"; exit 1; }
 
 echo "==> graceful shutdown exits 0"
 "$CUSZP" remote shutdown -s "$ADDR" > /dev/null

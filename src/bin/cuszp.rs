@@ -22,7 +22,7 @@ use cuszp::parallel::WorkerPool;
 use cuszp::server::{Client, CompressRequest, DecompressMode, Server, ServerConfig};
 use cuszp::{
     json_escape, Archive, ChunkStatus, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype,
-    ErrorBound, FillPolicy, ParityConfig, PortableScanReport, Predictor, RecoveredField,
+    ErrorBound, FillPolicy, ParityConfig, PortableScanReport, Predictor, RangeSpec, RecoveredField,
     ScanReport, WorkflowChoice, WorkflowMode,
 };
 use std::collections::HashMap;
@@ -51,8 +51,11 @@ fn main() -> ExitCode {
     // `fsck` (and `remote scan`/`remote info`) take their archive as a
     // positional argument; normalize to `-i` so option parsing stays
     // uniform.
-    let takes_positional_archive =
-        cmd == "fsck" || matches!(remote_op, Some("scan" | "info" | "decompress"));
+    let takes_positional_archive = cmd == "fsck"
+        || matches!(
+            remote_op,
+            Some("scan" | "info" | "decompress" | "get-range")
+        );
     let norm_rest: Vec<String>;
     let rest = if takes_positional_archive && rest.first().is_some_and(|a| !a.starts_with('-')) {
         norm_rest = ["-i".to_string(), rest[0].clone()]
@@ -73,6 +76,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "compress" => cmd_compress(&opts).map(|()| ExitCode::SUCCESS),
         "decompress" => cmd_decompress(&opts).map(|()| ExitCode::SUCCESS),
+        "extract" => cmd_extract(&opts).map(|()| ExitCode::SUCCESS),
         "info" => cmd_info(&opts).map(|()| ExitCode::SUCCESS),
         // fsck picks its own exit code: 0 clean, 1 damaged-but-repaired
         // (or repairable), 2 data loss.
@@ -106,14 +110,18 @@ USAGE:
                    [--threads <n>] [--stats] [--parity <m/k>]
   cuszp decompress -i <archive> -o <raw> [--verify <original raw>] [--threads <n>]
                    [--recover [--fill nan|zero]]
+  cuszp extract    -i <archive> -o <raw> --range <spec>
+                   [--recover [--fill nan|zero]]
   cuszp info       -i <archive>
   cuszp fsck       <archive> [--repair] [--json]
   cuszp analyze    -i <raw> -d <dims> [-e <bound>] [-m abs|rel] [--double]
   cuszp gen        -o <raw> --dataset <name> --field <name> [--scale tiny|small]
-  cuszp serve      [-a <addr>] [--workers <n>] [--queue <n>]
+  cuszp serve      [-a <addr>] [--workers <n>] [--queue <n>] [--cache-bytes <n>]
   cuszp remote compress   -s <addr> -i <raw> -o <archive> -d <dims> [-e] [-m]
                           [-w] [-p] [--double] [--parity <m/k>] [--chunk <elems>]
   cuszp remote decompress <archive> -o <raw> [-s <addr>]
+                          [--recover [--fill nan|zero]]
+  cuszp remote get-range  <archive> -o <raw> --range <spec> [-s <addr>]
                           [--recover [--fill nan|zero]]
   cuszp remote scan       <archive> [-s <addr>] [--json]
   cuszp remote info       <archive> [-s <addr>]
@@ -137,6 +145,13 @@ OPTIONS:
              shards covered by parity are repaired first, then undamaged
              chunks reconstruct exactly and lost slabs are filled
              (--fill nan|zero, default nan) and reported per chunk
+  --range    sub-volume to extract, one 'start:end' (half-open, element
+             coordinates of the logical field) per axis, fastest axis last:
+             '1000:5000', '10:20x0:3600', '2:6x100:200x0:512'. The written
+             raster holds exactly the requested sub-volume, row-major.
+  --cache-bytes  serve only: byte budget for the hot-slab range cache
+             (default 64 MiB; 0 disables). Repeated `remote get-range`
+             reads of the same chunks skip the decoder entirely.
   --dataset  one of: hacc cesm hurricane nyx rtm miranda qmcpack
 
 `fsck` validates and decodes every chunk independently (healing damaged
@@ -152,7 +167,12 @@ error. `remote <op>` talks to a server (-s defaults to 127.0.0.1:7117):
 compression runs server-side through the same chunked pipeline, so the
 archive bytes match a local `cuszp compress --threads` exactly. `remote scan`
 mirrors fsck's report and exit codes; `remote stats` prints live service
-metrics (per-op counts, bytes, latency percentiles).";
+metrics (per-op counts, bytes, latency percentiles, cache hit rates).
+
+`extract` decodes only the chunks a `--range` touches — a 3-slab slice of a
+terabyte field never decompresses the whole field. `remote get-range` is the
+served form: hot chunks come from the server's slab cache, and `--recover`
+reads around damage, reporting exactly the damaged in-range chunks.";
 
 struct Opts(HashMap<String, String>);
 
@@ -416,6 +436,67 @@ fn cmd_decompress(opts: &Opts) -> Result<(), String> {
     write_bytes(output, &out_bytes)?;
     eprintln!(
         "wrote {} bytes to {output} in {:.2}s",
+        out_bytes.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `extract --range`: decode only the chunks a sub-volume touches and
+/// write that sub-volume as a raw row-major raster. The element type is
+/// sniffed by attempting `f32` first, same as the recover path.
+fn cmd_extract(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let output = opts.require("o")?;
+    let spec = RangeSpec::parse(opts.require("range")?).map_err(|e| e.to_string())?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let t0 = std::time::Instant::now();
+    if opts.has_flag("recover") {
+        let fill = FillPolicy::parse(opts.get("fill").unwrap_or("nan"))
+            .ok_or_else(|| format!("bad --fill '{}' (nan|zero)", opts.get("fill").unwrap_or("")))?;
+        let (out_bytes, dims, reports) =
+            match cuszp::decompress_range_resilient(&bytes, &spec, fill) {
+                Ok(rf) => {
+                    let out: Vec<u8> = rf.data.iter().flat_map(|x| x.to_le_bytes()).collect();
+                    (out, rf.dims, rf.reports)
+                }
+                Err(CuszpError::DtypeMismatch { .. }) => {
+                    let rf = cuszp::decompress_range_resilient_f64(&bytes, &spec, fill)
+                        .map_err(|e| e.to_string())?;
+                    let out: Vec<u8> = rf.data.iter().flat_map(|x| x.to_le_bytes()).collect();
+                    (out, rf.dims, rf.reports)
+                }
+                Err(e) => return Err(format!("{input}: {e}")),
+            };
+        for r in reports.iter().filter(|r| !r.status.is_recovered()) {
+            eprintln!(
+                "  chunk {}: {} (elements {}..{})",
+                r.index, r.status, r.elem_range.start, r.elem_range.end
+            );
+        }
+        write_bytes(output, &out_bytes)?;
+        eprintln!(
+            "extracted {spec} -> {output} ({:?}, {} bytes, {}/{} in-range chunks ok) in {:.2}s",
+            dims,
+            out_bytes.len(),
+            reports.iter().filter(|r| r.status.is_recovered()).count(),
+            reports.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        return Ok(());
+    }
+    let (out_bytes, dims): (Vec<u8>, Dims) = match cuszp::decompress_range(&bytes, &spec) {
+        Ok((data, dims)) => (data.iter().flat_map(|x| x.to_le_bytes()).collect(), dims),
+        Err(CuszpError::DtypeMismatch { .. }) => {
+            let (data, dims) =
+                cuszp::decompress_range_f64(&bytes, &spec).map_err(|e| e.to_string())?;
+            (data.iter().flat_map(|x| x.to_le_bytes()).collect(), dims)
+        }
+        Err(e) => return Err(format!("{input}: {e}")),
+    };
+    write_bytes(output, &out_bytes)?;
+    eprintln!(
+        "extracted {spec} -> {output} ({dims:?}, {} bytes) in {:.2}s",
         out_bytes.len(),
         t0.elapsed().as_secs_f64()
     );
@@ -821,6 +902,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     if let Some(q) = opts.get("queue") {
         config.queue_capacity = q.parse().map_err(|e| format!("bad --queue '{q}': {e}"))?;
     }
+    if let Some(c) = opts.get("cache-bytes") {
+        config.cache_bytes = c
+            .parse()
+            .map_err(|e| format!("bad --cache-bytes '{c}': {e}"))?;
+    }
     let server = Server::bind(addr, config).map_err(|e| format!("{addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!("cuszp-server listening on {bound}");
@@ -845,6 +931,7 @@ fn cmd_remote(sub: &str, opts: &Opts) -> Result<ExitCode, String> {
     match sub {
         "compress" => remote_compress(opts).map(|()| ExitCode::SUCCESS),
         "decompress" => remote_decompress(opts).map(|()| ExitCode::SUCCESS),
+        "get-range" => remote_get_range(opts).map(|()| ExitCode::SUCCESS),
         "scan" => remote_scan(opts),
         "info" => remote_info(opts).map(|()| ExitCode::SUCCESS),
         "stats" => remote_stats(opts).map(|()| ExitCode::SUCCESS),
@@ -862,7 +949,7 @@ fn cmd_remote(sub: &str, opts: &Opts) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!(
-            "unknown remote operation '{other}' (compress decompress scan info stats ping shutdown)"
+            "unknown remote operation '{other}' (compress decompress get-range scan info stats ping shutdown)"
         )),
     }
 }
@@ -964,6 +1051,56 @@ fn remote_decompress(opts: &Opts) -> Result<(), String> {
         resp.data.len(),
         resp.dtype.name(),
         resp.dims,
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `remote get-range`: ship the archive, write back only the requested
+/// sub-volume. Hot chunks are served from the server's slab cache; with
+/// `--recover` the server reads around damage and reports the damaged
+/// in-range chunks.
+fn remote_get_range(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("i")?;
+    let output = opts.require("o")?;
+    let spec = RangeSpec::parse(opts.require("range")?).map_err(|e| e.to_string())?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let mode = if opts.has_flag("recover") {
+        let fill = FillPolicy::parse(opts.get("fill").unwrap_or("nan"))
+            .ok_or_else(|| format!("bad --fill '{}' (nan|zero)", opts.get("fill").unwrap_or("")))?;
+        DecompressMode::Recover(fill)
+    } else {
+        DecompressMode::Strict
+    };
+    let mut client = remote_client(opts)?;
+    let t0 = std::time::Instant::now();
+    let resp = client
+        .get_range(&bytes, &spec, mode)
+        .map_err(|e| e.to_string())?;
+    write_bytes(output, &resp.data)?;
+    if let Some(report) = &resp.report {
+        for c in report.chunks.iter().filter(|c| !c.status.is_recovered()) {
+            eprintln!(
+                "  chunk {}: {} (elements {}..{})",
+                c.index, c.status, c.elem_range.start, c.elem_range.end
+            );
+        }
+        eprintln!(
+            "remote: {}/{} in-range chunks ok{}",
+            report.chunks.len() - report.n_damaged(),
+            report.chunks.len(),
+            if report.n_repaired() > 0 {
+                format!(" ({} healed from parity)", report.n_repaired())
+            } else {
+                String::new()
+            }
+        );
+    }
+    eprintln!(
+        "remote: extracted {spec} -> {output} ({}, {:?}, {} bytes) in {:.2}s",
+        resp.dtype.name(),
+        resp.dims,
+        resp.data.len(),
         t0.elapsed().as_secs_f64()
     );
     Ok(())
@@ -1075,5 +1212,15 @@ fn remote_stats(opts: &Opts) -> Result<(), String> {
         snap.connections_total,
         snap.active_connections
     );
+    let lookups = snap.cache_hits + snap.cache_misses;
+    if lookups > 0 {
+        println!(
+            "slab cache: {} hits / {} lookups ({:.0}% hit rate), {} evictions",
+            snap.cache_hits,
+            lookups,
+            100.0 * snap.cache_hits as f64 / lookups as f64,
+            snap.cache_evictions
+        );
+    }
     Ok(())
 }

@@ -59,13 +59,14 @@ pub use cuszp_zfp as zfp;
 
 // The everyday API, flattened.
 pub use cuszp_core::{
-    decompress, decompress_archive, decompress_f64, decompress_f64_with_engine,
+    decompress, decompress_archive, decompress_f64, decompress_f64_with_engine, decompress_range,
+    decompress_range_f64, decompress_range_resilient, decompress_range_resilient_f64,
     decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
     decompress_resilient_with, decompress_with_engine, is_chunked_archive, json_escape, repair,
     repair_with, scan, scan_with, Archive, ArchiveSection, ChunkReport, ChunkStatus,
     ChunkedArchive, CompressionStats, Compressor, Config, CuszpError, Dims, Dtype, ErrorBound,
     FillPolicy, ParityConfig, ParityReport, ParitySection, ParseFault, PortableChunkReport,
     PortableChunkStatus, PortableParityReport, PortableScanReport, PortableStripeStatus, Predictor,
-    ReconstructEngine, RecoveredField, RepairOutcome, ScanReport, Snapshot, SnapshotEntry,
-    StripeStatus, WorkflowChoice, WorkflowMode,
+    RangeSpec, ReconstructEngine, RecoveredField, RepairOutcome, ScanReport, Snapshot,
+    SnapshotEntry, StripeStatus, WorkflowChoice, WorkflowMode,
 };
