@@ -1,0 +1,832 @@
+//! Network chaos: a seeded TCP fault-injection proxy.
+//!
+//! The archive campaigns in this crate corrupt *bytes at rest*; the
+//! [`ChaosProxy`] corrupts *bytes in flight*. It is a std-only TCP
+//! relay — a listener plus two forwarder threads per connection — whose
+//! [`ChaosPolicy`] decides, from the same xorshift64* generator as the
+//! corruption campaigns, whether to refuse a connection outright, cut
+//! the client→server stream mid-frame, truncate the server→client
+//! response, flip a payload bit, stall at a byte offset, or chop writes
+//! into tiny pieces (frame splitting).
+//!
+//! Determinism contract: refusal is drawn once per accepted connection,
+//! and each direction of a relayed connection draws one fault per
+//! *epoch* of [`ChaosPolicy::redraw_bytes`] stream bytes — so a
+//! long-lived connection keeps rolling fresh fault draws instead of
+//! escaping chaos forever after one clean draw. Every draw is a pure
+//! function of `(seed, policy, connection index, direction, epoch)`,
+//! and faults are keyed to *byte offsets* in each direction's stream,
+//! not to read-burst timing, so a run replays from its seed no matter
+//! how the kernel coalesces segments.
+
+use crate::FaultRng;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Forwarder copy-buffer size. Small enough that mid-frame faults land
+/// inside large payloads at fine granularity.
+const COPY_BUF: usize = 8 << 10;
+/// How often forwarders and the acceptor re-check the stop flag.
+const POLL: Duration = Duration::from_millis(25);
+/// Stream-mixing constant for per-lane RNG derivation (splitmix64's
+/// second round constant — any odd 64-bit mixer works).
+const LANE_MIX: u64 = 0xD6E8_FEB8_6659_FD93;
+
+/// Fault probabilities and shapes, in permille (0‥=1000).
+///
+/// Refusal is drawn per connection; each direction then draws at most
+/// one fault per [`ChaosPolicy::redraw_bytes`]-byte epoch, in a fixed
+/// order (cut, flip, stall, chop — first hit wins), so a plan is
+/// replayable and each observed failure attributes to one fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPolicy {
+    /// Permille of connections refused outright (closed before any
+    /// byte is relayed) — the "connection refused / reset" class.
+    pub refuse_per_mille: u32,
+    /// Permille of epochs whose client→server stream is cut after
+    /// a drawn byte offset (mid-frame request drop).
+    pub cut_request_per_mille: u32,
+    /// Byte window the request-cut offset is drawn from (≥ 1, measured
+    /// from the epoch start, clamped to the epoch).
+    pub cut_request_window: usize,
+    /// Permille of epochs whose server→client stream is cut after
+    /// a drawn byte offset (response truncation).
+    pub cut_response_per_mille: u32,
+    /// Byte window the response-cut offset is drawn from (≥ 1, measured
+    /// from the epoch start, clamped to the epoch).
+    pub cut_response_window: usize,
+    /// Permille of epochs with one request-payload bit flipped.
+    pub flip_request_per_mille: u32,
+    /// Permille of epochs with one response-payload bit flipped.
+    pub flip_response_per_mille: u32,
+    /// Byte window flip/stall offsets are drawn from (≥ 1, measured
+    /// from the epoch start, clamped to the epoch).
+    pub flip_window: usize,
+    /// Permille of epochs stalled once at a drawn byte offset.
+    pub stall_per_mille: u32,
+    /// Stall duration upper bound in milliseconds (drawn 1‥=max).
+    pub stall_max_ms: u64,
+    /// Permille of epochs whose bytes are chopped into `chop_piece`-byte
+    /// writes (frame splitting).
+    pub chop_per_mille: u32,
+    /// Piece size for chopped epochs (≥ 1).
+    pub chop_piece: usize,
+    /// Stream bytes per fault epoch: each direction redraws its fault
+    /// every `redraw_bytes` relayed bytes, so connection reuse does not
+    /// amortize one lucky clean draw across a whole soak (≥ 1).
+    pub redraw_bytes: usize,
+}
+
+impl ChaosPolicy {
+    /// A policy that injects nothing: the proxy is a clean relay.
+    pub fn clean() -> Self {
+        Self {
+            refuse_per_mille: 0,
+            cut_request_per_mille: 0,
+            cut_request_window: 256,
+            cut_response_per_mille: 0,
+            cut_response_window: 4096,
+            flip_request_per_mille: 0,
+            flip_response_per_mille: 0,
+            flip_window: 1024,
+            stall_per_mille: 0,
+            stall_max_ms: 50,
+            chop_per_mille: 0,
+            chop_piece: 7,
+            redraw_bytes: 16 << 10,
+        }
+    }
+
+    /// A moderate mixed policy exercising every fault class.
+    pub fn mixed() -> Self {
+        Self {
+            refuse_per_mille: 100,
+            cut_request_per_mille: 100,
+            cut_response_per_mille: 100,
+            flip_request_per_mille: 100,
+            flip_response_per_mille: 100,
+            stall_per_mille: 100,
+            chop_per_mille: 150,
+            ..Self::clean()
+        }
+    }
+
+    /// The deterministic epoch-0 fault plan for connection `conn_idx`
+    /// under `seed`. Pure: same `(policy, seed, conn_idx)` → same plan.
+    /// Later epochs of a long-lived connection redraw via
+    /// [`ChaosPolicy::request_fault_at`] /
+    /// [`ChaosPolicy::response_fault_at`].
+    pub fn plan(&self, seed: u64, conn_idx: u64) -> ConnPlan {
+        let mut rng = Self::lane_rng(seed, conn_idx, 0);
+        ConnPlan {
+            refuse: rng.below(1000) < self.refuse_per_mille as usize,
+            request: self.request_fault_at(seed, conn_idx, 0),
+            response: self.response_fault_at(seed, conn_idx, 0),
+        }
+    }
+
+    /// The client→server fault for epoch `epoch` (bytes
+    /// `epoch * redraw_bytes ..`). Pure function of its arguments.
+    pub fn request_fault_at(&self, seed: u64, conn_idx: u64, epoch: u64) -> WireFault {
+        let mut rng = Self::lane_rng(seed, conn_idx, epoch.wrapping_mul(2).wrapping_add(1));
+        self.draw_direction(
+            &mut rng,
+            epoch,
+            self.cut_request_per_mille,
+            self.cut_request_window,
+            self.flip_request_per_mille,
+        )
+    }
+
+    /// The server→client fault for epoch `epoch`. Pure function of its
+    /// arguments.
+    pub fn response_fault_at(&self, seed: u64, conn_idx: u64, epoch: u64) -> WireFault {
+        let mut rng = Self::lane_rng(seed, conn_idx, epoch.wrapping_mul(2).wrapping_add(2));
+        self.draw_direction(
+            &mut rng,
+            epoch,
+            self.cut_response_per_mille,
+            self.cut_response_window,
+            self.flip_response_per_mille,
+        )
+    }
+
+    /// One independent RNG stream per (connection, lane): lane 0 is the
+    /// refusal draw, lanes `2e+1` / `2e+2` are epoch `e`'s request /
+    /// response draws — so changing one draw never shifts another.
+    fn lane_rng(seed: u64, conn_idx: u64, lane: u64) -> FaultRng {
+        FaultRng::new(
+            seed ^ (conn_idx.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ lane.wrapping_mul(LANE_MIX),
+        )
+    }
+
+    fn draw_direction(
+        &self,
+        rng: &mut FaultRng,
+        epoch: u64,
+        cut_pm: u32,
+        cut_window: usize,
+        flip_pm: u32,
+    ) -> WireFault {
+        let span = self.redraw_bytes.max(1);
+        let base = (epoch as usize).saturating_mul(span);
+        // Fixed draw order keeps plans stable as probabilities change
+        // one class at a time.
+        let cut = rng.below(1000) < cut_pm as usize;
+        let cut_at = base + 1 + rng.below(cut_window.clamp(1, span));
+        let flip = rng.below(1000) < flip_pm as usize;
+        let flip_offset = base + rng.below(self.flip_window.clamp(1, span));
+        let flip_bit = (rng.next_u64() % 8) as u8;
+        let stall = rng.below(1000) < self.stall_per_mille as usize;
+        let stall_offset = base + rng.below(self.flip_window.clamp(1, span));
+        let stall_ms = 1 + rng.next_u64() % self.stall_max_ms.max(1);
+        let chop = rng.below(1000) < self.chop_per_mille as usize;
+        if cut {
+            WireFault::CutAfter(cut_at)
+        } else if flip {
+            WireFault::FlipBit {
+                offset: flip_offset,
+                bit: flip_bit,
+            }
+        } else if stall {
+            WireFault::StallAt {
+                offset: stall_offset,
+                millis: stall_ms,
+            }
+        } else if chop {
+            WireFault::Chop {
+                piece: self.chop_piece.max(1),
+            }
+        } else {
+            WireFault::None
+        }
+    }
+}
+
+impl Default for ChaosPolicy {
+    fn default() -> Self {
+        Self::mixed()
+    }
+}
+
+/// One epoch's fault in one direction, keyed to absolute byte offsets
+/// in that direction's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Relay untouched.
+    None,
+    /// Forward exactly this many stream bytes, then sever the
+    /// connection.
+    CutAfter(usize),
+    /// Flip `bit` of the byte at stream `offset` (if the stream ever
+    /// reaches it).
+    FlipBit {
+        /// Byte offset in this direction's stream.
+        offset: usize,
+        /// Bit index 0‥=7.
+        bit: u8,
+    },
+    /// Sleep `millis` once when the stream reaches `offset`.
+    StallAt {
+        /// Byte offset in this direction's stream.
+        offset: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Write this epoch in `piece`-byte pieces (frame splitting).
+    Chop {
+        /// Bytes per write.
+        piece: usize,
+    },
+}
+
+/// The deterministic epoch-0 fault plan for one accepted connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnPlan {
+    /// Close the client connection before relaying anything.
+    pub refuse: bool,
+    /// Client→server stream fault for epoch 0.
+    pub request: WireFault,
+    /// Server→client stream fault for epoch 0.
+    pub response: WireFault,
+}
+
+/// Counters for what the proxy actually did (not just planned): faults
+/// only count when their trigger offset was reached.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Connections accepted from clients.
+    pub connections: AtomicU64,
+    /// Connections refused (closed before relaying).
+    pub refused: AtomicU64,
+    /// Client→server streams cut mid-flight.
+    pub requests_cut: AtomicU64,
+    /// Server→client streams cut mid-flight.
+    pub responses_cut: AtomicU64,
+    /// Bits flipped (both directions).
+    pub bits_flipped: AtomicU64,
+    /// Stalls served.
+    pub stalls: AtomicU64,
+    /// Stream epochs relayed with chopped writes.
+    pub chopped: AtomicU64,
+    /// Bytes relayed client→server.
+    pub bytes_up: AtomicU64,
+    /// Bytes relayed server→client.
+    pub bytes_down: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Total faults that actually fired (refusals + cuts + flips +
+    /// stalls; chopping is a delivery shape, not a failure, and is
+    /// counted separately).
+    pub fn faults_fired(&self) -> u64 {
+        self.refused.load(Ordering::Relaxed)
+            + self.requests_cut.load(Ordering::Relaxed)
+            + self.responses_cut.load(Ordering::Relaxed)
+            + self.bits_flipped.load(Ordering::Relaxed)
+            + self.stalls.load(Ordering::Relaxed)
+    }
+}
+
+/// A seeded TCP fault-injection proxy in front of one upstream address.
+///
+/// Start with [`ChaosProxy::start`], point clients at
+/// [`ChaosProxy::local_addr`], and stop with [`ChaosProxy::stop`] (also
+/// runs on drop). Every accepted connection draws its deterministic
+/// faults from `(seed, policy, connection index)`.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and starts relaying to `upstream`.
+    pub fn start(
+        upstream: SocketAddr,
+        policy: ChaosPolicy,
+        seed: u64,
+    ) -> std::io::Result<ChaosProxy> {
+        Self::bind("127.0.0.1:0".parse().unwrap(), upstream, policy, seed)
+    }
+
+    /// Binds `listen` (any port, including 0 for ephemeral) and starts
+    /// relaying to `upstream`.
+    pub fn bind(
+        listen: SocketAddr,
+        upstream: SocketAddr,
+        policy: ChaosPolicy,
+        seed: u64,
+    ) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ChaosStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stats = stats.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || accept_loop(listener, upstream, policy, seed, stats, stop))
+        };
+        Ok(ChaosProxy {
+            addr,
+            stats,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live injection counters.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Stops accepting, severs in-flight relays, joins all threads.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    policy: ChaosPolicy,
+    seed: u64,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conn_idx = 0u64;
+    let mut relays: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                let plan = policy.plan(seed, conn_idx);
+                let idx = conn_idx;
+                conn_idx += 1;
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                if plan.refuse {
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    // Dropping the accepted socket closes it before any
+                    // response byte — the client sees a severed
+                    // connection exactly where a refused/reset one dies.
+                    drop(client);
+                    continue;
+                }
+                let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(5))
+                else {
+                    drop(client);
+                    continue;
+                };
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+                    continue;
+                };
+                let up = {
+                    let stats = stats.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        forward(
+                            client,
+                            server,
+                            policy,
+                            seed,
+                            idx,
+                            Direction::Up,
+                            stats,
+                            stop,
+                        )
+                    })
+                };
+                let down = {
+                    let stats = stats.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        forward(
+                            server2,
+                            client2,
+                            policy,
+                            seed,
+                            idx,
+                            Direction::Down,
+                            stats,
+                            stop,
+                        )
+                    })
+                };
+                relays.push(up);
+                relays.push(down);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(POLL),
+        }
+        // Reap finished relays so a long soak doesn't hoard handles.
+        relays.retain(|h| !h.is_finished());
+    }
+    for h in relays {
+        let _ = h.join();
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Client → server (requests).
+    Up,
+    /// Server → client (responses).
+    Down,
+}
+
+fn fault_for(
+    policy: &ChaosPolicy,
+    seed: u64,
+    conn_idx: u64,
+    dir: Direction,
+    epoch: u64,
+) -> WireFault {
+    match dir {
+        Direction::Up => policy.request_fault_at(seed, conn_idx, epoch),
+        Direction::Down => policy.response_fault_at(seed, conn_idx, epoch),
+    }
+}
+
+/// Copies `src` → `dst` applying the policy's per-epoch [`WireFault`]s,
+/// until EOF, error, fault-cut, or proxy stop.
+#[allow(clippy::too_many_arguments)]
+fn forward(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    policy: ChaosPolicy,
+    seed: u64,
+    conn_idx: u64,
+    dir: Direction,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = src.set_read_timeout(Some(POLL));
+    let span = policy.redraw_bytes.max(1);
+    let mut buf = [0u8; COPY_BUF];
+    let mut offset = 0usize; // bytes relayed so far in this direction
+    let mut epoch = 0u64;
+    let mut fault = fault_for(&policy, seed, conn_idx, dir, 0);
+    let mut chop_counted = false;
+    // On clean EOF the half-close is propagated (shutdown write on
+    // `dst`) and the opposite direction keeps flowing; a fault, error,
+    // or stop severs both sockets outright.
+    let mut sever = true;
+    'relay: loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                sever = false;
+                break;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        // Split the burst at epoch boundaries so each sub-chunk sees
+        // exactly its epoch's fault — firing stays a function of byte
+        // offsets, never of how the kernel coalesced the reads.
+        let mut rest: &mut [u8] = &mut buf[..n];
+        while !rest.is_empty() {
+            let cur = (offset / span) as u64;
+            if cur != epoch {
+                epoch = cur;
+                fault = fault_for(&policy, seed, conn_idx, dir, epoch);
+                chop_counted = false;
+            }
+            let epoch_end = (cur as usize + 1).saturating_mul(span);
+            let take = rest.len().min(epoch_end - offset);
+            let (sub, tail) = rest.split_at_mut(take);
+            rest = tail;
+            match fault {
+                WireFault::None => {}
+                WireFault::CutAfter(cut_at) => {
+                    if offset + sub.len() >= cut_at {
+                        let keep = cut_at.saturating_sub(offset);
+                        let partial = &sub[..keep];
+                        if !partial.is_empty() && dst.write_all(partial).is_err() {
+                            break 'relay;
+                        }
+                        match dir {
+                            Direction::Up => stats.requests_cut.fetch_add(1, Ordering::Relaxed),
+                            Direction::Down => stats.responses_cut.fetch_add(1, Ordering::Relaxed),
+                        };
+                        count_bytes(&stats, dir, keep);
+                        break 'relay;
+                    }
+                }
+                WireFault::FlipBit { offset: at, bit } => {
+                    if at >= offset && at < offset + sub.len() {
+                        sub[at - offset] ^= 1 << (bit & 7);
+                        stats.bits_flipped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                WireFault::StallAt { offset: at, millis } => {
+                    if at >= offset && at < offset + sub.len() {
+                        stats.stalls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                }
+                WireFault::Chop { piece } => {
+                    if !chop_counted {
+                        stats.chopped.fetch_add(1, Ordering::Relaxed);
+                        chop_counted = true;
+                    }
+                    for p in sub.chunks(piece.max(1)) {
+                        if dst.write_all(p).is_err() {
+                            break 'relay;
+                        }
+                        let _ = dst.flush();
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    count_bytes(&stats, dir, sub.len());
+                    offset += take;
+                    continue;
+                }
+            }
+            if dst.write_all(sub).is_err() {
+                break 'relay;
+            }
+            count_bytes(&stats, dir, sub.len());
+            offset += take;
+        }
+    }
+    if sever {
+        // Sever both directions: half-open relays would otherwise leave
+        // the peer forwarder (and the client) waiting out full timeouts.
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    } else {
+        let _ = dst.shutdown(Shutdown::Write);
+    }
+}
+
+fn count_bytes(stats: &ChaosStats, dir: Direction, n: usize) {
+    match dir {
+        Direction::Up => stats.bytes_up.fetch_add(n as u64, Ordering::Relaxed),
+        Direction::Down => stats.bytes_down.fetch_add(n as u64, Ordering::Relaxed),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A tiny echo server: accepts one connection at a time, echoes
+    /// bytes until EOF. Returns its address and a stop closure.
+    fn start_echo() -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut s, _)) => {
+                            let _ = s.set_read_timeout(Some(Duration::from_millis(25)));
+                            let mut buf = [0u8; 4096];
+                            loop {
+                                match s.read(&mut buf) {
+                                    Ok(0) => break,
+                                    Ok(n) => {
+                                        if s.write_all(&buf[..n]).is_err() {
+                                            break;
+                                        }
+                                    }
+                                    Err(e)
+                                        if e.kind() == std::io::ErrorKind::WouldBlock
+                                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                                    {
+                                        if stop.load(Ordering::Relaxed) {
+                                            break;
+                                        }
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+        };
+        (addr, stop, handle)
+    }
+
+    fn round_trip(addr: SocketAddr, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_secs(2)))?;
+        s.write_all(payload)?;
+        s.shutdown(Shutdown::Write)?;
+        let mut out = Vec::new();
+        s.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn clean_policy_relays_bytes_intact() {
+        let (echo, stop, handle) = start_echo();
+        let mut proxy = ChaosProxy::start(echo, ChaosPolicy::clean(), 7).unwrap();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        let back = round_trip(proxy.local_addr(), &payload).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(proxy.stats().faults_fired(), 0);
+        assert!(proxy.stats().bytes_up.load(Ordering::Relaxed) >= payload.len() as u64);
+        proxy.stop();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn refuse_all_severs_every_connection() {
+        let (echo, stop, handle) = start_echo();
+        let policy = ChaosPolicy {
+            refuse_per_mille: 1000,
+            ..ChaosPolicy::clean()
+        };
+        let mut proxy = ChaosProxy::start(echo, policy, 11).unwrap();
+        for _ in 0..5 {
+            // The connect itself may succeed (the proxy accepts before
+            // refusing) but no byte ever comes back.
+            if let Ok(bytes) = round_trip(proxy.local_addr(), b"hello") {
+                assert!(bytes.is_empty());
+            }
+        }
+        assert_eq!(proxy.stats().refused.load(Ordering::Relaxed), 5);
+        proxy.stop();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn response_cut_truncates_at_the_planned_offset() {
+        let (echo, stop, handle) = start_echo();
+        let policy = ChaosPolicy {
+            cut_response_per_mille: 1000,
+            cut_response_window: 64,
+            ..ChaosPolicy::clean()
+        };
+        let seed = 21;
+        let mut proxy = ChaosProxy::start(echo, policy, seed).unwrap();
+        let payload = vec![0xABu8; 1000];
+        let back = round_trip(proxy.local_addr(), &payload).unwrap_or_default();
+        let plan = policy.plan(seed, 0);
+        let WireFault::CutAfter(cut_at) = plan.response else {
+            panic!("plan should cut the response");
+        };
+        assert!(back.len() <= cut_at, "{} > {}", back.len(), cut_at);
+        assert_eq!(back, payload[..back.len()]);
+        assert_eq!(proxy.stats().responses_cut.load(Ordering::Relaxed), 1);
+        proxy.stop();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_the_planned_byte() {
+        let (echo, stop, handle) = start_echo();
+        let policy = ChaosPolicy {
+            flip_response_per_mille: 1000,
+            flip_window: 512,
+            ..ChaosPolicy::clean()
+        };
+        let seed = 33;
+        let mut proxy = ChaosProxy::start(echo, policy, seed).unwrap();
+        // One epoch's worth of zeros: exactly the epoch-0 flip applies.
+        let payload = vec![0u8; 1024];
+        let back = round_trip(proxy.local_addr(), &payload).unwrap();
+        assert_eq!(back.len(), payload.len());
+        let plan = policy.plan(seed, 0);
+        let WireFault::FlipBit { offset, bit } = plan.response else {
+            panic!("plan should flip a response bit");
+        };
+        for (i, (&a, &b)) in back.iter().zip(payload.iter()).enumerate() {
+            if i == offset {
+                assert_eq!(a, b ^ (1 << bit), "flip at {i}");
+            } else {
+                assert_eq!(a, b, "unexpected diff at {i}");
+            }
+        }
+        assert_eq!(proxy.stats().bits_flipped.load(Ordering::Relaxed), 1);
+        proxy.stop();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn chop_preserves_content() {
+        let (echo, stop, handle) = start_echo();
+        let policy = ChaosPolicy {
+            chop_per_mille: 1000,
+            chop_piece: 3,
+            ..ChaosPolicy::clean()
+        };
+        let mut proxy = ChaosProxy::start(echo, policy, 5).unwrap();
+        let payload: Vec<u8> = (0..500u16).map(|i| (i % 251) as u8).collect();
+        let back = round_trip(proxy.local_addr(), &payload).unwrap();
+        assert_eq!(back, payload);
+        assert!(proxy.stats().chopped.load(Ordering::Relaxed) >= 1);
+        proxy.stop();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn long_lived_connections_keep_redrawing_faults() {
+        // A stream many epochs long must see fresh draws: with a 1 KiB
+        // epoch and flips at 500‰, 64 epochs of zeros cannot all draw
+        // clean (p < 1e-19 per seed, and the seed is fixed anyway).
+        let (echo, stop, handle) = start_echo();
+        let policy = ChaosPolicy {
+            flip_response_per_mille: 500,
+            flip_window: 1024,
+            redraw_bytes: 1024,
+            ..ChaosPolicy::clean()
+        };
+        let mut proxy = ChaosProxy::start(echo, policy, 13).unwrap();
+        let payload = vec![0u8; 64 * 1024];
+        let back = round_trip(proxy.local_addr(), &payload).unwrap();
+        assert_eq!(back.len(), payload.len());
+        let flips = proxy.stats().bits_flipped.load(Ordering::Relaxed);
+        assert!(flips > 1, "expected multiple epoch flips, saw {flips}");
+        let diffs = back.iter().zip(&payload).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs as u64, flips, "each fired flip corrupts one byte");
+        proxy.stop();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn plans_replay_from_the_seed() {
+        let policy = ChaosPolicy::mixed();
+        for conn in 0..200 {
+            assert_eq!(policy.plan(99, conn), policy.plan(99, conn));
+        }
+        for epoch in 0..50 {
+            assert_eq!(
+                policy.request_fault_at(99, 3, epoch),
+                policy.request_fault_at(99, 3, epoch)
+            );
+            assert_eq!(
+                policy.response_fault_at(99, 3, epoch),
+                policy.response_fault_at(99, 3, epoch)
+            );
+        }
+        // Different seeds should not produce the same plan sequence.
+        let same = (0..200).all(|c| policy.plan(1, c) == policy.plan(2, c));
+        assert!(!same);
+        // Every fault class appears somewhere in a long-enough run.
+        let mut saw_refuse = false;
+        let mut saw_cut = false;
+        let mut saw_flip = false;
+        let mut saw_stall = false;
+        let mut saw_chop = false;
+        for c in 0..2000 {
+            let p = policy.plan(7, c);
+            saw_refuse |= p.refuse;
+            for f in [p.request, p.response] {
+                match f {
+                    WireFault::CutAfter(_) => saw_cut = true,
+                    WireFault::FlipBit { .. } => saw_flip = true,
+                    WireFault::StallAt { .. } => saw_stall = true,
+                    WireFault::Chop { .. } => saw_chop = true,
+                    WireFault::None => {}
+                }
+            }
+        }
+        assert!(saw_refuse && saw_cut && saw_flip && saw_stall && saw_chop);
+    }
+}

@@ -18,6 +18,10 @@
 //! structured faults, duplicated here as constants so the harness stays
 //! usable from any crate's dev-dependencies without cycles.
 
+pub mod chaos;
+
+pub use chaos::{ChaosPolicy, ChaosProxy, ChaosStats, ConnPlan, WireFault};
+
 use std::ops::Range;
 
 /// xorshift64* — tiny, seedable, good enough for fault placement.

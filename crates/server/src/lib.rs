@@ -14,9 +14,11 @@
 //!   Shutdown is cooperative: the `shutdown` op or a [`ServerHandle`]
 //!   flips a flag and workers drain until a deadline.
 //! - [`Client`]: typed calls (`compress`, `decompress`, `get_range`,
-//!   `scan`, `info`, `stats`, `ping`, `shutdown_server`) with request-id
-//!   matching, plus a split [`Client::send`]/[`Client::recv`] pair for
-//!   pipelining.
+//!   `scan`, `info`, `stats`, `health`, `ping`, `shutdown_server`) with
+//!   request-id matching, plus a split [`Client::send`]/[`Client::recv`]
+//!   pair for pipelining. [`RetryingClient`] wraps it with reconnects,
+//!   seeded decorrelated-jitter backoff, per-call deadlines, and
+//!   idempotence-aware retries under a [`RetryPolicy`].
 //!
 //! Range reads (`get_range`) are backed by a hot-slab cache
 //! ([`SlabCache`]): decoded chunk slabs are kept under an LRU byte
@@ -37,11 +39,12 @@ pub mod server;
 pub mod wire;
 
 pub use cache::{SlabCache, SlabKey};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ConnectOptions, RetryPolicy, RetryStats, RetryingClient};
 pub use metrics::{OpStats, ServiceMetrics, StatsSnapshot};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
     fnv1a, CompressRequest, DecompressMode, DecompressRequest, DecompressResponse, ErrorCode,
-    ErrorResponse, Frame, GetRangeRequest, Op, RemoteInfo, WireError, FLAG_ERROR, FLAG_RESPONSE,
-    FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+    ErrorResponse, Frame, GetRangeRequest, HealthResponse, Op, RemoteInfo, WireError, FLAG_ERROR,
+    FLAG_RESPONSE, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+    WIRE_VERSION_MIN,
 };

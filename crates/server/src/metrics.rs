@@ -33,6 +33,8 @@ pub struct ServiceMetrics {
     ops: [OpMetrics; Op::ALL.len()],
     /// Connections rejected with `Busy` because the queue was full.
     pub rejected_busy: Counter,
+    /// Requests shed with `Unavailable` because the server was draining.
+    pub rejected_unavailable: Counter,
     /// Frames that failed structural validation.
     pub malformed_frames: Counter,
     /// Connections accepted over the server's lifetime.
@@ -114,6 +116,7 @@ impl ServiceMetrics {
             cache_misses: self.cache_misses.get(),
             cache_evictions: self.cache_evictions.get(),
             active_connections: self.active_connections(),
+            rejected_unavailable: self.rejected_unavailable.get(),
         }
     }
 }
@@ -164,6 +167,9 @@ pub struct StatsSnapshot {
     pub cache_evictions: u64,
     /// Connections in service at sampling time.
     pub active_connections: u64,
+    /// Requests shed with `Unavailable` while draining (additive wire
+    /// field: decodes as 0 from version-1 snapshots).
+    pub rejected_unavailable: u64,
 }
 
 impl StatsSnapshot {
@@ -205,6 +211,9 @@ impl StatsSnapshot {
             self.cache_misses,
             self.cache_evictions,
             self.active_connections,
+            // New trailing fields ride last so version-1 decoders (which
+            // stop reading after the fields they know) stay compatible.
+            self.rejected_unavailable,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -248,6 +257,8 @@ impl StatsSnapshot {
             cache_misses: c.u64()?,
             cache_evictions: c.u64()?,
             active_connections: c.u64()?,
+            // Additive field: absent in version-1 snapshots, reads as 0.
+            rejected_unavailable: if c.remaining() >= 8 { c.u64()? } else { 0 },
         })
     }
 }
@@ -263,6 +274,7 @@ mod tests {
         m.record_request(Op::Compress, 4096, 0, Duration::from_micros(120), true);
         m.record_request(Op::Ping, 0, 0, Duration::from_micros(3), false);
         m.rejected_busy.incr();
+        m.rejected_unavailable.add(3);
         m.connections_total.add(2);
         m.cache_hits.add(5);
         m.cache_misses.add(2);
@@ -277,10 +289,23 @@ mod tests {
         assert!(c.latency.p99_us > 0.0);
         assert_eq!(back.total_requests(), 3);
         assert_eq!(back.rejected_busy, 1);
+        assert_eq!(back.rejected_unavailable, 3);
         assert_eq!(
             (back.cache_hits, back.cache_misses, back.cache_evictions),
             (5, 2, 1)
         );
+    }
+
+    #[test]
+    fn version1_snapshots_without_the_trailing_field_still_decode() {
+        let m = ServiceMetrics::new();
+        m.rejected_unavailable.add(9);
+        let mut bytes = m.snapshot().encode();
+        // Strip the additive trailing field, as a version-1 peer would
+        // have encoded it.
+        bytes.truncate(bytes.len() - 8);
+        let back = StatsSnapshot::decode(&bytes).unwrap();
+        assert_eq!(back.rejected_unavailable, 0);
     }
 
     #[test]
@@ -299,7 +324,9 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_request(Op::Scan, 10, 10, Duration::from_micros(5), false);
         let bytes = m.snapshot().encode();
-        for cut in 0..bytes.len() {
+        // The final 8 bytes are the additive optional field — cuts inside
+        // it decode as its absence, so only cuts before it must fail.
+        for cut in 0..bytes.len() - 8 {
             assert!(StatsSnapshot::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
     }

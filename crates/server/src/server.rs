@@ -62,6 +62,8 @@ pub struct ServerConfig {
     pub max_frame_payload: usize,
     /// Byte budget for the hot-slab range cache; 0 disables caching.
     pub cache_bytes: usize,
+    /// Backoff hint carried by `Busy` rejections (`retry_after_ms`).
+    pub busy_retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +76,7 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             max_frame_payload: MAX_FRAME_PAYLOAD,
             cache_bytes: 64 << 20,
+            busy_retry_after: Duration::from_millis(100),
         }
     }
 }
@@ -113,6 +116,21 @@ impl Shared {
             .lock()
             .expect("drain lock poisoned")
             .is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// The backoff hint to carry on shed requests. While draining, the
+    /// hint is the remaining drain window (after which a restarted
+    /// server could bind again); otherwise the configured busy backoff.
+    fn retry_after_hint(&self) -> Duration {
+        let drain_remaining = self
+            .drain_until
+            .lock()
+            .expect("drain lock poisoned")
+            .map(|t| t.saturating_duration_since(Instant::now()));
+        match drain_remaining {
+            Some(rem) => rem.max(self.config.busy_retry_after),
+            None => self.config.busy_retry_after,
+        }
     }
 }
 
@@ -237,22 +255,62 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-/// Answers one `Busy` error frame (request id 0 — no request was read)
-/// and drops the connection.
-fn reject_busy(mut stream: TcpStream, shared: &Shared) {
+/// Best-effort peek at the first frame header of a rejected connection
+/// so the `Busy` answer can echo the request's id and op. Returns
+/// `(op, req_id)` when a structurally valid header was already readable
+/// within the (short) budget; pipelining clients then correlate the
+/// rejection with the request that caused it.
+fn peek_rejected_header(stream: &TcpStream, budget: Duration) -> Option<(u8, u64)> {
+    use crate::wire::{FRAME_HEADER_BYTES, WIRE_MAGIC, WIRE_VERSION, WIRE_VERSION_MIN};
+    stream.set_read_timeout(Some(budget)).ok()?;
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    // Peek (never consume): the client's frame stays intact on the
+    // socket, and a header that doesn't fully arrive within the budget
+    // just means we answer with id 0 as before.
+    let deadline = Instant::now() + budget;
+    loop {
+        match stream.peek(&mut header) {
+            Ok(got) if got >= FRAME_HEADER_BYTES => break,
+            Ok(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            _ => return None,
+        }
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != WIRE_MAGIC {
+        return None;
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
+        return None;
+    }
+    let req_id = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    Some((header[6], req_id))
+}
+
+/// Answers one `Busy` error frame and drops the connection. When the
+/// client's first frame header is already readable, its request id and
+/// op are echoed so pipelining clients can correlate the rejection;
+/// id 0 only when nothing parsed.
+fn reject_busy(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let (op, req_id) =
+        peek_rejected_header(&stream, Duration::from_millis(50)).unwrap_or((Op::Ping as u8, 0));
     let busy = ErrorResponse::new(
         ErrorCode::Busy,
         format!(
             "request queue full ({} waiting); retry later",
             shared.config.queue_capacity
         ),
-    );
+    )
+    .with_retry_after(shared.retry_after_hint());
+    let mut stream = stream;
     let _ = write_frame(
         &mut stream,
-        Op::Ping as u8,
+        op,
         FLAG_RESPONSE | FLAG_ERROR,
-        0,
+        req_id,
         &busy.encode(),
     );
 }
@@ -396,6 +454,16 @@ fn handle_frame(
             ErrorCode::BadRequest,
             "a server does not accept response frames",
         ))
+    } else if shared.is_shutting_down() && sheds_while_draining(op) {
+        // Graceful load shedding: a draining server refuses new work
+        // with a typed, retryable answer instead of doing half a job
+        // against the drain deadline. Probes (ping/health/stats) and
+        // repeated shutdowns still get real answers.
+        shared.metrics.rejected_unavailable.incr();
+        Err(
+            ErrorResponse::new(ErrorCode::Unavailable, "server is draining for shutdown")
+                .with_retry_after(shared.retry_after_hint()),
+        )
     } else {
         handle_op(op, &frame.payload, shared, engine)
     };
@@ -416,6 +484,13 @@ fn handle_frame(
         shared.begin_shutdown();
     }
     write_frame(stream, frame.op, flags, frame.req_id, &payload).is_ok()
+}
+
+/// True for ops a draining server sheds with `Unavailable`: the heavy
+/// pipeline work it can no longer promise to finish. Probes and
+/// shutdown itself keep answering so clients can watch the drain.
+fn sheds_while_draining(op: Op) -> bool {
+    !matches!(op, Op::Ping | Op::Health | Op::Stats | Op::Shutdown)
 }
 
 /// Maps a pipeline error to a typed response: request-shaped faults are
@@ -449,6 +524,20 @@ fn handle_op(
         Op::Ping => Ok(Vec::new()),
         Op::Shutdown => Ok(Vec::new()),
         Op::Stats => Ok(shared.metrics.snapshot().encode()),
+        Op::Health => {
+            // Answered straight from shared state — never touches the
+            // engine, so it stays cheap under full load.
+            let queue_depth = shared.queue.lock().expect("queue lock poisoned").len();
+            Ok(crate::wire::HealthResponse {
+                queue_depth: queue_depth.min(u32::MAX as usize) as u32,
+                queue_capacity: shared.config.queue_capacity.min(u32::MAX as usize) as u32,
+                draining: shared.is_shutting_down(),
+                active_connections: shared.metrics.active_connections().min(u32::MAX as u64) as u32,
+                workers: shared.config.workers.min(u32::MAX as usize) as u32,
+                retry_after_ms: shared.retry_after_hint().as_millis().min(u32::MAX as u128) as u32,
+            }
+            .encode())
+        }
         Op::Compress => handle_compress(payload, engine),
         Op::Decompress => handle_decompress(payload),
         Op::Scan => {

@@ -28,8 +28,15 @@ use std::io::{Read, Write};
 
 /// Frame magic: "CSRP" little-endian.
 pub const WIRE_MAGIC: u32 = 0x5052_5343;
-/// Protocol version this build speaks.
-pub const WIRE_VERSION: u16 = 1;
+/// Protocol version this build speaks (minor bump 2: `health` op,
+/// `Unavailable` error code, and the additive `retry_after_ms` field on
+/// error responses — all strictly additive, so version-1 peers are
+/// still accepted).
+pub const WIRE_VERSION: u16 = 2;
+/// Oldest protocol version this build still accepts. Versions in
+/// `WIRE_VERSION_MIN..=WIRE_VERSION` differ only by additive payload
+/// fields that old decoders skip, so the whole range interoperates.
+pub const WIRE_VERSION_MIN: u16 = 1;
 /// Fixed frame header bytes (before the payload).
 pub const FRAME_HEADER_BYTES: usize = 20;
 /// Hard cap on a frame payload (1 GiB). Server configs may lower it.
@@ -74,11 +81,15 @@ pub enum Op {
     /// Decode only the chunks covering a sub-volume of an archive
     /// (strictly additive: servers that predate it answer `UnknownOp`).
     GetRange = 7,
+    /// Cheap liveness + load probe: queue depth and drain state,
+    /// answered without touching a pipeline engine (strictly additive:
+    /// servers that predate it answer `UnknownOp`).
+    Health = 8,
 }
 
 impl Op {
     /// All ops, in wire-tag order.
-    pub const ALL: [Op; 8] = [
+    pub const ALL: [Op; 9] = [
         Op::Ping,
         Op::Compress,
         Op::Decompress,
@@ -87,6 +98,7 @@ impl Op {
         Op::Stats,
         Op::Shutdown,
         Op::GetRange,
+        Op::Health,
     ];
 
     /// Parses the wire tag.
@@ -105,7 +117,18 @@ impl Op {
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
             Op::GetRange => "get_range",
+            Op::Health => "health",
         }
+    }
+
+    /// True when retrying this op after an ambiguous failure is safe.
+    ///
+    /// Every request in the protocol is a pure function of its payload —
+    /// compressing the same field twice yields bit-identical archives,
+    /// reads are reads — except `shutdown`, whose side effect (begin
+    /// draining) must not be re-issued blindly by a generic retry loop.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Op::Shutdown)
     }
 }
 
@@ -237,7 +260,7 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, WireEr
         return Err(WireError::BadMagic(magic));
     }
     let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
-    if version != WIRE_VERSION {
+    if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let op = header[6];
@@ -449,6 +472,9 @@ pub enum ErrorCode {
     ShuttingDown = 7,
     /// Declared payload exceeds the server's frame cap.
     FrameTooLarge = 8,
+    /// The server is draining: it will not take new work, and the
+    /// carried `retry_after_ms` hints when to try again (elsewhere).
+    Unavailable = 9,
 }
 
 impl ErrorCode {
@@ -463,6 +489,7 @@ impl ErrorCode {
             ErrorCode::Pipeline,
             ErrorCode::ShuttingDown,
             ErrorCode::FrameTooLarge,
+            ErrorCode::Unavailable,
         ]
         .into_iter()
         .find(|c| *c as u16 == v)
@@ -479,7 +506,20 @@ impl ErrorCode {
             ErrorCode::Pipeline => "pipeline error",
             ErrorCode::ShuttingDown => "shutting down",
             ErrorCode::FrameTooLarge => "frame too large",
+            ErrorCode::Unavailable => "unavailable (draining)",
         }
+    }
+
+    /// True when the condition is transient and the same request may
+    /// succeed on a retry: backpressure (`Busy`), draining
+    /// (`Unavailable`), or a frame damaged *in transit*
+    /// (`MalformedFrame` — the bytes the client sent were sound, the
+    /// wire mangled them).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Busy | ErrorCode::Unavailable | ErrorCode::MalformedFrame
+        )
     }
 }
 
@@ -490,38 +530,122 @@ pub struct ErrorResponse {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// Load-shedding hint: how long the client should back off before
+    /// retrying this request. Strictly additive (wire minor version 2):
+    /// it rides *after* the message, where a version-1 decoder simply
+    /// stops reading, so old clients still parse the code and message.
+    pub retry_after_ms: Option<u32>,
 }
 
 impl ErrorResponse {
-    /// Builds a typed error.
+    /// Builds a typed error with no retry hint.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
         Self {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
     }
 
-    /// Serializes for the wire.
+    /// Attaches a retry hint (load-shedding responses: `Busy`,
+    /// `Unavailable`).
+    pub fn with_retry_after(mut self, retry_after: std::time::Duration) -> Self {
+        self.retry_after_ms = Some(retry_after.as_millis().min(u32::MAX as u128) as u32);
+        self
+    }
+
+    /// Serializes for the wire. The optional retry hint is appended
+    /// after the message so version-1 decoders ignore it.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(2 + 2 + self.message.len());
+        let mut out = Vec::with_capacity(2 + 2 + self.message.len() + 4);
         out.extend_from_slice(&(self.code as u16).to_le_bytes());
         put_str(&mut out, &self.message);
+        if let Some(ms) = self.retry_after_ms {
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
         out
     }
 
-    /// Parses from an error-response payload.
+    /// Parses from an error-response payload. A trailing
+    /// `retry_after_ms` is read when present (version ≥ 2 servers);
+    /// its absence parses as no hint, so both directions interoperate.
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut c = Cur::new(payload);
         let code =
             ErrorCode::from_u16(c.u16()?).ok_or(WireError::BadPayload("unknown error code"))?;
         let message = c.str()?;
-        Ok(Self { code, message })
+        let retry_after_ms = if c.remaining() >= 4 {
+            Some(c.u32()?)
+        } else {
+            None
+        };
+        Ok(Self {
+            code,
+            message,
+            retry_after_ms,
+        })
     }
 }
 
 impl std::fmt::Display for ErrorResponse {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.code.name(), self.message)
+        write!(f, "{}: {}", self.code.name(), self.message)?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (retry after {ms} ms)")?;
+        }
+        Ok(())
+    }
+}
+
+/// The `health` op's response: a cheap load/liveness probe answered
+/// straight from the server's shared state, never touching a pipeline
+/// engine — so it stays fast even when every worker is busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthResponse {
+    /// Connections waiting in the accept queue.
+    pub queue_depth: u32,
+    /// Queue capacity; at `queue_depth == queue_capacity` the acceptor
+    /// sheds with `Busy`.
+    pub queue_capacity: u32,
+    /// True once graceful shutdown has begun (new work is shed with
+    /// `Unavailable`).
+    pub draining: bool,
+    /// Connections currently being served.
+    pub active_connections: u32,
+    /// Worker threads (each owning one pipeline engine).
+    pub workers: u32,
+    /// The server's current backoff hint for shed requests, in ms.
+    pub retry_after_ms: u32,
+}
+
+impl HealthResponse {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21);
+        out.extend_from_slice(&self.queue_depth.to_le_bytes());
+        out.extend_from_slice(&self.queue_capacity.to_le_bytes());
+        out.push(self.draining as u8);
+        out.extend_from_slice(&self.active_connections.to_le_bytes());
+        out.extend_from_slice(&self.workers.to_le_bytes());
+        out.extend_from_slice(&self.retry_after_ms.to_le_bytes());
+        out
+    }
+
+    /// Parses a health response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        Ok(Self {
+            queue_depth: c.u32()?,
+            queue_capacity: c.u32()?,
+            draining: match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::BadPayload("bad draining flag")),
+            },
+            active_connections: c.u32()?,
+            workers: c.u32()?,
+            retry_after_ms: c.u32()?,
+        })
     }
 }
 
@@ -1084,5 +1208,79 @@ mod tests {
         let e = ErrorResponse::new(ErrorCode::Busy, "queue full (16 waiting)");
         assert_eq!(ErrorResponse::decode(&e.encode()).unwrap(), e);
         assert!(e.to_string().contains("busy"));
+    }
+
+    #[test]
+    fn retry_after_hint_is_additive() {
+        let e = ErrorResponse::new(ErrorCode::Unavailable, "draining")
+            .with_retry_after(std::time::Duration::from_millis(250));
+        let bytes = e.encode();
+        let back = ErrorResponse::decode(&bytes).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.retry_after_ms, Some(250));
+        assert!(back.to_string().contains("retry after 250 ms"));
+        // A version-1 encoder omits the trailing hint; the new decoder
+        // reads that as "no hint" — both directions interoperate.
+        let v1 = ErrorResponse::new(ErrorCode::Busy, "queue full");
+        let back = ErrorResponse::decode(&v1.encode()).unwrap();
+        assert_eq!(back.retry_after_ms, None);
+    }
+
+    #[test]
+    fn version_window_accepts_v1_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Op::Ping as u8, 0, 3, b"").unwrap();
+        buf[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let frame = read_frame(&mut buf.as_slice(), MAX_FRAME_PAYLOAD).unwrap();
+        assert_eq!(frame.req_id, 3);
+        // Below the window and above it are both rejected.
+        for v in [0u16, WIRE_VERSION + 1] {
+            let mut bad = buf.clone();
+            bad[4..6].copy_from_slice(&v.to_le_bytes());
+            assert_eq!(
+                read_frame(&mut bad.as_slice(), MAX_FRAME_PAYLOAD),
+                Err(WireError::UnsupportedVersion(v))
+            );
+        }
+    }
+
+    #[test]
+    fn health_is_additive_to_the_op_table() {
+        assert_eq!(Op::Health as u8, 8);
+        assert_eq!(Op::from_u8(8), Some(Op::Health));
+        assert_eq!(Op::Health.name(), "health");
+        for (i, op) in Op::ALL.into_iter().enumerate() {
+            assert_eq!(op as u8, i as u8);
+        }
+    }
+
+    #[test]
+    fn health_response_roundtrip() {
+        let h = HealthResponse {
+            queue_depth: 3,
+            queue_capacity: 16,
+            draining: true,
+            active_connections: 5,
+            workers: 2,
+            retry_after_ms: 100,
+        };
+        assert_eq!(HealthResponse::decode(&h.encode()).unwrap(), h);
+        let mut bad = h.encode();
+        bad[8] = 7; // draining flag must be 0 or 1
+        assert!(HealthResponse::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn only_shutdown_is_non_idempotent() {
+        for op in Op::ALL {
+            assert_eq!(op.is_idempotent(), op != Op::Shutdown, "{}", op.name());
+        }
+        // Transient codes are exactly the load-shedding + transit-damage
+        // classes a retry loop may re-issue against.
+        assert!(ErrorCode::Busy.is_transient());
+        assert!(ErrorCode::Unavailable.is_transient());
+        assert!(ErrorCode::MalformedFrame.is_transient());
+        assert!(!ErrorCode::BadRequest.is_transient());
+        assert!(!ErrorCode::Pipeline.is_transient());
     }
 }

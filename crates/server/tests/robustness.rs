@@ -231,7 +231,13 @@ fn full_queue_answers_busy_and_it_shows_in_stats() {
         .unwrap();
     let err = rejected.ping().expect_err("third connection must be busy");
     match err {
-        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Busy, "{e}"),
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrorCode::Busy, "{e}");
+            assert!(
+                e.retry_after_ms.is_some(),
+                "busy rejections carry a retry hint"
+            );
+        }
         other => panic!("expected Busy, got {other:?}"),
     }
 
@@ -248,6 +254,53 @@ fn full_queue_answers_busy_and_it_shows_in_stats() {
     );
 
     drop(client);
+    stop_server(addr, join);
+}
+
+#[test]
+fn busy_rejection_echoes_the_request_id_when_readable() {
+    // Same full-queue setup as above, but the rejected client's frame is
+    // already on the socket when the acceptor rejects — so the Busy
+    // response must echo its request id and op (the peek path).
+    // A short server read timeout keeps the post-assert cleanup quick:
+    // the worker only needs to stay parked through the rejection window.
+    let (addr, _handle, join) = start_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+
+    let mut parked = Client::connect(addr).expect("connect parked");
+    parked.ping().expect("parked ping");
+    let _queued = TcpStream::connect(addr).expect("connect queued");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut stream = TcpStream::connect(addr).expect("connect rejected");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(&raw_frame(Op::Ping as u8, 0, 77, b""))
+        .expect("write ping");
+    let mut got = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    assert!(got.len() >= FRAME_HEADER_BYTES, "no busy frame came back");
+    let req_id = u64::from_le_bytes(got[8..16].try_into().unwrap());
+    assert_eq!(req_id, 77, "busy rejection echoes the peeked request id");
+    assert_eq!(got[6], Op::Ping as u8);
+    let e = first_error(&got).expect("typed busy error");
+    assert_eq!(e.code, ErrorCode::Busy);
+
+    drop(parked);
+    drop(stream);
     stop_server(addr, join);
 }
 

@@ -1,0 +1,124 @@
+//! Property-based fuzzing of the CSRP frame reader: arbitrary 20-byte
+//! headers and payload prefixes through `read_frame` must never panic,
+//! and every input must classify as *exactly one* `WireError` (or parse
+//! into a frame). The oracle below re-states the reader's documented
+//! precedence — magic → version window → length cap → truncation →
+//! checksum — so the test pins the classification order, not just
+//! panic-freedom.
+
+use cuszp_server::wire::{
+    fnv1a, read_frame, write_frame, Frame, WireError, FRAME_HEADER_BYTES, WIRE_MAGIC, WIRE_VERSION,
+    WIRE_VERSION_MIN,
+};
+use proptest::prelude::*;
+
+/// A small payload cap so `FrameTooLarge` is reachable with modest
+/// declared lengths and no test allocates more than 64 KiB.
+const CAP: usize = 64 << 10;
+
+/// The reader's contract, restated independently: what `read_frame`
+/// must return for `bytes`, in documented precedence order.
+fn oracle(bytes: &[u8], cap: usize) -> Result<Frame, WireError> {
+    if bytes.is_empty() {
+        return Err(WireError::Closed);
+    }
+    if bytes.len() < FRAME_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    if len > cap {
+        return Err(WireError::FrameTooLarge {
+            len: len as u64,
+            max: cap as u64,
+        });
+    }
+    let rest = &bytes[FRAME_HEADER_BYTES..];
+    if rest.len() < len + 8 {
+        return Err(WireError::Truncated);
+    }
+    let payload = &rest[..len];
+    let expected = u64::from_le_bytes(rest[len..len + 8].try_into().unwrap());
+    let actual = fnv1a(payload);
+    if expected != actual {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    Ok(Frame {
+        op: bytes[6],
+        flags: bytes[7],
+        req_id: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+        payload: payload.to_vec(),
+    })
+}
+
+fn assert_matches_oracle(bytes: &[u8]) -> Result<(), TestCaseError> {
+    let got = read_frame(&mut &bytes[..], CAP);
+    prop_assert_eq!(got, oracle(bytes, CAP));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fully arbitrary bytes: almost always dies at the magic check,
+    /// but whatever happens must match the oracle bit for bit.
+    #[test]
+    fn arbitrary_bytes_classify_exactly(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        assert_matches_oracle(&bytes)?;
+    }
+
+    /// Real magic with arbitrary header fields: exercises the version
+    /// window, the length cap, and truncation far more often than
+    /// random magic can.
+    #[test]
+    fn structured_headers_classify_exactly(
+        version in 0u16..5,
+        op in any::<u8>(),
+        flags in any::<u8>(),
+        req_id in any::<u64>(),
+        len in 0u32..200_000,
+        rest in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut bytes = Vec::with_capacity(FRAME_HEADER_BYTES + rest.len());
+        bytes.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&version.to_le_bytes());
+        bytes.push(op);
+        bytes.push(flags);
+        bytes.extend_from_slice(&req_id.to_le_bytes());
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&rest);
+        assert_matches_oracle(&bytes)?;
+    }
+
+    /// Valid frames, then one byte of damage and/or a truncation:
+    /// flipped op/flags/id bytes still parse (the checksum covers only
+    /// the payload), while payload or trailer damage must surface as
+    /// exactly the checksum/truncation error the oracle predicts.
+    #[test]
+    fn damaged_valid_frames_classify_exactly(
+        op in any::<u8>(),
+        flags in any::<u8>(),
+        req_id in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        hit in any::<u64>(),
+        xor in any::<u8>(),
+        cut in any::<u64>(),
+    ) {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, op, flags, req_id, &payload).unwrap();
+        let hit = (hit % bytes.len() as u64) as usize;
+        bytes[hit] ^= xor;
+        let cut = (cut % (bytes.len() as u64 + 1)) as usize;
+        bytes.truncate(cut);
+        assert_matches_oracle(&bytes)?;
+    }
+}

@@ -1,0 +1,130 @@
+//! Performance snapshot: per-workflow compress/decompress throughput plus
+//! loopback service round-trip latency, emitted as JSON on stdout.
+//!
+//! ```sh
+//! cargo run --release --example bench_snapshot > BENCH_<n>.json
+//! ```
+//!
+//! `scripts/bench_snapshot.sh` wraps this so the checked-in `BENCH_*.json`
+//! series accumulates one point per PR and the perf trajectory stays
+//! visible in review diffs.
+
+use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
+use cuszp::server::{Client, CompressRequest, DecompressMode, Server, ServerConfig};
+use cuszp::{Compressor, Config, Dtype, ErrorBound, Predictor, WorkflowChoice, WorkflowMode};
+use std::time::Instant;
+
+const EB: f64 = 1e-3;
+const REPS: usize = 3;
+const PINGS: usize = 100;
+
+fn main() {
+    let spec = dataset_fields(DatasetKind::CesmAtm)[0];
+    let field = generate(&spec, Scale::Small);
+    let mb = field.bytes() as f64 / (1024.0 * 1024.0);
+
+    println!("{{");
+    println!(
+        "  \"field\": \"{}/{}\",",
+        DatasetKind::CesmAtm.name(),
+        spec.name
+    );
+    println!("  \"dims\": \"{:?}\",", field.dims);
+    println!("  \"bytes\": {},", field.bytes());
+    println!("  \"error_bound\": \"rel {EB:e}\",");
+    println!("  \"workflows\": [");
+
+    let workflows: [(&str, WorkflowMode); 4] = [
+        ("auto", WorkflowMode::Auto),
+        ("huffman", WorkflowMode::Force(WorkflowChoice::Huffman)),
+        ("rle", WorkflowMode::Force(WorkflowChoice::Rle)),
+        ("rle+vle", WorkflowMode::Force(WorkflowChoice::RleVle)),
+    ];
+    for (i, (name, workflow)) in workflows.iter().enumerate() {
+        let compressor = Compressor::new(Config {
+            error_bound: ErrorBound::Relative(EB),
+            workflow: *workflow,
+            ..Config::default()
+        });
+        // Best-of-REPS so one scheduler hiccup does not pollute the series.
+        let mut t_comp = f64::MAX;
+        let mut t_decomp = f64::MAX;
+        let mut bytes = Vec::new();
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let archive = compressor.compress(&field.data, field.dims).unwrap();
+            t_comp = t_comp.min(t0.elapsed().as_secs_f64());
+            bytes = archive.to_bytes();
+            let t0 = Instant::now();
+            let (recon, _) = cuszp::decompress(&bytes).unwrap();
+            t_decomp = t_decomp.min(t0.elapsed().as_secs_f64());
+            assert_eq!(recon.len(), field.data.len());
+        }
+        println!(
+            "    {{\"workflow\": \"{name}\", \"compress_mb_s\": {:.1}, \"decompress_mb_s\": {:.1}, \"ratio\": {:.2}}}{}",
+            mb / t_comp,
+            mb / t_decomp,
+            field.bytes() as f64 / bytes.len() as f64,
+            if i + 1 < workflows.len() { "," } else { "" }
+        );
+    }
+    println!("  ],");
+
+    // Loopback service latency: a local server on an ephemeral port, one
+    // persistent connection, pings for the floor and one heavy round trip
+    // each for compress/decompress.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve());
+    let mut client = Client::connect(addr.to_string()).unwrap();
+
+    let mut ping_us: Vec<f64> = (0..PINGS)
+        .map(|_| {
+            let t0 = Instant::now();
+            client.ping().unwrap();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    ping_us.sort_by(|a, b| a.total_cmp(b));
+
+    let raw: Vec<u8> = field.data.iter().flat_map(|x| x.to_le_bytes()).collect();
+    let req = CompressRequest {
+        dims: field.dims,
+        dtype: Dtype::F32,
+        error_bound: ErrorBound::Relative(EB),
+        workflow: WorkflowMode::Auto,
+        predictor: Predictor::Lorenzo,
+        chunk_target: 0,
+        parity: None,
+        data: &raw,
+    };
+    let t0 = Instant::now();
+    let served = client.compress(&req).unwrap();
+    let compress_rt_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let resp = client.decompress(&served, DecompressMode::Strict).unwrap();
+    let decompress_rt_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(resp.data.len(), raw.len());
+    client.shutdown_server().unwrap();
+    drop(client);
+    handle.join().unwrap().unwrap();
+
+    println!("  \"loopback\": {{");
+    println!(
+        "    \"ping_p50_us\": {:.0}, \"ping_p99_us\": {:.0},",
+        ping_us[PINGS / 2],
+        ping_us[PINGS * 99 / 100]
+    );
+    println!(
+        "    \"compress_roundtrip_ms\": {compress_rt_ms:.1}, \"decompress_roundtrip_ms\": {decompress_rt_ms:.1}"
+    );
+    println!("  }}");
+    println!("}}");
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Write a performance snapshot (per-workflow compress/decompress
+# throughput + loopback service round-trip latency) to BENCH_<n>.json.
+# One snapshot is checked in per PR so the perf trajectory accumulates.
+#
+#   scripts/bench_snapshot.sh [n]      # default: next free index
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-}"
+if [[ -z "$N" ]]; then
+    N=1
+    while [[ -e "BENCH_${N}.json" ]]; do N=$((N + 1)); done
+fi
+OUT="BENCH_${N}.json"
+
+echo "==> building release bench_snapshot"
+cargo build --release --example bench_snapshot
+
+echo "==> running (field generation + 3 reps per workflow + loopback server)"
+./target/release/examples/bench_snapshot > "$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"

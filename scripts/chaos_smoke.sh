@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Chaos smoke test: boot `cuszp serve` on an ephemeral port, put a seeded
+# `cuszp chaos-proxy` in front of it (cuts, flips, chopped writes), and
+# drive a remote compress -> decompress -> get-range round trip through
+# the proxy with retries enabled. Every result must be bit-identical to
+# the local pipeline — the faults are allowed to cost retries, never
+# correctness. Fault draws are a pure function of (seed, byte offsets),
+# so a fixed seed replays the same injection schedule every run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CUSZP=target/release/cuszp
+if [[ ! -x "$CUSZP" ]]; then
+    echo "==> building release cuszp binary"
+    cargo build --release --bin cuszp
+fi
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+PROXY_PID=""
+cleanup() {
+    [[ -n "$PROXY_PID" ]] && kill "$PROXY_PID" 2>/dev/null || true
+    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> generating a small field"
+"$CUSZP" gen -o "$WORK/field.f32" --dataset cesm --field FSDSC --scale tiny 2> "$WORK/gen.log"
+DIMS=$(sed -n 's/.*-d \([0-9x]*\)$/\1/p' "$WORK/gen.log")
+[[ -n "$DIMS" ]] || { echo "FAIL: could not discover field dims"; cat "$WORK/gen.log"; exit 1; }
+
+echo "==> booting cuszp serve on an ephemeral port"
+"$CUSZP" serve -a 127.0.0.1:0 --workers 2 > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^cuszp-server listening on //p' "$WORK/serve.out")
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died at boot"; cat "$WORK/serve.err"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "FAIL: server never reported its address"; exit 1; }
+echo "    server at $ADDR (pid $SERVER_PID)"
+
+echo "==> booting chaos-proxy in front of it (fixed seed, cuts + flips + chop)"
+# Rates are per-mille per 1 MiB stream epoch: the tiny field's ~1.6 MiB
+# transfers span a couple of epochs, so each attempt fails with moderate
+# probability and a dozen retries make overall success overwhelming.
+"$CUSZP" chaos-proxy --upstream "$ADDR" -a 127.0.0.1:0 --seed 7 \
+    --cut-request 120 --cut-response 120 --flip 80 --chop 200 --chop-piece 512 \
+    --redraw-bytes 1048576 > "$WORK/proxy.out" 2> "$WORK/proxy.err" &
+PROXY_PID=$!
+PADDR=""
+for _ in $(seq 1 50); do
+    PADDR=$(sed -n 's/^chaos-proxy listening on //p' "$WORK/proxy.out")
+    [[ -n "$PADDR" ]] && break
+    kill -0 "$PROXY_PID" 2>/dev/null || { echo "FAIL: proxy died at boot"; cat "$WORK/proxy.err"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$PADDR" ]] || { echo "FAIL: proxy never reported its address"; exit 1; }
+echo "    proxy at $PADDR (pid $PROXY_PID)"
+
+echo "==> health probe through the proxy"
+"$CUSZP" remote health -s "$PADDR" --retries 8 > "$WORK/health.out"
+grep -q '^healthy:' "$WORK/health.out" || { echo "FAIL: health probe"; cat "$WORK/health.out"; exit 1; }
+
+echo "==> remote compress through chaos (retries on)"
+"$CUSZP" remote compress -s "$PADDR" -i "$WORK/field.f32" -o "$WORK/field.csz" \
+    -d "$DIMS" -e 1e-3 --retries 12 --deadline-ms 60000 2> "$WORK/compress.err" \
+    || { echo "FAIL: remote compress through chaos"; cat "$WORK/compress.err"; exit 1; }
+
+echo "==> chaotic bytes match the local chunked compressor"
+"$CUSZP" compress -i "$WORK/field.f32" -o "$WORK/local.csz" -d "$DIMS" -e 1e-3 \
+    --threads 2 2> /dev/null
+cmp "$WORK/field.csz" "$WORK/local.csz" \
+    || { echo "FAIL: archive through chaos differs from local bytes"; exit 1; }
+
+echo "==> remote decompress through chaos matches local decompress"
+"$CUSZP" remote decompress "$WORK/field.csz" -s "$PADDR" -o "$WORK/recon_chaos.f32" \
+    --retries 12 --deadline-ms 60000 2> "$WORK/decompress.err" \
+    || { echo "FAIL: remote decompress through chaos"; cat "$WORK/decompress.err"; exit 1; }
+"$CUSZP" decompress -i "$WORK/field.csz" -o "$WORK/recon_local.f32" 2> /dev/null
+cmp "$WORK/recon_chaos.f32" "$WORK/recon_local.f32" \
+    || { echo "FAIL: reconstruction through chaos differs"; exit 1; }
+
+echo "==> remote get-range through chaos matches local extract"
+NY=${DIMS%x*}
+NX=${DIMS#*x}
+RANGE="1:$((NY / 2))x2:$((NX - 3))"
+"$CUSZP" extract -i "$WORK/field.csz" -o "$WORK/ref_slice.raw" --range "$RANGE" 2> /dev/null
+"$CUSZP" remote get-range "$WORK/field.csz" -s "$PADDR" -o "$WORK/slice_chaos.raw" \
+    --range "$RANGE" --retries 12 --deadline-ms 60000 2> "$WORK/range.err" \
+    || { echo "FAIL: remote get-range through chaos"; cat "$WORK/range.err"; exit 1; }
+cmp "$WORK/ref_slice.raw" "$WORK/slice_chaos.raw" \
+    || { echo "FAIL: range through chaos differs from local extract"; exit 1; }
+
+echo "==> the proxy actually injected faults (server saw retried traffic)"
+"$CUSZP" remote stats -s "$ADDR" > "$WORK/stats.out"
+grep -q '^compress ' "$WORK/stats.out" || { echo "FAIL: no compress stats"; cat "$WORK/stats.out"; exit 1; }
+RESILIENCE=$(cat "$WORK/compress.err" "$WORK/decompress.err" "$WORK/range.err")
+echo "$RESILIENCE" | grep -q 'retried' \
+    || { echo "NOTE: no client retries fired for this seed"; }
+
+echo "==> graceful shutdown (direct, bypassing chaos) exits 0"
+"$CUSZP" remote shutdown -s "$ADDR" > /dev/null
+SERVE_STATUS=0
+wait "$SERVER_PID" || SERVE_STATUS=$?
+SERVER_PID=""
+[[ "$SERVE_STATUS" -eq 0 ]] || { echo "FAIL: serve exited $SERVE_STATUS"; cat "$WORK/serve.err"; exit 1; }
+
+echo "chaos smoke green."

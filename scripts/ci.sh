@@ -34,7 +34,16 @@ cargo test -q -p cuszp-server --test cache
 echo "==> targeted fault injection through get-range (heal/report/ignore)"
 cargo test -q -p cuszp-server --test range_damage
 
+echo "==> wire-header fuzzing (arbitrary frames classify as exactly one WireError)"
+cargo test -q -p cuszp-server --test wire_fuzz
+
+echo "==> chaos soak battery (proxied faults: retries, deadlines, load shedding)"
+cargo test -q -p cuszp-server --test chaos
+
 echo "==> server smoke (ephemeral port, remote round trip, graceful shutdown)"
 scripts/server_smoke.sh
+
+echo "==> chaos smoke (remote round trip through a seeded fault-injection proxy)"
+scripts/chaos_smoke.sh
 
 echo "CI green."

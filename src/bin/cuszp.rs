@@ -17,9 +17,12 @@
 
 use cuszp::analysis::analyze;
 use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
+use cuszp::faultsim::{ChaosPolicy, ChaosProxy};
 use cuszp::metrics::{verify_error_bound, verify_error_bound_f64};
 use cuszp::parallel::WorkerPool;
-use cuszp::server::{Client, CompressRequest, DecompressMode, Server, ServerConfig};
+use cuszp::server::{
+    CompressRequest, DecompressMode, RetryPolicy, RetryingClient, Server, ServerConfig,
+};
 use cuszp::{
     json_escape, Archive, ChunkStatus, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype,
     ErrorBound, FillPolicy, ParityConfig, PortableScanReport, Predictor, RangeSpec, RecoveredField,
@@ -84,6 +87,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&opts).map(|()| ExitCode::SUCCESS),
         "gen" => cmd_gen(&opts).map(|()| ExitCode::SUCCESS),
         "serve" => cmd_serve(&opts).map(|()| ExitCode::SUCCESS),
+        "chaos-proxy" => cmd_chaos_proxy(&opts).map(|()| ExitCode::SUCCESS),
         // `remote scan` mirrors fsck's exit-code contract.
         "remote" => cmd_remote(remote_op.unwrap(), &opts),
         "help" | "--help" | "-h" => {
@@ -125,7 +129,11 @@ USAGE:
                           [--recover [--fill nan|zero]]
   cuszp remote scan       <archive> [-s <addr>] [--json]
   cuszp remote info       <archive> [-s <addr>]
-  cuszp remote stats|ping|shutdown -s <addr>
+  cuszp remote stats|ping|health|shutdown -s <addr>
+  cuszp chaos-proxy --upstream <addr> [-a <addr>] [--seed <n>]
+                    [--profile clean|mixed] [--refuse <pm>] [--cut-request <pm>]
+                    [--cut-response <pm>] [--flip <pm>] [--stall <pm>]
+                    [--chop <pm>] [--chop-piece <bytes>] [--redraw-bytes <n>]
 
 OPTIONS:
   -d  dimensions, fastest axis last: '268435456', '1800x3600', '512x512x512'
@@ -152,6 +160,15 @@ OPTIONS:
   --cache-bytes  serve only: byte budget for the hot-slab range cache
              (default 64 MiB; 0 disables). Repeated `remote get-range`
              reads of the same chunks skip the decoder entirely.
+  --retries  remote <op> only: retry transport failures up to <n> extra
+             attempts with seeded decorrelated-jitter backoff, reconnecting
+             as needed. Only idempotent ops retry (shutdown never does);
+             server `retry_after` hints raise the next backoff.
+  --deadline-ms      remote <op> only: overall wall-clock budget per call,
+             covering every attempt, reconnect, and backoff sleep
+             (default 30000)
+  --connect-timeout-ms  remote <op> only: TCP connect timeout per attempt
+             (default 5000)
   --dataset  one of: hacc cesm hurricane nyx rtm miranda qmcpack
 
 `fsck` validates and decodes every chunk independently (healing damaged
@@ -172,7 +189,14 @@ metrics (per-op counts, bytes, latency percentiles, cache hit rates).
 `extract` decodes only the chunks a `--range` touches — a 3-slab slice of a
 terabyte field never decompresses the whole field. `remote get-range` is the
 served form: hot chunks come from the server's slab cache, and `--recover`
-reads around damage, reporting exactly the damaged in-range chunks.";
+reads around damage, reporting exactly the damaged in-range chunks.
+
+`chaos-proxy` relays TCP to --upstream while injecting seeded faults
+(connection refusal, mid-frame cuts, bit flips, stalls, chopped writes) —
+point `remote <op> --retries` at it to rehearse client resilience. Fault
+rates are per-mille per redraw epoch; the same seed replays the same faults.
+`remote health` is a cheap liveness probe: exit 0 when serving, 1 when
+draining (the reply carries the server's retry-after hint).";
 
 struct Opts(HashMap<String, String>);
 
@@ -919,12 +943,159 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn remote_client(opts: &Opts) -> Result<Client, String> {
+/// `chaos-proxy`: run a seeded fault-injection relay in front of
+/// `--upstream` until the process is killed. Prints the bound address on
+/// stdout first (same shape as `serve`) so scripts binding port 0 can
+/// discover the ephemeral port; injection counters go to stderr
+/// periodically.
+fn cmd_chaos_proxy(opts: &Opts) -> Result<(), String> {
+    let upstream_spec = opts
+        .get("u")
+        .or_else(|| opts.get("upstream"))
+        .ok_or("chaos-proxy needs --upstream <addr>")?;
+    let upstream = resolve_addr(upstream_spec)?;
+    let listen_spec = opts
+        .get("a")
+        .or_else(|| opts.get("addr"))
+        .unwrap_or("127.0.0.1:0");
+    let listen = resolve_addr(listen_spec)?;
+    let seed: u64 = opts
+        .get("seed")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --seed: {e}"))?
+        .unwrap_or(1);
+    let mut policy = match opts.get("profile").unwrap_or("clean") {
+        "clean" => ChaosPolicy::clean(),
+        "mixed" => ChaosPolicy::mixed(),
+        other => return Err(format!("bad --profile '{other}' (clean|mixed)")),
+    };
+    let pm = |key: &str, cur: u32| -> Result<u32, String> {
+        match opts.get(key) {
+            Some(v) => v.parse().map_err(|e| format!("bad --{key} '{v}': {e}")),
+            None => Ok(cur),
+        }
+    };
+    policy.refuse_per_mille = pm("refuse", policy.refuse_per_mille)?;
+    policy.cut_request_per_mille = pm("cut-request", policy.cut_request_per_mille)?;
+    policy.cut_response_per_mille = pm("cut-response", policy.cut_response_per_mille)?;
+    let flip = pm("flip", 0)?;
+    if opts.get("flip").is_some() {
+        policy.flip_request_per_mille = flip;
+        policy.flip_response_per_mille = flip;
+    }
+    policy.stall_per_mille = pm("stall", policy.stall_per_mille)?;
+    if let Some(v) = opts.get("stall-max-ms") {
+        policy.stall_max_ms = v
+            .parse::<u64>()
+            .map_err(|e| format!("bad --stall-max-ms '{v}': {e}"))?
+            .max(1);
+    }
+    policy.chop_per_mille = pm("chop", policy.chop_per_mille)?;
+    if let Some(v) = opts.get("chop-piece") {
+        policy.chop_piece = v
+            .parse::<usize>()
+            .map_err(|e| format!("bad --chop-piece '{v}': {e}"))?
+            .max(1);
+    }
+    if let Some(v) = opts.get("redraw-bytes") {
+        policy.redraw_bytes = v
+            .parse::<usize>()
+            .map_err(|e| format!("bad --redraw-bytes '{v}': {e}"))?
+            .max(1);
+    }
+    let proxy =
+        ChaosProxy::bind(listen, upstream, policy, seed).map_err(|e| format!("{listen}: {e}"))?;
+    println!("chaos-proxy listening on {}", proxy.local_addr());
+    eprintln!("  relaying to {upstream}, seed {seed}; stop by killing the process");
+    let mut last_report = (0u64, 0u64);
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let s = proxy.stats();
+        let now = (
+            s.connections.load(std::sync::atomic::Ordering::Relaxed),
+            s.faults_fired(),
+        );
+        if now != last_report {
+            last_report = now;
+            eprintln!(
+                "  chaos: {} connection(s) ({} refused), {} request / {} response cut(s), {} bit flip(s), {} stall(s), {} chopped epoch(s)",
+                now.0,
+                s.refused.load(std::sync::atomic::Ordering::Relaxed),
+                s.requests_cut.load(std::sync::atomic::Ordering::Relaxed),
+                s.responses_cut.load(std::sync::atomic::Ordering::Relaxed),
+                s.bits_flipped.load(std::sync::atomic::Ordering::Relaxed),
+                s.stalls.load(std::sync::atomic::Ordering::Relaxed),
+                s.chopped.load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
+    }
+}
+
+fn resolve_addr(spec: &str) -> Result<std::net::SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    spec.to_socket_addrs()
+        .map_err(|e| format!("{spec}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{spec}: resolved to no address"))
+}
+
+/// Builds the retrying client every `remote <op>` talks through. Without
+/// `--retries` the policy is single-attempt (`RetryPolicy::no_retry`),
+/// so failures surface immediately; `--retries N` allows N extra
+/// attempts with the default backoff schedule. `--deadline-ms` and
+/// `--connect-timeout-ms` bound each call either way.
+fn remote_client(opts: &Opts) -> Result<RetryingClient, String> {
     let addr = opts
         .get("s")
         .or_else(|| opts.get("server"))
         .unwrap_or(DEFAULT_ADDR);
-    Client::connect(addr).map_err(|e| format!("{addr}: {e}"))
+    let mut policy = RetryPolicy::no_retry();
+    if let Some(r) = opts.get("retries") {
+        let extra: u32 = r.parse().map_err(|e| format!("bad --retries '{r}': {e}"))?;
+        policy.max_attempts = extra.saturating_add(1);
+    }
+    if let Some(ms) = opt_ms(opts, "deadline-ms")? {
+        policy.deadline = ms;
+    }
+    if let Some(ms) = opt_ms(opts, "connect-timeout-ms")? {
+        policy.connect_timeout = ms;
+    }
+    if let Some(s) = opts.get("retry-seed") {
+        policy.seed = s
+            .parse()
+            .map_err(|e| format!("bad --retry-seed '{s}': {e}"))?;
+    }
+    Ok(RetryingClient::new(addr, policy))
+}
+
+fn opt_ms(opts: &Opts, key: &str) -> Result<Option<std::time::Duration>, String> {
+    opts.get(key)
+        .map(|v| {
+            v.parse::<u64>()
+                .map(std::time::Duration::from_millis)
+                .map_err(|e| format!("bad --{key} '{v}': {e}"))
+        })
+        .transpose()
+}
+
+/// After a remote op, surface the client-side resilience counters on
+/// stderr — but only when something nontrivial happened, so the clean
+/// fast path stays quiet.
+fn report_retries(client: &RetryingClient) {
+    let s = client.stats();
+    let noteworthy = s.retries.get() + s.reconnects.get() + s.hints_honored.get();
+    if noteworthy > 0 || s.deadline_exceeded.get() > 0 {
+        eprintln!(
+            "remote: {} attempt(s) for {} call(s): {} retried, {} reconnect(s), {} backoff hint(s) honored, {} deadline exceeded",
+            s.attempts.get(),
+            s.calls.get(),
+            s.retries.get(),
+            s.reconnects.get(),
+            s.hints_honored.get(),
+            s.deadline_exceeded.get()
+        );
+    }
 }
 
 fn cmd_remote(sub: &str, opts: &Opts) -> Result<ExitCode, String> {
@@ -942,6 +1113,25 @@ fn cmd_remote(sub: &str, opts: &Opts) -> Result<ExitCode, String> {
             println!("pong ({:.1} ms)", t0.elapsed().as_secs_f64() * 1e3);
             Ok(ExitCode::SUCCESS)
         }
+        // Cheap liveness probe: exit 0 while serving, 1 while draining,
+        // so scripts can gate on readiness without parsing output.
+        "health" => {
+            let mut client = remote_client(opts)?;
+            let h = client.health().map_err(|e| e.to_string())?;
+            if h.draining {
+                println!(
+                    "draining: queue {}/{}, {} worker(s), {} active connection(s); retry after {} ms",
+                    h.queue_depth, h.queue_capacity, h.workers, h.active_connections, h.retry_after_ms
+                );
+                Ok(ExitCode::FAILURE)
+            } else {
+                println!(
+                    "healthy: queue {}/{}, {} worker(s), {} active connection(s)",
+                    h.queue_depth, h.queue_capacity, h.workers, h.active_connections
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+        }
         "shutdown" => {
             let mut client = remote_client(opts)?;
             client.shutdown_server().map_err(|e| e.to_string())?;
@@ -949,7 +1139,7 @@ fn cmd_remote(sub: &str, opts: &Opts) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!(
-            "unknown remote operation '{other}' (compress decompress get-range scan info stats ping shutdown)"
+            "unknown remote operation '{other}' (compress decompress get-range scan info stats ping health shutdown)"
         )),
     }
 }
@@ -999,7 +1189,9 @@ fn remote_compress(opts: &Opts) -> Result<(), String> {
     };
     let mut client = remote_client(opts)?;
     let t0 = std::time::Instant::now();
-    let archive = client.compress(&req).map_err(|e| e.to_string())?;
+    let result = client.compress(&req);
+    report_retries(&client);
+    let archive = result.map_err(|e| e.to_string())?;
     write_bytes(output, &archive)?;
     eprintln!(
         "remote: wrote {} bytes to {output} in {:.2}s (ratio {:.2}x)",
@@ -1026,7 +1218,9 @@ fn remote_decompress(opts: &Opts) -> Result<(), String> {
     };
     let mut client = remote_client(opts)?;
     let t0 = std::time::Instant::now();
-    let resp = client.decompress(&bytes, mode).map_err(|e| e.to_string())?;
+    let result = client.decompress(&bytes, mode);
+    report_retries(&client);
+    let resp = result.map_err(|e| e.to_string())?;
     write_bytes(output, &resp.data)?;
     if let Some(report) = &resp.report {
         for c in report.chunks.iter().filter(|c| !c.status.is_recovered()) {
@@ -1074,9 +1268,9 @@ fn remote_get_range(opts: &Opts) -> Result<(), String> {
     };
     let mut client = remote_client(opts)?;
     let t0 = std::time::Instant::now();
-    let resp = client
-        .get_range(&bytes, &spec, mode)
-        .map_err(|e| e.to_string())?;
+    let result = client.get_range(&bytes, &spec, mode);
+    report_retries(&client);
+    let resp = result.map_err(|e| e.to_string())?;
     write_bytes(output, &resp.data)?;
     if let Some(report) = &resp.report {
         for c in report.chunks.iter().filter(|c| !c.status.is_recovered()) {
@@ -1182,7 +1376,7 @@ fn remote_info(opts: &Opts) -> Result<(), String> {
 /// gauges (busy rejections, malformed frames, connections).
 fn remote_stats(opts: &Opts) -> Result<(), String> {
     let mut client = remote_client(opts)?;
-    let snap = client.stats().map_err(|e| e.to_string())?;
+    let snap = client.server_stats().map_err(|e| e.to_string())?;
     println!(
         "{:<11} {:>9} {:>7} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
         "op", "requests", "errors", "bytes_in", "bytes_out", "p50_us", "p90_us", "p99_us", "max_us"
@@ -1205,9 +1399,10 @@ fn remote_stats(opts: &Opts) -> Result<(), String> {
         );
     }
     println!(
-        "total {} requests; {} busy rejections, {} malformed frames, {} connections ({} active)",
+        "total {} requests; {} busy / {} unavailable rejections, {} malformed frames, {} connections ({} active)",
         snap.total_requests(),
         snap.rejected_busy,
+        snap.rejected_unavailable,
         snap.malformed_frames,
         snap.connections_total,
         snap.active_connections

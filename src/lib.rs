@@ -47,6 +47,7 @@
 pub use cuszp_analysis as analysis;
 pub use cuszp_core as core;
 pub use cuszp_datagen as datagen;
+pub use cuszp_faultsim as faultsim;
 pub use cuszp_gpusim as gpusim;
 pub use cuszp_huffman as huffman;
 pub use cuszp_lossless as lossless;
