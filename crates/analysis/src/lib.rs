@@ -15,10 +15,15 @@
 //!   `cuszp_huffman::stats`) and pick Workflow-RLE when `⟨b⟩ ≤ 1.09`,
 //!   the paper's practical threshold.
 
+pub mod predictor;
 pub mod selector;
 pub mod spatial;
 pub mod variogram;
 
+pub use predictor::{
+    score_predictors, PredictorChoice, PredictorScore, PREDICTOR_MARGIN_BITS,
+    PREDICTOR_PROBE_ELEMS, PROBE_HIST_BINS,
+};
 pub use selector::{
     analyze, analyze_with_histogram, select_workflow, CompressibilityReport, WorkflowChoice,
     RLE_BIT_LENGTH_THRESHOLD,

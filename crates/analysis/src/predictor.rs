@@ -1,0 +1,225 @@
+//! Predictor scoring — the codec-plan extension of the §III selector.
+//!
+//! The workflow selector decides *how to entropy-code* the quant-codes;
+//! this module decides *which predictor produces them*. Both predictors
+//! run on the same prequantized integers, so their residual streams are
+//! directly comparable: the one whose residuals entropy-code smaller
+//! yields the smaller payload. In the same spirit as the
+//! histogram-driven `⟨b⟩ ≤ 1.09` rule, the score is histogram-driven
+//! rather than moment-driven:
+//!
+//! * probe a leading sub-slab of the field (whole slow-axis units, so
+//!   the slab is contiguous in C-order and keeps the field's geometry),
+//!   capped at [`PREDICTOR_PROBE_ELEMS`] elements;
+//! * drive both prediction structures over the probe
+//!   ([`cuszp_predictor::lorenzo_residuals`] /
+//!   [`cuszp_predictor::interpolation_residuals`]), binning each
+//!   residual exactly as the quantizer would (a symmetric
+//!   [`PROBE_HIST_BINS`]-wide window with an escape bucket for
+//!   outliers), and score each predictor by the **empirical entropy**
+//!   of its bin histogram plus a flat per-outlier charge. Entropy is
+//!   what the Huffman stage actually pays: a distribution concentrated
+//!   on a handful of symbols beats one that is merely *small on
+//!   average* — a mean-|δ| or Elias-length score rewards tiny residuals
+//!   even when they are spread over many distinct values and therefore
+//!   code wide.
+//!
+//! Interpolation must beat Lorenzo by [`PREDICTOR_MARGIN_BITS`] to be
+//! chosen: Lorenzo is the cheaper kernel and the safer default on rough
+//! fields, so ties and near-ties keep it.
+
+use cuszp_predictor::{interpolation_residuals, lorenzo_residuals, Dims};
+
+/// Probe size cap: enough slow-axis units to cover about this many
+/// elements. 32 Ki integers keeps the probe under a millisecond while
+/// sampling several interpolation levels.
+pub const PREDICTOR_PROBE_ELEMS: usize = 32 * 1024;
+
+/// Estimated bits-per-symbol advantage interpolation needs before the
+/// selector abandons Lorenzo.
+pub const PREDICTOR_MARGIN_BITS: f64 = 0.15;
+
+/// Width of the probe's residual histogram — the default quant cap, so
+/// probe binning mirrors what the real quantizer does to residuals.
+pub const PROBE_HIST_BINS: usize = 1024;
+
+/// Bits charged per probe residual that falls outside the histogram
+/// window: outliers are stored verbatim (index + value) by the archive.
+const OUTLIER_BITS: f64 = 32.0;
+
+/// Which predictor the score picked. Mirrors `cuszp::Predictor` without
+/// depending on the core crate (the dependency points the other way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorChoice {
+    /// First-order Lorenzo stencil (the paper's pipeline).
+    Lorenzo,
+    /// Multi-level cubic interpolation (SZ3 / cuSZ-i style).
+    Interpolation,
+}
+
+/// Outcome of [`score_predictors`]: the per-predictor bit estimates and
+/// the resulting decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorScore {
+    /// Estimated bits/symbol for Lorenzo residuals on the probe.
+    pub lorenzo_bits: f64,
+    /// Estimated bits/symbol for interpolation residuals on the probe.
+    pub interpolation_bits: f64,
+    /// Elements actually probed.
+    pub probe_elems: usize,
+    /// The decision under [`PREDICTOR_MARGIN_BITS`].
+    pub choice: PredictorChoice,
+}
+
+/// Empirical entropy (bits/symbol) of a residual histogram, plus a flat
+/// charge for residuals that escaped the window.
+fn histogram_bits(hist: &[u32], outliers: u32, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let total = n as f64;
+    let mut h = 0f64;
+    for &c in hist {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.log2();
+        }
+    }
+    h + outliers as f64 / total * OUTLIER_BITS
+}
+
+/// Scores both predictors on a leading sub-slab of the prequantized
+/// field and picks one. Deterministic: the probe is a pure function of
+/// `(dq, dims)`, so chunk workers reach the same plan at any worker
+/// count.
+pub fn score_predictors(dq: &[i64], dims: Dims) -> PredictorScore {
+    assert_eq!(dq.len(), dims.len(), "dq length must match dims");
+    let eps = dims.elems_per_slow().max(1);
+    let slow = dims.slow_extent();
+    let probe_slow = (PREDICTOR_PROBE_ELEMS / eps).clamp(1, slow.max(1));
+    let sub = dims.slab(probe_slow.min(slow));
+    let n = sub.len();
+    let probe = &dq[..n];
+    let radius = (PROBE_HIST_BINS / 2) as i64;
+
+    let mut hist = vec![0u32; PROBE_HIST_BINS];
+    let mut outliers = 0u32;
+    {
+        let bin = |d: i64, hist: &mut [u32], outliers: &mut u32| {
+            let idx = d + radius;
+            if (0..PROBE_HIST_BINS as i64).contains(&idx) {
+                hist[idx as usize] += 1;
+            } else {
+                *outliers += 1;
+            }
+        };
+        lorenzo_residuals(probe, sub, |d| bin(d, &mut hist, &mut outliers));
+    }
+    let lorenzo_bits = histogram_bits(&hist, outliers, n);
+
+    hist.fill(0);
+    outliers = 0;
+    {
+        let bin = |d: i64, hist: &mut [u32], outliers: &mut u32| {
+            let idx = d + radius;
+            if (0..PROBE_HIST_BINS as i64).contains(&idx) {
+                hist[idx as usize] += 1;
+            } else {
+                *outliers += 1;
+            }
+        };
+        interpolation_residuals(probe, sub, |d| bin(d, &mut hist, &mut outliers));
+    }
+    let interpolation_bits = histogram_bits(&hist, outliers, n);
+
+    let choice = if interpolation_bits + PREDICTOR_MARGIN_BITS < lorenzo_bits {
+        PredictorChoice::Interpolation
+    } else {
+        PredictorChoice::Lorenzo
+    };
+    PredictorScore {
+        lorenzo_bits,
+        interpolation_bits,
+        probe_elems: n,
+        choice,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszp_predictor::prequantize;
+
+    #[test]
+    fn empty_and_tiny_fields_default_to_lorenzo() {
+        let s = score_predictors(&[], Dims::D1(0));
+        assert_eq!(s.choice, PredictorChoice::Lorenzo);
+        let s = score_predictors(&[7], Dims::D1(1));
+        assert_eq!(s.choice, PredictorChoice::Lorenzo);
+    }
+
+    #[test]
+    fn smooth_long_range_structure_picks_interpolation() {
+        let (nz, ny, nx) = (48usize, 48, 48);
+        let data: Vec<f32> = (0..nz * ny * nx)
+            .map(|t| {
+                let i = (t % nx) as f32 / nx as f32;
+                let j = ((t / nx) % ny) as f32 / ny as f32;
+                let k = (t / nx / ny) as f32 / nz as f32;
+                ((i * 2.1).sin() + (j * 1.7).cos() + (k * 1.3).sin()) * 100.0
+            })
+            .collect();
+        let dims = Dims::D3 { nz, ny, nx };
+        let dq = prequantize(&data, 0.04);
+        let s = score_predictors(&dq, dims);
+        assert_eq!(s.choice, PredictorChoice::Interpolation, "{s:?}");
+        assert!(s.interpolation_bits < s.lorenzo_bits);
+    }
+
+    #[test]
+    fn rough_noise_keeps_lorenzo() {
+        // xorshift noise: no long-range structure for interpolation to use.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let data: Vec<f32> = (0..40_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x as f64 / u64::MAX as f64) as f32 * 100.0
+            })
+            .collect();
+        let dq = prequantize(&data, 1e-3);
+        let s = score_predictors(&dq, Dims::D1(40_000));
+        assert_eq!(s.choice, PredictorChoice::Lorenzo, "{s:?}");
+    }
+
+    #[test]
+    fn concentrated_deltas_beat_small_but_spread_residuals() {
+        // A sorted ramp with hash jitter: Lorenzo deltas concentrate on
+        // a couple of spacing values (low entropy) while interpolation
+        // residuals are small *on average* yet spread over many distinct
+        // values. An entropy score must keep Lorenzo here; a mean-based
+        // score would not.
+        let n = 40_000usize;
+        let mut acc = 0f64;
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 54;
+                acc += 1.0 + (h & 0x3) as f64 * 0.37;
+                acc as f32
+            })
+            .collect();
+        let dq = prequantize(&data, 0.05);
+        let s = score_predictors(&dq, Dims::D1(n));
+        assert_eq!(s.choice, PredictorChoice::Lorenzo, "{s:?}");
+    }
+
+    #[test]
+    fn probe_is_bounded_and_slab_aligned() {
+        let dims = Dims::D2 { ny: 4096, nx: 64 };
+        let dq = vec![0i64; dims.len()];
+        let s = score_predictors(&dq, dims);
+        assert!(s.probe_elems <= PREDICTOR_PROBE_ELEMS);
+        assert_eq!(s.probe_elems % 64, 0, "whole slow-axis units only");
+    }
+}

@@ -8,7 +8,9 @@
 //! `determinism_guard` asserts before timing anything.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use cuszp_core::{ChunkedArchive, Compressor, Config, ErrorBound, ReconstructEngine};
+use cuszp_core::{
+    ChunkedArchive, Compressor, Config, ErrorBound, Predictor, PredictorMode, ReconstructEngine,
+};
 use cuszp_parallel::WorkerPool;
 use cuszp_predictor::Dims;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -120,6 +122,49 @@ fn bench_chunked(c: &mut Criterion) {
     assert!(
         per_chunk <= MAX_ALLOCS_PER_CHUNK,
         "scratch-reuse regression: {per_chunk} allocations/chunk exceeds the \
+         {MAX_ALLOCS_PER_CHUNK} budget"
+    );
+
+    // Forced-interpolation guard: the interpolation stage must route
+    // through the same engine arenas as Lorenzo. Before the
+    // `PredictorStage` refactor it re-allocated its full working set
+    // (codes, deltas, reconstruction buffer) per chunk, which this run
+    // would catch as a multiple of the budget.
+    let interp = Compressor::new(Config {
+        error_bound: ErrorBound::Absolute(1e-3),
+        predictor: PredictorMode::Force(Predictor::Interpolation),
+        ..Config::default()
+    });
+    let interp_archive = interp
+        .compress_chunked_with(&data, dims, CHUNK_TARGET, &pool)
+        .unwrap();
+    let (allocs, _) = allocs_during(|| {
+        interp
+            .compress_chunked_with(&data, dims, CHUNK_TARGET, &pool)
+            .unwrap()
+    });
+    let per_chunk = allocs / n_chunks;
+    eprintln!("interp_alloc_guard: {allocs} allocations for {n_chunks} chunks ({per_chunk}/chunk)");
+    assert!(
+        per_chunk <= MAX_ALLOCS_PER_CHUNK,
+        "interpolation arena regression: {per_chunk} allocations/chunk exceeds the \
+         {MAX_ALLOCS_PER_CHUNK} budget"
+    );
+    let _ = interp_archive
+        .decompress_with(ReconstructEngine::FinePartialSum, &pool)
+        .unwrap();
+    let (allocs, _) = allocs_during(|| {
+        interp_archive
+            .decompress_with(ReconstructEngine::FinePartialSum, &pool)
+            .unwrap()
+    });
+    let per_chunk = allocs / n_chunks;
+    eprintln!(
+        "interp_decode_alloc_guard: {allocs} allocations for {n_chunks} chunks ({per_chunk}/chunk)"
+    );
+    assert!(
+        per_chunk <= MAX_ALLOCS_PER_CHUNK,
+        "interpolation decode arena regression: {per_chunk} allocations/chunk exceeds the \
          {MAX_ALLOCS_PER_CHUNK} budget"
     );
 

@@ -6,17 +6,32 @@
 //! ```text
 //! [magic u32][version u16][workflow u8][rank u8]
 //! [extent_z u64][extent_y u64][extent_x u64]
-//! [eb f64][cap u16][pad 6][n_outliers u64][payload_len u64][checksum u64]
+//! [eb f64][cap u16][dtype u8][predictor u8][lossless u8][reserved 3]
+//! [n_outliers u64][payload_len u64][checksum u64]
 //! payload:
 //!   outlier indices (n·u64), outlier values (n·i64), codes section
 //! ```
+//!
+//! Bytes 42–47 are the **plan descriptor**: dtype, predictor, and the
+//! post-coding lossless stage, with three reserved must-be-zero bytes.
+//! Pre-plan archives wrote six zero bytes there, which parse as
+//! `{f32, lorenzo, none}` — exactly what those archives contain — so the
+//! descriptor is strictly additive and every existing archive decodes
+//! byte-identically.
+//!
+//! When the lossless byte is 1 (bitshuffle+LZ77), the codes section is
+//! stored as `[raw_len u64][CZLZ container]`: the plain entropy-coded
+//! section is bitshuffled, LZ77+Huffman coded, and prefixed with its
+//! own unwrapped length so the parser can bound the inflate-side
+//! allocation before decoding a byte.
 //!
 //! The checksum is FNV-1a over the payload so storage corruption is
 //! detected before reconstruction runs.
 
 use crate::error::{ArchiveSection, CuszpError};
 use crate::workflow::{decode_codes_checked_into, CodesPayload};
-use crate::Predictor;
+use crate::{CodecPlan, LosslessStage, Predictor};
+use cuszp_analysis::WorkflowChoice;
 use cuszp_huffman::HuffmanEncoded;
 use cuszp_predictor::{Dims, OutlierList, QuantField};
 use cuszp_rle::{RleEncoded, RleVleEncoded};
@@ -69,6 +84,12 @@ pub struct Archive {
     pub outliers: OutlierList,
     /// Entropy-coded quant-codes.
     pub payload: CodesPayload,
+    /// Post-coding lossless stage applied to the codes section.
+    pub lossless: LosslessStage,
+    /// When `lossless` is active: the stored codes-section bytes
+    /// (`[raw_len u64][CZLZ container]`), cached so serialization is
+    /// byte-stable without re-running the lossless coder.
+    wrapped: Option<Vec<u8>>,
 }
 
 impl Archive {
@@ -92,7 +113,46 @@ impl Archive {
             cap,
             outliers,
             payload,
+            lossless: LosslessStage::None,
+            wrapped: None,
         }
+    }
+
+    /// The entropy-coding workflow the codes section uses.
+    pub fn workflow(&self) -> WorkflowChoice {
+        match self.payload {
+            CodesPayload::Huffman(_) => WorkflowChoice::Huffman,
+            CodesPayload::Rle(_) => WorkflowChoice::Rle,
+            CodesPayload::RleVle(_) => WorkflowChoice::RleVle,
+        }
+    }
+
+    /// The codec plan this archive records in its header.
+    pub fn plan(&self) -> CodecPlan {
+        CodecPlan {
+            predictor: self.predictor,
+            workflow: self.workflow(),
+            lossless: self.lossless,
+        }
+    }
+
+    /// The plain (unwrapped) codes-section bytes — what byte 44 = 0
+    /// would store. The lossless probe compresses these.
+    pub(crate) fn codes_section_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(codes_section_len(&self.payload));
+        write_codes_section(&self.payload, &mut out);
+        out
+    }
+
+    /// Switches the codes section to its lossless-wrapped form. `raw_len`
+    /// is the plain section's byte length, `compressed` the CZLZ
+    /// container of its bitshuffled bytes.
+    pub(crate) fn set_lossless_wrap(&mut self, raw_len: usize, compressed: Vec<u8>) {
+        let mut w = Vec::with_capacity(8 + compressed.len());
+        w.extend_from_slice(&(raw_len as u64).to_le_bytes());
+        w.extend_from_slice(&compressed);
+        self.lossless = LosslessStage::BitshuffleLz77;
+        self.wrapped = Some(w);
     }
 
     /// Rebuilds the [`QuantField`] (decoding the code payload).
@@ -131,7 +191,11 @@ impl Archive {
 
     /// Total serialized size in bytes.
     pub fn serialized_bytes(&self) -> usize {
-        HEADER_BYTES + self.outliers.storage_bytes() + codes_section_len(&self.payload)
+        let codes = match &self.wrapped {
+            Some(w) => w.len(),
+            None => codes_section_len(&self.payload),
+        };
+        HEADER_BYTES + self.outliers.storage_bytes() + codes
     }
 
     /// Serializes the archive.
@@ -166,7 +230,11 @@ impl Archive {
             Predictor::Lorenzo => 0,
             Predictor::Interpolation => 1,
         });
-        out.extend_from_slice(&[0u8; 4]);
+        out.push(match self.lossless {
+            LosslessStage::None => 0,
+            LosslessStage::BitshuffleLz77 => 1,
+        });
+        out.extend_from_slice(&[0u8; 3]);
         out.extend_from_slice(&(self.outliers.len() as u64).to_le_bytes());
         out.extend_from_slice(&(payload_len as u64).to_le_bytes());
         let checksum_at = out.len();
@@ -178,7 +246,10 @@ impl Archive {
         for &v in &self.outliers.values {
             out.extend_from_slice(&v.to_le_bytes());
         }
-        write_codes_section(&self.payload, out);
+        match &self.wrapped {
+            Some(w) => out.extend_from_slice(w),
+            None => write_codes_section(&self.payload, out),
+        }
         debug_assert_eq!(out.len() - payload_start, payload_len);
         let checksum = fnv1a(&out[payload_start..]);
         out[checksum_at..checksum_at + 8].copy_from_slice(&checksum.to_le_bytes());
@@ -229,7 +300,18 @@ impl Archive {
             1 => Predictor::Interpolation,
             _ => return Err(CuszpError::malformed("bad predictor", Header, 43)),
         };
-        let _pad = rd(&mut pos, 4);
+        let lossless = match rd(&mut pos, 1)[0] {
+            0 => LosslessStage::None,
+            1 => LosslessStage::BitshuffleLz77,
+            _ => return Err(CuszpError::malformed("bad lossless stage", Header, 44)),
+        };
+        if rd(&mut pos, 3) != [0u8; 3] {
+            return Err(CuszpError::malformed(
+                "nonzero reserved plan bytes",
+                Header,
+                45,
+            ));
+        }
         let n_outliers = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap()) as usize;
         let payload_len = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap()) as usize;
         let checksum = u64::from_le_bytes(rd(&mut pos, 8).try_into().unwrap());
@@ -297,7 +379,37 @@ impl Archive {
             values.push(i64::from_le_bytes(payload[p..p + 8].try_into().unwrap()));
             p += 8;
         }
-        let codes = read_codes_section(workflow, &payload[p..], n_elems, HEADER_BYTES + p)?;
+        let section = &payload[p..];
+        let base = HEADER_BYTES + p;
+        let (codes, wrapped) = match lossless {
+            LosslessStage::None => (read_codes_section(workflow, section, n_elems, base)?, None),
+            LosslessStage::BitshuffleLz77 => {
+                use ArchiveSection::CodesSection;
+                let fail =
+                    |what: &'static str, off: usize| CuszpError::malformed(what, CodesSection, off);
+                if section.len() < 8 {
+                    return Err(fail("truncated lossless wrap", base + section.len()));
+                }
+                let raw_len = u64::from_le_bytes(section[0..8].try_into().unwrap());
+                // The plain section can never exceed a small constant plus
+                // 16 bytes per element (codes are ≤ u16 + run words); a
+                // larger claim is hostile, reject before allocating.
+                let cap_len = 64u64.saturating_add(16u64.saturating_mul(n_elems as u64));
+                if raw_len > cap_len {
+                    return Err(fail("lossless wrap claims oversized section", base));
+                }
+                let shuffled = cuszp_lossless::decompress_bounded(&section[8..], raw_len as usize)
+                    .ok_or(fail("undecodable lossless wrap", base + 8))?;
+                if shuffled.len() as u64 != raw_len {
+                    return Err(fail("lossless wrap length mismatch", base));
+                }
+                let plain = cuszp_lossless::unbitshuffle(&shuffled);
+                (
+                    read_codes_section(workflow, &plain, n_elems, base)?,
+                    Some(section.to_vec()),
+                )
+            }
+        };
         Ok(Self {
             dtype,
             predictor,
@@ -306,6 +418,8 @@ impl Archive {
             cap,
             outliers: OutlierList { indices, values },
             payload: codes,
+            lossless,
+            wrapped,
         })
     }
 }

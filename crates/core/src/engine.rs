@@ -25,9 +25,22 @@ use crate::archive::{Archive, Dtype};
 use crate::error::CuszpError;
 use crate::stats::CompressionStats;
 use crate::workflow::{encode_codes_from, WorkflowMode};
-use crate::{Config, ErrorBound, Predictor};
-use cuszp_analysis::analyze_with_histogram;
+use crate::{Config, ErrorBound, LosslessMode, Predictor, PredictorMode};
+use cuszp_analysis::{analyze_with_histogram, score_predictors, PredictorChoice};
 use cuszp_predictor::{Dims, ReconstructEngine, Scalar};
+
+/// Prefix of the bitshuffled section the lossless probe trial-compresses
+/// before committing to a full pass.
+const LOSSLESS_PROBE_BYTES: usize = 16 * 1024;
+
+/// Safety margin on the probe's extrapolated ratio: the wrap is applied
+/// only when the predicted full size — inflated by this factor — still
+/// beats the plain section.
+const LOSSLESS_PROBE_MARGIN: f64 = 1.06;
+
+/// Sections smaller than this never take the wrap: the container
+/// overhead dominates and the probe is all cost.
+const LOSSLESS_MIN_SECTION: usize = 256;
 
 /// Reusable per-thread scratch arenas plus the stage driver. See the
 /// module docs for the stage sequence.
@@ -76,22 +89,21 @@ impl PipelineEngine {
             Dtype::F64
         };
 
-        let outliers = match config.predictor {
-            Predictor::Lorenzo => {
-                self.dq.resize(data.len(), 0);
-                cuszp_predictor::prequantize_into(data, eb, &mut self.dq);
-                cuszp_predictor::construct_codes_into(&self.dq, dims, radius, &mut self.codes);
-                cuszp_predictor::gather_outliers(&self.dq, &self.codes, dims, radius)
-            }
-            Predictor::Interpolation => {
-                let qf = cuszp_predictor::construct_interpolation(data, dims, eb, cap);
-                // Adopt the field's code buffer as the new arena; the old
-                // one is returned to the allocator, and subsequent chunks
-                // reuse this one.
-                self.codes = qf.codes;
-                qf.outliers
-            }
+        // Prequantize once into the arena; every later plan decision
+        // (predictor probe, stage construct) reads the same buffer.
+        self.dq.resize(data.len(), 0);
+        cuszp_predictor::prequantize_into(data, eb, &mut self.dq);
+
+        let predictor = match config.predictor {
+            PredictorMode::Force(p) => p,
+            PredictorMode::Auto => match score_predictors(&self.dq, dims).choice {
+                PredictorChoice::Lorenzo => Predictor::Lorenzo,
+                PredictorChoice::Interpolation => Predictor::Interpolation,
+            },
         };
+        let outliers = predictor
+            .stage()
+            .construct(&mut self.dq, dims, radius, &mut self.codes);
 
         cuszp_huffman::histogram_into(&self.codes, cap as usize, &mut self.hist);
         let report = analyze_with_histogram(&self.codes, &self.hist);
@@ -100,16 +112,12 @@ impl PipelineEngine {
             WorkflowMode::Force(c) => c,
         };
         let payload = encode_codes_from(&self.codes, cap, &self.hist, choice);
-        let stats = CompressionStats::new(data.len(), dtype.bytes(), &outliers, &payload, report);
-        let archive = Archive::assemble(
-            dims,
-            eb,
-            radius * 2,
-            outliers,
-            payload,
-            dtype,
-            config.predictor,
-        );
+        let mut archive =
+            Archive::assemble(dims, eb, radius * 2, outliers, payload, dtype, predictor);
+        if config.lossless == LosslessMode::Auto {
+            maybe_wrap_lossless(&mut archive);
+        }
+        let stats = CompressionStats::new(data.len(), dtype.bytes(), &archive, report);
         Ok((archive, stats))
     }
 
@@ -127,26 +135,16 @@ impl PipelineEngine {
             archive.dims.len(),
             "output slab length must match dims"
         );
-        match archive.predictor {
-            Predictor::Interpolation => {
-                // Level-parallel interpolation needs its own traversal
-                // buffers; only the code decode goes through the arena.
-                let qf = archive.to_quant_field()?;
-                let recon: Vec<T> = cuszp_predictor::reconstruct_interpolation(&qf);
-                out.copy_from_slice(&recon);
-            }
-            Predictor::Lorenzo => {
-                archive.decode_codes_into(&mut self.codes)?;
-                cuszp_predictor::fuse_codes_and_outliers_into(
-                    &self.codes,
-                    &archive.outliers,
-                    archive.cap / 2,
-                    &mut self.dq,
-                );
-                cuszp_predictor::reconstruct_in_place(&mut self.dq, archive.dims, engine);
-                cuszp_predictor::dequantize_into(&self.dq, archive.eb, out);
-            }
-        }
+        archive.decode_codes_into(&mut self.codes)?;
+        archive.predictor.stage().reconstruct(
+            &self.codes,
+            &archive.outliers,
+            archive.dims,
+            archive.cap / 2,
+            engine,
+            &mut self.dq,
+        );
+        cuszp_predictor::dequantize_into(&self.dq, archive.eb, out);
         Ok(())
     }
 
@@ -165,6 +163,29 @@ impl PipelineEngine {
     /// the recovery scanner's integrity probe, reusing the code arena.
     pub fn validate_codes(&mut self, archive: &Archive) -> Result<(), CuszpError> {
         archive.decode_codes_into(&mut self.codes)
+    }
+}
+
+/// Decides whether the archive's coded section takes the bitshuffle +
+/// LZ77 wrap, and applies it when it pays. The decision is a pure
+/// function of the section bytes — chunk workers reach the same answer
+/// at any worker count — and costs one trial compression of a
+/// [`LOSSLESS_PROBE_BYTES`] prefix before any full-section pass runs.
+fn maybe_wrap_lossless(archive: &mut Archive) {
+    let plain = archive.codes_section_bytes();
+    if plain.len() < LOSSLESS_MIN_SECTION {
+        return;
+    }
+    let shuffled = cuszp_lossless::bitshuffle(&plain);
+    let probe = &shuffled[..LOSSLESS_PROBE_BYTES.min(shuffled.len())];
+    let probe_ratio = cuszp_lossless::compressed_size(probe) as f64 / probe.len() as f64;
+    let predicted = probe_ratio * shuffled.len() as f64 * LOSSLESS_PROBE_MARGIN + 8.0;
+    if predicted >= plain.len() as f64 {
+        return;
+    }
+    let compressed = cuszp_lossless::compress(&shuffled);
+    if 8 + compressed.len() < plain.len() {
+        archive.set_lossless_wrap(plain.len(), compressed);
     }
 }
 

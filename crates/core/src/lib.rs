@@ -95,6 +95,99 @@ impl Predictor {
             Predictor::Interpolation => "interpolation",
         }
     }
+
+    /// The stage implementation driving this predictor in the pipeline.
+    pub fn stage(&self) -> &'static dyn cuszp_predictor::PredictorStage {
+        match self {
+            Predictor::Lorenzo => &cuszp_predictor::LorenzoStage,
+            Predictor::Interpolation => &cuszp_predictor::InterpolationStage,
+        }
+    }
+}
+
+/// How each chunk's predictor is chosen — the codec-plan counterpart of
+/// [`WorkflowMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorMode {
+    /// Score both predictors on the chunk's prequantized field
+    /// ([`cuszp_analysis::score_predictors`]) and pick per chunk.
+    Auto,
+    /// Always the given predictor.
+    Force(Predictor),
+}
+
+impl Default for PredictorMode {
+    fn default() -> Self {
+        PredictorMode::Force(Predictor::Lorenzo)
+    }
+}
+
+impl From<Predictor> for PredictorMode {
+    fn from(p: Predictor) -> Self {
+        PredictorMode::Force(p)
+    }
+}
+
+/// Whether the optional post-coding lossless stage may be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LosslessMode {
+    /// Never wrap the coded section (the default; byte-compatible with
+    /// every pre-plan archive).
+    #[default]
+    Off,
+    /// Wrap each chunk's coded section in bitshuffle + LZ77 when a
+    /// sampled-prefix probe predicts it pays.
+    Auto,
+}
+
+/// The lossless stage an archive's coded section actually went through —
+/// recorded per chunk in the plan descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LosslessStage {
+    /// Codes section stored plain.
+    #[default]
+    None,
+    /// Codes section bitshuffled then LZ77+Huffman coded.
+    BitshuffleLz77,
+}
+
+impl LosslessStage {
+    /// Display name ("none" / "lz77").
+    pub fn name(&self) -> &'static str {
+        match self {
+            LosslessStage::None => "none",
+            LosslessStage::BitshuffleLz77 => "lz77",
+        }
+    }
+}
+
+/// The per-chunk codec plan an archive records: which predictor produced
+/// the quant-codes, how they were entropy-coded, and whether a lossless
+/// stage wraps the coded section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecPlan {
+    /// Prediction scheme.
+    pub predictor: Predictor,
+    /// Entropy-coding workflow.
+    pub workflow: WorkflowChoice,
+    /// Post-coding lossless stage.
+    pub lossless: LosslessStage,
+}
+
+impl CodecPlan {
+    /// Compact label, e.g. `lorenzo+huffman` or `interpolation+rle+lz77`.
+    pub fn label(&self) -> String {
+        let wf = match self.workflow {
+            WorkflowChoice::Huffman => "huffman",
+            WorkflowChoice::Rle => "rle",
+            WorkflowChoice::RleVle => "rle+vle",
+        };
+        let mut s = format!("{}+{}", self.predictor.name(), wf);
+        if self.lossless == LosslessStage::BitshuffleLz77 {
+            s.push_str("+lz77");
+        }
+        s
+    }
 }
 
 /// How the error bound is specified.
@@ -165,8 +258,11 @@ pub struct Config {
     pub cap: u16,
     /// Coding workflow: adaptive (paper's framework) or forced.
     pub workflow: WorkflowMode,
-    /// Prediction scheme (default: first-order Lorenzo).
-    pub predictor: Predictor,
+    /// Prediction scheme: forced (default: first-order Lorenzo) or
+    /// scored per chunk.
+    pub predictor: PredictorMode,
+    /// Optional post-coding lossless stage (default: off).
+    pub lossless: LosslessMode,
     /// Reconstruction engine used by [`decompress_archive`]'s convenience
     /// path (decompression can also pick per call).
     pub engine: ReconstructEngine,
@@ -178,7 +274,8 @@ impl Default for Config {
             error_bound: ErrorBound::Relative(1e-4),
             cap: cuszp_predictor::DEFAULT_CAP,
             workflow: WorkflowMode::Auto,
-            predictor: Predictor::default(),
+            predictor: PredictorMode::default(),
+            lossless: LosslessMode::default(),
             engine: ReconstructEngine::FinePartialSum,
         }
     }

@@ -30,7 +30,7 @@ use crate::parity::{
     parse_parity_layout, ParityConfig, ParitySection, PARITY_HEADER_BYTES, PARITY_MAGIC,
 };
 use crate::range::{chunk_span, gather_chunk, resolve, slice_field, RangeSpec};
-use crate::{is_chunked_archive, Archive, Dims, Dtype, ReconstructEngine};
+use crate::{is_chunked_archive, Archive, CodecPlan, Dims, Dtype, ReconstructEngine};
 use cuszp_ecc::ReedSolomon;
 use cuszp_parallel::{plan_chunk_spec, plan_len, ChunkSpec, WorkerPool};
 use cuszp_predictor::Scalar;
@@ -160,6 +160,9 @@ pub struct ChunkReport {
     pub byte_range: Option<Range<usize>>,
     /// Element range of the field this chunk's slab covers.
     pub elem_range: Range<usize>,
+    /// The chunk's recorded codec plan, when its header parsed (present
+    /// even for chunks whose payload later failed validation).
+    pub plan: Option<CodecPlan>,
 }
 
 /// Health of one parity stripe, as classified (and where possible
@@ -462,6 +465,7 @@ fn push_truncated_tail(
             status: ChunkStatus::Truncated,
             byte_range: None,
             elem_range: start..n_elems,
+            plan: None,
         });
     }
 }
@@ -503,6 +507,7 @@ fn extra_chunk_reports(
             }),
             byte_range,
             elem_range: n_elems..n_elems,
+            plan: None,
         });
     }
     out
@@ -739,24 +744,28 @@ pub fn scan_with(bytes: &[u8], pool: &WorkerPool) -> Result<ScanReport, CuszpErr
     let statuses = pool.run_with_state(n_geo, PipelineEngine::new, |i, eng| {
         let slab_dims = hdr.dims.slab(plan.spec(i).slow_len());
         match parse_chunk(&layouts[i], i, slab_dims, hdr.dtype) {
-            Err(st) => st,
-            Ok(archive) => match eng.validate_codes(&archive) {
-                Ok(()) => ChunkStatus::Ok,
-                Err(e) => {
-                    let base = layouts[i].byte_range.as_ref().map_or(0, |r| r.start);
-                    status_from_error(e, i, base)
+            Err(st) => (st, None),
+            Ok(archive) => {
+                let chunk_plan = Some(archive.plan());
+                match eng.validate_codes(&archive) {
+                    Ok(()) => (ChunkStatus::Ok, chunk_plan),
+                    Err(e) => {
+                        let base = layouts[i].byte_range.as_ref().map_or(0, |r| r.start);
+                        (status_from_error(e, i, base), chunk_plan)
+                    }
                 }
-            },
+            }
         }
     });
     let mut reports: Vec<ChunkReport> = statuses
         .into_iter()
         .enumerate()
-        .map(|(i, status)| ChunkReport {
+        .map(|(i, (status, chunk_plan))| ChunkReport {
             index: i,
             status,
             byte_range: layouts[i].byte_range.clone(),
             elem_range: plan.spec(i).elems,
+            plan: chunk_plan,
         })
         .collect();
     push_truncated_tail(&mut reports, &plan, n_geo, hdr.dims.len());
@@ -779,13 +788,13 @@ pub fn scan_with(bytes: &[u8], pool: &WorkerPool) -> Result<ScanReport, CuszpErr
 /// `Truncated`, and pins checksum mismatches to the payload's byte
 /// offset instead of collapsing everything into a blanket failure.
 fn scan_v1(bytes: &[u8]) -> ScanReport {
-    let (mut dims, mut dtype, status) = match Archive::from_bytes(bytes) {
+    let (mut dims, mut dtype, status, plan) = match Archive::from_bytes(bytes) {
         Ok(a) => {
             let decode = match a.to_quant_field() {
                 Ok(_) => ChunkStatus::Ok,
                 Err(e) => status_from_error(e, 0, 0),
             };
-            (Some(a.dims), Some(a.dtype), decode)
+            (Some(a.dims), Some(a.dtype), decode, Some(a.plan()))
         }
         Err(e) => {
             let truncated = matches!(
@@ -797,7 +806,7 @@ fn scan_v1(bytes: &[u8]) -> ScanReport {
             } else {
                 status_from_error(e, 0, 0)
             };
-            (None, None, status)
+            (None, None, status, None)
         }
     };
     if dims.is_none() {
@@ -818,6 +827,7 @@ fn scan_v1(bytes: &[u8]) -> ScanReport {
             status,
             byte_range: Some(0..bytes.len()),
             elem_range: 0..n_elems,
+            plan,
         }],
         parity: None,
     }
@@ -920,6 +930,12 @@ fn decompress_resilient_impl<T: Scalar>(
     // was initialized with. The allocation is a try_reserve: a header
     // that survives pass 1 is trustworthy, but graceful failure beats an
     // abort if memory genuinely runs out.
+    // Plans are read off the parsed headers before pass 2 consumes the
+    // archives into the worker parts.
+    let plans: Vec<Option<CodecPlan>> = parsed
+        .iter()
+        .map(|r| r.as_ref().ok().map(|a| a.plan()))
+        .collect();
     let fill_value: T = fill.value();
     let n_elems = hdr.dims.len();
     let mut data: Vec<T> = Vec::new();
@@ -960,6 +976,7 @@ fn decompress_resilient_impl<T: Scalar>(
             status,
             byte_range: layouts[i].byte_range.clone(),
             elem_range: plan.spec(i).elems,
+            plan: plans[i],
         })
         .collect();
     push_truncated_tail(&mut reports, &plan, n_geo, n_elems);
@@ -987,6 +1004,7 @@ fn recover_v1<T: Scalar>(
             requested: want.name(),
         });
     }
+    let plan = archive.plan();
     let data: Vec<T> = PipelineEngine::new().decompress(&archive, engine)?;
     let n = data.len();
     Ok(RecoveredField {
@@ -997,6 +1015,7 @@ fn recover_v1<T: Scalar>(
             status: ChunkStatus::Ok,
             byte_range: Some(0..bytes.len()),
             elem_range: 0..n,
+            plan: Some(plan),
         }],
         parity: None,
     })
@@ -1069,6 +1088,7 @@ fn decompress_range_resilient_impl<T: Scalar>(
     if !is_chunked_archive(bytes) {
         // v1 is one checksummed unit: recover it whole, slice after.
         let rv = recover_v1::<T>(bytes, engine, want)?;
+        let plan = rv.reports.first().and_then(|r| r.plan);
         let (data, dims) = slice_field(&rv.data, rv.dims, spec)?;
         let n = data.len();
         return Ok(RecoveredField {
@@ -1079,6 +1099,7 @@ fn decompress_range_resilient_impl<T: Scalar>(
                 status: ChunkStatus::Ok,
                 byte_range: Some(0..bytes.len()),
                 elem_range: 0..n,
+                plan,
             }],
             parity: None,
         });
@@ -1148,19 +1169,20 @@ fn decompress_range_resilient_impl<T: Scalar>(
             let slab_dims = hdr.dims.slab(spec_i.slow_len());
             let layout = layouts.get(i).unwrap_or(&missing);
             match parse_chunk(layout, i, slab_dims, hdr.dtype) {
-                Err(status) => status,
+                Err(status) => (status, None),
                 Ok(archive) => {
+                    let chunk_plan = Some(archive.plan());
                     let n = slab_dims.len();
                     scratch.clear();
                     scratch.resize(n, fill_value);
                     match eng.decompress_into(&archive, engine, &mut scratch[..n]) {
                         Ok(()) => {
                             gather_chunk(&scratch[..n], &spec_i.slow, &r, part);
-                            ChunkStatus::Ok
+                            (ChunkStatus::Ok, chunk_plan)
                         }
                         Err(e) => {
                             let base = layout.byte_range.as_ref().map_or(0, |r| r.start);
-                            status_from_error(e, i, base)
+                            (status_from_error(e, i, base), chunk_plan)
                         }
                     }
                 }
@@ -1170,11 +1192,12 @@ fn decompress_range_resilient_impl<T: Scalar>(
     let mut reports: Vec<ChunkReport> = statuses
         .into_iter()
         .zip(span)
-        .map(|(status, i)| ChunkReport {
+        .map(|((status, chunk_plan), i)| ChunkReport {
             index: i,
             status,
             byte_range: layouts.get(i).and_then(|l| l.byte_range.clone()),
             elem_range: plan.spec(i).elems,
+            plan: chunk_plan,
         })
         .collect();
     apply_repairs(&mut reports, &repaired);

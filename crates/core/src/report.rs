@@ -22,11 +22,14 @@ use crate::error::{ArchiveSection, CuszpError};
 use crate::recovery::{
     ChunkReport, ChunkStatus, ParityReport, RecoveredField, ScanReport, StripeStatus,
 };
-use crate::{Dims, Dtype};
+use crate::{CodecPlan, Dims, Dtype, LosslessStage, Predictor};
+use cuszp_analysis::WorkflowChoice;
 use std::ops::Range;
 
-/// Version tag leading every serialized report blob.
-pub const REPORT_VERSION: u16 = 1;
+/// Version tag leading every serialized report blob. Version 2 added the
+/// optional per-chunk codec plan; version-1 blobs still parse (their
+/// chunks carry no plan).
+pub const REPORT_VERSION: u16 = 2;
 
 fn err(what: &'static str, offset: usize) -> CuszpError {
     // Report blobs travel inside wire frames; there is no richer section
@@ -124,6 +127,9 @@ pub struct PortableChunkReport {
     pub byte_range: Option<Range<u64>>,
     /// Element range of the field slab this chunk covers.
     pub elem_range: Range<u64>,
+    /// The chunk's recorded codec plan, when its header parsed (absent
+    /// for damaged chunks and for version-1 report blobs).
+    pub plan: Option<CodecPlan>,
 }
 
 /// Owned mirror of [`StripeStatus`].
@@ -212,6 +218,7 @@ fn portable_chunks(reports: &[ChunkReport]) -> Vec<PortableChunkReport> {
             status: portable_status(&r.status),
             byte_range: r.byte_range.as_ref().map(|b| b.start as u64..b.end as u64),
             elem_range: r.elem_range.start as u64..r.elem_range.end as u64,
+            plan: r.plan,
         })
         .collect()
 }
@@ -293,6 +300,21 @@ impl PortableScanReport {
             .is_none_or(|p| p.stripes.iter().all(|s| *s == PortableStripeStatus::Intact))
     }
 
+    /// Plan mix across the archive's parseable chunks: `(label, count)`
+    /// in first-occurrence order — the same aggregation
+    /// [`crate::ChunkedStats::plan_mix`] reports at compression time.
+    pub fn plan_mix(&self) -> Vec<(String, usize)> {
+        let mut mix: Vec<(String, usize)> = Vec::new();
+        for p in self.chunks.iter().filter_map(|c| c.plan) {
+            let label = p.label();
+            match mix.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => mix.push((label, 1)),
+            }
+        }
+        mix
+    }
+
     /// The fsck exit-code contract applied to this report: 0 clean,
     /// 1 damage fully covered by parity, 2 data loss.
     pub fn exit_code(&self) -> u8 {
@@ -341,6 +363,31 @@ fn put_dims(out: &mut Vec<u8>, dims: Option<Dims>) {
             out.extend_from_slice(&(nz as u64).to_le_bytes());
             out.extend_from_slice(&(ny as u64).to_le_bytes());
             out.extend_from_slice(&(nx as u64).to_le_bytes());
+        }
+    }
+}
+
+/// Serializes an optional codec plan: tag byte then, when present, the
+/// predictor/workflow/lossless bytes (same value space as the archive
+/// header's plan descriptor).
+fn put_plan(out: &mut Vec<u8>, plan: Option<CodecPlan>) {
+    match plan {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            out.push(match p.predictor {
+                Predictor::Lorenzo => 0,
+                Predictor::Interpolation => 1,
+            });
+            out.push(match p.workflow {
+                WorkflowChoice::Huffman => 0,
+                WorkflowChoice::Rle => 1,
+                WorkflowChoice::RleVle => 2,
+            });
+            out.push(match p.lossless {
+                LosslessStage::None => 0,
+                LosslessStage::BitshuffleLz77 => 1,
+            });
         }
     }
 }
@@ -402,6 +449,36 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
 
+    fn plan(&mut self) -> Result<Option<CodecPlan>, CuszpError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => {
+                let predictor = match self.u8()? {
+                    0 => Predictor::Lorenzo,
+                    1 => Predictor::Interpolation,
+                    _ => return Err(err("bad plan predictor in report", self.pos)),
+                };
+                let workflow = match self.u8()? {
+                    0 => WorkflowChoice::Huffman,
+                    1 => WorkflowChoice::Rle,
+                    2 => WorkflowChoice::RleVle,
+                    _ => return Err(err("bad plan workflow in report", self.pos)),
+                };
+                let lossless = match self.u8()? {
+                    0 => LosslessStage::None,
+                    1 => LosslessStage::BitshuffleLz77,
+                    _ => return Err(err("bad plan lossless in report", self.pos)),
+                };
+                Ok(Some(CodecPlan {
+                    predictor,
+                    workflow,
+                    lossless,
+                }))
+            }
+            _ => Err(err("bad plan tag in report", self.pos)),
+        }
+    }
+
     fn dims(&mut self) -> Result<Option<Dims>, CuszpError> {
         match self.u8()? {
             0 => Ok(None),
@@ -446,6 +523,7 @@ impl PortableScanReport {
             }
             out.extend_from_slice(&c.elem_range.start.to_le_bytes());
             out.extend_from_slice(&c.elem_range.end.to_le_bytes());
+            put_plan(&mut out, c.plan);
             match &c.status {
                 PortableChunkStatus::Ok => out.push(0),
                 PortableChunkStatus::Repaired { shards } => {
@@ -513,7 +591,7 @@ impl PortableScanReport {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CuszpError> {
         let mut r = Reader { buf: bytes, pos: 0 };
         let version = r.u16()?;
-        if version != REPORT_VERSION {
+        if !(1..=REPORT_VERSION).contains(&version) {
             return Err(CuszpError::UnsupportedVersion(version));
         }
         let format = r.str()?;
@@ -543,6 +621,8 @@ impl PortableScanReport {
                 _ => return Err(err("bad byte-range tag in report", r.pos)),
             };
             let elem_range = r.u64()?..r.u64()?;
+            // Version-1 chunk records carry no plan field.
+            let plan = if version >= 2 { r.plan()? } else { None };
             let status = match r.u8()? {
                 0 => PortableChunkStatus::Ok,
                 1 => PortableChunkStatus::Repaired { shards: r.u64s()? },
@@ -564,6 +644,7 @@ impl PortableScanReport {
                 status,
                 byte_range,
                 elem_range,
+                plan,
             });
         }
         let parity = match r.u8()? {
@@ -662,8 +743,11 @@ fn json_chunk(c: &PortableChunkReport) -> String {
         PortableChunkStatus::Repaired { shards } => json_u64_list(shards),
         _ => "[]".to_string(),
     };
+    let plan = c
+        .plan
+        .map_or("null".to_string(), |p| format!("\"{}\"", p.label()));
     format!(
-        "{{\"index\":{},\"status\":\"{}\",\"byte_start\":{bs},\"byte_end\":{be},\"elem_start\":{},\"elem_end\":{},\"repaired_shards\":{shards}}}",
+        "{{\"index\":{},\"status\":\"{}\",\"byte_start\":{bs},\"byte_end\":{be},\"elem_start\":{},\"elem_end\":{},\"plan\":{plan},\"repaired_shards\":{shards}}}",
         c.index,
         c.status.label(),
         c.elem_range.start,
@@ -754,12 +838,22 @@ mod tests {
                     status: PortableChunkStatus::Ok,
                     byte_range: Some(48..1024),
                     elem_range: 0..171,
+                    plan: Some(CodecPlan {
+                        predictor: Predictor::Lorenzo,
+                        workflow: WorkflowChoice::Huffman,
+                        lossless: LosslessStage::None,
+                    }),
                 },
                 PortableChunkReport {
                     index: 1,
                     status: PortableChunkStatus::Repaired { shards: vec![3, 4] },
                     byte_range: Some(1024..2000),
                     elem_range: 171..342,
+                    plan: Some(CodecPlan {
+                        predictor: Predictor::Interpolation,
+                        workflow: WorkflowChoice::Rle,
+                        lossless: LosslessStage::BitshuffleLz77,
+                    }),
                 },
                 PortableChunkReport {
                     index: 2,
@@ -770,6 +864,7 @@ mod tests {
                     },
                     byte_range: None,
                     elem_range: 342..512,
+                    plan: None,
                 },
             ],
             parity: Some(PortableParityReport {
@@ -848,6 +943,43 @@ mod tests {
     }
 
     #[test]
+    fn version1_blobs_still_parse_without_plans() {
+        // Hand-encoded version-1 blob: one Ok chunk, no plan field in
+        // the chunk record (the field did not exist before version 2).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        put_str(&mut bytes, "v1");
+        bytes.push(1); // dims tag: D1
+        bytes.extend_from_slice(&512u64.to_le_bytes());
+        bytes.push(1); // dtype: f32
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // declared_chunks
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_chunks
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // index
+        bytes.push(0); // no byte range
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // elem start
+        bytes.extend_from_slice(&512u64.to_le_bytes()); // elem end
+        bytes.push(0); // status: Ok
+        bytes.push(0); // no parity
+        let r = PortableScanReport::from_bytes(&bytes).unwrap();
+        assert_eq!(r.chunks.len(), 1);
+        assert_eq!(r.chunks[0].plan, None);
+        assert_eq!(r.chunks[0].status, PortableChunkStatus::Ok);
+        assert!(r.plan_mix().is_empty());
+    }
+
+    #[test]
+    fn plan_mix_aggregates_in_first_occurrence_order() {
+        let r = sample();
+        assert_eq!(
+            r.plan_mix(),
+            vec![
+                ("lorenzo+huffman".to_string(), 1),
+                ("interpolation+rle+lz77".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
     fn json_field_names_are_stable() {
         let j = sample().to_json();
         for key in [
@@ -856,6 +988,9 @@ mod tests {
             "\"dtype\":\"f32\"",
             "\"declared_chunks\":3",
             "\"status\":\"ok\"",
+            "\"plan\":\"lorenzo+huffman\"",
+            "\"plan\":\"interpolation+rle+lz77\"",
+            "\"plan\":null",
             "\"status\":\"repaired\"",
             "\"repaired_shards\":[3,4]",
             "\"status\":\"malformed\"",

@@ -1,9 +1,9 @@
 //! Per-compression statistics: stage sizes, ratios, and the selector
 //! report — the numbers every benchmark table is built from.
 
-use crate::workflow::CodesPayload;
+use crate::archive::Archive;
+use crate::CodecPlan;
 use cuszp_analysis::{CompressibilityReport, WorkflowChoice};
-use cuszp_predictor::OutlierList;
 
 /// Everything measured during one compression.
 #[derive(Debug, Clone, Copy)]
@@ -14,7 +14,8 @@ pub struct CompressionStats {
     pub original_bytes: usize,
     /// Total archive bytes.
     pub compressed_bytes: usize,
-    /// Bytes of the entropy-coded quant-code payload.
+    /// Bytes of the entropy-coded quant-code payload (before any
+    /// lossless wrap).
     pub codes_bytes: usize,
     /// Bytes of the sparse outlier section.
     pub outlier_bytes: usize,
@@ -22,6 +23,8 @@ pub struct CompressionStats {
     pub n_outliers: usize,
     /// Workflow that was used.
     pub workflow: WorkflowChoice,
+    /// The full codec plan the chunk took.
+    pub plan: CodecPlan,
     /// The selector's analysis of the quant-code stream.
     pub report: CompressibilityReport,
 }
@@ -30,21 +33,22 @@ impl CompressionStats {
     pub(crate) fn new(
         n_elements: usize,
         elem_bytes: usize,
-        outliers: &OutlierList,
-        payload: &CodesPayload,
+        archive: &Archive,
         report: CompressibilityReport,
     ) -> Self {
         let original_bytes = n_elements * elem_bytes;
-        let codes_bytes = payload.storage_bytes();
-        let outlier_bytes = outliers.storage_bytes();
+        let codes_bytes = archive.payload.storage_bytes();
+        let outlier_bytes = archive.outliers.storage_bytes();
+        let plan = archive.plan();
         Self {
             n_elements,
             original_bytes,
-            compressed_bytes: codes_bytes + outlier_bytes + 64,
+            compressed_bytes: archive.serialized_bytes(),
             codes_bytes,
             outlier_bytes,
-            n_outliers: outliers.len(),
-            workflow: payload.choice(),
+            n_outliers: archive.outliers.len(),
+            workflow: plan.workflow,
+            plan,
             report,
         }
     }
@@ -142,14 +146,28 @@ impl ChunkedStats {
         .filter(|&(_, n)| n > 0)
         .collect()
     }
+
+    /// How many chunks took each codec plan, as `(label, count)` pairs in
+    /// first-occurrence order — the archive's plan mix.
+    pub fn plan_mix(&self) -> Vec<(String, usize)> {
+        let mut mix: Vec<(String, usize)> = Vec::new();
+        for s in &self.per_chunk {
+            let label = s.plan.label();
+            match mix.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => mix.push((label, 1)),
+            }
+        }
+        mix
+    }
 }
 
 impl std::fmt::Display for ChunkedStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mix: Vec<String> = self
-            .workflow_mix()
+            .plan_mix()
             .into_iter()
-            .map(|(wf, n)| format!("{} x{}", wf.name(), n))
+            .map(|(label, n)| format!("{label} x{n}"))
             .collect();
         write!(
             f,

@@ -227,6 +227,55 @@ fn recovery_of_pinned_archive_is_bit_exact() {
     assert_eq!(got, GOLDEN_RECON_F32, "reconstruction drifted: {got:#018x}");
 }
 
+/// The v1 plan descriptor occupies bytes 42..48 of the header: dtype,
+/// predictor, lossless stage, three reserved zero bytes. Pre-plan
+/// archives wrote zeros there, so the layout below is what every pinned
+/// golden above already hashes — this test documents it explicitly and
+/// pins the plan-bearing variants.
+#[test]
+fn plan_descriptor_layout_is_documented() {
+    use cuszp_core::{LosslessMode, LosslessStage, Predictor, PredictorMode};
+    let data = field_f32(40_000);
+    let dims = Dims::D1(40_000);
+
+    // Default plan (Lorenzo, no lossless): descriptor is all zeros for
+    // f32 — byte-identical to what pre-plan writers produced.
+    let bytes = abs_compressor(1e-3)
+        .compress(&data, dims)
+        .unwrap()
+        .to_bytes();
+    assert_eq!(&bytes[42..48], &[0, 0, 0, 0, 0, 0], "default descriptor");
+
+    // Forced interpolation: predictor byte 43 becomes 1, everything
+    // else in the descriptor stays zero.
+    let c = Compressor::new(Config {
+        error_bound: ErrorBound::Absolute(1e-3),
+        predictor: PredictorMode::Force(Predictor::Interpolation),
+        ..Config::default()
+    });
+    let bytes = c.compress(&data, dims).unwrap().to_bytes();
+    assert_eq!(&bytes[42..48], &[0, 1, 0, 0, 0, 0], "interp descriptor");
+
+    // A highly repetitive field's coded section takes the lossless
+    // wrap: byte 44 becomes 1 and the archive re-serializes to the
+    // exact stored bytes after a parse round trip.
+    let flat: Vec<f32> = (0..100_000).map(|i| (i as f32) * 1e-5).collect();
+    let c = Compressor::new(Config {
+        error_bound: ErrorBound::Absolute(1e-3),
+        lossless: LosslessMode::Auto,
+        ..Config::default()
+    });
+    let bytes = c.compress(&flat, Dims::D1(100_000)).unwrap().to_bytes();
+    assert_eq!(bytes[44], 1, "lossless wrap must engage on flat codes");
+    let parsed = cuszp_core::Archive::from_bytes(&bytes).unwrap();
+    assert_eq!(parsed.lossless, LosslessStage::BitshuffleLz77);
+    assert_eq!(parsed.to_bytes(), bytes, "reserialization must be stable");
+    let (recon, _) = cuszp_core::decompress(&bytes).unwrap();
+    for (o, r) in flat.iter().zip(&recon) {
+        assert!((o - r).abs() <= 1e-3 * 1.0001);
+    }
+}
+
 // Pinned FNV-1a hashes of the serialized containers (pre-refactor bytes).
 const GOLDEN_V1_AUTO: u64 = 0xd1a6_0730_8a54_4497;
 const GOLDEN_V1_HUFFMAN: u64 = 0xd1a6_0730_8a54_4497; // auto picks huffman here

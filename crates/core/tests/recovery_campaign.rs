@@ -154,6 +154,66 @@ fn campaign_zero_fill_policy_is_honored() {
     }
 }
 
+/// Plan-descriptor corruption: every case flips exactly one byte of one
+/// chunk's dtype/predictor/lossless/reserved descriptor to an invalid
+/// value. The parser must surface a **typed** malformed fault — never a
+/// panic — and resilient decompression must keep every other chunk.
+#[test]
+fn plan_descriptor_campaign_yields_typed_parse_faults() {
+    let (base, reference, slabs) = campaign_base();
+    let cases = cuszp_faultsim::plan_descriptor_campaign(&base, CAMPAIGN_SEED, 64);
+    assert!(cases.len() >= 64, "descriptor campaign must generate cases");
+    for case in &cases {
+        // Exactly one descriptor byte differs from the clean container.
+        let diffs: Vec<usize> = base
+            .iter()
+            .zip(&case.bytes)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs.len(), 1, "case {}: {}", case.id, case.description);
+
+        // Scan must classify the hit chunk as malformed with a typed
+        // parse fault (never a checksum mismatch: the descriptor lives
+        // in the header, outside the checksummed payload).
+        let report = scan(&case.bytes).expect("container header is untouched");
+        let malformed: Vec<usize> = report
+            .reports
+            .iter()
+            .filter(|r| matches!(r.status, ChunkStatus::Malformed(_)))
+            .map(|r| r.index)
+            .collect();
+        assert_eq!(
+            malformed.len(),
+            1,
+            "case {} ({}): exactly one chunk must be malformed",
+            case.id,
+            case.description
+        );
+
+        // Resilient decompression fills only the damaged slab; every
+        // other chunk reconstructs bit-exactly.
+        let rf = decompress_resilient(&case.bytes, FillPolicy::Nan)
+            .expect("other chunks stay recoverable");
+        for (i, slab) in slabs.iter().enumerate() {
+            if malformed.contains(&i) {
+                assert!(
+                    rf.data[slab.clone()].iter().all(|v| v.is_nan()),
+                    "case {}: damaged slab not filled",
+                    case.id
+                );
+            } else {
+                assert!(
+                    bit_exact(&rf.data[slab.clone()], &reference[slab.clone()]),
+                    "case {}: undamaged slab must be bit-exact",
+                    case.id
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn campaign_replays_are_identical() {
     let (base, _, _) = campaign_base();

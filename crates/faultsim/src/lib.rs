@@ -750,6 +750,87 @@ pub fn campaign(base: &[u8], seed: u64, n: usize) -> Vec<FaultCase> {
     cases
 }
 
+/// Offset of the plan descriptor inside a v1 chunk header: the dtype
+/// byte, then the predictor byte, the lossless-stage byte, and three
+/// reserved must-be-zero bytes.
+pub const PLAN_DESCRIPTOR_OFFSET: usize = 42;
+
+/// Width of the plan descriptor (dtype + predictor + lossless + three
+/// reserved bytes).
+pub const PLAN_DESCRIPTOR_BYTES: usize = 6;
+
+/// Generates `n` deterministic corruptions that land exclusively inside
+/// chunk **plan descriptors** — the dtype/predictor/lossless/reserved
+/// bytes at offsets 42..48 of each chunk's v1 header. Each case
+/// overwrites exactly one descriptor byte of one chunk with an
+/// engineered out-of-range value (a predictor or lossless tag ≥ 2, a
+/// dtype tag ≥ 2, or a nonzero reserved byte); every other byte of the
+/// container is bit-identical to `base`. A parser honoring the
+/// plan-descriptor contract must report a typed malformed fault for the
+/// targeted chunk and must never panic.
+///
+/// Returns an empty vec when `base` is not a clean CSZ2 container or no
+/// chunk body is large enough to hold a header.
+pub fn plan_descriptor_campaign(base: &[u8], seed: u64, n: usize) -> Vec<FaultCase> {
+    let Some(layout) = parse_csz2(base) else {
+        return Vec::new();
+    };
+    let spans: Vec<Range<usize>> = layout
+        .chunks
+        .iter()
+        .filter(|r| r.len() >= PLAN_DESCRIPTOR_OFFSET + PLAN_DESCRIPTOR_BYTES)
+        .cloned()
+        .collect();
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = FaultRng::new(seed);
+    let mut cases = Vec::with_capacity(n);
+    for id in 0..n {
+        let span = spans[rng.below(spans.len())].clone();
+        let desc = span.start + PLAN_DESCRIPTOR_OFFSET;
+        let mut bytes = base.to_vec();
+        let description = match id % 4 {
+            0 => {
+                let v = 2u8.wrapping_add((rng.next_u64() % 254) as u8);
+                bytes[desc + 1] = v;
+                format!(
+                    "invalid predictor tag {v} at byte {} (chunk span {span:?})",
+                    desc + 1
+                )
+            }
+            1 => {
+                let v = 2u8.wrapping_add((rng.next_u64() % 254) as u8);
+                bytes[desc + 2] = v;
+                format!(
+                    "invalid lossless tag {v} at byte {} (chunk span {span:?})",
+                    desc + 2
+                )
+            }
+            2 => {
+                let r = rng.below(3);
+                let v = 1u8.wrapping_add((rng.next_u64() % 255) as u8);
+                bytes[desc + 3 + r] = v;
+                format!(
+                    "nonzero reserved plan byte {v} at byte {} (chunk span {span:?})",
+                    desc + 3 + r
+                )
+            }
+            _ => {
+                let v = 2u8.wrapping_add((rng.next_u64() % 254) as u8);
+                bytes[desc] = v;
+                format!("invalid dtype tag {v} at byte {desc} (chunk span {span:?})")
+            }
+        };
+        cases.push(FaultCase {
+            id,
+            description,
+            bytes,
+        });
+    }
+    cases
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

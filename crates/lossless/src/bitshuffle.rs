@@ -1,0 +1,121 @@
+//! Bit-plane transposition (bitshuffle), the standard pre-filter in
+//! front of byte-oriented lossless coders (Blosc/HDF5 style).
+//!
+//! Entropy-coded payloads of smooth chunks waste most of each byte:
+//! Huffman bitstreams of near-constant symbols and RLE run words share
+//! their high bits across neighbors. Transposing each block so that bit
+//! plane 0 of every byte comes first, then plane 1, and so on, turns
+//! that cross-byte redundancy into long same-byte runs — exactly what
+//! the LZ77 window finds. The transform is a fixed permutation of bits:
+//! exactly invertible, size-preserving, and block-local (so it keeps
+//! per-chunk determinism at any worker count).
+//!
+//! Layout per full [`BITSHUFFLE_BLOCK`]-byte block: output byte `j`
+//! packs input bits `plane = j / (BLOCK/8)` of the eight input bytes
+//! `8·(j % (BLOCK/8)) ..+ 8`, LSB-first. A trailing partial block is
+//! copied verbatim — too short to matter for ratio, and keeping it
+//! untransformed means any input length round-trips.
+
+/// Block size of the transposition, in bytes. Must stay a multiple of 8.
+pub const BITSHUFFLE_BLOCK: usize = 4096;
+
+const PLANE: usize = BITSHUFFLE_BLOCK / 8;
+
+/// Applies the bit-plane transposition. Output length equals input
+/// length for every input.
+pub fn bitshuffle(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut blocks = data.chunks_exact(BITSHUFFLE_BLOCK);
+    for block in &mut blocks {
+        for plane in 0..8u32 {
+            for group in 0..PLANE {
+                let mut byte = 0u8;
+                for (bit, &b) in block[group * 8..group * 8 + 8].iter().enumerate() {
+                    byte |= ((b >> plane) & 1) << bit;
+                }
+                out.push(byte);
+            }
+        }
+    }
+    out.extend_from_slice(blocks.remainder());
+    out
+}
+
+/// Exact inverse of [`bitshuffle`].
+pub fn unbitshuffle(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut blocks = data.chunks_exact(BITSHUFFLE_BLOCK);
+    for block in &mut blocks {
+        let start = out.len();
+        out.resize(start + BITSHUFFLE_BLOCK, 0);
+        for plane in 0..8u32 {
+            for group in 0..PLANE {
+                let byte = block[plane as usize * PLANE + group];
+                for bit in 0..8 {
+                    out[start + group * 8 + bit] |= ((byte >> bit) & 1) << plane;
+                }
+            }
+        }
+    }
+    out.extend_from_slice(blocks.remainder());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize) -> Vec<u8> {
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_every_length_class() {
+        for n in [
+            0,
+            1,
+            7,
+            8,
+            BITSHUFFLE_BLOCK - 1,
+            BITSHUFFLE_BLOCK,
+            BITSHUFFLE_BLOCK + 1,
+            3 * BITSHUFFLE_BLOCK + 517,
+        ] {
+            let data = noise(n);
+            let shuffled = bitshuffle(&data);
+            assert_eq!(shuffled.len(), data.len());
+            assert_eq!(unbitshuffle(&shuffled), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn transposition_concentrates_low_entropy_bits() {
+        // Bytes whose upper 7 bits are constant: after the shuffle,
+        // planes 1..8 become all-zero / all-one runs.
+        let data: Vec<u8> = (0..BITSHUFFLE_BLOCK)
+            .map(|i| 0x40 | (i as u8 & 1))
+            .collect();
+        let shuffled = bitshuffle(&data);
+        // Plane 0 alternates 0/1 per input byte → 0xAA groups; planes 1–5
+        // and 7 are all zeros, plane 6 all ones.
+        assert!(shuffled[..PLANE].iter().all(|&b| b == 0xAA));
+        assert!(shuffled[PLANE..6 * PLANE].iter().all(|&b| b == 0));
+        assert!(shuffled[6 * PLANE..7 * PLANE].iter().all(|&b| b == 0xFF));
+        assert!(shuffled[7 * PLANE..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn partial_tail_is_verbatim() {
+        let data = noise(BITSHUFFLE_BLOCK + 100);
+        let shuffled = bitshuffle(&data);
+        assert_eq!(&shuffled[BITSHUFFLE_BLOCK..], &data[BITSHUFFLE_BLOCK..]);
+    }
+}

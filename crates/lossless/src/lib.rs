@@ -16,9 +16,14 @@
 //! repetition removal followed by VLE — which is what the reference
 //! comparison needs.
 
+mod bitshuffle;
 mod lz77;
 
-pub use lz77::{CompressionLevel, Token};
+pub use bitshuffle::{bitshuffle, unbitshuffle, BITSHUFFLE_BLOCK};
+pub use lz77::{
+    deserialize_tokens, expand, serialize_tokens, tokenize, CompressionLevel, Token, MAX_MATCH,
+    MIN_MATCH, WINDOW,
+};
 
 use cuszp_huffman::{build_codebook, decode_with_lengths, encode, histogram, HuffmanEncoded};
 
@@ -51,6 +56,14 @@ pub fn compress_with_level(data: &[u8], level: CompressionLevel) -> Vec<u8> {
 ///
 /// Returns `None` on a malformed container.
 pub fn decompress(bytes: &[u8]) -> Option<Vec<u8>> {
+    decompress_bounded(bytes, usize::MAX)
+}
+
+/// [`decompress`] for untrusted input: rejects the container up front
+/// when its declared original length exceeds `max_len`, so a corrupted
+/// or hostile length field cannot drive a giant allocation before any
+/// byte is decoded.
+pub fn decompress_bounded(bytes: &[u8], max_len: usize) -> Option<Vec<u8>> {
     if bytes.len() < 12 {
         return None;
     }
@@ -58,7 +71,11 @@ pub fn decompress(bytes: &[u8]) -> Option<Vec<u8>> {
     if magic != MAGIC {
         return None;
     }
-    let orig_len = u64::from_le_bytes(bytes[4..12].try_into().ok()?) as usize;
+    let orig_len = u64::from_le_bytes(bytes[4..12].try_into().ok()?);
+    if orig_len > max_len as u64 {
+        return None;
+    }
+    let orig_len = orig_len as usize;
     let (enc, _) = HuffmanEncoded::from_bytes(&bytes[12..])?;
     let syms = decode_with_lengths(&enc, &enc.codebook_lengths);
     let raw: Vec<u8> = syms.iter().map(|&s| s as u8).collect();

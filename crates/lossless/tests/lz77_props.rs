@@ -1,0 +1,122 @@
+//! Adversarial property tests for the LZ77 token layer — the codec now
+//! sits on the archive decode hot path (the per-chunk lossless stage),
+//! so `tokenize`/`serialize_tokens`/`expand` face untrusted bytes.
+
+use cuszp_lossless::{
+    decompress_bounded, deserialize_tokens, expand, serialize_tokens, tokenize, CompressionLevel,
+    Token, MAX_MATCH, MIN_MATCH,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Token stream → bytes → tokens → output is exact for any input, at
+    /// every matcher depth.
+    #[test]
+    fn token_pipeline_is_exact(
+        data in prop::collection::vec(any::<u8>(), 0..12_000),
+        level in prop::sample::select(vec![
+            CompressionLevel::Fast,
+            CompressionLevel::Default,
+            CompressionLevel::Best,
+        ]),
+    ) {
+        let tokens = tokenize(&data, level);
+        let raw = serialize_tokens(&tokens);
+        let back = deserialize_tokens(&raw).expect("own serialization must parse");
+        prop_assert_eq!(&back, &tokens);
+        prop_assert_eq!(expand(&back, data.len()).expect("expand"), data);
+    }
+
+    /// Overlapping back-references (dist < len) are the RLE-like core of
+    /// LZ77: expansion must replicate byte-by-byte semantics exactly.
+    #[test]
+    fn overlapping_matches_expand_byte_by_byte(
+        seed in prop::collection::vec(any::<u8>(), 1..8),
+        dist in 1u32..8,
+        len in MIN_MATCH as u32..=MAX_MATCH as u32,
+    ) {
+        prop_assume!(dist as usize <= seed.len());
+        let tokens = vec![
+            Token::Literals(seed.clone()),
+            Token::Match { len, dist },
+        ];
+        let total = seed.len() + len as usize;
+        let out = expand(&tokens, total).expect("in-range overlap expands");
+        // Reference semantics: out[i] = out[i - dist].
+        let mut expect = seed;
+        for _ in 0..len {
+            let b = expect[expect.len() - dist as usize];
+            expect.push(b);
+        }
+        prop_assert_eq!(out, expect);
+    }
+
+    /// Max-length matches round-trip through serialization: the control
+    /// varint encodes len − MIN_MATCH, so MAX_MATCH is the edge.
+    #[test]
+    fn max_length_matches_survive_serialization(dist in 1u32..1000) {
+        let tokens = vec![
+            Token::Literals(vec![0xAB; dist as usize]),
+            Token::Match { len: MAX_MATCH as u32, dist },
+            Token::Match { len: MIN_MATCH as u32, dist: 1 },
+        ];
+        let raw = serialize_tokens(&tokens);
+        let back = deserialize_tokens(&raw).expect("parse");
+        prop_assert_eq!(&back, &tokens);
+        let total = dist as usize + MAX_MATCH + MIN_MATCH;
+        prop_assert!(expand(&back, total).is_some());
+    }
+
+    /// `expand` must reject any expected_len other than the true output
+    /// length — never pad, never truncate.
+    #[test]
+    fn expected_len_mismatch_is_rejected(
+        data in prop::collection::vec(any::<u8>(), 0..4_000),
+        delta in prop::sample::select(vec![-3i64, -1, 1, 7]),
+    ) {
+        let tokens = tokenize(&data, CompressionLevel::Fast);
+        let wrong = data.len() as i64 + delta;
+        prop_assume!(wrong >= 0);
+        prop_assert!(expand(&tokens, wrong as usize).is_none());
+        prop_assert!(expand(&tokens, data.len()).is_some());
+    }
+
+    /// Arbitrary bytes fed to the token parser either parse or return
+    /// None — and whatever parses must expand without panicking.
+    #[test]
+    fn arbitrary_token_bytes_never_panic(
+        raw in prop::collection::vec(any::<u8>(), 0..2_000),
+        expected in 0usize..4_000,
+    ) {
+        if let Some(tokens) = deserialize_tokens(&raw) {
+            let _ = expand(&tokens, expected);
+        }
+    }
+
+    /// A hostile container length field cannot force an allocation past
+    /// the caller's bound.
+    #[test]
+    fn bounded_decompress_rejects_inflated_lengths(
+        data in prop::collection::vec(any::<u8>(), 1..2_000),
+        inflate in 1u64..u32::MAX as u64,
+    ) {
+        let mut c = cuszp_lossless::compress(&data);
+        let declared = u64::from_le_bytes(c[4..12].try_into().unwrap());
+        c[4..12].copy_from_slice(&(declared + inflate).to_le_bytes());
+        prop_assert!(decompress_bounded(&c, data.len()).is_none());
+    }
+}
+
+/// Empty input is a stable fixed point of every layer.
+#[test]
+fn empty_input_everywhere() {
+    assert!(tokenize(&[], CompressionLevel::Default).is_empty());
+    assert_eq!(serialize_tokens(&[]), Vec::<u8>::new());
+    assert_eq!(deserialize_tokens(&[]).unwrap(), Vec::<Token>::new());
+    assert_eq!(expand(&[], 0).unwrap(), Vec::<u8>::new());
+    assert!(expand(&[], 1).is_none());
+    let c = cuszp_lossless::compress(&[]);
+    assert_eq!(decompress_bounded(&c, 0).unwrap(), Vec::<u8>::new());
+}

@@ -111,6 +111,17 @@ pub(crate) fn predict_at(dq: &[i64], dims: Dims, flat: usize) -> i64 {
     }
 }
 
+/// Visits every point's Lorenzo residual `dq[flat] − predicted` in index
+/// order without mutating anything — the predictor selector's scoring
+/// probe, the exact counterpart of
+/// [`crate::interpolation::interpolation_residuals`].
+pub fn lorenzo_residuals(dq: &[i64], dims: Dims, mut f: impl FnMut(i64)) {
+    assert_eq!(dq.len(), dims.len(), "dq length must match dims");
+    for flat in 0..dq.len() {
+        f(dq[flat] - predict_at(dq, dims, flat));
+    }
+}
+
 /// Runs the full prediction-quantization stage over a field.
 ///
 /// `eb` is the **absolute** error bound; `cap` the number of quantization

@@ -42,14 +42,21 @@ fn cubic4(a: i64, b: i64, c: i64, d: i64) -> i64 {
 }
 
 /// The interpolation traversal: visits every grid point exactly once in
-/// coarse-to-fine order and hands `(flat_index, predicted_value)` to the
-/// callback, which must return the *final* integer value at that point
-/// (the same value both compressor and decompressor settle on).
+/// coarse-to-fine order and hands `(flat_index, predicted_value,
+/// current_value)` to the callback, which must return the *final* integer
+/// value at that point (the same value both compressor and decompressor
+/// settle on). The returned value is written back into `known`.
 ///
-/// `known` is the working array; entries are written as they are visited.
+/// `known` is the working array. Predictions only ever read
+/// already-visited (coarser-grid) entries, so the same buffer can serve
+/// as both input and output: construction runs directly over the
+/// prequantized field (the visit returns `current` unchanged), and
+/// reconstruction runs over the fused-delta buffer (the visit returns
+/// `predicted + current`, overwriting each delta with its final value
+/// exactly when it is visited).
 fn traverse<F>(known: &mut [i64], dims: Dims, mut visit: F)
 where
-    F: FnMut(usize, i64) -> i64,
+    F: FnMut(usize, i64, i64) -> i64,
 {
     let [nz, ny, nx] = dims.extents();
     let max_extent = nx.max(ny).max(nz);
@@ -62,7 +69,7 @@ where
         top <<= 1;
     }
     // The root point (0,0,0) is predicted as 0.
-    let root = visit(0, 0);
+    let root = visit(0, 0, known[0]);
     known[0] = root;
 
     let idx = |k: usize, j: usize, i: usize| (k * ny + j) * nx + i;
@@ -92,7 +99,7 @@ where
                 for j in (0..ny).step_by(s2) {
                     for i in (0..nx).step_by(s2) {
                         let p = axis_predict!(k, nz, |z| known[idx(z, j, i)]);
-                        let v = visit(idx(k, j, i), p);
+                        let v = visit(idx(k, j, i), p, known[idx(k, j, i)]);
                         known[idx(k, j, i)] = v;
                     }
                 }
@@ -104,7 +111,7 @@ where
                 for j in (s..ny).step_by(s2) {
                     for i in (0..nx).step_by(s2) {
                         let p = axis_predict!(j, ny, |y| known[idx(k, y, i)]);
-                        let v = visit(idx(k, j, i), p);
+                        let v = visit(idx(k, j, i), p, known[idx(k, j, i)]);
                         known[idx(k, j, i)] = v;
                     }
                 }
@@ -115,7 +122,7 @@ where
             for j in (0..ny).step_by(s) {
                 for i in (s..nx).step_by(s2) {
                     let p = axis_predict!(i, nx, |x| known[idx(k, j, x)]);
-                    let v = visit(idx(k, j, i), p);
+                    let v = visit(idx(k, j, i), p, known[idx(k, j, i)]);
                     known[idx(k, j, i)] = v;
                 }
             }
@@ -124,31 +131,28 @@ where
     }
 }
 
-/// Interpolation-predicted construction.
-pub fn construct_interpolation<T: Scalar>(data: &[T], dims: Dims, eb: f64, cap: u16) -> QuantField {
-    assert_eq!(data.len(), dims.len(), "data length must match dims");
-    assert!(
-        cap >= 4 && cap.is_multiple_of(2),
-        "cap must be even and ≥ 4"
-    );
-    let radius = cap / 2;
+/// Interpolation postquantization over an already-prequantized field,
+/// writing quant-codes into a caller-owned arena. `dq` doubles as the
+/// traversal's known array — every visit returns the prequantized value
+/// unchanged (dual-quant), so the field is preserved — and `codes` is
+/// cleared and zero-filled first so outlier positions keep the
+/// placeholder `0`. Returns the out-of-range residuals, index-sorted.
+pub fn construct_interpolation_codes(
+    dq: &mut [i64],
+    dims: Dims,
+    radius: u16,
+    codes: &mut Vec<u16>,
+) -> OutlierList {
+    assert_eq!(dq.len(), dims.len(), "dq length must match dims");
     let r = radius as i64;
-    let dq = crate::prequantize(data, eb);
-    let mut codes = vec![0u16; dq.len()];
+    codes.clear();
+    codes.resize(dq.len(), 0);
     let mut outliers = OutlierList::default();
-
-    let mut known = vec![0i64; dq.len()];
     if dq.is_empty() {
-        return QuantField {
-            codes,
-            outliers,
-            radius,
-            dims,
-            eb,
-        };
+        return outliers;
     }
-    traverse(&mut known, dims, |flat, p| {
-        let delta = dq[flat] - p;
+    traverse(dq, dims, |flat, p, cur| {
+        let delta = cur - p;
         if delta > -r && delta < r {
             codes[flat] = (delta + r) as u16;
         } else {
@@ -156,7 +160,7 @@ pub fn construct_interpolation<T: Scalar>(data: &[T], dims: Dims, eb: f64, cap: 
             outliers.values.push(delta + r);
         }
         // Dual-quant: the known value is the exact prequantized original.
-        dq[flat]
+        cur
     });
 
     // Traversal order is coarse-to-fine, not index order; restore the
@@ -170,7 +174,20 @@ pub fn construct_interpolation<T: Scalar>(data: &[T], dims: Dims, eb: f64, cap: 
     zipped.sort_unstable_by_key(|&(i, _)| i);
     outliers.indices = zipped.iter().map(|&(i, _)| i).collect();
     outliers.values = zipped.iter().map(|&(_, v)| v).collect();
+    outliers
+}
 
+/// Interpolation-predicted construction.
+pub fn construct_interpolation<T: Scalar>(data: &[T], dims: Dims, eb: f64, cap: u16) -> QuantField {
+    assert_eq!(data.len(), dims.len(), "data length must match dims");
+    assert!(
+        cap >= 4 && cap.is_multiple_of(2),
+        "cap must be even and ≥ 4"
+    );
+    let radius = cap / 2;
+    let mut dq = crate::prequantize(data, eb);
+    let mut codes = Vec::new();
+    let outliers = construct_interpolation_codes(&mut dq, dims, radius, &mut codes);
     QuantField {
         codes,
         outliers,
@@ -180,19 +197,29 @@ pub fn construct_interpolation<T: Scalar>(data: &[T], dims: Dims, eb: f64, cap: 
     }
 }
 
+/// Interpolation reconstruction to prequantized integers, writing into a
+/// caller-owned arena. `out` is first filled with the fused deltas and
+/// then refined in place: the traversal overwrites each delta with its
+/// final value exactly when it is visited, and predictions only read
+/// already-visited entries, so one buffer serves as both.
+pub fn reconstruct_interpolation_prequant_into(
+    codes: &[u16],
+    outliers: &OutlierList,
+    radius: u16,
+    dims: Dims,
+    out: &mut Vec<i64>,
+) {
+    crate::fuse_codes_and_outliers_into(codes, outliers, radius, out);
+    if out.is_empty() {
+        return;
+    }
+    traverse(out, dims, |_flat, p, cur| p + cur);
+}
+
 /// Interpolation reconstruction to prequantized integers.
 pub fn reconstruct_interpolation_prequant(qf: &QuantField) -> Vec<i64> {
-    let deltas = crate::fuse_codes_and_outliers(qf);
-    let mut known = vec![0i64; deltas.len()];
-    if deltas.is_empty() {
-        return known;
-    }
-    let mut out = vec![0i64; deltas.len()];
-    traverse(&mut known, qf.dims, |flat, p| {
-        let v = p + deltas[flat];
-        out[flat] = v;
-        v
-    });
+    let mut out = Vec::new();
+    reconstruct_interpolation_prequant_into(&qf.codes, &qf.outliers, qf.radius, qf.dims, &mut out);
     out
 }
 
@@ -200,6 +227,22 @@ pub fn reconstruct_interpolation_prequant(qf: &QuantField) -> Vec<i64> {
 pub fn reconstruct_interpolation<T: Scalar>(qf: &QuantField) -> Vec<T> {
     let dq = reconstruct_interpolation_prequant(qf);
     crate::dequantize(&dq, qf.eb)
+}
+
+/// Visits every point's interpolation residual `value − predicted` in
+/// traversal order without mutating anything — the selector's scoring
+/// probe. Copies `dq` into a scratch known-array internally, so callers
+/// should hand in a bounded sample, not the whole field.
+pub fn interpolation_residuals(dq: &[i64], dims: Dims, mut f: impl FnMut(i64)) {
+    assert_eq!(dq.len(), dims.len(), "dq length must match dims");
+    if dq.is_empty() {
+        return;
+    }
+    let mut known = dq.to_vec();
+    traverse(&mut known, dims, |_flat, p, cur| {
+        f(cur - p);
+        cur
+    });
 }
 
 #[cfg(test)]
@@ -260,7 +303,7 @@ mod tests {
         };
         let mut seen = vec![0u32; dims.len()];
         let mut known = vec![0i64; dims.len()];
-        traverse(&mut known, dims, |flat, _p| {
+        traverse(&mut known, dims, |flat, _p, _cur| {
             seen[flat] += 1;
             0
         });

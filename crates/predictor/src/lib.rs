@@ -39,13 +39,18 @@ mod quantize;
 mod reconstruct;
 pub mod regression;
 mod scalar;
+pub mod stage;
 
-pub use construct::{construct, construct_codes, construct_codes_into, construct_slab};
+pub use construct::{
+    construct, construct_codes, construct_codes_into, construct_slab, lorenzo_residuals,
+};
 pub use general::{
     construct_general, lorenzo_stencil, reconstruct_general, reconstruct_general_prequant, Tap,
 };
 pub use interpolation::{
-    construct_interpolation, reconstruct_interpolation, reconstruct_interpolation_prequant,
+    construct_interpolation, construct_interpolation_codes, interpolation_residuals,
+    reconstruct_interpolation, reconstruct_interpolation_prequant,
+    reconstruct_interpolation_prequant_into,
 };
 pub use outlier::{gather_outliers, scatter_outliers};
 pub use quantize::{dequantize, dequantize_into, prequantize, prequantize_into};
@@ -58,6 +63,7 @@ pub use regression::{
     RegressionCoeffs, TileCoeffs,
 };
 pub use scalar::Scalar;
+pub use stage::{InterpolationStage, LorenzoStage, PredictorStage};
 
 /// Default number of quantization bins (`cap`); the radius is `cap / 2`.
 /// cuSZ uses 1024 bins by default, giving 10-bit quant-codes — hence the

@@ -45,6 +45,12 @@ pub struct ServiceMetrics {
     pub cache_misses: Counter,
     /// Hot-slab cache: entries evicted to fit the byte budget.
     pub cache_evictions: Counter,
+    /// Compressed chunks whose codec plan used the Lorenzo predictor.
+    pub plans_lorenzo: Counter,
+    /// Compressed chunks whose codec plan used interpolation.
+    pub plans_interpolation: Counter,
+    /// Compressed chunks whose codes section took the lossless wrap.
+    pub plans_lossless: Counter,
     /// Connections currently being served (gauge).
     active_connections: AtomicU64,
 }
@@ -117,6 +123,9 @@ impl ServiceMetrics {
             cache_evictions: self.cache_evictions.get(),
             active_connections: self.active_connections(),
             rejected_unavailable: self.rejected_unavailable.get(),
+            plans_lorenzo: self.plans_lorenzo.get(),
+            plans_interpolation: self.plans_interpolation.get(),
+            plans_lossless: self.plans_lossless.get(),
         }
     }
 }
@@ -170,6 +179,14 @@ pub struct StatsSnapshot {
     /// Requests shed with `Unavailable` while draining (additive wire
     /// field: decodes as 0 from version-1 snapshots).
     pub rejected_unavailable: u64,
+    /// Chunks compressed with the Lorenzo predictor (additive field).
+    pub plans_lorenzo: u64,
+    /// Chunks compressed with the interpolation predictor (additive
+    /// field).
+    pub plans_interpolation: u64,
+    /// Chunks whose codes section took the lossless wrap (additive
+    /// field).
+    pub plans_lossless: u64,
 }
 
 impl StatsSnapshot {
@@ -214,6 +231,9 @@ impl StatsSnapshot {
             // New trailing fields ride last so version-1 decoders (which
             // stop reading after the fields they know) stay compatible.
             self.rejected_unavailable,
+            self.plans_lorenzo,
+            self.plans_interpolation,
+            self.plans_lossless,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -257,8 +277,11 @@ impl StatsSnapshot {
             cache_misses: c.u64()?,
             cache_evictions: c.u64()?,
             active_connections: c.u64()?,
-            // Additive field: absent in version-1 snapshots, reads as 0.
+            // Additive fields: absent in older snapshots, read as 0.
             rejected_unavailable: if c.remaining() >= 8 { c.u64()? } else { 0 },
+            plans_lorenzo: if c.remaining() >= 8 { c.u64()? } else { 0 },
+            plans_interpolation: if c.remaining() >= 8 { c.u64()? } else { 0 },
+            plans_lossless: if c.remaining() >= 8 { c.u64()? } else { 0 },
         })
     }
 }
@@ -279,6 +302,9 @@ mod tests {
         m.cache_hits.add(5);
         m.cache_misses.add(2);
         m.cache_evictions.incr();
+        m.plans_lorenzo.add(7);
+        m.plans_interpolation.add(4);
+        m.plans_lossless.add(2);
         let snap = m.snapshot();
         let back = StatsSnapshot::decode(&snap.encode()).unwrap();
         assert_eq!(back, snap);
@@ -294,6 +320,14 @@ mod tests {
             (back.cache_hits, back.cache_misses, back.cache_evictions),
             (5, 2, 1)
         );
+        assert_eq!(
+            (
+                back.plans_lorenzo,
+                back.plans_interpolation,
+                back.plans_lossless
+            ),
+            (7, 4, 2)
+        );
     }
 
     #[test]
@@ -301,11 +335,13 @@ mod tests {
         let m = ServiceMetrics::new();
         m.rejected_unavailable.add(9);
         let mut bytes = m.snapshot().encode();
-        // Strip the additive trailing field, as a version-1 peer would
-        // have encoded it.
-        bytes.truncate(bytes.len() - 8);
+        // Strip the four additive trailing fields, as a version-1 peer
+        // would have encoded them.
+        bytes.truncate(bytes.len() - 32);
         let back = StatsSnapshot::decode(&bytes).unwrap();
         assert_eq!(back.rejected_unavailable, 0);
+        assert_eq!(back.plans_lorenzo, 0);
+        assert_eq!(back.plans_lossless, 0);
     }
 
     #[test]
@@ -324,9 +360,10 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_request(Op::Scan, 10, 10, Duration::from_micros(5), false);
         let bytes = m.snapshot().encode();
-        // The final 8 bytes are the additive optional field — cuts inside
-        // it decode as its absence, so only cuts before it must fail.
-        for cut in 0..bytes.len() - 8 {
+        // The final 32 bytes are the additive optional fields — cuts
+        // inside them decode as absence, so only cuts before them must
+        // fail.
+        for cut in 0..bytes.len() - 32 {
             assert!(StatsSnapshot::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
     }

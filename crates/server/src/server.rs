@@ -31,7 +31,8 @@ use crate::wire::{
 };
 use cuszp_core::{
     is_chunked_archive, Archive, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype,
-    PipelineEngine, PortableScanReport, RangeSpec, ReconstructEngine, RecoveredField, Scalar,
+    LosslessStage, PipelineEngine, PortableScanReport, Predictor, RangeSpec, ReconstructEngine,
+    RecoveredField, Scalar,
 };
 use cuszp_parallel::{WorkerPool, DEFAULT_CHUNK_ELEMS};
 use std::collections::VecDeque;
@@ -538,7 +539,7 @@ fn handle_op(
             }
             .encode())
         }
-        Op::Compress => handle_compress(payload, engine),
+        Op::Compress => handle_compress(payload, shared, engine),
         Op::Decompress => handle_decompress(payload),
         Op::Scan => {
             let report = cuszp_core::scan(payload).map_err(pipeline_error)?;
@@ -562,7 +563,11 @@ fn alloc_scalars<T: Copy + Default>(
     Ok(out)
 }
 
-fn handle_compress(payload: &[u8], engine: &mut PipelineEngine) -> Result<Vec<u8>, ErrorResponse> {
+fn handle_compress(
+    payload: &[u8],
+    shared: &Shared,
+    engine: &mut PipelineEngine,
+) -> Result<Vec<u8>, ErrorResponse> {
     let req = CompressRequest::decode(payload).map_err(wire_error)?;
     if let Some(p) = req.parity {
         p.validate().map_err(pipeline_error)?;
@@ -571,6 +576,7 @@ fn handle_compress(payload: &[u8], engine: &mut PipelineEngine) -> Result<Vec<u8
         error_bound: req.error_bound,
         workflow: req.workflow,
         predictor: req.predictor,
+        lossless: req.lossless,
         ..Config::default()
     };
     let compressor = Compressor::new(config);
@@ -594,6 +600,16 @@ fn handle_compress(payload: &[u8], engine: &mut PipelineEngine) -> Result<Vec<u8
                 .map_err(pipeline_error)?
         }
     };
+    for chunk in &arc.chunks {
+        let plan = chunk.plan();
+        match plan.predictor {
+            Predictor::Lorenzo => shared.metrics.plans_lorenzo.incr(),
+            Predictor::Interpolation => shared.metrics.plans_interpolation.incr(),
+        }
+        if plan.lossless == LosslessStage::BitshuffleLz77 {
+            shared.metrics.plans_lossless.incr();
+        }
+    }
     if let Some(parity) = req.parity {
         // Inside a pool job the default pool degrades to one worker;
         // parity bytes are width-independent either way.

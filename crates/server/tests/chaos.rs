@@ -10,7 +10,10 @@
 //!   exactly one outcome bucket, and failed attempts trace to injected
 //!   faults.
 
-use cuszp_core::{Compressor, Config, Dims, Dtype, ErrorBound, Predictor, RangeSpec, WorkflowMode};
+use cuszp_core::{
+    Compressor, Config, Dims, Dtype, ErrorBound, LosslessMode, Predictor, PredictorMode, RangeSpec,
+    WorkflowMode,
+};
 use cuszp_faultsim::{ChaosPolicy, ChaosProxy};
 use cuszp_parallel::WorkerPool;
 use cuszp_server::{
@@ -50,7 +53,8 @@ fn request(raw: &[u8]) -> CompressRequest<'_> {
         dtype: Dtype::F32,
         error_bound: ErrorBound::Relative(EB),
         workflow: WorkflowMode::Auto,
-        predictor: Predictor::Lorenzo,
+        predictor: PredictorMode::Force(Predictor::Lorenzo),
+        lossless: LosslessMode::Off,
         chunk_target: CHUNK as u64,
         parity: None,
         data: raw,

@@ -4,8 +4,8 @@
 //! server worker count.
 
 use cuszp_core::{
-    Compressor, Config, Dims, Dtype, ErrorBound, FillPolicy, ParityConfig, PortableChunkStatus,
-    Predictor, WorkflowMode,
+    Compressor, Config, Dims, Dtype, ErrorBound, FillPolicy, LosslessMode, ParityConfig,
+    PortableChunkStatus, Predictor, PredictorMode, WorkflowMode,
 };
 use cuszp_parallel::WorkerPool;
 use cuszp_server::{
@@ -67,7 +67,8 @@ fn request(raw: &[u8], parity: Option<ParityConfig>) -> CompressRequest<'_> {
         dtype: Dtype::F32,
         error_bound: ErrorBound::Relative(EB),
         workflow: WorkflowMode::Auto,
-        predictor: Predictor::Lorenzo,
+        predictor: PredictorMode::Force(Predictor::Lorenzo),
+        lossless: LosslessMode::Off,
         chunk_target: CHUNK as u64,
         parity,
         data: raw,
@@ -233,7 +234,8 @@ fn eight_concurrent_clients_interleave_ops_without_cross_talk() {
                         dtype: Dtype::F32,
                         error_bound: ErrorBound::Absolute(1e-3),
                         workflow: WorkflowMode::Auto,
-                        predictor: Predictor::Lorenzo,
+                        predictor: PredictorMode::Force(Predictor::Lorenzo),
+                        lossless: LosslessMode::Off,
                         chunk_target: 1024,
                         parity: None,
                         data: &raw,
@@ -321,7 +323,8 @@ fn bad_requests_get_typed_errors_and_the_connection_survives() {
         dtype: Dtype::F32,
         error_bound: ErrorBound::Absolute(1e-3),
         workflow: WorkflowMode::Auto,
-        predictor: Predictor::Lorenzo,
+        predictor: PredictorMode::Force(Predictor::Lorenzo),
+        lossless: LosslessMode::Off,
         chunk_target: 0,
         parity: None,
         data: &[0u8; 16],
@@ -338,7 +341,8 @@ fn bad_requests_get_typed_errors_and_the_connection_survives() {
         dtype: Dtype::F32,
         error_bound: ErrorBound::Absolute(1e-3),
         workflow: WorkflowMode::Auto,
-        predictor: Predictor::Lorenzo,
+        predictor: PredictorMode::Force(Predictor::Lorenzo),
+        lossless: LosslessMode::Off,
         chunk_target: 0,
         parity: None,
         data: &bad,

@@ -11,7 +11,10 @@
 
 use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
 use cuszp::server::{Client, CompressRequest, DecompressMode, Server, ServerConfig};
-use cuszp::{Compressor, Config, Dtype, ErrorBound, Predictor, WorkflowChoice, WorkflowMode};
+use cuszp::{
+    Compressor, Config, Dtype, ErrorBound, LosslessMode, Predictor, PredictorMode, WorkflowChoice,
+    WorkflowMode,
+};
 use std::time::Instant;
 
 const EB: f64 = 1e-3;
@@ -69,6 +72,57 @@ fn main() {
         );
     }
     println!("  ],");
+    println!("  \"plans\": [");
+
+    // Per-plan throughput: the codec-plan axes (predictor × lossless)
+    // at the adaptive workflow, on the same field as above.
+    let plans: [(&str, PredictorMode, LosslessMode); 4] = [
+        ("auto", PredictorMode::Auto, LosslessMode::Auto),
+        (
+            "lorenzo",
+            PredictorMode::Force(Predictor::Lorenzo),
+            LosslessMode::Off,
+        ),
+        (
+            "interpolation",
+            PredictorMode::Force(Predictor::Interpolation),
+            LosslessMode::Off,
+        ),
+        (
+            "lorenzo+lz77",
+            PredictorMode::Force(Predictor::Lorenzo),
+            LosslessMode::Auto,
+        ),
+    ];
+    for (i, (name, predictor, lossless)) in plans.iter().enumerate() {
+        let compressor = Compressor::new(Config {
+            error_bound: ErrorBound::Relative(EB),
+            predictor: *predictor,
+            lossless: *lossless,
+            ..Config::default()
+        });
+        let mut t_comp = f64::MAX;
+        let mut t_decomp = f64::MAX;
+        let mut bytes = Vec::new();
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let archive = compressor.compress(&field.data, field.dims).unwrap();
+            t_comp = t_comp.min(t0.elapsed().as_secs_f64());
+            bytes = archive.to_bytes();
+            let t0 = Instant::now();
+            let (recon, _) = cuszp::decompress(&bytes).unwrap();
+            t_decomp = t_decomp.min(t0.elapsed().as_secs_f64());
+            assert_eq!(recon.len(), field.data.len());
+        }
+        println!(
+            "    {{\"plan\": \"{name}\", \"compress_mb_s\": {:.1}, \"decompress_mb_s\": {:.1}, \"ratio\": {:.2}}}{}",
+            mb / t_comp,
+            mb / t_decomp,
+            field.bytes() as f64 / bytes.len() as f64,
+            if i + 1 < plans.len() { "," } else { "" }
+        );
+    }
+    println!("  ],");
 
     // Loopback service latency: a local server on an ephemeral port, one
     // persistent connection, pings for the floor and one heavy round trip
@@ -100,7 +154,8 @@ fn main() {
         dtype: Dtype::F32,
         error_bound: ErrorBound::Relative(EB),
         workflow: WorkflowMode::Auto,
-        predictor: Predictor::Lorenzo,
+        predictor: PredictorMode::Auto,
+        lossless: LosslessMode::Off,
         chunk_target: 0,
         parity: None,
         data: &raw,

@@ -28,6 +28,12 @@ cargo test -q -p cuszp-core --test golden
 echo "==> range battery (ranges bit-equal full-decompress slices at any worker count)"
 cargo test -q -p cuszp-core --test range
 
+echo "==> ratio regression (auto codec plan vs forced lorenzo+huffman)"
+cargo test -q --test ratio_regression
+
+echo "==> lossless stage property tests (LZ77 + bitshuffle round-trip, bounded decode)"
+cargo test -q -p cuszp-lossless --test lz77_props --test proptests
+
 echo "==> hot-slab cache behavior (hits, eviction, invalidation, concurrency)"
 cargo test -q -p cuszp-server --test cache
 

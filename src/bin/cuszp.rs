@@ -25,8 +25,8 @@ use cuszp::server::{
 };
 use cuszp::{
     json_escape, Archive, ChunkStatus, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype,
-    ErrorBound, FillPolicy, ParityConfig, PortableScanReport, Predictor, RangeSpec, RecoveredField,
-    ScanReport, WorkflowChoice, WorkflowMode,
+    ErrorBound, FillPolicy, LosslessMode, ParityConfig, PortableScanReport, Predictor,
+    PredictorMode, RangeSpec, RecoveredField, ScanReport, WorkflowChoice, WorkflowMode,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -140,7 +140,10 @@ OPTIONS:
   -e  error bound (default 1e-4)
   -m  bound mode: 'rel' (relative to value range, default) or 'abs'
   -w  workflow (default auto = the compressibility-aware selector)
-  -p  predictor: 'lorenzo' (default) or 'interp' (multi-level cubic)
+  -p  predictor: 'lorenzo' (default), 'interp' (multi-level cubic), or
+      'auto' (score both per chunk and record the choice in the plan)
+  --lossless  allow the post-coding bitshuffle+LZ77 stage where a sampled
+              probe says it pays (recorded per chunk in the plan)
   --double   treat the raw file as f64
   --threads  chunk-parallel engine with an n-worker pool; compress writes the
              multi-chunk (v2) archive, whose bytes are identical for any n
@@ -226,7 +229,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         // Boolean flags.
         if matches!(
             key.as_str(),
-            "double" | "verify-none" | "recover" | "stats" | "repair" | "json"
+            "double" | "verify-none" | "recover" | "stats" | "repair" | "json" | "lossless"
         ) {
             map.insert(key, String::new());
             continue;
@@ -274,14 +277,21 @@ fn parse_config(opts: &Opts) -> Result<Config, String> {
         other => return Err(format!("bad workflow '{other}'")),
     };
     let predictor = match opts.get("p").unwrap_or("lorenzo") {
-        "lorenzo" => Predictor::Lorenzo,
-        "interp" | "interpolation" => Predictor::Interpolation,
+        "lorenzo" => PredictorMode::Force(Predictor::Lorenzo),
+        "interp" | "interpolation" => PredictorMode::Force(Predictor::Interpolation),
+        "auto" => PredictorMode::Auto,
         other => return Err(format!("bad predictor '{other}'")),
+    };
+    let lossless = if opts.has_flag("lossless") {
+        LosslessMode::Auto
+    } else {
+        LosslessMode::Off
     };
     Ok(Config {
         error_bound,
         workflow,
         predictor,
+        lossless,
         ..Config::default()
     })
 }
@@ -662,8 +672,11 @@ fn cmd_fsck(opts: &Opts) -> Result<ExitCode, String> {
             Some(range) => format!("bytes {}..{}", range.start, range.end),
             None => "unlocatable".to_string(),
         };
+        let plan = r
+            .plan
+            .map_or(String::new(), |p| format!(", plan {}", p.label()));
         println!(
-            "    [{}] {}  ({loc}, elements {}..{})",
+            "    [{}] {}  ({loc}, elements {}..{}{plan})",
             r.index, r.status, r.elem_range.start, r.elem_range.end
         );
     }
@@ -751,9 +764,9 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
         );
         for (i, ch) in arc.chunks.iter().enumerate() {
             println!(
-                "    [{i}] {:?}  workflow {}  {} outliers  {} bytes",
+                "    [{i}] {:?}  plan {}  {} outliers  {} bytes",
                 ch.dims,
-                ch.payload.choice().name(),
+                ch.plan().label(),
                 ch.outliers.len(),
                 ch.serialized_bytes()
             );
@@ -774,6 +787,20 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
         })
         .collect();
         println!("  workflow mix: {}", mix.join(", "));
+        let plan_mix: Vec<String> = {
+            let mut mix: Vec<(String, usize)> = Vec::new();
+            for ch in &arc.chunks {
+                let label = ch.plan().label();
+                match mix.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, n)) => *n += 1,
+                    None => mix.push((label, 1)),
+                }
+            }
+            mix.into_iter()
+                .map(|(label, n)| format!("{label} x{n}"))
+                .collect()
+        };
+        println!("  plan mix:     {}", plan_mix.join(", "));
         let outliers: usize = arc.chunks.iter().map(|ch| ch.outliers.len()).sum();
         println!(
             "  outliers:     {} ({:.3}%)",
@@ -811,6 +838,7 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
     println!("  quant cap:    {}", archive.cap);
     println!("  predictor:    {}", archive.predictor.name());
     println!("  workflow:     {}", archive.payload.choice().name());
+    println!("  plan:         {}", archive.plan().label());
     println!(
         "  outliers:     {} ({:.3}%)",
         archive.outliers.len(),
@@ -1183,6 +1211,7 @@ fn remote_compress(opts: &Opts) -> Result<(), String> {
         error_bound: config.error_bound,
         workflow: config.workflow,
         predictor: config.predictor,
+        lossless: config.lossless,
         chunk_target,
         parity,
         data: &data,

@@ -65,9 +65,9 @@ pub use cuszp_core::{
     decompress_resilient, decompress_resilient_f64, decompress_resilient_f64_with,
     decompress_resilient_with, decompress_with_engine, is_chunked_archive, json_escape, repair,
     repair_with, scan, scan_with, Archive, ArchiveSection, ChunkReport, ChunkStatus,
-    ChunkedArchive, CompressionStats, Compressor, Config, CuszpError, Dims, Dtype, ErrorBound,
-    FillPolicy, ParityConfig, ParityReport, ParitySection, ParseFault, PortableChunkReport,
-    PortableChunkStatus, PortableParityReport, PortableScanReport, PortableStripeStatus, Predictor,
-    RangeSpec, ReconstructEngine, RecoveredField, RepairOutcome, ScanReport, Snapshot,
-    SnapshotEntry, StripeStatus, WorkflowChoice, WorkflowMode,
+    ChunkedArchive, CodecPlan, CompressionStats, Compressor, Config, CuszpError, Dims, Dtype,
+    ErrorBound, FillPolicy, LosslessMode, LosslessStage, ParityConfig, ParityReport, ParitySection,
+    ParseFault, PortableChunkReport, PortableChunkStatus, PortableParityReport, PortableScanReport,
+    PortableStripeStatus, Predictor, PredictorMode, RangeSpec, ReconstructEngine, RecoveredField,
+    RepairOutcome, ScanReport, Snapshot, SnapshotEntry, StripeStatus, WorkflowChoice, WorkflowMode,
 };

@@ -3,7 +3,7 @@
 
 use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
 use cuszp::metrics::verify_error_bound;
-use cuszp::{Compressor, Config, Dims, ErrorBound, Predictor};
+use cuszp::{Compressor, Config, Dims, ErrorBound, Predictor, PredictorMode};
 
 #[test]
 fn interpolation_round_trips_through_archives() {
@@ -12,7 +12,7 @@ fn interpolation_round_trips_through_archives() {
         let field = generate(&spec, Scale::Tiny);
         let config = Config {
             error_bound: ErrorBound::Relative(1e-3),
-            predictor: Predictor::Interpolation,
+            predictor: PredictorMode::Force(Predictor::Interpolation),
             ..Config::default()
         };
         let eb = config.error_bound.absolute(&field.data);
@@ -33,7 +33,7 @@ fn predictor_survives_serialization() {
     let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin()).collect();
     for predictor in [Predictor::Lorenzo, Predictor::Interpolation] {
         let config = Config {
-            predictor,
+            predictor: predictor.into(),
             ..Config::default()
         };
         let archive = Compressor::new(config)
@@ -56,7 +56,7 @@ fn interpolation_wins_on_smooth_3d_lorenzo_on_rowwise_fields() {
     let measure = |field: &cuszp::datagen::Field, predictor| {
         let c = Compressor::new(Config {
             error_bound: ErrorBound::Relative(1e-3),
-            predictor,
+            predictor: PredictorMode::Force(predictor),
             ..Config::default()
         });
         let (_, stats) = c.compress_with_stats(&field.data, field.dims).unwrap();
@@ -76,7 +76,7 @@ fn f64_supports_both_predictors() {
     for predictor in [Predictor::Lorenzo, Predictor::Interpolation] {
         let config = Config {
             error_bound: ErrorBound::Absolute(1e-8),
-            predictor,
+            predictor: predictor.into(),
             ..Config::default()
         };
         let archive = Compressor::new(config)
