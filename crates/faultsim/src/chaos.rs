@@ -78,6 +78,12 @@ pub struct ChaosPolicy {
     /// every `redraw_bytes` relayed bytes, so connection reuse does not
     /// amortize one lucky clean draw across a whole soak (≥ 1).
     pub redraw_bytes: usize,
+    /// Node-death profile: after this many total relayed bytes (both
+    /// directions summed) the proxied node "dies" — in-flight relays
+    /// sever and every later connection is refused until
+    /// [`ChaosProxy::revive`]. 0 disarms (the node only dies via
+    /// [`ChaosProxy::kill`]).
+    pub kill_after_bytes: u64,
 }
 
 impl ChaosPolicy {
@@ -97,6 +103,7 @@ impl ChaosPolicy {
             chop_per_mille: 0,
             chop_piece: 7,
             redraw_bytes: 16 << 10,
+            kill_after_bytes: 0,
         }
     }
 
@@ -277,6 +284,8 @@ pub struct ChaosStats {
     pub bytes_up: AtomicU64,
     /// Bytes relayed server→client.
     pub bytes_down: AtomicU64,
+    /// Connections refused because the proxied node was dead.
+    pub dead_refusals: AtomicU64,
 }
 
 impl ChaosStats {
@@ -289,6 +298,32 @@ impl ChaosStats {
             + self.responses_cut.load(Ordering::Relaxed)
             + self.bits_flipped.load(Ordering::Relaxed)
             + self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes relayed in both directions — the clock the
+    /// kill-after-bytes node-death profile runs on.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up.load(Ordering::Relaxed) + self.bytes_down.load(Ordering::Relaxed)
+    }
+}
+
+/// The life state of the proxied node: alive, armed to die after a byte
+/// threshold, or dead (refusing forever until revived). Shared by the
+/// acceptor and every forwarder.
+#[derive(Debug)]
+struct NodeLife {
+    dead: AtomicBool,
+    /// Total-relayed-bytes threshold at which the node dies
+    /// (`u64::MAX` = disarmed).
+    kill_at: AtomicU64,
+}
+
+impl Default for NodeLife {
+    fn default() -> Self {
+        Self {
+            dead: AtomicBool::new(false),
+            kill_at: AtomicU64::new(u64::MAX),
+        }
     }
 }
 
@@ -303,6 +338,7 @@ pub struct ChaosProxy {
     addr: SocketAddr,
     stats: Arc<ChaosStats>,
     stop: Arc<AtomicBool>,
+    life: Arc<NodeLife>,
     acceptor: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -329,15 +365,24 @@ impl ChaosProxy {
         let addr = listener.local_addr()?;
         let stats = Arc::new(ChaosStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let life = Arc::new(NodeLife::default());
+        if policy.kill_after_bytes > 0 {
+            life.kill_at
+                .store(policy.kill_after_bytes, Ordering::Relaxed);
+        }
         let acceptor = {
             let stats = stats.clone();
             let stop = stop.clone();
-            std::thread::spawn(move || accept_loop(listener, upstream, policy, seed, stats, stop))
+            let life = life.clone();
+            std::thread::spawn(move || {
+                accept_loop(listener, upstream, policy, seed, stats, stop, life)
+            })
         };
         Ok(ChaosProxy {
             addr,
             stats,
             stop,
+            life,
             acceptor: Some(acceptor),
         })
     }
@@ -359,6 +404,33 @@ impl ChaosProxy {
             let _ = h.join();
         }
     }
+
+    /// Kills the proxied node now: in-flight relays sever within one
+    /// poll tick and every later connection is refused until
+    /// [`ChaosProxy::revive`] — the refuse-forever node-death profile.
+    pub fn kill(&self) {
+        self.life.dead.store(true, Ordering::Relaxed);
+    }
+
+    /// Brings a killed node back: new connections relay again. The
+    /// kill-after-bytes trigger stays disarmed until re-armed.
+    pub fn revive(&self) {
+        self.life.kill_at.store(u64::MAX, Ordering::Relaxed);
+        self.life.dead.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the proxied node is currently dead.
+    pub fn is_dead(&self) -> bool {
+        self.life.dead.load(Ordering::Relaxed)
+    }
+
+    /// Arms the node to die after `delta` more relayed bytes (both
+    /// directions summed) — the kill-mid-workload profile, seedable by
+    /// drawing `delta` from a campaign RNG.
+    pub fn arm_kill_after(&self, delta: u64) {
+        let at = self.stats.total_bytes().saturating_add(delta.max(1));
+        self.life.kill_at.store(at, Ordering::Relaxed);
+    }
 }
 
 impl Drop for ChaosProxy {
@@ -367,6 +439,7 @@ impl Drop for ChaosProxy {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     upstream: SocketAddr,
@@ -374,6 +447,7 @@ fn accept_loop(
     seed: u64,
     stats: Arc<ChaosStats>,
     stop: Arc<AtomicBool>,
+    life: Arc<NodeLife>,
 ) {
     let mut conn_idx = 0u64;
     let mut relays: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -384,6 +458,14 @@ fn accept_loop(
                 let idx = conn_idx;
                 conn_idx += 1;
                 stats.connections.fetch_add(1, Ordering::Relaxed);
+                if life.dead.load(Ordering::Relaxed) {
+                    // A dead node accepts nothing: the socket closes
+                    // before any byte, exactly like a crashed process
+                    // whose port is gone.
+                    stats.dead_refusals.fetch_add(1, Ordering::Relaxed);
+                    drop(client);
+                    continue;
+                }
                 if plan.refuse {
                     stats.refused.fetch_add(1, Ordering::Relaxed);
                     // Dropping the accepted socket closes it before any
@@ -405,6 +487,7 @@ fn accept_loop(
                 let up = {
                     let stats = stats.clone();
                     let stop = stop.clone();
+                    let life = life.clone();
                     std::thread::spawn(move || {
                         forward(
                             client,
@@ -415,12 +498,14 @@ fn accept_loop(
                             Direction::Up,
                             stats,
                             stop,
+                            life,
                         )
                     })
                 };
                 let down = {
                     let stats = stats.clone();
                     let stop = stop.clone();
+                    let life = life.clone();
                     std::thread::spawn(move || {
                         forward(
                             server2,
@@ -431,6 +516,7 @@ fn accept_loop(
                             Direction::Down,
                             stats,
                             stop,
+                            life,
                         )
                     })
                 };
@@ -482,6 +568,7 @@ fn forward(
     dir: Direction,
     stats: Arc<ChaosStats>,
     stop: Arc<AtomicBool>,
+    life: Arc<NodeLife>,
 ) {
     let _ = src.set_read_timeout(Some(POLL));
     let span = policy.redraw_bytes.max(1);
@@ -495,7 +582,7 @@ fn forward(
     // or stop severs both sockets outright.
     let mut sever = true;
     'relay: loop {
-        if stop.load(Ordering::Relaxed) {
+        if stop.load(Ordering::Relaxed) || life.dead.load(Ordering::Relaxed) {
             break;
         }
         let n = match src.read(&mut buf) {
@@ -579,6 +666,13 @@ fn forward(
             }
             count_bytes(&stats, dir, sub.len());
             offset += take;
+            // Kill-after-bytes: crossing the armed threshold kills the
+            // node mid-workload — this relay severs and the acceptor
+            // refuses everything until a revive.
+            if stats.total_bytes() >= life.kill_at.load(Ordering::Relaxed) {
+                life.dead.store(true, Ordering::Relaxed);
+                break 'relay;
+            }
         }
     }
     if sever {
@@ -784,6 +878,55 @@ mod tests {
         assert!(flips > 1, "expected multiple epoch flips, saw {flips}");
         let diffs = back.iter().zip(&payload).filter(|(a, b)| a != b).count();
         assert_eq!(diffs as u64, flips, "each fired flip corrupts one byte");
+        proxy.stop();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn killed_node_refuses_until_revived() {
+        let (echo, stop, handle) = start_echo();
+        let mut proxy = ChaosProxy::start(echo, ChaosPolicy::clean(), 3).unwrap();
+        assert_eq!(round_trip(proxy.local_addr(), b"alive").unwrap(), b"alive");
+        proxy.kill();
+        assert!(proxy.is_dead());
+        for _ in 0..3 {
+            // Dead: either the round trip errors or nothing comes back.
+            if let Ok(bytes) = round_trip(proxy.local_addr(), b"dead?") {
+                assert!(bytes.is_empty());
+            }
+        }
+        assert_eq!(proxy.stats().dead_refusals.load(Ordering::Relaxed), 3);
+        proxy.revive();
+        assert!(!proxy.is_dead());
+        assert_eq!(round_trip(proxy.local_addr(), b"back").unwrap(), b"back");
+        proxy.stop();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn kill_after_bytes_dies_mid_workload() {
+        let (echo, stop, handle) = start_echo();
+        let policy = ChaosPolicy {
+            kill_after_bytes: 4096,
+            ..ChaosPolicy::clean()
+        };
+        let mut proxy = ChaosProxy::start(echo, policy, 17).unwrap();
+        // Push well past the threshold: the relay must sever partway
+        // and the node must stay dead afterwards.
+        let payload = vec![0x5Au8; 64 * 1024];
+        let back = round_trip(proxy.local_addr(), &payload).unwrap_or_default();
+        assert!(
+            back.len() < payload.len(),
+            "node should die before echoing {} bytes",
+            payload.len()
+        );
+        assert!(proxy.is_dead());
+        if let Ok(bytes) = round_trip(proxy.local_addr(), b"gone") {
+            assert!(bytes.is_empty());
+        }
+        assert!(proxy.stats().dead_refusals.load(Ordering::Relaxed) >= 1);
         proxy.stop();
         stop.store(true, Ordering::Relaxed);
         handle.join().unwrap();

@@ -153,15 +153,23 @@ impl Client {
     }
 
     /// Connects with a connect timeout and default socket timeouts.
-    /// Each resolved address gets `opts.connect_timeout`; the first to
-    /// answer wins.
+    /// `opts.connect_timeout` is the *total* budget: each resolved
+    /// address gets at most the time remaining, so a name resolving to
+    /// several dead addresses cannot multiply the wait — the invariant
+    /// [`RetryingClient`] relies on when it clamps the budget to a
+    /// call's remaining deadline.
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         opts: &ConnectOptions,
     ) -> std::io::Result<Client> {
+        let deadline = Instant::now() + opts.connect_timeout;
         let mut last_err = None;
         for sock_addr in addr.to_socket_addrs()? {
-            match TcpStream::connect_timeout(&sock_addr, opts.connect_timeout) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match TcpStream::connect_timeout(&sock_addr, remaining) {
                 Ok(stream) => {
                     let _ = stream.set_nodelay(true);
                     stream.set_read_timeout(opts.read_timeout)?;
@@ -177,8 +185,8 @@ impl Client {
         }
         Err(last_err.unwrap_or_else(|| {
             std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "address resolved to nothing",
+                std::io::ErrorKind::TimedOut,
+                "connect budget exhausted before any address answered",
             )
         }))
     }

@@ -34,14 +34,20 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod metrics;
+pub mod ring;
 pub mod server;
+pub mod store;
 pub mod wire;
 
 pub use cache::{SlabCache, SlabKey};
 pub use client::{Client, ClientError, ConnectOptions, RetryPolicy, RetryStats, RetryingClient};
+pub use cluster::{ClusterClient, ClusterError, ClusterStats, GetOutcome, PutReport, ScrubReport};
 pub use metrics::{OpStats, ServiceMetrics, StatsSnapshot};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use ring::{NodeInfo, Ring, RingError};
+pub use server::{ClusterConfig, Server, ServerConfig, ServerHandle};
+pub use store::{ShardStore, StoredShard};
 pub use wire::{
     fnv1a, CompressRequest, DecompressMode, DecompressRequest, DecompressResponse, ErrorCode,
     ErrorResponse, Frame, GetRangeRequest, HealthResponse, Op, RemoteInfo, WireError, FLAG_ERROR,

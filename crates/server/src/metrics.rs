@@ -51,6 +51,15 @@ pub struct ServiceMetrics {
     pub plans_interpolation: Counter,
     /// Compressed chunks whose codes section took the lossless wrap.
     pub plans_lossless: Counter,
+    /// Cluster: shard requests answered with `Redirect`/`NotMine`
+    /// because the caller routed with a stale ring or to a non-owner.
+    pub redirects: Counter,
+    /// Cluster: repair-flagged shard puts accepted (anti-entropy
+    /// re-replication landing on this node).
+    pub scrub_repairs: Counter,
+    /// Cluster: stored shards dropped because their checksum no longer
+    /// matched at verify time.
+    pub corrupt_shards_dropped: Counter,
     /// Connections currently being served (gauge).
     active_connections: AtomicU64,
 }
@@ -126,6 +135,9 @@ impl ServiceMetrics {
             plans_lorenzo: self.plans_lorenzo.get(),
             plans_interpolation: self.plans_interpolation.get(),
             plans_lossless: self.plans_lossless.get(),
+            redirects: self.redirects.get(),
+            scrub_repairs: self.scrub_repairs.get(),
+            corrupt_shards_dropped: self.corrupt_shards_dropped.get(),
         }
     }
 }
@@ -187,6 +199,13 @@ pub struct StatsSnapshot {
     /// Chunks whose codes section took the lossless wrap (additive
     /// field).
     pub plans_lossless: u64,
+    /// Cluster: stale-ring/wrong-owner shard requests answered with
+    /// `Redirect`/`NotMine` (additive field).
+    pub redirects: u64,
+    /// Cluster: repair-flagged shard puts accepted (additive field).
+    pub scrub_repairs: u64,
+    /// Cluster: shards dropped on checksum verify (additive field).
+    pub corrupt_shards_dropped: u64,
 }
 
 impl StatsSnapshot {
@@ -234,6 +253,9 @@ impl StatsSnapshot {
             self.plans_lorenzo,
             self.plans_interpolation,
             self.plans_lossless,
+            self.redirects,
+            self.scrub_repairs,
+            self.corrupt_shards_dropped,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -282,6 +304,9 @@ impl StatsSnapshot {
             plans_lorenzo: if c.remaining() >= 8 { c.u64()? } else { 0 },
             plans_interpolation: if c.remaining() >= 8 { c.u64()? } else { 0 },
             plans_lossless: if c.remaining() >= 8 { c.u64()? } else { 0 },
+            redirects: if c.remaining() >= 8 { c.u64()? } else { 0 },
+            scrub_repairs: if c.remaining() >= 8 { c.u64()? } else { 0 },
+            corrupt_shards_dropped: if c.remaining() >= 8 { c.u64()? } else { 0 },
         })
     }
 }
@@ -305,6 +330,9 @@ mod tests {
         m.plans_lorenzo.add(7);
         m.plans_interpolation.add(4);
         m.plans_lossless.add(2);
+        m.redirects.add(6);
+        m.scrub_repairs.add(3);
+        m.corrupt_shards_dropped.incr();
         let snap = m.snapshot();
         let back = StatsSnapshot::decode(&snap.encode()).unwrap();
         assert_eq!(back, snap);
@@ -328,6 +356,14 @@ mod tests {
             ),
             (7, 4, 2)
         );
+        assert_eq!(
+            (
+                back.redirects,
+                back.scrub_repairs,
+                back.corrupt_shards_dropped
+            ),
+            (6, 3, 1)
+        );
     }
 
     #[test]
@@ -335,13 +371,16 @@ mod tests {
         let m = ServiceMetrics::new();
         m.rejected_unavailable.add(9);
         let mut bytes = m.snapshot().encode();
-        // Strip the four additive trailing fields, as a version-1 peer
+        // Strip the seven additive trailing fields, as a version-1 peer
         // would have encoded them.
-        bytes.truncate(bytes.len() - 32);
+        bytes.truncate(bytes.len() - 56);
         let back = StatsSnapshot::decode(&bytes).unwrap();
         assert_eq!(back.rejected_unavailable, 0);
         assert_eq!(back.plans_lorenzo, 0);
         assert_eq!(back.plans_lossless, 0);
+        assert_eq!(back.redirects, 0);
+        assert_eq!(back.scrub_repairs, 0);
+        assert_eq!(back.corrupt_shards_dropped, 0);
     }
 
     #[test]
@@ -360,10 +399,10 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_request(Op::Scan, 10, 10, Duration::from_micros(5), false);
         let bytes = m.snapshot().encode();
-        // The final 32 bytes are the additive optional fields — cuts
+        // The final 56 bytes are the additive optional fields — cuts
         // inside them decode as absence, so only cuts before them must
         // fail.
-        for cut in 0..bytes.len() - 32 {
+        for cut in 0..bytes.len() - 56 {
             assert!(StatsSnapshot::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
     }

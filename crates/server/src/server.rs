@@ -24,10 +24,13 @@
 
 use crate::cache::SlabCache;
 use crate::metrics::ServiceMetrics;
+use crate::ring::Ring;
+use crate::store::ShardStore;
 use crate::wire::{
-    fnv1a, read_frame, write_frame, CompressRequest, DecompressMode, DecompressRequest,
-    DecompressResponse, ErrorCode, ErrorResponse, GetRangeRequest, Op, RemoteInfo, WireError,
-    FLAG_ERROR, FLAG_RESPONSE, MAX_FRAME_PAYLOAD,
+    fnv1a, read_frame, write_frame, ClusterIdentity, CompressRequest, DecompressMode,
+    DecompressRequest, DecompressResponse, ErrorCode, ErrorResponse, GetRangeRequest,
+    GetShardRequest, GetShardResponse, Op, PutShardRequest, RemoteInfo, ShardListResponse,
+    WireError, FLAG_ERROR, FLAG_RESPONSE, MAX_FRAME_PAYLOAD, PUT_FLAG_REPAIR,
 };
 use cuszp_core::{
     is_chunked_archive, Archive, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype,
@@ -82,6 +85,25 @@ impl Default for ServerConfig {
     }
 }
 
+/// Cluster membership for one node: its identity and the ring it
+/// routes by. [`ServerConfig`] stays `Copy`-tunable; this rides
+/// alongside it through [`Server::bind_cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's id. Must name a member of `ring`.
+    pub node_id: u64,
+    /// The topology this node serves and routes by.
+    pub ring: Ring,
+}
+
+/// Per-node cluster state: identity, topology, and the shard store.
+#[derive(Debug)]
+struct ClusterCtx {
+    node_id: u64,
+    ring: Ring,
+    store: Mutex<ShardStore>,
+}
+
 /// State shared by the acceptor, the workers, and external handles.
 #[derive(Debug)]
 struct Shared {
@@ -95,6 +117,8 @@ struct Shared {
     /// Hot-slab cache for `get_range`. Locked only for lookup/insert;
     /// chunk decoding always happens outside the critical section.
     cache: Mutex<SlabCache>,
+    /// `Some` when serving as a cluster node: shard ops route here.
+    cluster: Option<ClusterCtx>,
 }
 
 impl Shared {
@@ -156,6 +180,23 @@ impl ServerHandle {
     pub fn stats(&self) -> crate::metrics::StatsSnapshot {
         self.0.metrics.snapshot()
     }
+
+    /// Stored shard slots on this node (0 when not clustered).
+    pub fn shard_count(&self) -> usize {
+        self.0
+            .cluster
+            .as_ref()
+            .map(|c| c.store.lock().expect("store lock poisoned").len())
+            .unwrap_or(0)
+    }
+
+    /// Wipes the node's shard store — the test hook for simulating a
+    /// node that lost its disk and must be healed by scrub.
+    pub fn clear_shards(&self) {
+        if let Some(c) = &self.0.cluster {
+            c.store.lock().expect("store lock poisoned").clear();
+        }
+    }
 }
 
 /// The compression service.
@@ -169,6 +210,26 @@ impl Server {
     /// Binds the service (use port 0 for an ephemeral port; read it
     /// back with [`Server::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        Server::bind_cluster(addr, config, None)
+    }
+
+    /// Binds the service as a cluster node: shard ops (`put`, `get`,
+    /// `list_shards`) and the `ring` op are served, `health` carries
+    /// the node id + ring epoch, and requests routed under a stale
+    /// epoch or to a non-owner are answered `Redirect`/`NotMine`.
+    pub fn bind_cluster(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        cluster: Option<ClusterConfig>,
+    ) -> std::io::Result<Server> {
+        if let Some(c) = &cluster {
+            if c.ring.node(c.node_id).is_none() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("node id {} is not a member of the ring", c.node_id),
+                ));
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         let config = ServerConfig {
             workers: config.workers.max(1),
@@ -185,6 +246,11 @@ impl Server {
                 queue: Mutex::new(VecDeque::new()),
                 queue_cv: Condvar::new(),
                 cache: Mutex::new(SlabCache::new(config.cache_bytes)),
+                cluster: cluster.map(|c| ClusterCtx {
+                    node_id: c.node_id,
+                    ring: c.ring,
+                    store: Mutex::new(ShardStore::new()),
+                }),
             }),
         })
     }
@@ -488,10 +554,14 @@ fn handle_frame(
 }
 
 /// True for ops a draining server sheds with `Unavailable`: the heavy
-/// pipeline work it can no longer promise to finish. Probes and
-/// shutdown itself keep answering so clients can watch the drain.
+/// pipeline work it can no longer promise to finish. Probes, shutdown
+/// itself, and the `ring` topology op keep answering so clients can
+/// watch the drain and re-route around the departing node.
 fn sheds_while_draining(op: Op) -> bool {
-    !matches!(op, Op::Ping | Op::Health | Op::Stats | Op::Shutdown)
+    !matches!(
+        op,
+        Op::Ping | Op::Health | Op::Stats | Op::Shutdown | Op::Ring
+    )
 }
 
 /// Maps a pipeline error to a typed response: request-shaped faults are
@@ -536,6 +606,10 @@ fn handle_op(
                 active_connections: shared.metrics.active_connections().min(u32::MAX as u64) as u32,
                 workers: shared.config.workers.min(u32::MAX as usize) as u32,
                 retry_after_ms: shared.retry_after_hint().as_millis().min(u32::MAX as u128) as u32,
+                cluster: shared.cluster.as_ref().map(|c| ClusterIdentity {
+                    node_id: c.node_id,
+                    ring_epoch: c.ring.epoch,
+                }),
             }
             .encode())
         }
@@ -547,7 +621,124 @@ fn handle_op(
         }
         Op::Info => handle_info(payload),
         Op::GetRange => handle_get_range(payload, shared, engine),
+        Op::Ring => Ok(cluster_ctx(shared)?.ring.encode()),
+        Op::Put => handle_put_shard(payload, shared),
+        Op::Get => handle_get_shard(payload, shared),
+        Op::ListShards => handle_list_shards(shared),
     }
+}
+
+/// The cluster context, or a typed refusal on a non-cluster server.
+fn cluster_ctx(shared: &Shared) -> Result<&ClusterCtx, ErrorResponse> {
+    shared.cluster.as_ref().ok_or_else(|| {
+        ErrorResponse::new(
+            ErrorCode::BadRequest,
+            "this server is not a cluster node (no ring configured)",
+        )
+    })
+}
+
+/// Routing gate shared by shard puts and gets: the request must carry
+/// the node's ring epoch and target a stripe slot this node owns.
+/// Stale epochs answer `Redirect`, wrong owners `NotMine` — both carry
+/// the authoritative owner + epoch so one client hop fixes the route.
+fn check_shard_route(
+    cluster: &ClusterCtx,
+    shared: &Shared,
+    key: &str,
+    shard_idx: u16,
+    req_epoch: u64,
+) -> Result<(), ErrorResponse> {
+    let ring = &cluster.ring;
+    let owner = ring.shard_owner(key, shard_idx).ok_or_else(|| {
+        ErrorResponse::new(
+            ErrorCode::BadRequest,
+            format!(
+                "shard index {shard_idx} out of range for a {}+{} stripe",
+                ring.data_shards, ring.parity_shards
+            ),
+        )
+    })?;
+    if req_epoch != ring.epoch {
+        shared.metrics.redirects.incr();
+        return Err(ErrorResponse::new(
+            ErrorCode::Redirect,
+            format!(
+                "request routed under epoch {req_epoch}, ring is at {}",
+                ring.epoch
+            ),
+        )
+        .with_redirect(ring.epoch, owner.id, owner.addr.clone()));
+    }
+    if owner.id != cluster.node_id {
+        shared.metrics.redirects.incr();
+        return Err(ErrorResponse::new(
+            ErrorCode::NotMine,
+            format!(
+                "shard {shard_idx} of '{key}' belongs to node {}, this is node {}",
+                owner.id, cluster.node_id
+            ),
+        )
+        .with_redirect(ring.epoch, owner.id, owner.addr.clone()));
+    }
+    Ok(())
+}
+
+fn handle_put_shard(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, ErrorResponse> {
+    let cluster = cluster_ctx(shared)?;
+    let req = PutShardRequest::decode(payload).map_err(wire_error)?;
+    check_shard_route(cluster, shared, &req.key, req.shard_idx, req.ring_epoch)?;
+    cluster
+        .store
+        .lock()
+        .expect("store lock poisoned")
+        .put(
+            &req.key,
+            req.shard_idx,
+            req.shard,
+            req.total_len,
+            req.archive_fnv,
+        )
+        .map_err(|_| ErrorResponse::new(ErrorCode::Pipeline, "shard allocation refused"))?;
+    if req.flags & PUT_FLAG_REPAIR != 0 {
+        shared.metrics.scrub_repairs.incr();
+    }
+    Ok(Vec::new())
+}
+
+fn handle_get_shard(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, ErrorResponse> {
+    let cluster = cluster_ctx(shared)?;
+    let req = GetShardRequest::decode(payload).map_err(wire_error)?;
+    check_shard_route(cluster, shared, &req.key, req.shard_idx, req.ring_epoch)?;
+    let store = cluster.store.lock().expect("store lock poisoned");
+    let shard = store.get(&req.key, req.shard_idx).ok_or_else(|| {
+        ErrorResponse::new(
+            ErrorCode::NotFound,
+            format!(
+                "shard {} of '{}' is not stored here",
+                req.shard_idx, req.key
+            ),
+        )
+    })?;
+    Ok(GetShardResponse {
+        total_len: shard.total_len,
+        archive_fnv: shard.archive_fnv,
+        shard: shard.bytes.clone(),
+    }
+    .encode())
+}
+
+fn handle_list_shards(shared: &Shared) -> Result<Vec<u8>, ErrorResponse> {
+    let cluster = cluster_ctx(shared)?;
+    let (records, dropped) = cluster
+        .store
+        .lock()
+        .expect("store lock poisoned")
+        .verify_and_list();
+    if dropped > 0 {
+        shared.metrics.corrupt_shards_dropped.add(dropped);
+    }
+    Ok(ShardListResponse { records }.encode())
 }
 
 fn alloc_scalars<T: Copy + Default>(

@@ -1,0 +1,179 @@
+//! Per-node shard storage for the cluster tier.
+//!
+//! Each node stores the stripe slots the ring assigns it: a
+//! `(key, shard_idx)` → bytes map with the shard checksum and archive
+//! metadata captured at put time. The scrub path re-verifies checksums
+//! on listing — a shard whose bytes rotted is dropped (and counted) so
+//! anti-entropy sees it as *missing* and re-replicates it, rather than
+//! serving corrupt bytes to a degraded read.
+
+use std::collections::HashMap;
+
+use crate::wire::{fnv1a, ShardRecord};
+
+/// One stored stripe slot.
+#[derive(Debug, Clone)]
+pub struct StoredShard {
+    /// The shard bytes (RS-padded; `total_len` recovers the tail).
+    pub bytes: Vec<u8>,
+    /// FNV-1a of `bytes`, captured at put time.
+    pub checksum: u64,
+    /// Length of the whole archive the stripe encodes.
+    pub total_len: u64,
+    /// FNV-1a of the whole archive (end-to-end integrity check).
+    pub archive_fnv: u64,
+}
+
+/// In-memory shard map. Callers serialize access (the server wraps it
+/// in a mutex inside the shared state).
+#[derive(Debug, Default)]
+pub struct ShardStore {
+    shards: HashMap<(String, u16), StoredShard>,
+}
+
+impl ShardStore {
+    /// An empty store.
+    pub fn new() -> ShardStore {
+        ShardStore::default()
+    }
+
+    /// Inserts (or replaces) a stripe slot. Allocation is reserved
+    /// fallibly so an oversized put degrades to an error, not an abort.
+    pub fn put(
+        &mut self,
+        key: &str,
+        shard_idx: u16,
+        bytes: &[u8],
+        total_len: u64,
+        archive_fnv: u64,
+    ) -> Result<(), std::collections::TryReserveError> {
+        let mut owned = Vec::new();
+        owned.try_reserve_exact(bytes.len())?;
+        owned.extend_from_slice(bytes);
+        let checksum = fnv1a(&owned);
+        self.shards.insert(
+            (key.to_string(), shard_idx),
+            StoredShard {
+                bytes: owned,
+                checksum,
+                total_len,
+                archive_fnv,
+            },
+        );
+        Ok(())
+    }
+
+    /// Fetches a stripe slot.
+    pub fn get(&self, key: &str, shard_idx: u16) -> Option<&StoredShard> {
+        self.shards.get(&(key.to_string(), shard_idx))
+    }
+
+    /// Number of stored slots.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Drops every slot (test hook for simulating a wiped node).
+    pub fn clear(&mut self) {
+        self.shards.clear();
+    }
+
+    /// Re-verifies every shard checksum and lists the survivors sorted
+    /// by `(key, shard_idx)`. Corrupt entries are dropped and counted —
+    /// scrub treats them as missing and re-replicates.
+    pub fn verify_and_list(&mut self) -> (Vec<ShardRecord>, u64) {
+        let mut dropped = 0u64;
+        self.shards.retain(|_, s| {
+            let ok = fnv1a(&s.bytes) == s.checksum;
+            if !ok {
+                dropped += 1;
+            }
+            ok
+        });
+        let mut records: Vec<ShardRecord> = self
+            .shards
+            .iter()
+            .map(|((key, idx), s)| ShardRecord {
+                key: key.clone(),
+                shard_idx: *idx,
+                len: s.bytes.len() as u64,
+                checksum: s.checksum,
+                total_len: s.total_len,
+                archive_fnv: s.archive_fnv,
+            })
+            .collect();
+        records.sort_by(|a, b| a.key.cmp(&b.key).then(a.shard_idx.cmp(&b.shard_idx)));
+        (records, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = ShardStore::new();
+        s.put("a", 0, b"hello", 5, 42).unwrap();
+        s.put("a", 1, b"world", 5, 42).unwrap();
+        let got = s.get("a", 1).unwrap();
+        assert_eq!(got.bytes, b"world");
+        assert_eq!(got.total_len, 5);
+        assert_eq!(got.archive_fnv, 42);
+        assert!(s.get("a", 2).is_none());
+        assert!(s.get("b", 0).is_none());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn replacement_overwrites() {
+        let mut s = ShardStore::new();
+        s.put("k", 0, b"old", 3, 1).unwrap();
+        s.put("k", 0, b"newer", 5, 2).unwrap();
+        assert_eq!(s.get("k", 0).unwrap().bytes, b"newer");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn verify_drops_rotted_shards() {
+        let mut s = ShardStore::new();
+        s.put("good", 0, b"fine", 4, 7).unwrap();
+        s.put("bad", 0, b"rots", 4, 7).unwrap();
+        // Flip a byte behind the checksum's back.
+        s.shards.get_mut(&("bad".to_string(), 0)).unwrap().bytes[0] ^= 0xFF;
+        let (records, dropped) = s.verify_and_list();
+        assert_eq!(dropped, 1);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].key, "good");
+        assert!(s.get("bad", 0).is_none(), "corrupt shard must be gone");
+        // A second pass is clean.
+        let (records, dropped) = s.verify_and_list();
+        assert_eq!((records.len(), dropped), (1, 0));
+    }
+
+    #[test]
+    fn listing_is_sorted() {
+        let mut s = ShardStore::new();
+        s.put("b", 1, b"x", 1, 0).unwrap();
+        s.put("a", 2, b"x", 1, 0).unwrap();
+        s.put("a", 0, b"x", 1, 0).unwrap();
+        let (records, _) = s.verify_and_list();
+        let order: Vec<(String, u16)> = records
+            .iter()
+            .map(|r| (r.key.clone(), r.shard_idx))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a".to_string(), 0),
+                ("a".to_string(), 2),
+                ("b".to_string(), 1)
+            ]
+        );
+    }
+}

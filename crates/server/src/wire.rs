@@ -31,11 +31,12 @@ use std::io::{Read, Write};
 
 /// Frame magic: "CSRP" little-endian.
 pub const WIRE_MAGIC: u32 = 0x5052_5343;
-/// Protocol version this build speaks (minor bump 2: `health` op,
-/// `Unavailable` error code, and the additive `retry_after_ms` field on
-/// error responses — all strictly additive, so version-1 peers are
-/// still accepted).
-pub const WIRE_VERSION: u16 = 2;
+/// Protocol version this build speaks (minor bump 3: the cluster tier —
+/// `ring`/`put`/`get`/`list_shards` ops, `Redirect`/`NotMine`/`NotFound`
+/// error codes, the additive redirect tail on error responses, and the
+/// additive node-id/ring-epoch fields on `health` — all strictly
+/// additive, so version-1 and version-2 peers are still accepted).
+pub const WIRE_VERSION: u16 = 3;
 /// Oldest protocol version this build still accepts. Versions in
 /// `WIRE_VERSION_MIN..=WIRE_VERSION` differ only by additive payload
 /// fields that old decoders skip, so the whole range interoperates.
@@ -88,11 +89,25 @@ pub enum Op {
     /// answered without touching a pipeline engine (strictly additive:
     /// servers that predate it answer `UnknownOp`).
     Health = 8,
+    /// Cluster topology: the node's [`crate::ring::Ring`] (strictly
+    /// additive: servers that predate it answer `UnknownOp`;
+    /// non-clustered servers answer `BadRequest`).
+    Ring = 9,
+    /// Store one erasure-coded shard of an archive on this node
+    /// (strictly additive; cluster mode only).
+    Put = 10,
+    /// Fetch one stored shard from this node (strictly additive;
+    /// cluster mode only).
+    Get = 11,
+    /// Enumerate every shard this node stores, with checksums — the
+    /// anti-entropy scrub's inventory pass (strictly additive; cluster
+    /// mode only).
+    ListShards = 12,
 }
 
 impl Op {
     /// All ops, in wire-tag order.
-    pub const ALL: [Op; 9] = [
+    pub const ALL: [Op; 13] = [
         Op::Ping,
         Op::Compress,
         Op::Decompress,
@@ -102,6 +117,10 @@ impl Op {
         Op::Shutdown,
         Op::GetRange,
         Op::Health,
+        Op::Ring,
+        Op::Put,
+        Op::Get,
+        Op::ListShards,
     ];
 
     /// Parses the wire tag.
@@ -121,6 +140,10 @@ impl Op {
             Op::Shutdown => "shutdown",
             Op::GetRange => "get_range",
             Op::Health => "health",
+            Op::Ring => "ring",
+            Op::Put => "put",
+            Op::Get => "get",
+            Op::ListShards => "list_shards",
         }
     }
 
@@ -128,8 +151,10 @@ impl Op {
     ///
     /// Every request in the protocol is a pure function of its payload —
     /// compressing the same field twice yields bit-identical archives,
-    /// reads are reads — except `shutdown`, whose side effect (begin
-    /// draining) must not be re-issued blindly by a generic retry loop.
+    /// reads are reads, and storing the same shard bytes twice (`put`)
+    /// converges to the same stored state — except `shutdown`, whose
+    /// side effect (begin draining) must not be re-issued blindly by a
+    /// generic retry loop.
     pub fn is_idempotent(&self) -> bool {
         !matches!(self, Op::Shutdown)
     }
@@ -478,6 +503,15 @@ pub enum ErrorCode {
     /// The server is draining: it will not take new work, and the
     /// carried `retry_after_ms` hints when to try again (elsewhere).
     Unavailable = 9,
+    /// The request's ring epoch is stale: the carried redirect tail
+    /// names the server's epoch and a node to re-fetch topology from.
+    /// A routing signal, not a retry-here signal.
+    Redirect = 10,
+    /// This node does not own the requested shard placement; the
+    /// redirect tail names the owner. A routing signal.
+    NotMine = 11,
+    /// The node owns the placement but stores no such shard.
+    NotFound = 12,
 }
 
 impl ErrorCode {
@@ -493,6 +527,9 @@ impl ErrorCode {
             ErrorCode::ShuttingDown,
             ErrorCode::FrameTooLarge,
             ErrorCode::Unavailable,
+            ErrorCode::Redirect,
+            ErrorCode::NotMine,
+            ErrorCode::NotFound,
         ]
         .into_iter()
         .find(|c| *c as u16 == v)
@@ -510,6 +547,9 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting down",
             ErrorCode::FrameTooLarge => "frame too large",
             ErrorCode::Unavailable => "unavailable (draining)",
+            ErrorCode::Redirect => "redirect (stale ring)",
+            ErrorCode::NotMine => "not mine",
+            ErrorCode::NotFound => "not found",
         }
     }
 
@@ -517,13 +557,28 @@ impl ErrorCode {
     /// succeed on a retry: backpressure (`Busy`), draining
     /// (`Unavailable`), or a frame damaged *in transit*
     /// (`MalformedFrame` — the bytes the client sent were sound, the
-    /// wire mangled them).
+    /// wire mangled them). `Redirect`/`NotMine` are deliberately *not*
+    /// transient: re-issuing the same request against the same node
+    /// cannot succeed — the cluster layer must re-route instead.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
             ErrorCode::Busy | ErrorCode::Unavailable | ErrorCode::MalformedFrame
         )
     }
+}
+
+/// Where a `Redirect`/`NotMine` error points: the answering server's
+/// ring epoch and the node that owns (or can serve topology for) the
+/// request. Rides as an additive tail on [`ErrorResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedirectTarget {
+    /// The answering server's ring epoch.
+    pub epoch: u64,
+    /// The owning node's id.
+    pub owner_id: u64,
+    /// The owning node's address (`host:port`).
+    pub owner_addr: String,
 }
 
 /// The payload of an error-response frame.
@@ -538,6 +593,11 @@ pub struct ErrorResponse {
     /// it rides *after* the message, where a version-1 decoder simply
     /// stops reading, so old clients still parse the code and message.
     pub retry_after_ms: Option<u32>,
+    /// Routing hint carried by `Redirect`/`NotMine` answers (wire minor
+    /// version 3). Rides after the retry hint; a redirect-carrying
+    /// response always encodes the retry hint too (0 when unset), so
+    /// the two optional tails never alias each other on decode.
+    pub redirect: Option<RedirectTarget>,
 }
 
 impl ErrorResponse {
@@ -547,6 +607,7 @@ impl ErrorResponse {
             code,
             message: message.into(),
             retry_after_ms: None,
+            redirect: None,
         }
     }
 
@@ -557,21 +618,46 @@ impl ErrorResponse {
         self
     }
 
+    /// Attaches a routing hint (`Redirect`/`NotMine` answers). Forces
+    /// the retry hint present (0 if unset) so the wire tails stay
+    /// unambiguous.
+    pub fn with_redirect(
+        mut self,
+        epoch: u64,
+        owner_id: u64,
+        owner_addr: impl Into<String>,
+    ) -> Self {
+        self.retry_after_ms = Some(self.retry_after_ms.unwrap_or(0));
+        self.redirect = Some(RedirectTarget {
+            epoch,
+            owner_id,
+            owner_addr: owner_addr.into(),
+        });
+        self
+    }
+
     /// Serializes for the wire. The optional retry hint is appended
-    /// after the message so version-1 decoders ignore it.
+    /// after the message so version-1 decoders ignore it; the optional
+    /// redirect tail after that so version-2 decoders ignore it too.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(2 + 2 + self.message.len() + 4);
         out.extend_from_slice(&(self.code as u16).to_le_bytes());
         put_str(&mut out, &self.message);
-        if let Some(ms) = self.retry_after_ms {
-            out.extend_from_slice(&ms.to_le_bytes());
+        if self.retry_after_ms.is_some() || self.redirect.is_some() {
+            out.extend_from_slice(&self.retry_after_ms.unwrap_or(0).to_le_bytes());
+        }
+        if let Some(r) = &self.redirect {
+            out.extend_from_slice(&r.epoch.to_le_bytes());
+            out.extend_from_slice(&r.owner_id.to_le_bytes());
+            put_str(&mut out, &r.owner_addr);
         }
         out
     }
 
     /// Parses from an error-response payload. A trailing
-    /// `retry_after_ms` is read when present (version ≥ 2 servers);
-    /// its absence parses as no hint, so both directions interoperate.
+    /// `retry_after_ms` is read when present (version ≥ 2 servers), and
+    /// a redirect tail after it when present (version ≥ 3); their
+    /// absence parses as `None`, so all directions interoperate.
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut c = Cur::new(payload);
         let code =
@@ -582,10 +668,23 @@ impl ErrorResponse {
         } else {
             None
         };
+        // Version ≤ 2 encoders never emit bytes past the retry hint, so
+        // anything remaining here is the redirect tail (epoch + owner id
+        // + length-prefixed address — at least 18 bytes).
+        let redirect = if c.remaining() >= 18 {
+            Some(RedirectTarget {
+                epoch: c.u64()?,
+                owner_id: c.u64()?,
+                owner_addr: c.str()?,
+            })
+        } else {
+            None
+        };
         Ok(Self {
             code,
             message,
             retry_after_ms,
+            redirect,
         })
     }
 }
@@ -595,6 +694,13 @@ impl std::fmt::Display for ErrorResponse {
         write!(f, "{}: {}", self.code.name(), self.message)?;
         if let Some(ms) = self.retry_after_ms {
             write!(f, " (retry after {ms} ms)")?;
+        }
+        if let Some(r) = &self.redirect {
+            write!(
+                f,
+                " (owner {} at {}, epoch {})",
+                r.owner_id, r.owner_addr, r.epoch
+            )?;
         }
         Ok(())
     }
@@ -619,18 +725,36 @@ pub struct HealthResponse {
     pub workers: u32,
     /// The server's current backoff hint for shed requests, in ms.
     pub retry_after_ms: u32,
+    /// Cluster identity — `(node id, ring epoch)` — when the server
+    /// runs in cluster mode. Strictly additive (wire minor version 3):
+    /// rides after the fixed fields, where version-2 decoders stop
+    /// reading; absent on non-clustered servers.
+    pub cluster: Option<ClusterIdentity>,
+}
+
+/// A clustered server's identity, carried by `health` answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterIdentity {
+    /// This node's id in the ring.
+    pub node_id: u64,
+    /// The ring epoch the node is serving.
+    pub ring_epoch: u64,
 }
 
 impl HealthResponse {
     /// Serializes for the wire.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(21);
+        let mut out = Vec::with_capacity(37);
         out.extend_from_slice(&self.queue_depth.to_le_bytes());
         out.extend_from_slice(&self.queue_capacity.to_le_bytes());
         out.push(self.draining as u8);
         out.extend_from_slice(&self.active_connections.to_le_bytes());
         out.extend_from_slice(&self.workers.to_le_bytes());
         out.extend_from_slice(&self.retry_after_ms.to_le_bytes());
+        if let Some(c) = &self.cluster {
+            out.extend_from_slice(&c.node_id.to_le_bytes());
+            out.extend_from_slice(&c.ring_epoch.to_le_bytes());
+        }
         out
     }
 
@@ -648,6 +772,16 @@ impl HealthResponse {
             active_connections: c.u32()?,
             workers: c.u32()?,
             retry_after_ms: c.u32()?,
+            // Additive cluster identity: absent from version-2 servers
+            // and non-clustered version-3 servers alike.
+            cluster: if c.remaining() >= 16 {
+                Some(ClusterIdentity {
+                    node_id: c.u64()?,
+                    ring_epoch: c.u64()?,
+                })
+            } else {
+                None
+            },
         })
     }
 }
@@ -1025,6 +1159,223 @@ impl RemoteInfo {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cluster shard payloads (wire minor version 3).
+// ---------------------------------------------------------------------
+
+/// Keys longer than this are rejected before touching the shard store —
+/// the `put_str` u16 length prefix caps the wire form anyway, and a
+/// tighter bound keeps hostile keys from bloating listings.
+pub const MAX_SHARD_KEY_BYTES: usize = 1 << 10;
+
+/// Shard-request flag: this `put` re-replicates a shard the scrub found
+/// missing or corrupt (counted as a repair, not a fresh write).
+pub const PUT_FLAG_REPAIR: u8 = 0x01;
+
+fn check_key(key: &str) -> Result<(), WireError> {
+    if key.is_empty() || key.len() > MAX_SHARD_KEY_BYTES {
+        return Err(WireError::BadPayload("shard key empty or too long"));
+    }
+    Ok(())
+}
+
+/// A `put` request: one erasure-coded shard of an archive, addressed by
+/// `(key, shard_idx)` under a ring epoch. `total_len`/`archive_fnv`
+/// describe the *whole* archive so any one shard's metadata suffices to
+/// reassemble and verify the stripe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutShardRequest<'a> {
+    /// Archive key.
+    pub key: String,
+    /// Stripe slot: `0..k` are data shards, `k..k+m` parity.
+    pub shard_idx: u16,
+    /// The ring epoch the client routed under.
+    pub ring_epoch: u64,
+    /// Whole-archive byte length.
+    pub total_len: u64,
+    /// FNV-1a over the whole archive.
+    pub archive_fnv: u64,
+    /// [`PUT_FLAG_REPAIR`] when this is a scrub re-replication.
+    pub flags: u8,
+    /// The shard bytes (data shards may be shorter than the stripe's
+    /// shard size; the tail slot carries the archive's remainder).
+    pub shard: &'a [u8],
+}
+
+impl<'a> PutShardRequest<'a> {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.key.len() + self.shard.len());
+        put_str(&mut out, &self.key);
+        out.extend_from_slice(&self.shard_idx.to_le_bytes());
+        out.extend_from_slice(&self.ring_epoch.to_le_bytes());
+        out.extend_from_slice(&self.total_len.to_le_bytes());
+        out.extend_from_slice(&self.archive_fnv.to_le_bytes());
+        out.push(self.flags);
+        out.extend_from_slice(self.shard);
+        out
+    }
+
+    /// Parses and validates a put payload.
+    pub fn decode(payload: &'a [u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let key = c.str()?;
+        check_key(&key)?;
+        let shard_idx = c.u16()?;
+        let ring_epoch = c.u64()?;
+        let total_len = c.u64()?;
+        let archive_fnv = c.u64()?;
+        let flags = c.u8()?;
+        if flags & !PUT_FLAG_REPAIR != 0 {
+            return Err(WireError::BadPayload("unknown put flags"));
+        }
+        Ok(Self {
+            key,
+            shard_idx,
+            ring_epoch,
+            total_len,
+            archive_fnv,
+            flags,
+            shard: c.rest(),
+        })
+    }
+}
+
+/// A `get` request: fetch one stored shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetShardRequest {
+    /// Archive key.
+    pub key: String,
+    /// Stripe slot.
+    pub shard_idx: u16,
+    /// The ring epoch the client routed under.
+    pub ring_epoch: u64,
+}
+
+impl GetShardRequest {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.key.len());
+        put_str(&mut out, &self.key);
+        out.extend_from_slice(&self.shard_idx.to_le_bytes());
+        out.extend_from_slice(&self.ring_epoch.to_le_bytes());
+        out
+    }
+
+    /// Parses a get payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let key = c.str()?;
+        check_key(&key)?;
+        Ok(Self {
+            key,
+            shard_idx: c.u16()?,
+            ring_epoch: c.u64()?,
+        })
+    }
+}
+
+/// A `get` response: the shard bytes plus the stripe metadata recorded
+/// at put time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetShardResponse {
+    /// Whole-archive byte length.
+    pub total_len: u64,
+    /// FNV-1a over the whole archive.
+    pub archive_fnv: u64,
+    /// The stored shard bytes.
+    pub shard: Vec<u8>,
+}
+
+impl GetShardResponse {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.shard.len());
+        out.extend_from_slice(&self.total_len.to_le_bytes());
+        out.extend_from_slice(&self.archive_fnv.to_le_bytes());
+        out.extend_from_slice(&self.shard);
+        out
+    }
+
+    /// Parses a get response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        Ok(Self {
+            total_len: c.u64()?,
+            archive_fnv: c.u64()?,
+            shard: c.rest().to_vec(),
+        })
+    }
+}
+
+/// One entry of a `list_shards` inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// Archive key.
+    pub key: String,
+    /// Stripe slot.
+    pub shard_idx: u16,
+    /// Stored shard length in bytes.
+    pub len: u64,
+    /// FNV-1a over the stored shard bytes (re-verified at listing time;
+    /// corrupt shards are dropped from the store and never listed).
+    pub checksum: u64,
+    /// Whole-archive byte length.
+    pub total_len: u64,
+    /// FNV-1a over the whole archive.
+    pub archive_fnv: u64,
+}
+
+/// Minimum encoded size of one [`ShardRecord`] (empty key): guards the
+/// count-prefixed decode against allocation lies.
+const SHARD_RECORD_MIN_BYTES: usize = 2 + 2 + 8 + 8 + 8 + 8;
+
+/// A `list_shards` response: the node's full shard inventory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardListResponse {
+    /// Every shard the node stores, with checksums.
+    pub records: Vec<ShardRecord>,
+}
+
+impl ShardListResponse {
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.records.len() * 48);
+        out.extend_from_slice(&(self.records.len().min(u32::MAX as usize) as u32).to_le_bytes());
+        for r in &self.records {
+            put_str(&mut out, &r.key);
+            out.extend_from_slice(&r.shard_idx.to_le_bytes());
+            out.extend_from_slice(&r.len.to_le_bytes());
+            out.extend_from_slice(&r.checksum.to_le_bytes());
+            out.extend_from_slice(&r.total_len.to_le_bytes());
+            out.extend_from_slice(&r.archive_fnv.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a list response payload. The declared count is validated
+    /// against the bytes actually present before any allocation.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let n = c.u32()? as usize;
+        if n.saturating_mul(SHARD_RECORD_MIN_BYTES) > c.remaining() {
+            return Err(WireError::BadPayload("shard list count exceeds payload"));
+        }
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            records.push(ShardRecord {
+                key: c.str()?,
+                shard_idx: c.u16()?,
+                len: c.u64()?,
+                checksum: c.u64()?,
+                total_len: c.u64()?,
+                archive_fnv: c.u64()?,
+            });
+        }
+        Ok(Self { records })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1334,11 +1685,171 @@ mod tests {
             active_connections: 5,
             workers: 2,
             retry_after_ms: 100,
+            cluster: None,
         };
         assert_eq!(HealthResponse::decode(&h.encode()).unwrap(), h);
         let mut bad = h.encode();
         bad[8] = 7; // draining flag must be 0 or 1
         assert!(HealthResponse::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn health_cluster_identity_is_additive() {
+        let h = HealthResponse {
+            queue_depth: 0,
+            queue_capacity: 16,
+            draining: false,
+            active_connections: 1,
+            workers: 2,
+            retry_after_ms: 100,
+            cluster: Some(ClusterIdentity {
+                node_id: 7,
+                ring_epoch: 42,
+            }),
+        };
+        let bytes = h.encode();
+        assert_eq!(HealthResponse::decode(&bytes).unwrap(), h);
+        // A version-2 peer encodes only the 21 fixed bytes; the new
+        // decoder reads that as "not clustered".
+        let back = HealthResponse::decode(&bytes[..21]).unwrap();
+        assert_eq!(back.cluster, None);
+        assert_eq!(back.retry_after_ms, 100);
+    }
+
+    #[test]
+    fn cluster_ops_are_additive_to_the_op_table() {
+        assert_eq!(Op::Ring as u8, 9);
+        assert_eq!(Op::Put as u8, 10);
+        assert_eq!(Op::Get as u8, 11);
+        assert_eq!(Op::ListShards as u8, 12);
+        for (i, op) in Op::ALL.into_iter().enumerate() {
+            assert_eq!(op as u8, i as u8);
+            assert_eq!(Op::from_u8(i as u8), Some(op));
+        }
+        // All cluster ops are pure functions of their payloads.
+        for op in [Op::Ring, Op::Put, Op::Get, Op::ListShards] {
+            assert!(op.is_idempotent(), "{}", op.name());
+        }
+        // Routing signals must not be blind-retried against the same
+        // node; a plain miss is terminal too.
+        assert!(!ErrorCode::Redirect.is_transient());
+        assert!(!ErrorCode::NotMine.is_transient());
+        assert!(!ErrorCode::NotFound.is_transient());
+        for code in [ErrorCode::Redirect, ErrorCode::NotMine, ErrorCode::NotFound] {
+            assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
+        }
+    }
+
+    #[test]
+    fn redirect_tail_is_additive_and_unambiguous() {
+        // Redirect with no explicit retry hint: encoding forces a zero
+        // hint so the tails never alias.
+        let e = ErrorResponse::new(ErrorCode::NotMine, "shard 2 of k1 lives elsewhere")
+            .with_redirect(5, 3, "127.0.0.1:7119");
+        let bytes = e.encode();
+        let back = ErrorResponse::decode(&bytes).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.retry_after_ms, Some(0));
+        let r = back.redirect.unwrap();
+        assert_eq!(
+            (r.epoch, r.owner_id, r.owner_addr.as_str()),
+            (5, 3, "127.0.0.1:7119")
+        );
+        assert!(e.to_string().contains("owner 3 at 127.0.0.1:7119"));
+
+        // Redirect stacked on a real retry hint round-trips both.
+        let e = ErrorResponse::new(ErrorCode::Redirect, "ring epoch 4 is stale")
+            .with_retry_after(std::time::Duration::from_millis(50))
+            .with_redirect(5, 1, "127.0.0.1:7117");
+        let back = ErrorResponse::decode(&e.encode()).unwrap();
+        assert_eq!(back.retry_after_ms, Some(50));
+        assert!(back.redirect.is_some());
+
+        // A version-2 answer (retry hint, no redirect) still parses as
+        // having no redirect — the 4-byte hint can never be mistaken
+        // for the ≥18-byte tail.
+        let v2 = ErrorResponse::new(ErrorCode::Busy, "queue full")
+            .with_retry_after(std::time::Duration::from_millis(250));
+        let back = ErrorResponse::decode(&v2.encode()).unwrap();
+        assert_eq!(back.retry_after_ms, Some(250));
+        assert_eq!(back.redirect, None);
+
+        // Truncations anywhere inside the tail parse as absence or a
+        // typed error, never a panic.
+        for cut in 0..bytes.len() {
+            let _ = ErrorResponse::decode(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn shard_payloads_roundtrip_and_reject() {
+        let put = PutShardRequest {
+            key: "climate/tmax".to_string(),
+            shard_idx: 2,
+            ring_epoch: 7,
+            total_len: 100_000,
+            archive_fnv: 0xDEAD_BEEF,
+            flags: PUT_FLAG_REPAIR,
+            shard: b"shard bytes",
+        };
+        let bytes = put.encode();
+        assert_eq!(PutShardRequest::decode(&bytes).unwrap(), put);
+        // Unknown flag bits are typed errors.
+        let mut bad = bytes.clone();
+        let flags_at = 2 + put.key.len() + 2 + 8 + 8 + 8;
+        bad[flags_at] = 0x80;
+        assert!(PutShardRequest::decode(&bad).is_err());
+        // Empty keys are rejected before touching the store.
+        let empty = PutShardRequest {
+            key: String::new(),
+            ..put.clone()
+        };
+        assert!(PutShardRequest::decode(&empty.encode()).is_err());
+
+        let get = GetShardRequest {
+            key: "climate/tmax".to_string(),
+            shard_idx: 2,
+            ring_epoch: 7,
+        };
+        assert_eq!(GetShardRequest::decode(&get.encode()).unwrap(), get);
+
+        let resp = GetShardResponse {
+            total_len: 100_000,
+            archive_fnv: 0xDEAD_BEEF,
+            shard: vec![1, 2, 3],
+        };
+        assert_eq!(GetShardResponse::decode(&resp.encode()).unwrap(), resp);
+
+        let list = ShardListResponse {
+            records: vec![
+                ShardRecord {
+                    key: "a".into(),
+                    shard_idx: 0,
+                    len: 10,
+                    checksum: 1,
+                    total_len: 20,
+                    archive_fnv: 2,
+                },
+                ShardRecord {
+                    key: "b".into(),
+                    shard_idx: 1,
+                    len: 10,
+                    checksum: 3,
+                    total_len: 20,
+                    archive_fnv: 4,
+                },
+            ],
+        };
+        let bytes = list.encode();
+        assert_eq!(ShardListResponse::decode(&bytes).unwrap(), list);
+        // A lying count is rejected before allocation.
+        let mut lying = bytes.clone();
+        lying[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ShardListResponse::decode(&lying).is_err());
+        // Truncations are typed, never panics.
+        for cut in 0..bytes.len() {
+            let _ = ShardListResponse::decode(&bytes[..cut]);
+        }
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Seeded node-death campaign: a 3-node (k=2, m=1) cluster behind
+//! per-node [`ChaosProxy`]s, with 64 replayable cases that each kill
+//! one node — either instantly (refuse-forever) or mid-workload after
+//! a drawn byte count — then read back every archive and demand
+//! bit-identity. A case is a pure function of `(CAMPAIGN_SEED, case)`,
+//! so any failure replays from its index alone.
+
+use cuszp_core::{Compressor, Config, Dims, ErrorBound};
+use cuszp_faultsim::{ChaosPolicy, ChaosProxy, FaultRng};
+use cuszp_parallel::WorkerPool;
+use cuszp_server::{
+    ClusterClient, ClusterConfig, ConnectOptions, NodeInfo, Ring, Server, ServerConfig,
+};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+const CAMPAIGN_SEED: u64 = 0xC1A0_5EED;
+const CASES: u64 = 64;
+const NODES: usize = 3;
+const ARCHIVES: usize = 4;
+
+fn archive(seed: u32) -> Vec<u8> {
+    let dims = Dims::D2 { ny: 24, nx: 512 };
+    let data: Vec<f32> = (0..dims.len())
+        .map(|i| {
+            let x = (i as f32 + seed as f32 * 17.0) * 0.003;
+            x.cos() * 55.0 + ((i as u32).wrapping_mul(seed * 2 + 3) % 11) as f32 * 0.5
+        })
+        .collect();
+    Compressor::new(Config {
+        error_bound: ErrorBound::Relative(1e-3),
+        ..Config::default()
+    })
+    .compress_chunked_with(&data, dims, 8 * 512, &WorkerPool::new(1))
+    .expect("compress")
+    .to_bytes()
+}
+
+fn opts() -> ConnectOptions {
+    ConnectOptions {
+        connect_timeout: Duration::from_millis(400),
+        read_timeout: Some(Duration::from_millis(1500)),
+        write_timeout: Some(Duration::from_millis(1500)),
+    }
+}
+
+#[test]
+fn sixty_four_seeded_node_deaths_never_lose_a_byte() {
+    // Reserve the proxy ports first: the ring must name the proxy
+    // addresses (clients and inter-node traffic route through chaos),
+    // while the real servers sit on ephemeral ports behind them.
+    let reserved: Vec<TcpListener> = (0..NODES)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let proxy_addrs: Vec<SocketAddr> = reserved.iter().map(|l| l.local_addr().unwrap()).collect();
+    let nodes: Vec<NodeInfo> = proxy_addrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| NodeInfo {
+            id: i as u64 + 1,
+            addr: a.to_string(),
+        })
+        .collect();
+    let ring = Ring::new(1, 2, 1, nodes).unwrap();
+
+    let mut handles = Vec::new();
+    let mut joins = Vec::new();
+    let mut server_addrs = Vec::new();
+    for i in 0..NODES {
+        let server = Server::bind_cluster(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Some(ClusterConfig {
+                node_id: i as u64 + 1,
+                ring: ring.clone(),
+            }),
+        )
+        .expect("bind node");
+        server_addrs.push(server.local_addr().unwrap());
+        handles.push(server.handle());
+        joins.push(std::thread::spawn(move || server.serve()));
+    }
+    drop(reserved);
+    let proxies: Vec<ChaosProxy> = (0..NODES)
+        .map(|i| {
+            ChaosProxy::bind(
+                proxy_addrs[i],
+                server_addrs[i],
+                ChaosPolicy::clean(),
+                CAMPAIGN_SEED ^ i as u64,
+            )
+            .expect("bind proxy")
+        })
+        .collect();
+
+    // Seed the cluster once, healthy: every later case reads these.
+    let archives: Vec<Vec<u8>> = (0..ARCHIVES as u32).map(archive).collect();
+    let mut seeder = ClusterClient::with_ring(ring.clone(), opts());
+    for (i, bytes) in archives.iter().enumerate() {
+        let report = seeder
+            .put(&format!("field-{i}"), bytes)
+            .expect("healthy seed put");
+        assert!(report.fully_replicated());
+    }
+
+    let mut degraded_total = 0u64;
+    let mut repaired_total = 0u64;
+    for case in 0..CASES {
+        let mut rng = FaultRng::new(CAMPAIGN_SEED.wrapping_add(case));
+        let victim = rng.below(NODES);
+        let instant_kill = rng.next_u64().is_multiple_of(2);
+        if instant_kill {
+            proxies[victim].kill();
+        } else {
+            // Die partway through the workload: somewhere inside the
+            // first couple of stripes' worth of relayed bytes.
+            proxies[victim].arm_kill_after(512 + rng.next_u64() % 16_384);
+        }
+
+        let mut client = ClusterClient::with_ring(ring.clone(), opts());
+        for (i, bytes) in archives.iter().enumerate() {
+            let key = format!("field-{i}");
+            let got = client.get(&key).unwrap_or_else(|e| {
+                panic!("case {case}: victim {victim} instant={instant_kill}: get {key}: {e}")
+            });
+            assert_eq!(
+                &got.bytes, bytes,
+                "case {case}: {key} not bit-identical with node {victim} dying"
+            );
+            if got.degraded {
+                degraded_total += 1;
+            }
+        }
+        // Per-case counter identities: every read was counted, and
+        // degraded reads never exceed reads.
+        let stats = client.stats();
+        assert_eq!(stats.gets.get(), ARCHIVES as u64);
+        assert!(stats.degraded_reads.get() <= stats.gets.get());
+        proxies[victim].revive();
+
+        // Every eighth case: wipe the victim's store and let
+        // anti-entropy heal it back to full replication.
+        if case % 8 == 0 {
+            let before = handles[victim].shard_count();
+            handles[victim].clear_shards();
+            let report = client
+                .scrub()
+                .unwrap_or_else(|e| panic!("case {case}: scrub after wiping node {victim}: {e}"));
+            assert_eq!(report.unreachable_nodes, 0, "case {case}: all revived");
+            assert_eq!(
+                report.repaired as usize, before,
+                "case {case}: scrub must restore exactly the wiped shards"
+            );
+            assert_eq!(report.unrepairable, 0);
+            assert_eq!(handles[victim].shard_count(), before);
+            repaired_total += report.repaired;
+        }
+    }
+
+    // Campaign-level consistency: the cluster saw real deaths (chaos
+    // refused or severed connections), some reads reconstructed from
+    // parity, and scrub repairs landed on the nodes as flagged repairs.
+    assert!(
+        degraded_total > 0,
+        "campaign never exercised degraded reads"
+    );
+    assert!(repaired_total > 0, "campaign never exercised scrub repair");
+    let chaos_touched: u64 = proxies
+        .iter()
+        .map(|p| {
+            p.stats()
+                .dead_refusals
+                .load(std::sync::atomic::Ordering::Relaxed)
+        })
+        .sum();
+    assert!(
+        chaos_touched > 0,
+        "no connection was ever refused by a dead node"
+    );
+    let node_repairs: u64 = handles.iter().map(|h| h.stats().scrub_repairs).sum();
+    assert_eq!(node_repairs, repaired_total);
+
+    // Final sweep, all nodes healthy: zero degradation, full identity.
+    let mut client = ClusterClient::with_ring(ring, opts());
+    for (i, bytes) in archives.iter().enumerate() {
+        let got = client
+            .get(&format!("field-{i}"))
+            .expect("final healthy get");
+        assert!(!got.degraded);
+        assert_eq!(&got.bytes, bytes);
+    }
+
+    for addr in &server_addrs {
+        if let Ok(mut c) = cuszp_server::Client::connect(*addr) {
+            let _ = c.shutdown_server();
+        }
+    }
+    for j in joins {
+        j.join().expect("serve thread").expect("serve");
+    }
+    drop(proxies);
+}

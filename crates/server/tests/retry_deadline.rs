@@ -1,0 +1,115 @@
+//! Deadline-clamp regressions for [`RetryingClient`]: nominal socket
+//! timeouts far larger than the per-call deadline must never let a
+//! call — including its reconnect churn — run past the deadline plus
+//! scheduling slack. Both failure shapes are pinned: a server that
+//! accepts and never answers (read path), and a node that dies after
+//! the first healthy call (reconnect path).
+
+use cuszp_faultsim::{ChaosPolicy, ChaosProxy};
+use cuszp_server::{Client, ClientError, RetryPolicy, RetryingClient, Server, ServerConfig};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// Timeouts deliberately enormous next to the deadline: only the
+/// remaining-deadline clamp can keep the call on time.
+fn tight_deadline_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+        deadline: Duration::from_millis(600),
+        connect_timeout: Duration::from_secs(30),
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(30),
+        seed: 7,
+    }
+}
+
+/// The deadline plus one clamped socket wait plus generous scheduling
+/// slack — anything past this means a timeout escaped the clamp.
+fn bound(policy: &RetryPolicy) -> Duration {
+    policy.deadline * 2 + Duration::from_secs(1)
+}
+
+#[test]
+fn a_server_that_never_answers_cannot_outlive_the_deadline() {
+    // A bound listener that never accepts: the TCP handshake completes
+    // out of the backlog, the request is swallowed, no byte ever comes
+    // back. With 30s nominal read timeouts, only the clamp saves us.
+    let hole = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = hole.local_addr().unwrap();
+    let policy = tight_deadline_policy();
+    let limit = bound(&policy);
+    let mut client = RetryingClient::new(addr.to_string(), policy);
+    let start = Instant::now();
+    let err = client.ping().expect_err("black hole must fail");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < limit,
+        "call ran {elapsed:?}, past the clamp bound {limit:?}"
+    );
+    assert!(
+        matches!(
+            err,
+            ClientError::DeadlineExceeded { .. } | ClientError::Io(_) | ClientError::Wire(_)
+        ),
+        "unexpected error shape: {err}"
+    );
+    let stats = client.stats();
+    assert_eq!(stats.calls.get(), 1);
+    assert_eq!(
+        stats.attempts.get(),
+        stats.calls.get() + stats.retries.get()
+    );
+    assert_eq!(
+        stats.deadline_exceeded.get() + stats.exhausted.get() + stats.failed_terminal.get(),
+        1,
+        "exactly one terminal outcome per failed call"
+    );
+    drop(hole);
+}
+
+#[test]
+fn reconnect_churn_against_a_dead_node_stays_inside_the_deadline() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let server_addr = server.local_addr().unwrap();
+    let join = std::thread::spawn(move || server.serve());
+    let proxy = ChaosProxy::start(server_addr, ChaosPolicy::clean(), 11).unwrap();
+    let policy = tight_deadline_policy();
+    let limit = bound(&policy);
+    let mut client = RetryingClient::new(proxy.local_addr().to_string(), policy);
+    client.ping().expect("healthy ping through the proxy");
+    // The node dies: its acceptor drops every new socket instantly, so
+    // each retry is a fast connect-then-EOF. Without the remaining-
+    // deadline clamp on reconnect timeouts this loop could stall on a
+    // 30s connect; with it the call must fail typed and on time.
+    proxy.kill();
+    let start = Instant::now();
+    let err = client.ping().expect_err("dead node must fail");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < limit,
+        "reconnect churn ran {elapsed:?}, past the clamp bound {limit:?}"
+    );
+    assert!(
+        matches!(
+            err,
+            ClientError::DeadlineExceeded { .. } | ClientError::Io(_) | ClientError::Wire(_)
+        ),
+        "unexpected error shape: {err}"
+    );
+    let stats = client.stats();
+    assert_eq!(stats.calls.get(), 2);
+    assert!(stats.retries.get() >= 1, "the dead node was never retried");
+    assert_eq!(
+        stats.attempts.get(),
+        stats.calls.get() + stats.retries.get()
+    );
+    // Revive, and the same client recovers on a fresh connection.
+    proxy.revive();
+    client.ping().expect("revived node answers again");
+    assert!(client.stats().reconnects.get() >= 1);
+    let mut c = Client::connect(server_addr).unwrap();
+    c.shutdown_server().unwrap();
+    join.join().unwrap().unwrap();
+}

@@ -1,0 +1,153 @@
+//! Property tests for the rendezvous placement ring: placement is a
+//! pure function of `(key, topology)`, always lands on `k + m`
+//! distinct live nodes, survives the wire round-trip, and — the HRW
+//! selling point — topology changes only move the keys that actually
+//! touched the changed node, never reshuffling bystanders.
+
+use cuszp_server::{NodeInfo, Ring};
+use proptest::prelude::*;
+
+fn nodes(ids: &[u64]) -> Vec<NodeInfo> {
+    ids.iter()
+        .map(|&id| NodeInfo {
+            id,
+            addr: format!("10.0.0.{}:7070", id % 250 + 1),
+        })
+        .collect()
+}
+
+/// Node ids drawn from a wide space, deduplicated (the ring rejects
+/// duplicates by construction, so the strategy never produces them).
+fn arb_ids(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 4..=max).prop_map(|raw| {
+        let set: std::collections::BTreeSet<u64> = raw.into_iter().collect();
+        set.into_iter().collect()
+    })
+}
+
+fn arb_keys() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(any::<u64>(), 8..40)
+        .prop_map(|raw| raw.into_iter().map(|v| format!("arch/{v:016x}")).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Placement purity and shape: recomputing placement gives the
+    /// same nodes in the same order, the set is exactly `k + m`
+    /// distinct ring members, and `shard_owner` agrees slot by slot.
+    #[test]
+    fn placement_is_pure_distinct_and_slot_consistent(
+        ids in arb_ids(12),
+        keys in arb_keys(),
+        k in 1u16..4,
+        m in 1u16..3,
+    ) {
+        prop_assume!((k + m) as usize <= ids.len());
+        let ring = Ring::new(1, k, m, nodes(&ids)).unwrap();
+        for key in &keys {
+            let a = ring.placement(key);
+            let b = ring.placement(key);
+            prop_assert_eq!(&a, &b, "placement must be deterministic");
+            prop_assert_eq!(a.len(), (k + m) as usize);
+            let mut seen: Vec<u64> = a.iter().map(|n| n.id).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), (k + m) as usize, "placements must be distinct");
+            for (slot, node) in a.iter().enumerate() {
+                prop_assert!(ring.node(node.id).is_some());
+                prop_assert_eq!(ring.shard_owner(key, slot as u16), Some(*node));
+            }
+            prop_assert!(ring.shard_owner(key, k + m).is_none(), "out-of-range slot");
+        }
+    }
+
+    /// The HRW stability property, structurally: when a node leaves,
+    /// a key's surviving placement nodes keep their relative order —
+    /// the departed node's slots are filled by promotion, bystanders
+    /// never swap. Keys that never placed on the leaver are entirely
+    /// untouched.
+    #[test]
+    fn node_leave_only_promotes_never_reshuffles(
+        ids in arb_ids(10),
+        keys in arb_keys(),
+        k in 1u16..4,
+        m in 1u16..3,
+        leaver_pick in any::<u64>(),
+    ) {
+        prop_assume!(((k + m) as usize) < ids.len());
+        let leaver = ids[(leaver_pick % ids.len() as u64) as usize];
+        let survivors: Vec<u64> = ids.iter().copied().filter(|&i| i != leaver).collect();
+        let before = Ring::new(1, k, m, nodes(&ids)).unwrap();
+        let after = Ring::new(2, k, m, nodes(&survivors)).unwrap();
+        for key in &keys {
+            let old: Vec<u64> = before.placement(key).iter().map(|n| n.id).collect();
+            let new: Vec<u64> = after.placement(key).iter().map(|n| n.id).collect();
+            if !old.contains(&leaver) {
+                prop_assert_eq!(&old, &new, "bystander key {} moved", key);
+                continue;
+            }
+            // Scores are node-local: removing the leaver deletes its
+            // entry from the ranking and everyone else keeps rank, so
+            // the old placement minus the leaver must be a prefix-
+            // preserving subsequence of the new one.
+            let old_survivors: Vec<u64> =
+                old.iter().copied().filter(|&i| i != leaver).collect();
+            let mut it = new.iter();
+            for want in &old_survivors {
+                prop_assert!(
+                    it.any(|got| got == want),
+                    "key {}: surviving replica order changed", key
+                );
+            }
+        }
+    }
+
+    /// Join remap bound: adding one node to an `n`-node ring must not
+    /// move more than its fair share of single-shard placements —
+    /// statistically 1/(n+1); asserted with generous headroom since
+    /// each run is one finite sample.
+    #[test]
+    fn node_join_remaps_only_a_fair_share(
+        ids in arb_ids(8),
+        joiner in any::<u64>(),
+        seed_keys in any::<u32>(),
+    ) {
+        prop_assume!(!ids.contains(&joiner));
+        let n = ids.len();
+        let before = Ring::new(1, 1, 1, nodes(&ids)).unwrap();
+        let grown: Vec<u64> = ids.iter().copied().chain([joiner]).collect();
+        let after = Ring::new(2, 1, 1, nodes(&grown)).unwrap();
+        let total = 400usize;
+        let mut moved = 0usize;
+        for i in 0..total {
+            let key = format!("k{seed_keys}-{i}");
+            let a = before.shard_owner(&key, 0).unwrap().id;
+            let b = after.shard_owner(&key, 0).unwrap().id;
+            if a != b {
+                // HRW guarantee: a primary only ever moves *to* the
+                // joiner, never between incumbents.
+                prop_assert_eq!(b, joiner, "key {} moved between incumbents", key);
+                moved += 1;
+            }
+        }
+        let expected = total / (n + 1);
+        prop_assert!(
+            moved <= expected * 3,
+            "join moved {}/{} primaries; fair share is ~{}", moved, total, expected
+        );
+    }
+
+    /// Wire round-trip: any valid ring encodes and decodes to itself.
+    #[test]
+    fn ring_wire_roundtrip_is_identity(
+        ids in arb_ids(10),
+        epoch in any::<u64>(),
+        k in 1u16..5,
+        m in 1u16..3,
+    ) {
+        prop_assume!((k + m) as usize <= ids.len());
+        let ring = Ring::new(epoch, k, m, nodes(&ids)).unwrap();
+        prop_assert_eq!(Ring::decode(&ring.encode()).unwrap(), ring);
+    }
+}

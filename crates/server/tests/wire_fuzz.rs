@@ -122,3 +122,160 @@ proptest! {
         assert_matches_oracle(&bytes)?;
     }
 }
+
+/// The version-3 additive tails on error responses, fuzzed against
+/// their documented precedence: after `code + message`, a retry hint
+/// is read iff ≥ 4 bytes remain, and a redirect tail after it iff
+/// ≥ 18 more remain — version ≤ 2 payloads therefore parse with both
+/// tails `None`, and no tail bytes can panic the decoder.
+mod error_tails {
+    use super::*;
+    use cuszp_server::wire::{ErrorCode, ErrorResponse};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Valid prefix + arbitrary tail bytes: decode never panics,
+        /// and when it succeeds the tails obey the length precedence
+        /// bit for bit.
+        #[test]
+        fn tail_precedence_matches_the_documented_windows(
+            code_raw in 0u16..16,
+            msg in prop::collection::vec(any::<u8>(), 0..40),
+            tail in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let Some(code) = ErrorCode::from_u16(code_raw) else {
+                return Ok(());
+            };
+            let msg: String = msg.iter().map(|b| char::from(b'a' + b % 26)).collect();
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&code_raw.to_le_bytes());
+            payload.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+            payload.extend_from_slice(msg.as_bytes());
+            payload.extend_from_slice(&tail);
+            match ErrorResponse::decode(&payload) {
+                Ok(resp) => {
+                    prop_assert_eq!(resp.code, code);
+                    prop_assert_eq!(&resp.message, &msg);
+                    if tail.len() >= 4 {
+                        let hint = u32::from_le_bytes(tail[0..4].try_into().unwrap());
+                        prop_assert_eq!(resp.retry_after_ms, Some(hint));
+                    } else {
+                        prop_assert_eq!(resp.retry_after_ms, None);
+                        prop_assert_eq!(&resp.redirect, &None);
+                    }
+                    if tail.len() < 4 + 18 {
+                        prop_assert_eq!(&resp.redirect, &None);
+                    }
+                    if let Some(r) = &resp.redirect {
+                        prop_assert_eq!(
+                            r.epoch,
+                            u64::from_le_bytes(tail[4..12].try_into().unwrap())
+                        );
+                        prop_assert_eq!(
+                            r.owner_id,
+                            u64::from_le_bytes(tail[12..20].try_into().unwrap())
+                        );
+                    }
+                }
+                // A lying address length inside the redirect tail is
+                // the only legal failure past a valid prefix.
+                Err(e) => prop_assert!(tail.len() >= 4 + 18, "spurious error: {:?}", e),
+            }
+        }
+
+        /// Constructed responses round-trip exactly, with the
+        /// `with_redirect` invariant: a redirect forces the retry hint
+        /// present so the two tails can never alias.
+        #[test]
+        fn constructed_error_responses_roundtrip(
+            code_raw in 0u16..16,
+            hint in any::<u32>(),
+            has_hint in any::<bool>(),
+            has_redirect in any::<bool>(),
+            epoch in any::<u64>(),
+            owner_id in any::<u64>(),
+            addr_salt in any::<u16>(),
+        ) {
+            let Some(code) = ErrorCode::from_u16(code_raw) else {
+                return Ok(());
+            };
+            let mut resp = ErrorResponse::new(code, "fuzzed");
+            if has_hint {
+                resp = resp.with_retry_after(std::time::Duration::from_millis(hint as u64));
+            }
+            if has_redirect {
+                resp = resp.with_redirect(epoch, owner_id, format!("10.0.0.1:{addr_salt}"));
+            }
+            let decoded = ErrorResponse::decode(&resp.encode()).expect("own encoding");
+            prop_assert_eq!(decoded, resp);
+        }
+    }
+}
+
+/// [`Ring::decode`] is fed straight off the wire by `refresh_ring`, so
+/// it must be total: arbitrary bytes never panic, every `Ok` ring
+/// upholds the construction invariants, and single-byte damage to a
+/// valid encoding stays classified (parses or errors, never panics).
+mod ring_frames {
+    use super::*;
+    use cuszp_server::{NodeInfo, Ring};
+
+    fn valid_ring(node_count: u64, k: u16, m: u16, epoch: u64) -> Ring {
+        let nodes: Vec<NodeInfo> = (0..node_count)
+            .map(|i| NodeInfo {
+                id: i * 7 + 1,
+                addr: format!("10.1.0.{}:9000", i + 1),
+            })
+            .collect();
+        Ring::new(epoch, k, m, nodes).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Fully arbitrary payloads: total, and every accepted ring is
+        /// internally valid (nonzero shard counts, enough distinct
+        /// nodes, sorted member table).
+        #[test]
+        fn arbitrary_ring_payloads_are_total(
+            bytes in prop::collection::vec(any::<u8>(), 0..600),
+        ) {
+            if let Ok(ring) = Ring::decode(&bytes) {
+                prop_assert!(ring.data_shards >= 1);
+                prop_assert!(ring.parity_shards >= 1);
+                prop_assert!(ring.total_shards() <= ring.nodes().len());
+                let ids: Vec<u64> = ring.nodes().iter().map(|n| n.id).collect();
+                let mut sorted = ids.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(ids, sorted, "member table must be sorted and distinct");
+            }
+        }
+
+        /// One byte of damage and/or truncation on a valid encoding:
+        /// never a panic, and an unchanged payload still round-trips.
+        #[test]
+        fn damaged_ring_encodings_never_panic(
+            node_count in 3u64..9,
+            k in 1u16..4,
+            m in 1u16..3,
+            epoch in any::<u64>(),
+            hit in any::<u64>(),
+            xor in any::<u8>(),
+            cut in any::<u64>(),
+        ) {
+            prop_assume!((k + m) as u64 <= node_count);
+            let ring = valid_ring(node_count, k, m, epoch);
+            let mut bytes = ring.encode();
+            let hit = (hit % bytes.len() as u64) as usize;
+            bytes[hit] ^= xor;
+            let cut = (cut % (bytes.len() as u64 + 1)) as usize;
+            bytes.truncate(cut);
+            let _ = Ring::decode(&bytes);
+            if xor == 0 && cut == ring.encode().len() {
+                prop_assert_eq!(Ring::decode(&bytes).unwrap(), ring);
+            }
+        }
+    }
+}

@@ -10,10 +10,14 @@
 //! visible in review diffs.
 
 use cuszp::datagen::{dataset_fields, generate, DatasetKind, Scale};
-use cuszp::server::{Client, CompressRequest, DecompressMode, Server, ServerConfig};
+use cuszp::parallel::WorkerPool;
+use cuszp::server::{
+    Client, ClusterClient, ClusterConfig, CompressRequest, ConnectOptions, DecompressMode,
+    NodeInfo, Ring, Server, ServerConfig,
+};
 use cuszp::{
-    Compressor, Config, Dtype, ErrorBound, LosslessMode, Predictor, PredictorMode, WorkflowChoice,
-    WorkflowMode,
+    Compressor, Config, Dtype, ErrorBound, LosslessMode, Predictor, PredictorMode, RangeSpec,
+    WorkflowChoice, WorkflowMode,
 };
 use std::time::Instant;
 
@@ -179,6 +183,94 @@ fn main() {
     );
     println!(
         "    \"compress_roundtrip_ms\": {compress_rt_ms:.1}, \"decompress_roundtrip_ms\": {decompress_rt_ms:.1}"
+    );
+    println!("  }},");
+
+    // Clustered range reads: the same field sharded 2+1 across three
+    // in-process cluster nodes, a mid-field slab read healthy and then
+    // with a data-shard owner dead (reconstructing from parity). Both
+    // paths must return identical samples; the row records the cost of
+    // the degraded rebuild.
+    let archive = Compressor::new(Config {
+        error_bound: ErrorBound::Relative(EB),
+        ..Config::default()
+    })
+    .compress_chunked_with(
+        &field.data,
+        field.dims,
+        cuszp::parallel::DEFAULT_CHUNK_ELEMS,
+        &WorkerPool::new(2),
+    )
+    .unwrap()
+    .to_bytes();
+    let holds: Vec<std::net::TcpListener> = (0..3)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let nodes: Vec<NodeInfo> = holds
+        .iter()
+        .enumerate()
+        .map(|(i, l)| NodeInfo {
+            id: i as u64 + 1,
+            addr: l.local_addr().unwrap().to_string(),
+        })
+        .collect();
+    let ring = Ring::new(1, 2, 1, nodes.clone()).unwrap();
+    drop(holds);
+    let mut cluster_joins = Vec::new();
+    let mut node_handles = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        let server = Server::bind_cluster(
+            n.addr.clone(),
+            ServerConfig::default(),
+            Some(ClusterConfig {
+                node_id: i as u64 + 1,
+                ring: ring.clone(),
+            }),
+        )
+        .unwrap();
+        node_handles.push(server.handle());
+        cluster_joins.push(std::thread::spawn(move || server.serve()));
+    }
+    let mut cc = ClusterClient::with_ring(ring.clone(), ConnectOptions::default());
+    cc.put("bench", &archive).unwrap();
+    let (ny, nx) = match field.dims {
+        cuszp::Dims::D2 { ny, nx } => (ny, nx),
+        _ => unreachable!("the bench field is 2-D"),
+    };
+    let spec = RangeSpec::new(vec![ny / 4..3 * ny / 4, nx / 4..3 * nx / 4]);
+    let mut healthy_ms = f64::MAX;
+    let mut healthy_samples = Vec::new();
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let (samples, _, degraded) = cc.get_range("bench", &spec).unwrap();
+        healthy_ms = healthy_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(!degraded);
+        healthy_samples = samples;
+    }
+    // Kill the owner of data slot 0 so the degraded path must rebuild.
+    let victim_id = ring.shard_owner("bench", 0).unwrap().id;
+    node_handles[victim_id as usize - 1].shutdown();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut degraded_ms = f64::MAX;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let (samples, _, degraded) = cc.get_range("bench", &spec).unwrap();
+        degraded_ms = degraded_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(degraded);
+        assert_eq!(samples, healthy_samples);
+    }
+    for n in &nodes {
+        if let Ok(mut c) = Client::connect(n.addr.as_str()) {
+            let _ = c.shutdown_server();
+        }
+    }
+    for j in cluster_joins {
+        j.join().unwrap().unwrap();
+    }
+    println!("  \"cluster\": {{");
+    println!("    \"nodes\": 3, \"data_shards\": 2, \"parity_shards\": 1,");
+    println!(
+        "    \"get_range_healthy_ms\": {healthy_ms:.1}, \"get_range_degraded_ms\": {degraded_ms:.1}, \"degraded_bit_identical\": true"
     );
     println!("  }}");
     println!("}}");

@@ -46,10 +46,25 @@ cargo test -q -p cuszp-server --test wire_fuzz
 echo "==> chaos soak battery (proxied faults: retries, deadlines, load shedding)"
 cargo test -q -p cuszp-server --test chaos
 
+echo "==> retry deadline clamps (reconnect churn bounded by the per-call deadline)"
+cargo test -q -p cuszp-server --test retry_deadline
+
+echo "==> placement ring properties (purity, distinctness, bounded remap)"
+cargo test -q -p cuszp-server --test ring_props
+
+echo "==> cluster tier (failover, degraded reads, redirects, anti-entropy repair)"
+cargo test -q -p cuszp-server --test cluster
+
+echo "==> node-death campaign (64 seeded kills, bit-identity under every one)"
+cargo test -q -p cuszp-server --test cluster_death
+
 echo "==> server smoke (ephemeral port, remote round trip, graceful shutdown)"
 scripts/server_smoke.sh
 
 echo "==> chaos smoke (remote round trip through a seeded fault-injection proxy)"
 scripts/chaos_smoke.sh
+
+echo "==> cluster smoke (3 processes, kill -9 a node, cmp-equal reads, scrub heal)"
+scripts/cluster_smoke.sh
 
 echo "CI green."

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boot a 3-node erasure-coded cluster (k=2 data +
+# m=1 parity) as real `cuszp serve` processes, store archives through
+# the cluster client, then kill -9 one node mid-workload and require
+# every archive to read back cmp-equal (live failover + degraded
+# reconstruction). The dead node is restarted empty, healed with
+# `cuszp cluster-scrub`, and a *different* node is killed to prove the
+# repair took. Stays fast on a 1-CPU container.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CUSZP=target/release/cuszp
+if [[ ! -x "$CUSZP" ]]; then
+    echo "==> building release cuszp binary"
+    cargo build --release --bin cuszp
+fi
+
+WORK=$(mktemp -d)
+declare -a PIDS=("" "" "")
+cleanup() {
+    for pid in "${PIDS[@]}"; do
+        [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+draw_port() {
+    echo $((20000 + RANDOM % 40000))
+}
+
+# Starts cluster node $1 (1-based) on its ring port; writes the PID
+# into PIDS[$1-1]. Returns nonzero if the node never reports listening.
+start_node() {
+    local id=$1
+    local port=${PORTS[$((id - 1))]}
+    "$CUSZP" serve -a "127.0.0.1:$port" --workers 2 \
+        --node-id "$id" --ring "$RING" --ring-epoch 1 --ring-parity 1/2 \
+        > "$WORK/node$id.out" 2> "$WORK/node$id.err" &
+    PIDS[$((id - 1))]=$!
+    local up=""
+    for _ in $(seq 1 50); do
+        up=$(sed -n 's/^cuszp-server listening on //p' "$WORK/node$id.out")
+        [[ -n "$up" ]] && return 0
+        kill -0 "${PIDS[$((id - 1))]}" 2>/dev/null || return 1
+        sleep 0.1
+    done
+    return 1
+}
+
+echo "==> drawing ports and booting the 3-node ring (k=2, m=1)"
+BOOTED=0
+for attempt in $(seq 1 5); do
+    PORTS=("$(draw_port)" "$(draw_port)" "$(draw_port)")
+    [[ "${PORTS[0]}" != "${PORTS[1]}" && "${PORTS[1]}" != "${PORTS[2]}" \
+        && "${PORTS[0]}" != "${PORTS[2]}" ]] || continue
+    RING="1=127.0.0.1:${PORTS[0]},2=127.0.0.1:${PORTS[1]},3=127.0.0.1:${PORTS[2]}"
+    OK=1
+    for id in 1 2 3; do
+        start_node "$id" || { OK=0; break; }
+    done
+    if [[ "$OK" -eq 1 ]]; then
+        BOOTED=1
+        break
+    fi
+    echo "    attempt $attempt: a drawn port was taken; redrawing"
+    for i in 0 1 2; do
+        [[ -n "${PIDS[$i]}" ]] && kill -9 "${PIDS[$i]}" 2>/dev/null || true
+        PIDS[$i]=""
+    done
+done
+[[ "$BOOTED" -eq 1 ]] || { echo "FAIL: could not boot the ring"; cat "$WORK"/node*.err; exit 1; }
+SEEDS="127.0.0.1:${PORTS[0]},127.0.0.1:${PORTS[1]},127.0.0.1:${PORTS[2]}"
+echo "    ring up: $RING"
+
+echo "==> the ring op answers from any member"
+"$CUSZP" cluster ring --seeds "$SEEDS" > "$WORK/ring.out"
+grep -q '^epoch 1: 2 data + 1 parity' "$WORK/ring.out" \
+    || { echo "FAIL: unexpected ring"; cat "$WORK/ring.out"; exit 1; }
+
+echo "==> generating and compressing three small archives"
+for i in 1 2 3; do
+    "$CUSZP" gen -o "$WORK/field$i.f32" --dataset cesm --field FSDSC --scale tiny 2> "$WORK/gen$i.log"
+    DIMS=$(sed -n 's/.*-d \([0-9x]*\)$/\1/p' "$WORK/gen$i.log")
+    "$CUSZP" compress -i "$WORK/field$i.f32" -o "$WORK/arch$i.csz" -d "$DIMS" \
+        -e "1e-$((i + 2))" --threads 2 2> /dev/null
+done
+
+echo "==> cluster put (erasure-coded placement across the ring)"
+for i in 1 2 3; do
+    "$CUSZP" cluster put "arch-$i" -i "$WORK/arch$i.csz" --seeds "$SEEDS" 2> /dev/null
+done
+
+echo "==> healthy reads are cmp-equal"
+for i in 1 2 3; do
+    "$CUSZP" cluster get "arch-$i" -o "$WORK/back$i.csz" --seeds "$SEEDS" 2> /dev/null
+    cmp "$WORK/arch$i.csz" "$WORK/back$i.csz" \
+        || { echo "FAIL: healthy read of arch-$i differs"; exit 1; }
+done
+
+echo "==> kill -9 node 2 mid-workload"
+(
+    for _ in $(seq 1 20); do
+        "$CUSZP" cluster get "arch-1" -o /dev/null --seeds "$SEEDS" 2> /dev/null || true
+    done
+) &
+READER=$!
+sleep 0.2
+kill -9 "${PIDS[1]}"
+PIDS[1]=""
+wait "$READER" || true
+
+echo "==> every archive still reads cmp-equal with node 2 dead"
+for i in 1 2 3; do
+    "$CUSZP" cluster get "arch-$i" -o "$WORK/deg$i.csz" --seeds "$SEEDS" 2> "$WORK/deg$i.err"
+    cmp "$WORK/arch$i.csz" "$WORK/deg$i.csz" \
+        || { echo "FAIL: degraded read of arch-$i differs"; cat "$WORK/deg$i.err"; exit 1; }
+done
+
+echo "==> restart node 2 empty and heal it with cluster-scrub"
+start_node 2 || { echo "FAIL: node 2 did not restart"; cat "$WORK/node2.err"; exit 1; }
+"$CUSZP" cluster-scrub --seeds "$SEEDS" > "$WORK/scrub.out" 2> /dev/null
+grep -q ' 0 unrepairable, 0 unreachable' "$WORK/scrub.out" \
+    || { echo "FAIL: scrub left damage"; cat "$WORK/scrub.out"; exit 1; }
+grep -qE 'scrubbed 3 key\(s\): [1-9][0-9]* shard\(s\) re-replicated' "$WORK/scrub.out" \
+    || { echo "FAIL: scrub repaired nothing"; cat "$WORK/scrub.out"; exit 1; }
+
+echo "==> kill -9 node 3; the healed node 2 must carry its share"
+kill -9 "${PIDS[2]}"
+PIDS[2]=""
+for i in 1 2 3; do
+    "$CUSZP" cluster get "arch-$i" -o "$WORK/deg2_$i.csz" --seeds "$SEEDS" 2> /dev/null
+    cmp "$WORK/arch$i.csz" "$WORK/deg2_$i.csz" \
+        || { echo "FAIL: post-repair read of arch-$i differs"; exit 1; }
+done
+
+echo "==> graceful shutdown of the survivors"
+for n in 0 1; do
+    "$CUSZP" remote shutdown -s "127.0.0.1:${PORTS[$n]}" > /dev/null 2>&1 || true
+done
+for n in 0 1; do
+    [[ -n "${PIDS[$n]}" ]] && { wait "${PIDS[$n]}" || true; PIDS[$n]=""; }
+done
+
+echo "cluster smoke green."

@@ -21,7 +21,8 @@ use cuszp::faultsim::{ChaosPolicy, ChaosProxy};
 use cuszp::metrics::{verify_error_bound, verify_error_bound_f64};
 use cuszp::parallel::WorkerPool;
 use cuszp::server::{
-    CompressRequest, DecompressMode, RetryPolicy, RetryingClient, Server, ServerConfig,
+    ClusterClient, ClusterConfig, CompressRequest, ConnectOptions, DecompressMode, RetryPolicy,
+    RetryingClient, Ring, Server, ServerConfig,
 };
 use cuszp::{
     json_escape, Archive, ChunkStatus, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype,
@@ -39,17 +40,27 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    // `remote` takes a positional sub-operation (`cuszp remote scan ...`);
-    // split it off before option parsing.
+    // `remote` and `cluster` take a positional sub-operation
+    // (`cuszp remote scan ...`, `cuszp cluster put ...`); split it off
+    // before option parsing. `cluster-scrub` is an alias for
+    // `cluster scrub`, the anti-entropy repair pass.
     let mut remote_op: Option<&str> = None;
+    let mut cluster_op: Option<&str> = None;
     let mut rest = rest;
-    if cmd == "remote" {
+    if cmd == "remote" || cmd == "cluster" {
         let Some((sub, sub_rest)) = rest.split_first() else {
-            eprintln!("error: remote needs an operation\n\n{USAGE}");
+            eprintln!("error: {cmd} needs an operation\n\n{USAGE}");
             return ExitCode::from(2);
         };
-        remote_op = Some(sub.as_str());
+        if cmd == "remote" {
+            remote_op = Some(sub.as_str());
+        } else {
+            cluster_op = Some(sub.as_str());
+        }
         rest = sub_rest;
+    }
+    if cmd == "cluster-scrub" {
+        cluster_op = Some("scrub");
     }
     // `fsck` (and `remote scan`/`remote info`) take their archive as a
     // positional argument; normalize to `-i` so option parsing stays
@@ -59,9 +70,14 @@ fn main() -> ExitCode {
             remote_op,
             Some("scan" | "info" | "decompress" | "get-range")
         );
+    // Cluster data ops take their key positionally; normalize to `-k`.
+    let takes_positional_key = matches!(cluster_op, Some("put" | "get" | "get-range"));
     let norm_rest: Vec<String>;
-    let rest = if takes_positional_archive && rest.first().is_some_and(|a| !a.starts_with('-')) {
-        norm_rest = ["-i".to_string(), rest[0].clone()]
+    let rest = if (takes_positional_archive || takes_positional_key)
+        && rest.first().is_some_and(|a| !a.starts_with('-'))
+    {
+        let opt = if takes_positional_key { "-k" } else { "-i" };
+        norm_rest = [opt.to_string(), rest[0].clone()]
             .into_iter()
             .chain(rest[1..].iter().cloned())
             .collect();
@@ -90,6 +106,7 @@ fn main() -> ExitCode {
         "chaos-proxy" => cmd_chaos_proxy(&opts).map(|()| ExitCode::SUCCESS),
         // `remote scan` mirrors fsck's exit-code contract.
         "remote" => cmd_remote(remote_op.unwrap(), &opts),
+        "cluster" | "cluster-scrub" => cmd_cluster(cluster_op.unwrap(), &opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -121,6 +138,14 @@ USAGE:
   cuszp analyze    -i <raw> -d <dims> [-e <bound>] [-m abs|rel] [--double]
   cuszp gen        -o <raw> --dataset <name> --field <name> [--scale tiny|small]
   cuszp serve      [-a <addr>] [--workers <n>] [--queue <n>] [--cache-bytes <n>]
+                   [--node-id <id> --ring <id=addr,...> [--ring-epoch <n>]
+                    [--ring-parity <m/k>]]
+  cuszp cluster put       <key> -i <archive> --seeds <addr,addr,...>
+  cuszp cluster get       <key> -o <archive> --seeds <addr,addr,...>
+  cuszp cluster get-range <key> -o <raw> --range <spec> [--double]
+                          --seeds <addr,addr,...>
+  cuszp cluster ring|scrub --seeds <addr,addr,...>
+  cuszp cluster-scrub      --seeds <addr,addr,...>   (alias of cluster scrub)
   cuszp remote compress   -s <addr> -i <raw> -o <archive> -d <dims> [-e] [-m]
                           [-w] [-p] [--double] [--parity <m/k>] [--chunk <elems>]
   cuszp remote decompress <archive> -o <raw> [-s <addr>]
@@ -134,6 +159,7 @@ USAGE:
                     [--profile clean|mixed] [--refuse <pm>] [--cut-request <pm>]
                     [--cut-response <pm>] [--flip <pm>] [--stall <pm>]
                     [--chop <pm>] [--chop-piece <bytes>] [--redraw-bytes <n>]
+                    [--kill-after-bytes <n>]
 
 OPTIONS:
   -d  dimensions, fastest axis last: '268435456', '1800x3600', '512x512x512'
@@ -193,6 +219,17 @@ metrics (per-op counts, bytes, latency percentiles, cache hit rates).
 terabyte field never decompresses the whole field. `remote get-range` is the
 served form: hot chunks come from the server's slab cache, and `--recover`
 reads around damage, reporting exactly the damaged in-range chunks.
+
+`serve --node-id N --ring <id=addr,...>` joins a fault-tolerant cluster:
+every archive key is split into k data + m parity shards (--ring-parity,
+default 1/2) and placed on distinct members by rendezvous hashing. The
+`cluster` ops route shard traffic with failover: while at most m placement
+nodes are down, `cluster get`/`get-range` still return bit-identical bytes,
+reconstructing missing shards from parity. Stale clients are answered with
+typed redirect errors carrying the current epoch and owner. `cluster-scrub`
+is the anti-entropy pass: it lists every reachable member's verified shards
+and re-replicates anything missing or dropped as corrupt (exit 0 fully
+healthy, 1 when lost stripes or unreachable members remain).
 
 `chaos-proxy` relays TCP to --upstream while injecting seeded faults
 (connection refusal, mid-frame cuts, bit flips, stalls, chopped writes) —
@@ -959,13 +996,56 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             .parse()
             .map_err(|e| format!("bad --cache-bytes '{c}': {e}"))?;
     }
-    let server = Server::bind(addr, config).map_err(|e| format!("{addr}: {e}"))?;
+    // Cluster mode: `--node-id` + `--ring` turn this instance into one
+    // member of an erasure-coded placement ring (CSRP v3 shard ops).
+    let cluster = match (opts.get("node-id"), opts.get("ring")) {
+        (None, None) => None,
+        (Some(id), Some(ring_spec)) => {
+            let node_id: u64 = id
+                .parse()
+                .map_err(|e| format!("bad --node-id '{id}': {e}"))?;
+            let epoch: u64 = match opts.get("ring-epoch") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|e| format!("bad --ring-epoch '{v}': {e}"))?,
+                None => 1,
+            };
+            let (m, k) = match opts.get("ring-parity") {
+                Some(v) => {
+                    let p =
+                        ParityConfig::parse(v).map_err(|e| format!("bad --ring-parity: {e}"))?;
+                    (p.parity_shards, p.data_shards)
+                }
+                None => (1, 2),
+            };
+            let ring =
+                Ring::parse_spec(ring_spec, epoch, k, m).map_err(|e| format!("bad --ring: {e}"))?;
+            Some(ClusterConfig { node_id, ring })
+        }
+        _ => return Err("cluster mode needs both --node-id and --ring".into()),
+    };
+    let workers = config.workers;
+    let queue_capacity = config.queue_capacity;
+    let cluster_banner = cluster.as_ref().map(|c| {
+        format!(
+            "node {} of {} (epoch {}, {}+{} shards per stripe)",
+            c.node_id,
+            c.ring.nodes().len(),
+            c.ring.epoch,
+            c.ring.data_shards,
+            c.ring.parity_shards
+        )
+    });
+    let server = Server::bind_cluster(addr, config, cluster).map_err(|e| format!("{addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!("cuszp-server listening on {bound}");
     eprintln!(
         "  {} workers (one pipeline engine each), queue capacity {}; stop with: cuszp remote shutdown -s {bound}",
-        config.workers, config.queue_capacity
+        workers, queue_capacity
     );
+    if let Some(banner) = cluster_banner {
+        eprintln!("  cluster: {banner}");
+    }
     server.serve().map_err(|e| e.to_string())?;
     eprintln!("cuszp-server: drained, bye");
     Ok(())
@@ -1031,6 +1111,13 @@ fn cmd_chaos_proxy(opts: &Opts) -> Result<(), String> {
             .parse::<usize>()
             .map_err(|e| format!("bad --redraw-bytes '{v}': {e}"))?
             .max(1);
+    }
+    // Node-death profile: after this many relayed bytes the proxied
+    // node dies (in-flight relays sever, later connections refused).
+    if let Some(v) = opts.get("kill-after-bytes") {
+        policy.kill_after_bytes = v
+            .parse::<u64>()
+            .map_err(|e| format!("bad --kill-after-bytes '{v}': {e}"))?;
     }
     let proxy =
         ChaosProxy::bind(listen, upstream, policy, seed).map_err(|e| format!("{listen}: {e}"))?;
@@ -1123,6 +1210,169 @@ fn report_retries(client: &RetryingClient) {
             s.hints_honored.get(),
             s.deadline_exceeded.get()
         );
+    }
+}
+
+/// Builds the ring-aware client every `cluster <op>` talks through:
+/// `--seeds` (or `-s`) names any live members, the ring is fetched from
+/// the first that answers, and every shard op routes by rendezvous
+/// placement with failover to survivors.
+fn cluster_client(opts: &Opts) -> Result<ClusterClient, String> {
+    let spec = opts
+        .get("seeds")
+        .or_else(|| opts.get("s"))
+        .ok_or("cluster ops need --seeds <addr,addr,...> (any live members)")?;
+    let seeds: Vec<String> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if seeds.is_empty() {
+        return Err("--seeds named no addresses".into());
+    }
+    let mut conn = ConnectOptions::default();
+    if let Some(ms) = opt_ms(opts, "connect-timeout-ms")? {
+        conn.connect_timeout = ms;
+    }
+    ClusterClient::connect_any(&seeds, conn).map_err(|e| e.to_string())
+}
+
+/// After a cluster op, surface the client-side routing counters on
+/// stderr when anything nontrivial happened (mirrors `report_retries`).
+fn report_cluster(client: &ClusterClient) {
+    let s = client.stats();
+    let noteworthy = s.degraded_reads.get()
+        + s.redirects_followed.get()
+        + s.shard_failures.get()
+        + s.scrub_repairs.get();
+    if noteworthy > 0 {
+        eprintln!(
+            "cluster: {} degraded read(s), {} redirect(s) followed, {} ring refresh(es), {} shard failure(s), {} scrub repair(s)",
+            s.degraded_reads.get(),
+            s.redirects_followed.get(),
+            s.ring_refreshes.get(),
+            s.shard_failures.get(),
+            s.scrub_repairs.get()
+        );
+    }
+}
+
+fn cmd_cluster(sub: &str, opts: &Opts) -> Result<ExitCode, String> {
+    match sub {
+        "put" => {
+            let key = opts.require("k")?;
+            let input = opts.require("i")?;
+            let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+            let mut client = cluster_client(opts)?;
+            let report = client.put(key, &bytes).map_err(|e| e.to_string())?;
+            if report.fully_replicated() {
+                eprintln!(
+                    "stored '{key}' ({} bytes) on {}/{} nodes",
+                    bytes.len(),
+                    report.shards_stored,
+                    report.total_shards
+                );
+            } else {
+                eprintln!(
+                    "stored '{key}' ({} bytes) UNDER-REPLICATED: {}/{} shards placed ({} failed); run `cuszp cluster-scrub` once the nodes return",
+                    bytes.len(),
+                    report.shards_stored,
+                    report.total_shards,
+                    report.failed.len()
+                );
+            }
+            report_cluster(&client);
+            Ok(ExitCode::SUCCESS)
+        }
+        "get" => {
+            let key = opts.require("k")?;
+            let output = opts.require("o")?;
+            let mut client = cluster_client(opts)?;
+            let got = client.get(key).map_err(|e| e.to_string())?;
+            write_bytes(output, &got.bytes)?;
+            eprintln!(
+                "fetched '{key}' -> {output} ({} bytes{})",
+                got.bytes.len(),
+                if got.degraded {
+                    ", reconstructed from parity"
+                } else {
+                    ""
+                }
+            );
+            report_cluster(&client);
+            Ok(ExitCode::SUCCESS)
+        }
+        "get-range" => {
+            let key = opts.require("k")?;
+            let output = opts.require("o")?;
+            let spec = RangeSpec::parse(opts.require("range")?).map_err(|e| e.to_string())?;
+            let mut client = cluster_client(opts)?;
+            let (out_bytes, dims, degraded): (Vec<u8>, Dims, bool) = if opts.has_flag("double") {
+                let (data, dims, degraded) = client
+                    .get_range_f64(key, &spec)
+                    .map_err(|e| e.to_string())?;
+                (
+                    data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                    dims,
+                    degraded,
+                )
+            } else {
+                let (data, dims, degraded) =
+                    client.get_range(key, &spec).map_err(|e| e.to_string())?;
+                (
+                    data.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                    dims,
+                    degraded,
+                )
+            };
+            write_bytes(output, &out_bytes)?;
+            eprintln!(
+                "extracted {spec} of '{key}' -> {output} ({dims:?}, {} bytes{})",
+                out_bytes.len(),
+                if degraded {
+                    ", reconstructed from parity"
+                } else {
+                    ""
+                }
+            );
+            report_cluster(&client);
+            Ok(ExitCode::SUCCESS)
+        }
+        "ring" => {
+            let client = cluster_client(opts)?;
+            let ring = client.ring();
+            println!(
+                "epoch {}: {} data + {} parity shards per stripe, {} member(s)",
+                ring.epoch,
+                ring.data_shards,
+                ring.parity_shards,
+                ring.nodes().len()
+            );
+            for n in ring.nodes() {
+                println!("  node {:>4}  {}", n.id, n.addr);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "scrub" => {
+            let mut client = cluster_client(opts)?;
+            let report = client.scrub().map_err(|e| e.to_string())?;
+            println!(
+                "scrubbed {} key(s): {} shard(s) re-replicated, {} unrepairable, {} unreachable node(s)",
+                report.keys, report.repaired, report.unrepairable, report.unreachable_nodes
+            );
+            report_cluster(&client);
+            // Exit 0 when fully healthy, 1 when work remains (lost
+            // stripes or members the pass could not see).
+            if report.unrepairable > 0 || report.unreachable_nodes > 0 {
+                Ok(ExitCode::FAILURE)
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+        other => Err(format!(
+            "unknown cluster operation '{other}' (put get get-range ring scrub)"
+        )),
     }
 }
 
@@ -1436,14 +1686,25 @@ fn remote_stats(opts: &Opts) -> Result<(), String> {
         snap.connections_total,
         snap.active_connections
     );
+    // Guard the rate against a zero-op server: 0/0 must print as a
+    // plain "n/a", never NaN.
     let lookups = snap.cache_hits + snap.cache_misses;
-    if lookups > 0 {
+    let hit_rate = if lookups > 0 {
+        format!(
+            "{:.0}% hit rate",
+            100.0 * snap.cache_hits as f64 / lookups as f64
+        )
+    } else {
+        "hit rate n/a".to_string()
+    };
+    println!(
+        "slab cache: {} hits / {} lookups ({hit_rate}), {} evictions",
+        snap.cache_hits, lookups, snap.cache_evictions
+    );
+    if snap.redirects + snap.scrub_repairs + snap.corrupt_shards_dropped > 0 {
         println!(
-            "slab cache: {} hits / {} lookups ({:.0}% hit rate), {} evictions",
-            snap.cache_hits,
-            lookups,
-            100.0 * snap.cache_hits as f64 / lookups as f64,
-            snap.cache_evictions
+            "cluster: {} redirect(s) answered, {} scrub repair(s) received, {} corrupt shard(s) dropped",
+            snap.redirects, snap.scrub_repairs, snap.corrupt_shards_dropped
         );
     }
     Ok(())
