@@ -1,0 +1,257 @@
+//! On-disk fault injection for durable-store robustness testing.
+//!
+//! The archive campaigns in the crate root mutate *byte buffers*; a
+//! durable shard store keeps its state in *files* (`seg-<n>.czl`
+//! segments plus a `MANIFEST`), and its recovery contract is judged by
+//! reopening the directory after damage. This module manufactures that
+//! damage: seeded truncations (torn writes), bit flips (storage rot),
+//! and zeroed spans, aimed at drawn offsets of the store's files.
+//!
+//! Same discipline as the archive campaigns: a campaign is a pure
+//! function of `(directory contents, seed, n)` via [`FaultRng`], so a
+//! failing case replays from its campaign index alone. The harness
+//! copies the pristine directory per case ([`copy_dir`]), applies one
+//! fault ([`DiskFaultCase::apply`]), and reopens.
+
+use std::fs::{self, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::FaultRng;
+
+/// One file mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Truncate the file to `to` bytes — a torn write / lost tail.
+    Truncate { file: String, to: u64 },
+    /// Flip one bit — silent storage rot.
+    BitFlip { file: String, offset: u64, bit: u8 },
+    /// Zero a span of bytes — a hole a failed block write leaves.
+    ZeroSpan { file: String, offset: u64, len: u64 },
+}
+
+/// One corrupted-directory case from a campaign.
+#[derive(Debug, Clone)]
+pub struct DiskFaultCase {
+    /// Campaign index (replay key together with the seed).
+    pub id: usize,
+    /// Human-readable description of the mutation.
+    pub description: String,
+    /// The mutation to apply.
+    pub fault: DiskFault,
+}
+
+impl DiskFaultCase {
+    /// Applies the mutation to `dir` in place.
+    pub fn apply(&self, dir: &Path) -> std::io::Result<()> {
+        match &self.fault {
+            DiskFault::Truncate { file, to } => {
+                let f = OpenOptions::new().write(true).open(dir.join(file))?;
+                f.set_len(*to)?;
+                f.sync_all()
+            }
+            DiskFault::BitFlip { file, offset, bit } => {
+                let mut f = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(dir.join(file))?;
+                f.seek(SeekFrom::Start(*offset))?;
+                let mut b = [0u8; 1];
+                f.read_exact(&mut b)?;
+                b[0] ^= 1 << bit;
+                f.seek(SeekFrom::Start(*offset))?;
+                f.write_all(&b)?;
+                f.sync_all()
+            }
+            DiskFault::ZeroSpan { file, offset, len } => {
+                let mut f = OpenOptions::new().write(true).open(dir.join(file))?;
+                f.seek(SeekFrom::Start(*offset))?;
+                f.write_all(&vec![0u8; *len as usize])?;
+                f.sync_all()
+            }
+        }
+    }
+}
+
+/// The store files a campaign may aim at, with sizes, in a
+/// deterministic (sorted) order. Only regular files with at least one
+/// byte qualify — there is nothing to flip in an empty file.
+fn target_files(dir: &Path) -> std::io::Result<Vec<(String, u64)>> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let meta = entry.metadata()?;
+        let Some(name) = entry.file_name().to_str().map(String::from) else {
+            continue;
+        };
+        let is_store_file =
+            (name.starts_with("seg-") && name.ends_with(".czl")) || name == "MANIFEST";
+        if meta.is_file() && is_store_file && meta.len() > 0 {
+            files.push((name, meta.len()));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Draws `n` seeded single-fault cases against the store files under
+/// `dir`. The mix cycles truncation (torn tail), bit flip (rot), and
+/// zeroed span; offsets are drawn uniformly over each chosen file. The
+/// same `(directory contents, seed, n)` yields the same cases.
+pub fn disk_campaign(dir: &Path, seed: u64, n: usize) -> std::io::Result<Vec<DiskFaultCase>> {
+    let files = target_files(dir)?;
+    if files.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut rng = FaultRng::new(seed);
+    let mut cases = Vec::with_capacity(n);
+    for id in 0..n {
+        let (name, len) = files[rng.below(files.len())].clone();
+        let (description, fault) = match id % 3 {
+            0 => {
+                let to = rng.below(len as usize) as u64;
+                (
+                    format!("truncate {name} from {len} to {to} bytes"),
+                    DiskFault::Truncate { file: name, to },
+                )
+            }
+            1 => {
+                let offset = rng.below(len as usize) as u64;
+                let bit = (rng.next_u64() % 8) as u8;
+                (
+                    format!("flip bit {bit} of byte {offset} in {name}"),
+                    DiskFault::BitFlip {
+                        file: name,
+                        offset,
+                        bit,
+                    },
+                )
+            }
+            _ => {
+                let offset = rng.below(len as usize) as u64;
+                let span = 1 + rng.below(32) as u64;
+                let span = span.min(len - offset);
+                (
+                    format!("zero {span} bytes at {offset} in {name}"),
+                    DiskFault::ZeroSpan {
+                        file: name,
+                        offset,
+                        len: span,
+                    },
+                )
+            }
+        };
+        cases.push(DiskFaultCase {
+            id,
+            description,
+            fault,
+        });
+    }
+    Ok(cases)
+}
+
+/// Copies a directory's regular files into `dst` (created fresh) — the
+/// per-case victim copy, so every fault applies to pristine state.
+pub fn copy_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
+    let _ = fs::remove_dir_all(dst);
+    fs::create_dir_all(dst)?;
+    for entry in fs::read_dir(src)? {
+        let entry = entry?;
+        if entry.metadata()?.is_file() {
+            fs::copy(entry.path(), dst.join(entry.file_name()))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("faultsim-disk-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seed_store_files(dir: &Path) {
+        fs::write(dir.join("seg-00000001.czl"), vec![0xAB; 512]).unwrap();
+        fs::write(dir.join("seg-00000002.czl"), vec![0xCD; 256]).unwrap();
+        fs::write(
+            dir.join("MANIFEST"),
+            b"czl-manifest 1\nsegments 1 2\nnext 3\n",
+        )
+        .unwrap();
+        fs::write(dir.join("unrelated.txt"), b"left alone").unwrap();
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_targets_only_store_files() {
+        let dir = temp_dir("det");
+        seed_store_files(&dir);
+        let a = disk_campaign(&dir, 42, 30).unwrap();
+        let b = disk_campaign(&dir, 42, 30).unwrap();
+        assert_eq!(a.len(), 30);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fault, y.fault, "same seed must draw the same faults");
+        }
+        for case in &a {
+            let file = match &case.fault {
+                DiskFault::Truncate { file, .. }
+                | DiskFault::BitFlip { file, .. }
+                | DiskFault::ZeroSpan { file, .. } => file,
+            };
+            assert!(
+                file.starts_with("seg-") || file == "MANIFEST",
+                "campaign aimed at non-store file {file}"
+            );
+        }
+        let c = disk_campaign(&dir, 43, 30).unwrap();
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.fault != y.fault),
+            "different seeds should draw different faults"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn apply_mutates_exactly_one_file() {
+        let dir = temp_dir("apply");
+        seed_store_files(&dir);
+        let pristine = temp_dir("apply-copy");
+        copy_dir(&dir, &pristine).unwrap();
+        for case in disk_campaign(&dir, 7, 9).unwrap() {
+            let victim = temp_dir("apply-victim");
+            copy_dir(&pristine, &victim).unwrap();
+            case.apply(&victim).unwrap();
+            let mut changed = 0;
+            for entry in fs::read_dir(&pristine).unwrap() {
+                let name = entry.unwrap().file_name();
+                if fs::read(victim.join(&name)).unwrap() != fs::read(pristine.join(&name)).unwrap()
+                {
+                    changed += 1;
+                }
+            }
+            // Truncating to the same length or flipping a bit twice
+            // can't happen — exactly one file differs, except when a
+            // zero-span hits already-zero bytes (never here: seeds are
+            // nonzero constants).
+            assert_eq!(changed, 1, "case {} ({})", case.id, case.description);
+            let _ = fs::remove_dir_all(&victim);
+        }
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&pristine);
+    }
+
+    #[test]
+    fn empty_dir_yields_empty_campaign() {
+        let dir = temp_dir("empty");
+        assert!(disk_campaign(&dir, 1, 10).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

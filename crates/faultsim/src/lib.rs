@@ -19,8 +19,10 @@
 //! usable from any crate's dev-dependencies without cycles.
 
 pub mod chaos;
+pub mod disk;
 
 pub use chaos::{ChaosPolicy, ChaosProxy, ChaosStats, ConnPlan, WireFault};
+pub use disk::{copy_dir, disk_campaign, DiskFault, DiskFaultCase};
 
 use std::ops::Range;
 

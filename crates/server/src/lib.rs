@@ -47,7 +47,9 @@ pub use cluster::{ClusterClient, ClusterError, ClusterStats, GetOutcome, PutRepo
 pub use metrics::{OpStats, ServiceMetrics, StatsSnapshot};
 pub use ring::{NodeInfo, Ring, RingError};
 pub use server::{ClusterConfig, Server, ServerConfig, ServerHandle};
-pub use store::{ShardStore, StoredShard};
+pub use store::{
+    DurableShardStore, ShardBackend, ShardStore, StoreBackendConfig, StoreOpError, StoredShard,
+};
 pub use wire::{
     fnv1a, CompressRequest, DecompressMode, DecompressRequest, DecompressResponse, ErrorCode,
     ErrorResponse, Frame, GetRangeRequest, HealthResponse, Op, RemoteInfo, WireError, FLAG_ERROR,

@@ -25,7 +25,7 @@
 use crate::cache::SlabCache;
 use crate::metrics::ServiceMetrics;
 use crate::ring::Ring;
-use crate::store::ShardStore;
+use crate::store::{ShardBackend, StoreBackendConfig};
 use crate::wire::{
     fnv1a, read_frame, write_frame, ClusterIdentity, CompressRequest, DecompressMode,
     DecompressRequest, DecompressResponse, ErrorCode, ErrorResponse, GetRangeRequest,
@@ -94,6 +94,9 @@ pub struct ClusterConfig {
     pub node_id: u64,
     /// The topology this node serves and routes by.
     pub ring: Ring,
+    /// Shard persistence: in-memory, or the durable log-structured
+    /// store rooted at a data directory.
+    pub backend: StoreBackendConfig,
 }
 
 /// Per-node cluster state: identity, topology, and the shard store.
@@ -101,7 +104,7 @@ pub struct ClusterConfig {
 struct ClusterCtx {
     node_id: u64,
     ring: Ring,
-    store: Mutex<ShardStore>,
+    store: Mutex<Box<dyn ShardBackend>>,
 }
 
 /// State shared by the acceptor, the workers, and external handles.
@@ -191,11 +194,32 @@ impl ServerHandle {
     }
 
     /// Wipes the node's shard store — the test hook for simulating a
-    /// node that lost its disk and must be healed by scrub.
+    /// node that lost its disk and must be healed by scrub. (The
+    /// durable backend deletes its segment files too.)
     pub fn clear_shards(&self) {
         if let Some(c) = &self.0.cluster {
-            c.store.lock().expect("store lock poisoned").clear();
+            let _ = c.store.lock().expect("store lock poisoned").clear();
         }
+    }
+
+    /// The shard backend kind (`"memory"` / `"durable"`); `None` when
+    /// not clustered.
+    pub fn store_kind(&self) -> Option<&'static str> {
+        self.0
+            .cluster
+            .as_ref()
+            .map(|c| c.store.lock().expect("store lock poisoned").kind())
+    }
+
+    /// The durable backend's boot-recovery summary (`None` for the
+    /// memory backend or when not clustered).
+    pub fn store_recovery_summary(&self) -> Option<String> {
+        self.0.cluster.as_ref().and_then(|c| {
+            c.store
+                .lock()
+                .expect("store lock poisoned")
+                .recovery_summary()
+        })
     }
 }
 
@@ -222,13 +246,26 @@ impl Server {
         config: ServerConfig,
         cluster: Option<ClusterConfig>,
     ) -> std::io::Result<Server> {
-        if let Some(c) = &cluster {
+        let mut cluster_ctx = None;
+        if let Some(c) = cluster {
             if c.ring.node(c.node_id).is_none() {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidInput,
                     format!("node id {} is not a member of the ring", c.node_id),
                 ));
             }
+            // Opening the durable backend replays its segments here, so
+            // a node that binds has already re-verified every shard it
+            // will serve (the boot scan is `list_shards`-equivalent).
+            let store = c
+                .backend
+                .open()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            cluster_ctx = Some(ClusterCtx {
+                node_id: c.node_id,
+                ring: c.ring,
+                store: Mutex::new(store),
+            });
         }
         let listener = TcpListener::bind(addr)?;
         let config = ServerConfig {
@@ -246,11 +283,7 @@ impl Server {
                 queue: Mutex::new(VecDeque::new()),
                 queue_cv: Condvar::new(),
                 cache: Mutex::new(SlabCache::new(config.cache_bytes)),
-                cluster: cluster.map(|c| ClusterCtx {
-                    node_id: c.node_id,
-                    ring: c.ring,
-                    store: Mutex::new(ShardStore::new()),
-                }),
+                cluster: cluster_ctx,
             }),
         })
     }
@@ -698,8 +731,9 @@ fn handle_put_shard(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, ErrorRes
             req.shard,
             req.total_len,
             req.archive_fnv,
+            req.flags & PUT_FLAG_REPAIR != 0,
         )
-        .map_err(|_| ErrorResponse::new(ErrorCode::Pipeline, "shard allocation refused"))?;
+        .map_err(|e| ErrorResponse::new(ErrorCode::Pipeline, e.to_string()))?;
     if req.flags & PUT_FLAG_REPAIR != 0 {
         shared.metrics.scrub_repairs.incr();
     }
@@ -710,20 +744,23 @@ fn handle_get_shard(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, ErrorRes
     let cluster = cluster_ctx(shared)?;
     let req = GetShardRequest::decode(payload).map_err(wire_error)?;
     check_shard_route(cluster, shared, &req.key, req.shard_idx, req.ring_epoch)?;
-    let store = cluster.store.lock().expect("store lock poisoned");
-    let shard = store.get(&req.key, req.shard_idx).ok_or_else(|| {
-        ErrorResponse::new(
-            ErrorCode::NotFound,
-            format!(
-                "shard {} of '{}' is not stored here",
-                req.shard_idx, req.key
-            ),
-        )
-    })?;
+    let mut store = cluster.store.lock().expect("store lock poisoned");
+    let shard = store
+        .get(&req.key, req.shard_idx)
+        .map_err(|e| ErrorResponse::new(ErrorCode::Pipeline, e.to_string()))?
+        .ok_or_else(|| {
+            ErrorResponse::new(
+                ErrorCode::NotFound,
+                format!(
+                    "shard {} of '{}' is not stored here",
+                    req.shard_idx, req.key
+                ),
+            )
+        })?;
     Ok(GetShardResponse {
         total_len: shard.total_len,
         archive_fnv: shard.archive_fnv,
-        shard: shard.bytes.clone(),
+        shard: shard.bytes,
     }
     .encode())
 }
@@ -734,7 +771,8 @@ fn handle_list_shards(shared: &Shared) -> Result<Vec<u8>, ErrorResponse> {
         .store
         .lock()
         .expect("store lock poisoned")
-        .verify_and_list();
+        .verify_and_list()
+        .map_err(|e| ErrorResponse::new(ErrorCode::Pipeline, e.to_string()))?;
     if dropped > 0 {
         shared.metrics.corrupt_shards_dropped.add(dropped);
     }

@@ -1,11 +1,21 @@
 //! Per-node shard storage for the cluster tier.
 //!
-//! Each node stores the stripe slots the ring assigns it: a
-//! `(key, shard_idx)` → bytes map with the shard checksum and archive
-//! metadata captured at put time. The scrub path re-verifies checksums
-//! on listing — a shard whose bytes rotted is dropped (and counted) so
-//! anti-entropy sees it as *missing* and re-replicates it, rather than
-//! serving corrupt bytes to a degraded read.
+//! Each node stores the stripe slots the ring assigns it behind the
+//! [`ShardBackend`] trait, with two interchangeable implementations:
+//!
+//! - [`ShardStore`] — the in-memory map (fast, empty after restart;
+//!   a restarted node is healed by `cluster-scrub`);
+//! - [`DurableShardStore`] — the log-structured [`cuszp_store::LogStore`]
+//!   (segments on disk, crash recovery at boot, compaction), so a
+//!   restarted node serves its shards bit-identically with zero scrub
+//!   repairs.
+//!
+//! Both backends verify checksums on the scrub path and cache the
+//! verified FNV per slot, invalidated on write — repeated inventories
+//! of an unchanged node are O(index), not O(total bytes). A shard whose
+//! bytes rotted is dropped (and counted) so anti-entropy sees it as
+//! *missing* and re-replicates it, rather than serving corrupt bytes
+//! to a degraded read.
 
 use std::collections::HashMap;
 
@@ -24,11 +34,87 @@ pub struct StoredShard {
     pub archive_fnv: u64,
 }
 
+/// Typed backend failure. Damage inside stored data is *not* an error
+/// (it degrades to a dropped slot); this is for environmental failures
+/// the backend cannot absorb.
+#[derive(Debug)]
+pub enum StoreOpError {
+    /// An allocation was refused (oversized put or read buffer).
+    Alloc,
+    /// The durable backend hit an I/O or validation failure.
+    Backend(String),
+}
+
+impl std::fmt::Display for StoreOpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreOpError::Alloc => write!(f, "shard allocation refused"),
+            StoreOpError::Backend(msg) => write!(f, "shard store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreOpError {}
+
+/// The storage contract a cluster node programs against. In-memory and
+/// durable stores are interchangeable behind this trait; the server
+/// holds one as `Mutex<Box<dyn ShardBackend>>`.
+pub trait ShardBackend: Send + std::fmt::Debug {
+    /// Inserts (or replaces) a stripe slot. `repair` marks a scrub
+    /// re-replication (recorded by the durable backend's log).
+    fn put(
+        &mut self,
+        key: &str,
+        shard_idx: u16,
+        bytes: &[u8],
+        total_len: u64,
+        archive_fnv: u64,
+        repair: bool,
+    ) -> Result<(), StoreOpError>;
+
+    /// Fetches a stripe slot. `Ok(None)` means not stored (or dropped
+    /// as corrupt by a checksum-gated read).
+    fn get(&mut self, key: &str, shard_idx: u16) -> Result<Option<StoredShard>, StoreOpError>;
+
+    /// Number of live slots.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no slots.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every slot (test hook for simulating a wiped node; the
+    /// durable backend also deletes its segment files).
+    fn clear(&mut self) -> Result<(), StoreOpError>;
+
+    /// Verifies every not-yet-verified shard checksum, drops rot
+    /// (counted), and lists survivors sorted by `(key, shard_idx)`.
+    fn verify_and_list(&mut self) -> Result<(Vec<ShardRecord>, u64), StoreOpError>;
+
+    /// `"memory"` or `"durable"` — surfaced in logs and health output.
+    fn kind(&self) -> &'static str;
+
+    /// The durable backend's boot-recovery summary; `None` for memory.
+    fn recovery_summary(&self) -> Option<String> {
+        None
+    }
+}
+
+#[derive(Debug)]
+struct MemoryEntry {
+    shard: StoredShard,
+    /// Whether `shard.checksum` has been re-verified against the bytes
+    /// since the last write. Cleared on put, set by `verify_and_list` —
+    /// the cache that keeps repeated scrubs O(index).
+    verified: bool,
+}
+
 /// In-memory shard map. Callers serialize access (the server wraps it
 /// in a mutex inside the shared state).
 #[derive(Debug, Default)]
 pub struct ShardStore {
-    shards: HashMap<(String, u16), StoredShard>,
+    shards: HashMap<(String, u16), MemoryEntry>,
 }
 
 impl ShardStore {
@@ -53,11 +139,14 @@ impl ShardStore {
         let checksum = fnv1a(&owned);
         self.shards.insert(
             (key.to_string(), shard_idx),
-            StoredShard {
-                bytes: owned,
-                checksum,
-                total_len,
-                archive_fnv,
+            MemoryEntry {
+                shard: StoredShard {
+                    bytes: owned,
+                    checksum,
+                    total_len,
+                    archive_fnv,
+                },
+                verified: false,
             },
         );
         Ok(())
@@ -65,7 +154,9 @@ impl ShardStore {
 
     /// Fetches a stripe slot.
     pub fn get(&self, key: &str, shard_idx: u16) -> Option<&StoredShard> {
-        self.shards.get(&(key.to_string(), shard_idx))
+        self.shards
+            .get(&(key.to_string(), shard_idx))
+            .map(|e| &e.shard)
     }
 
     /// Number of stored slots.
@@ -83,14 +174,21 @@ impl ShardStore {
         self.shards.clear();
     }
 
-    /// Re-verifies every shard checksum and lists the survivors sorted
-    /// by `(key, shard_idx)`. Corrupt entries are dropped and counted —
-    /// scrub treats them as missing and re-replicates.
+    /// Re-verifies every shard checksum not verified since its last
+    /// write and lists the survivors sorted by `(key, shard_idx)`.
+    /// Corrupt entries are dropped and counted — scrub treats them as
+    /// missing and re-replicates. Verification results are cached, so
+    /// an unchanged node's repeat inventory hashes nothing.
     pub fn verify_and_list(&mut self) -> (Vec<ShardRecord>, u64) {
         let mut dropped = 0u64;
-        self.shards.retain(|_, s| {
-            let ok = fnv1a(&s.bytes) == s.checksum;
-            if !ok {
+        self.shards.retain(|_, e| {
+            if e.verified {
+                return true;
+            }
+            let ok = fnv1a(&e.shard.bytes) == e.shard.checksum;
+            if ok {
+                e.verified = true;
+            } else {
                 dropped += 1;
             }
             ok
@@ -98,17 +196,179 @@ impl ShardStore {
         let mut records: Vec<ShardRecord> = self
             .shards
             .iter()
-            .map(|((key, idx), s)| ShardRecord {
+            .map(|((key, idx), e)| ShardRecord {
                 key: key.clone(),
                 shard_idx: *idx,
-                len: s.bytes.len() as u64,
-                checksum: s.checksum,
-                total_len: s.total_len,
-                archive_fnv: s.archive_fnv,
+                len: e.shard.bytes.len() as u64,
+                checksum: e.shard.checksum,
+                total_len: e.shard.total_len,
+                archive_fnv: e.shard.archive_fnv,
             })
             .collect();
         records.sort_by(|a, b| a.key.cmp(&b.key).then(a.shard_idx.cmp(&b.shard_idx)));
         (records, dropped)
+    }
+}
+
+impl ShardBackend for ShardStore {
+    fn put(
+        &mut self,
+        key: &str,
+        shard_idx: u16,
+        bytes: &[u8],
+        total_len: u64,
+        archive_fnv: u64,
+        _repair: bool,
+    ) -> Result<(), StoreOpError> {
+        ShardStore::put(self, key, shard_idx, bytes, total_len, archive_fnv)
+            .map_err(|_| StoreOpError::Alloc)
+    }
+
+    fn get(&mut self, key: &str, shard_idx: u16) -> Result<Option<StoredShard>, StoreOpError> {
+        Ok(ShardStore::get(self, key, shard_idx).cloned())
+    }
+
+    fn len(&self) -> usize {
+        ShardStore::len(self)
+    }
+
+    fn clear(&mut self) -> Result<(), StoreOpError> {
+        ShardStore::clear(self);
+        Ok(())
+    }
+
+    fn verify_and_list(&mut self) -> Result<(Vec<ShardRecord>, u64), StoreOpError> {
+        Ok(ShardStore::verify_and_list(self))
+    }
+
+    fn kind(&self) -> &'static str {
+        "memory"
+    }
+}
+
+fn map_store_err(err: cuszp_store::StoreError) -> StoreOpError {
+    match err {
+        cuszp_store::StoreError::Alloc { .. } => StoreOpError::Alloc,
+        other => StoreOpError::Backend(other.to_string()),
+    }
+}
+
+/// The durable backend: [`cuszp_store::LogStore`] adapted to the
+/// [`ShardBackend`] contract. Reads are checksum-gated by the log
+/// store itself; the verified-FNV cache lives in its index.
+#[derive(Debug)]
+pub struct DurableShardStore {
+    inner: cuszp_store::LogStore,
+}
+
+impl DurableShardStore {
+    /// Opens (or creates) the store, replaying its segments — the boot
+    /// scan re-verifies every record checksum exactly like
+    /// `list_shards`. Recovery damage is *not* an error; read it from
+    /// [`DurableShardStore::recovery_report`].
+    pub fn open(config: cuszp_store::StoreConfig) -> Result<DurableShardStore, StoreOpError> {
+        Ok(DurableShardStore {
+            inner: cuszp_store::LogStore::open(config).map_err(map_store_err)?,
+        })
+    }
+
+    /// What the boot scan found.
+    pub fn recovery_report(&self) -> &cuszp_store::RecoveryReport {
+        self.inner.recovery_report()
+    }
+
+    /// The wrapped log store (stats hooks for tests and benches).
+    pub fn log(&self) -> &cuszp_store::LogStore {
+        &self.inner
+    }
+}
+
+impl ShardBackend for DurableShardStore {
+    fn put(
+        &mut self,
+        key: &str,
+        shard_idx: u16,
+        bytes: &[u8],
+        total_len: u64,
+        archive_fnv: u64,
+        repair: bool,
+    ) -> Result<(), StoreOpError> {
+        self.inner
+            .put(key, shard_idx, bytes, total_len, archive_fnv, repair)
+            .map_err(map_store_err)
+    }
+
+    fn get(&mut self, key: &str, shard_idx: u16) -> Result<Option<StoredShard>, StoreOpError> {
+        Ok(self
+            .inner
+            .get(key, shard_idx)
+            .map_err(map_store_err)?
+            .map(|s| StoredShard {
+                bytes: s.bytes,
+                checksum: s.checksum,
+                total_len: s.total_len,
+                archive_fnv: s.archive_fnv,
+            }))
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn clear(&mut self) -> Result<(), StoreOpError> {
+        self.inner.clear().map_err(map_store_err)
+    }
+
+    fn verify_and_list(&mut self) -> Result<(Vec<ShardRecord>, u64), StoreOpError> {
+        let (entries, dropped) = self.inner.verify_and_list().map_err(map_store_err)?;
+        let records = entries
+            .into_iter()
+            .map(|e| ShardRecord {
+                key: e.key,
+                shard_idx: e.shard_idx,
+                len: e.len,
+                checksum: e.checksum,
+                total_len: e.total_len,
+                archive_fnv: e.archive_fnv,
+            })
+            .collect();
+        Ok((records, dropped))
+    }
+
+    fn kind(&self) -> &'static str {
+        "durable"
+    }
+
+    fn recovery_summary(&self) -> Option<String> {
+        let report = self.inner.recovery_report();
+        let mut s = report.to_string();
+        for fault in &report.faults {
+            s.push_str("\n  ");
+            s.push_str(&fault.to_string());
+        }
+        Some(s)
+    }
+}
+
+/// Which backend a cluster node persists shards with — carried by
+/// [`crate::ClusterConfig`] into `Server::bind_cluster`.
+#[derive(Debug, Clone)]
+pub enum StoreBackendConfig {
+    /// The in-memory map: empty after restart, healed by scrub.
+    Memory,
+    /// The log-structured durable store rooted at a data directory.
+    Durable(cuszp_store::StoreConfig),
+}
+
+impl StoreBackendConfig {
+    /// Opens the configured backend.
+    pub fn open(&self) -> Result<Box<dyn ShardBackend>, StoreOpError> {
+        match self {
+            StoreBackendConfig::Memory => Ok(Box::new(ShardStore::new())),
+            StoreBackendConfig::Durable(config) => {
+                Ok(Box::new(DurableShardStore::open(config.clone())?))
+            }
+        }
     }
 }
 
@@ -145,7 +405,11 @@ mod tests {
         s.put("good", 0, b"fine", 4, 7).unwrap();
         s.put("bad", 0, b"rots", 4, 7).unwrap();
         // Flip a byte behind the checksum's back.
-        s.shards.get_mut(&("bad".to_string(), 0)).unwrap().bytes[0] ^= 0xFF;
+        s.shards
+            .get_mut(&("bad".to_string(), 0))
+            .unwrap()
+            .shard
+            .bytes[0] ^= 0xFF;
         let (records, dropped) = s.verify_and_list();
         assert_eq!(dropped, 1);
         assert_eq!(records.len(), 1);
@@ -154,6 +418,25 @@ mod tests {
         // A second pass is clean.
         let (records, dropped) = s.verify_and_list();
         assert_eq!((records.len(), dropped), (1, 0));
+    }
+
+    #[test]
+    fn verification_is_cached_until_the_next_write() {
+        let mut s = ShardStore::new();
+        s.put("k", 0, b"bytes", 5, 1).unwrap();
+        let (_, dropped) = s.verify_and_list();
+        assert_eq!(dropped, 0);
+        // Rot introduced *after* a verify pass is masked by the cache —
+        // the documented trade-off for O(index) repeat scrubs…
+        s.shards.get_mut(&("k".to_string(), 0)).unwrap().shard.bytes[0] ^= 0xFF;
+        let (records, dropped) = s.verify_and_list();
+        assert_eq!((records.len() as u64, dropped), (1, 0));
+        // …and a write invalidates the cache, so the next pass catches
+        // fresh rot again.
+        s.put("k", 0, b"clean", 5, 2).unwrap();
+        s.shards.get_mut(&("k".to_string(), 0)).unwrap().shard.bytes[0] ^= 0xFF;
+        let (records, dropped) = s.verify_and_list();
+        assert_eq!((records.len() as u64, dropped), (0, 1));
     }
 
     #[test]
@@ -175,5 +458,38 @@ mod tests {
                 ("b".to_string(), 1)
             ]
         );
+    }
+
+    #[test]
+    fn memory_and_durable_agree_behind_the_trait() {
+        let dir = std::env::temp_dir().join(format!("cuszp-backend-parity-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut backends: Vec<Box<dyn ShardBackend>> = vec![
+            Box::new(ShardStore::new()),
+            Box::new(
+                DurableShardStore::open(cuszp_store::StoreConfig::new(&dir))
+                    .expect("open durable store"),
+            ),
+        ];
+        for b in &mut backends {
+            b.put("k", 0, b"abc", 3, 11, false).unwrap();
+            b.put("k", 1, b"defg", 4, 11, true).unwrap();
+            b.put("k", 0, b"over", 4, 12, false).unwrap();
+        }
+        let lists: Vec<Vec<ShardRecord>> = backends
+            .iter_mut()
+            .map(|b| b.verify_and_list().unwrap().0)
+            .collect();
+        assert_eq!(
+            lists[0], lists[1],
+            "backends must produce the same inventory"
+        );
+        for b in &mut backends {
+            let got = b.get("k", 0).unwrap().unwrap();
+            assert_eq!(got.bytes, b"over");
+            assert_eq!(got.archive_fnv, 12);
+            assert!(b.get("nope", 0).unwrap().is_none());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

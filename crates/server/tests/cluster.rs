@@ -56,6 +56,7 @@ impl TestCluster {
                 Some(ClusterConfig {
                     node_id: i as u64 + 1,
                     ring: ring.clone(),
+                    backend: cuszp_server::StoreBackendConfig::Memory,
                 }),
             )
             .expect("bind cluster node");

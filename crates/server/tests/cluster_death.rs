@@ -73,6 +73,7 @@ fn sixty_four_seeded_node_deaths_never_lose_a_byte() {
             Some(ClusterConfig {
                 node_id: i as u64 + 1,
                 ring: ring.clone(),
+                backend: cuszp_server::StoreBackendConfig::Memory,
             }),
         )
         .expect("bind node");

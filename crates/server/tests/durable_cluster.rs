@@ -1,0 +1,285 @@
+//! Durable-backend cluster integration: nodes run on `LogStore` data
+//! directories, so a full cluster restart (every process gone) serves
+//! every archive bit-identical from disk with ZERO scrub repairs — the
+//! durable half of the crash-recovery acceptance criterion. A damaged
+//! segment is the flip side: surfaced typed at boot, shard dropped (not
+//! served corrupt), healed end-to-end by cluster-scrub.
+
+use cuszp_core::{Compressor, Config, Dims, ErrorBound};
+use cuszp_parallel::WorkerPool;
+use cuszp_server::{
+    Client, ClusterClient, ClusterConfig, ConnectOptions, NodeInfo, Ring, Server, ServerConfig,
+    ServerHandle, StoreBackendConfig,
+};
+use cuszp_store::{FsyncPolicy, StoreConfig};
+use std::fs;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn free_ports(n: usize) -> Vec<u16> {
+    let holds: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    holds
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "cuszp-durable-cluster-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts() -> ConnectOptions {
+    ConnectOptions {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+    }
+}
+
+fn archive(seed: u32) -> Vec<u8> {
+    let dims = Dims::D2 { ny: 24, nx: 512 };
+    let data: Vec<f32> = (0..dims.len())
+        .map(|i| {
+            let x = (i as f32 + seed as f32 * 31.0) * 0.002;
+            x.sin() * 40.0 + ((i as u32).wrapping_mul(seed + 1) % 13) as f32 * 0.25
+        })
+        .collect();
+    let compressor = Compressor::new(Config {
+        error_bound: ErrorBound::Relative(1e-3),
+        ..Config::default()
+    });
+    let pool = WorkerPool::new(1);
+    compressor
+        .compress_chunked_with(&data, dims, 8 * 512, &pool)
+        .expect("compress")
+        .to_bytes()
+}
+
+/// A cluster whose nodes persist to fixed data dirs on fixed ports, so
+/// it can be torn down completely and brought back on the same state.
+struct DurableCluster {
+    ring: Ring,
+    handles: Vec<ServerHandle>,
+    joins: Vec<std::thread::JoinHandle<std::io::Result<()>>>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl DurableCluster {
+    fn start(ports: &[u16], dirs: &[PathBuf], epoch: u64) -> DurableCluster {
+        let nodes: Vec<NodeInfo> = ports
+            .iter()
+            .enumerate()
+            .map(|(i, p)| NodeInfo {
+                id: i as u64 + 1,
+                addr: format!("127.0.0.1:{p}"),
+            })
+            .collect();
+        let ring = Ring::new(epoch, 2, 1, nodes).unwrap();
+        let mut handles = Vec::new();
+        let mut joins = Vec::new();
+        let mut addrs = Vec::new();
+        for (i, p) in ports.iter().enumerate() {
+            let server = Server::bind_cluster(
+                format!("127.0.0.1:{p}"),
+                ServerConfig::default(),
+                Some(ClusterConfig {
+                    node_id: i as u64 + 1,
+                    ring: ring.clone(),
+                    backend: StoreBackendConfig::Durable(StoreConfig {
+                        dir: dirs[i].clone(),
+                        fsync: FsyncPolicy::EveryNBytes(64 * 1024),
+                        compact_at: 256 * 1024 * 1024,
+                    }),
+                }),
+            )
+            .expect("bind durable cluster node");
+            assert_eq!(server.handle().store_kind(), Some("durable"));
+            addrs.push(server.local_addr().unwrap());
+            handles.push(server.handle());
+            joins.push(std::thread::spawn(move || server.serve()));
+        }
+        DurableCluster {
+            ring,
+            handles,
+            joins,
+            addrs,
+        }
+    }
+
+    fn client(&self) -> ClusterClient {
+        ClusterClient::with_ring(self.ring.clone(), opts())
+    }
+
+    /// Full teardown: every node gone, sockets released, stores synced
+    /// by drop. Restart with the same `(ports, dirs)` resumes the state.
+    fn stop(self) {
+        for addr in &self.addrs {
+            if let Ok(mut c) = Client::connect(*addr) {
+                let _ = c.shutdown_server();
+            }
+        }
+        for j in self.joins {
+            j.join().expect("serve thread panicked").expect("serve");
+        }
+    }
+}
+
+/// Flips one bit inside the final record of a node's newest segment —
+/// deterministic damage that is guaranteed to hit a live record.
+fn damage_newest_segment(dir: &Path) {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read data dir")
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".czl"))
+        })
+        .collect();
+    segs.sort();
+    let seg = segs.pop().expect("node has a segment");
+    let mut bytes = fs::read(&seg).expect("read segment");
+    assert!(bytes.len() > 64, "segment too small to damage");
+    let off = bytes.len() - 24; // inside the final record's payload/trailer
+    bytes[off] ^= 0x40;
+    fs::write(&seg, &bytes).expect("write damaged segment");
+}
+
+#[test]
+fn full_cluster_restart_serves_from_disk_with_zero_repairs() {
+    let ports = free_ports(3);
+    let dirs: Vec<PathBuf> = (0..3).map(|i| temp_dir(&format!("restart-{i}"))).collect();
+    let archives: Vec<Vec<u8>> = (0..4).map(archive).collect();
+
+    // Generation 1: populate and remember per-node shard counts.
+    let before: Vec<usize> = {
+        let cluster = DurableCluster::start(&ports, &dirs, 1);
+        let mut client = cluster.client();
+        for (i, bytes) in archives.iter().enumerate() {
+            let report = client.put(&format!("arch-{i}"), bytes).expect("put");
+            assert!(report.fully_replicated());
+        }
+        let counts = cluster.handles.iter().map(|h| h.shard_count()).collect();
+        cluster.stop();
+        counts
+    };
+    assert_eq!(before.iter().sum::<usize>(), 12, "4 stripes x (k+m)=3");
+
+    // Generation 2: same dirs, same ports, fresh processes. Recovery
+    // must be clean and the inventory identical.
+    let cluster = DurableCluster::start(&ports, &dirs, 1);
+    for (i, h) in cluster.handles.iter().enumerate() {
+        assert_eq!(
+            h.shard_count(),
+            before[i],
+            "node {i} lost shards across restart"
+        );
+        let summary = h.store_recovery_summary().expect("durable node summary");
+        assert!(
+            summary.contains("clean"),
+            "node {i} recovery not clean: {summary}"
+        );
+    }
+    let mut client = cluster.client();
+    for (i, bytes) in archives.iter().enumerate() {
+        let got = client.get(&format!("arch-{i}")).expect("get after restart");
+        assert!(!got.degraded, "restart must not degrade arch-{i}");
+        assert_eq!(
+            &got.bytes, bytes,
+            "arch-{i} not bit-identical after restart"
+        );
+    }
+    // The acceptance bar: nothing to repair — the disk state IS the
+    // cluster state.
+    let report = client.scrub().expect("scrub");
+    assert_eq!(report.unreachable_nodes, 0);
+    assert_eq!(report.repaired, 0, "restart required scrub repairs");
+    assert_eq!(report.unrepairable, 0);
+    cluster.stop();
+    for d in &dirs {
+        let _ = fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn damaged_segment_is_surfaced_typed_and_healed_by_scrub() {
+    let ports = free_ports(3);
+    let dirs: Vec<PathBuf> = (0..3).map(|i| temp_dir(&format!("damage-{i}"))).collect();
+    let archives: Vec<Vec<u8>> = (0..3).map(archive).collect();
+
+    let before: Vec<usize> = {
+        let cluster = DurableCluster::start(&ports, &dirs, 1);
+        let mut client = cluster.client();
+        for (i, bytes) in archives.iter().enumerate() {
+            client.put(&format!("arch-{i}"), bytes).expect("put");
+        }
+        let counts = cluster.handles.iter().map(|h| h.shard_count()).collect();
+        cluster.stop();
+        counts
+    };
+    assert!(before[0] > 0, "node 0 must hold shards to damage");
+
+    // Rot one bit in node 0's newest segment while everything is down.
+    damage_newest_segment(&dirs[0]);
+
+    let cluster = DurableCluster::start(&ports, &dirs, 1);
+    // The damage is a typed boot report, and exactly the damaged
+    // record is gone — not the whole store.
+    let summary = cluster.handles[0]
+        .store_recovery_summary()
+        .expect("durable node summary");
+    assert!(
+        !summary.contains("clean"),
+        "bit flip went unreported: {summary}"
+    );
+    assert_eq!(
+        cluster.handles[0].shard_count(),
+        before[0] - 1,
+        "exactly one record should be dropped"
+    );
+    // Degraded but correct: every archive still reconstructs bit-exact.
+    let mut client = cluster.client();
+    for (i, bytes) in archives.iter().enumerate() {
+        let got = client.get(&format!("arch-{i}")).expect("get degraded");
+        assert_eq!(&got.bytes, bytes, "arch-{i} corrupted by segment damage");
+    }
+    // Scrub heals the dropped shard back onto node 0's disk…
+    let report = client.scrub().expect("scrub");
+    assert_eq!(report.unreachable_nodes, 0);
+    assert_eq!(report.repaired, 1, "scrub must repair the dropped shard");
+    assert_eq!(report.unrepairable, 0);
+    assert_eq!(cluster.handles[0].shard_count(), before[0]);
+    // …idempotently…
+    assert_eq!(client.scrub().expect("second scrub").repaired, 0);
+    // …and reads are healthy again.
+    for (i, bytes) in archives.iter().enumerate() {
+        let got = client.get(&format!("arch-{i}")).expect("get healed");
+        assert!(!got.degraded, "arch-{i} still degraded after scrub");
+        assert_eq!(&got.bytes, bytes);
+    }
+    cluster.stop();
+
+    // The heal is itself durable: one more cold restart serves all.
+    let cluster = DurableCluster::start(&ports, &dirs, 1);
+    let mut client = cluster.client();
+    for (i, bytes) in archives.iter().enumerate() {
+        let got = client
+            .get(&format!("arch-{i}"))
+            .expect("get after heal+restart");
+        assert_eq!(&got.bytes, bytes);
+    }
+    cluster.stop();
+    for d in &dirs {
+        let _ = fs::remove_dir_all(d);
+    }
+}

@@ -225,6 +225,7 @@ fn main() {
             Some(ClusterConfig {
                 node_id: i as u64 + 1,
                 ring: ring.clone(),
+                backend: cuszp::server::StoreBackendConfig::Memory,
             }),
         )
         .unwrap();
@@ -272,6 +273,64 @@ fn main() {
     println!(
         "    \"get_range_healthy_ms\": {healthy_ms:.1}, \"get_range_degraded_ms\": {degraded_ms:.1}, \"degraded_bit_identical\": true"
     );
-    println!("  }}");
+    println!("  }},");
+
+    // Shard-store engine latency: one 64 KiB shard put/get through each
+    // backend behind the `ShardBackend` trait. `fsync always` is the
+    // kill -9 durability contract (every put pays an fsync); `never`
+    // shows the raw log-append cost; memory is the baseline.
+    let shard: Vec<u8> = (0..64 * 1024).map(|i| (i * 31 % 251) as u8).collect();
+    let shard_fnv = cuszp::store::fnv1a(&shard);
+    let store_ops = 64usize;
+    let bench_dir = std::env::temp_dir().join(format!("cuszp-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bench_dir);
+    let durable = |tag: &str, fsync: cuszp::store::FsyncPolicy| {
+        cuszp::server::StoreBackendConfig::Durable(cuszp::store::StoreConfig {
+            dir: bench_dir.join(tag),
+            fsync,
+            compact_at: 256 * 1024 * 1024,
+        })
+    };
+    let store_rows = [
+        ("memory", cuszp::server::StoreBackendConfig::Memory),
+        (
+            "durable fsync=always",
+            durable("always", cuszp::store::FsyncPolicy::Always),
+        ),
+        (
+            "durable fsync=never",
+            durable("never", cuszp::store::FsyncPolicy::Never),
+        ),
+    ];
+    println!("  \"shard_store\": [");
+    for (i, (name, cfg)) in store_rows.iter().enumerate() {
+        let mut store = cfg.open().unwrap();
+        let t0 = Instant::now();
+        for op in 0..store_ops {
+            store
+                .put(
+                    &format!("bench-{op}"),
+                    0,
+                    &shard,
+                    shard.len() as u64,
+                    shard_fnv,
+                    false,
+                )
+                .unwrap();
+        }
+        let put_us = t0.elapsed().as_secs_f64() * 1e6 / store_ops as f64;
+        let t0 = Instant::now();
+        for op in 0..store_ops {
+            let got = store.get(&format!("bench-{op}"), 0).unwrap().unwrap();
+            assert_eq!(got.bytes.len(), shard.len());
+        }
+        let get_us = t0.elapsed().as_secs_f64() * 1e6 / store_ops as f64;
+        println!(
+            "    {{\"backend\": \"{name}\", \"shard_kib\": 64, \"put_us\": {put_us:.0}, \"get_us\": {get_us:.0}}}{}",
+            if i + 1 < store_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = std::fs::remove_dir_all(&bench_dir);
+    println!("  ]");
     println!("}}");
 }

@@ -52,8 +52,14 @@ cargo test -q -p cuszp-server --test retry_deadline
 echo "==> placement ring properties (purity, distinctness, bounded remap)"
 cargo test -q -p cuszp-server --test ring_props
 
+echo "==> durable store engine (codec props, model tests, crash-point campaign)"
+cargo test -q -p cuszp-store
+
 echo "==> cluster tier (failover, degraded reads, redirects, anti-entropy repair)"
 cargo test -q -p cuszp-server --test cluster
+
+echo "==> durable cluster (full restart from disk, damaged-segment scrub heal)"
+cargo test -q -p cuszp-server --test durable_cluster
 
 echo "==> node-death campaign (64 seeded kills, bit-identity under every one)"
 cargo test -q -p cuszp-server --test cluster_death
@@ -64,7 +70,7 @@ scripts/server_smoke.sh
 echo "==> chaos smoke (remote round trip through a seeded fault-injection proxy)"
 scripts/chaos_smoke.sh
 
-echo "==> cluster smoke (3 processes, kill -9 a node, cmp-equal reads, scrub heal)"
+echo "==> cluster smoke (kill -9 a node: memory heals by scrub, durable by its data dir)"
 scripts/cluster_smoke.sh
 
 echo "CI green."

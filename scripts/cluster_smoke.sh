@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# Cluster smoke test: boot a 3-node erasure-coded cluster (k=2 data +
-# m=1 parity) as real `cuszp serve` processes, store archives through
-# the cluster client, then kill -9 one node mid-workload and require
-# every archive to read back cmp-equal (live failover + degraded
-# reconstruction). The dead node is restarted empty, healed with
-# `cuszp cluster-scrub`, and a *different* node is killed to prove the
-# repair took. Stays fast on a 1-CPU container.
+# Cluster smoke test, two phases over real `cuszp serve` processes
+# (3-node ring, k=2 data + m=1 parity):
+#
+#  memory phase — store archives, kill -9 one node mid-workload, read
+#  everything back cmp-equal (live failover + degraded reconstruction),
+#  restart the dead node EMPTY, heal it with `cuszp cluster-scrub`, and
+#  kill a different node to prove the repair took.
+#
+#  durable phase — the same ring with `--data-dir --fsync always`:
+#  kill -9 a node, restart it WITH its data directory, and require
+#  cmp-equal reads with NO scrub at all — the log-structured store's
+#  recovery serves every fsynced shard from disk (scrub then confirms
+#  zero repairs, and `cuszp store-fsck` reports the directory clean).
+#
+# Stays fast on a 1-CPU container.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,12 +38,19 @@ draw_port() {
 }
 
 # Starts cluster node $1 (1-based) on its ring port; writes the PID
-# into PIDS[$1-1]. Returns nonzero if the node never reports listening.
+# into PIDS[$1-1]. When DATA_BASE is set the node gets a durable store
+# under $DATA_BASE/node$1 with --fsync always. Returns nonzero if the
+# node never reports listening.
 start_node() {
     local id=$1
     local port=${PORTS[$((id - 1))]}
+    local extra=()
+    if [[ -n "${DATA_BASE:-}" ]]; then
+        extra=(--data-dir "$DATA_BASE/node$id" --fsync always)
+    fi
     "$CUSZP" serve -a "127.0.0.1:$port" --workers 2 \
         --node-id "$id" --ring "$RING" --ring-epoch 1 --ring-parity 1/2 \
+        "${extra[@]+"${extra[@]}"}" \
         > "$WORK/node$id.out" 2> "$WORK/node$id.err" &
     PIDS[$((id - 1))]=$!
     local up=""
@@ -48,30 +63,51 @@ start_node() {
     return 1
 }
 
-echo "==> drawing ports and booting the 3-node ring (k=2, m=1)"
-BOOTED=0
-for attempt in $(seq 1 5); do
-    PORTS=("$(draw_port)" "$(draw_port)" "$(draw_port)")
-    [[ "${PORTS[0]}" != "${PORTS[1]}" && "${PORTS[1]}" != "${PORTS[2]}" \
-        && "${PORTS[0]}" != "${PORTS[2]}" ]] || continue
-    RING="1=127.0.0.1:${PORTS[0]},2=127.0.0.1:${PORTS[1]},3=127.0.0.1:${PORTS[2]}"
-    OK=1
-    for id in 1 2 3; do
-        start_node "$id" || { OK=0; break; }
+# Draws three distinct free ports and boots the ring on them, retrying
+# on collisions. Sets PORTS, RING, SEEDS.
+boot_ring() {
+    local booted=0
+    for attempt in $(seq 1 5); do
+        PORTS=("$(draw_port)" "$(draw_port)" "$(draw_port)")
+        [[ "${PORTS[0]}" != "${PORTS[1]}" && "${PORTS[1]}" != "${PORTS[2]}" \
+            && "${PORTS[0]}" != "${PORTS[2]}" ]] || continue
+        RING="1=127.0.0.1:${PORTS[0]},2=127.0.0.1:${PORTS[1]},3=127.0.0.1:${PORTS[2]}"
+        local ok=1
+        for id in 1 2 3; do
+            start_node "$id" || { ok=0; break; }
+        done
+        if [[ "$ok" -eq 1 ]]; then
+            booted=1
+            break
+        fi
+        echo "    attempt $attempt: a drawn port was taken; redrawing"
+        for i in 0 1 2; do
+            [[ -n "${PIDS[$i]}" ]] && kill -9 "${PIDS[$i]}" 2>/dev/null || true
+            PIDS[$i]=""
+        done
     done
-    if [[ "$OK" -eq 1 ]]; then
-        BOOTED=1
-        break
-    fi
-    echo "    attempt $attempt: a drawn port was taken; redrawing"
-    for i in 0 1 2; do
-        [[ -n "${PIDS[$i]}" ]] && kill -9 "${PIDS[$i]}" 2>/dev/null || true
-        PIDS[$i]=""
+    [[ "$booted" -eq 1 ]] || { echo "FAIL: could not boot the ring"; cat "$WORK"/node*.err; exit 1; }
+    SEEDS="127.0.0.1:${PORTS[0]},127.0.0.1:${PORTS[1]},127.0.0.1:${PORTS[2]}"
+    echo "    ring up: $RING"
+}
+
+# Gracefully stops every live node.
+stop_ring() {
+    for n in 0 1 2; do
+        if [[ -n "${PIDS[$n]}" ]]; then
+            "$CUSZP" remote shutdown -s "127.0.0.1:${PORTS[$n]}" > /dev/null 2>&1 || true
+        fi
     done
-done
-[[ "$BOOTED" -eq 1 ]] || { echo "FAIL: could not boot the ring"; cat "$WORK"/node*.err; exit 1; }
-SEEDS="127.0.0.1:${PORTS[0]},127.0.0.1:${PORTS[1]},127.0.0.1:${PORTS[2]}"
-echo "    ring up: $RING"
+    for n in 0 1 2; do
+        if [[ -n "${PIDS[$n]}" ]]; then
+            wait "${PIDS[$n]}" || true
+            PIDS[$n]=""
+        fi
+    done
+}
+
+echo "==> booting the 3-node ring (k=2, m=1, in-memory stores)"
+boot_ring
 
 echo "==> the ring op answers from any member"
 "$CUSZP" cluster ring --seeds "$SEEDS" > "$WORK/ring.out"
@@ -135,11 +171,49 @@ for i in 1 2 3; do
 done
 
 echo "==> graceful shutdown of the survivors"
-for n in 0 1; do
-    "$CUSZP" remote shutdown -s "127.0.0.1:${PORTS[$n]}" > /dev/null 2>&1 || true
+stop_ring
+
+# ---------------------------------------------------------------------
+# Durable phase: the same workload against log-structured data dirs.
+# ---------------------------------------------------------------------
+DATA_BASE="$WORK/data"
+echo "==> booting a fresh ring with durable stores (--data-dir, --fsync always)"
+boot_ring
+grep -q 'durable shard store' "$WORK/node1.err" \
+    || { echo "FAIL: node 1 did not report a durable store"; cat "$WORK/node1.err"; exit 1; }
+
+echo "==> cluster put onto the durable ring"
+for i in 1 2 3; do
+    "$CUSZP" cluster put "arch-$i" -i "$WORK/arch$i.csz" --seeds "$SEEDS" 2> /dev/null
 done
-for n in 0 1; do
-    [[ -n "${PIDS[$n]}" ]] && { wait "${PIDS[$n]}" || true; PIDS[$n]=""; }
+
+echo "==> kill -9 node 2, restart it WITH its data directory"
+kill -9 "${PIDS[1]}"
+PIDS[1]=""
+start_node 2 || { echo "FAIL: node 2 did not restart durably"; cat "$WORK/node2.err"; exit 1; }
+grep -q 'recovery: clean' "$WORK/node2.err" \
+    || { echo "FAIL: node 2 recovery not clean"; cat "$WORK/node2.err"; exit 1; }
+
+echo "==> every archive reads cmp-equal WITHOUT any scrub"
+for i in 1 2 3; do
+    "$CUSZP" cluster get "arch-$i" -o "$WORK/dur$i.csz" --seeds "$SEEDS" 2> "$WORK/dur$i.err"
+    cmp "$WORK/arch$i.csz" "$WORK/dur$i.csz" \
+        || { echo "FAIL: post-restart read of arch-$i differs"; cat "$WORK/dur$i.err"; exit 1; }
+done
+
+echo "==> scrub confirms the restart needed zero repairs"
+"$CUSZP" cluster-scrub --seeds "$SEEDS" > "$WORK/scrub2.out" 2> /dev/null
+grep -q 'scrubbed 3 key(s): 0 shard(s) re-replicated, 0 unrepairable, 0 unreachable' \
+    "$WORK/scrub2.out" \
+    || { echo "FAIL: durable restart required repairs"; cat "$WORK/scrub2.out"; exit 1; }
+
+echo "==> graceful shutdown; store-fsck reports every data dir clean"
+stop_ring
+for id in 1 2 3; do
+    "$CUSZP" store-fsck "$DATA_BASE/node$id" > "$WORK/fsck$id.out" \
+        || { echo "FAIL: store-fsck flagged node $id"; cat "$WORK/fsck$id.out"; exit 1; }
+    grep -q 'clean' "$WORK/fsck$id.out" \
+        || { echo "FAIL: fsck output for node $id"; cat "$WORK/fsck$id.out"; exit 1; }
 done
 
 echo "cluster smoke green."

@@ -22,8 +22,9 @@ use cuszp::metrics::{verify_error_bound, verify_error_bound_f64};
 use cuszp::parallel::WorkerPool;
 use cuszp::server::{
     ClusterClient, ClusterConfig, CompressRequest, ConnectOptions, DecompressMode, RetryPolicy,
-    RetryingClient, Ring, Server, ServerConfig,
+    RetryingClient, Ring, Server, ServerConfig, StoreBackendConfig,
 };
+use cuszp::store::{FsyncPolicy, StoreConfig};
 use cuszp::{
     json_escape, Archive, ChunkStatus, ChunkedArchive, Compressor, Config, CuszpError, Dims, Dtype,
     ErrorBound, FillPolicy, LosslessMode, ParityConfig, PortableScanReport, Predictor,
@@ -66,6 +67,7 @@ fn main() -> ExitCode {
     // positional argument; normalize to `-i` so option parsing stays
     // uniform.
     let takes_positional_archive = cmd == "fsck"
+        || cmd == "store-fsck"
         || matches!(
             remote_op,
             Some("scan" | "info" | "decompress" | "get-range")
@@ -100,6 +102,9 @@ fn main() -> ExitCode {
         // fsck picks its own exit code: 0 clean, 1 damaged-but-repaired
         // (or repairable), 2 data loss.
         "fsck" => cmd_fsck(&opts),
+        // store-fsck shares the taxonomy: 0 clean, 1 repairable via
+        // cluster-scrub, 2 directory unreadable.
+        "store-fsck" => cmd_store_fsck(&opts),
         "analyze" => cmd_analyze(&opts).map(|()| ExitCode::SUCCESS),
         "gen" => cmd_gen(&opts).map(|()| ExitCode::SUCCESS),
         "serve" => cmd_serve(&opts).map(|()| ExitCode::SUCCESS),
@@ -139,7 +144,9 @@ USAGE:
   cuszp gen        -o <raw> --dataset <name> --field <name> [--scale tiny|small]
   cuszp serve      [-a <addr>] [--workers <n>] [--queue <n>] [--cache-bytes <n>]
                    [--node-id <id> --ring <id=addr,...> [--ring-epoch <n>]
-                    [--ring-parity <m/k>]]
+                    [--ring-parity <m/k>] [--data-dir <path>]
+                    [--fsync always|never|<bytes>] [--compact-at <bytes>]]
+  cuszp store-fsck <data-dir> [--json]
   cuszp cluster put       <key> -i <archive> --seeds <addr,addr,...>
   cuszp cluster get       <key> -o <archive> --seeds <addr,addr,...>
   cuszp cluster get-range <key> -o <raw> --range <spec> [--double]
@@ -230,6 +237,18 @@ typed redirect errors carrying the current epoch and owner. `cluster-scrub`
 is the anti-entropy pass: it lists every reachable member's verified shards
 and re-replicates anything missing or dropped as corrupt (exit 0 fully
 healthy, 1 when lost stripes or unreachable members remain).
+
+`serve --data-dir <path>` makes a cluster node durable: shards are appended
+to checksummed log segments (`seg-<n>.czl`) under <path>, the index is
+rebuilt by scanning them at boot (torn tails truncated, corrupt records
+skipped and reported), and overwritten/deleted slots are reclaimed by
+size-triggered compaction (--compact-at, default 256 MiB) behind an atomic
+manifest swap. --fsync picks the durability contract: `always` (default —
+an acknowledged put survives kill -9), a byte interval, or `never`.
+A durable node restarted with its data dir serves its shards bit-identically
+with zero scrub repairs. `store-fsck` scans a data dir offline (read-only,
+same scanner as boot recovery) and prints per-record status: exit 0 clean,
+1 damage repairable via restart + cluster-scrub, 2 directory unreadable.
 
 `chaos-proxy` relays TCP to --upstream while injecting seeded faults
 (connection refusal, mid-frame cuts, bit flips, stalls, chopped writes) —
@@ -972,6 +991,112 @@ fn dims_spec(dims: Dims) -> String {
 
 // ---------------------------------------------------------------------
 // The compression service: `serve` and `remote <op>`.
+/// `store-fsck <data-dir>`: offline, read-only scan of a durable shard
+/// store's segment files, sharing the store crate's recovery scanner so
+/// it can never disagree with what a node boot would accept. Exit codes
+/// follow the fsck taxonomy: 0 clean, 1 damage found but repairable
+/// (torn tails truncate at the next boot; dropped shards re-replicate
+/// via `cluster-scrub`), 2 the directory itself is unreadable.
+fn cmd_store_fsck(opts: &Opts) -> Result<ExitCode, String> {
+    let dir = opts
+        .get("i")
+        .ok_or("store-fsck needs a data directory argument")?;
+    let json = opts.has_flag("json");
+    let report = match cuszp::store::scan_dir(Path::new(dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            if json {
+                println!(
+                    "{{\"data_dir\":\"{}\",\"error\":\"{}\",\"exit_code\":2}}",
+                    json_escape(dir),
+                    json_escape(&e.to_string())
+                );
+            } else {
+                eprintln!("error: {dir}: {e}");
+            }
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let code = report.exit_code();
+    if json {
+        let mut out = format!("{{\"data_dir\":\"{}\",\"segments\":[", json_escape(dir));
+        for (si, seg) in report.segments.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"bytes\":{},\"records\":[",
+                seg.seq, seg.bytes
+            ));
+            for (ri, r) in seg.records.iter().enumerate() {
+                if ri > 0 {
+                    out.push(',');
+                }
+                let status = match &r.status {
+                    cuszp::store::RecordStatus::Live => "live",
+                    cuszp::store::RecordStatus::Superseded => "superseded",
+                    cuszp::store::RecordStatus::Tombstone => "tombstone",
+                    cuszp::store::RecordStatus::Damaged(_) => "damaged",
+                };
+                out.push_str(&format!(
+                    "{{\"offset\":{},\"status\":\"{status}\"",
+                    r.offset
+                ));
+                if let Some((key, idx)) = &r.key {
+                    out.push_str(&format!(
+                        ",\"key\":\"{}\",\"shard_idx\":{idx},\"len\":{}",
+                        json_escape(key),
+                        r.payload_len
+                    ));
+                }
+                if let cuszp::store::RecordStatus::Damaged(fault) = &r.status {
+                    out.push_str(&format!(
+                        ",\"detail\":\"{}\"",
+                        json_escape(&fault.to_string())
+                    ));
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str(&format!(
+            "],\"live\":{},\"superseded\":{},\"tombstones\":{},\"damaged\":{},\"exit_code\":{code}}}",
+            report.live_shards, report.superseded, report.tombstones, report.damaged
+        ));
+        println!("{out}");
+        return Ok(ExitCode::from(code as u8));
+    }
+    println!("store: {dir} ({} segment(s))", report.segments.len());
+    for fault in &report.dir_faults {
+        println!("  DIRECTORY: {fault}");
+    }
+    for seg in &report.segments {
+        println!("  seg-{:08}.czl  {} bytes", seg.seq, seg.bytes);
+        for r in &seg.records {
+            match &r.key {
+                Some((key, idx)) => println!(
+                    "    @{:<10} {}  '{key}' shard {idx} ({} bytes)",
+                    r.offset, r.status, r.payload_len
+                ),
+                None => println!("    @{:<10} {}", r.offset, r.status),
+            }
+        }
+    }
+    println!(
+        "  {} live, {} superseded, {} tombstone(s), {} damaged",
+        report.live_shards, report.superseded, report.tombstones, report.damaged
+    );
+    if code == 0 {
+        println!("  clean");
+    } else {
+        println!(
+            "  repairable: a node restart truncates torn tails; `cuszp cluster-scrub` \
+             re-replicates dropped shards"
+        );
+    }
+    Ok(ExitCode::from(code as u8))
+}
+
 // ---------------------------------------------------------------------
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
@@ -998,6 +1123,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     }
     // Cluster mode: `--node-id` + `--ring` turn this instance into one
     // member of an erasure-coded placement ring (CSRP v3 shard ops).
+    if opts.get("data-dir").is_some()
+        && (opts.get("node-id").is_none() || opts.get("ring").is_none())
+    {
+        return Err("--data-dir needs cluster mode (--node-id and --ring)".into());
+    }
     let cluster = match (opts.get("node-id"), opts.get("ring")) {
         (None, None) => None,
         (Some(id), Some(ring_spec)) => {
@@ -1020,15 +1150,52 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             };
             let ring =
                 Ring::parse_spec(ring_spec, epoch, k, m).map_err(|e| format!("bad --ring: {e}"))?;
-            Some(ClusterConfig { node_id, ring })
+            // Shard persistence: `--data-dir` switches the node from the
+            // in-memory store (empty after restart, healed by scrub) to
+            // the durable log-structured store.
+            let backend = match opts.get("data-dir") {
+                Some(dir) => {
+                    let mut store_config = StoreConfig::new(dir);
+                    if let Some(policy) = opts.get("fsync") {
+                        store_config.fsync =
+                            FsyncPolicy::parse(policy).map_err(|e| format!("bad --fsync: {e}"))?;
+                    }
+                    if let Some(bytes) = opts.get("compact-at") {
+                        store_config.compact_at = bytes
+                            .parse()
+                            .map_err(|e| format!("bad --compact-at '{bytes}': {e}"))?;
+                    }
+                    StoreBackendConfig::Durable(store_config)
+                }
+                None => {
+                    if opts.get("fsync").is_some() || opts.get("compact-at").is_some() {
+                        return Err("--fsync / --compact-at need --data-dir (durable store)".into());
+                    }
+                    StoreBackendConfig::Memory
+                }
+            };
+            Some(ClusterConfig {
+                node_id,
+                ring,
+                backend,
+            })
         }
         _ => return Err("cluster mode needs both --node-id and --ring".into()),
     };
     let workers = config.workers;
     let queue_capacity = config.queue_capacity;
     let cluster_banner = cluster.as_ref().map(|c| {
+        let store_desc = match &c.backend {
+            StoreBackendConfig::Memory => "memory shard store".to_string(),
+            StoreBackendConfig::Durable(sc) => format!(
+                "durable shard store at {} (fsync {}, compact at {} bytes)",
+                sc.dir.display(),
+                sc.fsync,
+                sc.compact_at
+            ),
+        };
         format!(
-            "node {} of {} (epoch {}, {}+{} shards per stripe)",
+            "node {} of {} (epoch {}, {}+{} shards per stripe), {store_desc}",
             c.node_id,
             c.ring.nodes().len(),
             c.ring.epoch,
@@ -1037,6 +1204,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         )
     });
     let server = Server::bind_cluster(addr, config, cluster).map_err(|e| format!("{addr}: {e}"))?;
+    let recovery_banner = server.handle().store_recovery_summary();
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!("cuszp-server listening on {bound}");
     eprintln!(
@@ -1045,6 +1213,9 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     );
     if let Some(banner) = cluster_banner {
         eprintln!("  cluster: {banner}");
+    }
+    if let Some(recovery) = recovery_banner {
+        eprintln!("  recovery: {recovery}");
     }
     server.serve().map_err(|e| e.to_string())?;
     eprintln!("cuszp-server: drained, bye");

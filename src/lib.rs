@@ -21,6 +21,7 @@
 //! | [`metrics`] | `cuszp-metrics` | PSNR/NRMSE, bound checks, throughput |
 //! | [`parallel`] | `cuszp-parallel` | the data-parallel executor |
 //! | [`server`] | `cuszp-server` | CSRP wire protocol, TCP service, client |
+//! | [`store`] | `cuszp-store` | log-structured durable shard store |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use cuszp_parallel as parallel;
 pub use cuszp_predictor as predictor;
 pub use cuszp_rle as rle;
 pub use cuszp_server as server;
+pub use cuszp_store as store;
 pub use cuszp_zfp as zfp;
 
 // The everyday API, flattened.
